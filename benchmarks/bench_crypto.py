@@ -1,0 +1,87 @@
+"""A5 — cost of vault cryptography: plaintext vs encrypted vs escrowed.
+
+The §4.2 deployments trade tool access for security; this ablation prices
+them. Measured on one PC member's GDPR+ apply+reveal (quarter-scale
+conference): a plaintext memory vault, an encrypted vault (per-owner key),
+and an encrypted vault whose key is recovered through 2-of-3 threshold
+escrow before the reveal (footnote 1's lost-key path). Plus microbenchmarks
+of the primitives themselves.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from conftest import print_table
+
+from repro import Disguiser
+from repro.apps.hotcrp import HotcrpPopulation, all_disguises, generate_hotcrp
+from repro.crypto.cipher import SecretKey, decrypt, encrypt
+from repro.crypto.shamir import recover_secret, split_secret
+from repro.crypto.threshold import escrow_key
+from repro.vault import EncryptedVault, MemoryVault
+
+POPULATION = HotcrpPopulation(users=108, pc_members=8, papers=112, reviews=350)
+
+
+def lifecycle(mode: str):
+    db = generate_hotcrp(population=POPULATION, seed=19)
+    if mode == "plaintext":
+        vault = MemoryVault()
+    else:
+        vault = EncryptedVault(MemoryVault())
+        key = SecretKey.generate()
+        if mode == "encrypted":
+            vault.register_owner(2, key=key)
+        else:  # escrowed
+            vault.register_owner(2, key=key, escrow=escrow_key(key))
+    engine = Disguiser(db, vault=vault, seed=2)
+    for spec in all_disguises():
+        engine.register(spec)
+    apply_report = engine.apply("HotCRP-GDPR+", uid=2)
+    if mode == "encrypted":
+        vault.unlock(2, key)
+    elif mode == "escrowed":
+        vault.lock(2)
+        vault.unlock_via_escrow(2, "app", "third_party")
+    reveal_report = engine.reveal(apply_report.disguise_id)
+    return apply_report, reveal_report
+
+
+@pytest.mark.parametrize("mode", ["plaintext", "encrypted", "escrowed"])
+def bench_vault_crypto(benchmark, mode):
+    apply_report, reveal_report = benchmark.pedantic(
+        lambda: lifecycle(mode), rounds=3, iterations=1
+    )
+    print_table(
+        f"A5: vault crypto mode '{mode}'",
+        ["phase", "ms", "vault ops"],
+        [
+            ["apply", f"{apply_report.duration_s * 1e3:.1f}", apply_report.vault_stats.total],
+            ["reveal", f"{reveal_report.duration_s * 1e3:.1f}", reveal_report.vault_stats.total],
+        ],
+    )
+    assert reveal_report.entries_consumed == apply_report.vault_entries_written
+
+
+def bench_cipher_primitive(benchmark):
+    key = SecretKey.generate()
+    payload = os.urandom(4096)
+
+    def round_trip():
+        return decrypt(key, encrypt(key, payload))
+
+    result = benchmark(round_trip)
+    assert result == payload
+
+
+def bench_shamir_primitive(benchmark):
+    secret = os.urandom(32)
+
+    def split_and_recover():
+        shares = split_secret(secret, threshold=2, shares=3)
+        return recover_secret(shares[:2])
+
+    result = benchmark(split_and_recover)
+    assert result == secret

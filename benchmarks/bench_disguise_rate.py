@@ -1,0 +1,75 @@
+"""A4 — disguising throughput under a rising disguise rate.
+
+"The importance of reducing the cost of disguise application depends on
+the rate of disguising, which may range from rare (as in today's
+applications) to quite frequent (in a privacy-supporting world where users
+freely disguise and reveal themselves, or data expires)." (§6)
+
+This ablation simulates that world: N users scrub and (half of them)
+return, back to back, on one conference. It reports aggregate throughput
+and how per-disguise cost behaves as the database accumulates active
+disguises and placeholder rows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+from conftest import print_table
+
+from repro import Disguiser
+from repro.apps.hotcrp import HotcrpPopulation, all_disguises, generate_hotcrp
+
+POPULATION = HotcrpPopulation(users=215, pc_members=15, papers=225, reviews=700)
+
+
+def churn(n_users: int) -> dict:
+    db = generate_hotcrp(population=POPULATION, seed=5)
+    engine = Disguiser(db, seed=8)
+    for spec in all_disguises():
+        engine.register(spec)
+    applied = []
+    started = time.perf_counter()
+    first = last = None
+    for i, uid in enumerate(range(2, 2 + n_users)):
+        report = engine.apply("HotCRP-GDPR+", uid=uid)
+        if i == 0:
+            first = report.duration_s
+        last = report.duration_s
+        applied.append(report.disguise_id)
+    # half the users return, oldest first
+    for did in applied[: n_users // 2]:
+        engine.reveal(did)
+    elapsed = time.perf_counter() - started
+    operations = n_users + n_users // 2
+    return {
+        "operations": operations,
+        "elapsed": elapsed,
+        "ops_per_s": operations / elapsed,
+        "first_apply_ms": first * 1e3,
+        "last_apply_ms": last * 1e3,
+        "db": db,
+    }
+
+
+@pytest.mark.parametrize("n_users", [2, 6, 12], ids=["rare", "occasional", "frequent"])
+def bench_disguise_rate(benchmark, n_users):
+    result = benchmark.pedantic(lambda: churn(n_users), rounds=3, iterations=1)
+    print_table(
+        f"A4: churn of {n_users} scrubs + {n_users // 2} reveals",
+        ["ops", "elapsed s", "ops/s", "first apply ms", "last apply ms"],
+        [
+            [
+                result["operations"],
+                f"{result['elapsed']:.2f}",
+                f"{result['ops_per_s']:.1f}",
+                f"{result['first_apply_ms']:.1f}",
+                f"{result['last_apply_ms']:.1f}",
+            ]
+        ],
+    )
+    assert result["db"].check_integrity() == []
+    # Per-disguise cost should not blow up as disguises accumulate: the
+    # last apply stays within an order of magnitude of the first.
+    assert result["last_apply_ms"] < result["first_apply_ms"] * 10 + 50

@@ -1,0 +1,70 @@
+"""A8 — breach exposure over time under a decay policy (paper §1-§2).
+
+The paper's motivation, rendered as a time series: a conference runs a
+two-stage decay policy (scrub at 1 simulated year of inactivity, hard
+delete at 3); we plot what a breach at each point would reveal. Exposure
+must decrease monotonically and end near the floor.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table
+
+from repro import DecayPolicy, DecayStage, Disguiser, PolicyScheduler, SimClock
+from repro.apps.hotcrp import HotcrpPopulation, all_disguises, generate_hotcrp
+from repro.core.exposure import measure_exposure
+
+YEAR = 365 * 86_400.0
+POPULATION = HotcrpPopulation(users=86, pc_members=6, papers=90, reviews=280)
+
+
+def run_decay_timeline():
+    db = generate_hotcrp(population=POPULATION, seed=51)
+    engine = Disguiser(db, seed=7)
+    for spec in all_disguises():
+        engine.register(spec)
+    # Users went inactive at staggered times over 4 years.
+    last_active = {uid: (uid % 8) * 0.5 * YEAR for uid in range(1, 87)}
+    clock = SimClock(start=0.0)
+    scheduler = PolicyScheduler(engine, clock)
+    scheduler.add(
+        DecayPolicy(
+            "decay",
+            stages=(
+                DecayStage(age=1 * YEAR, spec_name="HotCRP-GDPR+"),
+                DecayStage(age=3 * YEAR, spec_name="HotCRP-GDPR"),
+            ),
+            activity=lambda _db: last_active,
+        )
+    )
+    series = []
+    for year in range(0, 8):
+        clock.now = year * YEAR
+        scheduler.tick()
+        report = measure_exposure(db, "ContactInfo")
+        series.append((year, report))
+    assert db.check_integrity() == []
+    return series
+
+
+def bench_exposure_decay(benchmark):
+    series = benchmark.pedantic(run_decay_timeline, rounds=2, iterations=1)
+    rows = [
+        [
+            f"year {year}",
+            report.identifiable_users,
+            report.pii_cells,
+            report.linkable_contributions,
+            report.total,
+        ]
+        for year, report in series
+    ]
+    print_table(
+        "A8: breach exposure over time under the decay policy",
+        ["time", "identifiable users", "PII cells", "linkable rows", "total"],
+        rows,
+    )
+    totals = [report.total for _, report in series]
+    assert all(a >= b for a, b in zip(totals, totals[1:])), "exposure must not rise"
+    assert totals[-1] < totals[0] * 0.2, "decay should eliminate most exposure"

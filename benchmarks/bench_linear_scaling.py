@@ -1,0 +1,99 @@
+"""E2 — §6 claim: "the number of queries performed by Edna to fetch and
+update the relevant to-be-disguised objects grows linearly with the number
+of objects."
+
+Two series, both with "objects" = rows the disguise actually touches:
+
+* **GDPR+** — fixed conference, growing per-member footprint: the review
+  load per PC member is scaled x{0.5, 1, 2, 4} by growing the review table
+  while holding the PC constant, so one member's disguise touches
+  proportionally more objects.
+* **ConfAnon** — whole-conference disguise at x{0.25, 0.5, 1} of the paper
+  size: objects = (almost) the whole database.
+
+Each series is printed and fit by least squares; statements vs objects
+must be a line (R^2 > 0.99) with an intercept small relative to the
+largest point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import conference_at, print_line, print_table
+
+from repro import Disguiser
+from repro.apps.hotcrp import HotcrpPopulation, all_disguises, generate_hotcrp
+
+REVIEW_SCALES = (0.5, 1.0, 2.0, 4.0)
+CONF_SCALES = (0.25, 0.5, 1.0)
+SUBJECT = 2
+
+
+def engine_with_reviews(review_scale: float):
+    population = HotcrpPopulation(
+        users=430, pc_members=30, papers=450, reviews=round(1400 * review_scale)
+    )
+    db = generate_hotcrp(population=population, seed=42)
+    engine = Disguiser(db, seed=1)
+    for spec in all_disguises():
+        engine.register(spec)
+    return db, engine
+
+
+def gdpr_plus_cost(review_scale: float) -> tuple[int, int, float]:
+    db, engine = engine_with_reviews(review_scale)
+    report = engine.apply("HotCRP-GDPR+", uid=SUBJECT)
+    return report.rows_touched, report.db_stats.total, report.duration_s
+
+
+def confanon_cost(scale: float) -> tuple[int, int, float]:
+    db, engine = conference_at(scale)
+    report = engine.apply("HotCRP-ConfAnon")
+    return report.rows_touched, report.db_stats.total, report.duration_s
+
+
+def _fit(series: list[tuple[int, int, float]]) -> tuple[float, float, float]:
+    objects = np.array([row[0] for row in series], dtype=float)
+    statements = np.array([row[1] for row in series], dtype=float)
+    slope, intercept = np.polyfit(objects, statements, 1)
+    predicted = slope * objects + intercept
+    ss_res = float(np.sum((statements - predicted) ** 2))
+    ss_tot = float(np.sum((statements - statements.mean()) ** 2))
+    return slope, intercept, 1.0 - ss_res / ss_tot
+
+
+def _print_series(title: str, labels, series) -> None:
+    rows = [
+        [label, objects, statements, f"{statements / max(objects, 1):.1f}", f"{secs * 1e3:.1f} ms"]
+        for label, (objects, statements, secs) in zip(labels, series)
+    ]
+    print_table(title, ["point", "objects", "statements", "stmt/object", "latency"], rows)
+
+
+def bench_linear_scaling(benchmark):
+    gdpr_series = [gdpr_plus_cost(scale) for scale in REVIEW_SCALES]
+    conf_series = [confanon_cost(scale) for scale in CONF_SCALES]
+
+    benchmark.pedantic(lambda: gdpr_plus_cost(1.0), rounds=3, iterations=1)
+
+    _print_series(
+        "E2a: HotCRP-GDPR+ statements vs per-member footprint",
+        [f"reviews x{s}" for s in REVIEW_SCALES],
+        gdpr_series,
+    )
+    slope, intercept, r_squared = _fit(gdpr_series)
+    print_line(f"E2a fit: statements = {slope:.2f} * objects + {intercept:.1f} (R^2 = {r_squared:.4f})")
+    assert r_squared > 0.99, "GDPR+ statements are not linear in objects"
+    assert slope > 0
+    assert abs(intercept) < gdpr_series[-1][1] * 0.5
+
+    _print_series(
+        "E2b: HotCRP-ConfAnon statements vs conference size",
+        [f"conf x{s}" for s in CONF_SCALES],
+        conf_series,
+    )
+    slope, intercept, r_squared = _fit(conf_series)
+    print_line(f"E2b fit: statements = {slope:.2f} * objects + {intercept:.1f} (R^2 = {r_squared:.4f})")
+    assert r_squared > 0.99, "ConfAnon statements are not linear in objects"
+    assert slope > 0
+    assert abs(intercept) < conf_series[-1][1] * 0.5

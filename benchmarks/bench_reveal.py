@@ -1,0 +1,92 @@
+"""A6 — reveal cost: plain, chained, and global.
+
+The paper measures apply-side composition; this ablation prices the other
+direction (§4.2 "Reverting disguises"): a plain reveal, a reveal under a
+later conflicting disguise (chain unwinding + interval re-application),
+and the full reversal of a global ConfAnon.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table
+
+from repro import Disguiser
+from repro.apps.hotcrp import HotcrpPopulation, all_disguises, generate_hotcrp
+
+POPULATION = HotcrpPopulation(users=108, pc_members=8, papers=112, reviews=350)
+
+
+def build():
+    db = generate_hotcrp(population=POPULATION, seed=29)
+    engine = Disguiser(db, seed=4)
+    for spec in all_disguises():
+        engine.register(spec)
+    return db, engine
+
+
+def plain_reveal():
+    db, engine = build()
+    report = engine.apply("HotCRP-GDPR+", uid=2)
+    return engine.reveal(report.disguise_id)
+
+
+def chained_reveal():
+    db, engine = build()
+    scrub = engine.apply("HotCRP-GDPR+", uid=2)
+    engine.apply("HotCRP-ConfAnon")
+    return engine.reveal(scrub.disguise_id)
+
+
+def global_reveal():
+    db, engine = build()
+    anon = engine.apply("HotCRP-ConfAnon")
+    return engine.reveal(anon.disguise_id)
+
+
+CASES = {
+    "plain": plain_reveal,
+    "chained": chained_reveal,
+    "global-confanon": global_reveal,
+}
+
+
+@pytest.mark.parametrize("case", list(CASES))
+def bench_reveal(benchmark, case):
+    report = benchmark.pedantic(CASES[case], rounds=3, iterations=1)
+    print_table(
+        f"A6: reveal cost — {case}",
+        ["ms", "db stmts", "reinserted", "fks restored", "chain reapplied", "spec reapplied"],
+        [
+            [
+                f"{report.duration_s * 1e3:.1f}",
+                report.db_stats.total,
+                report.rows_reinserted,
+                report.fks_restored,
+                report.chain_reapplied,
+                report.spec_reapplied,
+            ]
+        ],
+    )
+    assert report.entries_consumed > 0
+
+
+def bench_reveal_shape(benchmark):
+    """Chained reveal costs more than plain (chain work is real); a global
+    reveal dwarfs both (it touches the whole conference)."""
+    plain = plain_reveal()
+    chained = chained_reveal()
+    global_ = global_reveal()
+    benchmark.pedantic(plain_reveal, rounds=3, iterations=1)
+    print_table(
+        "A6 summary",
+        ["case", "ms", "db stmts"],
+        [
+            ["plain", f"{plain.duration_s * 1e3:.1f}", plain.db_stats.total],
+            ["chained", f"{chained.duration_s * 1e3:.1f}", chained.db_stats.total],
+            ["global-confanon", f"{global_.duration_s * 1e3:.1f}", global_.db_stats.total],
+        ],
+    )
+    assert chained.db_stats.total > plain.db_stats.total
+    assert global_.db_stats.total > chained.db_stats.total
+    assert chained.chain_reapplied + chained.spec_reapplied > 0

@@ -1,0 +1,84 @@
+"""A1 — vault deployment models: cost of apply + reveal per backend.
+
+The paper sketches several deployments (§4.2): database tables (Edna's
+choice), offline storage, per-user encrypted vaults, and a two-tier mix.
+This ablation measures one PC member's GDPR+ apply followed by its reveal
+under each backend, at a quarter-scale conference.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import print_table
+
+from repro import Database, Disguiser
+from repro.apps.hotcrp import HotcrpPopulation, all_disguises, generate_hotcrp
+from repro.vault import (
+    EncryptedVault,
+    FileVault,
+    MemoryVault,
+    MultiTierVault,
+    TableVault,
+)
+
+POPULATION = HotcrpPopulation(users=108, pc_members=8, papers=112, reviews=350)
+
+
+def make_vault(kind: str, tmp_path):
+    if kind == "memory":
+        return MemoryVault(), None
+    if kind == "table":
+        return TableVault(Database()), None
+    if kind == "file":
+        return FileVault(tmp_path / "vaults"), None
+    if kind == "encrypted":
+        vault = EncryptedVault(MemoryVault())
+        key = vault.register_owner(2)
+        vault.unlock(2, key)
+        return vault, None
+    if kind == "multitier":
+        return MultiTierVault(MemoryVault(), MemoryVault()), None
+    raise AssertionError(kind)
+
+
+def apply_and_reveal(kind: str, tmp_path):
+    db = generate_hotcrp(population=POPULATION, seed=31)
+    vault, _ = make_vault(kind, tmp_path)
+    engine = Disguiser(db, vault=vault, seed=2)
+    for spec in all_disguises():
+        engine.register(spec)
+    apply_report = engine.apply("HotCRP-GDPR+", uid=2)
+    reveal_report = engine.reveal(apply_report.disguise_id)
+    return apply_report, reveal_report
+
+
+KINDS = ("memory", "table", "file", "encrypted", "multitier")
+
+
+@pytest.mark.parametrize("kind", KINDS)
+def bench_vault_backend(benchmark, kind, tmp_path):
+    def target():
+        return apply_and_reveal(kind, tmp_path)
+
+    apply_report, reveal_report = benchmark.pedantic(target, rounds=3, iterations=1)
+    print_table(
+        f"A1: vault backend '{kind}'",
+        ["phase", "ms", "db stmts", "vault ops"],
+        [
+            [
+                "apply",
+                f"{apply_report.duration_s * 1e3:.1f}",
+                apply_report.db_stats.total,
+                apply_report.vault_stats.total,
+            ],
+            [
+                "reveal",
+                f"{reveal_report.duration_s * 1e3:.1f}",
+                reveal_report.db_stats.total,
+                reveal_report.vault_stats.total,
+            ],
+        ],
+    )
+    # Every backend must produce the same logical outcome.
+    assert apply_report.vault_entries_written > 0
+    assert reveal_report.entries_consumed == apply_report.vault_entries_written

@@ -1,0 +1,77 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(see DESIGN.md's experiment index). Benchmarks print the rows/series the
+paper reports and check the *shape* — orderings and rough factors — not
+absolute numbers (the substrate is a pure-Python engine, not the authors'
+Rust + MySQL testbed).
+"""
+
+from __future__ import annotations
+
+from repro import Disguiser
+from repro.apps.hotcrp import HotcrpPopulation, all_disguises, generate_hotcrp
+
+PAPER_POPULATION = HotcrpPopulation(users=430, pc_members=30, papers=450, reviews=1400)
+
+
+def paper_conference(seed: int = 42) -> tuple:
+    """The §6 testbed: 430 users (30 PC), 450 papers, 1400 reviews."""
+    db = generate_hotcrp(population=PAPER_POPULATION, seed=seed)
+    engine = Disguiser(db, seed=1)
+    for spec in all_disguises():
+        engine.register(spec)
+    return db, engine
+
+
+def conference_at(scale: float, seed: int = 42) -> tuple:
+    db = generate_hotcrp(population=HotcrpPopulation.at_scale(scale), seed=seed)
+    engine = Disguiser(db, seed=1)
+    for spec in all_disguises():
+        engine.register(spec)
+    return db, engine
+
+
+import pytest
+
+_capture_manager = None
+
+
+@pytest.fixture(autouse=True)
+def _grab_capture_manager(request):
+    """Remember pytest's capture manager so :func:`print_table` can emit the
+    regenerated paper tables even in a plain (non ``-s``) benchmark run —
+    that is what lands in bench_output.txt."""
+    global _capture_manager
+    _capture_manager = request.config.pluginmanager.getplugin("capturemanager")
+    yield
+
+
+def _emit(lines: list[str]) -> None:
+    def write() -> None:
+        for line in lines:
+            print(line)
+
+    if _capture_manager is not None:
+        with _capture_manager.global_and_fixture_disabled():
+            write()
+    else:
+        write()
+
+
+def print_table(title: str, headers: list[str], rows: list[list]) -> None:
+    """Render a small aligned table, visible in captured benchmark runs."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    out = ["", f"== {title} ==", line, "-" * len(line)]
+    for row in rows:
+        out.append("  ".join(str(cell).ljust(w) for cell, w in zip(row, widths)))
+    _emit(out)
+
+
+def print_line(text: str) -> None:
+    """One uncaptured output line (fit summaries etc.)."""
+    _emit([text])

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The compliance toolkit: explain, audit, statistical privacy, evolution.
+
+A tour of the framework's analysis features (paper §1, §7, §8) on the
+HotCRP case study:
+
+1. **Explain** a disguise before applying it — rows, placeholders,
+   conflicts, composition work (a dry run).
+2. **Audit** the erasure afterwards, DELF-style: FK traces and verbatim
+   identifier copies, including a denormalized one the schema cannot see.
+3. **k-anonymity** as a disguise predicate: find re-identifiable
+   affiliation groups and generalize them (§8).
+4. **Schema evolution** under active disguises: add a column and rename
+   another while a user is scrubbed; their reveal still works.
+
+Run:  python examples/compliance_toolkit.py
+"""
+
+from repro import Disguiser, DisguiseSpec, Modify, TableDisguise
+from repro.apps.hotcrp import (
+    HotcrpPopulation,
+    all_disguises,
+    generate_hotcrp,
+)
+from repro.core.audit import audit_user_erasure, scan_for_pii
+from repro.spec.statistical import (
+    generalize_text,
+    k_anonymity_predicate,
+    k_anonymity_violations,
+)
+from repro.storage.evolve import AddColumn, RenameColumn
+from repro.storage.schema import Column
+from repro.storage.types import ColumnType
+
+BEA = 3
+
+
+def main() -> None:
+    db = generate_hotcrp(
+        population=HotcrpPopulation(users=60, pc_members=6, papers=40, reviews=150),
+        seed=77,
+    )
+    engine = Disguiser(db, seed=9)
+    for spec in all_disguises():
+        engine.register(spec)
+
+    print("== 1. Explain before applying (dry run) ==")
+    plan = engine.explain("HotCRP-GDPR+", uid=BEA)
+    print("  " + plan.describe().replace("\n", "\n  "))
+    assert plan.is_applicable
+
+    print("\n== 2. Apply, then audit the erasure (DELF-style, §7) ==")
+    bea = db.get("ContactInfo", BEA)
+    identifiers = [bea["email"], f"{bea['firstName']} {bea['lastName']}"]
+    # Plant a denormalized copy the schema-driven spec cannot know about:
+    db.update_by_pk(
+        "Paper", 1, {"abstract": f"Thanks to {bea['email']} for comments."}
+    )
+    report = engine.apply("HotCRP-GDPR+", uid=BEA)
+    print(f"  {report.summary()}")
+    findings = audit_user_erasure(db, "ContactInfo", BEA, identifiers=identifiers)
+    print(f"  audit findings: {len(findings)}")
+    for finding in findings:
+        print(f"    LEAK {finding}")
+    print("  -> the verbatim-email leak is exactly what §7's detection "
+          "heuristics exist to catch; fix the spec or the data.")
+
+    print("\n== 3. k-anonymity as a disguise predicate (§8) ==")
+    violations = k_anonymity_violations(db, "ContactInfo", ["affiliation"], k=3)
+    print(f"  affiliations identifying < 3 users: {len(violations)} group(s)")
+    pred = k_anonymity_predicate(db, "ContactInfo", ["affiliation"], k=3)
+    k_spec = DisguiseSpec(
+        "KAnonAffiliation",
+        [
+            TableDisguise(
+                "ContactInfo",
+                transformations=[
+                    Modify(pred, column="affiliation", fn=generalize_text(10),
+                           label="affiliation10"),
+                ],
+            )
+        ],
+    )
+    k_report = engine.apply(k_spec)
+    print(f"  {k_report.summary()}")
+
+    print("\n== 4. Schema evolution with active disguises (§7) ==")
+    migration = engine.evolve_schema(
+        AddColumn("ContactInfo", Column("orcid", ColumnType.TEXT))
+    )
+    print(f"  {migration.describe()}")
+    migration = engine.evolve_schema(
+        RenameColumn("PaperReview", "reviewText", "body")
+    )
+    print(f"  {migration.describe()}")
+
+    reveal = engine.reveal(report.disguise_id, check_integrity=True)
+    print(f"  {reveal.summary()}")
+    restored = db.get("ContactInfo", BEA)
+    print(f"  Bea restored across two schema changes: "
+          f"{restored['firstName']} {restored['lastName']}, orcid={restored['orcid']}")
+
+
+if __name__ == "__main__":
+    main()

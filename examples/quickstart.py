@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Quickstart: define a schema, write a disguise, apply it, reverse it.
+
+This walks the paper's core loop end to end on a tiny blog application:
+
+1. declare the application schema (plain CREATE TABLE text);
+2. write a *disguise specification* — the paper's three fundamental
+   operations (Remove / Modify / Decorrelate) plus placeholder recipes;
+3. apply it through the disguising tool for one user;
+4. inspect what changed and what went into the user's vault;
+5. reveal (reverse) the disguise and verify the exact original state.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Database,
+    Decorrelate,
+    Default,
+    Disguiser,
+    DisguiseSpec,
+    FakeName,
+    Modify,
+    PrivacyAssertion,
+    Remove,
+    Schema,
+    TableDisguise,
+    named_modifier,
+    parse_schema,
+)
+
+SCHEMA = """
+CREATE TABLE users (
+  id INT PRIMARY KEY,
+  name TEXT PII,
+  email TEXT PII,
+  disabled BOOL NOT NULL DEFAULT FALSE
+);
+CREATE TABLE posts (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  title TEXT NOT NULL,
+  body TEXT
+);
+CREATE TABLE likes (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  post_id INT NOT NULL REFERENCES posts(id) ON DELETE CASCADE
+);
+"""
+
+
+def build_database() -> Database:
+    db = Database(Schema(parse_schema(SCHEMA)))
+    db.insert("users", {"id": 1, "name": "Ada", "email": "ada@example.org"})
+    db.insert("users", {"id": 2, "name": "Bea", "email": "bea@example.org"})
+    db.insert("posts", {"id": 10, "user_id": 2, "title": "Hello", "body": "First post!"})
+    db.insert("posts", {"id": 11, "user_id": 2, "title": "Again", "body": "More thoughts."})
+    db.insert("likes", {"id": 100, "user_id": 1, "post_id": 10})
+    db.insert("likes", {"id": 101, "user_id": 2, "post_id": 10})
+    return db
+
+
+def build_disguise() -> DisguiseSpec:
+    """Account deletion that keeps posts, GitHub-@ghost style (paper §2)."""
+    redact, redact_label = named_modifier("redact")
+    return DisguiseSpec(
+        "AccountDeletion",
+        description="Delete the account; keep posts via anonymous placeholders",
+        tables=[
+            TableDisguise(
+                "users",
+                transformations=[Remove("id = $UID")],
+                generate_placeholder={
+                    "name": FakeName(),
+                    "email": Default(None),
+                    "disabled": Default(True),
+                },
+            ),
+            TableDisguise(
+                "posts",
+                transformations=[
+                    # Order matters: transformations run sequentially, and
+                    # decorrelation rewrites user_id — so redact first.
+                    Modify("user_id = $UID", column="body", fn=redact, label=redact_label),
+                    Decorrelate("user_id = $UID", foreign_key="user_id"),
+                ],
+            ),
+            TableDisguise("likes", transformations=[Remove("user_id = $UID")]),
+        ],
+    )
+
+
+def main() -> None:
+    db = build_database()
+    engine = Disguiser(db, seed=2024)
+    warnings = engine.register(build_disguise())
+    for warning in warnings:
+        print(f"spec warning: {warning}")
+
+    print("Before:", db.row_counts())
+    print("Bea's posts:", [p["title"] for p in db.select("posts", "user_id = 2")])
+
+    report = engine.apply(
+        "AccountDeletion",
+        uid=2,
+        assertions=[
+            PrivacyAssertion("account gone", table="users", pred="id = $UID"),
+            PrivacyAssertion("no linked posts", table="posts", pred="user_id = $UID"),
+        ],
+        check_integrity=True,
+    )
+    print("\nApplied:", report.summary())
+    print("After:", db.row_counts())
+    for post in db.select("posts"):
+        owner = db.get("users", post["user_id"])
+        print(
+            f"  post {post['id']} '{post['title']}' now by "
+            f"{owner['name']} (disabled={owner['disabled']})"
+        )
+    print("Vault entries for Bea:", len(engine.vault.entries_for(2)))
+
+    reveal = engine.reveal(report.disguise_id, check_integrity=True)
+    print("\nRevealed:", reveal.summary())
+    print("After reveal:", db.row_counts())
+    print("Bea restored:", db.get("users", 2))
+    assert db.get("users", 2)["name"] == "Bea"
+    assert [p["title"] for p in db.select("posts", "user_id = 2")] == ["Hello", "Again"]
+    print("\nExact original state restored. ✓")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,156 @@
+#!/usr/bin/env python3
+"""Vault deployment models and declarative specs (paper §4.2).
+
+Shows two things the other examples don't:
+
+* **Declarative disguises**: the Figure-3-style JSON document format,
+  parsed with ``spec_from_json`` — disguises as data, not code.
+* **The multi-tier vault**: automatic/global disguises store their reveal
+  functions in a tool-accessible shared tier, while user-invoked disguises
+  go to per-user encrypted vaults. Composition then works without user
+  keys, but revealing a user's own disguise still needs their approval.
+
+Run:  python examples/vault_deployments.py
+"""
+
+import json
+
+from repro import Disguiser, spec_from_json
+from repro.apps.hotcrp import HotcrpPopulation, generate_hotcrp, hotcrp_confanon
+from repro.errors import VaultError
+from repro.vault import EncryptedVault, MemoryVault, MultiTierVault
+
+SCRUB_DOC = {
+    "disguise_name": "DeclarativeScrub",
+    "description": "User scrubbing, written as a JSON document",
+    "tables": {
+        "ContactInfo": {
+            "generate_placeholder": [
+                ["firstName", "fake_name"],
+                ["lastName", ["default", "Placeholder"]],
+                ["email", ["default", None]],
+                ["disabled", ["default", True]],
+            ],
+            "transformations": [{"op": "remove", "pred": "contactId = $UID"}],
+        },
+        "Paper": {
+            "transformations": [
+                {"op": "modify", "pred": "leadContactId = $UID",
+                 "column": "leadContactId", "fn": "null"},
+                {"op": "modify", "pred": "shepherdContactId = $UID",
+                 "column": "shepherdContactId", "fn": "null"},
+                {"op": "modify", "pred": "managerContactId = $UID",
+                 "column": "managerContactId", "fn": "null"},
+            ]
+        },
+        "PaperConflict": {
+            "transformations": [{"op": "remove", "pred": "contactId = $UID"}]
+        },
+        "PaperReview": {
+            "transformations": [
+                {"op": "decorrelate", "pred": "contactId = $UID",
+                 "foreign_key": "contactId"},
+                {"op": "modify", "pred": "requestedBy = $UID",
+                 "column": "requestedBy", "fn": "null"},
+            ]
+        },
+        "PaperReviewPreference": {
+            "transformations": [{"op": "remove", "pred": "contactId = $UID"}]
+        },
+        "PaperReviewRefused": {
+            "transformations": [
+                {"op": "remove", "pred": "contactId = $UID"},
+                {"op": "modify", "pred": "requestedBy = $UID",
+                 "column": "requestedBy", "fn": "null"},
+            ]
+        },
+        "ReviewRequest": {
+            "transformations": [{"op": "remove", "pred": "requestedBy = $UID"}]
+        },
+        "ReviewRating": {
+            "transformations": [
+                {"op": "decorrelate", "pred": "contactId = $UID",
+                 "foreign_key": "contactId"}
+            ]
+        },
+        "PaperComment": {
+            "transformations": [
+                {"op": "decorrelate", "pred": "contactId = $UID",
+                 "foreign_key": "contactId"}
+            ]
+        },
+        "TopicInterest": {
+            "transformations": [{"op": "remove", "pred": "contactId = $UID"}]
+        },
+        "PaperWatch": {
+            "transformations": [{"op": "remove", "pred": "contactId = $UID"}]
+        },
+        "Capability": {
+            "transformations": [{"op": "remove", "pred": "contactId = $UID"}]
+        },
+        "ActionLog": {
+            "transformations": [
+                {"op": "modify", "pred": "contactId = $UID",
+                 "column": "contactId", "fn": "null"},
+                {"op": "modify", "pred": "destContactId = $UID",
+                 "column": "destContactId", "fn": "null"},
+            ]
+        },
+        "Formula": {
+            "transformations": [
+                {"op": "modify", "pred": "createdBy = $UID",
+                 "column": "createdBy", "fn": "null"}
+            ]
+        },
+    },
+}
+
+USER = 3
+
+
+def main() -> None:
+    db = generate_hotcrp(
+        population=HotcrpPopulation(users=50, pc_members=5, papers=40, reviews=120),
+        seed=41,
+    )
+
+    print("== Declarative spec: parse Figure-3-style JSON ==")
+    spec = spec_from_json(json.dumps(SCRUB_DOC))
+    print(f"  parsed {spec.name!r}: {len(spec.tables)} tables, "
+          f"{spec.loc()} spec LoC, user disguise: {spec.is_user_disguise}")
+
+    print("\n== Multi-tier vault (paper §4.2) ==")
+    user_tier = EncryptedVault(MemoryVault())
+    user_key = user_tier.register_owner(USER)
+    vault = MultiTierVault(user_tier, shared_tier=MemoryVault())
+    engine = Disguiser(db, vault=vault, seed=6)
+    engine.register(spec)
+    engine.register(hotcrp_confanon())
+
+    print("  1. user-invoked scrub -> entries go to the encrypted user tier")
+    scrub = engine.apply(spec.name, uid=USER)
+    print(f"     {scrub.summary()}")
+
+    print("  2. automatic ConfAnon -> entries go to the shared tier")
+    anon = engine.apply("HotCRP-ConfAnon")
+    print(f"     {anon.summary()}")
+    other = USER + 1  # an unscrubbed user
+    shared = vault.shared_entries_for(other)
+    print(f"     shared-tier entries for (unscrubbed) user {other}: {len(shared)} "
+          f"(readable by the tool without any key)")
+
+    print("  3. revealing the user's scrub needs their approval:")
+    try:
+        engine.reveal(scrub.disguise_id)
+    except VaultError as exc:
+        print(f"     blocked: {exc}")
+    user_tier.unlock(USER, user_key)
+    reveal = engine.reveal(scrub.disguise_id, check_integrity=True)
+    print(f"     after unlock: {reveal.summary()}")
+    contact = db.get("ContactInfo", USER)
+    print(f"     account back (anonymized by active ConfAnon): "
+          f"{contact['firstName']!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,1 @@
+"""Case-study applications: HotCRP and Lobsters (paper §6)."""

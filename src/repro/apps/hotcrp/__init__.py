@@ -1,0 +1,36 @@
+"""HotCRP case study: schema (25 object types), data generator, disguises."""
+
+from repro.apps.hotcrp.app import (
+    check_invariants,
+    scrub_assertions,
+    user_activity,
+    user_footprint,
+)
+from repro.apps.hotcrp.disguises import (
+    all_disguises,
+    hotcrp_confanon,
+    hotcrp_gdpr,
+    hotcrp_gdpr_plus,
+)
+from repro.apps.hotcrp.generate import HotcrpPopulation, generate_hotcrp
+from repro.apps.hotcrp.schema import SCHEMA_DDL, hotcrp_schema, schema_loc
+
+__all__ = [
+    "SCHEMA_DDL",
+    "hotcrp_schema",
+    "schema_loc",
+    "HotcrpPopulation",
+    "generate_hotcrp",
+    "hotcrp_gdpr",
+    "hotcrp_gdpr_plus",
+    "hotcrp_confanon",
+    "all_disguises",
+    "check_invariants",
+    "user_activity",
+    "scrub_assertions",
+    "user_footprint",
+]
+
+from repro.apps.hotcrp import workload
+
+__all__.append("workload")

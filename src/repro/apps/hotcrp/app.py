@@ -1,0 +1,93 @@
+"""Application-level helpers for the HotCRP case study.
+
+These model the *application's* view of the database: invariants it relies
+on (referential integrity plus HotCRP-specific ones) and the activity
+signal the expiration/decay schedulers consume. Disguises must preserve
+``check_invariants``; the case-study tests assert it after every apply,
+reveal, and composition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.assertions import PrivacyAssertion
+from repro.storage.database import Database
+
+__all__ = [
+    "check_invariants",
+    "user_activity",
+    "scrub_assertions",
+    "user_footprint",
+]
+
+
+def check_invariants(db: Database) -> list[str]:
+    """HotCRP invariants beyond referential integrity. Empty list = clean.
+
+    * every review belongs to an existing, non-NULL contact and paper
+      (implied by NOT NULL + FK, but re-checked explicitly);
+    * placeholder-style accounts (no email) must be disabled, so they can
+      never log in (§3: "placeholder users should be disabled");
+    * review ratings reference live reviews.
+    """
+    problems = list(db.check_integrity())
+    for contact in db.select("ContactInfo", "email IS NULL"):
+        if not contact["disabled"]:
+            problems.append(
+                f"ContactInfo {contact['contactId']} has no email but is enabled"
+            )
+    for review in db.select("PaperReview"):
+        if review["contactId"] is None:
+            problems.append(f"PaperReview {review['reviewId']} has no contact")
+    return problems
+
+
+def user_activity(db: Database) -> Mapping[Any, float]:
+    """Last-login per user, for expiration/decay policies (§2)."""
+    return {
+        row["contactId"]: row["lastLogin"] if row["lastLogin"] is not None else 0.0
+        for row in db.select("ContactInfo", "disabled = FALSE")
+    }
+
+
+def scrub_assertions() -> list[PrivacyAssertion]:
+    """Privacy goals of user scrubbing, as end-state assertions (§7).
+
+    "user no longer has any reviews" is the paper's own example.
+    """
+    return [
+        PrivacyAssertion("account deleted", table="ContactInfo", pred="contactId = $UID"),
+        PrivacyAssertion("no reviews", table="PaperReview", pred="contactId = $UID"),
+        PrivacyAssertion("no preferences", table="PaperReviewPreference", pred="contactId = $UID"),
+        PrivacyAssertion("no authorships", table="PaperConflict", pred="contactId = $UID"),
+        PrivacyAssertion("no comments", table="PaperComment", pred="contactId = $UID"),
+        PrivacyAssertion("no watches", table="PaperWatch", pred="contactId = $UID"),
+    ]
+
+
+def user_footprint(db: Database, uid: int) -> dict[str, int]:
+    """How many rows in each user-linked table mention *uid* — the tracing
+    a developer would otherwise do by hand (§2)."""
+    checks = {
+        "ContactInfo": "contactId = $UID",
+        "PaperConflict": "contactId = $UID",
+        "PaperReview": "contactId = $UID OR requestedBy = $UID",
+        "PaperReviewPreference": "contactId = $UID",
+        "PaperReviewRefused": "contactId = $UID OR requestedBy = $UID",
+        "ReviewRequest": "requestedBy = $UID",
+        "ReviewRating": "contactId = $UID",
+        "PaperComment": "contactId = $UID",
+        "TopicInterest": "contactId = $UID",
+        "PaperWatch": "contactId = $UID",
+        "Capability": "contactId = $UID",
+        "ActionLog": "contactId = $UID OR destContactId = $UID",
+        "Formula": "createdBy = $UID",
+        "Paper": (
+            "leadContactId = $UID OR shepherdContactId = $UID "
+            "OR managerContactId = $UID"
+        ),
+    }
+    return {
+        table: db.count(table, pred, {"UID": uid}) for table, pred in checks.items()
+    }

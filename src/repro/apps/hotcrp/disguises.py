@@ -1,0 +1,286 @@
+"""The three HotCRP disguises evaluated in the paper (§3, §6).
+
+* ``HotCRP-GDPR`` — HotCRP's *current* account-deletion policy: when a
+  user deletes their account, "the HotCRP code transitively deletes all of
+  the user's data, including their reviews" (§3).
+* ``HotCRP-GDPR+`` — *user scrubbing* (§3): delete the account, the data
+  only relevant to the user (preferences, watches, capabilities), and the
+  contact-author relationships, but *retain* reviews and comments by
+  decorrelating them to per-row anonymous placeholders (Figure 2).
+* ``HotCRP-ConfAnon`` — anonymize the entire conference: scrub all user
+  PII and decorrelate every review, comment, and rating from its author.
+
+Every foreign key into ``ContactInfo`` is addressed (the schema is
+RESTRICT), so applying these disguises preserves referential integrity by
+construction.
+"""
+
+from __future__ import annotations
+
+from repro.spec.disguise import DisguiseSpec, TableDisguise
+from repro.spec.generate import Default, FakeName
+from repro.spec.transform import Decorrelate, Modify, Remove, named_modifier
+
+__all__ = ["hotcrp_gdpr", "hotcrp_gdpr_plus", "hotcrp_confanon", "all_disguises"]
+
+
+def _placeholder_contact() -> dict:
+    """Placeholder users are disabled and carry no PII (paper §3: "suitable
+    default values; ... placeholder users should be disabled")."""
+    return {
+        "firstName": FakeName(),
+        "lastName": Default("Placeholder"),
+        "email": Default(None),
+        "affiliation": Default(None),
+        "collaborators": Default(None),
+        "password": Default(None),
+        "disabled": Default(True),
+    }
+
+
+def _null(pred: str, column: str) -> Modify:
+    fn, label = named_modifier("null")
+    return Modify(pred, column=column, fn=fn, label=label)
+
+
+def _redact(pred: str, column: str) -> Modify:
+    fn, label = named_modifier("redact")
+    return Modify(pred, column=column, fn=fn, label=label)
+
+
+def _anon_email(value):
+    """Replace an address with a stable, undeliverable token.
+
+    Live (enabled) accounts must keep *some* email — HotCRP treats
+    email-less accounts as disabled placeholders — so anonymization maps
+    to a synthetic address rather than NULL.
+    """
+    if value is None:
+        return None
+    token = format(hash(("hotcrp-anon", value)) & 0xFFFFFFFFFF, "010x")
+    return f"{token}@anon.invalid"
+
+
+def hotcrp_gdpr() -> DisguiseSpec:
+    """Current HotCRP account deletion: transitively delete everything."""
+    return DisguiseSpec(
+        "HotCRP-GDPR",
+        description="Transitive deletion of the user's account and all contributions",
+        tables=[
+            TableDisguise(
+                "Paper",
+                transformations=[
+                    _null("leadContactId = $UID", "leadContactId"),
+                    _null("shepherdContactId = $UID", "shepherdContactId"),
+                    _null("managerContactId = $UID", "managerContactId"),
+                ],
+            ),
+            TableDisguise(
+                "PaperConflict", transformations=[Remove("contactId = $UID")]
+            ),
+            TableDisguise(
+                # Ratings of the user's reviews cascade with the review;
+                # ratings *by* the user are removed explicitly.
+                "ReviewRating", transformations=[Remove("contactId = $UID")]
+            ),
+            TableDisguise(
+                "PaperReview",
+                transformations=[
+                    Remove("contactId = $UID"),
+                    _null("requestedBy = $UID", "requestedBy"),
+                ],
+            ),
+            TableDisguise(
+                "PaperReviewPreference", transformations=[Remove("contactId = $UID")]
+            ),
+            TableDisguise(
+                "PaperReviewRefused",
+                transformations=[
+                    Remove("contactId = $UID"),
+                    _null("requestedBy = $UID", "requestedBy"),
+                ],
+            ),
+            TableDisguise(
+                "ReviewRequest", transformations=[Remove("requestedBy = $UID")]
+            ),
+            TableDisguise(
+                "PaperComment", transformations=[Remove("contactId = $UID")]
+            ),
+            TableDisguise(
+                "TopicInterest", transformations=[Remove("contactId = $UID")]
+            ),
+            TableDisguise("PaperWatch", transformations=[Remove("contactId = $UID")]),
+            TableDisguise("Capability", transformations=[Remove("contactId = $UID")]),
+            TableDisguise(
+                "ActionLog",
+                transformations=[
+                    _null("contactId = $UID", "contactId"),
+                    _null("destContactId = $UID", "destContactId"),
+                    _redact("contactId IS NULL AND ipaddr LIKE '10.%'", "ipaddr"),
+                ],
+            ),
+            TableDisguise("Formula", transformations=[_null("createdBy = $UID", "createdBy")]),
+            TableDisguise("ContactInfo", transformations=[Remove("contactId = $UID")]),
+        ],
+    )
+
+
+def hotcrp_gdpr_plus() -> DisguiseSpec:
+    """User scrubbing (§3): delete the user, retain decorrelated reviews.
+
+    Steps match the paper's enumeration: (1) delete the account,
+    (2) delete data only relevant to the user, (3) delete contact-author
+    relationships, (4)+(5) decorrelate retained contributions to fresh
+    placeholder users.
+    """
+    return DisguiseSpec(
+        "HotCRP-GDPR+",
+        description="User scrubbing: delete the user, keep reviews via placeholders",
+        tables=[
+            TableDisguise(
+                "ContactInfo",
+                transformations=[Remove("contactId = $UID")],
+                generate_placeholder=_placeholder_contact(),
+            ),
+            TableDisguise(
+                "Paper",
+                transformations=[
+                    _null("leadContactId = $UID", "leadContactId"),
+                    _null("shepherdContactId = $UID", "shepherdContactId"),
+                    _null("managerContactId = $UID", "managerContactId"),
+                ],
+            ),
+            TableDisguise(
+                "PaperConflict", transformations=[Remove("contactId = $UID")]
+            ),
+            TableDisguise(
+                "PaperReview",
+                transformations=[
+                    Decorrelate("contactId = $UID", foreign_key="contactId"),
+                    _null("requestedBy = $UID", "requestedBy"),
+                ],
+            ),
+            TableDisguise(
+                "PaperReviewPreference", transformations=[Remove("contactId = $UID")]
+            ),
+            TableDisguise(
+                "PaperReviewRefused",
+                transformations=[
+                    Remove("contactId = $UID"),
+                    _null("requestedBy = $UID", "requestedBy"),
+                ],
+            ),
+            TableDisguise(
+                "ReviewRequest", transformations=[Remove("requestedBy = $UID")]
+            ),
+            TableDisguise(
+                "ReviewRating",
+                transformations=[Decorrelate("contactId = $UID", foreign_key="contactId")],
+            ),
+            TableDisguise(
+                "PaperComment",
+                transformations=[Decorrelate("contactId = $UID", foreign_key="contactId")],
+            ),
+            TableDisguise(
+                "TopicInterest", transformations=[Remove("contactId = $UID")]
+            ),
+            TableDisguise("PaperWatch", transformations=[Remove("contactId = $UID")]),
+            TableDisguise("Capability", transformations=[Remove("contactId = $UID")]),
+            TableDisguise(
+                "ActionLog",
+                transformations=[
+                    _null("contactId = $UID", "contactId"),
+                    _null("destContactId = $UID", "destContactId"),
+                ],
+            ),
+            TableDisguise("Formula", transformations=[_null("createdBy = $UID", "createdBy")]),
+        ],
+    )
+
+
+def hotcrp_confanon() -> DisguiseSpec:
+    """Conference anonymization: scrub all users, decorrelate everything."""
+    return DisguiseSpec(
+        "HotCRP-ConfAnon",
+        description="Anonymize all conference data (reversible, global)",
+        tables=[
+            TableDisguise(
+                "ContactInfo",
+                owner_column="contactId",
+                generate_placeholder=_placeholder_contact(),
+                transformations=[
+                    _redact("TRUE", "firstName"),
+                    _redact("TRUE", "lastName"),
+                    Modify("email IS NOT NULL", column="email", fn=_anon_email, label="anon_email"),
+                    _null("TRUE", "affiliation"),
+                    _null("TRUE", "collaborators"),
+                ],
+            ),
+            TableDisguise(
+                "Paper",
+                transformations=[
+                    _redact("authorInformation IS NOT NULL", "authorInformation"),
+                    _null("leadContactId IS NOT NULL", "leadContactId"),
+                    _null("shepherdContactId IS NOT NULL", "shepherdContactId"),
+                    _null("managerContactId IS NOT NULL", "managerContactId"),
+                ],
+            ),
+            TableDisguise(
+                "PaperReview",
+                owner_column="contactId",
+                transformations=[
+                    Decorrelate("TRUE", foreign_key="contactId"),
+                    _null("requestedBy IS NOT NULL", "requestedBy"),
+                ],
+            ),
+            TableDisguise(
+                "PaperComment",
+                owner_column="contactId",
+                transformations=[Decorrelate("TRUE", foreign_key="contactId")],
+            ),
+            TableDisguise(
+                "ReviewRating",
+                owner_column="contactId",
+                transformations=[Decorrelate("TRUE", foreign_key="contactId")],
+            ),
+            TableDisguise(
+                "PaperReviewPreference",
+                owner_column="contactId",
+                transformations=[Remove("TRUE")],
+            ),
+            TableDisguise(
+                "TopicInterest",
+                owner_column="contactId",
+                transformations=[Remove("TRUE")],
+            ),
+            TableDisguise(
+                "ReviewRequest",
+                transformations=[
+                    _redact("TRUE", "email"),
+                    _redact("TRUE", "firstName"),
+                    _redact("TRUE", "lastName"),
+                    _null("requestedBy IS NOT NULL", "requestedBy"),
+                ],
+            ),
+            TableDisguise(
+                "ActionLog",
+                owner_column="contactId",
+                transformations=[
+                    _redact("ipaddr IS NOT NULL", "ipaddr"),
+                    _null("contactId IS NOT NULL", "contactId"),
+                    _null("destContactId IS NOT NULL", "destContactId"),
+                ],
+            ),
+            TableDisguise(
+                "MailLog",
+                transformations=[
+                    _redact("recipients IS NOT NULL", "recipients"),
+                    _null("cc IS NOT NULL", "cc"),
+                ],
+            ),
+        ],
+    )
+
+
+def all_disguises() -> list[DisguiseSpec]:
+    return [hotcrp_gdpr(), hotcrp_gdpr_plus(), hotcrp_confanon()]

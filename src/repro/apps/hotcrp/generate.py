@@ -1,0 +1,337 @@
+"""Synthetic HotCRP conference data, sized per the paper's §6 experiment.
+
+"a HotCRP database with 430 users (30 PC members), 450 papers, and 1400
+reviews" — :func:`generate_hotcrp` reproduces exactly that population at
+``scale=1.0`` and scales every table linearly for the linearity benchmark
+(E2). Generation is deterministic under a fixed seed.
+
+Population model (scale 1.0):
+
+* 430 users: contacts 1..430; the first 30 are PC members (``roles=1``).
+* 450 papers with 1-3 authors each (author contacts + PaperConflict rows).
+* 1400 reviews, distributed round-robin over PC members.
+* Review preferences for PC members (~30 each), topic interests, watches,
+  comments, ratings, documents, action log — all proportional.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.hotcrp.schema import hotcrp_schema
+from repro.storage.database import Database
+
+__all__ = ["HotcrpPopulation", "generate_hotcrp"]
+
+_FIRST = ("Ada", "Bea", "Cyd", "Dov", "Eva", "Fay", "Gil", "Hal", "Ida", "Jun",
+          "Kai", "Lia", "Mo", "Nia", "Oz", "Pia", "Quin", "Rex", "Sol", "Tia")
+_LAST = ("Adams", "Baker", "Clark", "Diaz", "Evans", "Ford", "Gray", "Hahn",
+         "Ito", "Jain", "Kim", "Lee", "Moss", "Ng", "Ochs", "Park", "Qi",
+         "Roy", "Shaw", "Tan")
+_TOPICS = ("Systems", "Networks", "Security", "Databases", "PL", "Arch",
+           "HCI", "Theory", "ML", "OS")
+
+
+@dataclass(frozen=True)
+class HotcrpPopulation:
+    """Row counts for one generated conference."""
+
+    users: int = 430
+    pc_members: int = 30
+    papers: int = 450
+    reviews: int = 1400
+
+    @classmethod
+    def at_scale(cls, scale: float) -> "HotcrpPopulation":
+        return cls(
+            users=max(4, round(430 * scale)),
+            pc_members=max(2, round(30 * scale)),
+            papers=max(2, round(450 * scale)),
+            reviews=max(2, round(1400 * scale)),
+        )
+
+
+def generate_hotcrp(
+    scale: float = 1.0,
+    seed: int = 42,
+    population: HotcrpPopulation | None = None,
+) -> Database:
+    """Build a populated HotCRP database.
+
+    PC members are contacts ``1..pc_members``; they hold the reviews and
+    preferences, so they are the interesting GDPR+ subjects (the paper's
+    composition experiment scrubs "a PC member").
+    """
+    pop = population or HotcrpPopulation.at_scale(scale)
+    rng = random.Random(seed)
+    db = Database(hotcrp_schema())
+
+    # -- topics and settings ----------------------------------------------------
+    for topic_id, name in enumerate(_TOPICS, start=1):
+        db.insert("TopicArea", {"topicId": topic_id, "topicName": name})
+    db.insert("Settings", {"name": "sub_open", "value": 1, "data": None})
+    db.insert("Settings", {"name": "rev_open", "value": 1, "data": None})
+
+    # -- users -------------------------------------------------------------------
+    for uid in range(1, pop.users + 1):
+        first = rng.choice(_FIRST)
+        last = rng.choice(_LAST)
+        db.insert(
+            "ContactInfo",
+            {
+                "contactId": uid,
+                "firstName": first,
+                "lastName": last,
+                "email": f"{first.lower()}.{last.lower()}.{uid}@example.edu",
+                "affiliation": f"University {1 + uid % 40}",
+                "collaborators": f"collab-{rng.randint(1, pop.users)}",
+                "country": rng.choice(("US", "DE", "JP", "BR", "IN")),
+                "roles": 1 if uid <= pop.pc_members else 0,
+                "disabled": False,
+                "password": f"hash-{rng.getrandbits(48):012x}",
+                "lastLogin": float(rng.randint(1_000, 100_000)),
+            },
+        )
+
+    # -- papers, authors (conflicts), topics, documents ----------------------------
+    storage_id = 1
+    conflict_id = 1
+    paper_topic_id = 1
+    option_id = 1
+    for pid in range(1, pop.papers + 1):
+        # Authors are non-PC contacts where possible, mirroring a real PC.
+        n_authors = rng.randint(1, 3)
+        author_pool = range(pop.pc_members + 1, pop.users + 1)
+        authors = rng.sample(list(author_pool), min(n_authors, len(author_pool)))
+        db.insert(
+            "Paper",
+            {
+                "paperId": pid,
+                "title": f"Paper {pid}: {rng.choice(_TOPICS)} considered harmful",
+                "abstract": f"Abstract of paper {pid}.",
+                "authorInformation": "; ".join(f"contact {a}" for a in authors),
+                "outcome": 0,
+                "leadContactId": rng.randint(1, pop.pc_members) if rng.random() < 0.5 else None,
+                "shepherdContactId": None,
+                "managerContactId": None,
+                "timeSubmitted": float(rng.randint(1_000, 50_000)),
+            },
+        )
+        for author in authors:
+            db.insert(
+                "PaperConflict",
+                {
+                    "paperConflictId": conflict_id,
+                    "paperId": pid,
+                    "contactId": author,
+                    "conflictType": 9,  # CONFLICT_CONTACTAUTHOR
+                },
+            )
+            conflict_id += 1
+        for topic in rng.sample(range(1, len(_TOPICS) + 1), rng.randint(1, 3)):
+            db.insert(
+                "PaperTopic",
+                {"paperTopicId": paper_topic_id, "paperId": pid, "topicId": topic},
+            )
+            paper_topic_id += 1
+        db.insert(
+            "PaperStorage",
+            {
+                "paperStorageId": storage_id,
+                "paperId": pid,
+                "mimetype": "application/pdf",
+                "sha1": f"{rng.getrandbits(64):016x}",
+                "size": rng.randint(50_000, 2_000_000),
+                "timestamp": float(rng.randint(1_000, 50_000)),
+            },
+        )
+        db.insert(
+            "DocumentLink",
+            {"linkId": storage_id, "paperId": pid, "documentId": storage_id, "linkType": 0},
+        )
+        storage_id += 1
+        if rng.random() < 0.2:
+            db.insert(
+                "PaperOption",
+                {
+                    "optionId": option_id,
+                    "paperId": pid,
+                    "optionName": "artifact",
+                    "value": 1,
+                    "data": None,
+                },
+            )
+            option_id += 1
+
+    # -- reviews: round-robin over the PC ----------------------------------------------
+    for rid in range(1, pop.reviews + 1):
+        reviewer = 1 + (rid - 1) % pop.pc_members
+        pid = 1 + (rid - 1) % pop.papers
+        db.insert(
+            "PaperReview",
+            {
+                "reviewId": rid,
+                "paperId": pid,
+                "contactId": reviewer,
+                "requestedBy": 1 + rng.randrange(pop.pc_members) if rng.random() < 0.3 else None,
+                "reviewType": 2,
+                "reviewSubmitted": float(rng.randint(1_000, 50_000)),
+                "overAllMerit": rng.randint(1, 5),
+                "reviewText": f"Review {rid} of paper {pid}. Sound but incremental.",
+            },
+        )
+
+    # -- PC activity: preferences, interests, watches ------------------------------------
+    pref_id = 1
+    interest_id = 1
+    watch_id = 1
+    for member in range(1, pop.pc_members + 1):
+        for pid in rng.sample(range(1, pop.papers + 1), min(30, pop.papers)):
+            db.insert(
+                "PaperReviewPreference",
+                {
+                    "prefId": pref_id,
+                    "paperId": pid,
+                    "contactId": member,
+                    "preference": rng.randint(-20, 20),
+                    "expertise": rng.randint(-2, 2),
+                },
+            )
+            pref_id += 1
+        for topic in rng.sample(range(1, len(_TOPICS) + 1), 3):
+            db.insert(
+                "TopicInterest",
+                {
+                    "interestId": interest_id,
+                    "contactId": member,
+                    "topicId": topic,
+                    "interest": rng.choice((-2, 2)),
+                },
+            )
+            interest_id += 1
+        for pid in rng.sample(range(1, pop.papers + 1), min(3, pop.papers)):
+            db.insert(
+                "PaperWatch",
+                {"watchId": watch_id, "paperId": pid, "contactId": member, "watch": 1},
+            )
+            watch_id += 1
+
+    # -- comments and review ratings (PC discussion) ---------------------------------------
+    n_comments = max(1, pop.reviews // 3)
+    for cid in range(1, n_comments + 1):
+        db.insert(
+            "PaperComment",
+            {
+                "commentId": cid,
+                "paperId": 1 + (cid - 1) % pop.papers,
+                "contactId": 1 + rng.randrange(pop.pc_members),
+                "comment": f"Comment {cid}: I lean accept.",
+                "commentType": 0,
+                "timeModified": float(rng.randint(1_000, 50_000)),
+            },
+        )
+    n_ratings = max(1, pop.reviews // 2)
+    for rating_id in range(1, n_ratings + 1):
+        db.insert(
+            "ReviewRating",
+            {
+                "ratingId": rating_id,
+                "reviewId": 1 + rng.randrange(pop.reviews),
+                "contactId": 1 + rng.randrange(pop.pc_members),
+                "rating": rng.choice((-1, 1)),
+            },
+        )
+
+    # -- requests, refusals, capabilities, logs ------------------------------------------------
+    n_requests = max(1, pop.reviews // 20)
+    for request_id in range(1, n_requests + 1):
+        db.insert(
+            "ReviewRequest",
+            {
+                "requestId": request_id,
+                "paperId": 1 + rng.randrange(pop.papers),
+                "email": f"external{request_id}@example.org",
+                "firstName": rng.choice(_FIRST),
+                "lastName": rng.choice(_LAST),
+                "requestedBy": 1 + rng.randrange(pop.pc_members),
+            },
+        )
+        db.insert(
+            "PaperReviewRefused",
+            {
+                "refusedId": request_id,
+                "paperId": 1 + rng.randrange(pop.papers),
+                "contactId": 1 + rng.randrange(pop.users),
+                "requestedBy": 1 + rng.randrange(pop.pc_members),
+                "reason": "conflict of interest",
+            },
+        )
+    for cap_id in range(1, max(2, pop.users // 20)):
+        db.insert(
+            "Capability",
+            {
+                "capId": cap_id,
+                "capabilityType": 1,
+                "contactId": 1 + rng.randrange(pop.users),
+                "paperId": 1 + rng.randrange(pop.papers),
+                "salt": f"{rng.getrandbits(64):016x}",
+                "timeExpires": float(rng.randint(50_000, 99_000)),
+            },
+        )
+    n_log = max(2, pop.users)
+    for log_id in range(1, n_log + 1):
+        actor = 1 + rng.randrange(pop.users)
+        db.insert(
+            "ActionLog",
+            {
+                "logId": log_id,
+                "contactId": actor,
+                "destContactId": None,
+                "paperId": 1 + rng.randrange(pop.papers) if rng.random() < 0.7 else None,
+                "ipaddr": f"10.{actor % 256}.{rng.randrange(256)}.{rng.randrange(256)}",
+                "action": rng.choice(("login", "review_update", "paper_view")),
+                "timestamp": float(rng.randint(1_000, 99_000)),
+            },
+        )
+    for mail_id in range(1, max(2, pop.papers // 10)):
+        db.insert(
+            "MailLog",
+            {
+                "mailId": mail_id,
+                "recipients": f"contact{1 + rng.randrange(pop.users)}@example.edu",
+                "cc": None,
+                "subject": "Review reminder",
+                "emailBody": "Please submit your reviews.",
+                "timestamp": float(rng.randint(1_000, 99_000)),
+            },
+        )
+    for formula_id in range(1, 4):
+        db.insert(
+            "Formula",
+            {
+                "formulaId": formula_id,
+                "name": f"formula{formula_id}",
+                "expression": "avg(OveMer)",
+                "createdBy": 1 + rng.randrange(pop.pc_members),
+            },
+        )
+    for anno_id, tag in enumerate(("accept", "reject", "discuss"), start=1):
+        db.insert("PaperTagAnno", {"annoId": anno_id, "tag": tag, "heading": tag.title()})
+    tag_id = 1
+    for pid in range(1, pop.papers + 1):
+        if rng.random() < 0.3:
+            db.insert(
+                "PaperTag",
+                {
+                    "tagId": tag_id,
+                    "paperId": pid,
+                    "tag": rng.choice(("accept", "reject", "discuss")),
+                    "tagIndex": None,
+                },
+            )
+            tag_id += 1
+
+    db.assert_integrity()
+    db.stats.reset()
+    return db

@@ -1,0 +1,239 @@
+"""HotCRP-like conference review schema: 25 object types (paper Figure 4).
+
+A faithful subset of HotCRP's MySQL schema, reduced to the columns the
+disguises and the evaluation touch. Foreign keys into ``ContactInfo`` are
+RESTRICT by default so a disguise that removes a user *must* address every
+referencing table — exactly the "extensive tracing of user identities
+through application data schemas" burden (§2) the framework absorbs.
+``ReviewRating.reviewId`` cascades: deleting a review takes its ratings
+with it (the engine vaults cascaded rows, keeping removal reversible).
+
+``SCHEMA_DDL`` is the source of truth; :func:`hotcrp_schema` parses it.
+Its line count is the "Schema LoC" column of the Figure 4 reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.storage.schema import Schema
+from repro.storage.sql import parse_schema
+
+__all__ = ["SCHEMA_DDL", "hotcrp_schema", "schema_loc", "USER_TABLE"]
+
+USER_TABLE = "ContactInfo"
+
+SCHEMA_DDL = """
+CREATE TABLE ContactInfo (
+  contactId INT PRIMARY KEY,
+  firstName TEXT PII,
+  lastName TEXT PII,
+  email TEXT PII,
+  affiliation TEXT PII,
+  collaborators TEXT PII,
+  country TEXT,
+  roles INT NOT NULL DEFAULT 0,
+  disabled BOOL NOT NULL DEFAULT FALSE,
+  password TEXT,
+  lastLogin DATETIME
+);
+
+CREATE TABLE Settings (
+  name TEXT PRIMARY KEY,
+  value INT,
+  data TEXT
+);
+
+CREATE TABLE TopicArea (
+  topicId INT PRIMARY KEY,
+  topicName TEXT NOT NULL
+);
+
+CREATE TABLE Paper (
+  paperId INT PRIMARY KEY,
+  title TEXT NOT NULL,
+  abstract TEXT,
+  authorInformation TEXT PII,
+  outcome INT NOT NULL DEFAULT 0,
+  leadContactId INT REFERENCES ContactInfo(contactId),
+  shepherdContactId INT REFERENCES ContactInfo(contactId),
+  managerContactId INT REFERENCES ContactInfo(contactId),
+  timeSubmitted DATETIME
+);
+
+CREATE TABLE PaperConflict (
+  paperConflictId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  contactId INT NOT NULL REFERENCES ContactInfo(contactId),
+  conflictType INT NOT NULL DEFAULT 0
+);
+
+CREATE TABLE PaperReview (
+  reviewId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  contactId INT NOT NULL REFERENCES ContactInfo(contactId),
+  requestedBy INT REFERENCES ContactInfo(contactId),
+  reviewType INT NOT NULL DEFAULT 1,
+  reviewSubmitted DATETIME,
+  overAllMerit INT,
+  reviewText TEXT
+);
+
+CREATE TABLE PaperReviewPreference (
+  prefId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  contactId INT NOT NULL REFERENCES ContactInfo(contactId),
+  preference INT NOT NULL DEFAULT 0,
+  expertise INT
+);
+
+CREATE TABLE PaperReviewRefused (
+  refusedId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  contactId INT NOT NULL REFERENCES ContactInfo(contactId),
+  requestedBy INT REFERENCES ContactInfo(contactId),
+  reason TEXT
+);
+
+CREATE TABLE ReviewRequest (
+  requestId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  email TEXT PII,
+  firstName TEXT PII,
+  lastName TEXT PII,
+  requestedBy INT REFERENCES ContactInfo(contactId)
+);
+
+CREATE TABLE ReviewRating (
+  ratingId INT PRIMARY KEY,
+  reviewId INT NOT NULL REFERENCES PaperReview(reviewId) ON DELETE CASCADE,
+  contactId INT NOT NULL REFERENCES ContactInfo(contactId),
+  rating INT NOT NULL DEFAULT 0
+);
+
+CREATE TABLE PaperComment (
+  commentId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  contactId INT NOT NULL REFERENCES ContactInfo(contactId),
+  comment TEXT,
+  commentType INT NOT NULL DEFAULT 0,
+  timeModified DATETIME
+);
+
+CREATE TABLE PaperTag (
+  tagId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  tag TEXT NOT NULL,
+  tagIndex REAL
+);
+
+CREATE TABLE PaperTagAnno (
+  annoId INT PRIMARY KEY,
+  tag TEXT NOT NULL,
+  heading TEXT
+);
+
+CREATE TABLE PaperTopic (
+  paperTopicId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  topicId INT NOT NULL REFERENCES TopicArea(topicId)
+);
+
+CREATE TABLE TopicInterest (
+  interestId INT PRIMARY KEY,
+  contactId INT NOT NULL REFERENCES ContactInfo(contactId),
+  topicId INT NOT NULL REFERENCES TopicArea(topicId),
+  interest INT NOT NULL DEFAULT 0
+);
+
+CREATE TABLE PaperWatch (
+  watchId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  contactId INT NOT NULL REFERENCES ContactInfo(contactId),
+  watch INT NOT NULL DEFAULT 0
+);
+
+CREATE TABLE PaperStorage (
+  paperStorageId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  mimetype TEXT,
+  sha1 TEXT,
+  size INT NOT NULL DEFAULT 0,
+  timestamp DATETIME
+);
+
+CREATE TABLE DocumentLink (
+  linkId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  documentId INT NOT NULL REFERENCES PaperStorage(paperStorageId),
+  linkType INT NOT NULL DEFAULT 0
+);
+
+CREATE TABLE FilteredDocument (
+  filterId INT PRIMARY KEY,
+  inDocId INT NOT NULL REFERENCES PaperStorage(paperStorageId),
+  outDocId INT NOT NULL REFERENCES PaperStorage(paperStorageId)
+);
+
+CREATE TABLE Capability (
+  capId INT PRIMARY KEY,
+  capabilityType INT NOT NULL DEFAULT 0,
+  contactId INT NOT NULL REFERENCES ContactInfo(contactId),
+  paperId INT REFERENCES Paper(paperId),
+  salt TEXT,
+  timeExpires DATETIME
+);
+
+CREATE TABLE ActionLog (
+  logId INT PRIMARY KEY,
+  contactId INT REFERENCES ContactInfo(contactId),
+  destContactId INT REFERENCES ContactInfo(contactId),
+  paperId INT REFERENCES Paper(paperId),
+  ipaddr TEXT PII,
+  action TEXT,
+  timestamp DATETIME
+);
+
+CREATE TABLE MailLog (
+  mailId INT PRIMARY KEY,
+  recipients TEXT PII,
+  cc TEXT PII,
+  subject TEXT,
+  emailBody TEXT,
+  timestamp DATETIME
+);
+
+CREATE TABLE DeletedContactInfo (
+  deletedContactId INT PRIMARY KEY,
+  contactId INT NOT NULL,
+  firstName TEXT PII,
+  lastName TEXT PII,
+  email TEXT PII,
+  deletedAt DATETIME
+);
+
+CREATE TABLE Formula (
+  formulaId INT PRIMARY KEY,
+  name TEXT NOT NULL,
+  expression TEXT,
+  createdBy INT REFERENCES ContactInfo(contactId)
+);
+
+CREATE TABLE PaperOption (
+  optionId INT PRIMARY KEY,
+  paperId INT NOT NULL REFERENCES Paper(paperId),
+  optionName TEXT NOT NULL,
+  value INT,
+  data TEXT
+);
+"""
+
+
+def hotcrp_schema() -> Schema:
+    """Parse ``SCHEMA_DDL`` into a validated :class:`Schema`."""
+    schema = Schema(parse_schema(SCHEMA_DDL))
+    schema.validate()
+    return schema
+
+
+def schema_loc() -> int:
+    """Non-blank DDL lines — the Figure 4 'Schema LoC' metric."""
+    return sum(1 for line in SCHEMA_DDL.splitlines() if line.strip())

@@ -1,0 +1,93 @@
+"""Application-level operations for the HotCRP case study.
+
+Privacy transformations "must not compromise application functionality"
+(paper §2). These functions model the conference site's actual behaviour —
+login, the paper list, a reviewer dashboard, submitting a review — using
+the storage engine's query layer, so the case-study tests can assert that
+the application keeps working across disguises:
+
+* the front page still lists every paper with its review count after a
+  user scrub (reviews were retained, §3);
+* placeholder users can never log in (they are disabled and have no
+  email/password);
+* a scrubbed reviewer's dashboard is empty, everyone else's is intact.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.storage.database import Database
+from repro.storage.query import parse_select
+
+__all__ = [
+    "login",
+    "front_page",
+    "reviewer_dashboard",
+    "submit_review",
+    "paper_discussion",
+]
+
+
+def login(db: Database, email: str, password: str) -> dict[str, Any] | None:
+    """The account matching (email, password), if enabled; else None."""
+    rows = parse_select(
+        "SELECT contactId, firstName, lastName, roles FROM ContactInfo "
+        "WHERE email = $E AND password = $P AND disabled = FALSE"
+    ).run(db, {"E": email, "P": password})
+    return rows[0] if rows else None
+
+
+def front_page(db: Database, limit: int = 50) -> list[dict[str, Any]]:
+    """Submitted papers, most recent first, with their review counts."""
+    papers = parse_select(
+        "SELECT paperId, title FROM Paper "
+        "WHERE timeSubmitted IS NOT NULL "
+        "ORDER BY timeSubmitted DESC, paperId LIMIT $L".replace("$L", str(limit))
+    ).run(db)
+    for paper in papers:
+        paper["reviews"] = parse_select(
+            "SELECT COUNT(*) FROM PaperReview WHERE paperId = $P"
+        ).run(db, {"P": paper["paperId"]})
+    return papers
+
+
+def reviewer_dashboard(db: Database, uid: int) -> dict[str, Any]:
+    """What a logged-in reviewer sees: their reviews and preferences."""
+    reviews = parse_select(
+        "SELECT r.reviewId, r.paperId, p.title, r.overAllMerit "
+        "FROM PaperReview r JOIN Paper p ON r.paperId = p.paperId "
+        "WHERE r.contactId = $U ORDER BY r.reviewId"
+    ).run(db, {"U": uid})
+    preferences = parse_select(
+        "SELECT paperId, preference FROM PaperReviewPreference "
+        "WHERE contactId = $U ORDER BY paperId"
+    ).run(db, {"U": uid})
+    return {"reviews": reviews, "preferences": preferences}
+
+
+def submit_review(
+    db: Database, uid: int, paper_id: int, merit: int, text: str
+) -> dict[str, Any]:
+    """Create a review (the application's normal write path)."""
+    return db.insert(
+        "PaperReview",
+        {
+            "reviewId": db.next_id("PaperReview"),
+            "paperId": paper_id,
+            "contactId": uid,
+            "reviewType": 2,
+            "reviewSubmitted": 1.0,
+            "overAllMerit": merit,
+            "reviewText": text,
+        },
+    )
+
+
+def paper_discussion(db: Database, paper_id: int) -> list[dict[str, Any]]:
+    """Comments on a paper with each commenter's display name."""
+    return parse_select(
+        "SELECT c.commentId, c.comment, u.firstName, u.lastName, u.disabled "
+        "FROM PaperComment c JOIN ContactInfo u ON c.contactId = u.contactId "
+        "WHERE c.paperId = $P ORDER BY c.commentId"
+    ).run(db, {"P": paper_id})

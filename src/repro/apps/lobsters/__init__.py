@@ -1,0 +1,29 @@
+"""Lobsters case study: schema (19 object types), data generator, disguise."""
+
+from repro.apps.lobsters.app import (
+    check_invariants,
+    deletion_assertions,
+    user_activity,
+    user_footprint,
+)
+from repro.apps.lobsters.disguises import all_disguises, lobsters_gdpr
+from repro.apps.lobsters.generate import LobstersPopulation, generate_lobsters
+from repro.apps.lobsters.schema import SCHEMA_DDL, lobsters_schema, schema_loc
+
+__all__ = [
+    "SCHEMA_DDL",
+    "lobsters_schema",
+    "schema_loc",
+    "LobstersPopulation",
+    "generate_lobsters",
+    "lobsters_gdpr",
+    "all_disguises",
+    "check_invariants",
+    "user_activity",
+    "deletion_assertions",
+    "user_footprint",
+]
+
+from repro.apps.lobsters import workload
+
+__all__.append("workload")

@@ -1,0 +1,73 @@
+"""Application-level helpers for the Lobsters case study."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.core.assertions import PrivacyAssertion
+from repro.storage.database import Database
+
+__all__ = ["check_invariants", "user_activity", "deletion_assertions", "user_footprint"]
+
+
+def check_invariants(db: Database) -> list[str]:
+    """Lobsters invariants beyond referential integrity.
+
+    * placeholder accounts (no email) must carry a tombstone
+      ``deleted_at`` so the UI renders them as "[deleted]";
+    * every vote targets exactly one of story/comment;
+    * comments always have an author and a story (FK re-check).
+    """
+    problems = list(db.check_integrity())
+    for user in db.select("users", "email IS NULL"):
+        if user["deleted_at"] is None:
+            problems.append(f"users {user['id']} has no email but no deleted_at")
+    for vote in db.select("votes"):
+        targets = (vote["story_id"] is not None) + (vote["comment_id"] is not None)
+        if targets != 1:
+            problems.append(f"votes {vote['id']} targets {targets} objects")
+    return problems
+
+
+def user_activity(db: Database) -> Mapping[Any, float]:
+    """Last-login per live user, for expiration/decay policies."""
+    return {
+        row["id"]: row["last_login"] if row["last_login"] is not None else 0.0
+        for row in db.select("users", "deleted_at IS NULL")
+    }
+
+
+def deletion_assertions() -> list[PrivacyAssertion]:
+    """Privacy goals of Lobsters account deletion."""
+    return [
+        PrivacyAssertion("account deleted", table="users", pred="id = $UID"),
+        PrivacyAssertion("no stories linked", table="stories", pred="user_id = $UID"),
+        PrivacyAssertion("no comments linked", table="comments", pred="user_id = $UID"),
+        PrivacyAssertion("no votes", table="votes", pred="user_id = $UID"),
+        PrivacyAssertion("no received messages", table="messages", pred="recipient_user_id = $UID"),
+        PrivacyAssertion("no authored messages linked", table="messages", pred="author_user_id = $UID"),
+    ]
+
+
+def user_footprint(db: Database, uid: int) -> dict[str, int]:
+    """Rows in each user-linked table that mention *uid*."""
+    checks = {
+        "users": "id = $UID OR invited_by_user_id = $UID",
+        "stories": "user_id = $UID",
+        "comments": "user_id = $UID",
+        "votes": "user_id = $UID",
+        "messages": "author_user_id = $UID OR recipient_user_id = $UID",
+        "hats": "user_id = $UID OR granted_by_user_id = $UID",
+        "hat_requests": "user_id = $UID",
+        "invitations": "user_id = $UID",
+        "moderations": "moderator_user_id = $UID OR target_user_id = $UID",
+        "mod_notes": "user_id = $UID OR moderator_user_id = $UID",
+        "read_ribbons": "user_id = $UID",
+        "saved_stories": "user_id = $UID",
+        "hidden_stories": "user_id = $UID",
+        "suggested_titles": "user_id = $UID",
+        "suggested_taggings": "user_id = $UID",
+    }
+    return {
+        table: db.count(table, pred, {"UID": uid}) for table, pred in checks.items()
+    }

@@ -1,0 +1,103 @@
+"""The Lobsters-GDPR disguise: the site's actual account-deletion policy.
+
+Lobsters keeps public contributions visible but reattributes them to a
+"[deleted]" placeholder (paper §2's survey: Reddit/Lobsters' "[deleted]").
+Concretely, deleting an account:
+
+* removes the account row, private messages authored by the user, votes,
+  per-user story state (ribbons, saved/hidden stories, suggestions), hats,
+  hat requests, and outstanding invitations;
+* keeps stories and comments, decorrelated to per-row placeholder users
+  with the comment text intact (story/comment bodies are public record);
+* nulls the moderator/inviter back-references so moderation history and
+  the invitation tree survive without naming the user.
+"""
+
+from __future__ import annotations
+
+from repro.spec.disguise import DisguiseSpec, TableDisguise
+from repro.spec.generate import Default, Sequence
+from repro.spec.transform import Decorrelate, Modify, Remove, named_modifier
+
+__all__ = ["lobsters_gdpr", "all_disguises"]
+
+
+def _null(pred: str, column: str) -> Modify:
+    fn, label = named_modifier("null")
+    return Modify(pred, column=column, fn=fn, label=label)
+
+
+def lobsters_gdpr() -> DisguiseSpec:
+    """Lobsters account deletion with "[deleted]"-style placeholders."""
+    return DisguiseSpec(
+        "Lobsters-GDPR",
+        description="Account deletion; public contributions reattributed to placeholders",
+        tables=[
+            TableDisguise(
+                "users",
+                transformations=[Remove("id = $UID")],
+                generate_placeholder={
+                    "username": Sequence("deleted-user-"),
+                    "email": Default(None),
+                    "password_digest": Default(None),
+                    "about": Default(None),
+                    "karma": Default(0),
+                    "deleted_at": Default(0.0),
+                },
+            ),
+            TableDisguise(
+                "stories",
+                transformations=[Decorrelate("user_id = $UID", foreign_key="user_id")],
+            ),
+            TableDisguise(
+                "comments",
+                transformations=[Decorrelate("user_id = $UID", foreign_key="user_id")],
+            ),
+            TableDisguise("votes", transformations=[Remove("user_id = $UID")]),
+            TableDisguise(
+                "messages",
+                transformations=[
+                    # Messages are shared objects (§2): the recipient keeps
+                    # their copy, reattributed; messages *received* by the
+                    # departing user are removed with their account.
+                    Decorrelate(
+                        "author_user_id = $UID", foreign_key="author_user_id"
+                    ),
+                    Remove("recipient_user_id = $UID"),
+                ],
+            ),
+            TableDisguise("hats", transformations=[
+                Remove("user_id = $UID"),
+                _null("granted_by_user_id = $UID", "granted_by_user_id"),
+            ]),
+            TableDisguise("hat_requests", transformations=[Remove("user_id = $UID")]),
+            TableDisguise("invitations", transformations=[Remove("user_id = $UID")]),
+            TableDisguise(
+                "moderations",
+                transformations=[
+                    _null("moderator_user_id = $UID", "moderator_user_id"),
+                    _null("target_user_id = $UID", "target_user_id"),
+                ],
+            ),
+            TableDisguise(
+                "mod_notes",
+                transformations=[
+                    Remove("user_id = $UID"),
+                    _null("moderator_user_id = $UID", "moderator_user_id"),
+                ],
+            ),
+            TableDisguise("read_ribbons", transformations=[Remove("user_id = $UID")]),
+            TableDisguise("saved_stories", transformations=[Remove("user_id = $UID")]),
+            TableDisguise("hidden_stories", transformations=[Remove("user_id = $UID")]),
+            TableDisguise(
+                "suggested_titles", transformations=[Remove("user_id = $UID")]
+            ),
+            TableDisguise(
+                "suggested_taggings", transformations=[Remove("user_id = $UID")]
+            ),
+        ],
+    )
+
+
+def all_disguises() -> list[DisguiseSpec]:
+    return [lobsters_gdpr()]

@@ -1,0 +1,266 @@
+"""Synthetic Lobsters community data (deterministic under a seed).
+
+Default population: 200 users, 600 stories, 2000 comments (threaded), plus
+votes, messages, invitations, moderation records — enough to exercise
+every table the GDPR disguise touches.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.lobsters.schema import lobsters_schema
+from repro.storage.database import Database
+
+__all__ = ["LobstersPopulation", "generate_lobsters"]
+
+_TAGS = ("programming", "security", "hardware", "culture", "practices",
+         "python", "rust", "distributed", "databases", "meta")
+_DOMAINS = ("example.com", "blog.example.org", "papers.example.net",
+            "news.example.io", "code.example.dev")
+
+
+@dataclass(frozen=True)
+class LobstersPopulation:
+    users: int = 200
+    stories: int = 600
+    comments: int = 2000
+
+    @classmethod
+    def at_scale(cls, scale: float) -> "LobstersPopulation":
+        return cls(
+            users=max(4, round(200 * scale)),
+            stories=max(2, round(600 * scale)),
+            comments=max(2, round(2000 * scale)),
+        )
+
+
+def generate_lobsters(
+    scale: float = 1.0,
+    seed: int = 7,
+    population: LobstersPopulation | None = None,
+) -> Database:
+    """Build a populated Lobsters database."""
+    pop = population or LobstersPopulation.at_scale(scale)
+    rng = random.Random(seed)
+    db = Database(lobsters_schema())
+
+    for tag_id, tag in enumerate(_TAGS, start=1):
+        db.insert("tags", {"id": tag_id, "tag": tag, "description": f"{tag} stories"})
+    for domain_id, domain in enumerate(_DOMAINS, start=1):
+        db.insert("domains", {"id": domain_id, "domain": domain})
+
+    # -- users (inviter chains require insertion order) ----------------------------
+    for uid in range(1, pop.users + 1):
+        db.insert(
+            "users",
+            {
+                "id": uid,
+                "username": f"user{uid}",
+                "email": f"user{uid}@example.net",
+                "password_digest": f"digest-{rng.getrandbits(48):012x}",
+                "about": f"I am user {uid}; I like {rng.choice(_TAGS)}.",
+                "karma": rng.randint(-5, 500),
+                "is_admin": uid == 1,
+                "is_moderator": uid <= 3,
+                "deleted_at": None,
+                "last_login": float(rng.randint(1_000, 100_000)),
+                "invited_by_user_id": rng.randint(1, uid - 1) if uid > 1 else None,
+            },
+        )
+
+    # -- stories with taggings ------------------------------------------------------
+    tagging_id = 1
+    for sid in range(1, pop.stories + 1):
+        author = 1 + rng.randrange(pop.users)
+        db.insert(
+            "stories",
+            {
+                "id": sid,
+                "user_id": author,
+                "domain_id": 1 + rng.randrange(len(_DOMAINS)),
+                "title": f"Story {sid}: {rng.choice(_TAGS)} news",
+                "url": f"https://{rng.choice(_DOMAINS)}/{sid}",
+                "description": None if rng.random() < 0.7 else f"Text post {sid}",
+                "upvotes": rng.randint(0, 100),
+                "downvotes": rng.randint(0, 5),
+                "created_at": float(rng.randint(1_000, 90_000)),
+            },
+        )
+        for tag in rng.sample(range(1, len(_TAGS) + 1), rng.randint(1, 2)):
+            db.insert(
+                "taggings", {"id": tagging_id, "story_id": sid, "tag_id": tag}
+            )
+            tagging_id += 1
+
+    # -- threaded comments ------------------------------------------------------------
+    for cid in range(1, pop.comments + 1):
+        sid = 1 + rng.randrange(pop.stories)
+        parent = None
+        if cid > 1 and rng.random() < 0.4:
+            parent = 1 + rng.randrange(cid - 1)
+        db.insert(
+            "comments",
+            {
+                "id": cid,
+                "user_id": 1 + rng.randrange(pop.users),
+                "story_id": sid,
+                "parent_comment_id": parent,
+                "comment": f"Comment {cid}: insightful remark.",
+                "upvotes": rng.randint(0, 40),
+                "downvotes": rng.randint(0, 3),
+                "created_at": float(rng.randint(1_000, 90_000)),
+            },
+        )
+
+    # -- votes ---------------------------------------------------------------------------
+    vote_id = 1
+    for _ in range(pop.comments):
+        on_story = rng.random() < 0.5
+        db.insert(
+            "votes",
+            {
+                "id": vote_id,
+                "user_id": 1 + rng.randrange(pop.users),
+                "story_id": 1 + rng.randrange(pop.stories) if on_story else None,
+                "comment_id": None if on_story else 1 + rng.randrange(pop.comments),
+                "vote": rng.choice((-1, 1)),
+            },
+        )
+        vote_id += 1
+
+    # -- messages, hats, invitations, moderation ---------------------------------------------
+    for mid in range(1, max(2, pop.users)):
+        author = 1 + rng.randrange(pop.users)
+        recipient = 1 + rng.randrange(pop.users)
+        db.insert(
+            "messages",
+            {
+                "id": mid,
+                "author_user_id": author,
+                "recipient_user_id": recipient,
+                "subject": f"Hello #{mid}",
+                "body": f"Private note from {author} to {recipient}.",
+                "created_at": float(rng.randint(1_000, 90_000)),
+            },
+        )
+    for hat_id in range(1, max(2, pop.users // 20)):
+        db.insert(
+            "hats",
+            {
+                "id": hat_id,
+                "user_id": 1 + rng.randrange(pop.users),
+                "granted_by_user_id": 1,
+                "hat": rng.choice(("Maintainer", "Author", "Organizer")),
+            },
+        )
+        db.insert(
+            "hat_requests",
+            {
+                "id": hat_id,
+                "user_id": 1 + rng.randrange(pop.users),
+                "hat": "Contributor",
+                "comment": "I maintain a project.",
+            },
+        )
+    for inv_id in range(1, max(2, pop.users // 4)):
+        db.insert(
+            "invitations",
+            {
+                "id": inv_id,
+                "user_id": 1 + rng.randrange(pop.users),
+                "email": f"invitee{inv_id}@example.net",
+                "code": f"{rng.getrandbits(48):012x}",
+                "memo": None,
+                "used_at": float(rng.randint(1_000, 90_000)) if rng.random() < 0.5 else None,
+            },
+        )
+        db.insert(
+            "invitation_requests",
+            {
+                "id": inv_id,
+                "name": f"Applicant {inv_id}",
+                "email": f"applicant{inv_id}@example.net",
+                "memo": "Long-time reader.",
+                "is_verified": rng.random() < 0.7,
+            },
+        )
+    for mod_id in range(1, max(2, pop.stories // 30)):
+        db.insert(
+            "moderations",
+            {
+                "id": mod_id,
+                "moderator_user_id": 1 + rng.randrange(3),
+                "story_id": 1 + rng.randrange(pop.stories),
+                "comment_id": None,
+                "target_user_id": 1 + rng.randrange(pop.users),
+                "action": "edited title",
+                "reason": "clarity",
+                "created_at": float(rng.randint(1_000, 90_000)),
+            },
+        )
+        db.insert(
+            "mod_notes",
+            {
+                "id": mod_id,
+                "moderator_user_id": 1 + rng.randrange(3),
+                "user_id": 1 + rng.randrange(pop.users),
+                "markeddown_note": "Warned about self-promotion.",
+                "created_at": float(rng.randint(1_000, 90_000)),
+            },
+        )
+
+    # -- per-user story state --------------------------------------------------------------
+    ribbon_id = 1
+    saved_id = 1
+    hidden_id = 1
+    suggestion_id = 1
+    for uid in range(1, pop.users + 1):
+        for sid in rng.sample(range(1, pop.stories + 1), min(5, pop.stories)):
+            db.insert(
+                "read_ribbons",
+                {
+                    "id": ribbon_id,
+                    "user_id": uid,
+                    "story_id": sid,
+                    "updated_at": float(rng.randint(1_000, 90_000)),
+                },
+            )
+            ribbon_id += 1
+        if rng.random() < 0.4:
+            db.insert(
+                "saved_stories",
+                {"id": saved_id, "user_id": uid, "story_id": 1 + rng.randrange(pop.stories)},
+            )
+            saved_id += 1
+        if rng.random() < 0.2:
+            db.insert(
+                "hidden_stories",
+                {"id": hidden_id, "user_id": uid, "story_id": 1 + rng.randrange(pop.stories)},
+            )
+            hidden_id += 1
+        if rng.random() < 0.1:
+            db.insert(
+                "suggested_titles",
+                {
+                    "id": suggestion_id,
+                    "story_id": 1 + rng.randrange(pop.stories),
+                    "user_id": uid,
+                    "title": "Better title",
+                },
+            )
+            db.insert(
+                "suggested_taggings",
+                {
+                    "id": suggestion_id,
+                    "story_id": 1 + rng.randrange(pop.stories),
+                    "tag_id": 1 + rng.randrange(len(_TAGS)),
+                    "user_id": uid,
+                },
+            )
+            suggestion_id += 1
+
+    db.assert_integrity()
+    db.stats.reset()
+    return db

@@ -1,0 +1,188 @@
+"""Lobsters-like news aggregator schema: 19 object types (paper Figure 4).
+
+A reduced version of the open-source Lobsters Rails schema
+(https://lobste.rs), keeping the tables and columns its account-deletion
+policy touches. As with HotCRP, FKs into ``users`` are RESTRICT so
+disguises must trace the full user footprint.
+"""
+
+from __future__ import annotations
+
+from repro.storage.schema import Schema
+from repro.storage.sql import parse_schema
+
+__all__ = ["SCHEMA_DDL", "lobsters_schema", "schema_loc", "USER_TABLE"]
+
+USER_TABLE = "users"
+
+SCHEMA_DDL = """
+CREATE TABLE users (
+  id INT PRIMARY KEY,
+  username TEXT PII,
+  email TEXT PII,
+  password_digest TEXT,
+  about TEXT PII,
+  karma INT NOT NULL DEFAULT 0,
+  is_admin BOOL NOT NULL DEFAULT FALSE,
+  is_moderator BOOL NOT NULL DEFAULT FALSE,
+  deleted_at DATETIME,
+  last_login DATETIME,
+  invited_by_user_id INT REFERENCES users(id) ON DELETE SET NULL
+);
+
+CREATE TABLE tags (
+  id INT PRIMARY KEY,
+  tag TEXT NOT NULL,
+  description TEXT
+);
+
+CREATE TABLE domains (
+  id INT PRIMARY KEY,
+  domain TEXT NOT NULL,
+  is_banned BOOL NOT NULL DEFAULT FALSE
+);
+
+CREATE TABLE stories (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  domain_id INT REFERENCES domains(id),
+  title TEXT NOT NULL,
+  url TEXT,
+  description TEXT,
+  upvotes INT NOT NULL DEFAULT 0,
+  downvotes INT NOT NULL DEFAULT 0,
+  created_at DATETIME
+);
+
+CREATE TABLE comments (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  story_id INT NOT NULL REFERENCES stories(id),
+  parent_comment_id INT REFERENCES comments(id) ON DELETE SET NULL,
+  comment TEXT NOT NULL,
+  upvotes INT NOT NULL DEFAULT 0,
+  downvotes INT NOT NULL DEFAULT 0,
+  created_at DATETIME
+);
+
+CREATE TABLE votes (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  story_id INT REFERENCES stories(id),
+  comment_id INT REFERENCES comments(id) ON DELETE CASCADE,
+  vote INT NOT NULL
+);
+
+CREATE TABLE taggings (
+  id INT PRIMARY KEY,
+  story_id INT NOT NULL REFERENCES stories(id) ON DELETE CASCADE,
+  tag_id INT NOT NULL REFERENCES tags(id)
+);
+
+CREATE TABLE messages (
+  id INT PRIMARY KEY,
+  author_user_id INT REFERENCES users(id),
+  recipient_user_id INT NOT NULL REFERENCES users(id),
+  subject TEXT,
+  body TEXT,
+  created_at DATETIME,
+  deleted_by_author BOOL NOT NULL DEFAULT FALSE,
+  deleted_by_recipient BOOL NOT NULL DEFAULT FALSE
+);
+
+CREATE TABLE hats (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  granted_by_user_id INT REFERENCES users(id),
+  hat TEXT NOT NULL
+);
+
+CREATE TABLE hat_requests (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  hat TEXT NOT NULL,
+  comment TEXT
+);
+
+CREATE TABLE invitations (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  email TEXT PII,
+  code TEXT,
+  memo TEXT,
+  used_at DATETIME
+);
+
+CREATE TABLE invitation_requests (
+  id INT PRIMARY KEY,
+  name TEXT PII,
+  email TEXT PII,
+  memo TEXT,
+  is_verified BOOL NOT NULL DEFAULT FALSE
+);
+
+CREATE TABLE moderations (
+  id INT PRIMARY KEY,
+  moderator_user_id INT REFERENCES users(id),
+  story_id INT REFERENCES stories(id),
+  comment_id INT REFERENCES comments(id) ON DELETE SET NULL,
+  target_user_id INT REFERENCES users(id),
+  action TEXT,
+  reason TEXT,
+  created_at DATETIME
+);
+
+CREATE TABLE mod_notes (
+  id INT PRIMARY KEY,
+  moderator_user_id INT REFERENCES users(id),
+  user_id INT NOT NULL REFERENCES users(id),
+  markeddown_note TEXT,
+  created_at DATETIME
+);
+
+CREATE TABLE read_ribbons (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  story_id INT NOT NULL REFERENCES stories(id) ON DELETE CASCADE,
+  updated_at DATETIME
+);
+
+CREATE TABLE saved_stories (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  story_id INT NOT NULL REFERENCES stories(id) ON DELETE CASCADE
+);
+
+CREATE TABLE hidden_stories (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  story_id INT NOT NULL REFERENCES stories(id) ON DELETE CASCADE
+);
+
+CREATE TABLE suggested_titles (
+  id INT PRIMARY KEY,
+  story_id INT NOT NULL REFERENCES stories(id) ON DELETE CASCADE,
+  user_id INT NOT NULL REFERENCES users(id),
+  title TEXT NOT NULL
+);
+
+CREATE TABLE suggested_taggings (
+  id INT PRIMARY KEY,
+  story_id INT NOT NULL REFERENCES stories(id) ON DELETE CASCADE,
+  tag_id INT NOT NULL REFERENCES tags(id),
+  user_id INT NOT NULL REFERENCES users(id)
+);
+
+"""
+
+
+def lobsters_schema() -> Schema:
+    """Parse ``SCHEMA_DDL`` into a validated :class:`Schema`."""
+    schema = Schema(parse_schema(SCHEMA_DDL))
+    schema.validate()
+    return schema
+
+
+def schema_loc() -> int:
+    """Non-blank DDL lines — the Figure 4 'Schema LoC' metric."""
+    return sum(1 for line in SCHEMA_DDL.splitlines() if line.strip())

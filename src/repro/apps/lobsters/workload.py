@@ -1,0 +1,68 @@
+"""Application-level operations for the Lobsters case study (paper §2)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.storage.database import Database
+from repro.storage.query import parse_select
+
+__all__ = ["login", "front_page", "user_profile", "post_comment", "story_thread"]
+
+
+def login(db: Database, username: str, password_digest: str) -> dict[str, Any] | None:
+    """The live account matching the credentials, or None."""
+    rows = parse_select(
+        "SELECT id, username, karma FROM users "
+        "WHERE username = $U AND password_digest = $P AND deleted_at IS NULL"
+    ).run(db, {"U": username, "P": password_digest})
+    return rows[0] if rows else None
+
+
+def front_page(db: Database, limit: int = 25) -> list[dict[str, Any]]:
+    """Top stories with their author display names."""
+    return parse_select(
+        "SELECT s.id, s.title, s.upvotes, u.username FROM stories s "
+        "JOIN users u ON s.user_id = u.id "
+        "ORDER BY s.upvotes DESC, s.id LIMIT " + str(limit)
+    ).run(db)
+
+
+def user_profile(db: Database, uid: int) -> dict[str, Any] | None:
+    """A user's public profile: about text, stories, comment count."""
+    users = parse_select(
+        "SELECT id, username, about, karma FROM users WHERE id = $U"
+    ).run(db, {"U": uid})
+    if not users:
+        return None
+    profile = users[0]
+    profile["stories"] = parse_select(
+        "SELECT id, title FROM stories WHERE user_id = $U ORDER BY id"
+    ).run(db, {"U": uid})
+    profile["comment_count"] = parse_select(
+        "SELECT COUNT(*) FROM comments WHERE user_id = $U"
+    ).run(db, {"U": uid})
+    return profile
+
+
+def post_comment(db: Database, uid: int, story_id: int, text: str) -> dict[str, Any]:
+    """The application's normal comment write path."""
+    return db.insert(
+        "comments",
+        {
+            "id": db.next_id("comments"),
+            "user_id": uid,
+            "story_id": story_id,
+            "comment": text,
+            "created_at": 0.0,
+        },
+    )
+
+
+def story_thread(db: Database, story_id: int) -> list[dict[str, Any]]:
+    """A story's comments with commenter names and tombstone state."""
+    return parse_select(
+        "SELECT c.id, c.comment, u.username, u.deleted_at FROM comments c "
+        "JOIN users u ON c.user_id = u.id "
+        "WHERE c.story_id = $S ORDER BY c.id"
+    ).run(db, {"S": story_id})

@@ -1,0 +1,272 @@
+"""Command-line disguising tool (paper Figure 1).
+
+"Developers provide disguise specifications to an external disguising
+tool, which computes the necessary database changes and applies them to
+the application's database backend." This module is that external tool for
+snapshot-backed databases: it loads the application database from a JSON
+snapshot, keeps vaults in a directory (:class:`~repro.vault.FileVault`),
+applies or reveals disguises, and writes the snapshot back.
+
+Usage::
+
+    python -m repro.cli apply   --db app.jsonl --vault-dir vaults \
+                                --spec scrub.json --uid 19
+    python -m repro.cli reveal  --db app.jsonl --vault-dir vaults \
+                                --spec scrub.json --did 1
+    python -m repro.cli explain --db app.jsonl --vault-dir vaults \
+                                --spec scrub.json --uid 19
+    python -m repro.cli history --db app.jsonl
+    python -m repro.cli vault   --vault-dir vaults --owner 19
+    python -m repro.cli check   --db app.jsonl
+
+Exit status: 0 on success, 1 on a disguise/storage error, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.engine import Disguiser
+from repro.core.history import HISTORY_TABLE
+from repro.errors import ReproError
+from repro.spec.parser import spec_from_json
+from repro.storage.persist import load_database, save_database
+from repro.vault.file_vault import FileVault
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Data disguising tool: apply/reveal privacy transformations "
+        "on a snapshot-backed database.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_db(p):
+        p.add_argument("--db", required=True, help="application database snapshot (JSON lines)")
+
+    def add_vault(p):
+        p.add_argument("--vault-dir", required=True, help="vault directory (one file per user)")
+
+    def add_specs(p):
+        p.add_argument(
+            "--spec",
+            action="append",
+            required=True,
+            help="disguise spec JSON document (repeatable; all are registered)",
+        )
+
+    p_apply = sub.add_parser("apply", help="apply a disguise")
+    add_db(p_apply)
+    add_vault(p_apply)
+    add_specs(p_apply)
+    p_apply.add_argument("--name", help="disguise to apply (default: first --spec)")
+    p_apply.add_argument("--uid", type=int, help="user id for $UID disguises")
+    p_apply.add_argument("--irreversible", action="store_true", help="write no vault entries")
+    p_apply.add_argument("--no-compose", action="store_true", help="disable vault recorrelation")
+    p_apply.add_argument("--no-optimize", action="store_true", help="disable the redundancy optimizer")
+    p_apply.add_argument("--check-integrity", action="store_true")
+
+    p_reveal = sub.add_parser("reveal", help="reverse a previously applied disguise")
+    add_db(p_reveal)
+    add_vault(p_reveal)
+    add_specs(p_reveal)
+    p_reveal.add_argument("--did", type=int, required=True, help="disguise id to reveal")
+    p_reveal.add_argument("--check-integrity", action="store_true")
+
+    p_explain = sub.add_parser("explain", help="dry-run: what would apply do?")
+    add_db(p_explain)
+    add_vault(p_explain)
+    add_specs(p_explain)
+    p_explain.add_argument("--name", help="disguise to explain (default: first --spec)")
+    p_explain.add_argument("--uid", type=int)
+    p_explain.add_argument("--no-optimize", action="store_true")
+
+    p_history = sub.add_parser("history", help="show the disguise history log")
+    add_db(p_history)
+
+    p_vault = sub.add_parser("vault", help="inspect a user's vault")
+    add_vault(p_vault)
+    p_vault.add_argument("--owner", type=int, help="user id (omit for the global vault)")
+
+    p_check = sub.add_parser("check", help="referential-integrity check")
+    add_db(p_check)
+
+    p_audit = sub.add_parser(
+        "audit", help="DELF-style erasure audit: traces of a user after disguising"
+    )
+    add_db(p_audit)
+    p_audit.add_argument("--user-table", required=True, help="the user/account table")
+    p_audit.add_argument("--uid", type=int, required=True)
+    p_audit.add_argument(
+        "--identifier",
+        action="append",
+        default=[],
+        help="known identifier string to grep for (repeatable)",
+    )
+
+    p_pii = sub.add_parser("scan-pii", help="sweep all text columns for PII-shaped values")
+    add_db(p_pii)
+
+    return parser
+
+
+def _engine(args) -> Disguiser:
+    db = load_database(args.db)
+    vault = FileVault(args.vault_dir)
+    engine = Disguiser(db, vault=vault)
+    for spec_path in getattr(args, "spec", None) or []:
+        document = Path(spec_path).read_text(encoding="utf-8")
+        engine.register(spec_from_json(document))
+    return engine
+
+
+def _spec_name(engine: Disguiser, args) -> str:
+    if getattr(args, "name", None):
+        return args.name
+    first = Path(args.spec[0]).read_text(encoding="utf-8")
+    return spec_from_json(first).name
+
+
+def cmd_apply(args) -> int:
+    engine = _engine(args)
+    name = _spec_name(engine, args)
+    report = engine.apply(
+        name,
+        uid=args.uid,
+        reversible=not args.irreversible,
+        compose=not args.no_compose,
+        optimize=not args.no_optimize,
+        check_integrity=args.check_integrity,
+    )
+    save_database(engine.db, args.db)
+    print(report.summary())
+    print(f"disguise id: {report.disguise_id}")
+    return 0
+
+
+def cmd_reveal(args) -> int:
+    engine = _engine(args)
+    report = engine.reveal(args.did, check_integrity=args.check_integrity)
+    save_database(engine.db, args.db)
+    print(report.summary())
+    return 0
+
+
+def cmd_explain(args) -> int:
+    engine = _engine(args)
+    name = _spec_name(engine, args)
+    plan = engine.explain(name, uid=args.uid, optimize=not args.no_optimize)
+    print(plan.describe())
+    return 0 if plan.is_applicable else 1
+
+
+def cmd_history(args) -> int:
+    db = load_database(args.db)
+    if not db.has_table(HISTORY_TABLE):
+        print("no disguise history")
+        return 0
+    rows = sorted(db.select(HISTORY_TABLE), key=lambda r: r["did"])
+    if not rows:
+        print("no disguises applied")
+        return 0
+    print(f"{'did':>4}  {'name':24}  {'uid':>6}  {'active':6}  {'reversible':10}")
+    for row in rows:
+        print(
+            f"{row['did']:>4}  {row['name']:24}  {str(row['uid'] or '-'):>6}  "
+            f"{'yes' if row['active'] else 'no':6}  "
+            f"{'yes' if row['reversible'] else 'no':10}"
+        )
+    return 0
+
+
+def cmd_vault(args) -> int:
+    vault = FileVault(args.vault_dir)
+    owner = args.owner
+    entries = vault.entries_for(owner)
+    label = f"user {owner}" if owner is not None else "global vault"
+    print(f"{len(entries)} entr(y/ies) for {label}")
+    for entry in entries:
+        print(
+            json.dumps(
+                {
+                    "entry_id": entry.entry_id,
+                    "disguise_id": entry.disguise_id,
+                    "seq": entry.seq,
+                    "table": entry.table,
+                    "pk": entry.pk,
+                    "op": entry.op,
+                }
+            )
+        )
+    return 0
+
+
+def cmd_check(args) -> int:
+    db = load_database(args.db, verify=False)
+    problems = db.check_integrity()
+    if problems:
+        for problem in problems:
+            print(f"VIOLATION: {problem}")
+        return 1
+    print(f"ok: {db.total_rows()} rows, no dangling references")
+    return 0
+
+
+def cmd_audit(args) -> int:
+    from repro.core.audit import audit_user_erasure
+
+    db = load_database(args.db, verify=False)
+    findings = audit_user_erasure(
+        db, args.user_table, args.uid, identifiers=args.identifier
+    )
+    if findings:
+        for finding in findings:
+            print(f"LEAK: {finding}")
+        return 1
+    print(f"clean: no traces of {args.user_table}.{args.uid}")
+    return 0
+
+
+def cmd_scan_pii(args) -> int:
+    from repro.core.audit import scan_for_pii
+
+    db = load_database(args.db, verify=False)
+    findings = scan_for_pii(db)
+    if findings:
+        for finding in findings:
+            print(f"PII: {finding}")
+        return 1
+    print("clean: no PII-shaped values found")
+    return 0
+
+
+_COMMANDS = {
+    "apply": cmd_apply,
+    "reveal": cmd_reveal,
+    "explain": cmd_explain,
+    "history": cmd_history,
+    "vault": cmd_vault,
+    "check": cmd_check,
+    "audit": cmd_audit,
+    "scan-pii": cmd_scan_pii,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

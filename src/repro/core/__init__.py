@@ -1,0 +1,41 @@
+"""The disguising engine: apply, compose, reveal, assert, schedule."""
+
+from repro.core.assertions import PrivacyAssertion
+from repro.core.audit import LeakFinding, audit_user_erasure, scan_for_pii
+from repro.core.exposure import ExposureReport, measure_exposure
+from repro.core.engine import Disguiser
+from repro.core.explain import DisguisePlan, explain
+from repro.core.guard import UpdateGuard
+from repro.core.migrate import MigrationReport
+from repro.core.history import DisguiseHistory, HistoryRecord
+from repro.core.scheduler import (
+    DecayPolicy,
+    DecayStage,
+    ExpirationPolicy,
+    PolicyScheduler,
+    SimClock,
+)
+from repro.core.stats import DisguiseReport, RevealReport
+
+__all__ = [
+    "Disguiser",
+    "DisguisePlan",
+    "explain",
+    "UpdateGuard",
+    "MigrationReport",
+    "LeakFinding",
+    "ExposureReport",
+    "measure_exposure",
+    "audit_user_erasure",
+    "scan_for_pii",
+    "DisguiseHistory",
+    "HistoryRecord",
+    "DisguiseReport",
+    "RevealReport",
+    "PrivacyAssertion",
+    "SimClock",
+    "PolicyScheduler",
+    "ExpirationPolicy",
+    "DecayPolicy",
+    "DecayStage",
+]

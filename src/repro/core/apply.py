@@ -1,0 +1,333 @@
+"""Spec interpretation: turning a disguise specification into storage ops.
+
+"The data disguising tool takes the disguise specification and turns it
+into storage operations that appropriately rewrite affected foreign keys"
+(paper §4.1). The runner executes one disguise application (or a
+restricted re-application during reveal) inside the engine's open
+transaction:
+
+* **Phase A** — Modify and Decorrelate transformations, in spec order.
+  Matching rows are snapshotted before execution so placeholder rows
+  created along the way are never transformed themselves.
+* **Phase B** — Remove transformations, ordered children-before-parents
+  across tables (via the schema's foreign-key graph), so deletes never
+  trip referential integrity when the spec covers all referencing tables.
+
+Every physical change writes one vault entry (unless the disguise is
+irreversible), tagged with the owning user for per-user vault routing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+import networkx as nx
+
+from repro.core.history import DisguiseHistory
+from repro.core.physical import OpExecutor, PlaceholderFactory, VaultJournal
+from repro.core.stats import DisguiseReport
+from repro.errors import DisguiseError
+from repro.spec.disguise import DisguiseSpec, TableDisguise
+from repro.spec.transform import Decorrelate, Modify, Remove
+from repro.storage.predicate import And, InList, ColumnRef, Literal
+from repro.vault.entry import OP_DECORRELATE, OP_MODIFY, OP_REMOVE, VaultEntry
+
+__all__ = ["SpecRunner"]
+
+
+class SpecRunner:
+    """Executes one spec (possibly restricted to given rows) for one disguise."""
+
+    def __init__(
+        self,
+        executor: OpExecutor,
+        history: DisguiseHistory,
+        journal: VaultJournal,
+        factory: PlaceholderFactory,
+        spec: DisguiseSpec,
+        did: int,
+        epoch: int,
+        uid: Any,
+        params: Mapping[str, Any],
+        reversible: bool,
+        report: DisguiseReport,
+    ) -> None:
+        self.executor = executor
+        self.db = executor.db
+        self.history = history
+        self.journal = journal
+        self.factory = factory
+        self.spec = spec
+        self.did = did
+        self.epoch = epoch
+        self.uid = uid
+        self.params = params
+        self.reversible = reversible
+        self.report = report
+
+    # -- public entry points ---------------------------------------------------
+
+    def run(self, restrict: Mapping[str, Iterable[Any]] | None = None) -> None:
+        """Execute the whole spec.
+
+        *restrict*, when given, limits each table's transformations to the
+        listed primary keys — reveal uses this to re-apply a later disguise
+        to just-revealed rows (§4.2).
+        """
+        # Phase A: content modification and decorrelation.
+        for table_disguise in self.spec.tables:
+            for transformation in table_disguise.transformations:
+                if isinstance(transformation, Modify):
+                    self._run_modify(table_disguise, transformation, restrict)
+                elif isinstance(transformation, Decorrelate):
+                    self._run_decorrelate(table_disguise, transformation, restrict)
+        # Phase B: removal, children first.
+        for table_disguise in self._removal_order():
+            for transformation in table_disguise.transformations:
+                if isinstance(transformation, Remove):
+                    self._run_remove(table_disguise, transformation, restrict)
+
+    # -- row selection -----------------------------------------------------------
+
+    def _select(
+        self,
+        table_disguise: TableDisguise,
+        transformation,
+        restrict: Mapping[str, Iterable[Any]] | None,
+    ) -> list[dict[str, Any]]:
+        pred = transformation.pred
+        if restrict is not None:
+            pks = restrict.get(table_disguise.table)
+            if not pks:
+                return []
+            pk_col = self.db.table(table_disguise.table).schema.primary_key
+            pred = And(
+                pred,
+                InList(ColumnRef(pk_col), tuple(Literal(pk) for pk in pks)),
+            )
+        return self.db.select(table_disguise.table, pred, self.params)
+
+    def _owner(self, table_disguise: TableDisguise, row: Mapping[str, Any]) -> Any:
+        """Whose vault receives this entry (paper §4.2 routing)."""
+        if self.uid is not None:
+            return self.uid
+        if table_disguise.owner_column:
+            owner = row.get(table_disguise.owner_column)
+            return self._reroute_placeholder_owner(table_disguise.table, table_disguise.owner_column, owner)
+        return None
+
+    def _reroute_placeholder_owner(self, table: str, column: str, owner: Any) -> Any:
+        """Entries whose nominal owner is a placeholder go to the global
+        vault: placeholders are not users and have no vault, and resolving
+        them back to the real owner would defeat the decorrelation."""
+        if owner is None:
+            return None
+        schema = self.db.table(table).schema
+        fk = schema.foreign_key_for(column)
+        owner_table = fk.parent_table if fk is not None else table
+        if self.executor.is_placeholder(owner_table, owner):
+            return None
+        return owner
+
+    def _vault_entry(
+        self,
+        table_disguise: TableDisguise,
+        row: Mapping[str, Any],
+        op: str,
+        payload: dict[str, Any],
+        owner: Any = None,
+    ) -> None:
+        if not self.reversible:
+            return
+        table = table_disguise.table if isinstance(table_disguise, TableDisguise) else table_disguise
+        pk_col = self.db.table(table).schema.primary_key
+        entry = VaultEntry(
+            entry_id=self.history.next_entry_id(),
+            disguise_id=self.did,
+            seq=self.history.next_seq(),
+            epoch=self.epoch,
+            owner=owner if owner is not None else self._owner(table_disguise, row),
+            table=table,
+            pk=row[pk_col],
+            op=op,
+            payload=payload,
+        )
+        self.journal.put(entry)
+        self.report.vault_entries_written += 1
+
+    # -- transformation execution ---------------------------------------------------
+
+    def _run_modify(
+        self,
+        table_disguise: TableDisguise,
+        transformation: Modify,
+        restrict: Mapping[str, Iterable[Any]] | None,
+    ) -> None:
+        for row in self._select(table_disguise, transformation, restrict):
+            old_value, new_value = self.executor.do_modify(
+                table_disguise.table,
+                row,
+                transformation.column,
+                transformation.fn(row[transformation.column]),
+            )
+            self.report.rows_modified += 1
+            if old_value != new_value:
+                self._vault_entry(
+                    table_disguise,
+                    row,
+                    OP_MODIFY,
+                    {"column": transformation.column, "old": old_value, "new": new_value},
+                )
+
+    def _run_decorrelate(
+        self,
+        table_disguise: TableDisguise,
+        transformation: Decorrelate,
+        restrict: Mapping[str, Iterable[Any]] | None,
+    ) -> None:
+        fk = self.db.table(table_disguise.table).schema.foreign_key_for(
+            transformation.foreign_key
+        )
+        if fk is None:
+            raise DisguiseError(
+                f"{table_disguise.table}.{transformation.foreign_key} "
+                f"is not a foreign key"
+            )
+        parent_disguise = self.spec.table_disguise(fk.parent_table)
+        if parent_disguise is None:
+            raise DisguiseError(
+                f"spec {self.spec.name!r} has no placeholder recipe for "
+                f"{fk.parent_table!r}"
+            )
+        rows = self._select(table_disguise, transformation, restrict)
+        for row in rows:
+            if row[transformation.foreign_key] is None:
+                continue  # a NULL reference carries no correlation
+            owner = self._owner_for_decorrelate(table_disguise, transformation, row)
+            old_fk, new_fk, placeholder_table, placeholder_pk = (
+                self.executor.do_decorrelate(
+                    table_disguise.table,
+                    row,
+                    transformation.foreign_key,
+                    self.factory,
+                    parent_disguise,
+                )
+            )
+            self.report.rows_decorrelated += 1
+            self.report.placeholders_created += 1
+            self._vault_entry(
+                table_disguise,
+                row,
+                OP_DECORRELATE,
+                {
+                    "column": transformation.foreign_key,
+                    "old": old_fk,
+                    "new": new_fk,
+                    "placeholder_table": placeholder_table,
+                    "placeholder_pk": placeholder_pk,
+                },
+                owner=owner,
+            )
+
+    def _owner_for_decorrelate(
+        self,
+        table_disguise: TableDisguise,
+        transformation: Decorrelate,
+        row: Mapping[str, Any],
+    ) -> Any:
+        """For decorrelation, the natural owner is the user being unlinked —
+        the original FK value — unless the spec routes elsewhere."""
+        if self.uid is not None:
+            return self.uid
+        if table_disguise.owner_column:
+            owner = row.get(table_disguise.owner_column)
+            return self._reroute_placeholder_owner(
+                table_disguise.table, table_disguise.owner_column, owner
+            )
+        owner = row.get(transformation.foreign_key)
+        return self._reroute_placeholder_owner(
+            table_disguise.table, transformation.foreign_key, owner
+        )
+
+    def _run_remove(
+        self,
+        table_disguise: TableDisguise,
+        transformation: Remove,
+        restrict: Mapping[str, Iterable[Any]] | None,
+    ) -> None:
+        rows = self._select(table_disguise, transformation, restrict)
+        pk_col = self.db.table(table_disguise.table).schema.primary_key
+        for row in rows:
+            if self.db.get(table_disguise.table, row[pk_col]) is None:
+                continue  # already gone via an earlier cascade in this spec
+            self._remove_with_vault(table_disguise, row[pk_col])
+
+    def _remove_with_vault(self, table_disguise: TableDisguise, pk: Any) -> None:
+        """Engine-driven removal: every affected row (CASCADE children,
+        SET NULL rewrites) gets its own vault entry, so the whole removal
+        is reversible — a raw SQL cascade would silently lose the children."""
+        removal_set = self.executor.collect_removal_set(table_disguise.table, pk)
+        for table, row, action in removal_set:
+            owner = self._owner(table_disguise, row)
+            if action.startswith("setnull:"):
+                column = action.split(":", 1)[1]
+                old_value, _ = self.executor.do_modify(table, row, column, None)
+                self.report.cascades += 1
+                self._vault_entry(
+                    _proxy_td(table_disguise, table),
+                    row,
+                    OP_MODIFY,
+                    {"column": column, "old": old_value, "new": None},
+                    owner=owner,
+                )
+            else:
+                self._vault_entry(
+                    _proxy_td(table_disguise, table),
+                    row,
+                    OP_REMOVE,
+                    {"row": dict(row)},
+                    owner=owner,
+                )
+                pk_col = self.db.table(table).schema.primary_key
+                self.db.delete_by_pk(table, row[pk_col])
+                self.report.rows_removed += 1
+                if table != table_disguise.table:
+                    self.report.cascades += 1
+
+    # -- removal ordering --------------------------------------------------------------
+
+    def _removal_order(self) -> list[TableDisguise]:
+        """Spec tables with Remove ops, children before parents.
+
+        Built from the schema's FK graph (edges child -> parent); a
+        topological order of that graph visits children first. Cycles
+        (self-references) fall back to spec order for the affected tables.
+        """
+        removing = [
+            table_disguise
+            for table_disguise in self.spec.tables
+            if any(isinstance(t, Remove) for t in table_disguise.transformations)
+        ]
+        if len(removing) <= 1:
+            return removing
+        graph = self.executor.schema.fk_graph()
+        # Self-references (comment threads) and mutual FK cycles cannot
+        # constrain a linear order; collapse them via condensation.
+        graph.remove_edges_from(list(nx.selfloop_edges(graph)))
+        try:
+            order = {name: i for i, name in enumerate(nx.topological_sort(graph))}
+        except nx.NetworkXUnfeasible:
+            condensed = nx.condensation(graph)
+            order = {}
+            for i, component in enumerate(nx.topological_sort(condensed)):
+                for name in condensed.nodes[component]["members"]:
+                    order[name] = i
+        return sorted(removing, key=lambda td: order.get(td.table, len(order)))
+
+
+def _proxy_td(table_disguise: TableDisguise, table: str) -> TableDisguise:
+    """A lightweight stand-in so cascade entries on *other* tables carry the
+    right table name (owner routing already resolved by the caller)."""
+    if table == table_disguise.table:
+        return table_disguise
+    return TableDisguise(table=table)

@@ -1,0 +1,97 @@
+"""Privacy-goal assertions over post-disguise state (paper §7).
+
+"Perhaps assertions could be arbitrary predicates over the end-state,
+which the tool would check after disguise application to ensure the state
+adheres to the application's privacy goals; if these checks fail, the tool
+would revert the disguise and try again with a different mechanism until
+it passes the checks, or notify the developer of an error."
+
+:class:`PrivacyAssertion` expresses goals like "user no longer has any
+reviews" as a count constraint over a predicate, or as an arbitrary
+callable over the database. The engine checks assertions inside the
+disguise transaction; failure handling is selected by ``on_failure``:
+
+* ``"revert"`` — roll back the disguise and raise (the paper's default).
+* ``"retry"``  — roll back, escalate mechanisms (enable composition, then
+  disable the redundancy optimizer), and re-apply; raise if every
+  escalation still fails.
+* ``"notify"`` — keep the disguise, record the failures in the report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import SpecError
+from repro.storage.database import Database
+from repro.storage.predicate import Predicate
+from repro.storage.sql import parse_where
+
+__all__ = ["PrivacyAssertion", "check_assertions"]
+
+_COMPARATORS: dict[str, Callable[[int, int], bool]] = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class PrivacyAssertion:
+    """One end-state predicate.
+
+    Count form: ``PrivacyAssertion("no reviews", table="Review",
+    pred="contactId = $UID")`` asserts the matching row count satisfies
+    ``comparator expected`` (default ``== 0``).
+
+    Callable form: ``PrivacyAssertion("custom", check=fn)`` where
+    ``fn(db, params) -> bool``.
+    """
+
+    name: str
+    table: str | None = None
+    pred: str | Predicate | None = None
+    expected: int = 0
+    comparator: str = "=="
+    check: Callable[[Database, Mapping[str, Any]], bool] | None = None
+
+    def __post_init__(self) -> None:
+        if self.comparator not in _COMPARATORS:
+            raise SpecError(f"unknown comparator {self.comparator!r}")
+        if self.check is None and (self.table is None or self.pred is None):
+            raise SpecError(
+                f"assertion {self.name!r} needs either (table, pred) or a check callable"
+            )
+
+    def holds(self, db: Database, params: Mapping[str, Any]) -> bool:
+        """Evaluate against the (in-transaction) database state."""
+        if self.check is not None:
+            return bool(self.check(db, params))
+        predicate = parse_where(self.pred)
+        count = db.count(self.table, predicate, params)
+        return _COMPARATORS[self.comparator](count, self.expected)
+
+    def describe(self) -> str:
+        if self.check is not None:
+            return f"{self.name} (custom check)"
+        return (
+            f"{self.name}: count({self.table} where {self.pred}) "
+            f"{self.comparator} {self.expected}"
+        )
+
+
+def check_assertions(
+    assertions: tuple[PrivacyAssertion, ...] | list[PrivacyAssertion],
+    db: Database,
+    params: Mapping[str, Any],
+) -> list[str]:
+    """Evaluate all assertions; returns descriptions of the failures."""
+    failures = []
+    for assertion in assertions:
+        if not assertion.holds(db, params):
+            failures.append(assertion.describe())
+    return failures

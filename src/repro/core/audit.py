@@ -1,0 +1,196 @@
+"""Erasure auditing: catch disguise specs that leak data (paper §7).
+
+"Data disguising … is only as good as the developer-written specification.
+We imagine that data analysis tools and heuristics can help developers
+improve or catch errors in disguise specifications, similar to e.g.,
+techniques for detecting incorrect deletion [DELF]."
+
+Two auditors, both heuristic by design:
+
+* :func:`audit_user_erasure` — after disguising user U, scan the database
+  for traces of U: surviving rows that reference U through any FK chain to
+  the user table, plus *value* traces — the user's known identifiers
+  (email, name, …) appearing verbatim in any text column, which catches
+  denormalized copies a schema-driven spec misses (e.g. HotCRP's
+  ``Paper.authorInformation``).
+* :func:`scan_for_pii` — schema-independent sweep for PII-shaped values
+  (email addresses, IPv4 addresses, phone-like digit runs) left anywhere
+  in the database; useful after a ConfAnon-style global disguise.
+
+Findings are advisory: a finding is a *candidate* leak for a human (or an
+assertion) to judge — heuristics trade false positives for recall, like
+DELF's detection side.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.storage.database import Database
+
+__all__ = ["LeakFinding", "audit_user_erasure", "scan_for_pii", "PII_PATTERNS"]
+
+
+@dataclass(frozen=True)
+class LeakFinding:
+    """One candidate leak."""
+
+    table: str
+    pk: Any
+    column: str
+    kind: str  # "reference" | "value" | "pattern"
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - rendering
+        return f"{self.table}({self.pk}).{self.column}: {self.kind} — {self.detail}"
+
+
+def _is_placeholder(db: Database, table: str, pk: Any) -> bool:
+    """Rows the engine minted as placeholders carry synthetic values, not
+    PII; the auditor consults the engine's registry to skip them."""
+    from repro.core.physical import REGISTRY_TABLE, PlaceholderRegistry
+
+    if not db.has_table(REGISTRY_TABLE):
+        return False
+    return db.get(REGISTRY_TABLE, PlaceholderRegistry._key(table, pk)) is not None
+
+
+PII_PATTERNS: dict[str, re.Pattern[str]] = {
+    "email": re.compile(r"[A-Za-z0-9._%+-]+@[A-Za-z0-9.-]+\.[A-Za-z]{2,}"),
+    "ipv4": re.compile(r"\b(?:\d{1,3}\.){3}\d{1,3}\b"),
+    "phone": re.compile(r"\b\+?\d[\d\s().-]{7,}\d\b"),
+}
+
+# Addresses the library itself mints for anonymization are not leaks.
+_SAFE_EMAIL = re.compile(r"@anon\.invalid$")
+
+
+def audit_user_erasure(
+    db: Database,
+    user_table: str,
+    uid: Any,
+    identifiers: Iterable[str] = (),
+    skip_tables: Iterable[str] = (),
+) -> list[LeakFinding]:
+    """Scan for traces of user *uid* after an erasure-style disguise.
+
+    *identifiers* are the user's known string identifiers (captured before
+    the disguise — the auditor deliberately does not read vaults). Engine
+    metadata tables (``_``-prefixed) are always skipped.
+    """
+    skip = {name for name in skip_tables}
+    findings: list[LeakFinding] = []
+
+    # 1. The account row itself.
+    if user_table not in skip and db.get(user_table, uid) is not None:
+        findings.append(
+            LeakFinding(user_table, uid, db.table(user_table).schema.primary_key,
+                        "reference", "account row still present")
+        )
+
+    # 2. Any FK into the user table still carrying uid.
+    for child_schema, fk in db.schema.referencing(user_table):
+        if child_schema.name in skip or child_schema.name.startswith("_"):
+            continue
+        for row in db.table(child_schema.name).referencing_rows(fk.column, uid):
+            findings.append(
+                LeakFinding(
+                    child_schema.name,
+                    row[child_schema.primary_key],
+                    fk.column,
+                    "reference",
+                    f"foreign key still references {user_table}.{uid}",
+                )
+            )
+
+    # 3. Verbatim identifier values in any text column of any table.
+    needles = [needle for needle in identifiers if needle]
+    if needles:
+        for table_schema in db.schema:
+            if table_schema.name in skip or table_schema.name.startswith("_"):
+                continue
+            text_columns = [
+                col.name
+                for col in table_schema.columns
+                if col.ctype.value == "TEXT"
+            ]
+            if not text_columns:
+                continue
+            for row in db.table(table_schema.name).rows():
+                for column in text_columns:
+                    value = row[column]
+                    if not isinstance(value, str):
+                        continue
+                    for needle in needles:
+                        if needle in value:
+                            findings.append(
+                                LeakFinding(
+                                    table_schema.name,
+                                    row[table_schema.primary_key],
+                                    column,
+                                    "value",
+                                    f"contains identifier {needle!r}",
+                                )
+                            )
+    return findings
+
+
+def scan_for_pii(
+    db: Database,
+    patterns: dict[str, re.Pattern[str]] | None = None,
+    skip_tables: Iterable[str] = (),
+) -> list[LeakFinding]:
+    """Sweep every text column for PII-shaped values.
+
+    Columns *declared* PII in the schema are reported whenever non-NULL
+    (they should have been scrubbed); other text columns are reported only
+    on a pattern hit.
+    """
+    active = patterns if patterns is not None else PII_PATTERNS
+    skip = set(skip_tables)
+    findings: list[LeakFinding] = []
+    for table_schema in db.schema:
+        if table_schema.name in skip or table_schema.name.startswith("_"):
+            continue
+        text_columns = [
+            col for col in table_schema.columns if col.ctype.value == "TEXT"
+        ]
+        if not text_columns:
+            continue
+        for row in db.table(table_schema.name).rows():
+            if _is_placeholder(db, table_schema.name, row[table_schema.primary_key]):
+                continue
+            for col in text_columns:
+                value = row[col.name]
+                if not isinstance(value, str) or not value:
+                    continue
+                if value == "[redacted]" or value == "[deleted]":
+                    continue
+                if col.pii:
+                    if not _SAFE_EMAIL.search(value):
+                        findings.append(
+                            LeakFinding(
+                                table_schema.name,
+                                row[table_schema.primary_key],
+                                col.name,
+                                "pattern",
+                                "declared-PII column is not scrubbed",
+                            )
+                        )
+                    continue
+                for name, pattern in active.items():
+                    match = pattern.search(value)
+                    if match and not (name == "email" and _SAFE_EMAIL.search(match.group())):
+                        findings.append(
+                            LeakFinding(
+                                table_schema.name,
+                                row[table_schema.primary_key],
+                                col.name,
+                                "pattern",
+                                f"{name}-shaped value {match.group()!r}",
+                            )
+                        )
+                        break
+    return findings

@@ -1,0 +1,263 @@
+"""Explain a disguise before applying it (paper §1, §7).
+
+"Finding the affected data is already nontrivial … Static analysis and
+other techniques may be required to explain the consequences of a
+disguise." :func:`explain` produces a :class:`DisguisePlan` — a dry-run
+report of what ``apply`` *would* do — without modifying anything:
+
+* per-table row counts each transformation would touch (predicates are
+  evaluated read-only);
+* placeholders that would be created, cascades that would fire, and
+  RESTRICT conflicts that would abort the disguise;
+* interactions with currently *active* disguises: which vault entries
+  composition would recorrelate, and which decorrelations the optimizer
+  would skip.
+
+The plan is advisory: it reads the live database, so a concurrent change
+between explain and apply can shift counts. Its structure, however, is
+exact — it is computed by the same predicate evaluation and FK traversal
+the real apply uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.core.compose import skippable_decorrelation
+from repro.errors import DisguiseError
+from repro.spec.disguise import DisguiseSpec, USER_PARAM
+from repro.spec.transform import Decorrelate, Modify, Remove
+from repro.storage.schema import FKAction
+from repro.vault.entry import OP_REMOVE
+
+__all__ = ["explain", "DisguisePlan", "PlannedAction", "PlannedConflict"]
+
+
+@dataclass(frozen=True)
+class PlannedAction:
+    """One transformation's predicted effect on one table."""
+
+    table: str
+    kind: str  # remove | modify | decorrelate | cascade | setnull
+    rows: int
+    detail: str = ""
+
+    def __str__(self) -> str:  # pragma: no cover - rendering
+        suffix = f" ({self.detail})" if self.detail else ""
+        return f"{self.kind:12s} {self.table:24s} {self.rows:6d} row(s){suffix}"
+
+
+@dataclass(frozen=True)
+class PlannedConflict:
+    """A referential-integrity conflict that would abort the disguise."""
+
+    table: str
+    referencing_table: str
+    column: str
+    rows: int
+
+    def __str__(self) -> str:  # pragma: no cover - rendering
+        return (
+            f"removing {self.table} rows would strand {self.rows} row(s) of "
+            f"{self.referencing_table}.{self.column} (ON DELETE RESTRICT, "
+            f"not addressed by the spec)"
+        )
+
+
+@dataclass
+class DisguisePlan:
+    """The dry-run result: everything ``apply`` would do."""
+
+    spec_name: str
+    uid: Any
+    actions: list[PlannedAction] = field(default_factory=list)
+    conflicts: list[PlannedConflict] = field(default_factory=list)
+    placeholders: int = 0
+    rows_touched: int = 0
+    recorrelations: int = 0       # active-disguise entries composition reverses
+    optimizer_skips: int = 0      # redundant decorrelations the optimizer skips
+    active_interactions: list[str] = field(default_factory=list)
+
+    @property
+    def is_applicable(self) -> bool:
+        """False if apply would abort on a RESTRICT conflict."""
+        return not self.conflicts
+
+    def describe(self) -> str:
+        lines = [f"plan for {self.spec_name!r} (uid={self.uid}):"]
+        for action in self.actions:
+            lines.append(f"  {action}")
+        lines.append(
+            f"  total: {self.rows_touched} row(s), "
+            f"{self.placeholders} placeholder(s)"
+        )
+        if self.recorrelations or self.optimizer_skips:
+            lines.append(
+                f"  composition: {self.recorrelations} recorrelation(s), "
+                f"{self.optimizer_skips} optimizer skip(s)"
+            )
+        for interaction in self.active_interactions:
+            lines.append(f"  interacts: {interaction}")
+        for conflict in self.conflicts:
+            lines.append(f"  CONFLICT: {conflict}")
+        return "\n".join(lines)
+
+
+def explain(engine, spec: DisguiseSpec | str, uid: Any = None,
+            optimize: bool = True) -> DisguisePlan:
+    """Dry-run *spec* for *uid* against *engine*'s database and vault."""
+    resolved = engine.spec(spec) if isinstance(spec, str) else spec
+    if resolved.is_user_disguise and uid is None:
+        raise DisguiseError(
+            f"disguise {resolved.name!r} is parameterized by $UID; pass uid="
+        )
+    params: Mapping[str, Any] = {USER_PARAM: uid} if uid is not None else {}
+    db = engine.db
+    plan = DisguisePlan(spec_name=resolved.name, uid=uid)
+
+    removed_pks: dict[str, set[Any]] = {}
+    for table_disguise in resolved.tables:
+        for transformation in table_disguise.transformations:
+            rows = db.select(table_disguise.table, transformation.pred, params)
+            if isinstance(transformation, Remove):
+                pk_col = db.table(table_disguise.table).schema.primary_key
+                removed_pks.setdefault(table_disguise.table, set()).update(
+                    row[pk_col] for row in rows
+                )
+                plan.actions.append(
+                    PlannedAction(table_disguise.table, "remove", len(rows))
+                )
+            elif isinstance(transformation, Modify):
+                plan.actions.append(
+                    PlannedAction(
+                        table_disguise.table,
+                        "modify",
+                        len(rows),
+                        detail=f"{transformation.column} <- {transformation.label}",
+                    )
+                )
+            elif isinstance(transformation, Decorrelate):
+                live = [
+                    row for row in rows
+                    if row[transformation.foreign_key] is not None
+                ]
+                plan.actions.append(
+                    PlannedAction(
+                        table_disguise.table,
+                        "decorrelate",
+                        len(live),
+                        detail=f"fk {transformation.foreign_key}",
+                    )
+                )
+                plan.placeholders += len(live)
+            plan.rows_touched += len(rows)
+
+    _plan_removal_side_effects(engine, resolved, removed_pks, params, plan)
+    _plan_composition(engine, resolved, uid, optimize, plan)
+    return plan
+
+
+def _plan_removal_side_effects(engine, spec, removed_pks, params, plan) -> None:
+    """Cascades, SET NULLs, and RESTRICT conflicts removal would trigger."""
+    db = engine.db
+    for table, pks in removed_pks.items():
+        for child_schema, fk in db.schema.referencing(table):
+            affected = 0
+            for pk in pks:
+                affected += len(
+                    db.table(child_schema.name).referencing_rows(fk.column, pk)
+                )
+            if not affected:
+                continue
+            child_td = spec.table_disguise(child_schema.name)
+            if fk.on_delete is FKAction.CASCADE:
+                plan.actions.append(
+                    PlannedAction(
+                        child_schema.name, "cascade", affected,
+                        detail=f"via {fk.column} -> {table}",
+                    )
+                )
+                plan.rows_touched += affected
+            elif fk.on_delete is FKAction.SET_NULL:
+                plan.actions.append(
+                    PlannedAction(
+                        child_schema.name, "setnull", affected,
+                        detail=f"{fk.column} (parent {table} removed)",
+                    )
+                )
+                plan.rows_touched += affected
+            else:  # RESTRICT: only a conflict if the spec leaves rows behind
+                if child_td is None:
+                    plan.conflicts.append(
+                        PlannedConflict(table, child_schema.name, fk.column, affected)
+                    )
+                else:
+                    # The spec addresses the child table; whether it clears
+                    # *these* rows depends on predicates — check them.
+                    cleared = _would_clear(engine, child_td, fk.column, pks, params)
+                    if not cleared:
+                        plan.conflicts.append(
+                            PlannedConflict(
+                                table, child_schema.name, fk.column, affected
+                            )
+                        )
+
+
+def _would_clear(engine, table_disguise, fk_column, parent_pks, params) -> bool:
+    """Whether the spec's transformations on the child table detach every
+    row referencing the removed parents."""
+    db = engine.db
+    for pk in parent_pks:
+        for row in db.table(table_disguise.table).referencing_rows(fk_column, pk):
+            handled = False
+            for transformation in table_disguise.transformations:
+                if not transformation.pred.test(row, params):
+                    continue
+                if isinstance(transformation, Remove):
+                    handled = True
+                elif (
+                    isinstance(transformation, Decorrelate)
+                    and transformation.foreign_key == fk_column
+                ):
+                    handled = True
+                elif (
+                    isinstance(transformation, Modify)
+                    and transformation.column == fk_column
+                    and transformation.fn(row[fk_column]) is None
+                ):
+                    handled = True
+                if handled:
+                    break
+            if not handled:
+                return False
+    return True
+
+
+def _plan_composition(engine, spec, uid, optimize, plan) -> None:
+    """Predict composition work against the currently active disguises."""
+    if uid is None:
+        return
+    try:
+        entries = engine.vault.entries_for(uid)
+    except Exception:
+        plan.active_interactions.append(
+            "user's vault is not readable (locked?); composition would fail"
+        )
+        return
+    touched = set(spec.table_names)
+    seen_disguises = set()
+    for entry in entries:
+        if entry.table not in touched or entry.op == OP_REMOVE:
+            continue
+        if optimize and skippable_decorrelation(spec, entry):
+            plan.optimizer_skips += 1
+        else:
+            plan.recorrelations += 1
+        seen_disguises.add(entry.disguise_id)
+    for did in sorted(seen_disguises):
+        record = engine.history.get(did)
+        plan.active_interactions.append(
+            f"active disguise {record.name!r} (did={did}) holds vault state "
+            f"for this user"
+        )

@@ -1,0 +1,108 @@
+"""Breach-exposure accounting: how much would a leak reveal? (paper §1-§2)
+
+The paper motivates proactive disguising with breach risk: "a site might
+scrub or anonymize its older contents to reduce the impact of a possible
+later breach", and "inactive users' accounts and data can make a data
+breach much worse". This module quantifies that impact so policies can be
+evaluated: if the database leaked *right now*,
+
+* how many **identifiable users** are in it (real accounts, not
+  placeholders)?
+* how many **PII cells** are readable (non-NULL declared-PII values on
+  identifiable rows)?
+* how many **linkable contributions** are there — rows whose user-table
+  foreign key points at an identifiable user, i.e. content an attacker can
+  attribute?
+
+Disguises lower these numbers; reveals raise them. The decay/expiration
+tests use the metric to show exposure falling monotonically through policy
+stages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.storage.database import Database
+
+__all__ = ["ExposureReport", "measure_exposure"]
+
+
+@dataclass(frozen=True)
+class ExposureReport:
+    """Snapshot of what a breach of this database would reveal."""
+
+    identifiable_users: int
+    pii_cells: int
+    linkable_contributions: int
+
+    @property
+    def total(self) -> int:
+        """A single comparable magnitude (the tests only compare, never
+        interpret, this number)."""
+        return self.identifiable_users + self.pii_cells + self.linkable_contributions
+
+    def __str__(self) -> str:  # pragma: no cover - rendering
+        return (
+            f"exposure: {self.identifiable_users} identifiable user(s), "
+            f"{self.pii_cells} PII cell(s), "
+            f"{self.linkable_contributions} linkable contribution(s)"
+        )
+
+
+def _placeholder_keys(db: Database) -> set[str]:
+    from repro.core.physical import REGISTRY_TABLE
+
+    if not db.has_table(REGISTRY_TABLE):
+        return set()
+    return {row["key"] for row in db.table(REGISTRY_TABLE).rows()}
+
+
+def measure_exposure(db: Database, user_table: str) -> ExposureReport:
+    """Measure breach exposure relative to *user_table* accounts.
+
+    Placeholder rows (from the engine's registry) are not identifiable and
+    do not count, nor do contributions pointing at them — that is exactly
+    the protection decorrelation buys.
+    """
+    placeholders = _placeholder_keys(db)
+    users_schema = db.table(user_table).schema
+    pk_col = users_schema.primary_key
+
+    identifiable: set = set()
+    pii_cells = 0
+    for row in db.table(user_table).rows():
+        key = f"{user_table}:{row[pk_col]!r}"
+        if key in placeholders:
+            continue
+        identifiable.add(row[pk_col])
+        for col in users_schema.pii_columns():
+            value = row[col.name]
+            if value is None or value in ("[redacted]", "[deleted]"):
+                continue
+            if isinstance(value, str) and value.endswith("@anon.invalid"):
+                continue
+            pii_cells += 1
+
+    linkable = 0
+    for child_schema, fk in db.schema.referencing(user_table):
+        if child_schema.name.startswith("_"):
+            continue
+        for row in db.table(child_schema.name).rows():
+            if row[fk.column] in identifiable:
+                linkable += 1
+        # PII cells on linkable rows also count (e.g. ReviewRequest names).
+        for col in child_schema.pii_columns():
+            for row in db.table(child_schema.name).rows():
+                value = row[col.name]
+                if value is None or value in ("[redacted]", "[deleted]"):
+                    continue
+                if isinstance(value, str) and value.endswith("@anon.invalid"):
+                    continue
+                pii_cells += 1
+
+    return ExposureReport(
+        identifiable_users=len(identifiable),
+        pii_cells=pii_cells,
+        linkable_contributions=linkable,
+    )

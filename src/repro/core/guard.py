@@ -1,0 +1,185 @@
+"""Application updates to disguised data (paper §7).
+
+"Our framework does not answer how disguises compose with normal
+application changes to disguised data. … One possible solution is to make
+such updates themselves disguises, and store metadata about them in
+vaults, but this would be expensive. Another solution would prohibit
+updates to disguised data (which limits the application)."
+
+:class:`UpdateGuard` implements both options as a write path the
+application routes its mutations through:
+
+* ``mode="prohibit"`` — updates and deletes against rows with active vault
+  entries raise :class:`~repro.errors.DisguiseError` (the paper's "limits
+  the application" option);
+* ``mode="log"`` — the mutation proceeds, and a record of it is appended
+  to an engine-owned ``_update_log`` table. When a disguise on that row is
+  later revealed, the engine re-applies the logged values on top of the
+  restored state, so the application's post-disguise edits survive the
+  reveal (the paper's "make such updates themselves disguises" option,
+  at the cost of one extra row per update);
+* ``mode="allow"`` — unguarded writes (reveal may clobber them; this is
+  the behaviour of a guard-less deployment, made explicit).
+
+Disguised-row detection reads the vaults of all *accessible* owners;
+locked (encrypted) vaults cannot be consulted, so in ``prohibit`` mode a
+row that *might* be covered only by a locked vault is allowed through —
+the deployment's tiering (see :mod:`repro.vault.multitier`) decides how
+much the guard can see.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.errors import DisguiseError, VaultError
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import ColumnType
+
+__all__ = ["UpdateGuard", "UPDATE_LOG_TABLE"]
+
+UPDATE_LOG_TABLE = "_update_log"
+
+_MODES = ("prohibit", "log", "allow")
+
+
+def _update_log_schema() -> TableSchema:
+    return TableSchema(
+        UPDATE_LOG_TABLE,
+        [
+            Column("log_id", ColumnType.INTEGER, nullable=False),
+            Column("tbl", ColumnType.TEXT, nullable=False),
+            Column("pk", ColumnType.TEXT, nullable=False),  # repr of the key
+            Column("col", ColumnType.TEXT, nullable=False),
+            Column("value_json", ColumnType.TEXT),
+            Column("seq", ColumnType.INTEGER, nullable=False),
+        ],
+        primary_key="log_id",
+    )
+
+
+class UpdateGuard:
+    """Routes application mutations with disguised-data awareness."""
+
+    def __init__(self, engine, mode: str = "prohibit") -> None:
+        if mode not in _MODES:
+            raise DisguiseError(f"unknown guard mode {mode!r}; pick from {_MODES}")
+        self.engine = engine
+        self.mode = mode
+        if mode == "log" and not engine.db.has_table(UPDATE_LOG_TABLE):
+            engine.db.create_table(_update_log_schema())
+
+    # -- disguise detection --------------------------------------------------------
+
+    def is_disguised(self, table: str, pk: Any) -> bool:
+        """Whether any active disguise holds a vault entry for this row.
+
+        Consults the global vault plus each active disguise's owner vault;
+        locked vaults are skipped (see module docstring).
+        """
+        vault = self.engine.vault
+        candidates = [None]
+        # Global disguises route entries to the affected row's owner, so
+        # every enumerable vault is a candidate, not just invoking users.
+        for owner in vault.owners():
+            if owner not in candidates:
+                candidates.append(owner)
+        for record in self.engine.history.records(active_only=True):
+            if record.uid is not None and record.uid not in candidates:
+                candidates.append(record.uid)
+        for owner in candidates:
+            try:
+                entries = vault.entries_for(owner, table=table)
+            except VaultError:
+                continue
+            if any(entry.pk == pk for entry in entries):
+                return True
+        return False
+
+    # -- guarded write path -----------------------------------------------------------
+
+    def update(self, table: str, pk: Any, changes: Mapping[str, Any]) -> dict[str, Any]:
+        """Apply *changes* to one row through the guard."""
+        disguised = self.mode != "allow" and self.is_disguised(table, pk)
+        if disguised and self.mode == "prohibit":
+            raise DisguiseError(
+                f"row {table}:{pk!r} is covered by an active disguise; "
+                f"updates to disguised data are prohibited"
+            )
+        row = self.engine.db.update_by_pk(table, pk, changes)
+        if disguised and self.mode == "log":
+            self._log_changes(table, pk, changes)
+        return row
+
+    def delete(self, table: str, pk: Any) -> dict[str, Any]:
+        """Delete one row through the guard.
+
+        Deletes of disguised rows are prohibited in both ``prohibit`` and
+        ``log`` modes: a logged delete cannot be meaningfully replayed over
+        a reveal (the paper marks deletion as the one application change
+        disguising handles naturally — via a disguise, not a raw delete).
+        """
+        if self.mode != "allow" and self.is_disguised(table, pk):
+            raise DisguiseError(
+                f"row {table}:{pk!r} is covered by an active disguise; "
+                f"delete it through a disguise instead"
+            )
+        return self.engine.db.delete_by_pk(table, pk)
+
+    # -- update log -------------------------------------------------------------------
+
+    def _log_changes(self, table: str, pk: Any, changes: Mapping[str, Any]) -> None:
+        import json
+
+        db = self.engine.db
+        for column, value in changes.items():
+            db.insert(
+                UPDATE_LOG_TABLE,
+                {
+                    "log_id": db.next_id(UPDATE_LOG_TABLE),
+                    "tbl": table,
+                    "pk": repr(pk),
+                    "col": column,
+                    "value_json": json.dumps(value),
+                    "seq": self.engine.history.next_seq(),
+                },
+            )
+
+    def logged_updates(self, table: str, pk: Any) -> list[dict[str, Any]]:
+        """Logged post-disguise updates for one row, oldest first."""
+        db = self.engine.db
+        if not db.has_table(UPDATE_LOG_TABLE):
+            return []
+        rows = db.select(
+            UPDATE_LOG_TABLE, "tbl = $T AND pk = $P", {"T": table, "P": repr(pk)}
+        )
+        return sorted(rows, key=lambda row: row["seq"])
+
+    def replay_after_reveal(self, reveal_report) -> int:
+        """Re-apply logged updates to rows a reveal just restored.
+
+        Call after :meth:`Disguiser.reveal`; returns how many column values
+        were re-applied. Replayed log records are consumed.
+        """
+        import json
+
+        db = self.engine.db
+        if not db.has_table(UPDATE_LOG_TABLE):
+            return 0
+        replayed = 0
+        for record in db.select(UPDATE_LOG_TABLE):
+            table, pk_repr = record["tbl"], record["pk"]
+            target = None
+            for row in db.select(table):
+                pk_col = db.table(table).schema.primary_key
+                if repr(row[pk_col]) == pk_repr:
+                    target = row[pk_col]
+                    break
+            if target is None:
+                continue
+            if self.is_disguised(table, target):
+                continue  # still disguised; replay when fully revealed
+            db.update_by_pk(table, target, {record["col"]: json.loads(record["value_json"])})
+            db.delete_by_pk(UPDATE_LOG_TABLE, record["log_id"])
+            replayed += 1
+        return replayed

@@ -1,0 +1,201 @@
+"""The persistent disguise history log (paper §5).
+
+"Edna also keeps a disguise history table that logs all disguises
+performed." The log lives in the application database (table
+``_disguise_history``) so it is transactional with disguise application:
+a rolled-back disguise leaves no history row.
+
+Reveal uses the log two ways (§4.2): to find a disguise's epoch, and to
+enumerate the *later* still-active disguises whose operations must be
+re-applied to revealed data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import DisguiseError
+from repro.storage.database import Database
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import ColumnType
+
+__all__ = ["DisguiseHistory", "HistoryRecord"]
+
+HISTORY_TABLE = "_disguise_history"
+
+
+def _history_schema() -> TableSchema:
+    return TableSchema(
+        HISTORY_TABLE,
+        [
+            Column("did", ColumnType.INTEGER, nullable=False),
+            Column("name", ColumnType.TEXT, nullable=False),
+            Column("uid", ColumnType.TEXT),  # str(user id); NULL for global
+            Column("epoch", ColumnType.INTEGER, nullable=False),
+            Column("active", ColumnType.BOOL, nullable=False, default=True),
+            Column("reversible", ColumnType.BOOL, nullable=False, default=True),
+            Column("user_invoked", ColumnType.BOOL, nullable=False, default=False),
+            Column("last_seq", ColumnType.INTEGER, nullable=False, default=0),
+            Column("entries", ColumnType.INTEGER, nullable=False, default=0),
+        ],
+        primary_key="did",
+    )
+
+
+@dataclass(frozen=True)
+class HistoryRecord:
+    """One applied disguise, as recorded in the log."""
+
+    did: int
+    name: str
+    uid: Any
+    epoch: int
+    active: bool
+    reversible: bool
+    user_invoked: bool
+    entries: int
+
+    @classmethod
+    def from_row(cls, row: dict[str, Any]) -> "HistoryRecord":
+        uid = row["uid"]
+        if isinstance(uid, str) and uid.isdigit():
+            uid = int(uid)
+        return cls(
+            did=row["did"],
+            name=row["name"],
+            uid=uid,
+            epoch=row["epoch"],
+            active=row["active"],
+            reversible=row["reversible"],
+            user_invoked=row["user_invoked"],
+            entries=row.get("entries", 0),
+        )
+
+
+class DisguiseHistory:
+    """Log of all disguises applied to one database, plus id allocation.
+
+    Sequence numbers (``seq``) totally order physical changes across
+    disguises; entry ids uniquely name vault entries. Both counters are
+    kept in memory and checkpointed onto each disguise's history row
+    (``last_seq``), so a fresh engine attached to an existing database
+    resumes numbering correctly.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        if not db.has_table(HISTORY_TABLE):
+            db.create_table(_history_schema())
+        self._next_did = 1
+        self._next_seq = 1
+        for row in db.table(HISTORY_TABLE).rows():
+            self._next_did = max(self._next_did, row["did"] + 1)
+            self._next_seq = max(self._next_seq, row["last_seq"] + 1)
+
+    # -- id allocation -----------------------------------------------------------
+
+    def next_seq(self) -> int:
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    # Entry ids share the seq counter: both need only global uniqueness and
+    # monotonicity, and one counter means one checkpoint.
+    next_entry_id = next_seq
+
+    # -- log records --------------------------------------------------------------
+
+    def open(
+        self,
+        name: str,
+        uid: Any,
+        reversible: bool,
+        user_invoked: bool,
+    ) -> int:
+        """Append a new in-progress disguise; returns its disguise id.
+
+        The epoch of a disguise equals its id: ids are allocated in
+        application order, so comparisons on epoch give log order.
+        """
+        did = self._next_did
+        self._next_did += 1
+        self.db.insert(
+            HISTORY_TABLE,
+            {
+                "did": did,
+                "name": name,
+                "uid": None if uid is None else str(uid),
+                "epoch": did,
+                "active": True,
+                "reversible": reversible,
+                "user_invoked": user_invoked,
+                "last_seq": 0,
+                "entries": 0,
+            },
+        )
+        return did
+
+    def checkpoint(self, did: int, entries_written: int | None = None) -> None:
+        """Record the seq high-water mark (and optionally the number of
+        vault entries the disguise wrote) on the disguise's row.
+
+        The entry count lets reveal distinguish a disguise that legitimately
+        changed nothing (reveal is a no-op) from one whose vault entries
+        expired (reveal is impossible, §4.2)."""
+        changes: dict = {"last_seq": self._next_seq - 1}
+        if entries_written is not None:
+            changes["entries"] = entries_written
+        self.db.update_by_pk(HISTORY_TABLE, did, changes)
+
+    def adjust_entries(self, did: int, delta: int) -> None:
+        """Maintain the live vault-entry count for a disguise.
+
+        The journal calls this on every entry put/delete, so ``entries``
+        always reflects what remains in the vaults: composition may consume
+        another disguise's entries (the rows it would reverse are gone),
+        and reveal must treat that as "nothing left to do", not "expired".
+        """
+        row = self.db.get(HISTORY_TABLE, did)
+        if row is not None:
+            self.db.update_by_pk(
+                HISTORY_TABLE, did, {"entries": max(0, row["entries"] + delta)}
+            )
+
+    def get(self, did: int) -> HistoryRecord:
+        row = self.db.get(HISTORY_TABLE, did)
+        if row is None:
+            raise DisguiseError(f"no disguise with id {did}")
+        return HistoryRecord.from_row(row)
+
+    def deactivate(self, did: int) -> None:
+        """Mark a disguise as reversed (it no longer affects the database)."""
+        self.db.update_by_pk(HISTORY_TABLE, did, {"active": False})
+
+    def records(self, active_only: bool = False) -> list[HistoryRecord]:
+        rows = self.db.select(HISTORY_TABLE)
+        records = [HistoryRecord.from_row(row) for row in rows]
+        records.sort(key=lambda record: record.epoch)
+        if active_only:
+            records = [record for record in records if record.active]
+        return records
+
+    def active_after(self, epoch: int) -> list[HistoryRecord]:
+        """Active disguises applied after *epoch*, in log order — the
+        "relevant log interval" whose operations reveal must re-apply."""
+        return [
+            record
+            for record in self.records(active_only=True)
+            if record.epoch > epoch
+        ]
+
+    def active_for_user(self, uid: Any, before_epoch: int | None = None) -> list[HistoryRecord]:
+        """Active disguises that may hold vault state for *uid*: the user's
+        own disguises plus all global ones."""
+        out = []
+        for record in self.records(active_only=True):
+            if before_epoch is not None and record.epoch >= before_epoch:
+                continue
+            if record.uid is None or record.uid == uid:
+                out.append(record)
+        return out

@@ -1,0 +1,277 @@
+"""Migrating disguised state across schema changes (paper §7).
+
+A schema change on a database with *active disguises* must also migrate
+the reveal functions sitting in vaults, or existing disguises silently
+stop being reversible. :func:`migrate_vault` rewrites the reachable vault
+entries for each :class:`~repro.storage.evolve.SchemaChange`:
+
+* **AddColumn** — stored REMOVE payload rows gain the new column's default
+  so reinsert passes NOT NULL checks;
+* **DropColumn** — payload rows lose the column; MODIFY entries *on* the
+  dropped column are deleted (that part of the disguise becomes
+  permanent — the data it would restore no longer has a home);
+* **RenameColumn / RenameTable** — names are rewritten everywhere they
+  appear (entry table, payload column, placeholder table).
+
+:func:`migrate_spec` produces an updated :class:`DisguiseSpec` for the
+rename changes (predicates are rebuilt by textual re-parse of their
+rendered form, which is lossless for the supported grammar) and reports
+when a spec references a dropped column — the developer must revise it.
+
+:meth:`repro.core.engine.Disguiser.evolve_schema` drives all three layers
+(database, vaults, registered specs) from one change object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import SpecError, VaultError
+from repro.spec.disguise import DisguiseSpec, TableDisguise
+from repro.spec.transform import Decorrelate, Modify, Remove
+from repro.storage.evolve import (
+    AddColumn,
+    DropColumn,
+    RenameColumn,
+    RenameTable,
+    SchemaChange,
+)
+from repro.storage.sql import parse_where
+from repro.vault.base import VaultStore
+from repro.vault.entry import OP_MODIFY, OP_REMOVE, VaultEntry
+
+__all__ = ["MigrationReport", "migrate_vault", "migrate_spec"]
+
+
+@dataclass
+class MigrationReport:
+    """What a vault migration did."""
+
+    change: str
+    entries_rewritten: int = 0
+    entries_invalidated: int = 0
+    locked_owners: list[Any] = field(default_factory=list)
+    revised_specs: list[str] = field(default_factory=list)
+    unmigratable_specs: list[str] = field(default_factory=list)
+
+    def describe(self) -> str:
+        parts = [
+            f"{self.change}: {self.entries_rewritten} entr(y/ies) rewritten",
+        ]
+        if self.entries_invalidated:
+            parts.append(f"{self.entries_invalidated} invalidated")
+        if self.locked_owners:
+            parts.append(f"{len(self.locked_owners)} locked vault(s) skipped")
+        if self.revised_specs:
+            parts.append(f"specs revised: {', '.join(self.revised_specs)}")
+        if self.unmigratable_specs:
+            parts.append(
+                f"specs needing manual revision: {', '.join(self.unmigratable_specs)}"
+            )
+        return "; ".join(parts)
+
+
+def migrate_vault(vault: VaultStore, change: SchemaChange, report: MigrationReport) -> None:
+    """Rewrite every reachable vault entry for *change*.
+
+    Locked (encrypted) vaults cannot be rewritten without their keys; their
+    owners are recorded in the report so the deployment can migrate them
+    lazily at unlock time.
+    """
+    owners = [None, *vault.owners()]
+    for owner in owners:
+        try:
+            entries = vault.entries_for(owner)
+        except VaultError:
+            report.locked_owners.append(owner)
+            continue
+        for entry in entries:
+            migrated = _migrate_entry(entry, change)
+            if migrated is None:
+                vault.delete(entry.owner, [entry.entry_id])
+                report.entries_invalidated += 1
+            elif migrated != entry:
+                vault.replace(migrated)
+                report.entries_rewritten += 1
+
+
+def _migrate_entry(entry: VaultEntry, change: SchemaChange) -> VaultEntry | None:
+    """The migrated entry, the same entry if untouched, or None to drop."""
+    if isinstance(change, AddColumn):
+        if entry.table == change.table and entry.op == OP_REMOVE:
+            row = entry.removed_row
+            if change.column.name not in row:
+                row[change.column.name] = change.column.default
+                return entry.with_payload(entry.seq, row=row)
+        return entry
+    if isinstance(change, DropColumn):
+        if entry.table != change.table:
+            return entry
+        if entry.op == OP_REMOVE:
+            row = entry.removed_row
+            if change.column in row:
+                del row[change.column]
+                return entry.with_payload(entry.seq, row=row)
+            return entry
+        if entry.payload.get("column") == change.column:
+            # The value this entry would restore has no column anymore.
+            return None if entry.op == OP_MODIFY else entry
+        return entry
+    if isinstance(change, RenameColumn):
+        if entry.table != change.table:
+            return entry
+        updated = entry
+        if entry.op == OP_REMOVE:
+            row = entry.removed_row
+            if change.old in row:
+                row[change.new] = row.pop(change.old)
+                updated = entry.with_payload(entry.seq, row=row)
+        elif entry.payload.get("column") == change.old:
+            updated = entry.with_payload(entry.seq, column=change.new)
+        return updated
+    if isinstance(change, RenameTable):
+        updated = entry
+        if entry.table == change.table:
+            updated = replace(updated, table=change.new)
+        if updated.payload.get("placeholder_table") == change.table:
+            updated = updated.with_payload(
+                updated.seq, placeholder_table=change.new
+            )
+        return updated
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# Spec migration
+# ---------------------------------------------------------------------------
+
+
+def migrate_spec(spec: DisguiseSpec, change: SchemaChange) -> DisguiseSpec:
+    """A copy of *spec* updated for *change*.
+
+    Raises :class:`SpecError` for changes the spec cannot survive
+    automatically (a dropped column it reads or writes) — the report then
+    lists it for manual revision.
+    """
+    if isinstance(change, AddColumn):
+        return spec
+    if isinstance(change, DropColumn):
+        _reject_dropped_column(spec, change)
+        return spec
+    if isinstance(change, RenameColumn):
+        return _rename_in_spec(
+            spec,
+            table=change.table,
+            column_map={change.old: change.new},
+            table_map={},
+        )
+    if isinstance(change, RenameTable):
+        return _rename_in_spec(
+            spec, table=change.table, column_map={}, table_map={change.table: change.new}
+        )
+    return spec
+
+
+def _reject_dropped_column(spec: DisguiseSpec, change: DropColumn) -> None:
+    table_disguise = spec.table_disguise(change.table)
+    if table_disguise is None:
+        return
+    if change.column in table_disguise.generate_placeholder:
+        raise SpecError(
+            f"{spec.name}: generate_placeholder uses dropped column "
+            f"{change.table}.{change.column}"
+        )
+    for transformation in table_disguise.transformations:
+        if change.column in transformation.pred.columns():
+            raise SpecError(
+                f"{spec.name}: a predicate reads dropped column "
+                f"{change.table}.{change.column}"
+            )
+        if isinstance(transformation, Modify) and transformation.column == change.column:
+            raise SpecError(
+                f"{spec.name}: Modify targets dropped column "
+                f"{change.table}.{change.column}"
+            )
+        if (
+            isinstance(transformation, Decorrelate)
+            and transformation.foreign_key == change.column
+        ):
+            raise SpecError(
+                f"{spec.name}: Decorrelate targets dropped column "
+                f"{change.table}.{change.column}"
+            )
+
+
+def _rename_pred(pred, column_map: dict[str, str]):
+    """Rebuild a predicate with columns renamed, via its canonical text."""
+    text = str(pred)
+    for old, new in column_map.items():
+        # Identifiers in the rendered form are bare words; a targeted
+        # re-parse keeps this robust for the supported grammar.
+        import re
+
+        text = re.sub(rf"\b{re.escape(old)}\b", new, text)
+    return parse_where(text)
+
+
+def _rename_in_spec(
+    spec: DisguiseSpec,
+    table: str,
+    column_map: dict[str, str],
+    table_map: dict[str, str],
+) -> DisguiseSpec:
+    tables = []
+    for table_disguise in spec.tables:
+        applies = table_disguise.table == table or table_disguise.table in table_map
+        new_name = table_map.get(table_disguise.table, table_disguise.table)
+        if not applies and not table_map:
+            tables.append(table_disguise)
+            continue
+        transformations = []
+        for transformation in table_disguise.transformations:
+            pred = (
+                _rename_pred(transformation.pred, column_map)
+                if applies and column_map
+                else transformation.pred
+            )
+            if isinstance(transformation, Remove):
+                transformations.append(Remove(pred))
+            elif isinstance(transformation, Modify):
+                transformations.append(
+                    Modify(
+                        pred,
+                        column=column_map.get(transformation.column, transformation.column)
+                        if applies
+                        else transformation.column,
+                        fn=transformation.fn,
+                        label=transformation.label,
+                    )
+                )
+            elif isinstance(transformation, Decorrelate):
+                transformations.append(
+                    Decorrelate(
+                        pred,
+                        foreign_key=column_map.get(
+                            transformation.foreign_key, transformation.foreign_key
+                        )
+                        if applies
+                        else transformation.foreign_key,
+                    )
+                )
+        generators = {
+            (column_map.get(name, name) if applies else name): generator
+            for name, generator in table_disguise.generate_placeholder.items()
+        }
+        owner = table_disguise.owner_column
+        if applies and owner in column_map:
+            owner = column_map[owner]
+        tables.append(
+            TableDisguise(
+                table=new_name,
+                transformations=transformations,
+                generate_placeholder=generators,
+                owner_column=owner,
+            )
+        )
+    return DisguiseSpec(spec.name, tables, spec.description)

@@ -1,0 +1,167 @@
+"""Time-triggered disguises: expiration and data decay (paper §2).
+
+* **Expiration** — "Data expiration policies could proactively anonymize
+  or sanitize user contributions for long-inactive users. Expiration
+  policies should likely be reversible to support user return."
+* **Data decay** — "Gradual data decay policies could apply increasingly
+  strict privacy transformations over time, aging out sensitive but
+  outdated user data."
+
+The scheduler runs on a :class:`SimClock` (the engine never interprets
+wall-clock time, so simulated time drives tests and benchmarks
+deterministically). Policies are evaluated on :meth:`PolicyScheduler.tick`;
+each (policy stage, user) fires at most once while it remains due, and
+expiration disguises auto-reveal when the user becomes active again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.core.engine import Disguiser
+from repro.errors import DisguiseError
+from repro.storage.database import Database
+
+__all__ = ["SimClock", "ExpirationPolicy", "DecayStage", "DecayPolicy", "PolicyScheduler"]
+
+# Maps each user id to their last-activity timestamp.
+ActivityFn = Callable[[Database], Mapping[Any, float]]
+
+
+class SimClock:
+    """A controllable clock; time is seconds since an arbitrary epoch."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("time does not run backwards")
+        self.now += seconds
+        return self.now
+
+
+@dataclass
+class ExpirationPolicy:
+    """Disguise users inactive for longer than ``inactive_for`` seconds.
+
+    ``reveal_on_return`` automatically reverses the disguise when the
+    user's activity timestamp moves forward again (§2: expiration "should
+    likely be reversible to support user return").
+    """
+
+    name: str
+    spec_name: str
+    inactive_for: float
+    activity: ActivityFn
+    reveal_on_return: bool = True
+
+
+@dataclass(frozen=True)
+class DecayStage:
+    """One rung of a decay ladder: after ``age`` seconds, apply ``spec_name``."""
+
+    age: float
+    spec_name: str
+
+
+@dataclass
+class DecayPolicy:
+    """Apply increasingly strict disguises as a user's data ages.
+
+    Stages must be ordered by increasing age; each stage fires once per
+    user when their inactivity exceeds the stage's age. Later stages apply
+    *on top of* earlier ones (they compose through the engine's vault
+    machinery like any other disguises).
+    """
+
+    name: str
+    stages: tuple[DecayStage, ...]
+    activity: ActivityFn
+
+    def __post_init__(self) -> None:
+        ages = [stage.age for stage in self.stages]
+        if ages != sorted(ages):
+            raise DisguiseError(f"decay policy {self.name!r}: stages must be age-ordered")
+
+
+@dataclass
+class FiredAction:
+    """One scheduler decision, for reporting."""
+
+    policy: str
+    kind: str  # "apply" | "reveal"
+    spec_name: str
+    uid: Any
+    report: object = None
+
+
+class PolicyScheduler:
+    """Evaluates registered policies against simulated time."""
+
+    def __init__(self, engine: Disguiser, clock: SimClock) -> None:
+        self.engine = engine
+        self.clock = clock
+        self._expirations: list[ExpirationPolicy] = []
+        self._decays: list[DecayPolicy] = []
+        # (policy, stage spec, uid) -> disguise id while in force
+        self._in_force: dict[tuple[str, str, Any], int] = {}
+
+    def add(self, policy: ExpirationPolicy | DecayPolicy) -> None:
+        if isinstance(policy, ExpirationPolicy):
+            self._expirations.append(policy)
+        elif isinstance(policy, DecayPolicy):
+            self._decays.append(policy)
+        else:
+            raise DisguiseError(f"unknown policy type {type(policy).__name__}")
+
+    def in_force(self, policy: str, spec_name: str, uid: Any) -> bool:
+        return (policy, spec_name, uid) in self._in_force
+
+    def tick(self) -> list[FiredAction]:
+        """Evaluate every policy now; returns the actions taken."""
+        actions: list[FiredAction] = []
+        for policy in self._expirations:
+            actions.extend(self._tick_expiration(policy))
+        for policy in self._decays:
+            actions.extend(self._tick_decay(policy))
+        return actions
+
+    # -- policy evaluation ---------------------------------------------------------
+
+    def _tick_expiration(self, policy: ExpirationPolicy) -> list[FiredAction]:
+        actions = []
+        activity = policy.activity(self.engine.db)
+        for uid, last_active in activity.items():
+            key = (policy.name, policy.spec_name, uid)
+            idle = self.clock.now - last_active
+            if idle >= policy.inactive_for and key not in self._in_force:
+                report = self.engine.apply(policy.spec_name, uid=uid)
+                self._in_force[key] = report.disguise_id
+                actions.append(
+                    FiredAction(policy.name, "apply", policy.spec_name, uid, report)
+                )
+            elif idle < policy.inactive_for and key in self._in_force:
+                if policy.reveal_on_return:
+                    did = self._in_force.pop(key)
+                    report = self.engine.reveal(did)
+                    actions.append(
+                        FiredAction(policy.name, "reveal", policy.spec_name, uid, report)
+                    )
+        return actions
+
+    def _tick_decay(self, policy: DecayPolicy) -> list[FiredAction]:
+        actions = []
+        activity = policy.activity(self.engine.db)
+        for uid, last_active in activity.items():
+            idle = self.clock.now - last_active
+            for stage in policy.stages:
+                key = (policy.name, stage.spec_name, uid)
+                if idle >= stage.age and key not in self._in_force:
+                    report = self.engine.apply(stage.spec_name, uid=uid)
+                    self._in_force[key] = report.disguise_id
+                    actions.append(
+                        FiredAction(policy.name, "apply", stage.spec_name, uid, report)
+                    )
+        return actions

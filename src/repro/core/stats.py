@@ -1,0 +1,81 @@
+"""Per-operation reports returned by the disguising engine.
+
+The §6 evaluation is entirely about these numbers: statement counts
+(linearity), wall-clock latency (composition experiment), and the vault
+traffic that explains the composed-disguise overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.database import QueryStats
+from repro.vault.base import VaultStats
+
+__all__ = ["DisguiseReport", "RevealReport"]
+
+
+@dataclass
+class DisguiseReport:
+    """What one ``apply`` did and what it cost."""
+
+    disguise_id: int
+    name: str
+    uid: object
+    duration_s: float = 0.0
+    rows_removed: int = 0
+    rows_modified: int = 0
+    rows_decorrelated: int = 0
+    placeholders_created: int = 0
+    cascades: int = 0
+    recorrelated: int = 0       # vault entries temporarily reversed (composition)
+    reapplied: int = 0          # of those, re-executed after this disguise
+    redundant_skipped: int = 0  # decorrelations skipped by the optimizer
+    vault_entries_written: int = 0
+    assertion_failures: list[str] = field(default_factory=list)
+    db_stats: QueryStats = field(default_factory=QueryStats)
+    vault_stats: VaultStats = field(default_factory=VaultStats)
+
+    @property
+    def rows_touched(self) -> int:
+        return self.rows_removed + self.rows_modified + self.rows_decorrelated
+
+    def summary(self) -> str:
+        """One-line human-readable result, used by the examples."""
+        return (
+            f"{self.name}(uid={self.uid}) did={self.disguise_id}: "
+            f"removed {self.rows_removed}, modified {self.rows_modified}, "
+            f"decorrelated {self.rows_decorrelated} "
+            f"(+{self.placeholders_created} placeholders, "
+            f"{self.recorrelated} recorrelated, {self.redundant_skipped} skipped) "
+            f"in {self.duration_s * 1e3:.2f} ms, "
+            f"{self.db_stats.total} statements"
+        )
+
+
+@dataclass
+class RevealReport:
+    """What one ``reveal`` restored and what it cost."""
+
+    disguise_id: int
+    name: str
+    uid: object
+    duration_s: float = 0.0
+    rows_reinserted: int = 0
+    fks_restored: int = 0
+    values_restored: int = 0
+    placeholders_deleted: int = 0
+    chain_reversed: int = 0     # later-disguise entries temporarily reversed
+    chain_reapplied: int = 0    # and re-executed afterwards
+    spec_reapplied: int = 0     # later disguises re-applied to revealed rows
+    entries_consumed: int = 0
+    db_stats: QueryStats = field(default_factory=QueryStats)
+    vault_stats: VaultStats = field(default_factory=VaultStats)
+
+    def summary(self) -> str:
+        return (
+            f"reveal {self.name}(uid={self.uid}) did={self.disguise_id}: "
+            f"reinserted {self.rows_reinserted}, restored {self.fks_restored} fks / "
+            f"{self.values_restored} values, re-applied {self.chain_reapplied} chain + "
+            f"{self.spec_reapplied} spec ops in {self.duration_s * 1e3:.2f} ms"
+        )

@@ -1,0 +1,22 @@
+"""Cryptographic substrate for encrypted vaults.
+
+Research-grade constructions from hashlib primitives (see module docs);
+NOT audited crypto.
+"""
+
+from repro.crypto.cipher import Ciphertext, SecretKey, decrypt, encrypt
+from repro.crypto.shamir import Share, recover_secret, split_secret
+from repro.crypto.threshold import DEFAULT_PARTIES, EscrowedKey, escrow_key
+
+__all__ = [
+    "SecretKey",
+    "Ciphertext",
+    "encrypt",
+    "decrypt",
+    "Share",
+    "split_secret",
+    "recover_secret",
+    "EscrowedKey",
+    "escrow_key",
+    "DEFAULT_PARTIES",
+]

@@ -1,0 +1,121 @@
+"""Authenticated stream cipher built from the hashlib primitives.
+
+Vault contents "might be encrypted, and access might require explicit
+approval by the user, who holds the private key" (paper §4.2). The standard
+library ships no AEAD cipher, so we construct one from SHA-256:
+
+* **Keystream**: SHA-256 in counter mode — ``block_i = SHA256(key || nonce
+  || i)`` — XORed with the plaintext. With a uniformly random key and a
+  never-reused nonce this is a PRF-based stream cipher.
+* **Authentication**: encrypt-then-MAC with HMAC-SHA256 under an
+  independent key derived from the master key.
+
+This is honest research-grade crypto for reproducing the paper's vault
+code paths; it is NOT audited and must not guard real secrets.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+__all__ = ["SecretKey", "encrypt", "decrypt", "Ciphertext"]
+
+_BLOCK = hashlib.sha256().digest_size  # 32 bytes
+_NONCE_LEN = 16
+_TAG_LEN = 32
+KEY_LEN = 32
+
+
+@dataclass(frozen=True)
+class SecretKey:
+    """A 32-byte symmetric master key."""
+
+    material: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.material) != KEY_LEN:
+            raise CryptoError(f"key must be {KEY_LEN} bytes, got {len(self.material)}")
+
+    @classmethod
+    def generate(cls) -> "SecretKey":
+        """A fresh random key from the OS CSPRNG."""
+        return cls(os.urandom(KEY_LEN))
+
+    @classmethod
+    def from_passphrase(cls, passphrase: str, salt: bytes = b"repro-vault") -> "SecretKey":
+        """Derive a key from a passphrase with PBKDF2-HMAC-SHA256."""
+        material = hashlib.pbkdf2_hmac("sha256", passphrase.encode(), salt, 10_000)
+        return cls(material)
+
+    def _subkey(self, label: bytes) -> bytes:
+        return hmac.new(self.material, label, hashlib.sha256).digest()
+
+    @property
+    def enc_key(self) -> bytes:
+        return self._subkey(b"enc")
+
+    @property
+    def mac_key(self) -> bytes:
+        return self._subkey(b"mac")
+
+
+@dataclass(frozen=True)
+class Ciphertext:
+    """Nonce, ciphertext body, and authentication tag."""
+
+    nonce: bytes
+    body: bytes
+    tag: bytes
+
+    def to_bytes(self) -> bytes:
+        return self.nonce + self.tag + self.body
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Ciphertext":
+        if len(blob) < _NONCE_LEN + _TAG_LEN:
+            raise CryptoError("ciphertext too short")
+        return cls(
+            nonce=blob[:_NONCE_LEN],
+            tag=blob[_NONCE_LEN : _NONCE_LEN + _TAG_LEN],
+            body=blob[_NONCE_LEN + _TAG_LEN :],
+        )
+
+
+def _keystream(enc_key: bytes, nonce: bytes, length: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < length:
+        block = hashlib.sha256(
+            enc_key + nonce + counter.to_bytes(8, "big")
+        ).digest()
+        out.extend(block)
+        counter += 1
+    return bytes(out[:length])
+
+
+def encrypt(key: SecretKey, plaintext: bytes, nonce: bytes | None = None) -> Ciphertext:
+    """Encrypt and authenticate *plaintext* under *key*."""
+    if nonce is None:
+        nonce = os.urandom(_NONCE_LEN)
+    if len(nonce) != _NONCE_LEN:
+        raise CryptoError(f"nonce must be {_NONCE_LEN} bytes")
+    stream = _keystream(key.enc_key, nonce, len(plaintext))
+    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    tag = hmac.new(key.mac_key, nonce + body, hashlib.sha256).digest()
+    return Ciphertext(nonce=nonce, body=body, tag=tag)
+
+
+def decrypt(key: SecretKey, ciphertext: Ciphertext) -> bytes:
+    """Verify and decrypt; raises :class:`CryptoError` on a bad tag."""
+    expected = hmac.new(
+        key.mac_key, ciphertext.nonce + ciphertext.body, hashlib.sha256
+    ).digest()
+    if not hmac.compare_digest(expected, ciphertext.tag):
+        raise CryptoError("authentication failed: wrong key or corrupted ciphertext")
+    stream = _keystream(key.enc_key, ciphertext.nonce, len(ciphertext.body))
+    return bytes(c ^ s for c, s in zip(ciphertext.body, stream))

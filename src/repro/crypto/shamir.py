@@ -1,0 +1,101 @@
+"""Shamir secret sharing over a prime field.
+
+The paper's footnote 1 proposes protecting vault keys against loss by
+threshold-encrypting them "with a private key secret-shared between the
+user, the web application, and a trusted third party". This module
+implements Shamir's scheme [Shamir, CACM 1979] over GF(p) with the NIST
+P-521 prime, large enough to share a 32-byte key directly as a field
+element.
+
+A (k, n) sharing splits a secret into n shares such that any k reconstruct
+it and any k-1 reveal nothing (information-theoretically).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.errors import CryptoError
+
+__all__ = ["Share", "split_secret", "recover_secret", "PRIME"]
+
+# 2**521 - 1, a Mersenne prime > 2**256, so any 32-byte secret fits.
+PRIME = 2**521 - 1
+
+
+@dataclass(frozen=True)
+class Share:
+    """One share: the evaluation point x and value y = f(x) mod PRIME."""
+
+    x: int
+    y: int
+
+    def to_bytes(self) -> bytes:
+        return self.x.to_bytes(2, "big") + self.y.to_bytes(66, "big")
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "Share":
+        if len(blob) != 68:
+            raise CryptoError("malformed share")
+        return cls(x=int.from_bytes(blob[:2], "big"), y=int.from_bytes(blob[2:], "big"))
+
+
+def _rand_coefficient() -> int:
+    return int.from_bytes(os.urandom(66), "big") % PRIME
+
+
+def split_secret(secret: bytes, threshold: int, shares: int) -> list[Share]:
+    """Split *secret* into *shares* pieces, any *threshold* of which recover it."""
+    if threshold < 1:
+        raise CryptoError("threshold must be >= 1")
+    if shares < threshold:
+        raise CryptoError("cannot issue fewer shares than the threshold")
+    if shares > 1000:
+        raise CryptoError("too many shares requested")
+    value = int.from_bytes(secret, "big")
+    if value >= PRIME:
+        raise CryptoError("secret too large for the field")
+    # f(0) = secret; higher coefficients uniformly random.
+    coefficients = [value] + [_rand_coefficient() for _ in range(threshold - 1)]
+    out = []
+    for x in range(1, shares + 1):
+        y = 0
+        # Horner evaluation of f(x) mod PRIME.
+        for coefficient in reversed(coefficients):
+            y = (y * x + coefficient) % PRIME
+        out.append(Share(x=x, y=y))
+    return out
+
+
+def recover_secret(shares: list[Share], secret_len: int = 32) -> bytes:
+    """Reconstruct the secret from at least *threshold* distinct shares.
+
+    Callers pass any subset of size >= threshold; extra shares are fine
+    (Lagrange interpolation at 0 uses all of them consistently). Duplicated
+    x coordinates raise.
+    """
+    if not shares:
+        raise CryptoError("no shares given")
+    xs = [s.x for s in shares]
+    if len(set(xs)) != len(xs):
+        raise CryptoError("duplicate shares")
+    # Lagrange interpolation at x = 0.
+    total = 0
+    for i, share_i in enumerate(shares):
+        numerator = 1
+        denominator = 1
+        for j, share_j in enumerate(shares):
+            if i == j:
+                continue
+            numerator = (numerator * (-share_j.x)) % PRIME
+            denominator = (denominator * (share_i.x - share_j.x)) % PRIME
+        term = share_i.y * numerator * pow(denominator, -1, PRIME)
+        total = (total + term) % PRIME
+    try:
+        return total.to_bytes(secret_len, "big")
+    except OverflowError:
+        raise CryptoError(
+            "reconstructed value does not fit the expected secret length "
+            "(insufficient or mismatched shares?)"
+        ) from None

@@ -1,0 +1,69 @@
+"""Threshold key escrow for vault keys (paper §4.2, footnote 1).
+
+"To protect against lost keys, the vault could be threshold encrypted with
+a private key secret-shared between the user, the web application, and a
+trusted third party (e.g., the EFF), so that the user can authorize the
+application and the third party to decrypt."
+
+:class:`EscrowedKey` wraps a vault :class:`~repro.crypto.cipher.SecretKey`
+whose material is secret-shared among named parties with a recovery
+threshold. The canonical deployment is 2-of-3 among ``user``, ``app``, and
+``third_party``: the user alone cannot lose the vault forever, and neither
+the application nor the third party can open it unilaterally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.cipher import KEY_LEN, SecretKey
+from repro.crypto.shamir import Share, recover_secret, split_secret
+from repro.errors import CryptoError
+
+__all__ = ["EscrowedKey", "escrow_key", "DEFAULT_PARTIES"]
+
+DEFAULT_PARTIES = ("user", "app", "third_party")
+
+
+@dataclass(frozen=True)
+class EscrowedKey:
+    """A vault key split among parties; *threshold* shares reconstruct it."""
+
+    threshold: int
+    shares: dict[str, Share]
+
+    def parties(self) -> tuple[str, ...]:
+        return tuple(self.shares)
+
+    def recover(self, *consenting: str) -> SecretKey:
+        """Reconstruct the key from the shares of *consenting* parties.
+
+        Raises :class:`CryptoError` if an unknown party is named or fewer
+        than *threshold* distinct parties consent — modeling the approval
+        requirement of §4.2.
+        """
+        distinct = list(dict.fromkeys(consenting))
+        missing = [p for p in distinct if p not in self.shares]
+        if missing:
+            raise CryptoError(f"unknown part(y/ies): {missing}")
+        if len(distinct) < self.threshold:
+            raise CryptoError(
+                f"{len(distinct)} consenting part(y/ies) < threshold {self.threshold}"
+            )
+        shares = [self.shares[p] for p in distinct]
+        return SecretKey(recover_secret(shares, KEY_LEN))
+
+
+def escrow_key(
+    key: SecretKey,
+    parties: tuple[str, ...] = DEFAULT_PARTIES,
+    threshold: int = 2,
+) -> EscrowedKey:
+    """Split *key* among *parties* with the given recovery *threshold*."""
+    if len(set(parties)) != len(parties):
+        raise CryptoError("party names must be distinct")
+    shares = split_secret(key.material, threshold, len(parties))
+    return EscrowedKey(
+        threshold=threshold,
+        shares=dict(zip(parties, shares)),
+    )

@@ -1,0 +1,76 @@
+"""Exception hierarchy for the ``repro`` data-disguising framework.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to distinguish storage-level problems from disguise-level ones.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """Base class for errors raised by the relational storage engine."""
+
+
+class SchemaError(StorageError):
+    """A schema definition is invalid (bad column, duplicate table, ...)."""
+
+
+class TypeMismatchError(StorageError):
+    """A value does not conform to its declared column type."""
+
+
+class ConstraintError(StorageError):
+    """A constraint (primary key, NOT NULL, uniqueness) was violated."""
+
+
+class ForeignKeyError(ConstraintError):
+    """A foreign-key constraint was violated (dangling reference)."""
+
+
+class UnknownTableError(StorageError):
+    """A statement referenced a table that does not exist."""
+
+
+class UnknownColumnError(StorageError):
+    """A predicate or statement referenced a column that does not exist."""
+
+
+class NoSuchRowError(StorageError):
+    """A row lookup by primary key found nothing."""
+
+
+class TransactionError(StorageError):
+    """Invalid transaction usage (nested begin, commit without begin, ...)."""
+
+
+class ParseError(StorageError):
+    """A SQL fragment (WHERE clause or DDL) could not be parsed."""
+
+
+class SpecError(ReproError):
+    """A disguise specification is malformed or inconsistent with a schema."""
+
+
+class DisguiseError(ReproError):
+    """Applying or revealing a disguise failed."""
+
+
+class AssertionFailure(DisguiseError):
+    """A privacy-goal assertion did not hold after disguise application."""
+
+
+class VaultError(ReproError):
+    """A vault operation failed (missing entry, locked vault, bad key)."""
+
+
+class CryptoError(ReproError):
+    """An encryption, decryption, or secret-sharing operation failed."""
+
+
+class IntegrityViolation(StorageError):
+    """The referential-integrity checker found a dangling foreign key."""

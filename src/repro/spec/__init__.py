@@ -1,0 +1,74 @@
+"""Disguise specifications: transformations, generators, parsing, analysis."""
+
+from repro.spec.analysis import (
+    Interaction,
+    SpecWarning,
+    find_interactions,
+    redundant_decorrelations,
+    validate_spec,
+)
+from repro.spec.disguise import DisguiseSpec, TableDisguise
+from repro.spec.generate import (
+    Compute,
+    Default,
+    FakeEmail,
+    FakeName,
+    GenContext,
+    Generator,
+    RandomValue,
+    Sequence,
+    generator_from_config,
+)
+from repro.spec.parser import spec_from_dict, spec_from_json, spec_to_dict
+from repro.spec.statistical import (
+    QuasiGroup,
+    generalize_numeric,
+    generalize_text,
+    k_anonymity_groups,
+    k_anonymity_predicate,
+    k_anonymity_violations,
+    l_diversity_violations,
+    laplace_count,
+)
+from repro.spec.transform import (
+    Decorrelate,
+    Modify,
+    Remove,
+    Transformation,
+    named_modifier,
+)
+
+__all__ = [
+    "DisguiseSpec",
+    "TableDisguise",
+    "Transformation",
+    "Remove",
+    "Modify",
+    "Decorrelate",
+    "named_modifier",
+    "Generator",
+    "GenContext",
+    "RandomValue",
+    "Default",
+    "Sequence",
+    "FakeName",
+    "FakeEmail",
+    "Compute",
+    "generator_from_config",
+    "QuasiGroup",
+    "k_anonymity_groups",
+    "k_anonymity_violations",
+    "k_anonymity_predicate",
+    "l_diversity_violations",
+    "generalize_numeric",
+    "generalize_text",
+    "laplace_count",
+    "spec_from_dict",
+    "spec_from_json",
+    "spec_to_dict",
+    "validate_spec",
+    "SpecWarning",
+    "Interaction",
+    "find_interactions",
+    "redundant_decorrelations",
+]

@@ -1,0 +1,279 @@
+"""Static analysis of disguise specifications (paper §6 end, §7).
+
+Three analyses:
+
+* :func:`validate_spec` — spec-vs-schema consistency: every table and
+  column exists, decorrelated columns are declared foreign keys, and the
+  parent tables of decorrelations carry placeholder generators. Also emits
+  *warnings* for likely policy gaps (PII columns never touched; tables
+  referencing a removed table that the spec does not address).
+* :func:`find_interactions` — which (table, column) state two disguises
+  both touch, classifying each interaction (paper §4.2: "applying one
+  disguise may change the outcome of future disguises").
+* :func:`redundant_decorrelations` — the automated version of the §6
+  "manual optimization": decorrelations in a later disguise that an
+  earlier disguise has already performed on the same foreign key, which
+  the engine can skip rather than reverse-and-redo.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SpecError
+from repro.spec.disguise import DisguiseSpec, TableDisguise
+from repro.spec.transform import Decorrelate, Modify, Remove
+from repro.storage.schema import Schema
+
+__all__ = [
+    "validate_spec",
+    "SpecWarning",
+    "Interaction",
+    "find_interactions",
+    "redundant_decorrelations",
+]
+
+
+@dataclass(frozen=True)
+class SpecWarning:
+    """A non-fatal finding from spec validation."""
+
+    table: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.table}: {self.message}"
+
+
+def validate_spec(spec: DisguiseSpec, schema: Schema) -> list[SpecWarning]:
+    """Check *spec* against *schema*; raise :class:`SpecError` on hard
+    inconsistencies, return a list of warnings for soft ones."""
+    warnings: list[SpecWarning] = []
+    removed_tables = set()
+    for table_disguise in spec.tables:
+        if not schema.has_table(table_disguise.table):
+            raise SpecError(
+                f"{spec.name}: disguise references unknown table "
+                f"{table_disguise.table!r}"
+            )
+        table_schema = schema.table(table_disguise.table)
+        _validate_columns(spec, table_disguise, schema)
+        if table_disguise.owner_column and not table_schema.has_column(
+            table_disguise.owner_column
+        ):
+            raise SpecError(
+                f"{spec.name}: {table_disguise.table}.owner column "
+                f"{table_disguise.owner_column!r} does not exist"
+            )
+        for transformation in table_disguise.transformations:
+            if isinstance(transformation, Remove):
+                removed_tables.add(table_disguise.table)
+    warnings.extend(_warn_unaddressed_children(spec, schema, removed_tables))
+    warnings.extend(_warn_untouched_pii(spec, schema))
+    return warnings
+
+
+def _validate_columns(
+    spec: DisguiseSpec, table_disguise: TableDisguise, schema: Schema
+) -> None:
+    table_schema = schema.table(table_disguise.table)
+    for column in table_disguise.generate_placeholder:
+        if not table_schema.has_column(column):
+            raise SpecError(
+                f"{spec.name}: generate_placeholder for "
+                f"{table_disguise.table}.{column} — no such column"
+            )
+    for transformation in table_disguise.transformations:
+        for column in transformation.pred.columns():
+            if not table_schema.has_column(column):
+                raise SpecError(
+                    f"{spec.name}: predicate of {transformation.describe()} on "
+                    f"{table_disguise.table} references unknown column {column!r}"
+                )
+        if isinstance(transformation, Modify):
+            if not table_schema.has_column(transformation.column):
+                raise SpecError(
+                    f"{spec.name}: Modify targets unknown column "
+                    f"{table_disguise.table}.{transformation.column}"
+                )
+        elif isinstance(transformation, Decorrelate):
+            fk = table_schema.foreign_key_for(transformation.foreign_key)
+            if fk is None:
+                raise SpecError(
+                    f"{spec.name}: Decorrelate on "
+                    f"{table_disguise.table}.{transformation.foreign_key} — "
+                    f"column is not a declared foreign key"
+                )
+            parent_disguise = spec.table_disguise(fk.parent_table)
+            if parent_disguise is None or not parent_disguise.generate_placeholder:
+                raise SpecError(
+                    f"{spec.name}: Decorrelate into {fk.parent_table} but the "
+                    f"spec provides no generate_placeholder for it"
+                )
+
+
+def _warn_unaddressed_children(
+    spec: DisguiseSpec, schema: Schema, removed_tables: set[str]
+) -> list[SpecWarning]:
+    """Removing parent rows while a child table's FK is unhandled will fail
+    at apply time with a referential-integrity error (RESTRICT) or silently
+    cascade; either deserves a heads-up at spec-writing time."""
+    warnings = []
+    for parent in removed_tables:
+        for child_schema, fk in schema.referencing(parent):
+            handled = spec.table_disguise(child_schema.name) is not None
+            if not handled and child_schema.name != parent:
+                warnings.append(
+                    SpecWarning(
+                        child_schema.name,
+                        f"references removed table {parent!r} via {fk.column} "
+                        f"but the disguise does not address it",
+                    )
+                )
+    return warnings
+
+
+def _warn_untouched_pii(spec: DisguiseSpec, schema: Schema) -> list[SpecWarning]:
+    warnings = []
+    for table_disguise in spec.tables:
+        table_schema = schema.table(table_disguise.table)
+        removed = any(
+            isinstance(t, Remove) for t in table_disguise.transformations
+        )
+        if removed:
+            continue  # removal scrubs every column
+        modified = {
+            t.column
+            for t in table_disguise.transformations
+            if isinstance(t, Modify)
+        }
+        for column in table_schema.pii_columns():
+            if column.name not in modified:
+                warnings.append(
+                    SpecWarning(
+                        table_disguise.table,
+                        f"PII column {column.name!r} is not removed or modified",
+                    )
+                )
+    return warnings
+
+
+@dataclass(frozen=True)
+class Interaction:
+    """One point of contact between two disguises.
+
+    ``kind`` classifies the pair of operations, e.g. ``remove/decorrelate``.
+    The paper's example: ConfAnon (decorrelate reviews) interacts with
+    GDPR+ (remove account, decorrelate reviews) on the Review table.
+    """
+
+    table: str
+    first_op: str
+    second_op: str
+    detail: str
+
+    @property
+    def kind(self) -> str:
+        return f"{self.first_op}/{self.second_op}"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.table}: {self.kind} ({self.detail})"
+
+
+def find_interactions(first: DisguiseSpec, second: DisguiseSpec) -> list[Interaction]:
+    """All table-level interactions between two disguises.
+
+    An interaction exists when both disguises transform the same table and
+    the second's operation could observe or be affected by the first's.
+    """
+    interactions = []
+    for second_td in second.tables:
+        first_td = first.table_disguise(second_td.table)
+        if first_td is None:
+            continue
+        for first_t in first_td.transformations:
+            for second_t in second_td.transformations:
+                detail = _interaction_detail(first_t, second_t)
+                if detail is not None:
+                    interactions.append(
+                        Interaction(
+                            table=second_td.table,
+                            first_op=first_t.kind,
+                            second_op=second_t.kind,
+                            detail=detail,
+                        )
+                    )
+    return interactions
+
+
+def _interaction_detail(first_t, second_t) -> str | None:
+    if isinstance(first_t, Remove):
+        # Data the first disguise removed cannot match the second's
+        # predicates — composes naturally ("no need to decorrelate data that
+        # another disguise removed", §4.2) but still worth surfacing.
+        return "second sees fewer rows (first removed them); composes naturally"
+    if isinstance(first_t, Decorrelate) and isinstance(second_t, (Remove, Decorrelate)):
+        if second_t.pred.columns() & {first_t.foreign_key} or (
+            isinstance(second_t, Decorrelate)
+            and second_t.foreign_key == first_t.foreign_key
+        ):
+            return (
+                f"first rewrote {first_t.foreign_key}; second's selection or "
+                f"decorrelation depends on the original value — needs vault "
+                f"recorrelation"
+            )
+        return None
+    if isinstance(first_t, Modify) and isinstance(second_t, (Remove, Modify, Decorrelate)):
+        if first_t.column in second_t.pred.columns():
+            return (
+                f"first modified {first_t.column}, which the second's "
+                f"predicate reads — needs vault recorrelation"
+            )
+        if isinstance(second_t, Modify) and second_t.column == first_t.column:
+            return f"both modify {first_t.column}; later reveal must re-apply"
+        return None
+    return None
+
+
+@dataclass(frozen=True)
+class RedundantDecorrelation:
+    """A decorrelation in *second* that *first* already performed."""
+
+    table: str
+    foreign_key: str
+
+
+def redundant_decorrelations(
+    first: DisguiseSpec, second: DisguiseSpec
+) -> list[RedundantDecorrelation]:
+    """Decorrelations in *second* that duplicate ones in *first*.
+
+    When the engine applies *second* on a database where *first* is active,
+    rows that *first* already decorrelated on the same (table, foreign key)
+    need not be recorrelated and re-decorrelated: the privacy goal
+    (ownership unlinkability) is already met. This automates the §6 manual
+    optimization that drops composed latency from 452 ms to 118 ms in the
+    paper's experiment.
+    """
+    out = []
+    for second_td in second.tables:
+        first_td = first.table_disguise(second_td.table)
+        if first_td is None:
+            continue
+        first_fks = {
+            t.foreign_key
+            for t in first_td.transformations
+            if isinstance(t, Decorrelate)
+        }
+        for transformation in second_td.transformations:
+            if (
+                isinstance(transformation, Decorrelate)
+                and transformation.foreign_key in first_fks
+            ):
+                out.append(
+                    RedundantDecorrelation(
+                        table=second_td.table,
+                        foreign_key=transformation.foreign_key,
+                    )
+                )
+    return out

@@ -1,0 +1,217 @@
+"""Placeholder-value generators for decorrelation.
+
+When a disguise decorrelates a row from its owner, the engine creates a
+fresh *placeholder* row in the parent table (paper Figure 2: "Axolotl",
+"Fossa"). The disguise specification describes how to populate each
+placeholder column (Figure 3's ``generate_placeholder`` block):
+
+    generate_placeholder: [
+        ("name",     Random),
+        ("email",    Default(None)),
+        ("disabled", Default(true)),
+    ]
+
+Generators are deterministic given the engine's seeded RNG, so disguise
+application is reproducible in tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.errors import SpecError
+from repro.storage.schema import Column
+from repro.storage.types import ColumnType
+
+__all__ = [
+    "GenContext",
+    "Generator",
+    "RandomValue",
+    "Default",
+    "Sequence",
+    "FakeName",
+    "FakeEmail",
+    "Compute",
+    "generator_from_config",
+]
+
+
+@dataclass
+class GenContext:
+    """Everything a generator may draw on: RNG, target column, a counter.
+
+    ``counter`` increments once per placeholder row created during one
+    disguise application, so :class:`Sequence` values never collide within
+    a disguise.
+    """
+
+    rng: random.Random
+    column: Column
+    counter: int
+
+
+class Generator:
+    """Base class: produce a value for one placeholder column."""
+
+    def generate(self, ctx: GenContext) -> Any:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line rendering used by spec LoC accounting and debugging."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class RandomValue(Generator):
+    """A random value appropriate for the column type.
+
+    TEXT columns get a 12-character lowercase token; INTEGER columns a
+    value in ``[lo, hi]``; BOOL a coin flip; REAL a uniform [0, 1).
+    """
+
+    lo: int = 1_000_000
+    hi: int = 9_999_999
+
+    def generate(self, ctx: GenContext) -> Any:
+        ctype = ctx.column.ctype
+        if ctype is ColumnType.TEXT:
+            alphabet = "abcdefghijklmnopqrstuvwxyz"
+            return "".join(ctx.rng.choice(alphabet) for _ in range(12))
+        if ctype is ColumnType.INTEGER:
+            return ctx.rng.randint(self.lo, self.hi)
+        if ctype is ColumnType.BOOL:
+            return bool(ctx.rng.getrandbits(1))
+        if ctype is ColumnType.REAL:
+            return ctx.rng.random()
+        if ctype is ColumnType.DATETIME:
+            return float(ctx.rng.randint(0, 2**31))
+        raise SpecError(f"Random cannot generate a {ctype.value} value")
+
+    def describe(self) -> str:
+        return "Random"
+
+
+@dataclass(frozen=True)
+class Default(Generator):
+    """A fixed value, e.g. ``Default(None)`` or ``Default(True)``."""
+
+    value: Any = None
+
+    def generate(self, ctx: GenContext) -> Any:
+        return self.value
+
+    def describe(self) -> str:
+        return f"Default({self.value!r})"
+
+
+@dataclass(frozen=True)
+class Sequence(Generator):
+    """``prefix`` + per-disguise counter, e.g. ``anon-1``, ``anon-2``."""
+
+    prefix: str = "anon-"
+
+    def generate(self, ctx: GenContext) -> Any:
+        text = f"{self.prefix}{ctx.counter}"
+        if ctx.column.ctype is ColumnType.INTEGER:
+            return ctx.counter
+        return text
+
+    def describe(self) -> str:
+        return f"Sequence({self.prefix!r})"
+
+
+_ADJECTIVES = (
+    "amber", "brisk", "coral", "dapper", "eager", "fuzzy", "gentle", "hazel",
+    "ivory", "jolly", "keen", "lively", "mellow", "noble", "opal", "plucky",
+    "quiet", "rustic", "sleek", "tidy", "umber", "vivid", "wistful", "zesty",
+)
+
+_ANIMALS = (
+    "axolotl", "badger", "capybara", "dugong", "echidna", "fossa", "gecko",
+    "heron", "ibex", "jackal", "kudu", "lemur", "marmot", "numbat", "ocelot",
+    "pangolin", "quokka", "raccoon", "serval", "tapir", "urchin", "vole",
+    "wombat", "yak",
+)
+
+
+@dataclass(frozen=True)
+class FakeName(Generator):
+    """A plausible anonymous display name ("Fuzzy Axolotl"), as in Figure 2."""
+
+    def generate(self, ctx: GenContext) -> Any:
+        adjective = ctx.rng.choice(_ADJECTIVES)
+        animal = ctx.rng.choice(_ANIMALS)
+        return f"{adjective.title()} {animal.title()}"
+
+    def describe(self) -> str:
+        return "FakeName"
+
+
+@dataclass(frozen=True)
+class FakeEmail(Generator):
+    """A syntactically valid but undeliverable address."""
+
+    domain: str = "anon.invalid"
+
+    def generate(self, ctx: GenContext) -> Any:
+        token = "".join(ctx.rng.choice("abcdefghijklmnopqrstuvwxyz0123456789") for _ in range(10))
+        return f"{token}@{self.domain}"
+
+    def describe(self) -> str:
+        return f"FakeEmail({self.domain!r})"
+
+
+@dataclass(frozen=True)
+class Compute(Generator):
+    """Escape hatch: an arbitrary callable over the generation context."""
+
+    fn: Callable[[GenContext], Any]
+    label: str = "Compute"
+
+    def generate(self, ctx: GenContext) -> Any:
+        return self.fn(ctx)
+
+    def describe(self) -> str:
+        return self.label
+
+
+_NAMED: dict[str, Callable[..., Generator]] = {
+    "random": RandomValue,
+    "default": Default,
+    "sequence": Sequence,
+    "fake_name": FakeName,
+    "fake_email": FakeEmail,
+}
+
+
+def generator_from_config(config: Any) -> Generator:
+    """Build a generator from a parsed-spec value.
+
+    Accepted forms::
+
+        "random"                         -> RandomValue()
+        ["default", null]                -> Default(None)
+        ["sequence", "anon-"]            -> Sequence("anon-")
+        {"kind": "fake_email", "args": ["x.invalid"]}
+        <Generator instance>             -> itself
+    """
+    if isinstance(config, Generator):
+        return config
+    if isinstance(config, str):
+        name = config.lower()
+        if name not in _NAMED:
+            raise SpecError(f"unknown generator {config!r}")
+        return _NAMED[name]()
+    if isinstance(config, (list, tuple)) and config:
+        name = str(config[0]).lower()
+        if name not in _NAMED:
+            raise SpecError(f"unknown generator {config[0]!r}")
+        return _NAMED[name](*config[1:])
+    if isinstance(config, dict) and "kind" in config:
+        name = str(config["kind"]).lower()
+        if name not in _NAMED:
+            raise SpecError(f"unknown generator {config['kind']!r}")
+        return _NAMED[name](*config.get("args", ()))
+    raise SpecError(f"cannot interpret generator config {config!r}")

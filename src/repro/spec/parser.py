@@ -1,0 +1,152 @@
+"""Parse disguise specifications from dicts or JSON documents.
+
+The in-memory classes (:mod:`repro.spec.disguise`) are the source of
+truth; this module lets applications keep their disguises as declarative
+documents, in the spirit of the paper's Figure 3::
+
+    {
+      "disguise_name": "UserScrub",
+      "tables": {
+        "ContactInfo": {
+          "generate_placeholder": [
+            ["name", "fake_name"],
+            ["email", ["default", null]],
+            ["disabled", ["default", true]]
+          ],
+          "transformations": [
+            {"op": "remove", "pred": "contactId = $UID"}
+          ]
+        },
+        "ReviewPreference": {
+          "transformations": [{"op": "remove", "pred": "contactId = $UID"}]
+        },
+        "Review": {
+          "transformations": [
+            {"op": "decorrelate", "pred": "contactId = $UID",
+             "foreign_key": "contactId"}
+          ]
+        }
+      }
+    }
+
+Modify operations name a built-in modifier
+(:func:`repro.spec.transform.named_modifier`), e.g.
+``{"op": "modify", "pred": "TRUE", "column": "bio", "fn": "redact"}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import SpecError
+from repro.spec.disguise import DisguiseSpec, TableDisguise
+from repro.spec.generate import generator_from_config
+from repro.spec.transform import Decorrelate, Modify, Remove, named_modifier
+
+__all__ = ["spec_from_dict", "spec_from_json", "spec_to_dict"]
+
+
+def spec_from_json(document: str) -> DisguiseSpec:
+    """Parse a JSON document into a :class:`DisguiseSpec`."""
+    try:
+        data = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"invalid JSON: {exc}") from None
+    return spec_from_dict(data)
+
+
+def spec_from_dict(data: Mapping[str, Any]) -> DisguiseSpec:
+    """Build a :class:`DisguiseSpec` from a parsed document."""
+    if "disguise_name" not in data:
+        raise SpecError("spec document needs a 'disguise_name'")
+    tables_doc = data.get("tables")
+    if not isinstance(tables_doc, Mapping):
+        raise SpecError("spec document needs a 'tables' mapping")
+    tables = []
+    for table_name, table_doc in tables_doc.items():
+        tables.append(_table_from_dict(table_name, table_doc))
+    return DisguiseSpec(
+        name=str(data["disguise_name"]),
+        tables=tables,
+        description=str(data.get("description", "")),
+    )
+
+
+def _table_from_dict(table_name: str, doc: Mapping[str, Any]) -> TableDisguise:
+    if not isinstance(doc, Mapping):
+        raise SpecError(f"table entry {table_name!r} must be a mapping")
+    generators = {}
+    for item in doc.get("generate_placeholder", ()):
+        if not isinstance(item, (list, tuple)) or len(item) != 2:
+            raise SpecError(
+                f"{table_name}: generate_placeholder entries are "
+                f"[column, generator] pairs, got {item!r}"
+            )
+        column, config = item
+        generators[str(column)] = generator_from_config(config)
+    transformations = []
+    for op_doc in doc.get("transformations", ()):
+        transformations.append(_transformation_from_dict(table_name, op_doc))
+    return TableDisguise(
+        table=table_name,
+        transformations=transformations,
+        generate_placeholder=generators,
+        owner_column=doc.get("owner"),
+    )
+
+
+def _transformation_from_dict(table_name: str, doc: Mapping[str, Any]):
+    if not isinstance(doc, Mapping) or "op" not in doc:
+        raise SpecError(f"{table_name}: transformation needs an 'op': {doc!r}")
+    op = str(doc["op"]).lower()
+    pred = doc.get("pred", "TRUE")
+    if op == "remove":
+        return Remove(pred)
+    if op == "decorrelate":
+        if "foreign_key" not in doc:
+            raise SpecError(f"{table_name}: decorrelate needs 'foreign_key'")
+        return Decorrelate(pred, foreign_key=str(doc["foreign_key"]))
+    if op == "modify":
+        if "column" not in doc or "fn" not in doc:
+            raise SpecError(f"{table_name}: modify needs 'column' and 'fn'")
+        fn, label = named_modifier(str(doc["fn"]))
+        return Modify(pred, column=str(doc["column"]), fn=fn, label=label)
+    raise SpecError(f"{table_name}: unknown transformation op {op!r}")
+
+
+def spec_to_dict(spec: DisguiseSpec) -> dict[str, Any]:
+    """Serialize a spec back to the document format.
+
+    ``Modify`` operations with non-built-in closures serialize by label
+    only and will not round-trip — the document format is for declarative
+    specs; programmatic specs stay in Python.
+    """
+    tables: dict[str, Any] = {}
+    for table_disguise in spec.tables:
+        doc: dict[str, Any] = {}
+        if table_disguise.owner_column:
+            doc["owner"] = table_disguise.owner_column
+        if table_disguise.generate_placeholder:
+            doc["generate_placeholder"] = [
+                [column, generator.describe()]
+                for column, generator in table_disguise.generate_placeholder.items()
+            ]
+        ops = []
+        for transformation in table_disguise.transformations:
+            entry: dict[str, Any] = {
+                "op": transformation.kind,
+                "pred": str(transformation.pred),
+            }
+            if isinstance(transformation, Decorrelate):
+                entry["foreign_key"] = transformation.foreign_key
+            elif isinstance(transformation, Modify):
+                entry["column"] = transformation.column
+                entry["fn"] = transformation.label
+            ops.append(entry)
+        doc["transformations"] = ops
+        tables[table_disguise.table] = doc
+    out: dict[str, Any] = {"disguise_name": spec.name, "tables": tables}
+    if spec.description:
+        out["description"] = spec.description
+    return out

@@ -1,0 +1,129 @@
+"""The three fundamental transformation operations (paper §4.1).
+
+Data disguises are built on *data removal*, *object content modification*,
+and *decorrelation* — predicated per-table operations. Each transformation
+carries a predicate ("arbitrary SQL WHERE clauses", §5) selecting the rows
+it applies to.
+
+* :class:`Remove` deletes matching rows (reveal = reinsert).
+* :class:`Modify` rewrites one column through a closure over the original
+  value (reveal = restore the original).
+* :class:`Decorrelate` repoints one foreign-key column at a freshly created
+  placeholder row — one placeholder per row, so the contributions can no
+  longer be correlated with each other or their owner (Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SpecError
+from repro.storage.predicate import Predicate
+from repro.storage.sql import parse_where
+
+__all__ = ["Transformation", "Remove", "Modify", "Decorrelate", "named_modifier"]
+
+
+@dataclass(frozen=True)
+class Transformation:
+    """Base class: a predicated operation on one table's rows."""
+
+    pred: Predicate
+
+    def __post_init__(self) -> None:
+        # Allow construction with a WHERE-clause string for convenience.
+        if isinstance(self.pred, str):
+            object.__setattr__(self, "pred", parse_where(self.pred))
+
+    @property
+    def kind(self) -> str:
+        return type(self).__name__.lower()
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Remove(Transformation):
+    """Delete every row matching ``pred``."""
+
+    def describe(self) -> str:
+        return f"Remove(pred: {self.pred})"
+
+
+@dataclass(frozen=True)
+class Decorrelate(Transformation):
+    """Repoint ``foreign_key`` of matching rows at fresh placeholders.
+
+    ``foreign_key`` names a column that the table's schema declares as a
+    foreign key; the parent table must carry ``generate_placeholder``
+    entries in the same spec so the engine knows how to populate the
+    placeholder rows.
+    """
+
+    foreign_key: str = ""
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.foreign_key:
+            raise SpecError("Decorrelate requires a foreign_key column name")
+
+    def describe(self) -> str:
+        return f"Decorrelate(pred: {self.pred}, foreign_key: {self.foreign_key})"
+
+
+# A modifier takes the original column value and returns the disguised one.
+ModifierFn = Callable[[Any], Any]
+
+
+@dataclass(frozen=True)
+class Modify(Transformation):
+    """Rewrite ``column`` of matching rows via ``fn(original_value)``.
+
+    ``label`` names the closure for spec rendering and serialization;
+    closures themselves are not serialized (the vault stores original
+    values, so reveal never needs to invert ``fn``).
+    """
+
+    column: str = ""
+    fn: ModifierFn = field(default=lambda value: value)
+    label: str = "custom"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not self.column:
+            raise SpecError("Modify requires a column name")
+
+    def describe(self) -> str:
+        return f"Modify(pred: {self.pred}, column: {self.column}, fn: {self.label})"
+
+
+_NAMED_MODIFIERS: dict[str, ModifierFn] = {
+    "null": lambda value: None,
+    "redact": lambda value: "[redacted]" if value is not None else None,
+    "deleted": lambda value: "[deleted]" if value is not None else None,
+    "zero": lambda value: 0,
+    "false": lambda value: False,
+    "true": lambda value: True,
+    "empty": lambda value: "" if value is not None else None,
+    "hash": lambda value: format(hash(("repro", value)) & 0xFFFFFFFF, "08x"),
+    "truncate": lambda value: value[:16] if isinstance(value, str) else value,
+    "coarsen_day": lambda value: (value // 86_400) * 86_400 if value is not None else None,
+    "coarsen_year": lambda value: (value // 31_536_000) * 31_536_000 if value is not None else None,
+}
+
+
+def named_modifier(name: str) -> tuple[ModifierFn, str]:
+    """Look up a built-in modifier by name; returns (fn, label).
+
+    Built-ins cover the transformations the surveyed applications use
+    (§2): Reddit/Lobsters' "[deleted]", redaction, nulling, and the
+    timestamp-coarsening used by data-decay policies.
+    """
+    try:
+        return _NAMED_MODIFIERS[name], name
+    except KeyError:
+        raise SpecError(
+            f"unknown modifier {name!r}; known: {sorted(_NAMED_MODIFIERS)}"
+        ) from None

@@ -1,0 +1,439 @@
+"""The embedded relational database: tables, constraints, transactions.
+
+This is the substrate the disguising engine runs against, standing in for
+the MySQL backend of the paper's Rust prototype. It provides:
+
+* statement-level API: ``select`` / ``insert`` / ``update`` / ``delete``,
+  each counted in :class:`QueryStats` (the §6 linearity experiment counts
+  these statements);
+* foreign-key enforcement with RESTRICT / CASCADE / SET NULL delete actions;
+* transactions via an undo log, with nested savepoints — the engine applies
+  each disguise "in one large SQL transaction" (§6);
+* a referential-integrity checker used by tests and by the engine's
+  post-disguise verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.errors import (
+    ForeignKeyError,
+    IntegrityViolation,
+    TransactionError,
+    UnknownTableError,
+)
+from repro.storage.predicate import Predicate
+from repro.storage.schema import FKAction, Schema, TableSchema
+from repro.storage.sql import parse_where
+from repro.storage.table import Table
+
+__all__ = ["Database", "QueryStats"]
+
+
+@dataclass
+class QueryStats:
+    """Counts of storage statements executed, by kind.
+
+    ``selects`` counts read statements (scans and point lookups);
+    ``inserts`` / ``updates`` / ``deletes`` count write statements. The §6
+    claim "the number of queries ... grows linearly with the number of
+    objects" is checked against ``total``.
+    """
+
+    selects: int = 0
+    inserts: int = 0
+    updates: int = 0
+    deletes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.selects + self.inserts + self.updates + self.deletes
+
+    @property
+    def writes(self) -> int:
+        return self.inserts + self.updates + self.deletes
+
+    def snapshot(self) -> "QueryStats":
+        return QueryStats(self.selects, self.inserts, self.updates, self.deletes)
+
+    def delta(self, since: "QueryStats") -> "QueryStats":
+        """Statement counts accumulated since an earlier snapshot."""
+        return QueryStats(
+            self.selects - since.selects,
+            self.inserts - since.inserts,
+            self.updates - since.updates,
+            self.deletes - since.deletes,
+        )
+
+    def reset(self) -> None:
+        self.selects = self.inserts = self.updates = self.deletes = 0
+
+
+# One undo-log record: a closure that reverses a single physical change.
+_UndoOp = Callable[[], None]
+
+
+class Database:
+    """An in-memory relational database with FK enforcement and transactions."""
+
+    def __init__(self, schema: Schema | None = None) -> None:
+        self.schema = schema or Schema()
+        self.schema.validate()
+        self._tables: dict[str, Table] = {
+            ts.name: Table(ts) for ts in self.schema
+        }
+        self.stats = QueryStats()
+        # Undo log stack: one list of undo ops per open savepoint level.
+        self._undo_stack: list[list[_UndoOp]] = []
+        # Per-table integer-id high-water marks: next_id never reuses the id
+        # of a deleted row, even after rollback (ids may be skipped, never
+        # recycled) — otherwise revealing a removal could collide with a
+        # placeholder allocated in between.
+        self._id_watermark: dict[str, int] = {}
+
+    # -- schema management ------------------------------------------------------
+
+    def create_table(self, table_schema: TableSchema) -> None:
+        """Add a table to a live database (used for vault tables)."""
+        self.schema.add(table_schema)
+        self.schema.validate()
+        self._tables[table_schema.name] = Table(table_schema)
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table outright (no FK checks; used by tests and vault GC)."""
+        if name not in self._tables:
+            raise UnknownTableError(f"no such table {name!r}")
+        del self._tables[name]
+        # Rebuild the schema without the dropped table.
+        self.schema = Schema(ts for ts in self.schema if ts.name != name)
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise UnknownTableError(f"no such table {name!r}") from None
+
+    @property
+    def table_names(self) -> tuple[str, ...]:
+        return tuple(self._tables)
+
+    # -- transactions ------------------------------------------------------------
+
+    def begin(self) -> None:
+        """Open a transaction (or a nested savepoint)."""
+        self._undo_stack.append([])
+
+    def commit(self) -> None:
+        """Commit the innermost transaction level.
+
+        Inner commits merge their undo log into the parent so an outer
+        rollback still reverses everything.
+        """
+        if not self._undo_stack:
+            raise TransactionError("commit without begin")
+        finished = self._undo_stack.pop()
+        if self._undo_stack:
+            self._undo_stack[-1].extend(finished)
+
+    def rollback(self) -> None:
+        """Undo every change made since the innermost ``begin``."""
+        if not self._undo_stack:
+            raise TransactionError("rollback without begin")
+        for undo in reversed(self._undo_stack.pop()):
+            undo()
+
+    def transaction(self) -> "_TransactionContext":
+        """``with db.transaction():`` — commit on success, rollback on error."""
+        return _TransactionContext(self)
+
+    @property
+    def in_transaction(self) -> bool:
+        return bool(self._undo_stack)
+
+    def _log_undo(self, op: _UndoOp) -> None:
+        if self._undo_stack:
+            self._undo_stack[-1].append(op)
+
+    # -- statements ----------------------------------------------------------------
+
+    def select(
+        self,
+        table: str,
+        where: str | Predicate | None = None,
+        params: Mapping[str, Any] | None = None,
+    ) -> list[dict[str, Any]]:
+        """Rows of *table* matching *where* (a WHERE string or Predicate)."""
+        self.stats.selects += 1
+        pred = parse_where(where) if where is not None else None
+        return self.table(table).scan(pred, params)
+
+    def get(self, table: str, pk_value: Any) -> dict[str, Any] | None:
+        """Point lookup by primary key."""
+        self.stats.selects += 1
+        return self.table(table).get(pk_value)
+
+    def count(
+        self,
+        table: str,
+        where: str | Predicate | None = None,
+        params: Mapping[str, Any] | None = None,
+    ) -> int:
+        self.stats.selects += 1
+        pred = parse_where(where) if where is not None else None
+        return self.table(table).count(pred, params)
+
+    def insert(
+        self, table: str, values: dict[str, Any], enforce_fk: bool = True
+    ) -> dict[str, Any]:
+        """Insert one row, enforcing all foreign keys.
+
+        ``enforce_fk=False`` defers the check — the disguising engine uses
+        it when reveal reinserts rows whose parents may only reappear (or
+        whose rows may be re-removed) later in the same transaction; such
+        callers re-validate with :meth:`check_row_fks` before committing.
+        """
+        self.stats.inserts += 1
+        target = self.table(table)
+        row = target.schema.normalize_row(values)
+        if enforce_fk:
+            self._check_fks_outgoing(target.schema, row)
+        stored = target.insert(row)
+        pk = stored[target.schema.primary_key]
+        if isinstance(pk, int) and pk > self._id_watermark.get(table, 0):
+            self._id_watermark[table] = pk
+        self._log_undo(lambda: target.delete_by_pk(pk))
+        return stored
+
+    def update(
+        self,
+        table: str,
+        where: str | Predicate,
+        changes: Mapping[str, Any],
+        params: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Update all matching rows; returns the number updated."""
+        target = self.table(table)
+        rows = self.select(table, where, params)
+        pk_col = target.schema.primary_key
+        for row in rows:
+            self._update_one(target, row[pk_col], changes)
+        return len(rows)
+
+    def update_by_pk(
+        self,
+        table: str,
+        pk_value: Any,
+        changes: Mapping[str, Any],
+        enforce_fk: bool = True,
+    ) -> dict[str, Any]:
+        """Update the single row with the given primary key; returns new row.
+
+        ``enforce_fk=False`` defers the outgoing-FK check (see
+        :meth:`insert` for when the disguising engine needs this).
+        """
+        return self._update_one(self.table(table), pk_value, changes, enforce_fk)
+
+    def _update_one(
+        self,
+        target: Table,
+        pk_value: Any,
+        changes: Mapping[str, Any],
+        enforce_fk: bool = True,
+    ) -> dict[str, Any]:
+        self.stats.updates += 1
+        # Validate outgoing FKs on the post-image before mutating.
+        preview = dict(target.get(pk_value) or {})
+        if not preview:
+            from repro.errors import NoSuchRowError
+
+            raise NoSuchRowError(f"{target.name}: no row with pk {pk_value!r}")
+        preview.update(changes)
+        if enforce_fk:
+            self._check_fks_outgoing(target.schema, target.schema.normalize_row(preview))
+        old, new = target.update_by_pk(pk_value, changes)
+        old_pk = old[target.schema.primary_key]
+        new_pk = new[target.schema.primary_key]
+        if old_pk != new_pk:
+            self._check_pk_change_references(target, old_pk)
+        self._log_undo(lambda: target.update_by_pk(new_pk, old))
+        return new
+
+    def delete(
+        self,
+        table: str,
+        where: str | Predicate,
+        params: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Delete all matching rows, honouring FK delete actions."""
+        target = self.table(table)
+        rows = self.select(table, where, params)
+        pk_col = target.schema.primary_key
+        for row in rows:
+            self.delete_by_pk(table, row[pk_col])
+        return len(rows)
+
+    def delete_by_pk(
+        self, table: str, pk_value: Any, enforce_fk: bool = True
+    ) -> dict[str, Any]:
+        """Delete one row, applying RESTRICT/CASCADE/SET NULL to referencers.
+
+        ``enforce_fk=False`` skips incoming-reference resolution entirely
+        (no RESTRICT error, no cascades): reveal uses it when re-executing
+        a removal whose referencing rows are mid-chain and will be fixed
+        later in the same transaction, then re-validates before commit.
+        """
+        target = self.table(table)
+        row = target.get(pk_value)
+        if row is None:
+            from repro.errors import NoSuchRowError
+
+            raise NoSuchRowError(f"{table}: no row with pk {pk_value!r}")
+        if enforce_fk:
+            self._resolve_incoming_references(table, pk_value)
+        self.stats.deletes += 1
+        old = target.delete_by_pk(pk_value)
+        self._log_undo(lambda: target.insert(old))
+        return dict(old)
+
+    # -- foreign-key machinery ----------------------------------------------------
+
+    def _check_fks_outgoing(self, table_schema: TableSchema, row: Mapping[str, Any]) -> None:
+        """Every non-NULL FK value in *row* must exist in its parent table."""
+        for fk in table_schema.foreign_keys:
+            value = row[fk.column]
+            if value is None:
+                continue
+            parent = self.table(fk.parent_table)
+            if parent.rid_of(value) is None:
+                raise ForeignKeyError(
+                    f"{table_schema.name}.{fk.column}={value!r} references "
+                    f"missing {fk.parent_table}.{fk.parent_column}"
+                )
+
+    def _check_pk_change_references(self, target: Table, old_pk: Any) -> None:
+        """Disallow changing a primary key that other rows still reference."""
+        for child_schema, fk in self.schema.referencing(target.name):
+            child = self.table(child_schema.name)
+            if child.referencing_rows(fk.column, old_pk):
+                raise ForeignKeyError(
+                    f"cannot change primary key {target.name}.{old_pk!r}: "
+                    f"still referenced by {child_schema.name}.{fk.column}"
+                )
+
+    def _resolve_incoming_references(self, table: str, pk_value: Any) -> None:
+        """Apply each referencing FK's ON DELETE action before a delete."""
+        for child_schema, fk in self.schema.referencing(table):
+            child = self.table(child_schema.name)
+            self.stats.selects += 1
+            referencing = child.referencing_rows(fk.column, pk_value)
+            if not referencing:
+                continue
+            if fk.on_delete is FKAction.RESTRICT:
+                raise ForeignKeyError(
+                    f"cannot delete {table}.{pk_value!r}: referenced by "
+                    f"{len(referencing)} row(s) of {child_schema.name}.{fk.column} "
+                    f"(ON DELETE RESTRICT)"
+                )
+            pk_col = child_schema.primary_key
+            if fk.on_delete is FKAction.CASCADE:
+                for row in referencing:
+                    self.delete_by_pk(child_schema.name, row[pk_col])
+            elif fk.on_delete is FKAction.SET_NULL:
+                for row in referencing:
+                    self._update_one(child, row[pk_col], {fk.column: None})
+
+    # -- integrity checking ----------------------------------------------------------
+
+    def check_row_fks(self, table: str, pk_value: Any) -> list[str]:
+        """Outgoing-FK violations of one row (empty if clean or row gone)."""
+        target = self.table(table)
+        row = target.get(pk_value)
+        if row is None:
+            return []
+        problems = []
+        for fk in target.schema.foreign_keys:
+            value = row[fk.column]
+            if value is None:
+                continue
+            if self.table(fk.parent_table).rid_of(value) is None:
+                problems.append(
+                    f"{table}.{fk.column}={value!r} references missing "
+                    f"{fk.parent_table}.{fk.parent_column}"
+                )
+        return problems
+
+    def check_integrity(self) -> list[str]:
+        """Return a list of referential-integrity violations (empty = clean)."""
+        problems = []
+        for table_schema in self.schema:
+            table = self._tables[table_schema.name]
+            for row in table.rows():
+                for fk in table_schema.foreign_keys:
+                    value = row[fk.column]
+                    if value is None:
+                        continue
+                    parent = self._tables[fk.parent_table]
+                    if parent.rid_of(value) is None:
+                        problems.append(
+                            f"{table_schema.name}.{fk.column}={value!r} dangles "
+                            f"(row {table_schema.primary_key}="
+                            f"{row[table_schema.primary_key]!r})"
+                        )
+        return problems
+
+    def assert_integrity(self) -> None:
+        """Raise :class:`IntegrityViolation` if any foreign key dangles."""
+        problems = self.check_integrity()
+        if problems:
+            raise IntegrityViolation(
+                f"{len(problems)} dangling foreign key(s): " + "; ".join(problems[:5])
+            )
+
+    # -- misc -------------------------------------------------------------------------
+
+    def next_id(self, table: str) -> int:
+        """Allocate the next integer primary key for *table*.
+
+        Monotonic: returns one more than the largest id ever seen in the
+        table (live or since deleted), so ids are never recycled.
+        """
+        current = self.table(table).max_pk()
+        if current is None:
+            current = 0
+        if not isinstance(current, int):
+            raise TransactionError(
+                f"next_id requires integer primary keys, {table} has {current!r}"
+            )
+        allocated = max(current, self._id_watermark.get(table, 0)) + 1
+        self._id_watermark[table] = allocated
+        return allocated
+
+    def row_counts(self) -> dict[str, int]:
+        """Row count per table (handy in tests and reports)."""
+        return {name: len(table) for name, table in self._tables.items()}
+
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+
+class _TransactionContext:
+    """Context manager backing :meth:`Database.transaction`."""
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+
+    def __enter__(self) -> Database:
+        self._db.begin()
+        return self._db
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            self._db.commit()
+        else:
+            self._db.rollback()
+        return False

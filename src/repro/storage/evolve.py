@@ -1,0 +1,265 @@
+"""Schema evolution: ALTER-TABLE-style changes on a live database.
+
+Paper §7: "more research is required to handle updates to the application
+schema or disguise specifications in a system that has already applied
+disguises. Database schema evolution research may offer insights…"
+
+This module implements the storage half: structural changes applied to a
+live :class:`~repro.storage.database.Database`, rebuilding the affected
+tables and keeping foreign keys across the schema consistent. The
+disguising half — migrating vault entries and disguise specs so existing
+disguises stay reversible — lives in :mod:`repro.core.migrate`.
+
+Changes are modeled as small dataclasses so the engine can interpret the
+same change object for the database, the vaults, and the specs:
+
+* :class:`AddColumn` — new column with a default (NOT NULL requires one);
+* :class:`DropColumn` — refuse for primary keys, foreign keys, and columns
+  referenced by other tables;
+* :class:`RenameColumn` — follows references: renaming a primary key
+  updates every child foreign key's target name;
+* :class:`RenameTable` — follows references likewise.
+
+Schema changes are not transactional (they rebuild table storage outside
+the undo log); attempting one inside an open transaction raises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SchemaError, TransactionError
+from repro.storage.database import Database
+from repro.storage.schema import Column, ForeignKey, Schema, TableSchema
+from repro.storage.table import Table
+
+__all__ = [
+    "SchemaChange",
+    "AddColumn",
+    "DropColumn",
+    "RenameColumn",
+    "RenameTable",
+    "apply_change",
+]
+
+
+@dataclass(frozen=True)
+class SchemaChange:
+    """Base class for schema changes."""
+
+    table: str
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class AddColumn(SchemaChange):
+    column: Column
+
+    def describe(self) -> str:
+        return f"ADD COLUMN {self.table}.{self.column.name} {self.column.ctype.value}"
+
+
+@dataclass(frozen=True)
+class DropColumn(SchemaChange):
+    column: str
+
+    def describe(self) -> str:
+        return f"DROP COLUMN {self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class RenameColumn(SchemaChange):
+    old: str
+    new: str
+
+    def describe(self) -> str:
+        return f"RENAME COLUMN {self.table}.{self.old} -> {self.new}"
+
+
+@dataclass(frozen=True)
+class RenameTable(SchemaChange):
+    new: str
+
+    def describe(self) -> str:
+        return f"RENAME TABLE {self.table} -> {self.new}"
+
+
+def apply_change(db: Database, change: SchemaChange) -> None:
+    """Apply one schema change to *db* (rows are migrated in place)."""
+    if db.in_transaction:
+        raise TransactionError("schema changes cannot run inside a transaction")
+    if not db.has_table(change.table):
+        raise SchemaError(f"no such table {change.table!r}")
+    if isinstance(change, AddColumn):
+        _add_column(db, change)
+    elif isinstance(change, DropColumn):
+        _drop_column(db, change)
+    elif isinstance(change, RenameColumn):
+        _rename_column(db, change)
+    elif isinstance(change, RenameTable):
+        _rename_table(db, change)
+    else:
+        raise SchemaError(f"unknown schema change {type(change).__name__}")
+    db.schema.validate()
+
+
+def _rebuild_table(
+    db: Database,
+    old_name: str,
+    new_schema: TableSchema,
+    transform_row,
+) -> None:
+    """Swap in a rebuilt table, re-inserting transformed rows."""
+    old_table = db.table(old_name)
+    new_table = Table(new_schema)
+    for row in old_table.rows():
+        new_table.insert(transform_row(row))
+    # Rebuild the schema collection, preserving table order.
+    tables = []
+    for table_schema in db.schema:
+        if table_schema.name == old_name:
+            tables.append(new_schema)
+        else:
+            tables.append(table_schema)
+    db.schema = Schema(tables)
+    db._tables.pop(old_name)
+    db._tables[new_schema.name] = new_table
+
+
+def _add_column(db: Database, change: AddColumn) -> None:
+    schema = db.table(change.table).schema
+    if schema.has_column(change.column.name):
+        raise SchemaError(
+            f"{change.table} already has a column {change.column.name!r}"
+        )
+    if not change.column.nullable and change.column.default is None:
+        raise SchemaError(
+            f"new NOT NULL column {change.column.name!r} needs a default"
+        )
+    new_schema = TableSchema(
+        schema.name,
+        [*schema.columns, change.column],
+        schema.primary_key,
+        schema.foreign_keys,
+    )
+    default = change.column.default
+    _rebuild_table(
+        db, change.table, new_schema, lambda row: {**row, change.column.name: default}
+    )
+
+
+def _drop_column(db: Database, change: DropColumn) -> None:
+    schema = db.table(change.table).schema
+    schema.column(change.column)  # raises if absent
+    if change.column == schema.primary_key:
+        raise SchemaError(f"cannot drop primary key {change.table}.{change.column}")
+    if schema.foreign_key_for(change.column) is not None:
+        raise SchemaError(
+            f"cannot drop foreign-key column {change.table}.{change.column}; "
+            f"drop the relationship first"
+        )
+    new_schema = TableSchema(
+        schema.name,
+        [col for col in schema.columns if col.name != change.column],
+        schema.primary_key,
+        schema.foreign_keys,
+    )
+    _rebuild_table(
+        db,
+        change.table,
+        new_schema,
+        lambda row: {k: v for k, v in row.items() if k != change.column},
+    )
+
+
+def _rename_column(db: Database, change: RenameColumn) -> None:
+    schema = db.table(change.table).schema
+    old_col = schema.column(change.old)
+    if schema.has_column(change.new):
+        raise SchemaError(f"{change.table} already has a column {change.new!r}")
+
+    def rename(name: str) -> str:
+        return change.new if name == change.old else name
+
+    columns = [
+        Column(rename(col.name), col.ctype, col.nullable, col.default, col.pii)
+        for col in schema.columns
+    ]
+    foreign_keys = [
+        ForeignKey(rename(fk.column), fk.parent_table, fk.parent_column, fk.on_delete)
+        for fk in schema.foreign_keys
+    ]
+    new_schema = TableSchema(
+        schema.name, columns, rename(schema.primary_key), foreign_keys
+    )
+    _rebuild_table(
+        db,
+        change.table,
+        new_schema,
+        lambda row: {rename(k): v for k, v in row.items()},
+    )
+    # If the renamed column is the table's primary key, children's FK
+    # targets must follow.
+    if change.old == schema.primary_key:
+        for child_schema, fk in list(db.schema.referencing(change.table)):
+            if fk.parent_column == change.old:
+                _retarget_fk(db, child_schema.name, fk.column, change.table, change.new)
+
+
+def _retarget_fk(
+    db: Database, child: str, fk_column: str, parent_table: str, parent_column: str
+) -> None:
+    schema = db.table(child).schema
+    foreign_keys = [
+        ForeignKey(fk.column, parent_table, parent_column, fk.on_delete)
+        if fk.column == fk_column
+        else fk
+        for fk in schema.foreign_keys
+    ]
+    new_schema = TableSchema(
+        schema.name, schema.columns, schema.primary_key, foreign_keys
+    )
+    _rebuild_table(db, child, new_schema, lambda row: row)
+
+
+def _rename_table(db: Database, change: RenameTable) -> None:
+    if db.has_table(change.new):
+        raise SchemaError(f"a table named {change.new!r} already exists")
+    schema = db.table(change.table).schema
+    new_schema = TableSchema(
+        change.new, schema.columns, schema.primary_key, schema.foreign_keys
+    )
+    _rebuild_table(db, change.table, new_schema, lambda row: row)
+    # The id high-water mark follows the table (ids must stay unrecycled).
+    if change.table in db._id_watermark:
+        db._id_watermark[change.new] = db._id_watermark.pop(change.table)
+    # Repoint every FK that referenced the old name.
+    for other in list(db.schema):
+        if other.name == change.new:
+            continue
+        if any(fk.parent_table == change.table for fk in other.foreign_keys):
+            foreign_keys = [
+                ForeignKey(fk.column, change.new, fk.parent_column, fk.on_delete)
+                if fk.parent_table == change.table
+                else fk
+                for fk in other.foreign_keys
+            ]
+            new_other = TableSchema(
+                other.name, other.columns, other.primary_key, foreign_keys
+            )
+            _rebuild_table(db, other.name, new_other, lambda row: row)
+    # Self-references were rewritten as part of new_schema? No: fix them.
+    renamed = db.table(change.new).schema
+    if any(fk.parent_table == change.table for fk in renamed.foreign_keys):
+        foreign_keys = [
+            ForeignKey(fk.column, change.new, fk.parent_column, fk.on_delete)
+            if fk.parent_table == change.table
+            else fk
+            for fk in renamed.foreign_keys
+        ]
+        new_self = TableSchema(
+            change.new, renamed.columns, renamed.primary_key, foreign_keys
+        )
+        _rebuild_table(db, change.new, new_self, lambda row: row)

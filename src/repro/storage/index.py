@@ -1,0 +1,72 @@
+"""Hash indexes over table columns.
+
+The engine maintains a unique index on every primary key and non-unique
+indexes on every foreign-key column (so decorrelation's "find all rows
+pointing at user U" scans are O(matches), which is what makes disguise cost
+proportional to the number of affected objects — the §6 linearity claim).
+Additional secondary indexes can be created explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ConstraintError
+
+__all__ = ["HashIndex", "UniqueIndex"]
+
+
+class HashIndex:
+    """Non-unique hash index: column value -> set of row ids."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._buckets: dict[Any, set[int]] = {}
+
+    def insert(self, value: Any, rid: int) -> None:
+        self._buckets.setdefault(value, set()).add(rid)
+
+    def remove(self, value: Any, rid: int) -> None:
+        bucket = self._buckets.get(value)
+        if bucket is not None:
+            bucket.discard(rid)
+            if not bucket:
+                del self._buckets[value]
+
+    def lookup(self, value: Any) -> frozenset[int]:
+        return frozenset(self._buckets.get(value, ()))
+
+    def values(self) -> Iterable[Any]:
+        return self._buckets.keys()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class UniqueIndex:
+    """Unique hash index: column value -> single row id."""
+
+    def __init__(self, column: str) -> None:
+        self.column = column
+        self._slots: dict[Any, int] = {}
+
+    def insert(self, value: Any, rid: int) -> None:
+        if value in self._slots:
+            raise ConstraintError(
+                f"duplicate value {value!r} for unique column {self.column!r}"
+            )
+        self._slots[value] = rid
+
+    def remove(self, value: Any, rid: int) -> None:
+        existing = self._slots.get(value)
+        if existing == rid:
+            del self._slots[value]
+
+    def lookup(self, value: Any) -> int | None:
+        return self._slots.get(value)
+
+    def __contains__(self, value: Any) -> bool:
+        return value in self._slots
+
+    def __len__(self) -> int:
+        return len(self._slots)

@@ -1,0 +1,154 @@
+"""Snapshot persistence: save and load a database as JSON lines.
+
+The paper's vault discussion (§4.2) includes offline-storage deployment
+models; this module provides the serialization layer those vaults and the
+disguise history log build on. The format is line-oriented JSON: one header
+line per table (schema), then one line per row.
+
+BLOB values are hex-encoded; DATETIME values are stored as floats. The
+format round-trips every canonical value type exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, TextIO
+
+from repro.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.schema import Column, FKAction, ForeignKey, Schema, TableSchema
+from repro.storage.types import ColumnType
+
+__all__ = ["save_database", "load_database", "dump_rows", "load_rows"]
+
+_FORMAT_VERSION = 1
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"$blob": value.hex()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "$blob" in value:
+        return bytes.fromhex(value["$blob"])
+    return value
+
+
+def _schema_to_json(table: TableSchema) -> dict[str, Any]:
+    return {
+        "name": table.name,
+        "primary_key": table.primary_key,
+        "columns": [
+            {
+                "name": col.name,
+                "type": col.ctype.value,
+                "nullable": col.nullable,
+                "default": _encode_value(col.default),
+                "pii": col.pii,
+            }
+            for col in table.columns
+        ],
+        "foreign_keys": [
+            {
+                "column": fk.column,
+                "parent_table": fk.parent_table,
+                "parent_column": fk.parent_column,
+                "on_delete": fk.on_delete.value,
+            }
+            for fk in table.foreign_keys
+        ],
+    }
+
+
+def _schema_from_json(data: dict[str, Any]) -> TableSchema:
+    columns = [
+        Column(
+            name=col["name"],
+            ctype=ColumnType(col["type"]),
+            nullable=col["nullable"],
+            default=_decode_value(col["default"]),
+            pii=col.get("pii", False),
+        )
+        for col in data["columns"]
+    ]
+    foreign_keys = [
+        ForeignKey(
+            column=fk["column"],
+            parent_table=fk["parent_table"],
+            parent_column=fk["parent_column"],
+            on_delete=FKAction(fk["on_delete"]),
+        )
+        for fk in data["foreign_keys"]
+    ]
+    return TableSchema(data["name"], columns, data["primary_key"], foreign_keys)
+
+
+def save_database(db: Database, path: str | Path) -> None:
+    """Write *db* (schema + all rows) to *path* as JSON lines."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        header = {"version": _FORMAT_VERSION, "tables": list(db.table_names)}
+        handle.write(json.dumps({"$header": header}) + "\n")
+        for name in db.table_names:
+            table = db.table(name)
+            handle.write(json.dumps({"$table": _schema_to_json(table.schema)}) + "\n")
+            for row in table.rows():
+                encoded = {k: _encode_value(v) for k, v in row.items()}
+                handle.write(json.dumps({"$row": [name, encoded]}) + "\n")
+
+
+def load_database(path: str | Path, verify: bool = True) -> Database:
+    """Rebuild a database previously written by :func:`save_database`.
+
+    Rows are loaded without FK enforcement ordering concerns: all tables
+    are created first, then rows inserted table-by-table in file order with
+    checks deferred until the end (a final integrity assertion, skipped
+    when ``verify=False`` — e.g. by tooling that wants to *inspect* a
+    corrupt snapshot).
+    """
+    path = Path(path)
+    tables: list[TableSchema] = []
+    rows: list[tuple[str, dict[str, Any]]] = []
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+        if not first:
+            raise StorageError(f"{path}: empty snapshot")
+        header = json.loads(first)
+        if "$header" not in header or header["$header"].get("version") != _FORMAT_VERSION:
+            raise StorageError(f"{path}: not a v{_FORMAT_VERSION} snapshot")
+        for line in handle:
+            record = json.loads(line)
+            if "$table" in record:
+                tables.append(_schema_from_json(record["$table"]))
+            elif "$row" in record:
+                name, encoded = record["$row"]
+                rows.append((name, {k: _decode_value(v) for k, v in encoded.items()}))
+            else:
+                raise StorageError(f"{path}: unrecognized record {record!r}")
+    db = Database(Schema(tables))
+    for name, row in rows:
+        # Bypass statement-level FK checks during bulk load (file order may
+        # interleave children before parents); verify integrity at the end.
+        db.table(name).insert(row)
+    if verify:
+        db.assert_integrity()
+    return db
+
+
+def dump_rows(rows: list[dict[str, Any]], handle: TextIO) -> None:
+    """Serialize a row list (vault entries use this for file vaults)."""
+    for row in rows:
+        handle.write(json.dumps({k: _encode_value(v) for k, v in row.items()}) + "\n")
+
+
+def load_rows(handle: TextIO) -> list[dict[str, Any]]:
+    """Inverse of :func:`dump_rows`."""
+    out = []
+    for line in handle:
+        line = line.strip()
+        if line:
+            out.append({k: _decode_value(v) for k, v in json.loads(line).items()})
+    return out

@@ -1,0 +1,513 @@
+"""SQL fragment parsing: WHERE clauses and CREATE TABLE statements.
+
+The paper's prototype accepts disguise predicates as "arbitrary SQL WHERE
+clauses" (§5). This module implements a hand-written tokenizer and
+recursive-descent parser producing :mod:`repro.storage.predicate` ASTs, plus
+a small DDL parser so case-study schemas can be written as familiar
+``CREATE TABLE`` text.
+
+Grammar (WHERE clauses)::
+
+    predicate   := or_expr
+    or_expr     := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | primary
+    primary     := '(' predicate ')' | TRUE | FALSE | condition
+    condition   := sum (comparison | is_null | in_list | like | between)
+    comparison  := ('=' | '!=' | '<>' | '<' | '<=' | '>' | '>=') sum
+    is_null     := IS [NOT] NULL
+    in_list     := [NOT] IN '(' sum (',' sum)* ')'
+    like        := [NOT] LIKE string
+    between     := [NOT] BETWEEN sum AND sum
+    sum         := term (('+'|'-') term)*
+    term        := atom (('*'|'/'|'%') atom)*
+    atom        := number | string | NULL | param | identifier | '(' sum ')'
+                 | '-' atom
+    param       := '$' identifier | '?' identifier
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ParseError
+from repro.storage.predicate import (
+    And,
+    Between,
+    BinOp,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FalseP,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Param,
+    Predicate,
+    TrueP,
+)
+from repro.storage.schema import Column, FKAction, ForeignKey, TableSchema
+from repro.storage.types import parse_type
+
+__all__ = ["parse_where", "parse_create_table", "parse_schema"]
+
+
+# --------------------------------------------------------------------------
+# Tokenizer
+# --------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<param>\$[A-Za-z_][A-Za-z0-9_]*)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_.]*)
+  | (?P<op><>|!=|<=|>=|=|<|>|\(|\)|,|\*|/|%|\+|-)
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE", "BETWEEN",
+    "TRUE", "FALSE",
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # number | string | param | ident | keyword | op | eof
+    text: str
+    pos: int
+
+
+def _tokenize(source: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(source):
+        match = _TOKEN_RE.match(source, pos)
+        if match is None:
+            raise ParseError(f"unexpected character {source[pos]!r} at offset {pos}")
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind == "ws":
+            continue
+        if kind == "ident" and text.upper() in _KEYWORDS:
+            tokens.append(_Token("keyword", text.upper(), match.start()))
+        else:
+            tokens.append(_Token(kind or "op", text, match.start()))
+    tokens.append(_Token("eof", "", len(source)))
+    return tokens
+
+
+class _Parser:
+    """Recursive-descent parser over a token list.
+
+    ``keep_qualifiers=True`` preserves ``table.column`` references as-is
+    (the query layer evaluates them against joined-row namespaces); the
+    default strips the qualifier, since disguise predicates are per-table.
+    """
+
+    def __init__(self, source: str, keep_qualifiers: bool = False) -> None:
+        self.source = source
+        self.keep_qualifiers = keep_qualifiers
+        self.tokens = _tokenize(source)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self) -> _Token:
+        return self.tokens[self.index]
+
+    def advance(self) -> _Token:
+        token = self.current
+        if token.kind != "eof":
+            self.index += 1
+        return token
+
+    def accept(self, kind: str, text: str | None = None) -> _Token | None:
+        token = self.current
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> _Token:
+        token = self.accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise ParseError(
+                f"expected {want!r} but found {self.current.text or 'end of input'!r} "
+                f"at offset {self.current.pos} in {self.source!r}"
+            )
+        return token
+
+    # -- predicate grammar --------------------------------------------------
+
+    def parse_predicate(self) -> Predicate:
+        pred = self._or_expr()
+        if self.current.kind != "eof":
+            raise ParseError(
+                f"trailing input {self.current.text!r} at offset {self.current.pos}"
+            )
+        return pred
+
+    def _or_expr(self) -> Predicate:
+        left = self._and_expr()
+        while self.accept("keyword", "OR"):
+            left = Or(left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> Predicate:
+        left = self._not_expr()
+        while self.accept("keyword", "AND"):
+            left = And(left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> Predicate:
+        if self.accept("keyword", "NOT"):
+            return Not(self._not_expr())
+        return self._primary()
+
+    def _primary(self) -> Predicate:
+        # A parenthesis is ambiguous: it may open a nested predicate or a
+        # parenthesized scalar expression. Try the predicate reading first
+        # and fall back on failure.
+        if self.current.kind == "op" and self.current.text == "(":
+            saved = self.index
+            try:
+                self.advance()
+                pred = self._or_expr()
+                self.expect("op", ")")
+                return pred
+            except ParseError:
+                self.index = saved
+        # TRUE/FALSE are boolean predicates only when they stand alone;
+        # followed by an operator they are literals in a condition
+        # ("FALSE = NULL" compares, "FALSE AND x" conjoins).
+        if self.current.kind == "keyword" and self.current.text in ("TRUE", "FALSE"):
+            following = self.tokens[self.index + 1]
+            standalone = (
+                following.kind == "eof"
+                or (following.kind == "keyword" and following.text in ("AND", "OR"))
+                or (following.kind == "op" and following.text == ")")
+            )
+            if standalone:
+                token = self.advance()
+                return TrueP() if token.text == "TRUE" else FalseP()
+        return self._condition()
+
+    def _condition(self) -> Predicate:
+        left = self._sum()
+        token = self.current
+        if token.kind == "op" and token.text in ("=", "!=", "<>", "<", "<=", ">", ">="):
+            self.advance()
+            op = "!=" if token.text == "<>" else token.text
+            return Comparison(op, left, self._sum())
+        negated = bool(self.accept("keyword", "NOT"))
+        if self.accept("keyword", "IS"):
+            if negated:
+                raise ParseError("NOT IS is not valid SQL; use IS NOT NULL")
+            is_negated = bool(self.accept("keyword", "NOT"))
+            self.expect("keyword", "NULL")
+            return IsNull(left, negated=is_negated)
+        if self.accept("keyword", "IN"):
+            self.expect("op", "(")
+            items = [self._sum()]
+            while self.accept("op", ","):
+                items.append(self._sum())
+            self.expect("op", ")")
+            return InList(left, tuple(items), negated=negated)
+        if self.accept("keyword", "LIKE"):
+            pattern = self.expect("string")
+            return Like(left, _unquote(pattern.text), negated=negated)
+        if self.accept("keyword", "BETWEEN"):
+            lo = self._sum()
+            self.expect("keyword", "AND")
+            hi = self._sum()
+            return Between(left, lo, hi, negated=negated)
+        if negated:
+            raise ParseError(
+                f"expected IN/LIKE/BETWEEN after NOT at offset {self.current.pos}"
+            )
+        raise ParseError(
+            f"expected a comparison after expression at offset {token.pos} "
+            f"in {self.source!r}"
+        )
+
+    # -- scalar expression grammar -------------------------------------------
+
+    def _sum(self) -> Expr:
+        left = self._term()
+        while self.current.kind == "op" and self.current.text in ("+", "-"):
+            op = self.advance().text
+            left = BinOp(op, left, self._term())
+        return left
+
+    def _term(self) -> Expr:
+        left = self._atom()
+        while self.current.kind == "op" and self.current.text in ("*", "/", "%"):
+            op = self.advance().text
+            left = BinOp(op, left, self._atom())
+        return left
+
+    def _atom(self) -> Expr:
+        token = self.current
+        if token.kind == "number":
+            self.advance()
+            if "." in token.text:
+                return Literal(float(token.text))
+            return Literal(int(token.text))
+        if token.kind == "string":
+            self.advance()
+            return Literal(_unquote(token.text))
+        if token.kind == "param":
+            self.advance()
+            return Param(token.text[1:])
+        if token.kind == "keyword" and token.text == "NULL":
+            self.advance()
+            return Literal(None)
+        if token.kind == "keyword" and token.text in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.text == "TRUE")
+        if token.kind == "ident":
+            self.advance()
+            if self.keep_qualifiers:
+                return ColumnRef(token.text)
+            # Strip a table qualifier ("Review.contactId" -> "contactId");
+            # disguise predicates are per-table so the qualifier is noise.
+            name = token.text.rsplit(".", 1)[-1]
+            return ColumnRef(name)
+        if token.kind == "op" and token.text == "(":
+            self.advance()
+            inner = self._sum()
+            self.expect("op", ")")
+            return inner
+        if token.kind == "op" and token.text == "-":
+            self.advance()
+            return BinOp("-", Literal(0), self._atom())
+        raise ParseError(
+            f"unexpected token {token.text or 'end of input'!r} at offset {token.pos} "
+            f"in {self.source!r}"
+        )
+
+
+def _unquote(text: str) -> str:
+    """Strip single quotes and collapse doubled quotes."""
+    if len(text) < 2 or text[0] != "'" or text[-1] != "'":
+        raise ParseError(f"malformed string literal {text!r}")
+    return text[1:-1].replace("''", "'")
+
+
+def parse_where(source: str | Predicate, keep_qualifiers: bool = False) -> Predicate:
+    """Parse a SQL WHERE clause into a :class:`Predicate`.
+
+    Accepts an already-built Predicate unchanged so APIs can take either.
+
+    >>> parse_where("contactId = $UID AND disabled = FALSE")  # doctest: +ELLIPSIS
+    And(...)
+    """
+    if isinstance(source, Predicate):
+        return source
+    return _Parser(source, keep_qualifiers=keep_qualifiers).parse_predicate()
+
+
+# --------------------------------------------------------------------------
+# DDL: CREATE TABLE
+# --------------------------------------------------------------------------
+
+_CREATE_RE = re.compile(
+    r"CREATE\s+TABLE\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\((?P<body>.*)\)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+
+_FK_RE = re.compile(
+    r"FOREIGN\s+KEY\s*\(\s*(?P<col>\w+)\s*\)\s*REFERENCES\s+(?P<ptable>\w+)\s*"
+    r"\(\s*(?P<pcol>\w+)\s*\)(?:\s+ON\s+DELETE\s+(?P<action>CASCADE|RESTRICT|SET\s+NULL))?",
+    re.IGNORECASE,
+)
+
+_PK_RE = re.compile(r"PRIMARY\s+KEY\s*\(\s*(?P<col>\w+)\s*\)", re.IGNORECASE)
+
+
+def _split_top_level(body: str) -> list[str]:
+    """Split a CREATE TABLE body on commas not nested inside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in body:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_create_table(sql: str) -> TableSchema:
+    """Parse one ``CREATE TABLE`` statement into a :class:`TableSchema`.
+
+    Supported column options: ``NOT NULL``, ``PRIMARY KEY``, ``DEFAULT v``,
+    ``PII`` (an extension marking personally identifiable columns),
+    ``REFERENCES t(c) [ON DELETE ...]``. Table-level ``PRIMARY KEY (c)`` and
+    ``FOREIGN KEY (c) REFERENCES t(c)`` clauses are also supported.
+    """
+    match = _CREATE_RE.match(sql.strip())
+    if match is None:
+        raise ParseError(f"not a CREATE TABLE statement: {sql[:80]!r}")
+    name = match.group("name")
+    columns: list[Column] = []
+    foreign_keys: list[ForeignKey] = []
+    primary_key: str | None = None
+    for item in _split_top_level(match.group("body")):
+        upper = item.upper()
+        if upper.startswith("PRIMARY KEY"):
+            pk_match = _PK_RE.match(item)
+            if pk_match is None:
+                raise ParseError(f"malformed PRIMARY KEY clause: {item!r}")
+            primary_key = pk_match.group("col")
+            continue
+        if upper.startswith("FOREIGN KEY"):
+            fk_match = _FK_RE.match(item)
+            if fk_match is None:
+                raise ParseError(f"malformed FOREIGN KEY clause: {item!r}")
+            foreign_keys.append(
+                ForeignKey(
+                    column=fk_match.group("col"),
+                    parent_table=fk_match.group("ptable"),
+                    parent_column=fk_match.group("pcol"),
+                    on_delete=_fk_action(fk_match.group("action")),
+                )
+            )
+            continue
+        column, inline_fk, is_pk = _parse_column(item)
+        columns.append(column)
+        if inline_fk is not None:
+            foreign_keys.append(inline_fk)
+        if is_pk:
+            if primary_key is not None:
+                raise ParseError(f"two primary keys declared in table {name!r}")
+            primary_key = column.name
+    if primary_key is None:
+        raise ParseError(f"table {name!r} declares no primary key")
+    # PRIMARY KEY implies NOT NULL even when declared as a table-level clause.
+    columns = [
+        Column(col.name, col.ctype, nullable=False, default=col.default, pii=col.pii)
+        if col.name == primary_key and col.nullable
+        else col
+        for col in columns
+    ]
+    return TableSchema(name, columns, primary_key, foreign_keys)
+
+
+def _fk_action(text: str | None) -> FKAction:
+    if text is None:
+        return FKAction.RESTRICT
+    normalized = " ".join(text.upper().split())
+    return FKAction(normalized)
+
+
+_COL_RE = re.compile(r"^(?P<name>\w+)\s+(?P<type>\w+(?:\s*\(\s*\d+\s*\))?)(?P<rest>.*)$", re.DOTALL)
+_REFS_RE = re.compile(
+    r"REFERENCES\s+(?P<ptable>\w+)\s*\(\s*(?P<pcol>\w+)\s*\)"
+    r"(?:\s+ON\s+DELETE\s+(?P<action>CASCADE|RESTRICT|SET\s+NULL))?",
+    re.IGNORECASE,
+)
+_DEFAULT_RE = re.compile(
+    r"DEFAULT\s+(?P<value>'(?:[^']|'')*'|[-\w.]+)", re.IGNORECASE
+)
+
+
+def _parse_column(item: str) -> tuple[Column, ForeignKey | None, bool]:
+    match = _COL_RE.match(item.strip())
+    if match is None:
+        raise ParseError(f"malformed column definition: {item!r}")
+    name = match.group("name")
+    ctype = parse_type(match.group("type"))
+    rest = match.group("rest")
+    upper = rest.upper()
+    nullable = "NOT NULL" not in upper
+    is_pk = "PRIMARY KEY" in upper
+    if is_pk:
+        nullable = False
+    pii = bool(re.search(r"\bPII\b", upper))
+    default: Any = None
+    default_match = _DEFAULT_RE.search(rest)
+    if default_match is not None:
+        default = _parse_default(default_match.group("value"))
+    fk: ForeignKey | None = None
+    refs_match = _REFS_RE.search(rest)
+    if refs_match is not None:
+        fk = ForeignKey(
+            column=name,
+            parent_table=refs_match.group("ptable"),
+            parent_column=refs_match.group("pcol"),
+            on_delete=_fk_action(refs_match.group("action")),
+        )
+    column = Column(name=name, ctype=ctype, nullable=nullable, default=default, pii=pii)
+    return column, fk, is_pk
+
+
+def _parse_default(text: str) -> Any:
+    if text.startswith("'"):
+        return _unquote(text)
+    upper = text.upper()
+    if upper == "NULL":
+        return None
+    if upper == "TRUE":
+        return True
+    if upper == "FALSE":
+        return False
+    try:
+        if "." in text:
+            return float(text)
+        return int(text)
+    except ValueError:
+        raise ParseError(f"unsupported DEFAULT value {text!r}") from None
+
+
+def parse_schema(sql: str) -> list[TableSchema]:
+    """Parse a script of semicolon-separated CREATE TABLE statements."""
+    tables = []
+    for statement in _split_statements(sql):
+        tables.append(parse_create_table(statement))
+    return tables
+
+
+def _split_statements(sql: str) -> list[str]:
+    """Split on semicolons outside string literals; drop -- comments."""
+    lines = []
+    for line in sql.splitlines():
+        stripped = line.split("--", 1)[0]
+        lines.append(stripped)
+    text = "\n".join(lines)
+    statements = []
+    current: list[str] = []
+    in_string = False
+    for ch in text:
+        if ch == "'":
+            in_string = not in_string
+        if ch == ";" and not in_string:
+            statement = "".join(current).strip()
+            if statement:
+                statements.append(statement)
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements

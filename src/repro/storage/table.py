@@ -1,0 +1,226 @@
+"""Row storage for a single table, with automatic index maintenance.
+
+Rows are stored as dicts keyed by an internal row id (rid). The table keeps
+a unique index on the primary key, a non-unique index on every foreign-key
+column, and any explicitly created secondary indexes. All mutation goes
+through :class:`Table` so indexes never go stale.
+
+The table itself knows nothing about foreign-key *enforcement* — that is
+the :class:`repro.storage.database.Database`'s job, since it requires
+looking at other tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import ConstraintError, NoSuchRowError, UnknownColumnError
+from repro.storage.index import HashIndex, UniqueIndex
+from repro.storage.predicate import Predicate, TrueP
+from repro.storage.schema import TableSchema
+
+__all__ = ["Table"]
+
+
+class Table:
+    """In-memory storage of one table's rows."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: dict[int, dict[str, Any]] = {}
+        self._next_rid = 1
+        self._pk_index = UniqueIndex(schema.primary_key)
+        self._secondary: dict[str, HashIndex] = {}
+        for fk in schema.foreign_keys:
+            self._secondary[fk.column] = HashIndex(fk.column)
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over copies of all rows (callers cannot corrupt indexes)."""
+        for row in self._rows.values():
+            yield dict(row)
+
+    def rids(self) -> list[int]:
+        return list(self._rows)
+
+    def row_by_rid(self, rid: int) -> dict[str, Any]:
+        try:
+            return dict(self._rows[rid])
+        except KeyError:
+            raise NoSuchRowError(f"{self.name}: no row with rid {rid}") from None
+
+    def has_indexed(self, column: str) -> bool:
+        return column == self.schema.primary_key or column in self._secondary
+
+    def create_index(self, column: str) -> None:
+        """Create (or no-op if present) a secondary index on *column*."""
+        self.schema.column(column)  # raises UnknownColumnError if absent
+        if column == self.schema.primary_key or column in self._secondary:
+            return
+        index = HashIndex(column)
+        for rid, row in self._rows.items():
+            index.insert(row[column], rid)
+        self._secondary[column] = index
+
+    def drop_index(self, column: str) -> None:
+        self._secondary.pop(column, None)
+
+    # -- lookups ---------------------------------------------------------------
+
+    def get(self, pk_value: Any) -> dict[str, Any] | None:
+        """Fetch the row whose primary key equals *pk_value*, or None."""
+        rid = self._pk_index.lookup(pk_value)
+        if rid is None:
+            return None
+        return dict(self._rows[rid])
+
+    def rid_of(self, pk_value: Any) -> int | None:
+        return self._pk_index.lookup(pk_value)
+
+    def scan(
+        self,
+        predicate: Predicate | None = None,
+        params: Mapping[str, Any] | None = None,
+    ) -> list[dict[str, Any]]:
+        """All rows satisfying *predicate* (all rows if None).
+
+        Uses an index when the predicate is a simple equality on an indexed
+        column; otherwise falls back to a full scan. Returns row copies.
+        """
+        pred = predicate if predicate is not None else TrueP()
+        bound = params or {}
+        rids = self._candidate_rids(pred, bound)
+        out = []
+        for rid in rids:
+            row = self._rows[rid]
+            if pred.test(row, bound):
+                out.append(dict(row))
+        return out
+
+    def count(self, predicate: Predicate | None = None,
+              params: Mapping[str, Any] | None = None) -> int:
+        return len(self.scan(predicate, params))
+
+    def _candidate_rids(self, pred: Predicate, params: Mapping[str, Any]) -> list[int]:
+        """Row ids to test, narrowed by index when the predicate allows."""
+        probe = _index_probe(pred, params)
+        if probe is not None:
+            column, value = probe
+            if column == self.schema.primary_key:
+                rid = self._pk_index.lookup(value)
+                return [] if rid is None else [rid]
+            index = self._secondary.get(column)
+            if index is not None:
+                return sorted(index.lookup(value))
+        return list(self._rows)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def insert(self, values: dict[str, Any]) -> dict[str, Any]:
+        """Insert a row (validated against the schema); returns the stored row."""
+        row = self.schema.normalize_row(values)
+        pk = row[self.schema.primary_key]
+        if pk in self._pk_index:
+            raise ConstraintError(
+                f"{self.name}: duplicate primary key {pk!r}"
+            )
+        rid = self._next_rid
+        self._next_rid += 1
+        self._rows[rid] = row
+        self._pk_index.insert(pk, rid)
+        for column, index in self._secondary.items():
+            index.insert(row[column], rid)
+        return dict(row)
+
+    def delete_by_pk(self, pk_value: Any) -> dict[str, Any]:
+        """Delete the row with primary key *pk_value*; returns the old row."""
+        rid = self._pk_index.lookup(pk_value)
+        if rid is None:
+            raise NoSuchRowError(f"{self.name}: no row with {self.schema.primary_key}={pk_value!r}")
+        row = self._rows.pop(rid)
+        self._pk_index.remove(pk_value, rid)
+        for column, index in self._secondary.items():
+            index.remove(row[column], rid)
+        return row
+
+    def update_by_pk(self, pk_value: Any, changes: Mapping[str, Any]) -> tuple[dict[str, Any], dict[str, Any]]:
+        """Apply *changes* to the row with primary key *pk_value*.
+
+        Returns ``(old_row, new_row)`` copies. Changing the primary key is
+        allowed (placeholder renumbering needs it) and keeps indexes
+        consistent.
+        """
+        rid = self._pk_index.lookup(pk_value)
+        if rid is None:
+            raise NoSuchRowError(f"{self.name}: no row with {self.schema.primary_key}={pk_value!r}")
+        old = self._rows[rid]
+        merged = dict(old)
+        for column, value in changes.items():
+            if not self.schema.has_column(column):
+                raise UnknownColumnError(f"table {self.name!r} has no column {column!r}")
+            merged[column] = value
+        new = self.schema.normalize_row(merged)
+        new_pk = new[self.schema.primary_key]
+        if new_pk != pk_value and new_pk in self._pk_index:
+            raise ConstraintError(f"{self.name}: duplicate primary key {new_pk!r}")
+        # Re-index: remove old entries, store, insert new entries.
+        self._pk_index.remove(pk_value, rid)
+        for column, index in self._secondary.items():
+            index.remove(old[column], rid)
+        self._rows[rid] = new
+        self._pk_index.insert(new_pk, rid)
+        for column, index in self._secondary.items():
+            index.insert(new[column], rid)
+        return dict(old), dict(new)
+
+    def referencing_rows(self, fk_column: str, value: Any) -> list[dict[str, Any]]:
+        """Rows whose *fk_column* equals *value* (index-accelerated)."""
+        index = self._secondary.get(fk_column)
+        if index is not None:
+            return [dict(self._rows[rid]) for rid in sorted(index.lookup(value))]
+        return [dict(row) for row in self._rows.values() if row[fk_column] == value]
+
+    def max_pk(self) -> Any:
+        """Largest primary-key value, or None if empty (for id allocation)."""
+        best = None
+        for row in self._rows.values():
+            pk = row[self.schema.primary_key]
+            if best is None or (pk is not None and pk > best):
+                best = pk
+        return best
+
+
+def _index_probe(pred: Predicate, params: Mapping[str, Any]) -> tuple[str, Any] | None:
+    """If *pred* is ``column = constant`` (possibly via $param), return the
+    (column, value) pair usable for an index probe; else None.
+
+    Conjunctions are probed on their left arm: ``a = 1 AND ...`` can still
+    narrow by ``a``. This is a deliberate, simple planner — enough to make
+    FK scans O(matches).
+    """
+    from repro.storage.predicate import And, ColumnRef, Comparison, Literal, Param
+
+    if isinstance(pred, And):
+        return _index_probe(pred.left, params) or _index_probe(pred.right, params)
+    if isinstance(pred, Comparison) and pred.op == "=":
+        column_side = None
+        value_side = None
+        for a, b in ((pred.left, pred.right), (pred.right, pred.left)):
+            if isinstance(a, ColumnRef) and isinstance(b, (Literal, Param)):
+                column_side, value_side = a, b
+                break
+        if column_side is None:
+            return None
+        if isinstance(value_side, Literal):
+            return column_side.name, value_side.value
+        if value_side.name in params:
+            return column_side.name, params[value_side.name]
+    return None

@@ -1,0 +1,144 @@
+"""Column type system for the embedded relational engine.
+
+The engine supports a small but practical set of SQL-ish types. Values are
+stored as plain Python objects; this module defines coercion from arbitrary
+Python values into the canonical representation for each type, plus NULL
+semantics shared by the predicate evaluator.
+
+Canonical representations:
+
+===========  =========================
+Type         Python representation
+===========  =========================
+INTEGER      :class:`int`
+REAL         :class:`float`
+TEXT         :class:`str`
+BOOL         :class:`bool`
+DATETIME     :class:`float` (seconds since an arbitrary epoch; the engine
+             never interprets wall-clock time, so a monotonic simulated
+             clock works equally well)
+BLOB         :class:`bytes`
+===========  =========================
+
+``None`` is NULL for every type.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any
+
+from repro.errors import TypeMismatchError
+
+__all__ = ["ColumnType", "coerce", "type_name", "is_comparable"]
+
+
+class ColumnType(enum.Enum):
+    """Declared type of a table column."""
+
+    INTEGER = "INTEGER"
+    REAL = "REAL"
+    TEXT = "TEXT"
+    BOOL = "BOOL"
+    DATETIME = "DATETIME"
+    BLOB = "BLOB"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+_TYPE_ALIASES = {
+    "INT": ColumnType.INTEGER,
+    "INTEGER": ColumnType.INTEGER,
+    "BIGINT": ColumnType.INTEGER,
+    "SMALLINT": ColumnType.INTEGER,
+    "TINYINT": ColumnType.INTEGER,
+    "REAL": ColumnType.REAL,
+    "FLOAT": ColumnType.REAL,
+    "DOUBLE": ColumnType.REAL,
+    "TEXT": ColumnType.TEXT,
+    "VARCHAR": ColumnType.TEXT,
+    "CHAR": ColumnType.TEXT,
+    "STRING": ColumnType.TEXT,
+    "BOOL": ColumnType.BOOL,
+    "BOOLEAN": ColumnType.BOOL,
+    "DATETIME": ColumnType.DATETIME,
+    "TIMESTAMP": ColumnType.DATETIME,
+    "DATE": ColumnType.DATETIME,
+    "BLOB": ColumnType.BLOB,
+    "BINARY": ColumnType.BLOB,
+}
+
+
+def parse_type(name: str) -> ColumnType:
+    """Resolve a SQL type name (including common aliases) to a ColumnType.
+
+    Parenthesized length suffixes such as ``VARCHAR(255)`` are accepted and
+    ignored, matching the permissive behaviour of SQLite.
+    """
+    base = name.strip().upper()
+    if "(" in base:
+        base = base[: base.index("(")].strip()
+    try:
+        return _TYPE_ALIASES[base]
+    except KeyError:
+        raise TypeMismatchError(f"unknown column type {name!r}") from None
+
+
+def type_name(ctype: ColumnType) -> str:
+    """Return the canonical SQL name of *ctype*."""
+    return ctype.value
+
+
+def coerce(value: Any, ctype: ColumnType) -> Any:
+    """Coerce *value* into the canonical representation for *ctype*.
+
+    ``None`` (NULL) passes through for every type. Lossless numeric
+    widenings are performed (int -> float for REAL); anything else raises
+    :class:`TypeMismatchError`. Strings are *not* silently parsed into
+    numbers: disguise transformations operate on values the application
+    wrote, and silently reinterpreting them would mask spec bugs.
+    """
+    if value is None:
+        return None
+    if ctype is ColumnType.INTEGER:
+        # bool is a subclass of int; allow it (SQL-style 0/1) explicitly.
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+    elif ctype is ColumnType.REAL:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+    elif ctype is ColumnType.TEXT:
+        if isinstance(value, str):
+            return value
+    elif ctype is ColumnType.BOOL:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+    elif ctype is ColumnType.DATETIME:
+        if isinstance(value, bool):
+            pass  # fall through to error: a bool datetime is a bug
+        elif isinstance(value, (int, float)):
+            return float(value)
+    elif ctype is ColumnType.BLOB:
+        if isinstance(value, (bytes, bytearray)):
+            return bytes(value)
+    raise TypeMismatchError(
+        f"cannot store {value!r} ({type(value).__name__}) in a {ctype.value} column"
+    )
+
+
+def is_comparable(a: Any, b: Any) -> bool:
+    """Whether two non-NULL canonical values can be ordered against each other."""
+    if isinstance(a, bool) or isinstance(b, bool):
+        return isinstance(a, bool) and isinstance(b, bool)
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return True
+    return type(a) is type(b)

@@ -1,0 +1,23 @@
+"""Vaults: reveal-function storage across deployment models (paper §4.2)."""
+
+from repro.vault.base import VaultStats, VaultStore
+from repro.vault.encrypted import EncryptedVault
+from repro.vault.entry import OP_DECORRELATE, OP_MODIFY, OP_REMOVE, VaultEntry
+from repro.vault.file_vault import FileVault
+from repro.vault.memory_vault import MemoryVault
+from repro.vault.multitier import MultiTierVault
+from repro.vault.table_vault import TableVault
+
+__all__ = [
+    "VaultStore",
+    "VaultStats",
+    "VaultEntry",
+    "OP_REMOVE",
+    "OP_DECORRELATE",
+    "OP_MODIFY",
+    "MemoryVault",
+    "TableVault",
+    "FileVault",
+    "EncryptedVault",
+    "MultiTierVault",
+]

@@ -1,0 +1,178 @@
+"""Vault store interface and shared filtering/expiry machinery.
+
+"A vault is a storage location not accessible to application queries that
+stores reveal functions for applied disguises" (paper §4.2). Concrete
+deployments differ in where the bytes live and who can read them; they all
+implement :class:`VaultStore`.
+
+:class:`VaultStats` counts vault reads and writes — disguise composition
+cost is dominated by vault traffic (§6), so the benchmarks report these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from repro.errors import VaultError
+from repro.vault.entry import VaultEntry
+
+__all__ = ["VaultStore", "VaultStats", "match_entry"]
+
+GLOBAL_OWNER = None  # owner value routing to the global vault
+
+
+@dataclass
+class VaultStats:
+    """Vault operation counters."""
+
+    reads: int = 0
+    writes: int = 0
+    deletes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes + self.deletes
+
+    def snapshot(self) -> "VaultStats":
+        return VaultStats(self.reads, self.writes, self.deletes)
+
+    def delta(self, since: "VaultStats") -> "VaultStats":
+        return VaultStats(
+            self.reads - since.reads,
+            self.writes - since.writes,
+            self.deletes - since.deletes,
+        )
+
+
+def match_entry(
+    entry: VaultEntry,
+    disguise_id: int | None = None,
+    table: str | None = None,
+    op: str | None = None,
+    before_epoch: int | None = None,
+) -> bool:
+    """Shared entry filter used by every store implementation."""
+    if disguise_id is not None and entry.disguise_id != disguise_id:
+        return False
+    if table is not None and entry.table != table:
+        return False
+    if op is not None and entry.op != op:
+        return False
+    if before_epoch is not None and entry.epoch >= before_epoch:
+        return False
+    return True
+
+
+class VaultStore:
+    """Abstract vault: per-owner collections of :class:`VaultEntry`.
+
+    ``owner`` is a user id, or ``None`` for the global vault. Stores that
+    gate access (encrypted vaults) raise :class:`~repro.errors.VaultError`
+    from read methods when the owner's vault is locked.
+    """
+
+    def __init__(self) -> None:
+        self.stats = VaultStats()
+
+    # -- abstract primitive operations -----------------------------------------
+
+    def _put(self, entry: VaultEntry) -> None:
+        raise NotImplementedError
+
+    def _replace(self, entry: VaultEntry) -> None:
+        raise NotImplementedError
+
+    def _delete(self, owner: Any, entry_ids: Iterable[int]) -> int:
+        raise NotImplementedError
+
+    def _entries(self, owner: Any) -> list[VaultEntry]:
+        raise NotImplementedError
+
+    def owners(self) -> list[Any]:
+        """All owners with a (possibly empty) vault, global excluded."""
+        raise NotImplementedError
+
+    def note_disguise(self, disguise_id: int, user_invoked: bool) -> None:
+        """Hint from the engine about how a disguise was invoked.
+
+        The base store ignores it; :class:`~repro.vault.multitier.
+        MultiTierVault` uses it to route entries between tiers.
+        """
+
+    # -- public API --------------------------------------------------------------
+
+    def put(self, entry: VaultEntry) -> None:
+        """Store a new entry in its owner's vault."""
+        self.stats.writes += 1
+        self._put(entry)
+
+    def replace(self, entry: VaultEntry) -> None:
+        """Overwrite the stored entry with the same ``entry_id``."""
+        self.stats.writes += 1
+        self._replace(entry)
+
+    def delete(self, owner: Any, entry_ids: Iterable[int]) -> int:
+        """Remove entries from *owner*'s vault; returns how many."""
+        ids = list(entry_ids)
+        self.stats.deletes += len(ids)
+        return self._delete(owner, ids)
+
+    def entries_for(
+        self,
+        owner: Any,
+        disguise_id: int | None = None,
+        table: str | None = None,
+        op: str | None = None,
+        before_epoch: int | None = None,
+    ) -> list[VaultEntry]:
+        """Entries in *owner*'s vault matching the filters, in seq order."""
+        self.stats.reads += 1
+        entries = [
+            entry
+            for entry in self._entries(owner)
+            if match_entry(entry, disguise_id, table, op, before_epoch)
+        ]
+        entries.sort(key=lambda entry: entry.seq)
+        return entries
+
+    def all_entries(
+        self, disguise_id: int | None = None
+    ) -> list[VaultEntry]:
+        """Entries across every vault, including the global one.
+
+        Deployments that cannot enumerate user vaults (encrypted, third-
+        party-held) raise; that is exactly the paper's point about a full
+        ConfAnon reversal being infeasible under per-user vaults (§4.2).
+        """
+        out = []
+        for owner in [GLOBAL_OWNER, *self.owners()]:
+            out.extend(self.entries_for(owner, disguise_id=disguise_id))
+        out.sort(key=lambda entry: entry.seq)
+        return out
+
+    def expire_before(self, epoch: int) -> int:
+        """Drop every entry with ``epoch < epoch`` across all vaults.
+
+        Expired entries make the corresponding disguises irreversible
+        (§4.2: "Entries in a vault could also be configured to expire
+        after some time; making the corresponding disguises irreversible").
+        Returns the number dropped.
+        """
+        dropped = 0
+        for owner in [GLOBAL_OWNER, *self.owners()]:
+            stale = [
+                entry.entry_id
+                for entry in self.entries_for(owner)
+                if entry.epoch < epoch
+            ]
+            if stale:
+                dropped += self.delete(owner, stale)
+        return dropped
+
+    def size(self) -> int:
+        """Total entry count across all vaults (no stats impact)."""
+        total = len(self._entries(GLOBAL_OWNER))
+        for owner in self.owners():
+            total += len(self._entries(owner))
+        return total

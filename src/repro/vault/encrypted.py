@@ -1,0 +1,153 @@
+"""Encrypted vault wrapper: per-owner keys, explicit unlock, key escrow.
+
+"The vault contents might be encrypted, and access might require explicit
+approval by the user, who holds the private key" (paper §4.2). This store
+wraps any inner :class:`~repro.vault.base.VaultStore`; entry *metadata*
+(ids, seq, owner, epoch — needed for routing and ordering) stays in the
+clear, while the entire entry body (including the payload holding original
+data) is encrypted under the owner's key.
+
+Reading an owner's entries requires the vault to be *unlocked* with that
+owner's key — the programmatic stand-in for user approval. Keys may be
+held directly or recovered through threshold escrow
+(:mod:`repro.crypto.threshold`), reproducing footnote 1's lost-key story.
+The global vault (owner ``None``) is never encrypted: it is the
+"accessible to the disguising tool and application" tier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Iterable
+
+from repro.crypto.cipher import Ciphertext, SecretKey, decrypt, encrypt
+from repro.crypto.threshold import EscrowedKey
+from repro.errors import VaultError
+from repro.vault.base import GLOBAL_OWNER, VaultStore
+from repro.vault.entry import VaultEntry
+
+__all__ = ["EncryptedVault"]
+
+
+class EncryptedVault(VaultStore):
+    """Encrypts per-owner entries at rest inside an inner store."""
+
+    def __init__(self, inner: VaultStore) -> None:
+        super().__init__()
+        self.inner = inner
+        self._keys: dict[Any, SecretKey] = {}  # registered (write) keys
+        self._escrows: dict[Any, EscrowedKey] = {}
+        self._unlocked: set[Any] = set()
+
+    # -- key management ----------------------------------------------------------
+
+    def register_owner(
+        self,
+        owner: Any,
+        key: SecretKey | None = None,
+        escrow: EscrowedKey | None = None,
+    ) -> SecretKey:
+        """Provision *owner*'s vault key (generated if not supplied).
+
+        The key is retained for writes (the disguising tool encrypts new
+        entries as it applies disguises) but reads stay locked until
+        :meth:`unlock`. An optional *escrow* records the threshold sharing
+        used by :meth:`unlock_via_escrow`.
+        """
+        if owner is GLOBAL_OWNER:
+            raise VaultError("the global vault tier is not encrypted")
+        if key is None:
+            key = SecretKey.generate()
+        self._keys[owner] = key
+        if escrow is not None:
+            self._escrows[owner] = escrow
+        return key
+
+    def unlock(self, owner: Any, key: SecretKey) -> None:
+        """Unlock *owner*'s vault for reading; wrong keys are rejected lazily
+        (decryption authenticates every entry)."""
+        self._keys[owner] = key
+        self._unlocked.add(owner)
+
+    def unlock_via_escrow(self, owner: Any, *consenting: str) -> None:
+        """Recover the key from escrow shares and unlock (footnote 1)."""
+        escrow = self._escrows.get(owner)
+        if escrow is None:
+            raise VaultError(f"no escrow registered for owner {owner!r}")
+        self.unlock(owner, escrow.recover(*consenting))
+
+    def lock(self, owner: Any) -> None:
+        self._unlocked.discard(owner)
+
+    def is_unlocked(self, owner: Any) -> bool:
+        return owner is GLOBAL_OWNER or owner in self._unlocked
+
+    def _key_for(self, owner: Any, *, writing: bool) -> SecretKey:
+        key = self._keys.get(owner)
+        if key is None:
+            raise VaultError(
+                f"owner {owner!r} has no registered vault key; call register_owner"
+            )
+        if not writing and owner not in self._unlocked:
+            raise VaultError(
+                f"vault of owner {owner!r} is locked; user approval (unlock) required"
+            )
+        return key
+
+    # -- encryption plumbing ------------------------------------------------------
+
+    def _seal(self, entry: VaultEntry) -> VaultEntry:
+        if entry.owner is GLOBAL_OWNER:
+            return entry
+        key = self._key_for(entry.owner, writing=True)
+        ciphertext = encrypt(key, entry.to_json().encode())
+        return replace(
+            entry,
+            op="modify",  # neutral metadata; real op is inside the ciphertext
+            payload={"ct": ciphertext.to_bytes().hex()},
+        )
+
+    def _open(self, stored: VaultEntry) -> VaultEntry:
+        if stored.owner is GLOBAL_OWNER:
+            return stored
+        key = self._key_for(stored.owner, writing=False)
+        blob = bytes.fromhex(stored.payload["ct"])
+        plaintext = decrypt(key, Ciphertext.from_bytes(blob))
+        return VaultEntry.from_json(plaintext.decode())
+
+    # -- primitive operations -------------------------------------------------------
+
+    def _put(self, entry: VaultEntry) -> None:
+        self.inner._put(self._seal(entry))
+
+    def _replace(self, entry: VaultEntry) -> None:
+        self.inner._replace(self._seal(entry))
+
+    def _delete(self, owner: Any, entry_ids: Iterable[int]) -> int:
+        return self.inner._delete(owner, entry_ids)
+
+    def _entries(self, owner: Any) -> list[VaultEntry]:
+        return [self._open(stored) for stored in self.inner._entries(owner)]
+
+    def owners(self) -> list[Any]:
+        return self.inner.owners()
+
+    # -- metadata-only operations (no decryption, so no unlock needed) -----------
+
+    def expire_before(self, epoch: int) -> int:
+        """Expiry filters on the clear ``epoch`` metadata of sealed entries,
+        so locked vaults can still be expired (the deployment's retention
+        policy does not need user approval to *forget*)."""
+        dropped = 0
+        for owner in [GLOBAL_OWNER, *self.owners()]:
+            stale = [
+                stored.entry_id
+                for stored in self.inner._entries(owner)
+                if stored.epoch < epoch
+            ]
+            if stale:
+                dropped += self.delete(owner, stale)
+        return dropped
+
+    def size(self) -> int:
+        return self.inner.size()

@@ -1,0 +1,162 @@
+"""Vault entries: the persisted form of reveal functions.
+
+"Reveal functions stored in vaults use the original and updated states of
+objects touched by a reversible disguise to generate the necessary
+operations to restore the original state" (paper §5). A
+:class:`VaultEntry` is exactly that record: for each physical change a
+disguise made, it stores enough of the pre-image to undo it.
+
+Payload layout by operation:
+
+=============  ==========================================================
+``remove``     ``{"row": {...original row...}}``
+``decorrelate``  ``{"column", "old", "new", "placeholder_table",
+               "placeholder_pk"}``
+``modify``     ``{"column", "old", "new"}``
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import VaultError
+
+__all__ = ["VaultEntry", "OP_REMOVE", "OP_DECORRELATE", "OP_MODIFY"]
+
+OP_REMOVE = "remove"
+OP_DECORRELATE = "decorrelate"
+OP_MODIFY = "modify"
+
+_OPS = (OP_REMOVE, OP_DECORRELATE, OP_MODIFY)
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bytes):
+        return {"$blob": value.hex()}
+    return value
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict) and "$blob" in value:
+        return bytes.fromhex(value["$blob"])
+    return value
+
+
+def _encode_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in payload.items():
+        if isinstance(value, dict):
+            out[key] = {k: _encode_value(v) for k, v in value.items()}
+        else:
+            out[key] = _encode_value(value)
+    return out
+
+
+def _decode_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in payload.items():
+        if isinstance(value, dict) and "$blob" not in value:
+            out[key] = {k: _decode_value(v) for k, v in value.items()}
+        else:
+            out[key] = _decode_value(value)
+    return out
+
+
+@dataclass(frozen=True)
+class VaultEntry:
+    """One reveal record.
+
+    ``seq`` totally orders physical changes across all disguises; reveal
+    walks chains of entries on the same row in ``seq`` order. ``owner`` is
+    the user id whose vault holds the entry (None routes to the global
+    vault). ``epoch`` is the history epoch of the disguise application.
+    """
+
+    entry_id: int
+    disguise_id: int
+    seq: int
+    epoch: int
+    owner: Any
+    table: str
+    pk: Any
+    op: str
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise VaultError(f"unknown vault op {self.op!r}")
+
+    # -- convenience accessors --------------------------------------------------
+
+    @property
+    def column(self) -> str:
+        return self.payload["column"]
+
+    @property
+    def old_value(self) -> Any:
+        return self.payload["old"]
+
+    @property
+    def new_value(self) -> Any:
+        return self.payload["new"]
+
+    @property
+    def removed_row(self) -> dict[str, Any]:
+        return dict(self.payload["row"])
+
+    @property
+    def placeholder_table(self) -> str:
+        return self.payload["placeholder_table"]
+
+    @property
+    def placeholder_pk(self) -> Any:
+        return self.payload["placeholder_pk"]
+
+    def with_payload(self, seq: int, **changes: Any) -> "VaultEntry":
+        """A copy with an updated payload and a fresh sequence number.
+
+        Used when a disguise's operation is re-executed during composition
+        (the entry then reverses the *new* physical change).
+        """
+        payload = dict(self.payload)
+        payload.update(changes)
+        return replace(self, payload=payload, seq=seq)
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "entry_id": self.entry_id,
+                "disguise_id": self.disguise_id,
+                "seq": self.seq,
+                "epoch": self.epoch,
+                "owner": _encode_value(self.owner),
+                "table": self.table,
+                "pk": _encode_value(self.pk),
+                "op": self.op,
+                "payload": _encode_payload(self.payload),
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "VaultEntry":
+        try:
+            data = json.loads(document)
+        except json.JSONDecodeError as exc:
+            raise VaultError(f"corrupt vault entry: {exc}") from None
+        return cls(
+            entry_id=data["entry_id"],
+            disguise_id=data["disguise_id"],
+            seq=data["seq"],
+            epoch=data["epoch"],
+            owner=_decode_value(data["owner"]),
+            table=data["table"],
+            pk=_decode_value(data["pk"]),
+            op=data["op"],
+            payload=_decode_payload(data["payload"]),
+        )

@@ -1,0 +1,94 @@
+"""Offline-storage vault: one JSON-lines file per owner in a directory.
+
+This models the paper's "storing vaults in offline storage, which provides
+a modicum of security, but makes access by the data disguising tool easy"
+(§4.2). Files are rewritten whole on mutation — vault sizes are small
+(entries per user per disguise), so simplicity wins over incremental IO.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable
+
+from repro.errors import VaultError
+from repro.vault.base import GLOBAL_OWNER, VaultStore
+from repro.vault.entry import VaultEntry
+
+__all__ = ["FileVault"]
+
+
+class FileVault(VaultStore):
+    """Vault entries persisted under ``directory/owner-<id>.jsonl``."""
+
+    def __init__(self, directory: str | Path) -> None:
+        super().__init__()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, owner: Any) -> Path:
+        if owner is GLOBAL_OWNER:
+            return self.directory / "global.jsonl"
+        token = str(owner)
+        if "/" in token or token.startswith("."):
+            raise VaultError(f"owner {owner!r} cannot name a vault file")
+        return self.directory / f"owner-{token}.jsonl"
+
+    def _load(self, owner: Any) -> dict[int, VaultEntry]:
+        path = self._path(owner)
+        if not path.exists():
+            return {}
+        entries: dict[int, VaultEntry] = {}
+        with path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    entry = VaultEntry.from_json(line)
+                    entries[entry.entry_id] = entry
+        return entries
+
+    def _store(self, owner: Any, entries: dict[int, VaultEntry]) -> None:
+        path = self._path(owner)
+        if not entries:
+            if path.exists():
+                path.unlink()
+            return
+        with path.open("w", encoding="utf-8") as handle:
+            for entry in sorted(entries.values(), key=lambda e: e.seq):
+                handle.write(entry.to_json() + "\n")
+
+    # -- primitive operations -----------------------------------------------------
+
+    def _put(self, entry: VaultEntry) -> None:
+        entries = self._load(entry.owner)
+        if entry.entry_id in entries:
+            raise VaultError(f"duplicate vault entry id {entry.entry_id}")
+        entries[entry.entry_id] = entry
+        self._store(entry.owner, entries)
+
+    def _replace(self, entry: VaultEntry) -> None:
+        entries = self._load(entry.owner)
+        if entry.entry_id not in entries:
+            raise VaultError(f"no vault entry {entry.entry_id} to replace")
+        entries[entry.entry_id] = entry
+        self._store(entry.owner, entries)
+
+    def _delete(self, owner: Any, entry_ids: Iterable[int]) -> int:
+        entries = self._load(owner)
+        count = 0
+        for entry_id in entry_ids:
+            if entries.pop(entry_id, None) is not None:
+                count += 1
+        if count:
+            self._store(owner, entries)
+        return count
+
+    def _entries(self, owner: Any) -> list[VaultEntry]:
+        return list(self._load(owner).values())
+
+    def owners(self) -> list[Any]:
+        out = []
+        for path in self.directory.glob("owner-*.jsonl"):
+            token = path.stem[len("owner-") :]
+            out.append(int(token) if token.isdigit() else token)
+        return out

@@ -1,0 +1,48 @@
+"""In-memory vault store: the baseline deployment for tests and benches."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import VaultError
+from repro.vault.base import GLOBAL_OWNER, VaultStore
+from repro.vault.entry import VaultEntry
+
+__all__ = ["MemoryVault"]
+
+
+class MemoryVault(VaultStore):
+    """Vault entries held in per-owner dicts in process memory."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._vaults: dict[Any, dict[int, VaultEntry]] = {}
+
+    def _vault(self, owner: Any) -> dict[int, VaultEntry]:
+        return self._vaults.setdefault(owner, {})
+
+    def _put(self, entry: VaultEntry) -> None:
+        vault = self._vault(entry.owner)
+        if entry.entry_id in vault:
+            raise VaultError(f"duplicate vault entry id {entry.entry_id}")
+        vault[entry.entry_id] = entry
+
+    def _replace(self, entry: VaultEntry) -> None:
+        vault = self._vault(entry.owner)
+        if entry.entry_id not in vault:
+            raise VaultError(f"no vault entry {entry.entry_id} to replace")
+        vault[entry.entry_id] = entry
+
+    def _delete(self, owner: Any, entry_ids: Iterable[int]) -> int:
+        vault = self._vault(owner)
+        count = 0
+        for entry_id in entry_ids:
+            if vault.pop(entry_id, None) is not None:
+                count += 1
+        return count
+
+    def _entries(self, owner: Any) -> list[VaultEntry]:
+        return list(self._vaults.get(owner, {}).values())
+
+    def owners(self) -> list[Any]:
+        return [owner for owner in self._vaults if owner is not GLOBAL_OWNER]

@@ -1,0 +1,77 @@
+"""Two-tier vault deployment (paper §4.2).
+
+"An alternative might be to provide multi-tier security: the first tier
+stores reveal functions of non-GDPR disguises in a global vault accessible
+to the disguising tool and application, while the second tier stores
+reveal functions from user-invoked disguises in external, per-user
+encrypted vaults."
+
+:class:`MultiTierVault` routes entries by how their disguise was invoked:
+the engine calls :meth:`note_disguise` when it starts applying a disguise,
+and entries of *user-invoked* disguises go to the (typically encrypted)
+user tier while entries of *automatic/global* disguises — even though they
+belong to individual owners — go to the tool-accessible global tier. This
+is what makes composed disguise application practical: applying a user's
+GDPR+ after ConfAnon only needs ConfAnon's entries for that user, which
+live in the accessible tier.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.vault.base import VaultStore
+from repro.vault.entry import VaultEntry
+
+__all__ = ["MultiTierVault"]
+
+
+class MultiTierVault(VaultStore):
+    """Routes user-invoked disguise entries to *user_tier*, others to
+    *shared_tier*."""
+
+    def __init__(self, user_tier: VaultStore, shared_tier: VaultStore) -> None:
+        super().__init__()
+        self.user_tier = user_tier
+        self.shared_tier = shared_tier
+        self._user_invoked: set[int] = set()
+
+    def note_disguise(self, disguise_id: int, user_invoked: bool) -> None:
+        """Record how a disguise was invoked, for routing its entries."""
+        if user_invoked:
+            self._user_invoked.add(disguise_id)
+        else:
+            self._user_invoked.discard(disguise_id)
+
+    def _tier_for(self, disguise_id: int) -> VaultStore:
+        if disguise_id in self._user_invoked:
+            return self.user_tier
+        return self.shared_tier
+
+    # -- primitive operations -----------------------------------------------------
+
+    def _put(self, entry: VaultEntry) -> None:
+        self._tier_for(entry.disguise_id)._put(entry)
+
+    def _replace(self, entry: VaultEntry) -> None:
+        self._tier_for(entry.disguise_id)._replace(entry)
+
+    def _delete(self, owner: Any, entry_ids: Iterable[int]) -> int:
+        ids = list(entry_ids)
+        count = self.user_tier._delete(owner, ids)
+        count += self.shared_tier._delete(owner, ids)
+        return count
+
+    def _entries(self, owner: Any) -> list[VaultEntry]:
+        # Reading merges both tiers; a locked user tier raises, and callers
+        # that only need composition data use shared_entries_for instead.
+        return self.user_tier._entries(owner) + self.shared_tier._entries(owner)
+
+    def shared_entries_for(self, owner: Any, **filters: Any) -> list[VaultEntry]:
+        """Entries reachable without user approval (the first tier only)."""
+        return self.shared_tier.entries_for(owner, **filters)
+
+    def owners(self) -> list[Any]:
+        merged = dict.fromkeys(self.user_tier.owners())
+        merged.update(dict.fromkeys(self.shared_tier.owners()))
+        return list(merged)

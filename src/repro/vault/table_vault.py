@@ -1,0 +1,107 @@
+"""Vaults as per-user database tables — Edna's deployment model.
+
+"Edna represents vaults as (currently unencrypted) per-user database
+tables" (paper §5). Each owner gets a table ``_vault_u<owner>`` (the
+global vault is ``_vault_global``) in a *vault database* — by default a
+separate :class:`~repro.storage.database.Database` so application queries
+cannot reach it ("a storage location not accessible to application
+queries", §4.2), but callers may pass the application database to model
+Edna's same-backend layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import VaultError
+from repro.storage.database import Database
+from repro.storage.schema import Column, TableSchema
+from repro.storage.types import ColumnType
+from repro.vault.base import GLOBAL_OWNER, VaultStore
+from repro.vault.entry import VaultEntry
+
+__all__ = ["TableVault"]
+
+_PREFIX = "_vault_"
+
+
+def _vault_table_schema(name: str) -> TableSchema:
+    return TableSchema(
+        name,
+        [
+            Column("entry_id", ColumnType.INTEGER, nullable=False),
+            Column("seq", ColumnType.INTEGER, nullable=False),
+            Column("body", ColumnType.TEXT, nullable=False),
+        ],
+        primary_key="entry_id",
+    )
+
+
+class TableVault(VaultStore):
+    """Vault entries stored as rows of per-owner tables."""
+
+    def __init__(self, db: Database | None = None) -> None:
+        super().__init__()
+        self.db = db if db is not None else Database()
+
+    # -- table management ---------------------------------------------------------
+
+    def _table_name(self, owner: Any) -> str:
+        if owner is GLOBAL_OWNER:
+            return _PREFIX + "global"
+        token = str(owner)
+        if not token.replace("-", "").replace("_", "").isalnum():
+            raise VaultError(f"owner {owner!r} cannot name a vault table")
+        return f"{_PREFIX}u{token}"
+
+    def _ensure_table(self, owner: Any) -> str:
+        name = self._table_name(owner)
+        if not self.db.has_table(name):
+            self.db.create_table(_vault_table_schema(name))
+        return name
+
+    # -- primitive operations --------------------------------------------------------
+
+    def _put(self, entry: VaultEntry) -> None:
+        name = self._ensure_table(entry.owner)
+        if self.db.get(name, entry.entry_id) is not None:
+            raise VaultError(f"duplicate vault entry id {entry.entry_id}")
+        self.db.insert(
+            name,
+            {"entry_id": entry.entry_id, "seq": entry.seq, "body": entry.to_json()},
+        )
+
+    def _replace(self, entry: VaultEntry) -> None:
+        name = self._ensure_table(entry.owner)
+        if self.db.get(name, entry.entry_id) is None:
+            raise VaultError(f"no vault entry {entry.entry_id} to replace")
+        self.db.update_by_pk(
+            name, entry.entry_id, {"seq": entry.seq, "body": entry.to_json()}
+        )
+
+    def _delete(self, owner: Any, entry_ids: Iterable[int]) -> int:
+        name = self._table_name(owner)
+        if not self.db.has_table(name):
+            return 0
+        count = 0
+        for entry_id in entry_ids:
+            if self.db.get(name, entry_id) is not None:
+                self.db.delete_by_pk(name, entry_id)
+                count += 1
+        return count
+
+    def _entries(self, owner: Any) -> list[VaultEntry]:
+        name = self._table_name(owner)
+        if not self.db.has_table(name):
+            return []
+        return [
+            VaultEntry.from_json(row["body"]) for row in self.db.select(name)
+        ]
+
+    def owners(self) -> list[Any]:
+        out = []
+        for name in self.db.table_names:
+            if name.startswith(_PREFIX + "u"):
+                token = name[len(_PREFIX) + 1 :]
+                out.append(int(token) if token.isdigit() else token)
+        return out

@@ -1,0 +1,164 @@
+"""Case-study tests: Lobsters schema, generator, and the GDPR disguise."""
+
+import pytest
+
+from repro import Disguiser, validate_spec
+from repro.apps.lobsters import (
+    LobstersPopulation,
+    check_invariants,
+    deletion_assertions,
+    generate_lobsters,
+    lobsters_gdpr,
+    lobsters_schema,
+    schema_loc,
+    user_activity,
+    user_footprint,
+)
+
+
+@pytest.fixture
+def mini_lobsters():
+    db = generate_lobsters(
+        population=LobstersPopulation(users=30, stories=60, comments=150), seed=5
+    )
+    engine = Disguiser(db, seed=2)
+    engine.register(lobsters_gdpr())
+    return db, engine
+
+
+def busiest_user(db):
+    """A user with stories, comments, and votes (interesting to delete)."""
+    best, best_score = None, -1
+    for uid in range(1, 31):
+        footprint = user_footprint(db, uid)
+        score = min(footprint["stories"], footprint["comments"], footprint["votes"])
+        if score > best_score:
+            best, best_score = uid, score
+    return best
+
+
+class TestSchema:
+    def test_19_object_types(self):
+        # Figure 4: Lobsters has 19 object types.
+        assert lobsters_schema().object_type_count() == 19
+
+    def test_schema_validates(self):
+        lobsters_schema().validate()
+
+    def test_self_referencing_tables(self):
+        schema = lobsters_schema()
+        users_fk = schema.table("users").foreign_key_for("invited_by_user_id")
+        assert users_fk.parent_table == "users"
+        comments_fk = schema.table("comments").foreign_key_for("parent_comment_id")
+        assert comments_fk.parent_table == "comments"
+
+    def test_schema_loc_positive(self):
+        assert schema_loc() > 100
+
+
+class TestGenerator:
+    def test_counts(self, mini_lobsters):
+        db, _ = mini_lobsters
+        assert db.count("users") == 30
+        assert db.count("stories") == 60
+        assert db.count("comments") == 150
+
+    def test_integrity_and_invariants(self, mini_lobsters):
+        db, _ = mini_lobsters
+        assert db.check_integrity() == []
+        assert check_invariants(db) == []
+
+    def test_comment_threads_reference_earlier_comments(self, mini_lobsters):
+        db, _ = mini_lobsters
+        threaded = db.select("comments", "parent_comment_id IS NOT NULL")
+        assert threaded
+        assert all(c["parent_comment_id"] < c["id"] for c in threaded)
+
+    def test_deterministic(self):
+        population = LobstersPopulation(10, 20, 40)
+        a = generate_lobsters(population=population, seed=1)
+        b = generate_lobsters(population=population, seed=1)
+        assert sorted(map(str, a.table("comments").rows())) == sorted(
+            map(str, b.table("comments").rows())
+        )
+
+    def test_activity_signal(self, mini_lobsters):
+        db, _ = mini_lobsters
+        assert len(user_activity(db)) == 30
+
+
+class TestGdprDisguise:
+    def test_spec_validates(self):
+        validate_spec(lobsters_gdpr(), lobsters_schema())
+
+    def test_deletion_keeps_contributions(self, mini_lobsters):
+        db, engine = mini_lobsters
+        uid = busiest_user(db)
+        stories_before = db.count("stories")
+        comments_before = db.count("comments")
+        report = engine.apply(
+            "Lobsters-GDPR", uid=uid,
+            assertions=deletion_assertions(), check_integrity=True,
+        )
+        # public contributions survive, reattributed ("[deleted]" policy, §2)
+        assert db.count("stories") == stories_before
+        assert db.count("comments") == comments_before
+        assert db.count("stories", "user_id = $UID", {"UID": uid}) == 0
+        assert check_invariants(db) == []
+
+    def test_placeholders_are_tombstoned(self, mini_lobsters):
+        db, engine = mini_lobsters
+        uid = busiest_user(db)
+        engine.apply("Lobsters-GDPR", uid=uid)
+        placeholders = db.select("users", "email IS NULL")
+        assert placeholders
+        for placeholder in placeholders:
+            assert placeholder["deleted_at"] is not None
+            assert placeholder["username"].startswith("deleted-user-")
+
+    def test_received_messages_removed_authored_decorrelated(self, mini_lobsters):
+        db, engine = mini_lobsters
+        uid = busiest_user(db)
+        authored = db.count("messages", "author_user_id = $UID", {"UID": uid})
+        engine.apply("Lobsters-GDPR", uid=uid)
+        assert db.count("messages", "recipient_user_id = $UID", {"UID": uid}) == 0
+        assert db.count("messages", "author_user_id = $UID", {"UID": uid}) == 0
+
+    def test_invitation_tree_survives_with_null_inviter(self, mini_lobsters):
+        db, engine = mini_lobsters
+        uid = busiest_user(db)
+        invitees = db.count("users", "invited_by_user_id = $UID", {"UID": uid})
+        engine.apply("Lobsters-GDPR", uid=uid)
+        # SET NULL action, vaulted by the engine
+        assert db.count("users", "invited_by_user_id = $UID", {"UID": uid}) == 0
+        assert db.count("users") >= 30 - 1  # invitees still exist
+
+    def test_footprint_empty_after_deletion(self, mini_lobsters):
+        db, engine = mini_lobsters
+        uid = busiest_user(db)
+        engine.apply("Lobsters-GDPR", uid=uid)
+        footprint = user_footprint(db, uid)
+        assert all(v == 0 for v in footprint.values()), footprint
+
+    def test_reversal_restores_footprint(self, mini_lobsters):
+        db, engine = mini_lobsters
+        uid = busiest_user(db)
+        footprint_before = user_footprint(db, uid)
+        counts_before = {t: db.count(t) for t in db.table_names if not t.startswith("_")}
+        report = engine.apply("Lobsters-GDPR", uid=uid)
+        engine.reveal(report.disguise_id, check_integrity=True)
+        assert user_footprint(db, uid) == footprint_before
+        assert {
+            t: db.count(t) for t in db.table_names if not t.startswith("_")
+        } == counts_before
+        assert check_invariants(db) == []
+
+    def test_two_users_sequential(self, mini_lobsters):
+        db, engine = mini_lobsters
+        r1 = engine.apply("Lobsters-GDPR", uid=1, check_integrity=True)
+        r2 = engine.apply("Lobsters-GDPR", uid=2, check_integrity=True)
+        assert check_invariants(db) == []
+        engine.reveal(r1.disguise_id, check_integrity=True)
+        assert db.get("users", 1) is not None
+        assert db.get("users", 2) is None
+        assert check_invariants(db) == []

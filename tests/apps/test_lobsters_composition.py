@@ -1,0 +1,132 @@
+"""Composition scenarios on the Lobsters case study.
+
+The paper's composition discussion uses HotCRP; these tests replay the
+same patterns on the second application with a site-wide anonymization
+disguise defined here (the equivalent of ConfAnon for a news aggregator).
+"""
+
+import pytest
+
+from repro import (
+    Decorrelate,
+    Default,
+    Disguiser,
+    DisguiseSpec,
+    Modify,
+    Sequence,
+    TableDisguise,
+    named_modifier,
+)
+from repro.apps.lobsters import (
+    LobstersPopulation,
+    check_invariants,
+    generate_lobsters,
+    lobsters_gdpr,
+    user_footprint,
+)
+
+
+def site_anon_spec() -> DisguiseSpec:
+    """Site-wide anonymization: scrub usernames, decorrelate all stories
+    and comments from their authors."""
+    null_fn, null_label = named_modifier("null")
+    redact, redact_label = named_modifier("redact")
+    return DisguiseSpec(
+        "Lobsters-SiteAnon",
+        tables=[
+            TableDisguise(
+                "users",
+                owner_column="id",
+                generate_placeholder={
+                    "username": Sequence("anon-"),
+                    "email": Default(None),
+                    "password_digest": Default(None),
+                    "about": Default(None),
+                    "karma": Default(0),
+                    "deleted_at": Default(0.0),
+                },
+                transformations=[
+                    Modify("TRUE", column="about", fn=redact, label=redact_label),
+                    Modify("TRUE", column="invited_by_user_id", fn=null_fn, label=null_label),
+                ],
+            ),
+            TableDisguise(
+                "stories",
+                owner_column="user_id",
+                transformations=[Decorrelate("TRUE", foreign_key="user_id")],
+            ),
+            TableDisguise(
+                "comments",
+                owner_column="user_id",
+                transformations=[Decorrelate("TRUE", foreign_key="user_id")],
+            ),
+        ],
+    )
+
+
+@pytest.fixture
+def site():
+    db = generate_lobsters(
+        population=LobstersPopulation(users=25, stories=50, comments=120), seed=8
+    )
+    engine = Disguiser(db, seed=13)
+    engine.register(lobsters_gdpr())
+    engine.register(site_anon_spec())
+    return db, engine
+
+
+class TestComposition:
+    def test_gdpr_after_site_anon(self, site):
+        db, engine = site
+        engine.apply("Lobsters-SiteAnon", check_integrity=True)
+        report = engine.apply("Lobsters-GDPR", uid=5, optimize=False)
+        assert report.recorrelated > 0
+        assert db.get("users", 5) is None
+        assert all(v == 0 for v in user_footprint(db, 5).values())
+        assert check_invariants(db) == []
+
+    def test_optimizer_on_lobsters(self, site):
+        db, engine = site
+        engine.apply("Lobsters-SiteAnon")
+        report = engine.apply("Lobsters-GDPR", uid=5, optimize=True)
+        assert report.redundant_skipped > 0  # stories/comments already decorrelated
+        assert db.get("users", 5) is None
+        assert check_invariants(db) == []
+
+    def test_returning_user_under_site_anon(self, site):
+        db, engine = site
+        gdpr = engine.apply("Lobsters-GDPR", uid=5)
+        engine.apply("Lobsters-SiteAnon")
+        engine.reveal(gdpr.disguise_id, check_integrity=True)
+        user = db.get("users", 5)
+        assert user is not None
+        assert user["about"] == "[redacted]"  # SiteAnon re-applied
+        assert db.count("stories", "user_id = 5") == 0  # still decorrelated
+        assert check_invariants(db) == []
+
+    def test_full_unwind(self, site):
+        db, engine = site
+        before = {
+            t: sorted(map(str, db.table(t).rows()))
+            for t in db.table_names
+            if not t.startswith("_")
+        }
+        gdpr = engine.apply("Lobsters-GDPR", uid=5)
+        anon = engine.apply("Lobsters-SiteAnon")
+        engine.reveal(gdpr.disguise_id, check_integrity=True)
+        engine.reveal(anon.disguise_id, check_integrity=True)
+        after = {
+            t: sorted(map(str, db.table(t).rows()))
+            for t in db.table_names
+            if not t.startswith("_")
+        }
+        assert after == before
+        assert engine.vault.size() == 0
+
+    def test_explain_predicts_lobsters_composition(self, site):
+        db, engine = site
+        engine.apply("Lobsters-SiteAnon")
+        plan = engine.explain("Lobsters-GDPR", uid=5, optimize=True)
+        report = engine.apply("Lobsters-GDPR", uid=5, optimize=True)
+        assert plan.optimizer_skips == report.redundant_skipped
+        assert plan.recorrelations == report.recorrelated

@@ -1,0 +1,132 @@
+"""Unit tests for privacy-goal assertions (paper §7)."""
+
+import pytest
+
+from repro import Disguiser, DisguiseSpec, PrivacyAssertion, Remove, TableDisguise
+from repro.core.assertions import check_assertions
+from repro.errors import AssertionFailure, SpecError
+
+from tests.conftest import blog_delete_spec, blog_scrub_spec
+
+
+class TestPrivacyAssertion:
+    def test_count_form(self, blog_db):
+        no_reviews = PrivacyAssertion("gone", table="posts", pred="user_id = $UID")
+        assert not no_reviews.holds(blog_db, {"UID": 2})  # Bea has posts
+        assert no_reviews.holds(blog_db, {"UID": 99})
+
+    def test_comparators(self, blog_db):
+        at_least_two = PrivacyAssertion(
+            "has posts", table="posts", pred="user_id = $UID",
+            expected=2, comparator=">=",
+        )
+        assert at_least_two.holds(blog_db, {"UID": 2})
+        assert not at_least_two.holds(blog_db, {"UID": 1})
+
+    def test_callable_form(self, blog_db):
+        check = PrivacyAssertion(
+            "custom", check=lambda db, params: db.count("users") == 3
+        )
+        assert check.holds(blog_db, {})
+
+    def test_invalid_construction(self):
+        with pytest.raises(SpecError):
+            PrivacyAssertion("bad")  # neither form
+        with pytest.raises(SpecError):
+            PrivacyAssertion("bad", table="t", pred="TRUE", comparator="~")
+
+    def test_describe(self):
+        assertion = PrivacyAssertion("no posts", table="posts", pred="user_id = $UID")
+        text = assertion.describe()
+        assert "no posts" in text and "user_id = $UID" in text
+
+    def test_check_assertions_collects_failures(self, blog_db):
+        failures = check_assertions(
+            [
+                PrivacyAssertion("f1", table="posts", pred="user_id = 2"),
+                PrivacyAssertion("ok", table="posts", pred="user_id = 99"),
+            ],
+            blog_db,
+            {},
+        )
+        assert len(failures) == 1 and "f1" in failures[0]
+
+
+class TestEngineIntegration:
+    def test_passing_assertions_allow_commit(self, blog_db):
+        engine = Disguiser(blog_db)
+        report = engine.apply(
+            blog_delete_spec(),
+            uid=2,
+            assertions=[
+                PrivacyAssertion("no account", table="users", pred="id = $UID"),
+                PrivacyAssertion("no posts", table="posts", pred="user_id = $UID"),
+            ],
+        )
+        assert report.assertion_failures == []
+
+    def test_revert_mode_rolls_back(self, blog_db):
+        engine = Disguiser(blog_db)
+        impossible = PrivacyAssertion(
+            "user count must be zero", table="users", pred="TRUE"
+        )
+        before = blog_db.row_counts()
+        with pytest.raises(AssertionFailure):
+            engine.apply(blog_scrub_spec(), uid=2, assertions=[impossible])
+        assert blog_db.row_counts() == before
+        assert engine.vault.size() == 0
+        assert engine.history.records() == []
+
+    def test_notify_mode_commits_and_reports(self, blog_db):
+        engine = Disguiser(blog_db)
+        impossible = PrivacyAssertion("never", table="users", pred="TRUE")
+        report = engine.apply(
+            blog_scrub_spec(),
+            uid=2,
+            assertions=[impossible],
+            on_assertion_failure="notify",
+        )
+        assert report.assertion_failures
+        assert blog_db.get("users", 2) is None  # disguise kept
+
+    def test_retry_escalates_to_composition(self, blog_db):
+        """A scrub with compose=False after anonymization leaves the user's
+        posts pointing at the *anonymizer's* placeholders but fails to find
+        the user data; retry escalates until assertions pass."""
+        from tests.conftest import blog_anon_spec
+
+        engine = Disguiser(blog_db)
+        engine.apply(blog_anon_spec())
+        goal = PrivacyAssertion(
+            "account deleted", table="users", pred="id = $UID"
+        )
+        report = engine.apply(
+            blog_scrub_spec(),
+            uid=2,
+            compose=True,
+            assertions=[goal],
+            on_assertion_failure="retry",
+        )
+        assert blog_db.get("users", 2) is None
+        assert report.assertion_failures == []
+
+    def test_retry_gives_up_after_ladder(self, blog_db):
+        engine = Disguiser(blog_db)
+        impossible = PrivacyAssertion("never", table="users", pred="TRUE")
+        with pytest.raises(AssertionFailure) as excinfo:
+            engine.apply(
+                blog_scrub_spec(),
+                uid=2,
+                assertions=[impossible],
+                on_assertion_failure="retry",
+            )
+        assert "attempt" in str(excinfo.value)
+        # all attempts rolled back
+        assert blog_db.get("users", 2) is not None
+
+    def test_unknown_failure_mode_rejected(self, blog_db):
+        engine = Disguiser(blog_db)
+        from repro.errors import DisguiseError
+
+        with pytest.raises(DisguiseError):
+            engine.apply(blog_scrub_spec(), uid=2, on_assertion_failure="shrug")

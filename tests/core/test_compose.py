@@ -1,0 +1,142 @@
+"""Unit tests for disguise composition (paper §4.2, §6)."""
+
+import pytest
+
+from repro import Disguiser
+from repro.core.compose import skippable_decorrelation
+from repro.vault.entry import OP_DECORRELATE, OP_REMOVE, VaultEntry
+
+from tests.conftest import blog_anon_spec, blog_delete_spec, blog_scrub_spec
+
+
+def snapshot(db):
+    return {
+        name: sorted(tuple(sorted(row.items())) for row in db.table(name).rows())
+        for name in ("users", "posts", "comments", "follows")
+    }
+
+
+class TestRecorrelation:
+    def test_scrub_after_anon_removes_true_original(self, blog_db):
+        """The §6 scenario: GDPR+-style disguise after ConfAnon-style one.
+
+        Without recorrelation the scrub could not find Bea's rows (they
+        point at placeholders) and its REMOVE would vault anonymized data.
+        """
+        engine = Disguiser(blog_db)
+        engine.apply(blog_anon_spec())
+        report = engine.apply(blog_scrub_spec(), uid=2, check_integrity=True)
+        assert report.recorrelated > 0
+        assert blog_db.get("users", 2) is None
+        # the scrub's REMOVE entry must hold Bea's TRUE original state
+        removes = [
+            e
+            for e in engine.vault.entries_for(2, disguise_id=report.disguise_id)
+            if e.op == OP_REMOVE and e.table == "users"
+        ]
+        assert len(removes) == 1
+        assert removes[0].removed_row["name"] == "Bea"
+        assert removes[0].removed_row["email"] == "bea@x.io"
+
+    def test_optimizer_skips_redundant_decorrelation(self, blog_db):
+        engine = Disguiser(blog_db)
+        engine.apply(blog_anon_spec())
+        report = engine.apply(blog_scrub_spec(), uid=2, optimize=True)
+        # Bea's 2 posts were already decorrelated by BlogAnon; skipped.
+        assert report.redundant_skipped == 2
+        # comments are NOT decorrelated by BlogAnon -> still recorrelated? No:
+        # BlogAnon does not touch comments, so nothing to recorrelate there.
+        assert blog_db.check_integrity() == []
+
+    def test_optimizer_off_redoes_decorrelation(self, blog_db):
+        engine = Disguiser(blog_db)
+        engine.apply(blog_anon_spec())
+        report = engine.apply(blog_scrub_spec(), uid=2, optimize=False)
+        assert report.redundant_skipped == 0
+        assert report.recorrelated >= 2
+        assert report.reapplied >= 0
+        assert blog_db.check_integrity() == []
+
+    def test_optimized_costs_less(self, blog_db):
+        from tests.conftest import make_blog_db
+
+        engine1 = Disguiser(blog_db)
+        engine1.apply(blog_anon_spec())
+        unoptimized = engine1.apply(blog_scrub_spec(), uid=2, optimize=False)
+
+        db2 = make_blog_db()
+        engine2 = Disguiser(db2)
+        engine2.apply(blog_anon_spec())
+        optimized = engine2.apply(blog_scrub_spec(), uid=2, optimize=True)
+        assert optimized.db_stats.total < unoptimized.db_stats.total
+
+    def test_compose_disabled_sees_disguised_state(self, blog_db):
+        engine = Disguiser(blog_db)
+        engine.apply(blog_anon_spec())
+        report = engine.apply(blog_scrub_spec(), uid=2, compose=False)
+        # without composition, Bea's user row is found (pk predicate) but
+        # its vaulted state is the anonymized one
+        removes = [
+            e
+            for e in engine.vault.entries_for(2, disguise_id=report.disguise_id)
+            if e.op == OP_REMOVE and e.table == "users"
+        ]
+        assert removes and removes[0].removed_row["name"] == "[redacted]"
+
+    def test_remove_entries_compose_naturally(self, blog_db):
+        """Data another disguise removed needs no recorrelation (§4.2)."""
+        engine = Disguiser(blog_db)
+        first = engine.apply(blog_delete_spec(), uid=2)
+        report = engine.apply(blog_scrub_spec(), uid=2)
+        # everything already gone: nothing recorrelated, nothing to do
+        assert report.recorrelated == 0
+        assert report.rows_removed == 0
+        assert report.rows_decorrelated == 0
+
+    def test_full_unwind_after_composition(self, blog_db):
+        before = snapshot(blog_db)
+        engine = Disguiser(blog_db)
+        anon = engine.apply(blog_anon_spec())
+        scrub = engine.apply(blog_scrub_spec(), uid=2, optimize=False)
+        engine.reveal(scrub.disguise_id, check_integrity=True)
+        engine.reveal(anon.disguise_id, check_integrity=True)
+        assert snapshot(blog_db) == before
+        assert engine.vault.size() == 0
+
+    def test_full_unwind_after_optimized_composition(self, blog_db):
+        before = snapshot(blog_db)
+        engine = Disguiser(blog_db)
+        anon = engine.apply(blog_anon_spec())
+        scrub = engine.apply(blog_scrub_spec(), uid=2, optimize=True)
+        engine.reveal(scrub.disguise_id, check_integrity=True)
+        engine.reveal(anon.disguise_id, check_integrity=True)
+        assert snapshot(blog_db) == before
+
+
+class TestSkippableDecorrelation:
+    def _entry(self, table="posts", column="user_id"):
+        return VaultEntry(
+            entry_id=1, disguise_id=1, seq=1, epoch=1, owner=2,
+            table=table, pk=10, op=OP_DECORRELATE,
+            payload={"column": column, "old": 2, "new": 99,
+                     "placeholder_table": "users", "placeholder_pk": 99},
+        )
+
+    def test_same_fk_skippable(self):
+        assert skippable_decorrelation(blog_scrub_spec(), self._entry())
+
+    def test_remove_on_table_blocks_skip(self):
+        spec = blog_delete_spec()  # removes posts
+        assert not skippable_decorrelation(spec, self._entry())
+
+    def test_untouched_table_not_skippable(self):
+        assert not skippable_decorrelation(
+            blog_scrub_spec(), self._entry(table="follows", column="follower_id")
+        )
+
+    def test_non_decorrelate_entry_not_skippable(self):
+        entry = VaultEntry(
+            entry_id=1, disguise_id=1, seq=1, epoch=1, owner=2,
+            table="posts", pk=10, op=OP_REMOVE, payload={"row": {}},
+        )
+        assert not skippable_decorrelation(blog_scrub_spec(), entry)

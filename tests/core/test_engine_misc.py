@@ -1,0 +1,139 @@
+"""Engine edge cases: registry, reports, vault-in-app-db, re-attach."""
+
+import pytest
+
+from repro import Database, Disguiser
+from repro.core.stats import DisguiseReport, RevealReport
+from repro.errors import DisguiseError
+from repro.vault import TableVault
+
+from tests.conftest import blog_anon_spec, blog_scrub_spec, make_blog_db
+
+
+class TestSpecRegistry:
+    def test_plain_reveal_is_vault_driven(self, blog_db):
+        # A simple reveal needs no spec: the vault entries ARE the reveal
+        # functions. A fresh engine with an empty registry can reverse it.
+        engine = Disguiser(blog_db)
+        report = engine.apply(blog_scrub_spec(), uid=2)
+        fresh = Disguiser(blog_db, vault=engine.vault)
+        fresh.reveal(report.disguise_id, check_integrity=True)
+        assert blog_db.get("users", 2) is not None
+
+    def test_chained_reveal_needs_the_later_disguises_spec(self, blog_db):
+        # Chain re-execution regenerates placeholders, which requires the
+        # later disguise's spec (its generate_placeholder recipes).
+        engine = Disguiser(blog_db)
+        scrub = engine.apply(blog_scrub_spec(), uid=2)
+        engine.apply(blog_anon_spec())
+        fresh = Disguiser(blog_db, vault=engine.vault)
+        with pytest.raises(DisguiseError) as excinfo:
+            fresh.reveal(scrub.disguise_id)
+        assert "BlogAnon" in str(excinfo.value)
+        # nothing leaked from the failed attempt
+        assert blog_db.check_integrity() == []
+        fresh.register(blog_anon_spec())
+        fresh.register(blog_scrub_spec())
+        fresh.reveal(scrub.disguise_id, check_integrity=True)
+        assert blog_db.get("users", 2) is not None
+
+    def test_register_returns_warnings(self, blog_db):
+        from repro import DisguiseSpec, Remove, TableDisguise
+
+        engine = Disguiser(blog_db)
+        leaky = DisguiseSpec(
+            "Leaky", [TableDisguise("users", transformations=[Remove("id = $UID")])]
+        )
+        warnings = engine.register(leaky)
+        assert warnings  # posts/comments/follows unaddressed
+        assert any("posts" in str(w) for w in warnings)
+
+    def test_validation_can_be_disabled(self, blog_db):
+        from repro import DisguiseSpec, Remove, TableDisguise
+
+        engine = Disguiser(blog_db, validate_specs=False)
+        leaky = DisguiseSpec(
+            "Leaky", [TableDisguise("users", transformations=[Remove("id = $UID")])]
+        )
+        assert engine.register(leaky) == []
+
+    def test_inline_spec_autoregisters(self, blog_db):
+        engine = Disguiser(blog_db)
+        spec = blog_scrub_spec()
+        engine.apply(spec, uid=2)
+        assert engine.spec("BlogScrub") is spec
+
+
+class TestReports:
+    def test_apply_summary_fields(self, blog_db):
+        engine = Disguiser(blog_db)
+        report = engine.apply(blog_scrub_spec(), uid=2)
+        text = report.summary()
+        for fragment in ("BlogScrub", "uid=2", "removed", "decorrelated", "ms"):
+            assert fragment in text
+        assert report.rows_touched == (
+            report.rows_removed + report.rows_modified + report.rows_decorrelated
+        )
+
+    def test_reveal_summary_fields(self, blog_db):
+        engine = Disguiser(blog_db)
+        report = engine.apply(blog_scrub_spec(), uid=2)
+        reveal = engine.reveal(report.disguise_id)
+        text = reveal.summary()
+        assert "reveal BlogScrub" in text and "reinserted" in text
+
+    def test_default_report_dataclasses(self):
+        report = DisguiseReport(disguise_id=1, name="x", uid=None)
+        assert report.rows_touched == 0
+        reveal = RevealReport(disguise_id=1, name="x", uid=None)
+        assert reveal.rows_reinserted == 0
+
+
+class TestVaultInsideApplicationDatabase:
+    """Edna stores vaults as tables in the application database (§5); with
+    our TableVault pointed at the app db, vault writes join the disguise
+    transaction."""
+
+    def test_apply_reveal_round_trip(self):
+        db = make_blog_db()
+        engine = Disguiser(db, vault=TableVault(db))
+        report = engine.apply(blog_scrub_spec(), uid=2)
+        assert db.has_table("_vault_u2")
+        assert db.count("_vault_u2") == report.vault_entries_written
+        engine.reveal(report.disguise_id, check_integrity=True)
+        assert db.count("_vault_u2") == 0
+        assert db.get("users", 2) is not None
+
+    def test_rollback_cleans_vault_table(self):
+        from repro import PrivacyAssertion
+        from repro.errors import AssertionFailure
+
+        db = make_blog_db()
+        engine = Disguiser(db, vault=TableVault(db))
+        impossible = PrivacyAssertion("never", table="users", pred="TRUE")
+        with pytest.raises(AssertionFailure):
+            engine.apply(blog_scrub_spec(), uid=2, assertions=[impossible])
+        # compensation + rollback leave no vault rows behind
+        assert not db.has_table("_vault_u2") or db.count("_vault_u2") == 0
+
+
+class TestEngineReattach:
+    def test_new_engine_resumes_ids_and_history(self, blog_db):
+        engine = Disguiser(blog_db)
+        first = engine.apply(blog_scrub_spec(), uid=2)
+        resumed = Disguiser(blog_db, vault=engine.vault)
+        resumed.register(blog_scrub_spec())
+        second = resumed.apply("BlogScrub", uid=3)
+        assert second.disguise_id > first.disguise_id
+        records = resumed.history.records(active_only=True)
+        assert [r.did for r in records] == [first.disguise_id, second.disguise_id]
+
+    def test_seq_never_reused_across_engines(self, blog_db):
+        engine = Disguiser(blog_db)
+        engine.apply(blog_scrub_spec(), uid=2)
+        seqs_before = {e.seq for e in engine.vault.entries_for(2)}
+        resumed = Disguiser(blog_db, vault=engine.vault)
+        resumed.register(blog_scrub_spec())
+        resumed.apply("BlogScrub", uid=3)
+        seqs_after = {e.seq for e in resumed.vault.entries_for(3)}
+        assert not (seqs_before & seqs_after)

@@ -1,0 +1,111 @@
+"""Unit tests for the dry-run explain API (paper §1, §7)."""
+
+import pytest
+
+from repro import Disguiser, DisguiseSpec, Remove, TableDisguise
+from repro.errors import DisguiseError
+
+from tests.conftest import blog_anon_spec, blog_delete_spec, blog_scrub_spec
+
+
+class TestExplainBasics:
+    def test_counts_match_actual_apply(self, blog_db):
+        engine = Disguiser(blog_db)
+        plan = engine.explain(blog_scrub_spec(), uid=2)
+        report = engine.apply(blog_scrub_spec(), uid=2)
+        assert plan.rows_touched == report.rows_touched
+        assert plan.placeholders == report.placeholders_created
+        assert plan.is_applicable
+
+    def test_explain_does_not_modify(self, blog_db):
+        engine = Disguiser(blog_db)
+        before = blog_db.row_counts()
+        engine.explain(blog_scrub_spec(), uid=2)
+        assert blog_db.row_counts() == before
+        assert engine.vault.size() == 0
+        assert engine.history.records() == []
+
+    def test_per_action_breakdown(self, blog_db):
+        engine = Disguiser(blog_db)
+        plan = engine.explain(blog_scrub_spec(), uid=2)
+        kinds = {(a.table, a.kind): a.rows for a in plan.actions}
+        assert kinds[("users", "remove")] == 1
+        assert kinds[("posts", "decorrelate")] == 2
+        assert kinds[("comments", "decorrelate")] == 2
+        assert kinds[("follows", "remove")] == 2
+
+    def test_cascades_predicted(self, blog_db):
+        engine = Disguiser(blog_db)
+        plan = engine.explain(blog_delete_spec(), uid=2)
+        cascades = [a for a in plan.actions if a.kind == "cascade"]
+        # Bea's posts cascade comments 101, 102 (by other users)
+        assert sum(a.rows for a in cascades) == 2
+        report = engine.apply(blog_delete_spec(), uid=2)
+        assert plan.rows_touched == report.rows_touched
+
+    def test_restrict_conflict_detected(self, blog_db):
+        engine = Disguiser(blog_db, validate_specs=False)
+        bad = DisguiseSpec(
+            "Bad", [TableDisguise("users", transformations=[Remove("id = $UID")])]
+        )
+        plan = engine.explain(bad, uid=2)
+        assert not plan.is_applicable
+        assert any(c.referencing_table == "posts" for c in plan.conflicts)
+        assert "CONFLICT" in plan.describe()
+
+    def test_uid_required_for_user_disguise(self, blog_db):
+        engine = Disguiser(blog_db)
+        with pytest.raises(DisguiseError):
+            engine.explain(blog_scrub_spec())
+
+    def test_global_disguise_explained(self, blog_db):
+        engine = Disguiser(blog_db)
+        plan = engine.explain(blog_anon_spec())
+        assert plan.uid is None
+        assert plan.placeholders == 4  # all posts decorrelated
+        report = engine.apply(blog_anon_spec())
+        assert plan.rows_touched == report.rows_touched
+
+    def test_explain_by_name(self, blog_db):
+        engine = Disguiser(blog_db)
+        engine.register(blog_scrub_spec())
+        plan = engine.explain("BlogScrub", uid=2)
+        assert plan.spec_name == "BlogScrub"
+
+
+class TestExplainComposition:
+    def test_predicts_recorrelation_and_skips(self, blog_db):
+        engine = Disguiser(blog_db)
+        engine.apply(blog_anon_spec())
+        plan = engine.explain(blog_scrub_spec(), uid=2, optimize=True)
+        report = engine.apply(blog_scrub_spec(), uid=2, optimize=True)
+        assert plan.optimizer_skips == report.redundant_skipped
+        assert plan.recorrelations == report.recorrelated
+        assert any("BlogAnon" in i for i in plan.active_interactions)
+
+    def test_predicts_unoptimized_recorrelation(self, blog_db):
+        engine = Disguiser(blog_db)
+        engine.apply(blog_anon_spec())
+        plan = engine.explain(blog_scrub_spec(), uid=2, optimize=False)
+        report = engine.apply(blog_scrub_spec(), uid=2, optimize=False)
+        assert plan.optimizer_skips == 0
+        assert plan.recorrelations == report.recorrelated
+
+    def test_locked_vault_reported(self, blog_db):
+        from repro.vault import EncryptedVault, MemoryVault
+
+        vault = EncryptedVault(MemoryVault())
+        vault.register_owner(2)
+        engine = Disguiser(blog_db, vault=vault)
+        engine.apply(blog_scrub_spec(), uid=2)
+        # vault locked for reads now
+        engine.reveal  # (no unlock)
+        plan = engine.explain(blog_delete_spec(), uid=2)
+        assert any("locked" in i for i in plan.active_interactions)
+
+    def test_describe_renders(self, blog_db):
+        engine = Disguiser(blog_db)
+        plan = engine.explain(blog_scrub_spec(), uid=2)
+        text = plan.describe()
+        assert "BlogScrub" in text
+        assert "placeholder" in text

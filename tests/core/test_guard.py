@@ -1,0 +1,144 @@
+"""Tests for the disguised-data update guard (paper §7)."""
+
+import pytest
+
+from repro import Disguiser
+from repro.core.guard import UPDATE_LOG_TABLE, UpdateGuard
+from repro.errors import DisguiseError
+
+from tests.conftest import blog_anon_spec, blog_scrub_spec
+
+
+@pytest.fixture
+def guarded(blog_db):
+    engine = Disguiser(blog_db)
+    engine.register(blog_scrub_spec())
+    engine.register(blog_anon_spec())
+    return blog_db, engine
+
+
+class TestDetection:
+    def test_undisguised_rows_not_flagged(self, guarded):
+        db, engine = guarded
+        guard = UpdateGuard(engine, mode="prohibit")
+        assert not guard.is_disguised("posts", 10)
+
+    def test_disguised_rows_flagged(self, guarded):
+        db, engine = guarded
+        engine.apply("BlogScrub", uid=2)
+        guard = UpdateGuard(engine, mode="prohibit")
+        assert guard.is_disguised("posts", 11)   # Bea's decorrelated post
+        assert not guard.is_disguised("posts", 10)  # Ada's untouched post
+
+    def test_reveal_clears_flag(self, guarded):
+        db, engine = guarded
+        report = engine.apply("BlogScrub", uid=2)
+        engine.reveal(report.disguise_id)
+        guard = UpdateGuard(engine, mode="prohibit")
+        assert not guard.is_disguised("posts", 11)
+
+    def test_locked_vault_skipped(self, blog_db):
+        from repro.vault import EncryptedVault, MemoryVault
+
+        vault = EncryptedVault(MemoryVault())
+        vault.register_owner(2)
+        engine = Disguiser(blog_db, vault=vault)
+        engine.register(blog_scrub_spec())
+        engine.apply("BlogScrub", uid=2)
+        guard = UpdateGuard(engine, mode="prohibit")
+        # vault is locked: the guard cannot see the disguise
+        assert not guard.is_disguised("posts", 11)
+
+
+class TestProhibitMode:
+    def test_update_of_disguised_row_rejected(self, guarded):
+        db, engine = guarded
+        engine.apply("BlogScrub", uid=2)
+        guard = UpdateGuard(engine, mode="prohibit")
+        with pytest.raises(DisguiseError):
+            guard.update("posts", 11, {"title": "edited"})
+        assert db.get("posts", 11)["title"] == "p2"
+
+    def test_update_of_clean_row_allowed(self, guarded):
+        db, engine = guarded
+        engine.apply("BlogScrub", uid=2)
+        guard = UpdateGuard(engine, mode="prohibit")
+        guard.update("posts", 10, {"title": "edited"})
+        assert db.get("posts", 10)["title"] == "edited"
+
+    def test_delete_of_disguised_row_rejected(self, guarded):
+        db, engine = guarded
+        engine.apply("BlogScrub", uid=2)
+        guard = UpdateGuard(engine, mode="prohibit")
+        with pytest.raises(DisguiseError):
+            guard.delete("posts", 11)
+
+    def test_unknown_mode_rejected(self, guarded):
+        _, engine = guarded
+        with pytest.raises(DisguiseError):
+            UpdateGuard(engine, mode="shrug")
+
+
+class TestLogMode:
+    def test_update_proceeds_and_is_logged(self, guarded):
+        db, engine = guarded
+        engine.apply("BlogScrub", uid=2)
+        guard = UpdateGuard(engine, mode="log")
+        guard.update("posts", 11, {"title": "fixed typo"})
+        assert db.get("posts", 11)["title"] == "fixed typo"
+        logged = guard.logged_updates("posts", 11)
+        assert len(logged) == 1 and logged[0]["col"] == "title"
+
+    def test_clean_row_update_not_logged(self, guarded):
+        db, engine = guarded
+        engine.apply("BlogScrub", uid=2)
+        guard = UpdateGuard(engine, mode="log")
+        guard.update("posts", 10, {"title": "x"})
+        assert guard.logged_updates("posts", 10) == []
+
+    def test_replay_after_reveal_preserves_app_edit(self, guarded):
+        """The §7 scenario: the app edits a *modified* (disguised) value;
+        revealing the disguise must not clobber the edit."""
+        db, engine = guarded
+        report = engine.apply("BlogAnon")  # modifies users.name to [redacted]
+        guard = UpdateGuard(engine, mode="log")
+        # the app legitimately updates Ada's (currently redacted) name
+        guard.update("users", 1, {"name": "Ada Lovelace"})
+        reveal = engine.reveal(report.disguise_id)
+        # the plain reveal restored the pre-disguise name...
+        assert db.get("users", 1)["name"] == "Ada"
+        replayed = guard.replay_after_reveal(reveal)
+        assert replayed == 1
+        # ...and the replay re-applies the app's newer edit on top.
+        assert db.get("users", 1)["name"] == "Ada Lovelace"
+        assert guard.logged_updates("users", 1) == []
+
+    def test_replay_waits_while_still_disguised(self, guarded):
+        db, engine = guarded
+        scrub = engine.apply("BlogScrub", uid=2)
+        anon = engine.apply("BlogAnon")
+        guard = UpdateGuard(engine, mode="log")
+        guard.update("posts", 11, {"title": "late edit"})
+        reveal = engine.reveal(anon.disguise_id)
+        # post 11 is still covered by the scrub: replay defers
+        assert guard.replay_after_reveal(reveal) == 0
+        assert guard.logged_updates("posts", 11)
+        reveal2 = engine.reveal(scrub.disguise_id)
+        assert guard.replay_after_reveal(reveal2) == 1
+        assert db.get("posts", 11)["title"] == "late edit"
+
+    def test_delete_still_rejected_in_log_mode(self, guarded):
+        db, engine = guarded
+        engine.apply("BlogScrub", uid=2)
+        guard = UpdateGuard(engine, mode="log")
+        with pytest.raises(DisguiseError):
+            guard.delete("posts", 11)
+
+
+class TestAllowMode:
+    def test_everything_passes(self, guarded):
+        db, engine = guarded
+        engine.apply("BlogScrub", uid=2)
+        guard = UpdateGuard(engine, mode="allow")
+        guard.update("posts", 11, {"title": "yolo"})
+        assert db.get("posts", 11)["title"] == "yolo"

@@ -1,0 +1,92 @@
+"""Unit tests for the disguise history log."""
+
+import pytest
+
+from repro.core.history import HISTORY_TABLE, DisguiseHistory
+from repro.errors import DisguiseError
+
+
+class TestHistory:
+    def test_open_assigns_monotonic_ids(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        d1 = history.open("A", uid=19, reversible=True, user_invoked=True)
+        d2 = history.open("B", uid=None, reversible=True, user_invoked=False)
+        assert d2 == d1 + 1
+
+    def test_record_round_trip(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        did = history.open("A", uid=19, reversible=False, user_invoked=True)
+        record = history.get(did)
+        assert record.name == "A"
+        assert record.uid == 19
+        assert record.active and not record.reversible and record.user_invoked
+        assert record.epoch == did
+
+    def test_global_disguise_has_null_uid(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        did = history.open("ConfAnon", uid=None, reversible=True, user_invoked=False)
+        assert history.get(did).uid is None
+
+    def test_get_missing_raises(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        with pytest.raises(DisguiseError):
+            history.get(99)
+
+    def test_deactivate(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        did = history.open("A", 19, True, True)
+        history.deactivate(did)
+        assert not history.get(did).active
+        assert history.records(active_only=True) == []
+
+    def test_records_ordering_and_filters(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        d1 = history.open("A", 19, True, True)
+        d2 = history.open("B", None, True, False)
+        d3 = history.open("C", 20, True, True)
+        history.deactivate(d2)
+        assert [r.did for r in history.records()] == [d1, d2, d3]
+        assert [r.did for r in history.records(active_only=True)] == [d1, d3]
+
+    def test_active_after(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        d1 = history.open("A", 19, True, True)
+        d2 = history.open("B", None, True, False)
+        d3 = history.open("C", 20, True, True)
+        assert [r.did for r in history.active_after(d1)] == [d2, d3]
+        assert history.active_after(d3) == []
+
+    def test_active_for_user_includes_globals(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        d1 = history.open("A", 19, True, True)
+        d2 = history.open("B", None, True, False)
+        history.open("C", 20, True, True)
+        mine = [r.did for r in history.active_for_user(19)]
+        assert mine == [d1, d2]
+
+    def test_seq_allocation_monotonic(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        values = [history.next_seq() for _ in range(5)]
+        assert values == sorted(values)
+        assert len(set(values)) == 5
+
+    def test_counters_resume_after_reattach(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        did = history.open("A", 19, True, True)
+        for _ in range(10):
+            history.next_seq()
+        history.checkpoint(did)
+        # A fresh engine attaching to the same database resumes counters.
+        resumed = DisguiseHistory(blog_db)
+        assert resumed.next_seq() > 10
+        assert resumed.open("B", 20, True, True) > did
+
+    def test_history_table_created_once(self, blog_db):
+        DisguiseHistory(blog_db)
+        DisguiseHistory(blog_db)  # no duplicate-table error
+        assert blog_db.has_table(HISTORY_TABLE)
+
+    def test_string_uid_round_trips(self, blog_db):
+        history = DisguiseHistory(blog_db)
+        did = history.open("A", uid="alice", reversible=True, user_invoked=True)
+        assert history.get(did).uid == "alice"

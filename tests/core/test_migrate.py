@@ -1,0 +1,139 @@
+"""Tests for migrating disguised state across schema changes (§7)."""
+
+import pytest
+
+from repro import Disguiser
+from repro.errors import SpecError
+from repro.spec.transform import Decorrelate, Modify
+from repro.storage.evolve import AddColumn, DropColumn, RenameColumn, RenameTable
+from repro.storage.schema import Column
+from repro.storage.types import ColumnType as T
+
+from tests.conftest import blog_anon_spec, blog_delete_spec, blog_scrub_spec
+
+
+@pytest.fixture
+def scrubbed(blog_db):
+    """Bea scrubbed; returns (db, engine, disguise id)."""
+    engine = Disguiser(blog_db)
+    engine.register(blog_scrub_spec())
+    report = engine.apply("BlogScrub", uid=2)
+    return blog_db, engine, report.disguise_id
+
+
+class TestVaultMigration:
+    def test_add_column_keeps_disguise_reversible(self, scrubbed):
+        db, engine, did = scrubbed
+        report = engine.evolve_schema(
+            AddColumn("users", Column("bio", T.TEXT, default="(none)"))
+        )
+        assert report.entries_rewritten >= 1  # Bea's REMOVE payload updated
+        engine.reveal(did, check_integrity=True)
+        bea = db.get("users", 2)
+        assert bea["name"] == "Bea" and bea["bio"] == "(none)"
+
+    def test_add_not_null_column_still_reinserts(self, scrubbed):
+        db, engine, did = scrubbed
+        engine.evolve_schema(
+            AddColumn("users", Column("karma", T.INTEGER, nullable=False, default=0))
+        )
+        engine.reveal(did, check_integrity=True)
+        assert db.get("users", 2)["karma"] == 0
+
+    def test_rename_column_rewrites_entries_and_specs(self, scrubbed):
+        db, engine, did = scrubbed
+        report = engine.evolve_schema(RenameColumn("posts", "user_id", "author_id"))
+        assert "BlogScrub" in report.revised_specs
+        spec = engine.spec("BlogScrub")
+        decorrelate = next(
+            t for t in spec.table_disguise("posts").transformations
+            if isinstance(t, Decorrelate)
+        )
+        assert decorrelate.foreign_key == "author_id"
+        engine.reveal(did, check_integrity=True)
+        assert db.count("posts", "author_id = 2") == 2
+
+    def test_rename_table_rewrites_everything(self, scrubbed):
+        db, engine, did = scrubbed
+        report = engine.evolve_schema(RenameTable("users", "accounts"))
+        assert report.entries_rewritten >= 1
+        engine.reveal(did, check_integrity=True)
+        assert db.get("accounts", 2)["name"] == "Bea"
+        assert db.count("users") if db.has_table("users") else True
+
+    def test_drop_unrelated_column_harmless(self, scrubbed):
+        db, engine, did = scrubbed
+        report = engine.evolve_schema(DropColumn("posts", "score"))
+        assert report.entries_invalidated == 0
+        engine.reveal(did, check_integrity=True)
+        assert db.get("users", 2) is not None
+
+    def test_drop_column_invalidates_modify_entries(self, blog_db):
+        engine = Disguiser(blog_db)
+        engine.register(blog_anon_spec())
+        report = engine.apply("BlogAnon")  # modifies users.name and email
+        migration = engine.evolve_schema(DropColumn("users", "email"))
+        # email-restoring entries are gone; that part is now permanent
+        assert migration.entries_invalidated == 3
+        assert "BlogAnon" in migration.unmigratable_specs
+        reveal = engine.reveal(report.disguise_id, check_integrity=True)
+        # names restored; emails unrecoverable (column no longer exists)
+        assert blog_db.get("users", 1)["name"] == "Ada"
+        assert "email" not in blog_db.get("users", 1)
+
+    def test_apply_after_rename_uses_revised_spec(self, blog_db):
+        engine = Disguiser(blog_db)
+        engine.register(blog_scrub_spec())
+        engine.evolve_schema(RenameColumn("posts", "user_id", "author_id"))
+        report = engine.apply("BlogScrub", uid=2, check_integrity=True)
+        assert report.rows_decorrelated == 4  # 2 posts + 2 comments
+        engine.reveal(report.disguise_id, check_integrity=True)
+        assert blog_db.count("posts", "author_id = 2") == 2
+
+
+class TestSpecMigrationUnit:
+    def test_rename_rewrites_predicates(self):
+        from repro.core.migrate import migrate_spec
+
+        spec = blog_delete_spec()
+        migrated = migrate_spec(spec, RenameColumn("posts", "user_id", "author_id"))
+        posts = migrated.table_disguise("posts")
+        assert "author_id" in str(posts.transformations[0].pred)
+        # other tables untouched
+        assert "follower_id" in str(
+            migrated.table_disguise("follows").transformations[0].pred
+        )
+
+    def test_rename_table_renames_disguise_target(self):
+        from repro.core.migrate import migrate_spec
+
+        spec = blog_scrub_spec()
+        migrated = migrate_spec(spec, RenameTable("users", "accounts"))
+        assert migrated.table_disguise("accounts") is not None
+        assert migrated.table_disguise("users") is None
+
+    def test_drop_of_referenced_column_raises(self):
+        from repro.core.migrate import migrate_spec
+
+        spec = blog_scrub_spec()
+        with pytest.raises(SpecError):
+            migrate_spec(spec, DropColumn("users", "email"))
+
+    def test_drop_of_unreferenced_column_passes(self):
+        from repro.core.migrate import migrate_spec
+
+        spec = blog_delete_spec()
+        assert migrate_spec(spec, DropColumn("users", "email")) is spec
+
+    def test_rename_updates_owner_column_and_generators(self):
+        from repro.core.migrate import migrate_spec
+
+        spec = blog_anon_spec()
+        migrated = migrate_spec(spec, RenameColumn("users", "name", "full_name"))
+        users = migrated.table_disguise("users")
+        assert "full_name" in users.generate_placeholder
+        modify = next(
+            t for t in users.transformations
+            if isinstance(t, Modify) and t.column == "full_name"
+        )
+        assert modify.label == "redact"

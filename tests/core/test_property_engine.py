@@ -1,0 +1,153 @@
+"""Property-based tests for the disguising engine.
+
+The two deep invariants of the framework:
+
+1. **Integrity preservation** — after ANY sequence of applies and reveals,
+   referential integrity holds and application invariants are intact
+   (paper §4.1: transformations "must maintain the integrity of the
+   application's data").
+2. **Convergence** — revealing every applied disguise (in any order the
+   engine accepts) restores the database to its exact original state.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Disguiser
+
+from tests.conftest import (
+    blog_anon_spec,
+    blog_delete_spec,
+    blog_scrub_spec,
+    make_blog_db,
+)
+
+
+def snapshot(db):
+    return {
+        name: sorted(tuple(sorted(row.items())) for row in db.table(name).rows())
+        for name in db.table_names
+        if not name.startswith("_")
+    }
+
+
+# An action is (spec index, uid) where uid is None for the global spec.
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("scrub"), st.sampled_from([1, 2, 3])),
+        st.tuples(st.just("delete"), st.sampled_from([1, 2, 3])),
+        st.tuples(st.just("anon"), st.none()),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+def build_engine():
+    db = make_blog_db()
+    engine = Disguiser(db, seed=7)
+    engine.register(blog_scrub_spec())
+    engine.register(blog_delete_spec())
+    engine.register(blog_anon_spec())
+    return db, engine
+
+
+_SPEC_NAMES = {"scrub": "BlogScrub", "delete": "BlogDelete", "anon": "BlogAnon"}
+
+
+def run_actions(engine, sequence, optimize):
+    applied = []
+    for kind, uid in sequence:
+        try:
+            report = engine.apply(_SPEC_NAMES[kind], uid=uid, optimize=optimize)
+            applied.append(report.disguise_id)
+        except Exception:
+            # Some sequences are invalid (e.g. scrubbing an already-deleted
+            # user is fine, but a conflicting constraint may surface);
+            # the transaction guarantee is what we check below.
+            pass
+    return applied
+
+
+@settings(max_examples=25, deadline=None)
+@given(sequence=actions, optimize=st.booleans())
+def test_integrity_after_any_sequence(sequence, optimize):
+    db, engine = build_engine()
+    run_actions(engine, sequence, optimize)
+    assert db.check_integrity() == []
+
+
+@settings(max_examples=25, deadline=None)
+@given(sequence=actions, optimize=st.booleans())
+def test_reveal_all_in_reverse_restores_original(sequence, optimize):
+    db, engine = build_engine()
+    original = snapshot(db)
+    applied = run_actions(engine, sequence, optimize)
+    for did in reversed(applied):
+        engine.reveal(did)
+    assert snapshot(db) == original
+    assert engine.vault.size() == 0
+
+
+@settings(max_examples=25, deadline=None)
+@given(sequence=actions, data=st.data())
+def test_reveal_all_in_random_order_restores_original(sequence, data):
+    db, engine = build_engine()
+    original = snapshot(db)
+    applied = run_actions(engine, sequence, optimize=True)
+    order = data.draw(st.permutations(applied))
+    for did in order:
+        engine.reveal(did)
+    assert snapshot(db) == original
+
+
+@settings(max_examples=20, deadline=None)
+@given(sequence=actions)
+def test_partial_reveal_keeps_integrity(sequence, ):
+    db, engine = build_engine()
+    applied = run_actions(engine, sequence, optimize=True)
+    # reveal only the even-indexed disguises
+    for did in reversed(applied[::2]):
+        engine.reveal(did)
+    assert db.check_integrity() == []
+
+
+# Interleaved programs: each step either applies a disguise or reveals one
+# of the currently active ones (chosen by index). The database must return
+# to its exact original state once everything is finally revealed.
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("apply"), st.sampled_from(
+            [("scrub", 1), ("scrub", 2), ("delete", 2), ("delete", 3), ("anon", None)]
+        )),
+        st.tuples(st.just("reveal"), st.integers(0, 5)),
+    ),
+    min_size=2,
+    max_size=8,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(program=steps, optimize=st.booleans())
+def test_interleaved_apply_reveal_converges(program, optimize):
+    db, engine = build_engine()
+    original = snapshot(db)
+    active: list[int] = []
+    for step, payload in program:
+        if step == "apply":
+            kind, uid = payload
+            try:
+                report = engine.apply(_SPEC_NAMES[kind], uid=uid, optimize=optimize)
+                active.append(report.disguise_id)
+            except Exception:
+                pass
+        else:
+            if active:
+                did = active.pop(payload % len(active))
+                engine.reveal(did)
+        assert db.check_integrity() == []
+    for did in reversed(active):
+        engine.reveal(did)
+    assert snapshot(db) == original
+    assert engine.vault.size() == 0

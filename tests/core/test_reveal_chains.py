@@ -1,0 +1,149 @@
+"""Deterministic tests for the hard reveal interleavings.
+
+The property tests explore these at random; this file pins down the
+specific semantics with named scenarios so regressions are attributable:
+
+* vaulted-row rewrite: a row disguised by A, then removed by B — revealing
+  A must edit A's change *inside B's vault payload*;
+* optimizer dependency: A's decorrelation skipped by B's optimizer —
+  revealing A must materialize B's decorrelation;
+* cascade attribution: revealing A reinserts a row whose parent B removed —
+  the row is re-removed and attributed to B so B's reveal restores it.
+"""
+
+import pytest
+
+from repro import Disguiser
+from repro.vault.entry import OP_REMOVE
+
+from tests.conftest import (
+    blog_anon_spec,
+    blog_delete_spec,
+    blog_scrub_spec,
+    make_blog_db,
+)
+
+
+def snapshot(db):
+    return {
+        name: sorted(tuple(sorted(row.items())) for row in db.table(name).rows())
+        for name in db.table_names
+        if not name.startswith("_")
+    }
+
+
+def build():
+    db = make_blog_db()
+    engine = Disguiser(db, seed=99)
+    engine.register(blog_scrub_spec())
+    engine.register(blog_delete_spec())
+    engine.register(blog_anon_spec())
+    return db, engine
+
+
+class TestVaultedRowRewrite:
+    def test_reveal_edits_the_holders_payload(self):
+        """scrub(2) decorrelates Bea's comment; delete(3)?? — use anon then
+        delete: anon modifies names; delete(2) removes Bea's rows. Reveal
+        anon: Bea's name must be fixed inside delete(2)'s REMOVE payload."""
+        db, engine = build()
+        anon = engine.apply("BlogAnon")  # modifies users.name -> [redacted]
+        delete = engine.apply("BlogDelete", uid=2, optimize=False)
+        # Bea's row is gone; anon's modify entry points at a vaulted copy.
+        reveal = engine.reveal(anon.disguise_id, check_integrity=True)
+        holder_entries = [
+            e
+            for e in engine.vault.entries_for(2, disguise_id=delete.disguise_id)
+            if e.op == OP_REMOVE and e.table == "users"
+        ]
+        assert len(holder_entries) == 1
+        assert holder_entries[0].removed_row["name"] == "Bea"  # rewritten
+        # now revealing the delete restores the TRUE original
+        engine.reveal(delete.disguise_id, check_integrity=True)
+        assert db.get("users", 2)["name"] == "Bea"
+
+    def test_full_convergence_for_this_interleaving(self):
+        db, engine = build()
+        before = snapshot(db)
+        anon = engine.apply("BlogAnon")
+        delete = engine.apply("BlogDelete", uid=2, optimize=False)
+        engine.reveal(anon.disguise_id)
+        engine.reveal(delete.disguise_id)
+        assert snapshot(db) == before
+        assert engine.vault.size() == 0
+
+
+class TestOptimizerDependency:
+    def test_revealing_the_relied_upon_disguise_materializes_the_skip(self):
+        """anon decorrelates Bea's posts; scrub(2) skips re-decorrelation
+        (optimizer). Revealing anon must leave Bea's posts decorrelated,
+        now under the scrub."""
+        db, engine = build()
+        anon = engine.apply("BlogAnon")
+        scrub = engine.apply("BlogScrub", uid=2, optimize=True)
+        assert scrub.redundant_skipped > 0
+        engine.reveal(anon.disguise_id, check_integrity=True)
+        # scrub is still active: Bea must not be linkable to her posts
+        assert db.select("posts", "user_id = 2") == []
+        # and the scrub's reveal brings everything back
+        engine.reveal(scrub.disguise_id, check_integrity=True)
+        assert len(db.select("posts", "user_id = 2")) == 2
+
+    def test_reveal_order_scrub_first_also_converges(self):
+        db, engine = build()
+        before = snapshot(db)
+        anon = engine.apply("BlogAnon")
+        scrub = engine.apply("BlogScrub", uid=2, optimize=True)
+        engine.reveal(scrub.disguise_id, check_integrity=True)
+        engine.reveal(anon.disguise_id, check_integrity=True)
+        assert snapshot(db) == before
+
+
+class TestCascadeAttribution:
+    def test_reinserted_orphan_is_reremoved_under_the_parent_remover(self):
+        """delete(1) removes Ada and her comment on post 11; delete(2)
+        removes Bea and post 11 itself. Revealing delete(1) reinserts Ada's
+        comment 101 — whose parent post 11 is gone. The engine re-removes
+        it attributed to delete(2), so delete(2)'s reveal brings it back."""
+        db, engine = build()
+        before = snapshot(db)
+        d1 = engine.apply("BlogDelete", uid=1)
+        d2 = engine.apply("BlogDelete", uid=2)
+        engine.reveal(d1.disguise_id, check_integrity=True)
+        # Ada is back; her comment on Bea's (still deleted) post is not live
+        assert db.get("users", 1) is not None
+        assert db.get("comments", 101) is None
+        # but it lives in d2's vault now
+        held = [
+            e
+            for e in engine.vault.entries_for(2, disguise_id=d2.disguise_id)
+            if e.table == "comments" and e.pk == 101
+        ]
+        assert len(held) == 1
+        engine.reveal(d2.disguise_id, check_integrity=True)
+        assert snapshot(db) == before
+
+
+class TestNoOpDisguises:
+    def test_second_identical_scrub_is_noop_and_revealable(self):
+        db, engine = build()
+        before = snapshot(db)
+        first = engine.apply("BlogScrub", uid=2)
+        second = engine.apply("BlogScrub", uid=2)  # everything already done
+        assert second.rows_touched == 0 or second.redundant_skipped > 0
+        # revealing the no-op changes nothing
+        engine.reveal(second.disguise_id)
+        assert db.get("users", 2) is None
+        engine.reveal(first.disguise_id, check_integrity=True)
+        assert snapshot(db) == before
+
+    def test_entry_counts_follow_consumption(self):
+        """Composition that consumes another disguise's entries updates its
+        live entry count, so reveal can tell 'nothing left' from 'expired'."""
+        db, engine = build()
+        scrub = engine.apply("BlogScrub", uid=2, optimize=False)
+        entries_before = engine.history.get(scrub.disguise_id).entries
+        assert entries_before > 0
+        engine.apply("BlogDelete", uid=2, optimize=False)  # consumes scrub's work
+        entries_after = engine.history.get(scrub.disguise_id).entries
+        assert entries_after < entries_before

@@ -1,0 +1,157 @@
+"""Unit tests for time-triggered policies: expiration and data decay (§2)."""
+
+import pytest
+
+from repro import (
+    DecayPolicy,
+    DecayStage,
+    Disguiser,
+    ExpirationPolicy,
+    PolicyScheduler,
+    SimClock,
+)
+from repro.core.scheduler import FiredAction
+from repro.errors import DisguiseError
+
+from tests.conftest import blog_scrub_spec
+
+
+def activity(db):
+    return {
+        row["id"]: row["last_login"]
+        for row in db.select("users", "email IS NOT NULL")
+    }
+
+
+@pytest.fixture
+def scheduled(blog_db):
+    engine = Disguiser(blog_db)
+    engine.register(blog_scrub_spec())
+    clock = SimClock(start=0.0)
+    scheduler = PolicyScheduler(engine, clock)
+    return blog_db, engine, clock, scheduler
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock(10.0)
+        assert clock.advance(5) == 15.0
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+
+
+class TestExpiration:
+    def test_inactive_users_get_disguised(self, scheduled):
+        db, engine, clock, scheduler = scheduled
+        scheduler.add(
+            ExpirationPolicy("expire", "BlogScrub", inactive_for=500.0, activity=activity)
+        )
+        clock.advance(400)  # Ada idle 300, Bea 200, Cal 100
+        assert scheduler.tick() == []
+        clock.advance(300)  # now 700: Ada idle 600, Bea 500 -> both due
+        actions = scheduler.tick()
+        fired = sorted(a.uid for a in actions)
+        assert fired == [1, 2]
+        assert db.get("users", 1) is None and db.get("users", 2) is None
+        assert db.get("users", 3) is not None
+
+    def test_fires_once_per_user(self, scheduled):
+        db, engine, clock, scheduler = scheduled
+        scheduler.add(
+            ExpirationPolicy("expire", "BlogScrub", inactive_for=50.0, activity=activity)
+        )
+        clock.advance(1000)
+        first = scheduler.tick()
+        second = scheduler.tick()
+        assert len(first) == 3 and second == []
+
+    def test_reveal_on_return(self, scheduled):
+        db, engine, clock, scheduler = scheduled
+        scheduler.add(
+            ExpirationPolicy(
+                "expire", "BlogScrub", inactive_for=500.0, activity=activity,
+                reveal_on_return=True,
+            )
+        )
+        clock.advance(700)
+        scheduler.tick()
+        assert db.get("users", 1) is None
+        # Ada logs back in: the application restores her activity signal by
+        # ... well, her row is gone; model return via the activity fn seeing
+        # a fresh login for uid 1.
+        fresh = dict(activity(db))
+        fresh[1] = clock.now
+        scheduler._expirations[0].activity = lambda _db: fresh
+        actions = scheduler.tick()
+        reveals = [a for a in actions if a.kind == "reveal"]
+        assert [a.uid for a in reveals] == [1]
+        assert db.get("users", 1) is not None
+        assert db.get("users", 1)["name"] == "Ada"
+
+    def test_in_force_tracking(self, scheduled):
+        db, engine, clock, scheduler = scheduled
+        scheduler.add(
+            ExpirationPolicy("expire", "BlogScrub", inactive_for=500.0, activity=activity)
+        )
+        clock.advance(700)
+        scheduler.tick()
+        assert scheduler.in_force("expire", "BlogScrub", 1)
+        assert not scheduler.in_force("expire", "BlogScrub", 3)
+
+
+class TestDecay:
+    def test_stages_fire_in_order(self, blog_db):
+        from repro import DisguiseSpec, Modify, TableDisguise, named_modifier
+
+        engine = Disguiser(blog_db)
+        redact, _ = named_modifier("redact")
+        null_fn, _ = named_modifier("null")
+        stage1 = DisguiseSpec(
+            "DecayEmail",
+            [TableDisguise("users", transformations=[
+                Modify("id = $UID", column="email", fn=null_fn, label="null"),
+            ])],
+        )
+        engine.register(stage1)
+        engine.register(blog_scrub_spec())
+        clock = SimClock(0.0)
+        scheduler = PolicyScheduler(engine, clock)
+        # Fixed activity signal (e.g. from an external auth log): decay must
+        # keep firing for a user even after earlier stages scrubbed the
+        # columns the in-database signal would have come from.
+        last_logins = {1: 100.0, 2: 200.0, 3: 300.0}
+        scheduler.add(
+            DecayPolicy(
+                "decay",
+                stages=(
+                    DecayStage(age=500.0, spec_name="DecayEmail"),
+                    DecayStage(age=900.0, spec_name="BlogScrub"),
+                ),
+                activity=lambda db: last_logins,
+            )
+        )
+        clock.advance(650)  # Ada idle 550 -> stage 1 only
+        actions = scheduler.tick()
+        assert [(a.spec_name, a.uid) for a in actions] == [("DecayEmail", 1)]
+        assert blog_db.get("users", 1)["email"] is None
+        assert blog_db.get("users", 1)["name"] == "Ada"
+        clock.advance(400)  # Ada idle 950 -> stage 2; Bea idle 850 -> stage 1
+        actions = scheduler.tick()
+        fired = {(a.spec_name, a.uid) for a in actions}
+        assert ("BlogScrub", 1) in fired
+        assert ("DecayEmail", 2) in fired
+        assert blog_db.get("users", 1) is None
+        assert blog_db.check_integrity() == []
+
+    def test_unordered_stages_rejected(self):
+        with pytest.raises(DisguiseError):
+            DecayPolicy(
+                "bad",
+                stages=(DecayStage(900, "A"), DecayStage(500, "B")),
+                activity=lambda db: {},
+            )
+
+    def test_unknown_policy_type_rejected(self, scheduled):
+        _, _, _, scheduler = scheduled
+        with pytest.raises(DisguiseError):
+            scheduler.add(object())

@@ -1,0 +1,95 @@
+"""Unit tests for the authenticated stream cipher."""
+
+import pytest
+
+from repro.crypto.cipher import Ciphertext, SecretKey, decrypt, encrypt
+from repro.errors import CryptoError
+
+
+class TestSecretKey:
+    def test_generate_length_and_uniqueness(self):
+        k1 = SecretKey.generate()
+        k2 = SecretKey.generate()
+        assert len(k1.material) == 32
+        assert k1.material != k2.material
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(CryptoError):
+            SecretKey(b"short")
+
+    def test_passphrase_derivation_deterministic(self):
+        k1 = SecretKey.from_passphrase("hunter2")
+        k2 = SecretKey.from_passphrase("hunter2")
+        k3 = SecretKey.from_passphrase("hunter3")
+        assert k1 == k2
+        assert k1 != k3
+
+    def test_salt_changes_key(self):
+        assert SecretKey.from_passphrase("p", b"a") != SecretKey.from_passphrase("p", b"b")
+
+    def test_subkeys_differ(self):
+        key = SecretKey.generate()
+        assert key.enc_key != key.mac_key
+
+
+class TestEncryptDecrypt:
+    def test_round_trip(self):
+        key = SecretKey.generate()
+        for plaintext in (b"", b"x", b"hello world" * 100, bytes(range(256))):
+            assert decrypt(key, encrypt(key, plaintext)) == plaintext
+
+    def test_wrong_key_rejected(self):
+        ciphertext = encrypt(SecretKey.generate(), b"secret")
+        with pytest.raises(CryptoError):
+            decrypt(SecretKey.generate(), ciphertext)
+
+    def test_tampered_body_rejected(self):
+        key = SecretKey.generate()
+        ciphertext = encrypt(key, b"secret data")
+        body = bytearray(ciphertext.body)
+        body[0] ^= 1
+        tampered = Ciphertext(ciphertext.nonce, bytes(body), ciphertext.tag)
+        with pytest.raises(CryptoError):
+            decrypt(key, tampered)
+
+    def test_tampered_nonce_rejected(self):
+        key = SecretKey.generate()
+        ciphertext = encrypt(key, b"secret data")
+        nonce = bytearray(ciphertext.nonce)
+        nonce[0] ^= 1
+        tampered = Ciphertext(bytes(nonce), ciphertext.body, ciphertext.tag)
+        with pytest.raises(CryptoError):
+            decrypt(key, tampered)
+
+    def test_ciphertext_differs_from_plaintext(self):
+        key = SecretKey.generate()
+        plaintext = b"a" * 64
+        assert encrypt(key, plaintext).body != plaintext
+
+    def test_fresh_nonce_randomizes(self):
+        key = SecretKey.generate()
+        c1 = encrypt(key, b"same")
+        c2 = encrypt(key, b"same")
+        assert c1.body != c2.body or c1.nonce != c2.nonce
+
+    def test_explicit_nonce_deterministic(self):
+        key = SecretKey.generate()
+        nonce = bytes(16)
+        assert encrypt(key, b"x", nonce) == encrypt(key, b"x", nonce)
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(CryptoError):
+            encrypt(SecretKey.generate(), b"x", b"short")
+
+
+class TestSerialization:
+    def test_bytes_round_trip(self):
+        key = SecretKey.generate()
+        ciphertext = encrypt(key, b"payload")
+        blob = ciphertext.to_bytes()
+        restored = Ciphertext.from_bytes(blob)
+        assert decrypt(key, restored) == b"payload"
+
+    def test_truncated_blob_rejected(self):
+        with pytest.raises(CryptoError):
+            Ciphertext.from_bytes(b"tiny")

@@ -1,0 +1,77 @@
+"""Unit tests for Shamir secret sharing."""
+
+import os
+
+import pytest
+
+from repro.crypto.shamir import PRIME, Share, recover_secret, split_secret
+from repro.errors import CryptoError
+
+
+class TestSplitRecover:
+    def test_exact_threshold(self):
+        secret = os.urandom(32)
+        shares = split_secret(secret, threshold=2, shares=3)
+        assert len(shares) == 3
+        assert recover_secret(shares[:2]) == secret
+        assert recover_secret(shares[1:]) == secret
+        assert recover_secret([shares[0], shares[2]]) == secret
+
+    def test_all_shares_work(self):
+        secret = os.urandom(32)
+        shares = split_secret(secret, threshold=3, shares=5)
+        assert recover_secret(shares) == secret
+
+    def test_one_of_one(self):
+        secret = os.urandom(32)
+        shares = split_secret(secret, threshold=1, shares=1)
+        assert recover_secret(shares) == secret
+
+    def test_below_threshold_gives_garbage(self):
+        secret = os.urandom(32)
+        shares = split_secret(secret, threshold=3, shares=5)
+        # With fewer than threshold shares, interpolation at 0 yields a
+        # field element unrelated to the secret (overwhelmingly).
+        try:
+            wrong = recover_secret(shares[:2])
+            assert wrong != secret
+        except CryptoError:
+            pass  # value too large for 32 bytes — also acceptable failure
+
+    def test_duplicate_shares_rejected(self):
+        shares = split_secret(os.urandom(32), 2, 3)
+        with pytest.raises(CryptoError):
+            recover_secret([shares[0], shares[0]])
+
+    def test_empty_shares_rejected(self):
+        with pytest.raises(CryptoError):
+            recover_secret([])
+
+    def test_bad_parameters(self):
+        with pytest.raises(CryptoError):
+            split_secret(b"x" * 32, threshold=0, shares=3)
+        with pytest.raises(CryptoError):
+            split_secret(b"x" * 32, threshold=4, shares=3)
+        with pytest.raises(CryptoError):
+            split_secret(b"x" * 32, threshold=2, shares=2000)
+
+    def test_secret_too_large_rejected(self):
+        too_big = PRIME.to_bytes(66, "big")
+        with pytest.raises(CryptoError):
+            split_secret(too_big, 2, 3)
+
+    def test_zero_secret(self):
+        secret = bytes(32)
+        shares = split_secret(secret, 2, 3)
+        assert recover_secret(shares[:2]) == secret
+
+
+class TestShareSerialization:
+    def test_round_trip(self):
+        shares = split_secret(os.urandom(32), 2, 3)
+        for share in shares:
+            assert Share.from_bytes(share.to_bytes()) == share
+
+    def test_malformed_rejected(self):
+        with pytest.raises(CryptoError):
+            Share.from_bytes(b"nope")

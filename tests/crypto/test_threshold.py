@@ -1,0 +1,55 @@
+"""Unit tests for threshold key escrow (paper footnote 1)."""
+
+import pytest
+
+from repro.crypto.cipher import SecretKey, decrypt, encrypt
+from repro.crypto.threshold import DEFAULT_PARTIES, escrow_key
+from repro.errors import CryptoError
+
+
+class TestEscrow:
+    def test_two_of_three_recovery(self):
+        key = SecretKey.generate()
+        escrowed = escrow_key(key)
+        assert set(escrowed.parties()) == set(DEFAULT_PARTIES)
+        assert escrowed.recover("user", "app") == key
+        assert escrowed.recover("user", "third_party") == key
+        assert escrowed.recover("app", "third_party") == key
+
+    def test_single_party_insufficient(self):
+        escrowed = escrow_key(SecretKey.generate())
+        with pytest.raises(CryptoError):
+            escrowed.recover("user")
+        with pytest.raises(CryptoError):
+            escrowed.recover("app")
+
+    def test_duplicate_consent_does_not_count_twice(self):
+        escrowed = escrow_key(SecretKey.generate())
+        with pytest.raises(CryptoError):
+            escrowed.recover("user", "user")
+
+    def test_unknown_party_rejected(self):
+        escrowed = escrow_key(SecretKey.generate())
+        with pytest.raises(CryptoError):
+            escrowed.recover("user", "eve")
+
+    def test_custom_parties_and_threshold(self):
+        key = SecretKey.generate()
+        escrowed = escrow_key(key, parties=("a", "b", "c", "d"), threshold=3)
+        assert escrowed.recover("a", "c", "d") == key
+        with pytest.raises(CryptoError):
+            escrowed.recover("a", "b")
+
+    def test_duplicate_party_names_rejected(self):
+        with pytest.raises(CryptoError):
+            escrow_key(SecretKey.generate(), parties=("a", "a", "b"))
+
+    def test_lost_key_story(self):
+        # The paper's motivation: the user loses their key; the app and the
+        # trusted third party together recover it and decrypt the vault.
+        key = SecretKey.generate()
+        ciphertext = encrypt(key, b"vault contents")
+        escrowed = escrow_key(key)
+        del key  # "lost"
+        recovered = escrowed.recover("app", "third_party")
+        assert decrypt(recovered, ciphertext) == b"vault contents"

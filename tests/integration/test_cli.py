@@ -1,0 +1,172 @@
+"""Integration tests for the command-line disguising tool."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.storage.persist import load_database, save_database
+
+from tests.conftest import make_blog_db
+
+SCRUB_DOC = {
+    "disguise_name": "CliScrub",
+    "tables": {
+        "users": {
+            "generate_placeholder": [
+                ["name", "fake_name"],
+                ["email", ["default", None]],
+                ["disabled", ["default", True]],
+            ],
+            "transformations": [{"op": "remove", "pred": "id = $UID"}],
+        },
+        "posts": {
+            "transformations": [
+                {"op": "decorrelate", "pred": "user_id = $UID", "foreign_key": "user_id"}
+            ]
+        },
+        "comments": {
+            "transformations": [
+                {"op": "decorrelate", "pred": "user_id = $UID", "foreign_key": "user_id"}
+            ]
+        },
+        "follows": {
+            "transformations": [
+                {"op": "remove", "pred": "follower_id = $UID OR followee_id = $UID"}
+            ]
+        },
+    },
+}
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    db_path = tmp_path / "app.jsonl"
+    save_database(make_blog_db(), db_path)
+    spec_path = tmp_path / "scrub.json"
+    spec_path.write_text(json.dumps(SCRUB_DOC))
+    vault_dir = tmp_path / "vaults"
+    return db_path, spec_path, vault_dir
+
+
+def run(*argv) -> int:
+    return main([str(a) for a in argv])
+
+
+class TestCliLifecycle:
+    def test_apply_then_history_then_reveal(self, workspace, capsys):
+        db_path, spec_path, vault_dir = workspace
+
+        code = run("apply", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--uid", "2", "--check-integrity")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CliScrub(uid=2)" in out
+        assert "disguise id: 1" in out
+
+        db = load_database(db_path)
+        assert db.get("users", 2) is None
+
+        code = run("history", "--db", db_path)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CliScrub" in out and "yes" in out
+
+        code = run("vault", "--vault-dir", vault_dir, "--owner", "2")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "entr" in out
+        assert '"op": "remove"' in out
+
+        code = run("reveal", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--did", "1", "--check-integrity")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "reveal CliScrub" in out
+
+        db = load_database(db_path)
+        assert db.get("users", 2)["name"] == "Bea"
+
+    def test_explain(self, workspace, capsys):
+        db_path, spec_path, vault_dir = workspace
+        code = run("explain", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--uid", "2")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "plan for 'CliScrub'" in out
+        assert "decorrelate" in out
+        # explain must not have modified the snapshot
+        db = load_database(db_path)
+        assert db.get("users", 2) is not None
+
+    def test_check_clean_and_violation(self, workspace, capsys, tmp_path):
+        db_path, _, _ = workspace
+        assert run("check", "--db", db_path) == 0
+        out = capsys.readouterr().out
+        assert "ok:" in out
+        # corrupt the snapshot: point a post at a missing user
+        db = load_database(db_path)
+        db.table("posts").update_by_pk(10, {"user_id": 999})
+        save_database(db, db_path)
+        assert run("check", "--db", db_path) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATION" in out
+
+    def test_irreversible_apply(self, workspace, capsys):
+        db_path, spec_path, vault_dir = workspace
+        code = run("apply", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--uid", "2", "--irreversible")
+        assert code == 0
+        capsys.readouterr()
+        code = run("reveal", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--did", "1")
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "irreversibly" in err
+
+    def test_unknown_did_errors(self, workspace, capsys):
+        db_path, spec_path, vault_dir = workspace
+        code = run("reveal", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--did", "42")
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_empty_history(self, workspace, capsys):
+        db_path, _, _ = workspace
+        assert run("history", "--db", db_path) == 0
+        assert "no disguise" in capsys.readouterr().out
+
+    def test_audit_detects_and_clears(self, workspace, capsys):
+        db_path, spec_path, vault_dir = workspace
+        # before any disguise: Bea is fully present
+        code = run("audit", "--db", db_path, "--user-table", "users",
+                   "--uid", "2", "--identifier", "bea@x.io")
+        assert code == 1
+        assert "LEAK" in capsys.readouterr().out
+        run("apply", "--db", db_path, "--vault-dir", vault_dir,
+            "--spec", spec_path, "--uid", "2")
+        capsys.readouterr()
+        code = run("audit", "--db", db_path, "--user-table", "users",
+                   "--uid", "2", "--identifier", "bea@x.io")
+        assert code == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_name_selects_among_multiple_specs(self, workspace, capsys, tmp_path):
+        db_path, spec_path, vault_dir = workspace
+        other = dict(SCRUB_DOC)
+        other = json.loads(json.dumps(SCRUB_DOC))
+        other["disguise_name"] = "OtherScrub"
+        other_path = tmp_path / "other.json"
+        other_path.write_text(json.dumps(other))
+        code = run("apply", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--spec", other_path,
+                   "--name", "OtherScrub", "--uid", "3")
+        out = capsys.readouterr().out
+        assert code == 0 and "OtherScrub(uid=3)" in out
+
+    def test_scan_pii(self, workspace, capsys):
+        db_path, _, _ = workspace
+        code = run("scan-pii", "--db", db_path)
+        out = capsys.readouterr().out
+        # blog users carry declared-PII emails -> findings
+        assert code == 1 and "PII:" in out

@@ -1,0 +1,135 @@
+"""Integration: the full paper §6 scenario on the HotCRP case study."""
+
+import pytest
+
+from repro import Disguiser
+from repro.apps.hotcrp import (
+    HotcrpPopulation,
+    all_disguises,
+    check_invariants,
+    generate_hotcrp,
+    scrub_assertions,
+    user_footprint,
+)
+
+
+@pytest.fixture
+def conference():
+    db = generate_hotcrp(
+        population=HotcrpPopulation(users=60, pc_members=8, papers=40, reviews=160),
+        seed=11,
+    )
+    engine = Disguiser(db, seed=4)
+    for spec in all_disguises():
+        engine.register(spec)
+    return db, engine
+
+
+class TestSection6Scenario:
+    """The exact experiment sequence of the paper's evaluation."""
+
+    def test_independent_then_composed(self, conference):
+        db, engine = conference
+        # Two independent GDPR+ disguises for different PC members.
+        r1 = engine.apply("HotCRP-GDPR+", uid=2, assertions=scrub_assertions())
+        r2 = engine.apply("HotCRP-GDPR+", uid=3, assertions=scrub_assertions())
+        assert r1.recorrelated == 0 and r2.recorrelated == 0
+        # Now ConfAnon, then GDPR+ for a third member on top of it.
+        anon = engine.apply("HotCRP-ConfAnon")
+        composed = engine.apply(
+            "HotCRP-GDPR+", uid=4, assertions=scrub_assertions(), optimize=False
+        )
+        assert composed.recorrelated > 0  # vault reveal functions were used
+        assert check_invariants(db) == []
+        # Everyone's privacy goals hold simultaneously.
+        for uid in (2, 3, 4):
+            assert all(v == 0 for v in user_footprint(db, uid).values())
+
+    def test_optimized_composition_same_outcome(self, conference):
+        db, engine = conference
+        engine.apply("HotCRP-ConfAnon")
+        report = engine.apply(
+            "HotCRP-GDPR+", uid=4, assertions=scrub_assertions(), optimize=True
+        )
+        assert report.redundant_skipped > 0
+        assert all(v == 0 for v in user_footprint(db, 4).values())
+        assert check_invariants(db) == []
+
+    def test_returning_user_after_confanon(self, conference):
+        """§4.2: reversal of GDPR must not reintroduce identifiable reviews
+        if ConfAnon has occurred since GDPR was applied."""
+        db, engine = conference
+        scrub = engine.apply("HotCRP-GDPR+", uid=2)
+        engine.apply("HotCRP-ConfAnon")
+        engine.reveal(scrub.disguise_id, check_integrity=True)
+        # The account is back, but anonymized per the active ConfAnon:
+        bea = db.get("ContactInfo", 2)
+        assert bea is not None
+        assert bea["firstName"] == "[redacted]"
+        # Reviews remain unlinkable to her:
+        assert db.count("PaperReview", "contactId = 2") == 0
+        assert check_invariants(db) == []
+
+    def test_unwind_everything(self, conference):
+        db, engine = conference
+        counts_before = {
+            t: db.count(t) for t in db.table_names if not t.startswith("_")
+        }
+        names_before = sorted(c["firstName"] for c in db.select("ContactInfo"))
+        dids = [
+            engine.apply("HotCRP-GDPR+", uid=2).disguise_id,
+            engine.apply("HotCRP-ConfAnon").disguise_id,
+            engine.apply("HotCRP-GDPR+", uid=5, optimize=False).disguise_id,
+        ]
+        for did in reversed(dids):
+            engine.reveal(did, check_integrity=True)
+        assert {
+            t: db.count(t) for t in db.table_names if not t.startswith("_")
+        } == counts_before
+        assert sorted(c["firstName"] for c in db.select("ContactInfo")) == names_before
+        assert engine.vault.size() == 0
+
+
+class TestScrubThenHardDelete:
+    def test_gdpr_after_gdpr_plus(self, conference):
+        """A scrubbed user later demands full deletion: the hard GDPR
+        composes over the scrub, deleting the decorrelated reviews too."""
+        db, engine = conference
+        reviews_before = db.count("PaperReview")
+        mine = db.count("PaperReview", "contactId = 2")
+        scrub = engine.apply("HotCRP-GDPR+", uid=2)
+        hard = engine.apply("HotCRP-GDPR", uid=2, optimize=False)
+        # the scrub decorrelated the reviews; the hard delete recorrelates
+        # them through the vault and removes them for good
+        assert hard.recorrelated > 0
+        assert db.count("PaperReview") == reviews_before - mine
+        assert check_invariants(db) == []
+
+
+class TestPersistenceIntegration:
+    def test_disguised_database_round_trips_through_snapshot(self, conference, tmp_path):
+        from repro import load_database, save_database
+        from repro.vault import TableVault
+
+        db = generate_hotcrp(
+            population=HotcrpPopulation(users=30, pc_members=4, papers=20, reviews=60),
+            seed=13,
+        )
+        vault_db = __import__("repro").Database()
+        engine = Disguiser(db, vault=TableVault(vault_db), seed=9)
+        for spec in all_disguises():
+            engine.register(spec)
+        report = engine.apply("HotCRP-GDPR+", uid=2)
+        # Snapshot both databases (app + vault), reload, re-attach, reveal.
+        app_path, vault_path = tmp_path / "app.jsonl", tmp_path / "vault.jsonl"
+        save_database(db, app_path)
+        save_database(vault_db, vault_path)
+        db2 = load_database(app_path)
+        vault2 = TableVault(load_database(vault_path))
+        engine2 = Disguiser(db2, vault=vault2, seed=9)
+        for spec in all_disguises():
+            engine2.register(spec)
+        reveal = engine2.reveal(report.disguise_id, check_integrity=True)
+        assert reveal.rows_reinserted > 0
+        assert db2.get("ContactInfo", 2) is not None
+        assert check_invariants(db2) == []

@@ -1,0 +1,38 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation that executes; a refactor that breaks one
+should fail the suite, not a reader.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).resolve().parents[2] / "examples").glob("*.py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "examples should narrate what they do"
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py",
+        "hotcrp_user_scrub.py",
+        "lobsters_gdpr.py",
+        "data_decay.py",
+        "vault_deployments.py",
+    } <= names

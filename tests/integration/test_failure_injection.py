@@ -1,0 +1,136 @@
+"""Failure injection: the engine must stay atomic when components fail.
+
+A disguise spans two stores — the application database (transactional) and
+the vault (possibly external). The engine journals vault writes and
+compensates them when the database transaction aborts; these tests inject
+failures at each stage and assert that neither store leaks partial state.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Disguiser
+from repro.errors import VaultError
+from repro.vault.entry import VaultEntry
+from repro.vault.memory_vault import MemoryVault
+
+from tests.conftest import blog_anon_spec, blog_scrub_spec, make_blog_db
+
+
+class FlakyVault(MemoryVault):
+    """Fails the Nth write (put/replace), then recovers."""
+
+    def __init__(self, fail_on_write: int = -1) -> None:
+        super().__init__()
+        self.fail_on_write = fail_on_write
+        self.write_count = 0
+
+    def _tick(self) -> None:
+        self.write_count += 1
+        if self.write_count == self.fail_on_write:
+            raise VaultError("injected vault failure")
+
+    def _put(self, entry: VaultEntry) -> None:
+        self._tick()
+        super()._put(entry)
+
+    def _replace(self, entry: VaultEntry) -> None:
+        self._tick()
+        super()._replace(entry)
+
+
+def snapshot(db):
+    return {
+        name: sorted(tuple(sorted(row.items())) for row in db.table(name).rows())
+        for name in db.table_names
+    }
+
+
+class TestVaultFailureDuringApply:
+    @pytest.mark.parametrize("fail_on", [1, 3, 7])
+    def test_apply_aborts_cleanly(self, fail_on):
+        db = make_blog_db()
+        vault = FlakyVault(fail_on_write=fail_on)
+        engine = Disguiser(db, vault=vault)
+        engine.register(blog_scrub_spec())
+        before = snapshot(db)
+        with pytest.raises(VaultError):
+            engine.apply("BlogScrub", uid=2)
+        # database rolled back exactly, vault compensated to empty
+        assert snapshot(db) == before
+        assert vault.size() == 0
+        assert engine.history.records() == []
+
+    def test_engine_usable_after_failure(self):
+        db = make_blog_db()
+        vault = FlakyVault(fail_on_write=2)
+        engine = Disguiser(db, vault=vault)
+        engine.register(blog_scrub_spec())
+        with pytest.raises(VaultError):
+            engine.apply("BlogScrub", uid=2)
+        # next attempt (no injected failure left) succeeds fully
+        report = engine.apply("BlogScrub", uid=2, check_integrity=True)
+        assert db.get("users", 2) is None
+        assert vault.size() == report.vault_entries_written
+
+    def test_composition_failure_compensates_replacements(self):
+        db = make_blog_db()
+        vault = FlakyVault()
+        engine = Disguiser(db, vault=vault)
+        engine.register(blog_anon_spec())
+        engine.register(blog_scrub_spec())
+        engine.apply("BlogAnon")
+        entries_before = {
+            e.entry_id: e.to_json() for e in vault.all_entries()
+        }
+        before = snapshot(db)
+        # fail late: during the composed apply's vault traffic
+        vault.fail_on_write = vault.write_count + 5
+        with pytest.raises(VaultError):
+            engine.apply("BlogScrub", uid=2, optimize=False)
+        assert snapshot(db) == before
+        # BlogAnon's entries are back to their exact pre-attempt state
+        entries_after = {e.entry_id: e.to_json() for e in vault.all_entries()}
+        assert entries_after == entries_before
+
+
+class TestVaultFailureDuringReveal:
+    def test_reveal_aborts_cleanly(self):
+        db = make_blog_db()
+        vault = FlakyVault()
+        engine = Disguiser(db, vault=vault)
+        engine.register(blog_scrub_spec())
+        engine.register(blog_anon_spec())
+        scrub = engine.apply("BlogScrub", uid=2)
+        engine.apply("BlogAnon")
+        disguised = snapshot(db)
+        entries_before = {e.entry_id: e.to_json() for e in vault.all_entries()}
+        # chain reveal replaces later entries; fail on one of those writes
+        vault.fail_on_write = vault.write_count + 2
+        with pytest.raises(VaultError):
+            engine.reveal(scrub.disguise_id)
+        assert snapshot(db) == disguised
+        entries_after = {e.entry_id: e.to_json() for e in vault.all_entries()}
+        assert entries_after == entries_before
+        # the disguise is still active and still revealable afterwards
+        record = engine.history.get(scrub.disguise_id)
+        assert record.active
+        engine.reveal(scrub.disguise_id, check_integrity=True)
+        assert db.get("users", 2) is not None
+
+
+class TestAssertionRollbackLeavesNoTrace:
+    def test_vault_and_history_clean_after_revert(self):
+        from repro import PrivacyAssertion
+        from repro.errors import AssertionFailure
+
+        db = make_blog_db()
+        engine = Disguiser(db)
+        engine.register(blog_scrub_spec())
+        impossible = PrivacyAssertion("never", table="users", pred="TRUE")
+        before = snapshot(db)
+        with pytest.raises(AssertionFailure):
+            engine.apply("BlogScrub", uid=2, assertions=[impossible])
+        assert snapshot(db) == before
+        assert engine.vault.size() == 0

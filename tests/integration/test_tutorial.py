@@ -1,0 +1,17 @@
+"""TUTORIAL.md's code blocks must execute cleanly, in order."""
+
+import pathlib
+import re
+
+TUTORIAL = pathlib.Path(__file__).resolve().parents[2] / "TUTORIAL.md"
+
+
+def test_tutorial_blocks_execute():
+    source = TUTORIAL.read_text(encoding="utf-8")
+    blocks = re.findall(r"```python\n(.*?)```", source, re.DOTALL)
+    assert len(blocks) >= 3
+    namespace: dict = {}
+    for index, block in enumerate(blocks):
+        exec(compile(block, f"<tutorial block {index}>", "exec"), namespace)
+    # the last block ends with Bea restored
+    assert namespace["db"].get("users", 2)["handle"] == "bea"

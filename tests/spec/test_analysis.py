@@ -1,0 +1,251 @@
+"""Unit tests for static spec analysis: validation, interactions, redundancy."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec.analysis import (
+    find_interactions,
+    redundant_decorrelations,
+    validate_spec,
+)
+from repro.spec.disguise import DisguiseSpec, TableDisguise
+from repro.spec.generate import Default, FakeName
+from repro.spec.transform import Decorrelate, Modify, Remove, named_modifier
+from repro.storage.schema import Schema
+from repro.storage.sql import parse_schema
+
+DDL = """
+CREATE TABLE users (id INT PRIMARY KEY, name TEXT PII, email TEXT PII, bio TEXT);
+CREATE TABLE posts (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  body TEXT
+);
+CREATE TABLE likes (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  post_id INT NOT NULL REFERENCES posts(id)
+);
+"""
+
+
+def schema() -> Schema:
+    s = Schema(parse_schema(DDL))
+    s.validate()
+    return s
+
+
+def _null(pred, column):
+    fn, label = named_modifier("null")
+    return Modify(pred, column=column, fn=fn, label=label)
+
+
+def full_delete_spec() -> DisguiseSpec:
+    return DisguiseSpec(
+        "Delete",
+        [
+            TableDisguise(
+                "users",
+                transformations=[Remove("id = $UID")],
+                generate_placeholder={"name": FakeName(), "email": Default(None)},
+            ),
+            TableDisguise("posts", transformations=[Remove("user_id = $UID")]),
+            TableDisguise("likes", transformations=[Remove("user_id = $UID")]),
+        ],
+    )
+
+
+class TestValidateSpec:
+    def test_clean_spec_no_errors(self):
+        warnings = validate_spec(full_delete_spec(), schema())
+        assert warnings == []
+
+    def test_unknown_table_rejected(self):
+        spec = DisguiseSpec("d", [TableDisguise("ghost")])
+        with pytest.raises(SpecError):
+            validate_spec(spec, schema())
+
+    def test_unknown_predicate_column_rejected(self):
+        spec = DisguiseSpec(
+            "d", [TableDisguise("users", transformations=[Remove("ghost = 1")])]
+        )
+        with pytest.raises(SpecError):
+            validate_spec(spec, schema())
+
+    def test_unknown_modify_column_rejected(self):
+        spec = DisguiseSpec(
+            "d", [TableDisguise("users", transformations=[_null("TRUE", "ghost")])]
+        )
+        with pytest.raises(SpecError):
+            validate_spec(spec, schema())
+
+    def test_decorrelate_must_target_fk(self):
+        spec = DisguiseSpec(
+            "d",
+            [
+                TableDisguise(
+                    "posts",
+                    transformations=[Decorrelate("TRUE", foreign_key="body")],
+                )
+            ],
+        )
+        with pytest.raises(SpecError):
+            validate_spec(spec, schema())
+
+    def test_decorrelate_requires_placeholder_recipe(self):
+        spec = DisguiseSpec(
+            "d",
+            [
+                TableDisguise(
+                    "posts",
+                    transformations=[Decorrelate("TRUE", foreign_key="user_id")],
+                )
+            ],
+        )
+        with pytest.raises(SpecError):
+            validate_spec(spec, schema())
+
+    def test_unknown_generator_column_rejected(self):
+        spec = DisguiseSpec(
+            "d",
+            [TableDisguise("users", generate_placeholder={"ghost": Default(None)})],
+        )
+        with pytest.raises(SpecError):
+            validate_spec(spec, schema())
+
+    def test_unknown_owner_column_rejected(self):
+        spec = DisguiseSpec("d", [TableDisguise("users", owner_column="ghost")])
+        with pytest.raises(SpecError):
+            validate_spec(spec, schema())
+
+    def test_warns_on_unaddressed_children(self):
+        spec = DisguiseSpec(
+            "d",
+            [
+                TableDisguise("users", transformations=[Remove("id = $UID")]),
+                TableDisguise("posts", transformations=[Remove("user_id = $UID")]),
+                # likes not addressed
+            ],
+        )
+        warnings = validate_spec(spec, schema())
+        assert any(w.table == "likes" for w in warnings)
+
+    def test_warns_on_untouched_pii(self):
+        spec = DisguiseSpec(
+            "d",
+            [TableDisguise("users", transformations=[_null("TRUE", "email")])],
+        )
+        warnings = validate_spec(spec, schema())
+        # name is PII and untouched; email is modified
+        assert any("name" in w.message for w in warnings)
+        assert not any("'email'" in w.message for w in warnings)
+
+    def test_removal_silences_pii_warning(self):
+        warnings = validate_spec(full_delete_spec(), schema())
+        assert not any("PII" in w.message for w in warnings)
+
+
+class TestInteractions:
+    def test_remove_then_anything_composes_naturally(self):
+        first = full_delete_spec()
+        second = full_delete_spec()
+        interactions = find_interactions(first, second)
+        assert interactions
+        assert all("composes naturally" in i.detail for i in interactions)
+
+    def test_decorrelate_then_remove_needs_recorrelation(self):
+        anon = DisguiseSpec(
+            "Anon",
+            [
+                TableDisguise(
+                    "users", generate_placeholder={"name": FakeName()}
+                ),
+                TableDisguise(
+                    "posts",
+                    transformations=[Decorrelate("TRUE", foreign_key="user_id")],
+                ),
+            ],
+        )
+        gdpr = DisguiseSpec(
+            "GDPR",
+            [TableDisguise("posts", transformations=[Remove("user_id = $UID")])],
+        )
+        interactions = find_interactions(anon, gdpr)
+        assert any(
+            i.kind == "decorrelate/remove" and "recorrelation" in i.detail
+            for i in interactions
+        )
+
+    def test_modify_then_predicate_reader_flagged(self):
+        first = DisguiseSpec(
+            "A", [TableDisguise("users", transformations=[_null("TRUE", "bio")])]
+        )
+        second = DisguiseSpec(
+            "B",
+            [TableDisguise("users", transformations=[Remove("bio = 'x'")])],
+        )
+        interactions = find_interactions(first, second)
+        assert any("bio" in i.detail for i in interactions)
+
+    def test_disjoint_tables_no_interaction(self):
+        first = DisguiseSpec(
+            "A", [TableDisguise("users", transformations=[_null("TRUE", "bio")])]
+        )
+        second = DisguiseSpec(
+            "B", [TableDisguise("likes", transformations=[Remove("user_id = $UID")])]
+        )
+        assert find_interactions(first, second) == []
+
+
+class TestRedundantDecorrelations:
+    def test_same_fk_detected(self):
+        anon = DisguiseSpec(
+            "Anon",
+            [
+                TableDisguise("users", generate_placeholder={"name": FakeName()}),
+                TableDisguise(
+                    "posts",
+                    transformations=[Decorrelate("TRUE", foreign_key="user_id")],
+                ),
+            ],
+        )
+        scrub = DisguiseSpec(
+            "Scrub",
+            [
+                TableDisguise("users", generate_placeholder={"name": FakeName()}),
+                TableDisguise(
+                    "posts",
+                    transformations=[Decorrelate("user_id = $UID", foreign_key="user_id")],
+                ),
+            ],
+        )
+        redundant = redundant_decorrelations(anon, scrub)
+        assert len(redundant) == 1
+        assert redundant[0].table == "posts" and redundant[0].foreign_key == "user_id"
+
+    def test_different_fk_not_flagged(self):
+        first = DisguiseSpec(
+            "A",
+            [
+                TableDisguise("users", generate_placeholder={"name": FakeName()}),
+                TableDisguise(
+                    "likes", transformations=[Decorrelate("TRUE", foreign_key="user_id")]
+                ),
+            ],
+        )
+        second = DisguiseSpec(
+            "B",
+            [
+                TableDisguise(
+                    "likes", transformations=[Decorrelate("TRUE", foreign_key="post_id")]
+                ),
+            ],
+        )
+        assert redundant_decorrelations(first, second) == []
+
+    def test_paper_specs_exhibit_redundancy(self):
+        from repro.apps.hotcrp import hotcrp_confanon, hotcrp_gdpr_plus
+
+        redundant = redundant_decorrelations(hotcrp_confanon(), hotcrp_gdpr_plus())
+        tables = {r.table for r in redundant}
+        assert "PaperReview" in tables  # the paper's headline case

@@ -1,0 +1,99 @@
+"""Unit tests for placeholder generators."""
+
+import random
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec.generate import (
+    Compute,
+    Default,
+    FakeEmail,
+    FakeName,
+    GenContext,
+    RandomValue,
+    Sequence,
+    generator_from_config,
+)
+from repro.storage.schema import Column
+from repro.storage.types import ColumnType as T
+
+
+def ctx(ctype=T.TEXT, counter=1, seed=0) -> GenContext:
+    return GenContext(rng=random.Random(seed), column=Column("c", ctype), counter=counter)
+
+
+class TestRandomValue:
+    def test_text(self):
+        value = RandomValue().generate(ctx(T.TEXT))
+        assert isinstance(value, str) and len(value) == 12
+
+    def test_integer_in_range(self):
+        value = RandomValue(lo=5, hi=9).generate(ctx(T.INTEGER))
+        assert 5 <= value <= 9
+
+    def test_bool_real_datetime(self):
+        assert isinstance(RandomValue().generate(ctx(T.BOOL)), bool)
+        assert isinstance(RandomValue().generate(ctx(T.REAL)), float)
+        assert isinstance(RandomValue().generate(ctx(T.DATETIME)), float)
+
+    def test_blob_unsupported(self):
+        with pytest.raises(SpecError):
+            RandomValue().generate(ctx(T.BLOB))
+
+    def test_deterministic_under_seed(self):
+        assert RandomValue().generate(ctx(seed=5)) == RandomValue().generate(ctx(seed=5))
+
+
+class TestOtherGenerators:
+    def test_default(self):
+        assert Default(None).generate(ctx()) is None
+        assert Default(True).generate(ctx(T.BOOL)) is True
+
+    def test_sequence_text_and_int(self):
+        assert Sequence("anon-").generate(ctx(T.TEXT, counter=7)) == "anon-7"
+        assert Sequence().generate(ctx(T.INTEGER, counter=7)) == 7
+
+    def test_fake_name_format(self):
+        name = FakeName().generate(ctx())
+        parts = name.split()
+        assert len(parts) == 2 and all(p[0].isupper() for p in parts)
+
+    def test_fake_email_format(self):
+        email = FakeEmail().generate(ctx())
+        local, _, domain = email.partition("@")
+        assert len(local) == 10 and domain == "anon.invalid"
+        assert FakeEmail("x.test").generate(ctx()).endswith("@x.test")
+
+    def test_compute(self):
+        gen = Compute(lambda c: c.counter * 2, label="double")
+        assert gen.generate(ctx(counter=3)) == 6
+        assert gen.describe() == "double"
+
+
+class TestGeneratorFromConfig:
+    def test_string_form(self):
+        assert isinstance(generator_from_config("random"), RandomValue)
+        assert isinstance(generator_from_config("fake_name"), FakeName)
+
+    def test_list_form_with_args(self):
+        gen = generator_from_config(["default", 42])
+        assert isinstance(gen, Default) and gen.value == 42
+        gen = generator_from_config(("sequence", "ghost-"))
+        assert isinstance(gen, Sequence) and gen.prefix == "ghost-"
+
+    def test_dict_form(self):
+        gen = generator_from_config({"kind": "fake_email", "args": ["x.invalid"]})
+        assert isinstance(gen, FakeEmail) and gen.domain == "x.invalid"
+
+    def test_instance_passthrough(self):
+        gen = Default(1)
+        assert generator_from_config(gen) is gen
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SpecError):
+            generator_from_config("nope")
+        with pytest.raises(SpecError):
+            generator_from_config(["nope"])
+        with pytest.raises(SpecError):
+            generator_from_config(123)

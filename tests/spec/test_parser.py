@@ -1,0 +1,173 @@
+"""Unit tests for the declarative spec document format."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec.disguise import DisguiseSpec
+from repro.spec.generate import Default, FakeName, Sequence
+from repro.spec.parser import spec_from_dict, spec_from_json, spec_to_dict
+from repro.spec.transform import Decorrelate, Modify, Remove
+
+FIGURE3_DOC = {
+    "disguise_name": "UserScrub",
+    "description": "Paper Figure 3",
+    "tables": {
+        "ContactInfo": {
+            "generate_placeholder": [
+                ["name", "fake_name"],
+                ["email", ["default", None]],
+                ["disabled", ["default", True]],
+            ],
+            "transformations": [{"op": "remove", "pred": "contactId = $UID"}],
+        },
+        "ReviewPreference": {
+            "transformations": [{"op": "remove", "pred": "contactId = $UID"}]
+        },
+        "Review": {
+            "transformations": [
+                {
+                    "op": "decorrelate",
+                    "pred": "contactId = $UID",
+                    "foreign_key": "contactId",
+                }
+            ]
+        },
+    },
+}
+
+
+class TestFromDict:
+    def test_figure3_document(self):
+        spec = spec_from_dict(FIGURE3_DOC)
+        assert spec.name == "UserScrub"
+        assert spec.is_user_disguise
+        assert spec.table_names == ("ContactInfo", "ReviewPreference", "Review")
+        contact = spec.table_disguise("ContactInfo")
+        assert isinstance(contact.generate_placeholder["name"], FakeName)
+        assert isinstance(contact.generate_placeholder["email"], Default)
+        assert isinstance(contact.transformations[0], Remove)
+        review = spec.table_disguise("Review")
+        decorrelate = review.transformations[0]
+        assert isinstance(decorrelate, Decorrelate)
+        assert decorrelate.foreign_key == "contactId"
+
+    def test_modify_with_named_fn(self):
+        spec = spec_from_dict(
+            {
+                "disguise_name": "Redactor",
+                "tables": {
+                    "users": {
+                        "transformations": [
+                            {"op": "modify", "pred": "TRUE", "column": "bio", "fn": "redact"}
+                        ]
+                    }
+                },
+            }
+        )
+        modify = spec.tables[0].transformations[0]
+        assert isinstance(modify, Modify)
+        assert modify.fn("x") == "[redacted]"
+        assert modify.label == "redact"
+
+    def test_owner_column(self):
+        spec = spec_from_dict(
+            {
+                "disguise_name": "d",
+                "tables": {"t": {"owner": "uid", "transformations": []}},
+            }
+        )
+        assert spec.tables[0].owner_column == "uid"
+
+    def test_default_pred_is_true(self):
+        spec = spec_from_dict(
+            {
+                "disguise_name": "d",
+                "tables": {"t": {"transformations": [{"op": "remove"}]}},
+            }
+        )
+        assert spec.tables[0].transformations[0].pred.test({})
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(SpecError):
+            spec_from_dict({"tables": {}})
+
+    def test_missing_tables_rejected(self):
+        with pytest.raises(SpecError):
+            spec_from_dict({"disguise_name": "d"})
+
+    def test_bad_generator_pair_rejected(self):
+        with pytest.raises(SpecError):
+            spec_from_dict(
+                {
+                    "disguise_name": "d",
+                    "tables": {"t": {"generate_placeholder": [["only-one"]]}},
+                }
+            )
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(SpecError):
+            spec_from_dict(
+                {
+                    "disguise_name": "d",
+                    "tables": {"t": {"transformations": [{"op": "explode"}]}},
+                }
+            )
+
+    def test_decorrelate_needs_fk(self):
+        with pytest.raises(SpecError):
+            spec_from_dict(
+                {
+                    "disguise_name": "d",
+                    "tables": {"t": {"transformations": [{"op": "decorrelate", "pred": "TRUE"}]}},
+                }
+            )
+
+    def test_modify_needs_column_and_fn(self):
+        with pytest.raises(SpecError):
+            spec_from_dict(
+                {
+                    "disguise_name": "d",
+                    "tables": {"t": {"transformations": [{"op": "modify", "pred": "TRUE"}]}},
+                }
+            )
+
+
+class TestJsonAndRoundTrip:
+    def test_from_json(self):
+        spec = spec_from_json(json.dumps(FIGURE3_DOC))
+        assert isinstance(spec, DisguiseSpec)
+        assert spec.name == "UserScrub"
+
+    def test_bad_json_rejected(self):
+        with pytest.raises(SpecError):
+            spec_from_json("{not json")
+
+    def test_to_dict_structure(self):
+        spec = spec_from_dict(FIGURE3_DOC)
+        doc = spec_to_dict(spec)
+        assert doc["disguise_name"] == "UserScrub"
+        review_ops = doc["tables"]["Review"]["transformations"]
+        assert review_ops[0]["op"] == "decorrelate"
+        assert review_ops[0]["foreign_key"] == "contactId"
+        contact_ops = doc["tables"]["ContactInfo"]["transformations"]
+        assert contact_ops[0]["op"] == "remove"
+        assert "$UID" in contact_ops[0]["pred"]
+
+    def test_modify_round_trip_via_label(self):
+        doc = {
+            "disguise_name": "d",
+            "tables": {
+                "t": {
+                    "transformations": [
+                        {"op": "modify", "pred": "a = 1", "column": "c", "fn": "null"}
+                    ]
+                }
+            },
+        }
+        spec = spec_from_dict(doc)
+        doc2 = spec_to_dict(spec)
+        spec2 = spec_from_dict(doc2)
+        modify = spec2.tables[0].transformations[0]
+        assert modify.fn("anything") is None

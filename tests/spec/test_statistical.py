@@ -1,0 +1,177 @@
+"""Tests for the statistical-privacy helpers (paper §8)."""
+
+import random
+
+import pytest
+
+from repro import Database, Disguiser, DisguiseSpec, Modify, Schema, TableDisguise, parse_schema
+from repro.errors import SpecError
+from repro.spec.statistical import (
+    generalize_numeric,
+    generalize_text,
+    k_anonymity_groups,
+    k_anonymity_predicate,
+    k_anonymity_violations,
+    l_diversity_violations,
+    laplace_count,
+)
+
+DDL = """
+CREATE TABLE patients (
+  id INT PRIMARY KEY,
+  zip TEXT,
+  age INT,
+  diagnosis TEXT
+);
+"""
+
+
+@pytest.fixture
+def patients():
+    db = Database(Schema(parse_schema(DDL)))
+    rows = [
+        # A k=3 group (zip 02139 / age 30)
+        (1, "02139", 30, "flu"),
+        (2, "02139", 30, "cold"),
+        (3, "02139", 30, "flu"),
+        # A singleton group — re-identifiable
+        (4, "94704", 62, "cancer"),
+        # A pair
+        (5, "10001", 45, "flu"),
+        (6, "10001", 45, "flu"),
+        # NULL quasi-identifier group
+        (7, None, 30, "cold"),
+    ]
+    for pk, zip_code, age, diagnosis in rows:
+        db.insert("patients", {"id": pk, "zip": zip_code, "age": age, "diagnosis": diagnosis})
+    return db
+
+
+class TestKAnonymity:
+    def test_groups(self, patients):
+        groups = k_anonymity_groups(patients, "patients", ["zip", "age"])
+        sizes = sorted(g.size for g in groups)
+        assert sizes == [1, 1, 2, 3]
+
+    def test_violations(self, patients):
+        violations = k_anonymity_violations(patients, "patients", ["zip", "age"], k=3)
+        violating_pks = sorted(pk for g in violations for pk in g.pks)
+        assert violating_pks == [4, 5, 6, 7]
+
+    def test_already_anonymous(self, patients):
+        assert k_anonymity_violations(patients, "patients", ["age"], k=1) == []
+
+    def test_unknown_column_rejected(self, patients):
+        with pytest.raises(Exception):
+            k_anonymity_groups(patients, "patients", ["ghost"])
+
+    def test_bad_k(self, patients):
+        with pytest.raises(SpecError):
+            k_anonymity_violations(patients, "patients", ["zip"], k=0)
+
+    def test_predicate_selects_exactly_violating_rows(self, patients):
+        pred = k_anonymity_predicate(patients, "patients", ["zip", "age"], k=3)
+        rows = patients.select("patients", pred)
+        assert sorted(r["id"] for r in rows) == [4, 5, 6, 7]
+
+    def test_predicate_false_when_clean(self, patients):
+        pred = k_anonymity_predicate(patients, "patients", ["age"], k=1)
+        assert patients.select("patients", pred) == []
+
+    def test_predicate_drives_a_disguise(self, patients):
+        """The §8 sentence, literally: a disguise predicate based on a
+        statistical criterion, generalizing until the table is k-anonymous."""
+        pred = k_anonymity_predicate(patients, "patients", ["zip", "age"], k=3)
+        spec = DisguiseSpec(
+            "KAnonymize",
+            [
+                TableDisguise(
+                    "patients",
+                    transformations=[
+                        Modify(pred, column="zip", fn=generalize_text(0), label="zip0"),
+                        Modify(pred, column="age", fn=generalize_numeric(100), label="age100"),
+                    ],
+                )
+            ],
+        )
+        engine = Disguiser(patients)
+        report = engine.apply(spec)
+        assert report.rows_modified == 8  # 4 rows x 2 columns
+        # the generalized non-NULL rows now form one group of >= 3; only
+        # the NULL-zip row remains its own class (NULL cannot generalize
+        # into a value group — it must be suppressed, not coarsened).
+        violations = k_anonymity_violations(patients, "patients", ["zip", "age"], k=3)
+        assert all(None in group.key for group in violations)
+        sizes = {
+            g.key: g.size
+            for g in k_anonymity_groups(patients, "patients", ["zip", "age"])
+        }
+        assert sizes[("*****", 0)] >= 3
+        # and the disguise is reversible like any other
+        engine.reveal(report.disguise_id)
+        assert patients.get("patients", 4)["zip"] == "94704"
+
+
+class TestLDiversity:
+    def test_homogeneous_group_flagged(self, patients):
+        violations = l_diversity_violations(
+            patients, "patients", ["zip", "age"], sensitive="diagnosis", l=2
+        )
+        keys = {g.key for g in violations}
+        # the 10001/45 pair is all-flu (l=1); singletons are trivially l=1
+        assert ("10001", 45) in keys
+
+    def test_diverse_group_passes(self, patients):
+        violations = l_diversity_violations(
+            patients, "patients", ["zip", "age"], sensitive="diagnosis", l=2
+        )
+        keys = {g.key for g in violations}
+        assert ("02139", 30) not in keys  # flu + cold
+
+
+class TestGeneralizers:
+    def test_numeric_buckets(self):
+        fn = generalize_numeric(10)
+        assert fn(37) == 30
+        assert fn(40) == 40
+        assert fn(None) is None
+
+    def test_text_prefix(self):
+        fn = generalize_text(3)
+        assert fn("02139") == "021**"
+        assert fn("ab") == "ab"
+        assert fn(None) is None
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SpecError):
+            generalize_numeric(0)
+        with pytest.raises(SpecError):
+            generalize_text(-1)
+
+
+class TestLaplaceCount:
+    def test_noise_centered_on_true_count(self, patients):
+        rng = random.Random(0)
+        samples = [
+            laplace_count(patients, "patients", "age = 30", epsilon=1.0, rng=rng)
+            for _ in range(400)
+        ]
+        mean = sum(samples) / len(samples)
+        assert abs(mean - 4) < 0.5  # true count is 4
+
+    def test_higher_epsilon_less_noise(self, patients):
+        rng = random.Random(1)
+        tight = [
+            abs(laplace_count(patients, "patients", "TRUE", epsilon=10.0, rng=rng) - 7)
+            for _ in range(200)
+        ]
+        rng = random.Random(1)
+        loose = [
+            abs(laplace_count(patients, "patients", "TRUE", epsilon=0.5, rng=rng) - 7)
+            for _ in range(200)
+        ]
+        assert sum(tight) < sum(loose)
+
+    def test_bad_epsilon(self, patients):
+        with pytest.raises(SpecError):
+            laplace_count(patients, "patients", "TRUE", epsilon=0)

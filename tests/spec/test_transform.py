@@ -1,0 +1,84 @@
+"""Unit tests for the three fundamental transformation operations."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.spec.transform import Decorrelate, Modify, Remove, named_modifier
+from repro.storage.predicate import Predicate
+
+
+class TestConstruction:
+    def test_string_predicate_parsed(self):
+        t = Remove("contactId = $UID")
+        assert isinstance(t.pred, Predicate)
+        assert t.pred.params() == {"UID"}
+
+    def test_predicate_object_accepted(self):
+        from repro.storage.predicate import TrueP
+
+        assert isinstance(Remove(TrueP()).pred, TrueP)
+
+    def test_kinds(self):
+        assert Remove("TRUE").kind == "remove"
+        assert Modify("TRUE", column="c").kind == "modify"
+        assert Decorrelate("TRUE", foreign_key="c").kind == "decorrelate"
+
+    def test_decorrelate_requires_fk(self):
+        with pytest.raises(SpecError):
+            Decorrelate("TRUE")
+
+    def test_modify_requires_column(self):
+        with pytest.raises(SpecError):
+            Modify("TRUE")
+
+    def test_describe_rendering(self):
+        assert "Remove(pred:" in Remove("a = 1").describe()
+        assert "foreign_key: uid" in Decorrelate("TRUE", foreign_key="uid").describe()
+        fn, label = named_modifier("redact")
+        assert "fn: redact" in Modify("TRUE", column="c", fn=fn, label=label).describe()
+
+
+class TestNamedModifiers:
+    def test_null(self):
+        fn, _ = named_modifier("null")
+        assert fn("anything") is None
+
+    def test_redact_preserves_null(self):
+        fn, _ = named_modifier("redact")
+        assert fn("secret") == "[redacted]"
+        assert fn(None) is None
+
+    def test_deleted(self):
+        fn, _ = named_modifier("deleted")
+        assert fn("body text") == "[deleted]"
+
+    def test_zero_false_true_empty(self):
+        assert named_modifier("zero")[0](9) == 0
+        assert named_modifier("false")[0](True) is False
+        assert named_modifier("true")[0](False) is True
+        assert named_modifier("empty")[0]("abc") == ""
+        assert named_modifier("empty")[0](None) is None
+
+    def test_hash_is_stable_and_opaque(self):
+        fn, _ = named_modifier("hash")
+        assert fn("x") == fn("x")
+        assert fn("x") != "x"
+        assert len(fn("x")) == 8
+
+    def test_truncate(self):
+        fn, _ = named_modifier("truncate")
+        assert fn("a" * 40) == "a" * 16
+        assert fn(123) == 123
+
+    def test_coarsen_day(self):
+        fn, _ = named_modifier("coarsen_day")
+        assert fn(86_400 * 3 + 12_345) == 86_400 * 3
+        assert fn(None) is None
+
+    def test_coarsen_year(self):
+        fn, _ = named_modifier("coarsen_year")
+        assert fn(31_536_000 + 5) == 31_536_000
+
+    def test_unknown_modifier(self):
+        with pytest.raises(SpecError):
+            named_modifier("explode")

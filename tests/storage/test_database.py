@@ -1,0 +1,176 @@
+"""Unit tests for the Database: statements, FK enforcement, integrity."""
+
+import pytest
+
+from repro.errors import (
+    ForeignKeyError,
+    IntegrityViolation,
+    NoSuchRowError,
+    UnknownTableError,
+)
+from repro.storage.database import Database, QueryStats
+from repro.storage.schema import Column, Schema, TableSchema
+from repro.storage.types import ColumnType as T
+
+
+class TestStatements:
+    def test_select_where_string(self, blog_db):
+        rows = blog_db.select("posts", "user_id = 2")
+        assert sorted(r["id"] for r in rows) == [11, 12]
+
+    def test_select_with_params(self, blog_db):
+        rows = blog_db.select("posts", "user_id = $UID", {"UID": 3})
+        assert [r["id"] for r in rows] == [13]
+
+    def test_get_point_lookup(self, blog_db):
+        assert blog_db.get("users", 2)["name"] == "Bea"
+        assert blog_db.get("users", 99) is None
+
+    def test_count(self, blog_db):
+        assert blog_db.count("comments", "user_id = 2") == 2
+        assert blog_db.count("comments") == 4
+
+    def test_insert_returns_normalized_row(self, blog_db):
+        row = blog_db.insert("posts", {"id": 20, "user_id": 1, "title": "t"})
+        assert row["score"] == 0 and row["body"] is None
+
+    def test_update_by_predicate(self, blog_db):
+        n = blog_db.update("posts", "user_id = 2", {"score": 42})
+        assert n == 2
+        assert all(r["score"] == 42 for r in blog_db.select("posts", "user_id = 2"))
+
+    def test_update_by_pk(self, blog_db):
+        new = blog_db.update_by_pk("users", 1, {"name": "Ada L"})
+        assert new["name"] == "Ada L"
+        with pytest.raises(NoSuchRowError):
+            blog_db.update_by_pk("users", 99, {"name": "x"})
+
+    def test_delete_by_predicate(self, blog_db):
+        n = blog_db.delete("comments", "user_id = 2")
+        assert n == 2
+        assert blog_db.count("comments") == 2
+
+    def test_unknown_table(self, blog_db):
+        with pytest.raises(UnknownTableError):
+            blog_db.select("ghosts")
+
+    def test_row_counts_and_total(self, blog_db):
+        counts = blog_db.row_counts()
+        assert counts["users"] == 3 and counts["posts"] == 4
+        assert blog_db.total_rows() == 3 + 4 + 4 + 2
+
+    def test_next_id(self, blog_db):
+        assert blog_db.next_id("users") == 4
+        assert blog_db.next_id("posts") == 14
+        empty = Database(
+            Schema([TableSchema("t", [Column("id", T.INTEGER, nullable=False)], "id")])
+        )
+        assert empty.next_id("t") == 1
+
+
+class TestForeignKeys:
+    def test_insert_dangling_fk_rejected(self, blog_db):
+        with pytest.raises(ForeignKeyError):
+            blog_db.insert("posts", {"id": 30, "user_id": 99, "title": "t"})
+
+    def test_insert_null_fk_allowed_when_nullable(self, blog_db):
+        # follows has NOT NULL fks; use a table with nullable fk via schema
+        blog_db.insert("posts", {"id": 31, "user_id": 1, "title": "ok"})
+
+    def test_update_to_dangling_fk_rejected(self, blog_db):
+        with pytest.raises(ForeignKeyError):
+            blog_db.update_by_pk("posts", 10, {"user_id": 99})
+
+    def test_delete_restrict(self, blog_db):
+        # users referenced by posts (RESTRICT)
+        with pytest.raises(ForeignKeyError):
+            blog_db.delete_by_pk("users", 1)
+
+    def test_delete_cascade(self, blog_db):
+        # comments cascade with their post
+        assert blog_db.count("comments", "post_id = 11") == 2
+        blog_db.delete_by_pk("posts", 11)
+        assert blog_db.count("comments", "post_id = 11") == 0
+
+    def test_pk_change_blocked_while_referenced(self, blog_db):
+        with pytest.raises(ForeignKeyError):
+            blog_db.update_by_pk("users", 2, {"id": 20})
+
+    def test_set_null_action(self):
+        schema = Schema(
+            [
+                TableSchema(
+                    "users", [Column("id", T.INTEGER, nullable=False)], "id"
+                ),
+                TableSchema(
+                    "posts",
+                    [
+                        Column("id", T.INTEGER, nullable=False),
+                        Column("uid", T.INTEGER),
+                    ],
+                    "id",
+                    [__import__("repro.storage.schema", fromlist=["ForeignKey"]).ForeignKey(
+                        "uid", "users", "id",
+                        __import__("repro.storage.schema", fromlist=["FKAction"]).FKAction.SET_NULL,
+                    )],
+                ),
+            ]
+        )
+        db = Database(schema)
+        db.insert("users", {"id": 1})
+        db.insert("posts", {"id": 10, "uid": 1})
+        db.delete_by_pk("users", 1)
+        assert db.get("posts", 10)["uid"] is None
+
+
+class TestIntegrityChecker:
+    def test_clean_database(self, blog_db):
+        assert blog_db.check_integrity() == []
+        blog_db.assert_integrity()
+
+    def test_detects_dangles_after_raw_table_mutation(self, blog_db):
+        # Bypass statement-level checks via the raw Table API.
+        blog_db.table("posts").update_by_pk(10, {"user_id": 999})
+        problems = blog_db.check_integrity()
+        assert len(problems) == 1 and "posts.user_id" in problems[0]
+        with pytest.raises(IntegrityViolation):
+            blog_db.assert_integrity()
+
+
+class TestQueryStats:
+    def test_counts_by_kind(self, blog_db):
+        blog_db.stats.reset()
+        blog_db.select("users")
+        blog_db.insert("users", {"id": 9, "name": "X", "email": "x@x"})
+        blog_db.update_by_pk("users", 9, {"name": "Y"})
+        blog_db.delete_by_pk("users", 9)
+        stats = blog_db.stats
+        assert stats.selects >= 1
+        assert stats.inserts == 1
+        assert stats.updates == 1
+        assert stats.deletes == 1
+        assert stats.total == stats.selects + stats.writes
+
+    def test_snapshot_delta(self, blog_db):
+        before = blog_db.stats.snapshot()
+        blog_db.select("users")
+        blog_db.select("posts")
+        delta = blog_db.stats.delta(before)
+        assert delta.selects == 2 and delta.writes == 0
+
+    def test_reset(self):
+        stats = QueryStats(1, 2, 3, 4)
+        stats.reset()
+        assert stats.total == 0
+
+
+class TestDDLOperations:
+    def test_create_and_drop_table(self, blog_db):
+        table = TableSchema("extra", [Column("id", T.INTEGER, nullable=False)], "id")
+        blog_db.create_table(table)
+        assert blog_db.has_table("extra")
+        blog_db.insert("extra", {"id": 1})
+        blog_db.drop_table("extra")
+        assert not blog_db.has_table("extra")
+        with pytest.raises(UnknownTableError):
+            blog_db.drop_table("extra")

@@ -1,0 +1,134 @@
+"""Unit tests for schema evolution on a live database."""
+
+import pytest
+
+from repro.errors import SchemaError, TransactionError, UnknownColumnError
+from repro.storage.evolve import (
+    AddColumn,
+    DropColumn,
+    RenameColumn,
+    RenameTable,
+    apply_change,
+)
+from repro.storage.schema import Column
+from repro.storage.types import ColumnType as T
+
+
+class TestAddColumn:
+    def test_rows_gain_default(self, blog_db):
+        apply_change(blog_db, AddColumn("users", Column("bio", T.TEXT, default="n/a")))
+        assert blog_db.get("users", 1)["bio"] == "n/a"
+        blog_db.insert("users", {"id": 9, "name": "X", "email": "x@x", "bio": "hi"})
+        assert blog_db.get("users", 9)["bio"] == "hi"
+
+    def test_nullable_without_default(self, blog_db):
+        apply_change(blog_db, AddColumn("users", Column("bio", T.TEXT)))
+        assert blog_db.get("users", 1)["bio"] is None
+
+    def test_not_null_requires_default(self, blog_db):
+        with pytest.raises(SchemaError):
+            apply_change(
+                blog_db, AddColumn("users", Column("bio", T.TEXT, nullable=False))
+            )
+
+    def test_duplicate_name_rejected(self, blog_db):
+        with pytest.raises(SchemaError):
+            apply_change(blog_db, AddColumn("users", Column("name", T.TEXT)))
+
+
+class TestDropColumn:
+    def test_column_removed_from_rows(self, blog_db):
+        apply_change(blog_db, DropColumn("posts", "body"))
+        row = blog_db.get("posts", 10)
+        assert "body" not in row
+        with pytest.raises(UnknownColumnError):
+            blog_db.select("posts", "body IS NULL")
+
+    def test_cannot_drop_pk(self, blog_db):
+        with pytest.raises(SchemaError):
+            apply_change(blog_db, DropColumn("posts", "id"))
+
+    def test_cannot_drop_fk_column(self, blog_db):
+        with pytest.raises(SchemaError):
+            apply_change(blog_db, DropColumn("posts", "user_id"))
+
+    def test_missing_column_rejected(self, blog_db):
+        with pytest.raises(UnknownColumnError):
+            apply_change(blog_db, DropColumn("posts", "ghost"))
+
+
+class TestRenameColumn:
+    def test_data_and_queries_follow(self, blog_db):
+        apply_change(blog_db, RenameColumn("posts", "user_id", "author_id"))
+        rows = blog_db.select("posts", "author_id = 2")
+        assert sorted(r["id"] for r in rows) == [11, 12]
+        # FK still enforced under the new name
+        from repro.errors import ForeignKeyError
+
+        with pytest.raises(ForeignKeyError):
+            blog_db.insert("posts", {"id": 30, "author_id": 99, "title": "t"})
+
+    def test_rename_pk_retargets_children(self, blog_db):
+        apply_change(blog_db, RenameColumn("users", "id", "uid"))
+        fk = blog_db.table("posts").schema.foreign_key_for("user_id")
+        assert fk.parent_column == "uid"
+        blog_db.schema.validate()
+        # cascade semantics still intact
+        assert blog_db.get("users", 1)["uid"] == 1
+
+    def test_collision_rejected(self, blog_db):
+        with pytest.raises(SchemaError):
+            apply_change(blog_db, RenameColumn("posts", "title", "body"))
+
+
+class TestRenameTable:
+    def test_references_follow(self, blog_db):
+        apply_change(blog_db, RenameTable("users", "accounts"))
+        assert blog_db.has_table("accounts")
+        assert not blog_db.has_table("users")
+        fk = blog_db.table("posts").schema.foreign_key_for("user_id")
+        assert fk.parent_table == "accounts"
+        blog_db.schema.validate()
+        assert blog_db.check_integrity() == []
+
+    def test_self_reference_follows(self):
+        from repro.storage import Database, Schema, parse_schema
+
+        db = Database(
+            Schema(
+                parse_schema(
+                    "CREATE TABLE nodes (id INT PRIMARY KEY, "
+                    "parent INT REFERENCES nodes(id) ON DELETE SET NULL);"
+                )
+            )
+        )
+        db.insert("nodes", {"id": 1})
+        db.insert("nodes", {"id": 2, "parent": 1})
+        apply_change(db, RenameTable("nodes", "tree"))
+        fk = db.table("tree").schema.foreign_key_for("parent")
+        assert fk.parent_table == "tree"
+        db.schema.validate()
+        assert db.check_integrity() == []
+
+    def test_collision_rejected(self, blog_db):
+        with pytest.raises(SchemaError):
+            apply_change(blog_db, RenameTable("users", "posts"))
+
+    def test_id_watermark_follows(self, blog_db):
+        blog_db.delete("comments", "user_id = 2")
+        high = blog_db.next_id("users")  # bumps the watermark
+        blog_db.delete_by_pk("users", blog_db.insert("users", {"id": high, "name": "t", "email": "t@t"})["id"])
+        apply_change(blog_db, RenameTable("users", "accounts"))
+        assert blog_db.next_id("accounts") > high
+
+
+class TestGuards:
+    def test_no_changes_inside_transaction(self, blog_db):
+        blog_db.begin()
+        with pytest.raises(TransactionError):
+            apply_change(blog_db, AddColumn("users", Column("x", T.TEXT)))
+        blog_db.rollback()
+
+    def test_unknown_table(self, blog_db):
+        with pytest.raises(SchemaError):
+            apply_change(blog_db, AddColumn("ghosts", Column("x", T.TEXT)))

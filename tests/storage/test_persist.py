@@ -1,0 +1,96 @@
+"""Unit tests for JSON-lines snapshot persistence."""
+
+import io
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.database import Database
+from repro.storage.persist import (
+    dump_rows,
+    load_database,
+    load_rows,
+    save_database,
+)
+from repro.storage.schema import Column, Schema, TableSchema
+from repro.storage.types import ColumnType as T
+
+
+class TestSaveLoad:
+    def test_round_trip(self, blog_db, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        save_database(blog_db, path)
+        reloaded = load_database(path)
+        assert reloaded.row_counts() == blog_db.row_counts()
+        assert reloaded.get("users", 2)["name"] == "Bea"
+        assert reloaded.check_integrity() == []
+
+    def test_schema_round_trip(self, blog_db, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        save_database(blog_db, path)
+        reloaded = load_database(path)
+        users = reloaded.table("users").schema
+        assert users.primary_key == "id"
+        assert users.column("name").pii
+        comments = reloaded.table("comments").schema
+        fk = comments.foreign_key_for("post_id")
+        assert fk.parent_table == "posts"
+
+    def test_blob_and_datetime_round_trip(self, tmp_path):
+        schema = Schema(
+            [
+                TableSchema(
+                    "t",
+                    [
+                        Column("id", T.INTEGER, nullable=False),
+                        Column("data", T.BLOB),
+                        Column("at", T.DATETIME),
+                    ],
+                    "id",
+                )
+            ]
+        )
+        db = Database(schema)
+        db.insert("t", {"id": 1, "data": b"\x00\xffbin", "at": 1234.5})
+        db.insert("t", {"id": 2, "data": None, "at": None})
+        path = tmp_path / "s.jsonl"
+        save_database(db, path)
+        reloaded = load_database(path)
+        assert reloaded.get("t", 1) == {"id": 1, "data": b"\x00\xffbin", "at": 1234.5}
+        assert reloaded.get("t", 2)["data"] is None
+
+    def test_mutations_after_reload_work(self, blog_db, tmp_path):
+        path = tmp_path / "snap.jsonl"
+        save_database(blog_db, path)
+        reloaded = load_database(path)
+        reloaded.insert("users", {"id": 9, "name": "New", "email": "n@x"})
+        assert reloaded.next_id("users") == 10
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(StorageError):
+            load_database(path)
+
+    def test_wrong_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"$header": {"version": 99}}\n')
+        with pytest.raises(StorageError):
+            load_database(path)
+
+    def test_unrecognized_record_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"$header": {"version": 1, "tables": []}}\n{"$bogus": 1}\n'
+        )
+        with pytest.raises(StorageError):
+            load_database(path)
+
+
+class TestRowDump:
+    def test_dump_load_rows(self):
+        rows = [{"a": 1, "b": b"\x01"}, {"a": None, "b": None}]
+        buffer = io.StringIO()
+        dump_rows(rows, buffer)
+        buffer.seek(0)
+        assert load_rows(buffer) == rows

@@ -1,0 +1,218 @@
+"""Unit tests for the predicate AST and SQL three-valued logic."""
+
+import pytest
+
+from repro.errors import StorageError, UnknownColumnError
+from repro.storage.predicate import (
+    And,
+    Between,
+    BinOp,
+    ColumnRef,
+    Comparison,
+    FalseP,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Param,
+    Tristate,
+    TrueP,
+    column_equals,
+    column_equals_param,
+)
+
+ROW = {"a": 1, "b": "hello", "c": None, "d": 2.5, "e": True}
+
+
+def t3(pred, row=ROW, params=None):
+    return pred.eval3(row, params or {})
+
+
+class TestComparison:
+    def test_equality(self):
+        assert column_equals("a", 1).test(ROW)
+        assert not column_equals("a", 2).test(ROW)
+
+    def test_ordering(self):
+        assert Comparison("<", ColumnRef("a"), Literal(5)).test(ROW)
+        assert Comparison(">=", ColumnRef("d"), Literal(2.5)).test(ROW)
+        assert not Comparison(">", ColumnRef("a"), Literal(1)).test(ROW)
+
+    def test_null_yields_unknown(self):
+        assert t3(column_equals("c", 1)) is Tristate.UNKNOWN
+        assert t3(Comparison("!=", ColumnRef("c"), Literal(1))) is Tristate.UNKNOWN
+        assert t3(Comparison("=", ColumnRef("a"), Literal(None))) is Tristate.UNKNOWN
+
+    def test_cross_type_equality_is_false_not_error(self):
+        assert t3(column_equals("b", 1)) is Tristate.FALSE
+        assert t3(Comparison("!=", ColumnRef("b"), Literal(1))) is Tristate.TRUE
+
+    def test_cross_type_ordering_raises(self):
+        with pytest.raises(StorageError):
+            Comparison("<", ColumnRef("b"), Literal(1)).test(ROW)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(StorageError):
+            Comparison("~~", ColumnRef("a"), Literal(1))
+
+    def test_missing_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            column_equals("ghost", 1).test(ROW)
+
+    def test_params(self):
+        pred = column_equals_param("a", "UID")
+        assert pred.test(ROW, {"UID": 1})
+        assert not pred.test(ROW, {"UID": 9})
+        with pytest.raises(StorageError):
+            pred.test(ROW)  # unbound
+
+    def test_columns_and_params_introspection(self):
+        pred = And(column_equals_param("a", "UID"), column_equals("b", "x"))
+        assert pred.columns() == {"a", "b"}
+        assert pred.params() == {"UID"}
+
+
+class TestBooleanLogic:
+    def test_and_kleene(self):
+        true = TrueP()
+        false = FalseP()
+        unknown = column_equals("c", 1)  # NULL comparison
+        assert t3(And(true, true)) is Tristate.TRUE
+        assert t3(And(true, false)) is Tristate.FALSE
+        assert t3(And(false, unknown)) is Tristate.FALSE
+        assert t3(And(true, unknown)) is Tristate.UNKNOWN
+
+    def test_or_kleene(self):
+        true = TrueP()
+        false = FalseP()
+        unknown = column_equals("c", 1)
+        assert t3(Or(false, false)) is Tristate.FALSE
+        assert t3(Or(false, true)) is Tristate.TRUE
+        assert t3(Or(true, unknown)) is Tristate.TRUE
+        assert t3(Or(false, unknown)) is Tristate.UNKNOWN
+
+    def test_not_kleene(self):
+        unknown = column_equals("c", 1)
+        assert t3(Not(TrueP())) is Tristate.FALSE
+        assert t3(Not(FalseP())) is Tristate.TRUE
+        assert t3(Not(unknown)) is Tristate.UNKNOWN
+
+    def test_operator_sugar(self):
+        pred = column_equals("a", 1) & ~column_equals("b", "nope")
+        assert pred.test(ROW)
+        pred2 = column_equals("a", 9) | column_equals("e", True)
+        assert pred2.test(ROW)
+
+    def test_short_circuit_and_does_not_read_right(self):
+        # right side references a missing column; FALSE left short-circuits
+        pred = And(FalseP(), column_equals("ghost", 1))
+        assert t3(pred) is Tristate.FALSE
+
+
+class TestInList:
+    def test_membership(self):
+        pred = InList(ColumnRef("a"), (Literal(1), Literal(2)))
+        assert pred.test(ROW)
+        assert not InList(ColumnRef("a"), (Literal(3),)).test(ROW)
+
+    def test_negated(self):
+        pred = InList(ColumnRef("a"), (Literal(3),), negated=True)
+        assert pred.test(ROW)
+
+    def test_null_value_unknown(self):
+        pred = InList(ColumnRef("c"), (Literal(1),))
+        assert t3(pred) is Tristate.UNKNOWN
+
+    def test_null_item_semantics(self):
+        # 1 IN (2, NULL) is UNKNOWN; 1 IN (1, NULL) is TRUE
+        unknown = InList(ColumnRef("a"), (Literal(2), Literal(None)))
+        assert t3(unknown) is Tristate.UNKNOWN
+        found = InList(ColumnRef("a"), (Literal(1), Literal(None)))
+        assert t3(found) is Tristate.TRUE
+        # NOT IN with a NULL item is never TRUE
+        not_in = InList(ColumnRef("a"), (Literal(2), Literal(None)), negated=True)
+        assert t3(not_in) is Tristate.UNKNOWN
+
+
+class TestIsNull:
+    def test_is_null(self):
+        assert IsNull(ColumnRef("c")).test(ROW)
+        assert not IsNull(ColumnRef("a")).test(ROW)
+
+    def test_is_not_null(self):
+        assert IsNull(ColumnRef("a"), negated=True).test(ROW)
+        assert not IsNull(ColumnRef("c"), negated=True).test(ROW)
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        assert Like(ColumnRef("b"), "hel%").test(ROW)
+        assert Like(ColumnRef("b"), "%llo").test(ROW)
+        assert not Like(ColumnRef("b"), "help%").test(ROW)
+
+    def test_underscore_wildcard(self):
+        assert Like(ColumnRef("b"), "h_llo").test(ROW)
+        assert not Like(ColumnRef("b"), "h_lo").test(ROW)
+
+    def test_literal_regex_chars_escaped(self):
+        row = {"b": "a.c"}
+        assert Like(ColumnRef("b"), "a.c").test(row)
+        assert not Like(ColumnRef("b"), "a.c").test({"b": "abc"})
+
+    def test_null_unknown(self):
+        assert t3(Like(ColumnRef("c"), "%")) is Tristate.UNKNOWN
+
+    def test_non_string_false(self):
+        assert t3(Like(ColumnRef("a"), "%")) is Tristate.FALSE
+
+    def test_negated(self):
+        assert Like(ColumnRef("b"), "xyz%", negated=True).test(ROW)
+
+
+class TestBetween:
+    def test_inclusive_bounds(self):
+        assert Between(ColumnRef("a"), Literal(1), Literal(3)).test(ROW)
+        assert Between(ColumnRef("a"), Literal(0), Literal(1)).test(ROW)
+        assert not Between(ColumnRef("a"), Literal(2), Literal(3)).test(ROW)
+
+    def test_negated(self):
+        assert Between(ColumnRef("a"), Literal(5), Literal(9), negated=True).test(ROW)
+
+    def test_null_unknown(self):
+        assert t3(Between(ColumnRef("c"), Literal(0), Literal(9))) is Tristate.UNKNOWN
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        expr = BinOp("+", ColumnRef("a"), Literal(2))
+        assert Comparison("=", expr, Literal(3)).test(ROW)
+        assert Comparison("=", BinOp("*", ColumnRef("d"), Literal(2)), Literal(5.0)).test(ROW)
+        assert Comparison("=", BinOp("%", Literal(7), Literal(3)), Literal(1)).test(ROW)
+
+    def test_null_propagates(self):
+        expr = BinOp("+", ColumnRef("c"), Literal(1))
+        assert t3(Comparison("=", expr, Literal(1))) is Tristate.UNKNOWN
+
+    def test_division_by_zero_is_null(self):
+        expr = BinOp("/", Literal(1), Literal(0))
+        assert t3(Comparison("=", expr, Literal(1))) is Tristate.UNKNOWN
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(StorageError):
+            Comparison("=", BinOp("+", ColumnRef("b"), Literal(1)), Literal(0)).test(ROW)
+
+
+class TestStringification:
+    def test_round_trippable_rendering(self):
+        pred = And(
+            column_equals_param("a", "UID"),
+            Or(Like(ColumnRef("b"), "x%"), IsNull(ColumnRef("c"))),
+        )
+        text = str(pred)
+        assert "$UID" in text and "LIKE" in text and "IS NULL" in text
+
+    def test_literal_escaping(self):
+        assert str(Literal("it's")) == "'it''s'"
+        assert str(Literal(None)) == "NULL"

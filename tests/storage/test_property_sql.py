@@ -1,0 +1,124 @@
+"""Property-based tests for the SQL WHERE-clause parser.
+
+Key invariant: the canonical rendering of a predicate (``str(pred)``)
+re-parses to a predicate with identical semantics — this is what makes
+spec migration's textual predicate rewriting sound.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.predicate import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Param,
+)
+from repro.storage.sql import parse_where
+
+COLUMNS = ("a", "b", "c")
+
+literals = st.one_of(
+    st.none(),
+    st.integers(-50, 50),
+    st.text(alphabet="xyz' _%", max_size=6),
+    st.booleans(),
+)
+
+exprs = st.one_of(
+    st.sampled_from([ColumnRef(c) for c in COLUMNS]),
+    literals.map(Literal),
+    st.just(Param("UID")),
+)
+
+comparisons = st.tuples(
+    st.sampled_from(["=", "!=", "<", "<=", ">", ">="]), exprs, exprs
+).map(lambda t: Comparison(t[0], t[1], t[2]))
+
+leaf_predicates = st.one_of(
+    comparisons,
+    st.tuples(exprs, st.booleans()).map(lambda t: IsNull(t[0], negated=t[1])),
+    st.tuples(
+        st.sampled_from([ColumnRef(c) for c in COLUMNS]),
+        st.lists(literals.map(Literal), min_size=1, max_size=3).map(tuple),
+        st.booleans(),
+    ).map(lambda t: InList(t[0], t[1], negated=t[2])),
+    st.tuples(
+        st.sampled_from([ColumnRef(c) for c in COLUMNS]),
+        st.text(alphabet="xy%_", max_size=5),
+        st.booleans(),
+    ).map(lambda t: Like(t[0], t[1], negated=t[2])),
+    st.tuples(
+        st.sampled_from([ColumnRef(c) for c in COLUMNS]),
+        st.integers(-20, 20),
+        st.integers(-20, 20),
+        st.booleans(),
+    ).map(lambda t: Between(t[0], Literal(t[1]), Literal(t[2]), negated=t[3])),
+)
+
+
+def _combine(children):
+    kind, parts = children
+    if kind == "and":
+        return And(parts[0], parts[1])
+    if kind == "or":
+        return Or(parts[0], parts[1])
+    return Not(parts[0])
+
+
+predicates = st.recursive(
+    leaf_predicates,
+    lambda inner: st.one_of(
+        st.tuples(st.just("and"), st.tuples(inner, inner)).map(_combine),
+        st.tuples(st.just("or"), st.tuples(inner, inner)).map(_combine),
+        st.tuples(st.just("not"), st.tuples(inner)).map(_combine),
+    ),
+    max_leaves=6,
+)
+
+rows = st.fixed_dictionaries(
+    {c: st.one_of(st.none(), st.integers(-50, 50), st.text(alphabet="xyz", max_size=4)) for c in COLUMNS}
+)
+
+
+@settings(max_examples=150)
+@given(pred=predicates, row=rows, uid=st.integers(-5, 5))
+def test_render_reparse_same_semantics(pred, row, uid):
+    reparsed = parse_where(str(pred))
+    params = {"UID": uid}
+    try:
+        expected = pred.eval3(row, params)
+    except Exception as exc:
+        # Ill-typed comparisons raise identically on both sides.
+        with_reparsed = None
+        try:
+            reparsed.eval3(row, params)
+        except Exception as exc2:
+            with_reparsed = type(exc2)
+        assert with_reparsed is type(exc)
+        return
+    assert reparsed.eval3(row, params) is expected
+
+
+@settings(max_examples=100)
+@given(pred=predicates)
+def test_rendering_is_stable(pred):
+    once = str(parse_where(str(pred)))
+    twice = str(parse_where(once))
+    assert once == twice
+
+
+@settings(max_examples=100)
+@given(pred=predicates)
+def test_reparse_preserves_columns_and_params(pred):
+    reparsed = parse_where(str(pred))
+    assert reparsed.columns() == pred.columns()
+    assert reparsed.params() == pred.params()

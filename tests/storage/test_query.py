@@ -1,0 +1,167 @@
+"""Unit tests for the SELECT query layer."""
+
+import pytest
+
+from repro.errors import ParseError, StorageError, UnknownColumnError
+from repro.storage.query import parse_select
+
+
+def run(db, sql, params=None):
+    return parse_select(sql).run(db, params)
+
+
+class TestBasicSelect:
+    def test_star(self, blog_db):
+        rows = run(blog_db, "SELECT * FROM users WHERE id = 2")
+        assert len(rows) == 1
+        assert rows[0]["users.name"] == "Bea"
+
+    def test_projection(self, blog_db):
+        rows = run(blog_db, "SELECT name FROM users WHERE id = 1")
+        assert rows == [{"name": "Ada"}]
+
+    def test_alias(self, blog_db):
+        rows = run(blog_db, "SELECT name AS who FROM users WHERE id = 3")
+        assert rows == [{"who": "Cal"}]
+
+    def test_count_star(self, blog_db):
+        assert run(blog_db, "SELECT COUNT(*) FROM posts") == 4
+        assert run(blog_db, "SELECT COUNT(*) FROM posts WHERE score > 3") == 2
+
+    def test_params(self, blog_db):
+        rows = run(blog_db, "SELECT id FROM posts WHERE user_id = $U", {"U": 2})
+        assert sorted(r["id"] for r in rows) == [11, 12]
+
+    def test_trailing_semicolon(self, blog_db):
+        assert run(blog_db, "SELECT COUNT(*) FROM users;") == 3
+
+
+class TestJoins:
+    def test_fk_join(self, blog_db):
+        rows = run(
+            blog_db,
+            "SELECT p.title, u.name FROM posts p JOIN users u ON p.user_id = u.id "
+            "WHERE u.name = 'Bea' ORDER BY p.id",
+        )
+        assert rows == [{"title": "p2", "name": "Bea"}, {"title": "p3", "name": "Bea"}]
+
+    def test_reversed_on_order(self, blog_db):
+        rows = run(
+            blog_db,
+            "SELECT COUNT(*) FROM posts p JOIN users u ON u.id = p.user_id",
+        )
+        assert rows == 4
+
+    def test_three_way_join(self, blog_db):
+        rows = run(
+            blog_db,
+            "SELECT c.body, p.title, u.name FROM comments c "
+            "JOIN posts p ON c.post_id = p.id "
+            "JOIN users u ON c.user_id = u.id "
+            "WHERE p.id = 11 ORDER BY c.id",
+        )
+        assert [r["name"] for r in rows] == ["Ada", "Cal"]
+        assert all(r["title"] == "p2" for r in rows)
+
+    def test_join_without_alias(self, blog_db):
+        rows = run(
+            blog_db,
+            "SELECT posts.title FROM posts JOIN users ON posts.user_id = users.id "
+            "WHERE users.id = 1",
+        )
+        assert rows == [{"title": "p1"}]
+
+    def test_null_join_key_never_matches(self, blog_db):
+        from repro.storage.evolve import AddColumn, apply_change
+        from repro.storage.schema import Column
+        from repro.storage.types import ColumnType
+
+        apply_change(blog_db, AddColumn("posts", Column("editor_id", ColumnType.INTEGER)))
+        rows = run(
+            blog_db,
+            "SELECT COUNT(*) FROM posts p JOIN users u ON p.editor_id = u.id",
+        )
+        assert rows == 0
+
+    def test_ambiguous_bare_column_rejected(self, blog_db):
+        with pytest.raises(UnknownColumnError):
+            run(
+                blog_db,
+                "SELECT id FROM posts p JOIN comments c ON c.post_id = p.id",
+            )
+
+    def test_join_on_non_indexed_column_falls_back_to_scan(self, blog_db):
+        # users.last_login is neither PK nor FK: the join must still work
+        # via the per-row scan path.
+        blog_db.update_by_pk("posts", 10, {"score": 100})
+        rows = run(
+            blog_db,
+            "SELECT u.name FROM posts p JOIN users u ON p.score = u.last_login "
+            "WHERE p.id = 10",
+        )
+        assert rows == [{"name": "Ada"}]  # Ada's last_login is 100.0
+
+    def test_bad_join_column(self, blog_db):
+        with pytest.raises(StorageError):
+            run(blog_db, "SELECT * FROM posts p JOIN users u ON p.user_id = u.ghost")
+
+
+class TestOrderLimit:
+    def test_order_desc(self, blog_db):
+        rows = run(blog_db, "SELECT id FROM posts ORDER BY score DESC")
+        assert [r["id"] for r in rows] == [13, 10, 11, 12]
+
+    def test_multi_key_order(self, blog_db):
+        blog_db.update_by_pk("posts", 12, {"score": 3})  # tie with post 11
+        rows = run(blog_db, "SELECT id FROM posts ORDER BY score DESC, id DESC")
+        assert [r["id"] for r in rows] == [13, 10, 12, 11]
+
+    def test_nulls_sort_first(self, blog_db):
+        blog_db.update_by_pk("posts", 11, {"body": None})
+        rows = run(blog_db, "SELECT id FROM posts ORDER BY body")
+        assert rows[0]["id"] == 11
+
+    def test_limit_offset(self, blog_db):
+        rows = run(blog_db, "SELECT id FROM posts ORDER BY id LIMIT 2 OFFSET 1")
+        assert [r["id"] for r in rows] == [11, 12]
+        rows = run(blog_db, "SELECT id FROM posts ORDER BY id LIMIT 2")
+        assert [r["id"] for r in rows] == [10, 11]
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "DELETE FROM users",
+            "SELECT name",  # no FROM
+            "SELECT name FROM users JOIN posts",  # JOIN without ON
+            "SELECT name FROM users ORDER BY name SIDEWAYS",
+            "SELECT name FROM users LIMIT many",
+            "SELECT COUNT(name) FROM users",
+            "SELECT * FROM posts p JOIN users u ON p.user_id < u.id",
+        ],
+    )
+    def test_rejected(self, blog_db, sql):
+        with pytest.raises(ParseError):
+            parse_select(sql)
+
+
+class TestDisguiseInteraction:
+    def test_application_view_after_scrub(self, blog_db):
+        """The application's JOIN view shows placeholder authorship after a
+        scrub — the observable effect of Figure 2."""
+        from repro import Disguiser
+        from tests.conftest import blog_scrub_spec
+
+        engine = Disguiser(blog_db)
+        engine.apply(blog_scrub_spec(), uid=2)
+        rows = run(
+            blog_db,
+            "SELECT p.title, u.name, u.disabled FROM posts p "
+            "JOIN users u ON p.user_id = u.id ORDER BY p.id",
+        )
+        by_title = {r["title"]: r for r in rows}
+        assert by_title["p2"]["disabled"] is True     # placeholder author
+        assert by_title["p3"]["disabled"] is True
+        assert by_title["p2"]["name"] != by_title["p3"]["name"]  # per-row
+        assert by_title["p1"]["name"] == "Ada"        # untouched

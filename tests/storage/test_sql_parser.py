@@ -1,0 +1,224 @@
+"""Unit tests for WHERE-clause and CREATE TABLE parsing."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.storage.predicate import (
+    And,
+    Between,
+    Comparison,
+    InList,
+    IsNull,
+    Like,
+    Not,
+    Or,
+    TrueP,
+)
+from repro.storage.schema import FKAction
+from repro.storage.sql import parse_create_table, parse_schema, parse_where
+from repro.storage.types import ColumnType as T
+
+
+class TestParseWhere:
+    def test_simple_equality(self):
+        pred = parse_where("contactId = 19")
+        assert isinstance(pred, Comparison)
+        assert pred.test({"contactId": 19})
+        assert not pred.test({"contactId": 20})
+
+    def test_param(self):
+        pred = parse_where("contactId = $UID")
+        assert pred.params() == {"UID"}
+        assert pred.test({"contactId": 7}, {"UID": 7})
+
+    def test_precedence_and_binds_tighter_than_or(self):
+        pred = parse_where("a = 1 OR a = 2 AND b = 3")
+        # equivalent to a=1 OR (a=2 AND b=3)
+        assert pred.test({"a": 1, "b": 0})
+        assert pred.test({"a": 2, "b": 3})
+        assert not pred.test({"a": 2, "b": 0})
+
+    def test_parentheses(self):
+        pred = parse_where("(a = 1 OR a = 2) AND b = 3")
+        assert not pred.test({"a": 1, "b": 0})
+        assert pred.test({"a": 2, "b": 3})
+
+    def test_not(self):
+        pred = parse_where("NOT a = 1")
+        assert isinstance(pred, Not)
+        assert pred.test({"a": 2})
+
+    def test_comparison_operators(self):
+        assert parse_where("a <> 1").test({"a": 2})
+        assert parse_where("a != 1").test({"a": 2})
+        assert parse_where("a <= 1").test({"a": 1})
+        assert parse_where("a >= 1.5").test({"a": 2})
+
+    def test_in_list(self):
+        pred = parse_where("a IN (1, 2, 3)")
+        assert isinstance(pred, InList)
+        assert pred.test({"a": 2})
+        assert parse_where("a NOT IN (1, 2)").test({"a": 3})
+
+    def test_is_null(self):
+        assert parse_where("a IS NULL").test({"a": None})
+        assert parse_where("a IS NOT NULL").test({"a": 1})
+
+    def test_like(self):
+        pred = parse_where("email LIKE '%@example.com'")
+        assert isinstance(pred, Like)
+        assert pred.test({"email": "x@example.com"})
+        assert parse_where("name NOT LIKE 'anon%'").test({"name": "Bea"})
+
+    def test_between(self):
+        pred = parse_where("a BETWEEN 1 AND 3")
+        assert isinstance(pred, Between)
+        assert pred.test({"a": 2})
+        assert parse_where("a NOT BETWEEN 1 AND 3").test({"a": 5})
+
+    def test_true_false_literals(self):
+        assert isinstance(parse_where("TRUE"), TrueP)
+        assert parse_where("disabled = FALSE").test({"disabled": False})
+
+    def test_string_literal_with_escaped_quote(self):
+        pred = parse_where("name = 'O''Brien'")
+        assert pred.test({"name": "O'Brien"})
+
+    def test_arithmetic(self):
+        assert parse_where("a + 1 = 3").test({"a": 2})
+        assert parse_where("a * 2 > b").test({"a": 3, "b": 5})
+        assert parse_where("-a = 0 - 2").test({"a": 2})
+
+    def test_qualified_column_stripped(self):
+        pred = parse_where("Review.contactId = 5")
+        assert pred.test({"contactId": 5})
+
+    def test_numbers(self):
+        assert parse_where("a = 2.5").test({"a": 2.5})
+        assert parse_where("a = .5").test({"a": 0.5})
+
+    def test_predicate_passthrough(self):
+        pred = parse_where("a = 1")
+        assert parse_where(pred) is pred
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_where("a = 1 garbage extra")
+
+    def test_unterminated_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_where("(a = 1")
+
+    def test_bare_expression_rejected(self):
+        with pytest.raises(ParseError):
+            parse_where("a +")
+
+    def test_unexpected_character_rejected(self):
+        with pytest.raises(ParseError):
+            parse_where("a = #")
+
+    def test_nested_logic(self):
+        pred = parse_where(
+            "(a = 1 AND NOT (b IS NULL OR c IN (1,2))) OR d LIKE 'x_%'"
+        )
+        assert pred.test({"a": 1, "b": 2, "c": 3, "d": "nah"})
+        assert pred.test({"a": 0, "b": None, "c": 1, "d": "xy!"})
+
+
+class TestParseCreateTable:
+    def test_basic_table(self):
+        table = parse_create_table(
+            "CREATE TABLE t (id INT PRIMARY KEY, name TEXT NOT NULL)"
+        )
+        assert table.name == "t"
+        assert table.primary_key == "id"
+        assert not table.column("id").nullable
+        assert not table.column("name").nullable
+
+    def test_inline_references(self):
+        table = parse_create_table(
+            "CREATE TABLE t (id INT PRIMARY KEY, "
+            "uid INT REFERENCES users(id) ON DELETE CASCADE)"
+        )
+        fk = table.foreign_key_for("uid")
+        assert fk.parent_table == "users"
+        assert fk.on_delete is FKAction.CASCADE
+
+    def test_set_null_action(self):
+        table = parse_create_table(
+            "CREATE TABLE t (id INT PRIMARY KEY, "
+            "uid INT REFERENCES users(id) ON DELETE SET NULL)"
+        )
+        assert table.foreign_key_for("uid").on_delete is FKAction.SET_NULL
+
+    def test_default_action_is_restrict(self):
+        table = parse_create_table(
+            "CREATE TABLE t (id INT PRIMARY KEY, uid INT REFERENCES users(id))"
+        )
+        assert table.foreign_key_for("uid").on_delete is FKAction.RESTRICT
+
+    def test_table_level_clauses(self):
+        table = parse_create_table(
+            "CREATE TABLE t (id INT, uid INT, PRIMARY KEY (id), "
+            "FOREIGN KEY (uid) REFERENCES users(id) ON DELETE CASCADE)"
+        )
+        assert table.primary_key == "id"
+        assert table.foreign_key_for("uid").on_delete is FKAction.CASCADE
+
+    def test_defaults(self):
+        table = parse_create_table(
+            "CREATE TABLE t (id INT PRIMARY KEY, n INT DEFAULT 5, "
+            "s TEXT DEFAULT 'hi', f REAL DEFAULT 0.5, b BOOL DEFAULT TRUE)"
+        )
+        assert table.column("n").default == 5
+        assert table.column("s").default == "hi"
+        assert table.column("f").default == 0.5
+        assert table.column("b").default is True
+
+    def test_pii_marker(self):
+        table = parse_create_table(
+            "CREATE TABLE t (id INT PRIMARY KEY, email TEXT PII)"
+        )
+        assert table.column("email").pii
+        assert not table.column("id").pii
+
+    def test_varchar_length(self):
+        table = parse_create_table(
+            "CREATE TABLE t (id INT PRIMARY KEY, s VARCHAR(255))"
+        )
+        assert table.column("s").ctype is T.TEXT
+
+    def test_no_primary_key_rejected(self):
+        with pytest.raises(ParseError):
+            parse_create_table("CREATE TABLE t (a INT)")
+
+    def test_two_primary_keys_rejected(self):
+        with pytest.raises(ParseError):
+            parse_create_table(
+                "CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)"
+            )
+
+    def test_not_create_table_rejected(self):
+        with pytest.raises(ParseError):
+            parse_create_table("DROP TABLE t")
+
+
+class TestParseSchema:
+    def test_multiple_statements_and_comments(self):
+        tables = parse_schema(
+            """
+            -- users come first
+            CREATE TABLE users (id INT PRIMARY KEY, name TEXT);
+            CREATE TABLE posts (
+              id INT PRIMARY KEY,
+              uid INT NOT NULL REFERENCES users(id) -- author
+            );
+            """
+        )
+        assert [t.name for t in tables] == ["users", "posts"]
+
+    def test_semicolon_inside_string_default(self):
+        tables = parse_schema(
+            "CREATE TABLE t (id INT PRIMARY KEY, s TEXT DEFAULT 'a;b');"
+        )
+        assert tables[0].column("s").default == "a;b"

@@ -1,0 +1,191 @@
+"""Unit tests for table storage, indexes, and index-accelerated scans."""
+
+import pytest
+
+from repro.errors import ConstraintError, NoSuchRowError, UnknownColumnError
+from repro.storage.index import HashIndex, UniqueIndex
+from repro.storage.predicate import column_equals, column_equals_param
+from repro.storage.schema import Column, ForeignKey, TableSchema
+from repro.storage.sql import parse_where
+from repro.storage.table import Table
+from repro.storage.types import ColumnType as T
+
+
+def make_table() -> Table:
+    schema = TableSchema(
+        "posts",
+        [
+            Column("id", T.INTEGER, nullable=False),
+            Column("uid", T.INTEGER),
+            Column("title", T.TEXT),
+            Column("score", T.INTEGER, default=0),
+        ],
+        primary_key="id",
+        foreign_keys=[ForeignKey("uid", "users", "id")],
+    )
+    return Table(schema)
+
+
+class TestIndexes:
+    def test_hash_index_basics(self):
+        index = HashIndex("uid")
+        index.insert(1, 10)
+        index.insert(1, 11)
+        index.insert(2, 12)
+        assert index.lookup(1) == {10, 11}
+        assert index.lookup(9) == frozenset()
+        index.remove(1, 10)
+        assert index.lookup(1) == {11}
+        assert len(index) == 2
+
+    def test_hash_index_remove_last_clears_bucket(self):
+        index = HashIndex("uid")
+        index.insert(1, 10)
+        index.remove(1, 10)
+        assert list(index.values()) == []
+
+    def test_unique_index_rejects_duplicates(self):
+        index = UniqueIndex("id")
+        index.insert(1, 10)
+        with pytest.raises(ConstraintError):
+            index.insert(1, 11)
+        assert index.lookup(1) == 10
+        assert 1 in index
+
+    def test_unique_index_remove_checks_rid(self):
+        index = UniqueIndex("id")
+        index.insert(1, 10)
+        index.remove(1, 99)  # wrong rid: no-op
+        assert index.lookup(1) == 10
+        index.remove(1, 10)
+        assert index.lookup(1) is None
+
+
+class TestTableMutation:
+    def test_insert_and_get(self):
+        table = make_table()
+        table.insert({"id": 1, "uid": 7, "title": "a"})
+        row = table.get(1)
+        assert row == {"id": 1, "uid": 7, "title": "a", "score": 0}
+        assert table.get(99) is None
+        assert len(table) == 1
+
+    def test_insert_duplicate_pk_rejected(self):
+        table = make_table()
+        table.insert({"id": 1})
+        with pytest.raises(ConstraintError):
+            table.insert({"id": 1})
+
+    def test_rows_are_copies(self):
+        table = make_table()
+        table.insert({"id": 1, "title": "a"})
+        row = table.get(1)
+        row["title"] = "mutated"
+        assert table.get(1)["title"] == "a"
+
+    def test_delete(self):
+        table = make_table()
+        table.insert({"id": 1, "uid": 7})
+        old = table.delete_by_pk(1)
+        assert old["uid"] == 7
+        assert table.get(1) is None
+        with pytest.raises(NoSuchRowError):
+            table.delete_by_pk(1)
+
+    def test_update(self):
+        table = make_table()
+        table.insert({"id": 1, "uid": 7, "title": "a"})
+        old, new = table.update_by_pk(1, {"title": "b"})
+        assert old["title"] == "a" and new["title"] == "b"
+        assert table.get(1)["title"] == "b"
+
+    def test_update_unknown_column_rejected(self):
+        table = make_table()
+        table.insert({"id": 1})
+        with pytest.raises(UnknownColumnError):
+            table.update_by_pk(1, {"ghost": 1})
+
+    def test_update_pk_change_reindexes(self):
+        table = make_table()
+        table.insert({"id": 1, "uid": 7})
+        table.update_by_pk(1, {"id": 2})
+        assert table.get(1) is None
+        assert table.get(2)["uid"] == 7
+
+    def test_update_pk_collision_rejected(self):
+        table = make_table()
+        table.insert({"id": 1})
+        table.insert({"id": 2})
+        with pytest.raises(ConstraintError):
+            table.update_by_pk(1, {"id": 2})
+
+    def test_fk_index_maintained_through_updates(self):
+        table = make_table()
+        table.insert({"id": 1, "uid": 7})
+        table.insert({"id": 2, "uid": 7})
+        assert [r["id"] for r in table.referencing_rows("uid", 7)] == [1, 2]
+        table.update_by_pk(1, {"uid": 8})
+        assert [r["id"] for r in table.referencing_rows("uid", 7)] == [2]
+        table.delete_by_pk(2)
+        assert table.referencing_rows("uid", 7) == []
+
+
+class TestScan:
+    def test_scan_all(self):
+        table = make_table()
+        for i in range(5):
+            table.insert({"id": i, "uid": i % 2})
+        assert len(table.scan()) == 5
+
+    def test_scan_with_predicate(self):
+        table = make_table()
+        for i in range(6):
+            table.insert({"id": i, "uid": i % 2, "score": i})
+        rows = table.scan(parse_where("uid = 1 AND score > 2"))
+        assert sorted(r["id"] for r in rows) == [3, 5]
+
+    def test_scan_uses_pk_index(self):
+        table = make_table()
+        for i in range(10):
+            table.insert({"id": i})
+        rows = table.scan(column_equals("id", 4))
+        assert [r["id"] for r in rows] == [4]
+
+    def test_scan_uses_fk_index_with_param(self):
+        table = make_table()
+        for i in range(10):
+            table.insert({"id": i, "uid": i % 3})
+        rows = table.scan(column_equals_param("uid", "UID"), {"UID": 2})
+        assert sorted(r["id"] for r in rows) == [2, 5, 8]
+
+    def test_count(self):
+        table = make_table()
+        for i in range(4):
+            table.insert({"id": i, "uid": 1})
+        assert table.count(column_equals("uid", 1)) == 4
+        assert table.count() == 4
+
+    def test_create_and_drop_secondary_index(self):
+        table = make_table()
+        for i in range(4):
+            table.insert({"id": i, "title": "t" + str(i % 2)})
+        table.create_index("title")
+        assert table.has_indexed("title")
+        rows = table.scan(column_equals("title", "t1"))
+        assert sorted(r["id"] for r in rows) == [1, 3]
+        table.drop_index("title")
+        assert not table.has_indexed("title")
+        # still correct via full scan
+        rows = table.scan(column_equals("title", "t1"))
+        assert sorted(r["id"] for r in rows) == [1, 3]
+
+    def test_create_index_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            make_table().create_index("ghost")
+
+    def test_max_pk(self):
+        table = make_table()
+        assert table.max_pk() is None
+        table.insert({"id": 5})
+        table.insert({"id": 2})
+        assert table.max_pk() == 5

@@ -1,0 +1,106 @@
+"""Unit tests for transactions: undo log, nesting, context manager."""
+
+import pytest
+
+from repro.errors import TransactionError
+
+
+class TestBasicTransactions:
+    def test_rollback_insert(self, blog_db):
+        blog_db.begin()
+        blog_db.insert("users", {"id": 9, "name": "X", "email": "x@x"})
+        blog_db.rollback()
+        assert blog_db.get("users", 9) is None
+
+    def test_rollback_update(self, blog_db):
+        blog_db.begin()
+        blog_db.update_by_pk("users", 1, {"name": "Changed"})
+        blog_db.rollback()
+        assert blog_db.get("users", 1)["name"] == "Ada"
+
+    def test_rollback_delete_restores_row_and_indexes(self, blog_db):
+        blog_db.begin()
+        blog_db.delete("comments", "user_id = 2")
+        blog_db.rollback()
+        assert blog_db.count("comments", "user_id = 2") == 2
+        # index-accelerated lookup still works after restore
+        rows = blog_db.table("comments").referencing_rows("user_id", 2)
+        assert len(rows) == 2
+
+    def test_rollback_cascade_delete(self, blog_db):
+        blog_db.begin()
+        blog_db.delete_by_pk("posts", 11)  # cascades 2 comments
+        blog_db.rollback()
+        assert blog_db.get("posts", 11) is not None
+        assert blog_db.count("comments", "post_id = 11") == 2
+        assert blog_db.check_integrity() == []
+
+    def test_commit_keeps_changes(self, blog_db):
+        blog_db.begin()
+        blog_db.insert("users", {"id": 9, "name": "X", "email": "x@x"})
+        blog_db.commit()
+        assert blog_db.get("users", 9) is not None
+
+    def test_commit_without_begin(self, blog_db):
+        with pytest.raises(TransactionError):
+            blog_db.commit()
+
+    def test_rollback_without_begin(self, blog_db):
+        with pytest.raises(TransactionError):
+            blog_db.rollback()
+
+    def test_in_transaction_flag(self, blog_db):
+        assert not blog_db.in_transaction
+        blog_db.begin()
+        assert blog_db.in_transaction
+        blog_db.commit()
+        assert not blog_db.in_transaction
+
+
+class TestNestedTransactions:
+    def test_inner_rollback_keeps_outer(self, blog_db):
+        blog_db.begin()
+        blog_db.insert("users", {"id": 8, "name": "Outer", "email": "o@x"})
+        blog_db.begin()
+        blog_db.insert("users", {"id": 9, "name": "Inner", "email": "i@x"})
+        blog_db.rollback()  # inner only
+        assert blog_db.get("users", 9) is None
+        assert blog_db.get("users", 8) is not None
+        blog_db.commit()
+        assert blog_db.get("users", 8) is not None
+
+    def test_outer_rollback_undoes_committed_inner(self, blog_db):
+        blog_db.begin()
+        blog_db.begin()
+        blog_db.insert("users", {"id": 9, "name": "Inner", "email": "i@x"})
+        blog_db.commit()  # merges into outer undo log
+        blog_db.rollback()  # outer
+        assert blog_db.get("users", 9) is None
+
+
+class TestContextManager:
+    def test_commits_on_success(self, blog_db):
+        with blog_db.transaction():
+            blog_db.insert("users", {"id": 9, "name": "X", "email": "x@x"})
+        assert blog_db.get("users", 9) is not None
+
+    def test_rolls_back_on_exception(self, blog_db):
+        with pytest.raises(ValueError):
+            with blog_db.transaction():
+                blog_db.insert("users", {"id": 9, "name": "X", "email": "x@x"})
+                raise ValueError("boom")
+        assert blog_db.get("users", 9) is None
+
+    def test_mixed_operations_restored_in_order(self, blog_db):
+        with pytest.raises(RuntimeError):
+            with blog_db.transaction():
+                blog_db.update_by_pk("posts", 10, {"title": "new"})
+                blog_db.delete("comments", "post_id = 10")
+                blog_db.insert(
+                    "comments", {"id": 200, "post_id": 10, "user_id": 1, "body": "x"}
+                )
+                raise RuntimeError
+        assert blog_db.get("posts", 10)["title"] == "p1"
+        assert blog_db.count("comments", "post_id = 10") == 1
+        assert blog_db.get("comments", 200) is None
+        assert blog_db.check_integrity() == []

@@ -1,0 +1,103 @@
+"""Unit tests for the column type system."""
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.storage.types import ColumnType, coerce, is_comparable, parse_type
+
+
+class TestParseType:
+    def test_canonical_names(self):
+        assert parse_type("INTEGER") is ColumnType.INTEGER
+        assert parse_type("TEXT") is ColumnType.TEXT
+        assert parse_type("BOOL") is ColumnType.BOOL
+        assert parse_type("REAL") is ColumnType.REAL
+        assert parse_type("DATETIME") is ColumnType.DATETIME
+        assert parse_type("BLOB") is ColumnType.BLOB
+
+    def test_aliases(self):
+        assert parse_type("INT") is ColumnType.INTEGER
+        assert parse_type("BIGINT") is ColumnType.INTEGER
+        assert parse_type("VARCHAR") is ColumnType.TEXT
+        assert parse_type("DOUBLE") is ColumnType.REAL
+        assert parse_type("BOOLEAN") is ColumnType.BOOL
+        assert parse_type("TIMESTAMP") is ColumnType.DATETIME
+
+    def test_length_suffix_ignored(self):
+        assert parse_type("VARCHAR(255)") is ColumnType.TEXT
+        assert parse_type("CHAR( 8 )") is ColumnType.TEXT
+
+    def test_case_insensitive(self):
+        assert parse_type("int") is ColumnType.INTEGER
+        assert parse_type("Varchar") is ColumnType.TEXT
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeMismatchError):
+            parse_type("GEOMETRY")
+
+
+class TestCoerce:
+    def test_null_passes_all_types(self):
+        for ctype in ColumnType:
+            assert coerce(None, ctype) is None
+
+    def test_integer(self):
+        assert coerce(5, ColumnType.INTEGER) == 5
+        assert coerce(True, ColumnType.INTEGER) == 1
+        assert coerce(5.0, ColumnType.INTEGER) == 5
+
+    def test_integer_rejects_fractional_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(5.5, ColumnType.INTEGER)
+
+    def test_integer_rejects_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("5", ColumnType.INTEGER)
+
+    def test_real_widens_int(self):
+        value = coerce(3, ColumnType.REAL)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_text(self):
+        assert coerce("hi", ColumnType.TEXT) == "hi"
+        with pytest.raises(TypeMismatchError):
+            coerce(5, ColumnType.TEXT)
+
+    def test_bool(self):
+        assert coerce(True, ColumnType.BOOL) is True
+        assert coerce(0, ColumnType.BOOL) is False
+        assert coerce(1, ColumnType.BOOL) is True
+        with pytest.raises(TypeMismatchError):
+            coerce(2, ColumnType.BOOL)
+
+    def test_datetime_accepts_numbers(self):
+        assert coerce(100, ColumnType.DATETIME) == 100.0
+        assert coerce(1.5, ColumnType.DATETIME) == 1.5
+        with pytest.raises(TypeMismatchError):
+            coerce(True, ColumnType.DATETIME)
+
+    def test_blob(self):
+        assert coerce(b"x", ColumnType.BLOB) == b"x"
+        assert coerce(bytearray(b"y"), ColumnType.BLOB) == b"y"
+        with pytest.raises(TypeMismatchError):
+            coerce("not bytes", ColumnType.BLOB)
+
+
+class TestIsComparable:
+    def test_numbers_compare(self):
+        assert is_comparable(1, 2.5)
+        assert is_comparable(1.0, 2)
+
+    def test_bools_only_with_bools(self):
+        assert is_comparable(True, False)
+        assert not is_comparable(True, 1)
+        assert not is_comparable(0, False)
+
+    def test_strings(self):
+        assert is_comparable("a", "b")
+        assert not is_comparable("a", 1)
+
+    def test_bytes(self):
+        assert is_comparable(b"a", b"b")
+        assert not is_comparable(b"a", "a")

@@ -1,0 +1,123 @@
+"""Unit tests for the encrypted vault: locking, keys, escrow (paper §4.2)."""
+
+import pytest
+
+from repro.crypto.cipher import SecretKey
+from repro.crypto.threshold import escrow_key
+from repro.errors import CryptoError, VaultError
+from repro.vault.encrypted import EncryptedVault
+from repro.vault.entry import OP_REMOVE, VaultEntry
+from repro.vault.memory_vault import MemoryVault
+
+
+def entry(entry_id=1, owner=19, epoch=1):
+    return VaultEntry(
+        entry_id=entry_id,
+        disguise_id=1,
+        seq=entry_id,
+        epoch=epoch,
+        owner=owner,
+        table="users",
+        pk=owner,
+        op=OP_REMOVE,
+        payload={"row": {"id": owner, "name": "Bea"}},
+    )
+
+
+class TestLocking:
+    def test_write_without_unlock_read_requires_approval(self):
+        vault = EncryptedVault(MemoryVault())
+        vault.register_owner(19)
+        vault.put(entry())  # the tool writes while disguising
+        with pytest.raises(VaultError):
+            vault.entries_for(19)  # reading needs user approval
+
+    def test_unlock_allows_read(self):
+        vault = EncryptedVault(MemoryVault())
+        key = vault.register_owner(19)
+        vault.put(entry())
+        vault.unlock(19, key)
+        entries = vault.entries_for(19)
+        assert entries[0].removed_row["name"] == "Bea"
+
+    def test_lock_again(self):
+        vault = EncryptedVault(MemoryVault())
+        key = vault.register_owner(19)
+        vault.put(entry())
+        vault.unlock(19, key)
+        vault.lock(19)
+        assert not vault.is_unlocked(19)
+        with pytest.raises(VaultError):
+            vault.entries_for(19)
+
+    def test_wrong_key_detected_via_authentication(self):
+        vault = EncryptedVault(MemoryVault())
+        vault.register_owner(19)
+        vault.put(entry())
+        vault.unlock(19, SecretKey.generate())
+        with pytest.raises(CryptoError):
+            vault.entries_for(19)
+
+    def test_unregistered_owner_cannot_write(self):
+        vault = EncryptedVault(MemoryVault())
+        with pytest.raises(VaultError):
+            vault.put(entry())
+
+    def test_global_tier_not_encrypted(self):
+        vault = EncryptedVault(MemoryVault())
+        vault.put(entry(owner=None))
+        assert vault.entries_for(None)[0].removed_row["name"] == "Bea"
+        with pytest.raises(VaultError):
+            vault.register_owner(None)
+
+    def test_payload_is_sealed_at_rest(self):
+        inner = MemoryVault()
+        vault = EncryptedVault(inner)
+        vault.register_owner(19)
+        vault.put(entry())
+        stored = inner._entries(19)[0]
+        assert "row" not in stored.payload
+        assert "Bea" not in stored.to_json()
+
+
+class TestEscrow:
+    def test_unlock_via_escrow(self):
+        vault = EncryptedVault(MemoryVault())
+        key = SecretKey.generate()
+        vault.register_owner(19, key=key, escrow=escrow_key(key))
+        vault.put(entry())
+        vault.lock(19)
+        vault.unlock_via_escrow(19, "app", "third_party")
+        assert vault.entries_for(19)[0].removed_row["id"] == 19
+
+    def test_escrow_below_threshold_fails(self):
+        vault = EncryptedVault(MemoryVault())
+        key = SecretKey.generate()
+        vault.register_owner(19, key=key, escrow=escrow_key(key))
+        with pytest.raises(CryptoError):
+            vault.unlock_via_escrow(19, "app")
+
+    def test_no_escrow_registered(self):
+        vault = EncryptedVault(MemoryVault())
+        vault.register_owner(19)
+        with pytest.raises(VaultError):
+            vault.unlock_via_escrow(19, "app", "third_party")
+
+
+class TestMetadataOperations:
+    def test_expiry_without_unlock(self):
+        vault = EncryptedVault(MemoryVault())
+        vault.register_owner(19)
+        vault.put(entry(1, epoch=1))
+        vault.put(entry(2, epoch=9))
+        assert vault.expire_before(5) == 1
+        assert vault.size() == 1
+
+    def test_all_entries_blocked_while_locked(self):
+        # The paper's point: complete reversal of a global disguise under
+        # per-user encrypted vaults is infeasible without every user's key.
+        vault = EncryptedVault(MemoryVault())
+        vault.register_owner(19)
+        vault.put(entry())
+        with pytest.raises(VaultError):
+            vault.all_entries()

@@ -1,0 +1,78 @@
+"""Unit tests for vault entries and their serialization."""
+
+import pytest
+
+from repro.errors import VaultError
+from repro.vault.entry import OP_DECORRELATE, OP_MODIFY, OP_REMOVE, VaultEntry
+
+
+def remove_entry(**overrides) -> VaultEntry:
+    fields = dict(
+        entry_id=1,
+        disguise_id=10,
+        seq=5,
+        epoch=10,
+        owner=19,
+        table="users",
+        pk=19,
+        op=OP_REMOVE,
+        payload={"row": {"id": 19, "name": "Bea", "blob": b"\x01\x02"}},
+    )
+    fields.update(overrides)
+    return VaultEntry(**fields)
+
+
+class TestConstruction:
+    def test_unknown_op_rejected(self):
+        with pytest.raises(VaultError):
+            remove_entry(op="explode")
+
+    def test_accessors(self):
+        entry = remove_entry()
+        assert entry.removed_row["name"] == "Bea"
+        decorrelate = VaultEntry(
+            2, 10, 6, 10, 19, "posts", 7, OP_DECORRELATE,
+            {"column": "uid", "old": 19, "new": 295,
+             "placeholder_table": "users", "placeholder_pk": 295},
+        )
+        assert decorrelate.column == "uid"
+        assert decorrelate.old_value == 19
+        assert decorrelate.new_value == 295
+        assert decorrelate.placeholder_table == "users"
+        assert decorrelate.placeholder_pk == 295
+
+    def test_with_payload_updates_seq_and_fields(self):
+        entry = VaultEntry(
+            2, 10, 6, 10, 19, "posts", 7, OP_DECORRELATE,
+            {"column": "uid", "old": 19, "new": 295,
+             "placeholder_table": "users", "placeholder_pk": 295},
+        )
+        updated = entry.with_payload(99, old=295, new=400, placeholder_pk=400)
+        assert updated.seq == 99
+        assert updated.old_value == 295 and updated.new_value == 400
+        assert updated.entry_id == entry.entry_id
+        # original unchanged (frozen)
+        assert entry.old_value == 19
+
+
+class TestSerialization:
+    def test_round_trip_with_bytes(self):
+        entry = remove_entry()
+        restored = VaultEntry.from_json(entry.to_json())
+        assert restored == entry
+        assert restored.removed_row["blob"] == b"\x01\x02"
+
+    def test_modify_round_trip(self):
+        entry = VaultEntry(
+            3, 11, 7, 11, None, "users", 5, OP_MODIFY,
+            {"column": "name", "old": "Bea", "new": None},
+        )
+        assert VaultEntry.from_json(entry.to_json()) == entry
+
+    def test_corrupt_json_rejected(self):
+        with pytest.raises(VaultError):
+            VaultEntry.from_json("{broken")
+
+    def test_none_owner_round_trips(self):
+        entry = remove_entry(owner=None)
+        assert VaultEntry.from_json(entry.to_json()).owner is None

@@ -1,0 +1,108 @@
+"""Unit tests for the two-tier vault deployment (paper §4.2)."""
+
+import pytest
+
+from repro.errors import VaultError
+from repro.vault.encrypted import EncryptedVault
+from repro.vault.entry import OP_MODIFY, VaultEntry
+from repro.vault.memory_vault import MemoryVault
+from repro.vault.multitier import MultiTierVault
+
+
+def entry(entry_id, disguise_id, owner=19):
+    return VaultEntry(
+        entry_id=entry_id,
+        disguise_id=disguise_id,
+        seq=entry_id,
+        epoch=disguise_id,
+        owner=owner,
+        table="users",
+        pk=owner,
+        op=OP_MODIFY,
+        payload={"column": "name", "old": "Bea", "new": None},
+    )
+
+
+class TestRouting:
+    def test_user_invoked_goes_to_user_tier(self):
+        user_tier, shared_tier = MemoryVault(), MemoryVault()
+        vault = MultiTierVault(user_tier, shared_tier)
+        vault.note_disguise(1, user_invoked=True)
+        vault.put(entry(1, disguise_id=1))
+        assert len(user_tier._entries(19)) == 1
+        assert shared_tier._entries(19) == []
+
+    def test_automatic_goes_to_shared_tier(self):
+        user_tier, shared_tier = MemoryVault(), MemoryVault()
+        vault = MultiTierVault(user_tier, shared_tier)
+        vault.note_disguise(2, user_invoked=False)
+        vault.put(entry(1, disguise_id=2))
+        assert user_tier._entries(19) == []
+        assert len(shared_tier._entries(19)) == 1
+
+    def test_unannounced_disguise_defaults_to_shared(self):
+        user_tier, shared_tier = MemoryVault(), MemoryVault()
+        vault = MultiTierVault(user_tier, shared_tier)
+        vault.put(entry(1, disguise_id=99))
+        assert len(shared_tier._entries(19)) == 1
+
+    def test_reads_merge_tiers(self):
+        vault = MultiTierVault(MemoryVault(), MemoryVault())
+        vault.note_disguise(1, user_invoked=True)
+        vault.note_disguise(2, user_invoked=False)
+        vault.put(entry(1, disguise_id=1))
+        vault.put(entry(2, disguise_id=2))
+        assert [e.entry_id for e in vault.entries_for(19)] == [1, 2]
+
+    def test_shared_entries_for_skips_user_tier(self):
+        vault = MultiTierVault(MemoryVault(), MemoryVault())
+        vault.note_disguise(1, user_invoked=True)
+        vault.note_disguise(2, user_invoked=False)
+        vault.put(entry(1, disguise_id=1))
+        vault.put(entry(2, disguise_id=2))
+        shared = vault.shared_entries_for(19)
+        assert [e.entry_id for e in shared] == [2]
+
+    def test_delete_spans_tiers(self):
+        vault = MultiTierVault(MemoryVault(), MemoryVault())
+        vault.note_disguise(1, user_invoked=True)
+        vault.put(entry(1, disguise_id=1))
+        vault.note_disguise(2, user_invoked=False)
+        vault.put(entry(2, disguise_id=2))
+        assert vault.delete(19, [1, 2]) == 2
+        assert vault.entries_for(19) == []
+
+    def test_owners_merged(self):
+        vault = MultiTierVault(MemoryVault(), MemoryVault())
+        vault.note_disguise(1, user_invoked=True)
+        vault.put(entry(1, disguise_id=1, owner=19))
+        vault.put(entry(2, disguise_id=99, owner=20))
+        assert set(vault.owners()) == {19, 20}
+
+
+class TestPaperDeployment:
+    """The §4.2 sketch: shared tier plain, user tier encrypted."""
+
+    def make(self):
+        user_tier = EncryptedVault(MemoryVault())
+        shared_tier = MemoryVault()
+        vault = MultiTierVault(user_tier, shared_tier)
+        return vault, user_tier
+
+    def test_composition_data_readable_without_keys(self):
+        vault, _ = self.make()
+        vault.note_disguise(1, user_invoked=False)  # e.g. ConfAnon
+        vault.put(entry(1, disguise_id=1))
+        # The disguising tool can read ConfAnon's reveal functions for this
+        # owner without any user approval:
+        assert len(vault.shared_entries_for(19)) == 1
+
+    def test_user_disguise_data_needs_unlock(self):
+        vault, user_tier = self.make()
+        key = user_tier.register_owner(19)
+        vault.note_disguise(2, user_invoked=True)  # e.g. GDPR
+        vault.put(entry(1, disguise_id=2))
+        with pytest.raises(VaultError):
+            vault.entries_for(19)
+        user_tier.unlock(19, key)
+        assert len(vault.entries_for(19)) == 1

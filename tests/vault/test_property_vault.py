@@ -1,0 +1,91 @@
+"""Property tests: vault entries round-trip through every representation."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.vault.entry import OP_DECORRELATE, OP_MODIFY, OP_REMOVE, VaultEntry
+
+values = st.one_of(
+    st.none(),
+    st.integers(-10**6, 10**6),
+    st.text(max_size=30),
+    st.booleans(),
+    st.binary(max_size=16),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+
+rows = st.dictionaries(
+    st.text(alphabet="abcdefgh_", min_size=1, max_size=8), values, max_size=6
+)
+
+
+def entries():
+    remove = st.builds(
+        lambda eid, did, seq, owner, row: VaultEntry(
+            eid, did, seq, did, owner, "t", eid, OP_REMOVE, {"row": row}
+        ),
+        st.integers(1, 10**6), st.integers(1, 100), st.integers(1, 10**6),
+        st.one_of(st.none(), st.integers(1, 1000), st.text(min_size=1, max_size=8)),
+        rows,
+    )
+    modify = st.builds(
+        lambda eid, did, seq, owner, old, new: VaultEntry(
+            eid, did, seq, did, owner, "t", eid, OP_MODIFY,
+            {"column": "c", "old": old, "new": new},
+        ),
+        st.integers(1, 10**6), st.integers(1, 100), st.integers(1, 10**6),
+        st.one_of(st.none(), st.integers(1, 1000)), values, values,
+    )
+    decorrelate = st.builds(
+        lambda eid, did, seq, owner, old, new: VaultEntry(
+            eid, did, seq, did, owner, "t", eid, OP_DECORRELATE,
+            {"column": "c", "old": old, "new": new,
+             "placeholder_table": "p", "placeholder_pk": new},
+        ),
+        st.integers(1, 10**6), st.integers(1, 100), st.integers(1, 10**6),
+        st.one_of(st.none(), st.integers(1, 1000)),
+        st.integers(1, 1000), st.integers(1, 1000),
+    )
+    return st.one_of(remove, modify, decorrelate)
+
+
+@settings(max_examples=120)
+@given(entry=entries())
+def test_json_round_trip(entry):
+    assert VaultEntry.from_json(entry.to_json()) == entry
+
+
+@settings(max_examples=60)
+@given(entry=entries())
+def test_memory_store_round_trip(entry):
+    from repro.vault.memory_vault import MemoryVault
+
+    vault = MemoryVault()
+    vault.put(entry)
+    assert vault.entries_for(entry.owner) == [entry]
+
+
+@settings(max_examples=40)
+@given(entry=entries())
+def test_file_store_round_trip(entry, tmp_path_factory):
+    from repro.vault.file_vault import FileVault
+
+    # avoid path-hostile owners for the file store
+    if isinstance(entry.owner, str) and (entry.owner.startswith(".") or "/" in entry.owner):
+        return
+    vault = FileVault(tmp_path_factory.mktemp("v"))
+    vault.put(entry)
+    assert vault.entries_for(entry.owner) == [entry]
+
+
+@settings(max_examples=40)
+@given(entry=entries())
+def test_encrypted_store_round_trip(entry):
+    from repro.vault.encrypted import EncryptedVault
+    from repro.vault.memory_vault import MemoryVault
+
+    vault = EncryptedVault(MemoryVault())
+    if entry.owner is not None:
+        key = vault.register_owner(entry.owner)
+        vault.unlock(entry.owner, key)
+    vault.put(entry)
+    assert vault.entries_for(entry.owner) == [entry]

@@ -1,0 +1,56 @@
+"""Vault statistics accounting and epoch-boundary expiry."""
+
+from repro.vault.base import VaultStats
+from repro.vault.entry import OP_MODIFY, VaultEntry
+from repro.vault.memory_vault import MemoryVault
+
+
+def entry(entry_id, epoch, owner=1):
+    return VaultEntry(
+        entry_id=entry_id, disguise_id=epoch, seq=entry_id, epoch=epoch,
+        owner=owner, table="t", pk=1, op=OP_MODIFY,
+        payload={"column": "c", "old": 1, "new": 2},
+    )
+
+
+class TestVaultStats:
+    def test_delta_and_total(self):
+        stats = VaultStats(reads=5, writes=3, deletes=1)
+        before = stats.snapshot()
+        stats.reads += 2
+        stats.writes += 1
+        delta = stats.delta(before)
+        assert (delta.reads, delta.writes, delta.deletes) == (2, 1, 0)
+        assert delta.total == 3
+
+    def test_store_counters(self):
+        vault = MemoryVault()
+        vault.put(entry(1, 1))
+        vault.entries_for(1)
+        vault.replace(entry(1, 1))
+        vault.delete(1, [1])
+        assert vault.stats.writes == 2
+        assert vault.stats.reads == 1
+        assert vault.stats.deletes == 1
+
+
+class TestExpiryBoundaries:
+    def test_strictly_before_epoch(self):
+        vault = MemoryVault()
+        vault.put(entry(1, epoch=5))
+        vault.put(entry(2, epoch=6))
+        # epoch 5 is NOT < 5: survives
+        assert vault.expire_before(5) == 0
+        assert vault.expire_before(6) == 1
+        assert [e.entry_id for e in vault.entries_for(1)] == [2]
+
+    def test_expire_spans_owners_and_global(self):
+        vault = MemoryVault()
+        vault.put(entry(1, epoch=1, owner=1))
+        vault.put(entry(2, epoch=1, owner=2))
+        vault.put(entry(3, epoch=1, owner=None))
+        assert vault.expire_before(9) == 3
+        assert vault.size() == 0
+
+    def test_expire_empty_vault(self):
+        assert MemoryVault().expire_before(100) == 0

@@ -1,0 +1,163 @@
+"""Shared behavioural tests across all vault store implementations.
+
+Every deployment model (memory, per-user DB tables, files, encrypted,
+multi-tier) must satisfy the same contract: put/replace/delete/filter,
+seq-ordered reads, owner isolation, and epoch-based expiry.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.cipher import SecretKey
+from repro.errors import VaultError
+from repro.storage.database import Database
+from repro.vault.base import VaultStore
+from repro.vault.encrypted import EncryptedVault
+from repro.vault.entry import OP_DECORRELATE, OP_MODIFY, OP_REMOVE, VaultEntry
+from repro.vault.file_vault import FileVault
+from repro.vault.memory_vault import MemoryVault
+from repro.vault.multitier import MultiTierVault
+from repro.vault.table_vault import TableVault
+
+
+def entry(entry_id, owner=19, disguise_id=1, seq=None, epoch=None, table="users", op=OP_REMOVE):
+    payloads = {
+        OP_REMOVE: {"row": {"id": owner}},
+        OP_MODIFY: {"column": "c", "old": 1, "new": 2},
+        OP_DECORRELATE: {
+            "column": "c", "old": 1, "new": 2,
+            "placeholder_table": "users", "placeholder_pk": 2,
+        },
+    }
+    return VaultEntry(
+        entry_id=entry_id,
+        disguise_id=disguise_id,
+        seq=seq if seq is not None else entry_id,
+        epoch=epoch if epoch is not None else disguise_id,
+        owner=owner,
+        table=table,
+        pk=owner,
+        op=op,
+        payload=payloads[op],
+    )
+
+
+def make_store(kind: str, tmp_path) -> VaultStore:
+    if kind == "memory":
+        return MemoryVault()
+    if kind == "table":
+        return TableVault()
+    if kind == "table-shared":
+        return TableVault(Database())
+    if kind == "file":
+        return FileVault(tmp_path / "vaults")
+    if kind == "encrypted":
+        store = EncryptedVault(MemoryVault())
+        for owner in (19, 20, 21):
+            store.register_owner(owner)
+            store.unlock(owner, store._keys[owner])
+        return store
+    if kind == "multitier":
+        return MultiTierVault(MemoryVault(), MemoryVault())
+    raise AssertionError(kind)
+
+
+KINDS = ["memory", "table", "table-shared", "file", "encrypted", "multitier"]
+
+
+@pytest.fixture(params=KINDS)
+def store(request, tmp_path) -> VaultStore:
+    return make_store(request.param, tmp_path)
+
+
+class TestStoreContract:
+    def test_put_and_read_back(self, store):
+        store.put(entry(1))
+        store.put(entry(2, op=OP_MODIFY))
+        entries = store.entries_for(19)
+        assert [e.entry_id for e in entries] == [1, 2]
+        assert entries[0].removed_row == {"id": 19}
+
+    def test_duplicate_put_rejected(self, store):
+        store.put(entry(1))
+        with pytest.raises(VaultError):
+            store.put(entry(1))
+
+    def test_owner_isolation(self, store):
+        store.put(entry(1, owner=19))
+        store.put(entry(2, owner=20))
+        assert [e.entry_id for e in store.entries_for(19)] == [1]
+        assert [e.entry_id for e in store.entries_for(20)] == [2]
+        assert store.entries_for(21) == []
+
+    def test_seq_ordering(self, store):
+        store.put(entry(1, seq=30))
+        store.put(entry(2, seq=10))
+        store.put(entry(3, seq=20))
+        assert [e.entry_id for e in store.entries_for(19)] == [2, 3, 1]
+
+    def test_filters(self, store):
+        store.put(entry(1, disguise_id=1, op=OP_REMOVE, table="users"))
+        store.put(entry(2, disguise_id=2, op=OP_MODIFY, table="posts"))
+        store.put(entry(3, disguise_id=2, op=OP_DECORRELATE, table="posts"))
+        assert [e.entry_id for e in store.entries_for(19, disguise_id=2)] == [2, 3]
+        assert [e.entry_id for e in store.entries_for(19, table="users")] == [1]
+        assert [e.entry_id for e in store.entries_for(19, op=OP_DECORRELATE)] == [3]
+        assert [e.entry_id for e in store.entries_for(19, before_epoch=2)] == [1]
+
+    def test_replace(self, store):
+        store.put(entry(1, op=OP_DECORRELATE))
+        updated = store.entries_for(19)[0].with_payload(50, new=99)
+        store.replace(updated)
+        got = store.entries_for(19)[0]
+        assert got.new_value == 99 and got.seq == 50
+
+    def test_replace_missing_rejected(self, store):
+        with pytest.raises(VaultError):
+            store.replace(entry(1))
+
+    def test_delete(self, store):
+        store.put(entry(1))
+        store.put(entry(2))
+        assert store.delete(19, [1, 999]) == 1
+        assert [e.entry_id for e in store.entries_for(19)] == [2]
+
+    def test_owners_listed(self, store):
+        store.put(entry(1, owner=19))
+        store.put(entry(2, owner=20))
+        assert set(store.owners()) >= {19, 20}
+
+    def test_global_vault(self, store):
+        store.put(entry(1, owner=None))
+        assert [e.entry_id for e in store.entries_for(None)] == [1]
+        assert None not in store.owners()
+
+    def test_all_entries_merges_owners(self, store):
+        store.put(entry(1, owner=19, seq=3))
+        store.put(entry(2, owner=20, seq=1))
+        store.put(entry(3, owner=None, seq=2))
+        assert [e.entry_id for e in store.all_entries()] == [2, 3, 1]
+
+    def test_expire_before(self, store):
+        store.put(entry(1, epoch=1))
+        store.put(entry(2, epoch=5))
+        store.put(entry(3, owner=None, epoch=1))
+        dropped = store.expire_before(5)
+        assert dropped == 2
+        assert [e.entry_id for e in store.entries_for(19)] == [2]
+        assert store.entries_for(None) == []
+
+    def test_size(self, store):
+        assert store.size() == 0
+        store.put(entry(1))
+        store.put(entry(2, owner=None))
+        assert store.size() == 2
+
+    def test_stats_counted(self, store):
+        store.put(entry(1))
+        store.entries_for(19)
+        store.delete(19, [1])
+        assert store.stats.writes >= 1
+        assert store.stats.reads >= 1
+        assert store.stats.deletes >= 1
