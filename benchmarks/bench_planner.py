@@ -1,0 +1,308 @@
+"""P — index-aware planning and batched disguise execution.
+
+Two claims from the planner/batching work:
+
+* **Planning** — IN-list and range predicates on indexed columns resolve
+  through index probes instead of full scans: at 10k rows the planned
+  query must examine >=5x fewer rows (and it is also wall-clock faster).
+* **Batching** — a disguise over N affected rows issues O(1) storage
+  *statements* (``db.stats.statements``): the statement count stays flat
+  across N = {10, 100, 1000} while the per-row counters scale linearly.
+
+Run under pytest for the benchmark fixtures, or directly
+(``python benchmarks/bench_planner.py``) to emit ``BENCH_planner.json``
+for CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from conftest import print_line, print_table
+
+from repro import (
+    Database,
+    Decorrelate,
+    Default,
+    Disguiser,
+    DisguiseSpec,
+    FakeName,
+    Remove,
+    Schema,
+    TableDisguise,
+    parse_schema,
+)
+
+# -- Part 1: planner vs full scan ------------------------------------------------
+
+N_ROWS = 10_000
+PREDICATES = [
+    ("in-list", "uid IN (3, 7, 11)"),
+    ("range", "score BETWEEN 9900 AND 9950"),
+]
+
+EVENTS_DDL = """
+CREATE TABLE events (
+  id INT PRIMARY KEY,
+  uid INT NOT NULL,
+  score INT NOT NULL,
+  title TEXT
+);
+"""
+
+
+def events_db(indexed: bool) -> Database:
+    db = Database(Schema(parse_schema(EVENTS_DDL)))
+    db.insert_many(
+        "events",
+        [
+            {"id": i, "uid": i % 100, "score": i, "title": f"event {i}"}
+            for i in range(N_ROWS)
+        ],
+    )
+    if indexed:
+        table = db.table("events")
+        table.create_index("uid")
+        table.create_index("score")
+    return db
+
+
+def run_query(db: Database, where: str, repeats: int = 5):
+    """Returns (result size, rows examined per run, best wall-clock seconds)."""
+    table = db.table("events")
+    rows = db.select("events", where)  # warm the parse cache
+    before = table.rows_examined
+    db.select("events", where)
+    examined = table.rows_examined - before
+    best = min(
+        _timed(lambda: db.select("events", where)) for _ in range(repeats)
+    )
+    return len(rows), examined, best
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def planner_results() -> list[dict]:
+    indexed = events_db(True)
+    full = events_db(False)
+    out = []
+    for name, where in PREDICATES:
+        n_rows, examined_idx, secs_idx = run_query(indexed, where)
+        n_full, examined_full, secs_full = run_query(full, where)
+        assert n_rows == n_full, "plan changed the result set"
+        out.append(
+            {
+                "predicate": name,
+                "where": where,
+                "result_rows": n_rows,
+                "plan": indexed.table("events").last_plan,
+                "rows_examined_indexed": examined_idx,
+                "rows_examined_full_scan": examined_full,
+                "rows_examined_speedup": examined_full / examined_idx,
+                "wall_ms_indexed": secs_idx * 1e3,
+                "wall_ms_full_scan": secs_full * 1e3,
+                "wall_speedup": secs_full / secs_idx,
+            }
+        )
+    return out
+
+
+def bench_planner_predicates(benchmark):
+    """IN-list and range predicates: index probes beat full scans >=5x."""
+    results = planner_results()
+    db = events_db(True)
+    benchmark.pedantic(
+        lambda: [db.select("events", where) for _, where in PREDICATES],
+        rounds=5,
+        iterations=1,
+    )
+    print_table(
+        f"P1: planned vs full scan at {N_ROWS} rows",
+        ["predicate", "plan", "rows", "examined", "full scan", "speedup", "wall"],
+        [
+            [
+                r["predicate"],
+                r["plan"],
+                r["result_rows"],
+                r["rows_examined_indexed"],
+                r["rows_examined_full_scan"],
+                f"{r['rows_examined_speedup']:.0f}x",
+                f"{r['wall_speedup']:.1f}x",
+            ]
+            for r in results
+        ],
+    )
+    for r in results:
+        assert r["rows_examined_speedup"] >= 5.0, (
+            f"{r['predicate']}: examined only "
+            f"{r['rows_examined_speedup']:.1f}x fewer rows"
+        )
+        assert r["wall_speedup"] > 1.0, f"{r['predicate']}: no wall-clock win"
+
+
+# -- Part 2: O(1) statements per disguise ----------------------------------------
+
+BLOG_DDL = """
+CREATE TABLE users (
+  id INT PRIMARY KEY,
+  name TEXT PII,
+  email TEXT PII,
+  disabled BOOL NOT NULL DEFAULT FALSE
+);
+CREATE TABLE posts (
+  id INT PRIMARY KEY,
+  user_id INT NOT NULL REFERENCES users(id),
+  title TEXT NOT NULL,
+  score INT NOT NULL DEFAULT 0
+);
+CREATE TABLE comments (
+  id INT PRIMARY KEY,
+  post_id INT NOT NULL REFERENCES posts(id) ON DELETE CASCADE,
+  user_id INT NOT NULL REFERENCES users(id),
+  body TEXT
+);
+CREATE TABLE follows (
+  id INT PRIMARY KEY,
+  follower_id INT NOT NULL REFERENCES users(id),
+  followee_id INT NOT NULL REFERENCES users(id)
+);
+"""
+
+BATCH_SCALES = (10, 100, 1000)
+SUBJECT = 1
+
+
+def scrub_spec() -> DisguiseSpec:
+    return DisguiseSpec(
+        "BlogScrub",
+        [
+            TableDisguise(
+                "users",
+                transformations=[Remove("id = $UID")],
+                generate_placeholder={
+                    "name": FakeName(),
+                    "email": Default(None),
+                    "disabled": Default(True),
+                },
+            ),
+            TableDisguise(
+                "posts",
+                transformations=[Decorrelate("user_id = $UID", foreign_key="user_id")],
+            ),
+            TableDisguise(
+                "comments",
+                transformations=[Decorrelate("user_id = $UID", foreign_key="user_id")],
+            ),
+            TableDisguise(
+                "follows",
+                transformations=[Remove("follower_id = $UID OR followee_id = $UID")],
+            ),
+        ],
+    )
+
+
+def blog_at(n: int) -> Database:
+    """One target user with *n* posts and *n* comments, plus bystanders."""
+    db = Database(Schema(parse_schema(BLOG_DDL)))
+    db.insert_many(
+        "users",
+        [{"id": uid, "name": f"user {uid}", "email": f"u{uid}@x.io"} for uid in range(1, 6)],
+    )
+    db.insert_many(
+        "posts",
+        # Posts 1..n belong to the subject; a few bystander posts follow.
+        [{"id": i, "user_id": SUBJECT, "title": f"p{i}"} for i in range(1, n + 1)]
+        + [{"id": n + j, "user_id": 2 + j % 3, "title": f"b{j}"} for j in range(1, 6)],
+    )
+    db.insert_many(
+        "comments",
+        [
+            {"id": i, "post_id": n + 1 + i % 5, "user_id": SUBJECT, "body": "hi"}
+            for i in range(1, n + 1)
+        ],
+    )
+    db.insert_many(
+        "follows",
+        [
+            {"id": 1, "follower_id": SUBJECT, "followee_id": 2},
+            {"id": 2, "follower_id": 3, "followee_id": SUBJECT},
+        ],
+    )
+    db.stats.reset()
+    return db
+
+
+def scrub_at(n: int) -> dict:
+    db = blog_at(n)
+    engine = Disguiser(db, seed=7)
+    before = db.stats.snapshot()
+    start = time.perf_counter()
+    report = engine.apply(scrub_spec(), uid=SUBJECT)
+    wall = time.perf_counter() - start
+    delta = db.stats.delta(before)
+    db.check_integrity()
+    return {
+        "n": n,
+        "statements": delta.statements,
+        "row_operations": delta.total,
+        "rows_touched": report.rows_touched,
+        "wall_ms": wall * 1e3,
+    }
+
+
+def batch_results() -> list[dict]:
+    return [scrub_at(n) for n in BATCH_SCALES]
+
+
+def bench_batched_statements(benchmark):
+    """Statement count stays flat while affected rows grow 100x."""
+    results = batch_results()
+    benchmark.pedantic(lambda: scrub_at(BATCH_SCALES[0]), rounds=3, iterations=1)
+    print_table(
+        "P2: statements vs affected rows (BlogScrub)",
+        ["N", "stmts", "row ops", "rows touched", "ms"],
+        [
+            [r["n"], r["statements"], r["row_operations"], r["rows_touched"], f"{r['wall_ms']:.1f}"]
+            for r in results
+        ],
+    )
+    smallest, largest = results[0], results[-1]
+    assert largest["rows_touched"] >= 50 * smallest["rows_touched"] / 10, (
+        "scaling harness broken: rows touched did not grow with N"
+    )
+    # O(1) statements: growing the footprint 100x must not grow the number
+    # of storage statements the disguise issues.
+    assert largest["statements"] == smallest["statements"], (
+        f"statements grew with N: {[r['statements'] for r in results]}"
+    )
+    print_line(
+        f"   {largest['rows_touched']} rows touched in "
+        f"{largest['statements']} statements at N={largest['n']}"
+    )
+
+
+# -- CI smoke mode ---------------------------------------------------------------
+
+
+def main() -> None:
+    payload = {
+        "n_rows": N_ROWS,
+        "planner": planner_results(),
+        "batch": batch_results(),
+    }
+    for r in payload["planner"]:
+        assert r["rows_examined_speedup"] >= 5.0, r
+    stmts = [r["statements"] for r in payload["batch"]]
+    assert len(set(stmts)) == 1, f"statements grew with N: {stmts}"
+    with open("BENCH_planner.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

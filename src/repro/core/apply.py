@@ -129,19 +129,25 @@ class SpecRunner:
             return None
         return owner
 
-    def _vault_entry(
+    def _entry_for(
         self,
         table_disguise: TableDisguise,
         row: Mapping[str, Any],
         op: str,
         payload: dict[str, Any],
         owner: Any = None,
-    ) -> None:
+    ) -> VaultEntry | None:
+        """Build (but do not store) the vault entry for one physical change.
+
+        Entry ids and seqs are allocated at build time, so building entries
+        in row order preserves the per-row sequencing reveal depends on.
+        Returns None when the disguise is irreversible.
+        """
         if not self.reversible:
-            return
+            return None
         table = table_disguise.table if isinstance(table_disguise, TableDisguise) else table_disguise
         pk_col = self.db.table(table).schema.primary_key
-        entry = VaultEntry(
+        return VaultEntry(
             entry_id=self.history.next_entry_id(),
             disguise_id=self.did,
             seq=self.history.next_seq(),
@@ -152,8 +158,25 @@ class SpecRunner:
             op=op,
             payload=payload,
         )
-        self.journal.put(entry)
-        self.report.vault_entries_written += 1
+
+    def _vault_entry(
+        self,
+        table_disguise: TableDisguise,
+        row: Mapping[str, Any],
+        op: str,
+        payload: dict[str, Any],
+        owner: Any = None,
+    ) -> None:
+        entry = self._entry_for(table_disguise, row, op, payload, owner)
+        if entry is not None:
+            self.journal.put(entry)
+            self.report.vault_entries_written += 1
+
+    def _emit(self, entries: list[VaultEntry]) -> None:
+        """Store a batch of vault entries with one vault append."""
+        if entries:
+            self.journal.put_many(entries)
+            self.report.vault_entries_written += len(entries)
 
     # -- transformation execution ---------------------------------------------------
 
@@ -163,21 +186,29 @@ class SpecRunner:
         transformation: Modify,
         restrict: Mapping[str, Iterable[Any]] | None,
     ) -> None:
-        for row in self._select(table_disguise, transformation, restrict):
-            old_value, new_value = self.executor.do_modify(
-                table_disguise.table,
+        rows = self._select(table_disguise, transformation, restrict)
+        if not rows:
+            return
+        new_values = [
+            transformation.fn(row[transformation.column]) for row in rows
+        ]
+        results = self.executor.do_modify_many(
+            table_disguise.table, rows, transformation.column, new_values
+        )
+        self.report.rows_modified += len(rows)
+        entries = []
+        for row, (old_value, new_value) in zip(rows, results):
+            if old_value == new_value:
+                continue  # a no-op rewrite carries nothing to reveal
+            entry = self._entry_for(
+                table_disguise,
                 row,
-                transformation.column,
-                transformation.fn(row[transformation.column]),
+                OP_MODIFY,
+                {"column": transformation.column, "old": old_value, "new": new_value},
             )
-            self.report.rows_modified += 1
-            if old_value != new_value:
-                self._vault_entry(
-                    table_disguise,
-                    row,
-                    OP_MODIFY,
-                    {"column": transformation.column, "old": old_value, "new": new_value},
-                )
+            if entry is not None:
+                entries.append(entry)
+        self._emit(entries)
 
     def _run_decorrelate(
         self,
@@ -199,23 +230,33 @@ class SpecRunner:
                 f"spec {self.spec.name!r} has no placeholder recipe for "
                 f"{fk.parent_table!r}"
             )
-        rows = self._select(table_disguise, transformation, restrict)
-        for row in rows:
-            if row[transformation.foreign_key] is None:
-                continue  # a NULL reference carries no correlation
-            owner = self._owner_for_decorrelate(table_disguise, transformation, row)
-            old_fk, new_fk, placeholder_table, placeholder_pk = (
-                self.executor.do_decorrelate(
-                    table_disguise.table,
-                    row,
-                    transformation.foreign_key,
-                    self.factory,
-                    parent_disguise,
-                )
-            )
-            self.report.rows_decorrelated += 1
-            self.report.placeholders_created += 1
-            self._vault_entry(
+        rows = [
+            row
+            for row in self._select(table_disguise, transformation, restrict)
+            if row[transformation.foreign_key] is not None
+            # a NULL reference carries no correlation
+        ]
+        if not rows:
+            return
+        # Owners are resolved against pre-decorrelation state.
+        owners = [
+            self._owner_for_decorrelate(table_disguise, transformation, row)
+            for row in rows
+        ]
+        results = self.executor.do_decorrelate_many(
+            table_disguise.table,
+            rows,
+            transformation.foreign_key,
+            self.factory,
+            parent_disguise,
+        )
+        self.report.rows_decorrelated += len(rows)
+        self.report.placeholders_created += len(rows)
+        entries = []
+        for row, owner, (old_fk, new_fk, placeholder_table, placeholder_pk) in zip(
+            rows, owners, results
+        ):
+            entry = self._entry_for(
                 table_disguise,
                 row,
                 OP_DECORRELATE,
@@ -228,6 +269,9 @@ class SpecRunner:
                 },
                 owner=owner,
             )
+            if entry is not None:
+                entries.append(entry)
+        self._emit(entries)
 
     def _owner_for_decorrelate(
         self,
@@ -255,44 +299,84 @@ class SpecRunner:
         transformation: Remove,
         restrict: Mapping[str, Iterable[Any]] | None,
     ) -> None:
-        rows = self._select(table_disguise, transformation, restrict)
-        pk_col = self.db.table(table_disguise.table).schema.primary_key
-        for row in rows:
-            if self.db.get(table_disguise.table, row[pk_col]) is None:
-                continue  # already gone via an earlier cascade in this spec
-            self._remove_with_vault(table_disguise, row[pk_col])
-
-    def _remove_with_vault(self, table_disguise: TableDisguise, pk: Any) -> None:
         """Engine-driven removal: every affected row (CASCADE children,
         SET NULL rewrites) gets its own vault entry, so the whole removal
-        is reversible — a raw SQL cascade would silently lose the children."""
-        removal_set = self.executor.collect_removal_set(table_disguise.table, pk)
-        for table, row, action in removal_set:
-            owner = self._owner(table_disguise, row)
+        is reversible — a raw SQL cascade would silently lose the children.
+
+        The combined removal set for all matching rows is collected once
+        (children first, deduplicated across overlapping cascades), then
+        executed as contiguous per-table runs of batched statements.
+        """
+        rows = self._select(table_disguise, transformation, restrict)
+        if not rows:
+            return
+        pk_col = self.db.table(table_disguise.table).schema.primary_key
+        removal_set = self.executor.collect_removal_set_many(
+            table_disguise.table, [row[pk_col] for row in rows]
+        )
+        index = 0
+        while index < len(removal_set):
+            table, _row, action = removal_set[index]
+            end = index
+            while (
+                end < len(removal_set)
+                and removal_set[end][0] == table
+                and removal_set[end][2] == action
+            ):
+                end += 1
+            run = [item[1] for item in removal_set[index:end]]
             if action.startswith("setnull:"):
-                column = action.split(":", 1)[1]
-                old_value, _ = self.executor.do_modify(table, row, column, None)
-                self.report.cascades += 1
-                self._vault_entry(
-                    _proxy_td(table_disguise, table),
-                    row,
-                    OP_MODIFY,
-                    {"column": column, "old": old_value, "new": None},
-                    owner=owner,
+                self._setnull_run(
+                    table_disguise, table, action.split(":", 1)[1], run
                 )
             else:
-                self._vault_entry(
-                    _proxy_td(table_disguise, table),
-                    row,
-                    OP_REMOVE,
-                    {"row": dict(row)},
-                    owner=owner,
-                )
-                pk_col = self.db.table(table).schema.primary_key
-                self.db.delete_by_pk(table, row[pk_col])
-                self.report.rows_removed += 1
-                if table != table_disguise.table:
-                    self.report.cascades += 1
+                self._remove_run(table_disguise, table, run)
+            index = end
+
+    def _setnull_run(
+        self,
+        table_disguise: TableDisguise,
+        table: str,
+        column: str,
+        rows: list[Any],
+    ) -> None:
+        results = self.executor.do_modify_many(
+            table, rows, column, [None] * len(rows)
+        )
+        self.report.cascades += len(rows)
+        entries = []
+        for row, (old_value, _new) in zip(rows, results):
+            entry = self._entry_for(
+                _proxy_td(table_disguise, table),
+                row,
+                OP_MODIFY,
+                {"column": column, "old": old_value, "new": None},
+                owner=self._owner(table_disguise, row),
+            )
+            if entry is not None:
+                entries.append(entry)
+        self._emit(entries)
+
+    def _remove_run(
+        self, table_disguise: TableDisguise, table: str, rows: list[Any]
+    ) -> None:
+        entries = []
+        for row in rows:
+            entry = self._entry_for(
+                _proxy_td(table_disguise, table),
+                row,
+                OP_REMOVE,
+                {"row": dict(row)},
+                owner=self._owner(table_disguise, row),
+            )
+            if entry is not None:
+                entries.append(entry)
+        self._emit(entries)
+        pk_col = self.db.table(table).schema.primary_key
+        self.db.delete_many(table, [row[pk_col] for row in rows])
+        self.report.rows_removed += len(rows)
+        if table != table_disguise.table:
+            self.report.cascades += len(rows)
 
     # -- removal ordering --------------------------------------------------------------
 

@@ -26,6 +26,7 @@ from repro.errors import DisguiseError, SpecError
 from repro.spec.disguise import DisguiseSpec, TableDisguise
 from repro.spec.generate import GenContext
 from repro.storage.database import Database
+from repro.storage.predicate import ColumnRef, InList, Literal
 from repro.storage.schema import FKAction, Schema
 from repro.vault.base import VaultStore
 from repro.vault.entry import OP_DECORRELATE, OP_MODIFY, OP_REMOVE, VaultEntry
@@ -70,6 +71,17 @@ class PlaceholderRegistry:
     def add(self, table: str, pk: Any, disguise_id: int) -> None:
         self.db.insert(
             REGISTRY_TABLE, {"key": self._key(table, pk), "created_by": disguise_id}
+        )
+
+    def add_many(self, table: str, pks: list[Any], disguise_id: int) -> None:
+        if not pks:
+            return
+        self.db.insert_many(
+            REGISTRY_TABLE,
+            [
+                {"key": self._key(table, pk), "created_by": disguise_id}
+                for pk in pks
+            ],
         )
 
     def remove(self, table: str, pk: Any) -> None:
@@ -131,6 +143,44 @@ class PlaceholderFactory:
         self.created += 1
         return stored
 
+    def build_many(
+        self, parent_table: str, table_disguise: TableDisguise, n: int
+    ) -> list[dict[str, Any]]:
+        """Insert *n* fresh placeholders with one batched statement.
+
+        Generator, counter, and id-allocation order match *n* sequential
+        :meth:`build` calls exactly, so placeholder content is identical
+        under a fixed seed — only the number of statements changes.
+        """
+        if n == 0:
+            return []
+        schema = self.db.table(parent_table).schema
+        if not table_disguise.generate_placeholder:
+            raise SpecError(
+                f"no generate_placeholder for table {parent_table!r}; "
+                f"cannot create placeholders"
+            )
+        rows: list[dict[str, Any]] = []
+        for _ in range(n):
+            self.counter += 1
+            row: dict[str, Any] = {
+                schema.primary_key: self.db.next_id(parent_table)
+            }
+            for column_name, generator in table_disguise.generate_placeholder.items():
+                column = schema.column(column_name)
+                ctx = GenContext(rng=self.rng, column=column, counter=self.counter)
+                row[column_name] = generator.generate(ctx)
+            rows.append(row)
+        stored = self.db.insert_many(parent_table, rows)
+        if self.registry is not None:
+            self.registry.add_many(
+                parent_table,
+                [row[schema.primary_key] for row in stored],
+                self.disguise_id,
+            )
+        self.created += n
+        return stored
+
 
 class VaultJournal:
     """Vault writes with compensation, for atomicity with the db transaction.
@@ -155,6 +205,26 @@ class VaultJournal:
         self.writes += 1
         self._undo.append(("put", entry))
         self._adjust(entry.disguise_id, +1)
+
+    def put_many(self, entries: list[VaultEntry]) -> None:
+        # Compensation is registered BEFORE the batch write: a store may
+        # fail partway through the batch, and every _delete implementation
+        # ignores ids that were never written, so over-compensating is safe
+        # while under-compensating would leak orphan entries.
+        if not entries:
+            return
+        for entry in entries:
+            self._undo.append(("put", entry))
+        self.vault.put_many(entries)
+        self.writes += len(entries)
+        # One grouped counter update per disguise, not one per entry; the
+        # deltas are all positive so grouping cannot interact with the
+        # max(0, ...) clamp in adjust_entries.
+        deltas: dict[int, int] = {}
+        for entry in entries:
+            deltas[entry.disguise_id] = deltas.get(entry.disguise_id, 0) + 1
+        for disguise_id, delta in deltas.items():
+            self._adjust(disguise_id, delta)
 
     def replace(self, old: VaultEntry, new: VaultEntry) -> None:
         if old.entry_id != new.entry_id:
@@ -181,6 +251,10 @@ class VaultJournal:
 
     def discard(self) -> None:
         self._undo.clear()
+
+
+def _in_list(column: str, values: list[Any]) -> InList:
+    return InList(ColumnRef(column), tuple(Literal(value) for value in values))
 
 
 @dataclass
@@ -235,6 +309,29 @@ class OpExecutor:
         )
         return old_value, updated[column]
 
+    def do_modify_many(
+        self,
+        table: str,
+        rows: list[Any],
+        column: str,
+        new_values: list[Any],
+    ) -> list[tuple[Any, Any]]:
+        """Rewrite one column on many rows with ONE batched statement.
+
+        Returns ``(old, new)`` per row, as stored.
+        """
+        schema = self.db.table(table).schema
+        pk_col = schema.primary_key
+        updates = [
+            (row[pk_col], {column: value}) for row, value in zip(rows, new_values)
+        ]
+        new_rows = self.db.update_many(
+            table, updates, enforce_fk=not self.defer_fk
+        )
+        return [
+            (row[column], new[column]) for row, new in zip(rows, new_rows)
+        ]
+
     def do_decorrelate(
         self,
         table: str,
@@ -260,6 +357,42 @@ class OpExecutor:
             table, pk, {fk_column: new_fk}, enforce_fk=not self.defer_fk
         )
         return old_fk, new_fk, fk.parent_table, new_fk
+
+    def do_decorrelate_many(
+        self,
+        table: str,
+        rows: list[Any],
+        fk_column: str,
+        factory: PlaceholderFactory,
+        parent_disguise: TableDisguise,
+    ) -> list[tuple[Any, Any, str, Any]]:
+        """Repoint *fk_column* of many rows at fresh placeholders, batched.
+
+        One batched insert creates all placeholders and one batched update
+        repoints all foreign keys; each row still gets its own placeholder
+        (sharing one would re-correlate the rows with each other).
+        """
+        table_schema = self.db.table(table).schema
+        fk = table_schema.foreign_key_for(fk_column)
+        if fk is None:
+            raise SpecError(f"{table}.{fk_column} is not a foreign key")
+        placeholders = factory.build_many(fk.parent_table, parent_disguise, len(rows))
+        parent_pk_col = self.db.table(fk.parent_table).schema.primary_key
+        pk_col = table_schema.primary_key
+        updates = [
+            (row[pk_col], {fk_column: placeholder[parent_pk_col]})
+            for row, placeholder in zip(rows, placeholders)
+        ]
+        self.db.update_many(table, updates, enforce_fk=not self.defer_fk)
+        return [
+            (
+                row[fk_column],
+                placeholder[parent_pk_col],
+                fk.parent_table,
+                placeholder[parent_pk_col],
+            )
+            for row, placeholder in zip(rows, placeholders)
+        ]
 
     def collect_removal_set(self, table: str, pk: Any) -> list[tuple[str, dict[str, Any], str]]:
         """The rows deleting (table, pk) will affect, children first.
@@ -303,11 +436,65 @@ class OpExecutor:
                 # failed to address the child table.
         out.append((table, row, "remove"))
 
+    def collect_removal_set_many(
+        self, table: str, pks: list[Any]
+    ) -> list[tuple[str, Any, str]]:
+        """Removal sets for many roots at once, children first.
+
+        Same contract as :meth:`collect_removal_set`, but the FK graph is
+        walked level-by-level with one IN-list select per referencing table
+        per level (index-accelerated by the planner), so collecting N roots
+        issues O(depth × tables) statements instead of O(N). Rows affected
+        by several roots appear once; all removes of one table are
+        contiguous, which lets the caller batch the deletes.
+        """
+        out: list[tuple[str, Any, str]] = []
+        self._collect_removal_batch(table, pks, out, seen=set())
+        return out
+
+    def _collect_removal_batch(
+        self,
+        table: str,
+        pks: list[Any],
+        out: list[tuple[str, Any, str]],
+        seen: set[tuple[str, Any]],
+    ) -> None:
+        fresh = [pk for pk in pks if (table, pk) not in seen]
+        if not fresh:
+            return
+        seen.update((table, pk) for pk in fresh)
+        pk_col = self.db.table(table).schema.primary_key
+        rows = self.db.select(table, _in_list(pk_col, fresh))
+        if not rows:
+            return
+        live = [row[pk_col] for row in rows]
+        for child_schema, fk in self.schema.referencing(table):
+            child_rows = self.db.select(
+                child_schema.name, _in_list(fk.column, live)
+            )
+            if not child_rows:
+                continue
+            if fk.on_delete is FKAction.CASCADE:
+                self._collect_removal_batch(
+                    child_schema.name,
+                    [row[child_schema.primary_key] for row in child_rows],
+                    out,
+                    seen,
+                )
+            elif fk.on_delete is FKAction.SET_NULL:
+                out.extend(
+                    (child_schema.name, row, f"setnull:{fk.column}")
+                    for row in child_rows
+                )
+        out.extend((table, row, "remove") for row in rows)
+
     def delete_placeholder_if_unreferenced(self, table: str, pk: Any) -> bool:
         """Garbage-collect a placeholder row once nothing points at it."""
         for child_schema, fk in self.schema.referencing(table):
             self.db.stats.selects += 1
-            if self.db.table(child_schema.name).referencing_rows(fk.column, pk):
+            if self.db.table(child_schema.name).referencing_rows(
+                fk.column, pk, sort=False
+            ):
                 return False
         if self.db.get(table, pk) is None:
             return False

@@ -16,7 +16,7 @@ the MySQL backend of the paper's Rust prototype. It provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.errors import (
     ForeignKeyError,
@@ -28,24 +28,30 @@ from repro.storage.predicate import Predicate
 from repro.storage.schema import FKAction, Schema, TableSchema
 from repro.storage.sql import parse_where
 from repro.storage.table import Table
+from repro.storage.types import coerce
 
 __all__ = ["Database", "QueryStats"]
 
 
 @dataclass
 class QueryStats:
-    """Counts of storage statements executed, by kind.
+    """Counts of storage operations executed.
 
-    ``selects`` counts read statements (scans and point lookups);
-    ``inserts`` / ``updates`` / ``deletes`` count write statements. The §6
+    ``selects`` counts read operations (scans and point lookups);
+    ``inserts`` / ``updates`` / ``deletes`` count per-row write operations —
+    a batched statement over N rows adds N to its kind counter, so the §6
     claim "the number of queries ... grows linearly with the number of
-    objects" is checked against ``total``.
+    objects" is still checked against ``total``. ``statements`` counts
+    statement-level API invocations regardless of how many rows each one
+    touched: a disguise that batches its work issues O(1) statements per
+    transformation step, and benchmarks assert that against this counter.
     """
 
     selects: int = 0
     inserts: int = 0
     updates: int = 0
     deletes: int = 0
+    statements: int = 0
 
     @property
     def total(self) -> int:
@@ -56,19 +62,23 @@ class QueryStats:
         return self.inserts + self.updates + self.deletes
 
     def snapshot(self) -> "QueryStats":
-        return QueryStats(self.selects, self.inserts, self.updates, self.deletes)
+        return QueryStats(
+            self.selects, self.inserts, self.updates, self.deletes, self.statements
+        )
 
     def delta(self, since: "QueryStats") -> "QueryStats":
-        """Statement counts accumulated since an earlier snapshot."""
+        """Counts accumulated since an earlier snapshot."""
         return QueryStats(
             self.selects - since.selects,
             self.inserts - since.inserts,
             self.updates - since.updates,
             self.deletes - since.deletes,
+            self.statements - since.statements,
         )
 
     def reset(self) -> None:
         self.selects = self.inserts = self.updates = self.deletes = 0
+        self.statements = 0
 
 
 # One undo-log record: a closure that reverses a single physical change.
@@ -167,14 +177,20 @@ class Database:
         where: str | Predicate | None = None,
         params: Mapping[str, Any] | None = None,
     ) -> list[dict[str, Any]]:
-        """Rows of *table* matching *where* (a WHERE string or Predicate)."""
+        """Rows of *table* matching *where* (a WHERE string or Predicate).
+
+        Returns read-only :class:`~repro.storage.table.RowView` objects;
+        call ``dict(row)`` on one before mutating it.
+        """
         self.stats.selects += 1
+        self.stats.statements += 1
         pred = parse_where(where) if where is not None else None
         return self.table(table).scan(pred, params)
 
     def get(self, table: str, pk_value: Any) -> dict[str, Any] | None:
         """Point lookup by primary key."""
         self.stats.selects += 1
+        self.stats.statements += 1
         return self.table(table).get(pk_value)
 
     def count(
@@ -184,6 +200,7 @@ class Database:
         params: Mapping[str, Any] | None = None,
     ) -> int:
         self.stats.selects += 1
+        self.stats.statements += 1
         pred = parse_where(where) if where is not None else None
         return self.table(table).count(pred, params)
 
@@ -198,6 +215,7 @@ class Database:
         callers re-validate with :meth:`check_row_fks` before committing.
         """
         self.stats.inserts += 1
+        self.stats.statements += 1
         target = self.table(table)
         row = target.schema.normalize_row(values)
         if enforce_fk:
@@ -216,7 +234,12 @@ class Database:
         changes: Mapping[str, Any],
         params: Mapping[str, Any] | None = None,
     ) -> int:
-        """Update all matching rows; returns the number updated."""
+        """Update all matching rows one at a time; returns the number updated.
+
+        Prefer :meth:`update_where` on hot paths — it resolves candidates
+        once and logs a single batched undo record.
+        """
+        self.stats.statements += 1
         target = self.table(table)
         rows = self.select(table, where, params)
         pk_col = target.schema.primary_key
@@ -236,6 +259,7 @@ class Database:
         ``enforce_fk=False`` defers the outgoing-FK check (see
         :meth:`insert` for when the disguising engine needs this).
         """
+        self.stats.statements += 1
         return self._update_one(self.table(table), pk_value, changes, enforce_fk)
 
     def _update_one(
@@ -269,7 +293,12 @@ class Database:
         where: str | Predicate,
         params: Mapping[str, Any] | None = None,
     ) -> int:
-        """Delete all matching rows, honouring FK delete actions."""
+        """Delete all matching rows one at a time, honouring FK actions.
+
+        Prefer :meth:`delete_where` on hot paths — it resolves candidates
+        and incoming references in bulk and logs one batched undo record.
+        """
+        self.stats.statements += 1
         target = self.table(table)
         rows = self.select(table, where, params)
         pk_col = target.schema.primary_key
@@ -296,9 +325,203 @@ class Database:
         if enforce_fk:
             self._resolve_incoming_references(table, pk_value)
         self.stats.deletes += 1
+        self.stats.statements += 1
         old = target.delete_by_pk(pk_value)
         self._log_undo(lambda: target.insert(old))
         return dict(old)
+
+    # -- batched statements ---------------------------------------------------------
+
+    def insert_many(
+        self,
+        table: str,
+        values_list: Iterable[dict[str, Any]],
+        enforce_fk: bool = True,
+    ) -> list[dict[str, Any]]:
+        """Insert many rows as ONE batched statement.
+
+        Outgoing foreign keys are checked once per distinct value (rows in
+        the batch may reference each other for self-referential tables),
+        index maintenance happens per row but validation is done up front,
+        and a single undo record covers the whole batch.
+        """
+        self.stats.statements += 1
+        target = self.table(table)
+        rows = [target.schema.normalize_row(v) for v in values_list]
+        if not rows:
+            return []
+        pk_col = target.schema.primary_key
+        if enforce_fk:
+            batch_pks = {row[pk_col] for row in rows}
+            for fk in target.schema.foreign_keys:
+                distinct = {row[fk.column] for row in rows}
+                distinct.discard(None)
+                if fk.parent_table == table:
+                    distinct -= batch_pks
+                parent = self.table(fk.parent_table)
+                for value in distinct:
+                    if parent.rid_of(value) is None:
+                        raise ForeignKeyError(
+                            f"{table}.{fk.column}={value!r} references missing "
+                            f"{fk.parent_table}.{fk.parent_column}"
+                        )
+        stored = target.insert_rows(rows)
+        self.stats.inserts += len(stored)
+        pks = [row[pk_col] for row in stored]
+        top = max((pk for pk in pks if isinstance(pk, int)), default=0)
+        if top > self._id_watermark.get(table, 0):
+            self._id_watermark[table] = top
+        self._log_undo(lambda: target.delete_pks(pks))
+        return stored
+
+    def update_many(
+        self,
+        table: str,
+        updates: Iterable[tuple[Any, Mapping[str, Any]]],
+        enforce_fk: bool = True,
+    ) -> list[dict[str, Any]]:
+        """Apply many ``(pk, changes)`` updates as ONE batched statement.
+
+        Candidate rids are resolved once, only the indexes of changed
+        columns are maintained, and a single undo record restores all old
+        rows on rollback. Updates that change a primary key fall back to
+        the per-row path (reveal renumbering needs full reference checks).
+        Returns the new rows.
+        """
+        self.stats.statements += 1
+        return self._update_batch(self.table(table), list(updates), enforce_fk)
+
+    def update_where(
+        self,
+        table: str,
+        where: str | Predicate,
+        changes: Mapping[str, Any],
+        params: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Batched ``UPDATE ... WHERE``: plan the predicate once, update all
+        matching rows with grouped index maintenance and one undo record.
+        Returns the number of rows updated.
+        """
+        self.stats.statements += 1
+        self.stats.selects += 1
+        target = self.table(table)
+        views = target.scan(parse_where(where), params)
+        pk_col = target.schema.primary_key
+        updates = [(row[pk_col], changes) for row in views]
+        self._update_batch(target, updates, enforce_fk=True)
+        return len(updates)
+
+    def _update_batch(
+        self,
+        target: Table,
+        updates: list[tuple[Any, Mapping[str, Any]]],
+        enforce_fk: bool = True,
+    ) -> list[dict[str, Any]]:
+        if not updates:
+            return []
+        pk_col = target.schema.primary_key
+        if any(pk_col in ch and ch[pk_col] != pk for pk, ch in updates):
+            return [
+                self._update_one(target, pk, ch, enforce_fk) for pk, ch in updates
+            ]
+        if enforce_fk:
+            for fk in target.schema.foreign_keys:
+                ctype = target.schema.column(fk.column).ctype
+                distinct = set()
+                for _pk, ch in updates:
+                    if fk.column in ch and ch[fk.column] is not None:
+                        distinct.add(coerce(ch[fk.column], ctype))
+                parent = self.table(fk.parent_table)
+                for value in distinct:
+                    if parent.rid_of(value) is None:
+                        raise ForeignKeyError(
+                            f"{target.name}.{fk.column}={value!r} references "
+                            f"missing {fk.parent_table}.{fk.parent_column}"
+                        )
+        pairs = target.update_pks(updates)
+        self.stats.updates += len(pairs)
+        restore = [(old[pk_col], old) for old, _new in pairs]
+        restore.reverse()
+        self._log_undo(lambda: target.update_pks(restore))
+        return [new for _old, new in pairs]
+
+    def delete_many(
+        self, table: str, pk_values: Iterable[Any], enforce_fk: bool = True
+    ) -> int:
+        """Delete many rows by primary key as ONE batched statement.
+
+        Incoming references are resolved in bulk per referencing table
+        (RESTRICT raises, CASCADE recurses batched, SET NULL updates
+        batched) and one undo record reinserts the whole batch on
+        rollback. Returns the number of rows deleted.
+        """
+        self.stats.statements += 1
+        return self._delete_batch(self.table(table), pk_values, enforce_fk)
+
+    def delete_where(
+        self,
+        table: str,
+        where: str | Predicate,
+        params: Mapping[str, Any] | None = None,
+    ) -> int:
+        """Batched ``DELETE ... WHERE``: plan the predicate once, then
+        delete all matching rows via :meth:`delete_many` semantics.
+        """
+        self.stats.statements += 1
+        self.stats.selects += 1
+        target = self.table(table)
+        views = target.scan(parse_where(where), params)
+        pk_col = target.schema.primary_key
+        return self._delete_batch(target, [row[pk_col] for row in views], True)
+
+    def _delete_batch(
+        self, target: Table, pk_values: Iterable[Any], enforce_fk: bool
+    ) -> int:
+        pks = list(dict.fromkeys(pk_values))
+        if not pks:
+            return 0
+        table = target.name
+        for pk in pks:
+            if target.rid_of(pk) is None:
+                from repro.errors import NoSuchRowError
+
+                raise NoSuchRowError(f"{table}: no row with pk {pk!r}")
+        if enforce_fk:
+            doomed = set(pks)
+            for child_schema, fk in self.schema.referencing(table):
+                child = self.table(child_schema.name)
+                self.stats.selects += len(pks)
+                child_pk = child_schema.primary_key
+                hits: list[Any] = []
+                seen: set[Any] = set()
+                for pk in pks:
+                    for row in child.referencing_rows(fk.column, pk, sort=False):
+                        cpk = row[child_pk]
+                        if child_schema.name == table and cpk in doomed:
+                            continue
+                        if cpk not in seen:
+                            seen.add(cpk)
+                            hits.append(cpk)
+                if not hits:
+                    continue
+                if fk.on_delete is FKAction.RESTRICT:
+                    raise ForeignKeyError(
+                        f"cannot delete from {table}: {len(hits)} row(s) of "
+                        f"{child_schema.name}.{fk.column} still reference the "
+                        f"batch (ON DELETE RESTRICT)"
+                    )
+                if fk.on_delete is FKAction.CASCADE:
+                    self._delete_batch(child, hits, True)
+                elif fk.on_delete is FKAction.SET_NULL:
+                    self._update_batch(
+                        child,
+                        [(cpk, {fk.column: None}) for cpk in hits],
+                        enforce_fk=False,
+                    )
+        olds = target.delete_pks(pks)
+        self.stats.deletes += len(olds)
+        self._log_undo(lambda: target.insert_rows(olds))
+        return len(olds)
 
     # -- foreign-key machinery ----------------------------------------------------
 
@@ -319,7 +542,7 @@ class Database:
         """Disallow changing a primary key that other rows still reference."""
         for child_schema, fk in self.schema.referencing(target.name):
             child = self.table(child_schema.name)
-            if child.referencing_rows(fk.column, old_pk):
+            if child.referencing_rows(fk.column, old_pk, sort=False):
                 raise ForeignKeyError(
                     f"cannot change primary key {target.name}.{old_pk!r}: "
                     f"still referenced by {child_schema.name}.{fk.column}"

@@ -1,19 +1,67 @@
-"""Hash indexes over table columns.
+"""Hash indexes over table columns, with a sorted-key range capability.
 
 The engine maintains a unique index on every primary key and non-unique
 indexes on every foreign-key column (so decorrelation's "find all rows
 pointing at user U" scans are O(matches), which is what makes disguise cost
 proportional to the number of affected objects — the §6 linearity claim).
 Additional secondary indexes can be created explicitly.
+
+Both index kinds keep a lazily rebuilt sorted list of their keys so the
+query planner can serve range predicates (``col > v``, ``BETWEEN``) with a
+bisect over the keys instead of a full table scan. The sorted list is
+invalidated whenever the key set changes and rebuilt on the next range
+probe; columns whose keys do not admit a total order (mixed types) simply
+report the range as unplannable and the caller falls back to a scan.
 """
 
 from __future__ import annotations
 
+import bisect
 from typing import Any, Iterable
 
 from repro.errors import ConstraintError
 
 __all__ = ["HashIndex", "UniqueIndex"]
+
+
+class _SortedKeys:
+    """Lazily maintained sorted key list shared by both index kinds."""
+
+    __slots__ = ("_keys", "_dirty")
+
+    def __init__(self) -> None:
+        self._keys: list[Any] | None = None
+        self._dirty = True
+
+    def invalidate(self) -> None:
+        self._dirty = True
+
+    def get(self, live_keys: Iterable[Any]) -> list[Any] | None:
+        """The sorted non-NULL keys, or None when they cannot be ordered."""
+        if self._dirty:
+            try:
+                self._keys = sorted(k for k in live_keys if k is not None)
+            except TypeError:
+                self._keys = None
+            self._dirty = False
+        return self._keys
+
+
+def _keys_in_range(
+    keys: list[Any],
+    lo: Any,
+    hi: Any,
+    lo_incl: bool,
+    hi_incl: bool,
+) -> list[Any]:
+    """Slice of *keys* (sorted) within the [lo, hi] bounds; None = unbounded."""
+    start = 0
+    end = len(keys)
+    if lo is not None:
+        start = bisect.bisect_left(keys, lo) if lo_incl else bisect.bisect_right(keys, lo)
+    if hi is not None:
+        end = bisect.bisect_right(keys, hi) if hi_incl else bisect.bisect_left(keys, hi)
+    return keys[start:end]
 
 
 class HashIndex:
@@ -22,25 +70,58 @@ class HashIndex:
     def __init__(self, column: str) -> None:
         self.column = column
         self._buckets: dict[Any, set[int]] = {}
+        self._size = 0
+        self._sorted = _SortedKeys()
 
     def insert(self, value: Any, rid: int) -> None:
-        self._buckets.setdefault(value, set()).add(rid)
+        bucket = self._buckets.get(value)
+        if bucket is None:
+            self._buckets[value] = {rid}
+            self._sorted.invalidate()
+            self._size += 1
+            return
+        before = len(bucket)
+        bucket.add(rid)
+        self._size += len(bucket) - before
 
     def remove(self, value: Any, rid: int) -> None:
         bucket = self._buckets.get(value)
         if bucket is not None:
+            before = len(bucket)
             bucket.discard(rid)
+            self._size -= before - len(bucket)
             if not bucket:
                 del self._buckets[value]
+                self._sorted.invalidate()
 
     def lookup(self, value: Any) -> frozenset[int]:
         return frozenset(self._buckets.get(value, ()))
+
+    def range_rids(
+        self,
+        lo: Any,
+        hi: Any,
+        lo_incl: bool = True,
+        hi_incl: bool = True,
+    ) -> list[int] | None:
+        """Row ids whose key falls in the range, or None if unplannable."""
+        keys = self._sorted.get(self._buckets.keys())
+        if keys is None:
+            return None
+        out: list[int] = []
+        try:
+            selected = _keys_in_range(keys, lo, hi, lo_incl, hi_incl)
+        except TypeError:
+            return None  # bound not comparable with the stored keys
+        for key in selected:
+            out.extend(self._buckets[key])
+        return out
 
     def values(self) -> Iterable[Any]:
         return self._buckets.keys()
 
     def __len__(self) -> int:
-        return sum(len(bucket) for bucket in self._buckets.values())
+        return self._size
 
 
 class UniqueIndex:
@@ -49,6 +130,7 @@ class UniqueIndex:
     def __init__(self, column: str) -> None:
         self.column = column
         self._slots: dict[Any, int] = {}
+        self._sorted = _SortedKeys()
 
     def insert(self, value: Any, rid: int) -> None:
         if value in self._slots:
@@ -56,14 +138,33 @@ class UniqueIndex:
                 f"duplicate value {value!r} for unique column {self.column!r}"
             )
         self._slots[value] = rid
+        self._sorted.invalidate()
 
     def remove(self, value: Any, rid: int) -> None:
         existing = self._slots.get(value)
         if existing == rid:
             del self._slots[value]
+            self._sorted.invalidate()
 
     def lookup(self, value: Any) -> int | None:
         return self._slots.get(value)
+
+    def range_rids(
+        self,
+        lo: Any,
+        hi: Any,
+        lo_incl: bool = True,
+        hi_incl: bool = True,
+    ) -> list[int] | None:
+        """Row ids whose key falls in the range, or None if unplannable."""
+        keys = self._sorted.get(self._slots.keys())
+        if keys is None:
+            return None
+        try:
+            selected = _keys_in_range(keys, lo, hi, lo_incl, hi_incl)
+        except TypeError:
+            return None
+        return [self._slots[key] for key in selected]
 
     def __contains__(self, value: Any) -> bool:
         return value in self._slots

@@ -1,0 +1,256 @@
+"""Access-path planning: turning WHERE predicates into index probes.
+
+The §6 linearity claim — disguise cost proportional to the number of
+affected objects — only holds when row selection is index-accelerated.
+The original engine probed indexes for plain ``column = value`` equalities;
+this module generalizes that into a small planner covering the predicate
+shapes disguise specs and application queries actually use:
+
+* ``col = v`` (literal or ``$param``)            -> single bucket probe
+* ``col IN (v1, v2, ...)``                       -> union of bucket probes
+* ``col = v1 OR col = v2 OR other = v3``         -> union of probes
+* ``col > v`` / ``>=`` / ``<`` / ``<=``          -> sorted-key range probe
+* ``col BETWEEN lo AND hi``                      -> sorted-key range probe
+* ``col IS NULL``                                -> NULL-bucket probe
+* ``a AND b``                                    -> cheapest plannable arm
+
+A plan never changes results — it only narrows the candidate row set that
+the predicate is then evaluated against, so every path must produce a
+*superset* of the rows on which the predicate could evaluate to TRUE. SQL
+three-valued logic makes this easy: a comparison with a non-NULL constant
+can only be TRUE for rows whose column value equals (or falls in range of)
+that constant, and NULL column values always yield UNKNOWN, never TRUE.
+
+:func:`extract_path` is pure predicate analysis (no table access) so it is
+unit-testable in isolation; :class:`repro.storage.table.Table` executes the
+returned path against its indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping
+
+from repro.storage.predicate import (
+    And,
+    Between,
+    ColumnRef,
+    Comparison,
+    Expr,
+    FalseP,
+    InList,
+    IsNull,
+    Literal,
+    Or,
+    Param,
+    Predicate,
+)
+
+__all__ = [
+    "AccessPath",
+    "EqProbe",
+    "MultiProbe",
+    "RangeProbe",
+    "UnionPath",
+    "EmptyPath",
+    "extract_path",
+]
+
+
+class AccessPath:
+    """Base class for planned access paths.
+
+    ``cost_rank`` orders paths by expected selectivity so AND nodes can
+    pick the cheapest plannable arm (lower = tighter candidate set).
+    """
+
+    cost_rank = 99
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class EqProbe(AccessPath):
+    """``column = value`` (or ``column IS NULL`` as value=None)."""
+
+    column: str
+    value: Any
+
+    cost_rank = 0
+
+    def describe(self) -> str:
+        return f"eq({self.column})"
+
+
+@dataclass(frozen=True)
+class MultiProbe(AccessPath):
+    """``column IN (v1, ..., vk)`` — union of k bucket lookups."""
+
+    column: str
+    values: tuple[Any, ...]
+
+    cost_rank = 1
+
+    def describe(self) -> str:
+        return f"in({self.column}, {len(self.values)})"
+
+
+@dataclass(frozen=True)
+class RangeProbe(AccessPath):
+    """``lo <(=) column <(=) hi``; a None bound is unbounded."""
+
+    column: str
+    lo: Any = None
+    hi: Any = None
+    lo_incl: bool = True
+    hi_incl: bool = True
+
+    cost_rank = 2
+
+    def describe(self) -> str:
+        lo = "" if self.lo is None else f"{self.lo!r} <{'=' if self.lo_incl else ''} "
+        hi = "" if self.hi is None else f" <{'=' if self.hi_incl else ''} {self.hi!r}"
+        return f"range({lo}{self.column}{hi})"
+
+
+@dataclass(frozen=True)
+class UnionPath(AccessPath):
+    """OR of plannable arms — candidates are the union of each arm's."""
+
+    paths: tuple[AccessPath, ...]
+
+    cost_rank = 3
+
+    def describe(self) -> str:
+        return "union(" + ", ".join(p.describe() for p in self.paths) + ")"
+
+
+@dataclass(frozen=True)
+class EmptyPath(AccessPath):
+    """A predicate that can never be TRUE (``FALSE``) — zero candidates."""
+
+    cost_rank = -1
+
+    def describe(self) -> str:
+        return "empty"
+
+
+def _const_value(expr: Expr, params: Mapping[str, Any]) -> tuple[bool, Any]:
+    """(is_constant, value) for literal/param expressions."""
+    if isinstance(expr, Literal):
+        return True, expr.value
+    if isinstance(expr, Param) and expr.name in params:
+        return True, params[expr.name]
+    return False, None
+
+
+def _column_and_const(
+    left: Expr, right: Expr, params: Mapping[str, Any]
+) -> tuple[str, Any, bool] | None:
+    """Resolve ``col OP const`` in either orientation.
+
+    Returns (column, value, flipped) where flipped means the column was on
+    the right-hand side (so the comparison direction must be mirrored).
+    """
+    if isinstance(left, ColumnRef):
+        ok, value = _const_value(right, params)
+        if ok:
+            return left.name, value, False
+    if isinstance(right, ColumnRef):
+        ok, value = _const_value(left, params)
+        if ok:
+            return right.name, value, True
+    return None
+
+
+_MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+def extract_path(
+    pred: Predicate,
+    params: Mapping[str, Any],
+    is_indexed: Callable[[str], bool],
+) -> AccessPath | None:
+    """The best index-usable access path for *pred*, or None for a full scan.
+
+    *is_indexed* reports whether a column has an index available (primary
+    key or secondary); unindexed columns never yield a path.
+    """
+    if isinstance(pred, FalseP):
+        return EmptyPath()
+    if isinstance(pred, And):
+        left = extract_path(pred.left, params, is_indexed)
+        right = extract_path(pred.right, params, is_indexed)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return left if left.cost_rank <= right.cost_rank else right
+    if isinstance(pred, Or):
+        left = extract_path(pred.left, params, is_indexed)
+        right = extract_path(pred.right, params, is_indexed)
+        if left is None or right is None:
+            return None  # one arm unplannable -> the union is unbounded
+        arms: list[AccessPath] = []
+        for arm in (left, right):
+            if isinstance(arm, EmptyPath):
+                continue
+            if isinstance(arm, UnionPath):
+                arms.extend(arm.paths)
+            else:
+                arms.append(arm)
+        if not arms:
+            return EmptyPath()
+        if len(arms) == 1:
+            return arms[0]
+        return UnionPath(tuple(arms))
+    if isinstance(pred, Comparison):
+        resolved = _column_and_const(pred.left, pred.right, params)
+        if resolved is None:
+            return None
+        column, value, flipped = resolved
+        if not is_indexed(column):
+            return None
+        op = _MIRROR[pred.op] if flipped and pred.op in _MIRROR else pred.op
+        if op == "=":
+            if value is None:
+                return EmptyPath()  # col = NULL is never TRUE
+            return EqProbe(column, value)
+        if op == ">":
+            return None if value is None else RangeProbe(column, lo=value, lo_incl=False)
+        if op == ">=":
+            return None if value is None else RangeProbe(column, lo=value)
+        if op == "<":
+            return None if value is None else RangeProbe(column, hi=value, hi_incl=False)
+        if op == "<=":
+            return None if value is None else RangeProbe(column, hi=value)
+        return None  # != cannot narrow
+    if isinstance(pred, InList) and not pred.negated:
+        if not isinstance(pred.expr, ColumnRef) or not is_indexed(pred.expr.name):
+            return None
+        values = []
+        for item in pred.items:
+            ok, value = _const_value(item, params)
+            if not ok:
+                return None
+            if value is not None:  # a NULL item never makes the IN TRUE
+                values.append(value)
+        if not values:
+            return EmptyPath()
+        if len(values) == 1:
+            return EqProbe(pred.expr.name, values[0])
+        return MultiProbe(pred.expr.name, tuple(values))
+    if isinstance(pred, Between) and not pred.negated:
+        if not isinstance(pred.expr, ColumnRef) or not is_indexed(pred.expr.name):
+            return None
+        lo_ok, lo = _const_value(pred.lo, params)
+        hi_ok, hi = _const_value(pred.hi, params)
+        if not lo_ok or not hi_ok or lo is None or hi is None:
+            return None
+        return RangeProbe(pred.expr.name, lo=lo, hi=hi)
+    if isinstance(pred, IsNull) and not pred.negated:
+        if isinstance(pred.expr, ColumnRef) and is_indexed(pred.expr.name):
+            return EqProbe(pred.expr.name, None)
+        return None
+    return None

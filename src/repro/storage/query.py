@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Any, Mapping
 
 from repro.errors import ParseError, StorageError, UnknownColumnError
@@ -139,7 +140,16 @@ _ON_RE = re.compile(
 
 
 def parse_select(sql: str) -> Query:
-    """Parse a SELECT statement into a :class:`Query`."""
+    """Parse a SELECT statement into a :class:`Query`.
+
+    Parses are LRU-cached by statement text; the returned Query is shared
+    and must not be mutated (execution via :func:`run_select` only reads).
+    """
+    return _parse_select_uncached(sql)
+
+
+@lru_cache(maxsize=256)
+def _parse_select_uncached(sql: str) -> Query:
     clauses = _split_clauses(sql.strip().rstrip(";"))
     query: Query | None = None
     pending_join: _Source | None = None
@@ -242,6 +252,7 @@ def run_select(db: Database, query: Query, params: Mapping[str, Any] | None = No
 
 def _drive(db: Database, query: Query) -> list[dict[str, Any]]:
     db.stats.selects += 1
+    db.stats.statements += 1
     alias = query.source.alias
     out = []
     for row in db.table(query.source.table).rows():
@@ -281,12 +292,13 @@ def _join(
     pk_col = table.schema.primary_key
     out = []
     db.stats.selects += 1
+    db.stats.statements += 1
     for ns in namespaces:
         left_value = _lookup(ns, join.left)
         if left_value is None:
             continue  # NULL never joins
         if right_col == pk_col:
-            match = table.get(left_value)
+            match = table.view(left_value)
             matches = [match] if match is not None else []
         elif use_index:
             matches = table.referencing_rows(right_col, left_value)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any
 
 from repro.errors import ParseError
@@ -310,11 +311,20 @@ def parse_where(source: str | Predicate, keep_qualifiers: bool = False) -> Predi
 
     Accepts an already-built Predicate unchanged so APIs can take either.
 
+    Parses of WHERE text are LRU-cached: predicate trees are immutable
+    (frozen dataclasses), so repeated statements — the common case for
+    disguise specs and application queries — share one parse.
+
     >>> parse_where("contactId = $UID AND disabled = FALSE")  # doctest: +ELLIPSIS
     And(...)
     """
     if isinstance(source, Predicate):
         return source
+    return _parse_where_cached(source, keep_qualifiers)
+
+
+@lru_cache(maxsize=512)
+def _parse_where_cached(source: str, keep_qualifiers: bool) -> Predicate:
     return _Parser(source, keep_qualifiers=keep_qualifiers).parse_predicate()
 
 

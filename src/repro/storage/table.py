@@ -5,6 +5,19 @@ a unique index on the primary key, a non-unique index on every foreign-key
 column, and any explicitly created secondary indexes. All mutation goes
 through :class:`Table` so indexes never go stale.
 
+Read paths (:meth:`scan`, :meth:`rows`, :meth:`referencing_rows`) return
+:class:`RowView` objects — immutable, copy-on-demand views over the stored
+dicts — instead of eagerly copying every row. This is safe because stored
+row dicts are never mutated in place: updates swap in a freshly normalized
+dict and deletes pop, so a view taken before a mutation keeps observing the
+pre-mutation snapshot. Mutation entry points still return plain dict copies
+that callers may edit freely.
+
+Row selection is planned: :mod:`repro.storage.planner` extracts an
+index-usable access path (equality, IN-list, OR-union, range) from the
+predicate, and the table executes it against its hash indexes, falling back
+to a full scan only when no path exists.
+
 The table itself knows nothing about foreign-key *enforcement* — that is
 the :class:`repro.storage.database.Database`'s job, since it requires
 looking at other tables.
@@ -12,14 +25,76 @@ looking at other tables.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Mapping
+from collections.abc import Mapping as _MappingABC
+from typing import Any, Iterable, Iterator, Mapping
 
-from repro.errors import ConstraintError, NoSuchRowError, UnknownColumnError
+from repro.errors import (
+    ConstraintError,
+    NoSuchRowError,
+    SchemaError,
+    UnknownColumnError,
+)
 from repro.storage.index import HashIndex, UniqueIndex
+from repro.storage.planner import (
+    AccessPath,
+    EmptyPath,
+    EqProbe,
+    MultiProbe,
+    RangeProbe,
+    UnionPath,
+    extract_path,
+)
 from repro.storage.predicate import Predicate, TrueP
 from repro.storage.schema import TableSchema
+from repro.storage.types import coerce
 
-__all__ = ["Table"]
+__all__ = ["Table", "RowView"]
+
+_UNSET = object()
+
+
+class RowView(_MappingABC):
+    """Read-only, copy-on-demand view of a stored row.
+
+    Behaves like a mapping for reads and compares equal to plain dicts with
+    the same items; call ``dict(view)`` (or :meth:`copy`) to materialize a
+    mutable copy. Attempting item assignment raises ``TypeError``.
+    """
+
+    __slots__ = ("_row",)
+
+    def __init__(self, row: dict[str, Any]) -> None:
+        self._row = row
+
+    def __getitem__(self, key: str) -> Any:
+        return self._row[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._row)
+
+    def __len__(self) -> int:
+        return len(self._row)
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._row
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._row.get(key, default)
+
+    def keys(self):
+        return self._row.keys()
+
+    def items(self):
+        return self._row.items()
+
+    def values(self):
+        return self._row.values()
+
+    def copy(self) -> dict[str, Any]:
+        return dict(self._row)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RowView({self._row!r})"
 
 
 class Table:
@@ -33,6 +108,13 @@ class Table:
         self._secondary: dict[str, HashIndex] = {}
         for fk in schema.foreign_keys:
             self._secondary[fk.column] = HashIndex(fk.column)
+        # Cached largest primary key (satellite: O(1) id allocation).
+        # _UNSET means "unknown, recompute on demand".
+        self._max_pk: Any = None
+        # Diagnostics: cumulative candidate rows tested by scan(), and the
+        # access path of the most recent scan (benchmarks read these).
+        self.rows_examined = 0
+        self.last_plan = "none"
 
     # -- introspection -------------------------------------------------------
 
@@ -43,10 +125,10 @@ class Table:
     def __len__(self) -> int:
         return len(self._rows)
 
-    def rows(self) -> Iterator[dict[str, Any]]:
-        """Iterate over copies of all rows (callers cannot corrupt indexes)."""
+    def rows(self) -> Iterator[RowView]:
+        """Iterate over read-only views of all rows."""
         for row in self._rows.values():
-            yield dict(row)
+            yield RowView(row)
 
     def rids(self) -> list[int]:
         return list(self._rows)
@@ -76,11 +158,21 @@ class Table:
     # -- lookups ---------------------------------------------------------------
 
     def get(self, pk_value: Any) -> dict[str, Any] | None:
-        """Fetch the row whose primary key equals *pk_value*, or None."""
+        """Fetch the row whose primary key equals *pk_value*, or None.
+
+        Returns a mutable copy; use :meth:`view` on hot read paths.
+        """
         rid = self._pk_index.lookup(pk_value)
         if rid is None:
             return None
         return dict(self._rows[rid])
+
+    def view(self, pk_value: Any) -> RowView | None:
+        """Read-only view of the row with primary key *pk_value*, or None."""
+        rid = self._pk_index.lookup(pk_value)
+        if rid is None:
+            return None
+        return RowView(self._rows[rid])
 
     def rid_of(self, pk_value: Any) -> int | None:
         return self._pk_index.lookup(pk_value)
@@ -89,20 +181,23 @@ class Table:
         self,
         predicate: Predicate | None = None,
         params: Mapping[str, Any] | None = None,
-    ) -> list[dict[str, Any]]:
-        """All rows satisfying *predicate* (all rows if None).
+    ) -> list[RowView]:
+        """All rows satisfying *predicate* (all rows if None), as views.
 
-        Uses an index when the predicate is a simple equality on an indexed
-        column; otherwise falls back to a full scan. Returns row copies.
+        Uses an index-planned access path (equality, IN, OR-union, range)
+        when the predicate allows; otherwise falls back to a full scan.
         """
         pred = predicate if predicate is not None else TrueP()
         bound = params or {}
         rids = self._candidate_rids(pred, bound)
+        self.rows_examined += len(rids)
+        if isinstance(pred, TrueP):
+            return [RowView(self._rows[rid]) for rid in rids]
         out = []
         for rid in rids:
             row = self._rows[rid]
             if pred.test(row, bound):
-                out.append(dict(row))
+                out.append(RowView(row))
         return out
 
     def count(self, predicate: Predicate | None = None,
@@ -111,18 +206,84 @@ class Table:
 
     def _candidate_rids(self, pred: Predicate, params: Mapping[str, Any]) -> list[int]:
         """Row ids to test, narrowed by index when the predicate allows."""
-        probe = _index_probe(pred, params)
-        if probe is not None:
-            column, value = probe
-            if column == self.schema.primary_key:
-                rid = self._pk_index.lookup(value)
+        if isinstance(pred, TrueP):
+            self.last_plan = "full"
+            return list(self._rows)
+        path = extract_path(pred, params, self.has_indexed)
+        if path is None:
+            self.last_plan = "full"
+            return list(self._rows)
+        rids = self._execute_path(path)
+        if rids is None:
+            self.last_plan = "full"
+            return list(self._rows)
+        self.last_plan = path.describe()
+        return rids
+
+    def _execute_path(self, path: AccessPath) -> list[int] | None:
+        """Candidate rids for *path*, or None to force a full scan."""
+        if isinstance(path, EmptyPath):
+            return []
+        if isinstance(path, EqProbe):
+            if path.column == self.schema.primary_key:
+                rid = self._pk_index.lookup(path.value)
                 return [] if rid is None else [rid]
-            index = self._secondary.get(column)
-            if index is not None:
-                return sorted(index.lookup(value))
-        return list(self._rows)
+            index = self._secondary.get(path.column)
+            if index is None:
+                return None
+            return sorted(index.lookup(path.value))
+        if isinstance(path, MultiProbe):
+            if path.column == self.schema.primary_key:
+                rids = {
+                    rid
+                    for rid in (self._pk_index.lookup(v) for v in path.values)
+                    if rid is not None
+                }
+                return sorted(rids)
+            index = self._secondary.get(path.column)
+            if index is None:
+                return None
+            rids = set()
+            for value in path.values:
+                rids |= index.lookup(value)
+            return sorted(rids)
+        if isinstance(path, RangeProbe):
+            if path.column == self.schema.primary_key:
+                index: UniqueIndex | HashIndex = self._pk_index
+            else:
+                secondary = self._secondary.get(path.column)
+                if secondary is None:
+                    return None
+                index = secondary
+            rids = index.range_rids(path.lo, path.hi, path.lo_incl, path.hi_incl)
+            return None if rids is None else sorted(rids)
+        if isinstance(path, UnionPath):
+            out: set[int] = set()
+            for arm in path.paths:
+                rids = self._execute_path(arm)
+                if rids is None:
+                    return None
+                out.update(rids)
+            return sorted(out)
+        return None
 
     # -- mutation ---------------------------------------------------------------
+
+    def _note_inserted_pk(self, pk: Any) -> None:
+        if self._max_pk is _UNSET:
+            return
+        if self._max_pk is None:
+            self._max_pk = pk
+            return
+        try:
+            if pk is not None and pk > self._max_pk:
+                self._max_pk = pk
+        except TypeError:
+            self._max_pk = _UNSET
+
+    def _note_removed_pk(self, pk: Any) -> None:
+        if self._max_pk is not _UNSET and pk == self._max_pk:
+            self._max_pk = _UNSET
 
     def insert(self, values: dict[str, Any]) -> dict[str, Any]:
         """Insert a row (validated against the schema); returns the stored row."""
@@ -138,7 +299,35 @@ class Table:
         self._pk_index.insert(pk, rid)
         for column, index in self._secondary.items():
             index.insert(row[column], rid)
+        self._note_inserted_pk(pk)
         return dict(row)
+
+    def insert_rows(self, values_list: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+        """Insert many rows as one batch; returns stored copies.
+
+        All rows are validated (schema + duplicate primary keys, including
+        duplicates within the batch) before any row is stored, so a failure
+        leaves the table untouched.
+        """
+        pk_col = self.schema.primary_key
+        normalized: list[dict[str, Any]] = []
+        batch_pks: set[Any] = set()
+        for values in values_list:
+            row = self.schema.normalize_row(values)
+            pk = row[pk_col]
+            if pk in self._pk_index or pk in batch_pks:
+                raise ConstraintError(f"{self.name}: duplicate primary key {pk!r}")
+            batch_pks.add(pk)
+            normalized.append(row)
+        for row in normalized:
+            rid = self._next_rid
+            self._next_rid += 1
+            self._rows[rid] = row
+            self._pk_index.insert(row[pk_col], rid)
+            for column, index in self._secondary.items():
+                index.insert(row[column], rid)
+            self._note_inserted_pk(row[pk_col])
+        return [dict(row) for row in normalized]
 
     def delete_by_pk(self, pk_value: Any) -> dict[str, Any]:
         """Delete the row with primary key *pk_value*; returns the old row."""
@@ -149,7 +338,32 @@ class Table:
         self._pk_index.remove(pk_value, rid)
         for column, index in self._secondary.items():
             index.remove(row[column], rid)
+        self._note_removed_pk(pk_value)
         return row
+
+    def delete_pks(self, pk_values: Iterable[Any]) -> list[dict[str, Any]]:
+        """Delete many rows by primary key as one batch; returns old rows.
+
+        Every key must exist (checked up front, so a failure mutates
+        nothing).
+        """
+        rids = []
+        for pk_value in pk_values:
+            rid = self._pk_index.lookup(pk_value)
+            if rid is None:
+                raise NoSuchRowError(
+                    f"{self.name}: no row with {self.schema.primary_key}={pk_value!r}"
+                )
+            rids.append((pk_value, rid))
+        out = []
+        for pk_value, rid in rids:
+            row = self._rows.pop(rid)
+            self._pk_index.remove(pk_value, rid)
+            for column, index in self._secondary.items():
+                index.remove(row[column], rid)
+            self._note_removed_pk(pk_value)
+            out.append(row)
+        return out
 
     def update_by_pk(self, pk_value: Any, changes: Mapping[str, Any]) -> tuple[dict[str, Any], dict[str, Any]]:
         """Apply *changes* to the row with primary key *pk_value*.
@@ -179,48 +393,90 @@ class Table:
         self._pk_index.insert(new_pk, rid)
         for column, index in self._secondary.items():
             index.insert(new[column], rid)
+        if new_pk != pk_value:
+            self._note_removed_pk(pk_value)
+        self._note_inserted_pk(new_pk)
         return dict(old), dict(new)
 
-    def referencing_rows(self, fk_column: str, value: Any) -> list[dict[str, Any]]:
-        """Rows whose *fk_column* equals *value* (index-accelerated)."""
+    def update_pks(
+        self, updates: Iterable[tuple[Any, Mapping[str, Any]]]
+    ) -> list[tuple[dict[str, Any], dict[str, Any]]]:
+        """Apply many ``(pk, changes)`` updates as one batch.
+
+        Index maintenance is grouped: only the indexes of columns actually
+        named in each change set are touched, instead of re-indexing every
+        secondary index per row (what :meth:`update_by_pk` must do).
+        Primary-key changes are not supported here — callers fall back to
+        the per-row path for those. Updates are applied in order, so a later
+        update of the same row observes the earlier one. Returns
+        ``(old_row, new_row)`` pairs.
+        """
+        pk_col = self.schema.primary_key
+        out: list[tuple[dict[str, Any], dict[str, Any]]] = []
+        for pk_value, changes in updates:
+            rid = self._pk_index.lookup(pk_value)
+            if rid is None:
+                raise NoSuchRowError(
+                    f"{self.name}: no row with {pk_col}={pk_value!r}"
+                )
+            old = self._rows[rid]
+            new = dict(old)
+            touched: list[str] = []
+            for column, value in changes.items():
+                if not self.schema.has_column(column):
+                    raise UnknownColumnError(
+                        f"table {self.name!r} has no column {column!r}"
+                    )
+                if column == pk_col and value != pk_value:
+                    raise ConstraintError(
+                        f"{self.name}: update_pks cannot change primary keys"
+                    )
+                col = self.schema.column(column)
+                coerced = coerce(value, col.ctype) if value is not None else None
+                if coerced is None and not col.nullable:
+                    raise SchemaError(
+                        f"column {self.name}.{column} is NOT NULL but got NULL"
+                    )
+                new[column] = coerced
+                touched.append(column)
+            for column in touched:
+                index = self._secondary.get(column)
+                if index is not None:
+                    index.remove(old[column], rid)
+                    index.insert(new[column], rid)
+            self._rows[rid] = new
+            out.append((dict(old), new))
+        return out
+
+    def referencing_rows(
+        self, fk_column: str, value: Any, sort: bool = True
+    ) -> list[RowView]:
+        """Rows whose *fk_column* equals *value* (index-accelerated).
+
+        ``sort=False`` skips the deterministic rid ordering — internal
+        callers that only need membership or iterate order-insensitively
+        use it to avoid the per-call sort.
+        """
         index = self._secondary.get(fk_column)
         if index is not None:
-            return [dict(self._rows[rid]) for rid in sorted(index.lookup(value))]
-        return [dict(row) for row in self._rows.values() if row[fk_column] == value]
+            rids = index.lookup(value)
+            ordered = sorted(rids) if sort else rids
+            return [RowView(self._rows[rid]) for rid in ordered]
+        return [
+            RowView(row) for row in self._rows.values() if row[fk_column] == value
+        ]
 
     def max_pk(self) -> Any:
-        """Largest primary-key value, or None if empty (for id allocation)."""
-        best = None
-        for row in self._rows.values():
-            pk = row[self.schema.primary_key]
-            if best is None or (pk is not None and pk > best):
-                best = pk
-        return best
+        """Largest primary-key value, or None if empty (for id allocation).
 
-
-def _index_probe(pred: Predicate, params: Mapping[str, Any]) -> tuple[str, Any] | None:
-    """If *pred* is ``column = constant`` (possibly via $param), return the
-    (column, value) pair usable for an index probe; else None.
-
-    Conjunctions are probed on their left arm: ``a = 1 AND ...`` can still
-    narrow by ``a``. This is a deliberate, simple planner — enough to make
-    FK scans O(matches).
-    """
-    from repro.storage.predicate import And, ColumnRef, Comparison, Literal, Param
-
-    if isinstance(pred, And):
-        return _index_probe(pred.left, params) or _index_probe(pred.right, params)
-    if isinstance(pred, Comparison) and pred.op == "=":
-        column_side = None
-        value_side = None
-        for a, b in ((pred.left, pred.right), (pred.right, pred.left)):
-            if isinstance(a, ColumnRef) and isinstance(b, (Literal, Param)):
-                column_side, value_side = a, b
-                break
-        if column_side is None:
-            return None
-        if isinstance(value_side, Literal):
-            return column_side.name, value_side.value
-        if value_side.name in params:
-            return column_side.name, params[value_side.name]
-    return None
+        O(1) in the common case: a cached high-water mark is maintained on
+        insert/update and only invalidated when the current maximum is
+        deleted, forcing one recompute over the pk index keys.
+        """
+        if self._max_pk is _UNSET:
+            best = None
+            for pk in self._pk_index._slots:
+                if best is None or (pk is not None and pk > best):
+                    best = pk
+            self._max_pk = best
+        return self._max_pk

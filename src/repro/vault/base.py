@@ -80,6 +80,11 @@ class VaultStore:
     def _put(self, entry: VaultEntry) -> None:
         raise NotImplementedError
 
+    def _put_many(self, entries: list[VaultEntry]) -> None:
+        # Stores with a batched backend (TableVault) override this.
+        for entry in entries:
+            self._put(entry)
+
     def _replace(self, entry: VaultEntry) -> None:
         raise NotImplementedError
 
@@ -106,6 +111,19 @@ class VaultStore:
         """Store a new entry in its owner's vault."""
         self.stats.writes += 1
         self._put(entry)
+
+    def put_many(self, entries: Iterable[VaultEntry]) -> None:
+        """Store many new entries at once.
+
+        Counts one write per entry (vault traffic stays proportional to
+        entries, per §6 accounting) but lets table-backed stores append the
+        batch with a single storage statement per owner.
+        """
+        batch = list(entries)
+        if not batch:
+            return
+        self.stats.writes += len(batch)
+        self._put_many(batch)
 
     def replace(self, entry: VaultEntry) -> None:
         """Overwrite the stored entry with the same ``entry_id``."""

@@ -71,6 +71,27 @@ class TableVault(VaultStore):
             {"entry_id": entry.entry_id, "seq": entry.seq, "body": entry.to_json()},
         )
 
+    def _put_many(self, entries: list[VaultEntry]) -> None:
+        groups: dict[str, list[VaultEntry]] = {}
+        for entry in entries:
+            groups.setdefault(self._ensure_table(entry.owner), []).append(entry)
+        for name, group in groups.items():
+            table = self.db.table(name)
+            for entry in group:
+                if table.rid_of(entry.entry_id) is not None:
+                    raise VaultError(f"duplicate vault entry id {entry.entry_id}")
+            self.db.insert_many(
+                name,
+                [
+                    {
+                        "entry_id": entry.entry_id,
+                        "seq": entry.seq,
+                        "body": entry.to_json(),
+                    }
+                    for entry in group
+                ],
+            )
+
     def _replace(self, entry: VaultEntry) -> None:
         name = self._ensure_table(entry.owner)
         if self.db.get(name, entry.entry_id) is None:
