@@ -11,6 +11,8 @@ Usage::
 
     python -m repro.cli apply   --db app.jsonl --vault-dir vaults \
                                 --spec scrub.json --uid 19
+    python -m repro.cli apply   --db app.jsonl --vault-dir vaults \
+                                --spec scrub.json --uid 19 --wal
     python -m repro.cli reveal  --db app.jsonl --vault-dir vaults \
                                 --spec scrub.json --did 1
     python -m repro.cli explain --db app.jsonl --vault-dir vaults \
@@ -18,6 +20,15 @@ Usage::
     python -m repro.cli history --db app.jsonl
     python -m repro.cli vault   --vault-dir vaults --owner 19
     python -m repro.cli check   --db app.jsonl
+    python -m repro.cli checkpoint --db app.jsonl
+
+Without ``--wal`` every write command rewrites the whole snapshot —
+O(database) per invocation. With ``--wal`` the command appends the
+disguise's changes to ``<db>.wal`` instead (O(changes); ``--fsync``
+selects the durability/throughput trade-off) and the snapshot is only
+rewritten when ``checkpoint`` folds the log back in. Every command reads
+through a pending WAL, so the two modes interoperate: a non-WAL write
+performs an implicit checkpoint.
 
 Exit status: 0 on success, 1 on a disguise/storage error, 2 on bad usage.
 """
@@ -28,12 +39,20 @@ import argparse
 import json
 import sys
 from pathlib import Path
+from typing import Any
 
 from repro.core.engine import Disguiser
 from repro.core.history import HISTORY_TABLE
 from repro.errors import ReproError
 from repro.spec.parser import spec_from_json
 from repro.storage.persist import load_database, save_database
+from repro.storage.wal import (
+    FSYNC_POLICIES,
+    WalDatabase,
+    default_wal_path,
+    open_in_place,
+    recover_database,
+)
 from repro.vault.file_vault import FileVault
 
 __all__ = ["main", "build_parser"]
@@ -49,6 +68,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_db(p):
         p.add_argument("--db", required=True, help="application database snapshot (JSON lines)")
+
+    def add_wal(p):
+        p.add_argument(
+            "--wal",
+            action="store_true",
+            help="open the database in place: append changes to <db>.wal "
+            "(O(changes)) instead of rewriting the snapshot (O(database))",
+        )
+        p.add_argument(
+            "--fsync",
+            choices=FSYNC_POLICIES,
+            default="batch",
+            help="WAL fsync policy: 'always' never loses an acked commit, "
+            "'batch' groups syncs, 'never' leaves it to the OS (default: batch)",
+        )
 
     def add_vault(p):
         p.add_argument("--vault-dir", required=True, help="vault directory (one file per user)")
@@ -71,6 +105,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_apply.add_argument("--no-compose", action="store_true", help="disable vault recorrelation")
     p_apply.add_argument("--no-optimize", action="store_true", help="disable the redundancy optimizer")
     p_apply.add_argument("--check-integrity", action="store_true")
+    add_wal(p_apply)
 
     p_reveal = sub.add_parser("reveal", help="reverse a previously applied disguise")
     add_db(p_reveal)
@@ -78,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
     add_specs(p_reveal)
     p_reveal.add_argument("--did", type=int, required=True, help="disguise id to reveal")
     p_reveal.add_argument("--check-integrity", action="store_true")
+    add_wal(p_reveal)
 
     p_explain = sub.add_parser("explain", help="dry-run: what would apply do?")
     add_db(p_explain)
@@ -96,6 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_check = sub.add_parser("check", help="referential-integrity check")
     add_db(p_check)
+
+    p_checkpoint = sub.add_parser(
+        "checkpoint",
+        help="fold <db>.wal back into the snapshot and truncate the log",
+    )
+    add_db(p_checkpoint)
 
     p_audit = sub.add_parser(
         "audit", help="DELF-style erasure audit: traces of a user after disguising"
@@ -116,14 +158,45 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _engine(args) -> Disguiser:
-    db = load_database(args.db)
+def _read_db(args, verify: bool = True):
+    """Load the snapshot for a read-only command, folding in a pending WAL."""
+    if default_wal_path(args.db).exists():
+        return recover_database(args.db, verify=verify)
+    return load_database(args.db, verify=verify)
+
+
+def _open_for_write(args) -> tuple[Any, WalDatabase | None]:
+    """The database for a write command, plus the WAL handle when ``--wal``."""
+    if getattr(args, "wal", False):
+        handle = open_in_place(args.db, fsync=args.fsync)
+        return handle.db, handle
+    return _read_db(args), None
+
+
+def _finish_write(args, db, handle: WalDatabase | None) -> None:
+    """Persist a write command's result: WAL close, or snapshot rewrite.
+
+    A non-WAL write on a database with a pending log is an implicit
+    checkpoint: the rewritten snapshot already contains the replayed
+    changes, so the stale log must not replay over it again.
+    """
+    if handle is not None:
+        handle.close()
+        return
+    save_database(db, args.db)
+    wal_path = default_wal_path(args.db)
+    if wal_path.exists():
+        wal_path.unlink()
+
+
+def _engine(args) -> tuple[Disguiser, WalDatabase | None]:
+    db, handle = _open_for_write(args)
     vault = FileVault(args.vault_dir)
     engine = Disguiser(db, vault=vault)
     for spec_path in getattr(args, "spec", None) or []:
         document = Path(spec_path).read_text(encoding="utf-8")
         engine.register(spec_from_json(document))
-    return engine
+    return engine, handle
 
 
 def _spec_name(engine: Disguiser, args) -> str:
@@ -134,32 +207,42 @@ def _spec_name(engine: Disguiser, args) -> str:
 
 
 def cmd_apply(args) -> int:
-    engine = _engine(args)
-    name = _spec_name(engine, args)
-    report = engine.apply(
-        name,
-        uid=args.uid,
-        reversible=not args.irreversible,
-        compose=not args.no_compose,
-        optimize=not args.no_optimize,
-        check_integrity=args.check_integrity,
-    )
-    save_database(engine.db, args.db)
+    engine, handle = _engine(args)
+    try:
+        name = _spec_name(engine, args)
+        report = engine.apply(
+            name,
+            uid=args.uid,
+            reversible=not args.irreversible,
+            compose=not args.no_compose,
+            optimize=not args.no_optimize,
+            check_integrity=args.check_integrity,
+        )
+    except BaseException:
+        if handle is not None:
+            handle.close()
+        raise
+    _finish_write(args, engine.db, handle)
     print(report.summary())
     print(f"disguise id: {report.disguise_id}")
     return 0
 
 
 def cmd_reveal(args) -> int:
-    engine = _engine(args)
-    report = engine.reveal(args.did, check_integrity=args.check_integrity)
-    save_database(engine.db, args.db)
+    engine, handle = _engine(args)
+    try:
+        report = engine.reveal(args.did, check_integrity=args.check_integrity)
+    except BaseException:
+        if handle is not None:
+            handle.close()
+        raise
+    _finish_write(args, engine.db, handle)
     print(report.summary())
     return 0
 
 
 def cmd_explain(args) -> int:
-    engine = _engine(args)
+    engine, _handle = _engine(args)
     name = _spec_name(engine, args)
     plan = engine.explain(name, uid=args.uid, optimize=not args.no_optimize)
     print(plan.describe())
@@ -167,7 +250,7 @@ def cmd_explain(args) -> int:
 
 
 def cmd_history(args) -> int:
-    db = load_database(args.db)
+    db = _read_db(args)
     if not db.has_table(HISTORY_TABLE):
         print("no disguise history")
         return 0
@@ -208,7 +291,7 @@ def cmd_vault(args) -> int:
 
 
 def cmd_check(args) -> int:
-    db = load_database(args.db, verify=False)
+    db = _read_db(args, verify=False)
     problems = db.check_integrity()
     if problems:
         for problem in problems:
@@ -221,7 +304,7 @@ def cmd_check(args) -> int:
 def cmd_audit(args) -> int:
     from repro.core.audit import audit_user_erasure
 
-    db = load_database(args.db, verify=False)
+    db = _read_db(args, verify=False)
     findings = audit_user_erasure(
         db, args.user_table, args.uid, identifiers=args.identifier
     )
@@ -236,13 +319,23 @@ def cmd_audit(args) -> int:
 def cmd_scan_pii(args) -> int:
     from repro.core.audit import scan_for_pii
 
-    db = load_database(args.db, verify=False)
+    db = _read_db(args, verify=False)
     findings = scan_for_pii(db)
     if findings:
         for finding in findings:
             print(f"PII: {finding}")
         return 1
     print("clean: no PII-shaped values found")
+    return 0
+
+
+def cmd_checkpoint(args) -> int:
+    wal_path = default_wal_path(args.db)
+    pending = wal_path.stat().st_size if wal_path.exists() else 0
+    with open_in_place(args.db) as handle:
+        handle.checkpoint()
+        rows = handle.db.total_rows()
+    print(f"checkpointed {args.db}: {rows} rows, folded {pending} WAL byte(s)")
     return 0
 
 
@@ -253,6 +346,7 @@ _COMMANDS = {
     "history": cmd_history,
     "vault": cmd_vault,
     "check": cmd_check,
+    "checkpoint": cmd_checkpoint,
     "audit": cmd_audit,
     "scan-pii": cmd_scan_pii,
 }

@@ -29,6 +29,13 @@ from repro.storage.predicate import (
 from repro.storage.schema import Column, FKAction, ForeignKey, Schema, TableSchema
 from repro.storage.sql import parse_create_table, parse_schema, parse_where
 from repro.storage.types import ColumnType
+from repro.storage.wal import (
+    WalCorruptionError,
+    WalDatabase,
+    WriteAheadLog,
+    open_in_place,
+    recover_database,
+)
 
 __all__ = [
     "Database",
@@ -57,4 +64,9 @@ __all__ = [
     "parse_schema",
     "save_database",
     "load_database",
+    "WriteAheadLog",
+    "WalDatabase",
+    "WalCorruptionError",
+    "open_in_place",
+    "recover_database",
 ]

@@ -84,6 +84,12 @@ class QueryStats:
 # One undo-log record: a closure that reverses a single physical change.
 _UndoOp = Callable[[], None]
 
+# Redo-hook protocol (duck-typed; implemented by repro.storage.wal).
+# A hook receives ``on_begin`` / ``on_commit`` / ``on_rollback`` mirroring
+# the undo stack, ``on_statement(record)`` for each physical change a
+# statement makes (a redo mirror of the undo log), and ``on_ddl(record)``
+# for schema changes, which — like the undo log — are never rolled back.
+
 
 class Database:
     """An in-memory relational database with FK enforcement and transactions."""
@@ -97,6 +103,8 @@ class Database:
         self.stats = QueryStats()
         # Undo log stack: one list of undo ops per open savepoint level.
         self._undo_stack: list[list[_UndoOp]] = []
+        # Optional durability mirror (see the redo-hook protocol above).
+        self._redo_hook: Any = None
         # Per-table integer-id high-water marks: next_id never reuses the id
         # of a deleted row, even after rollback (ids may be skipped, never
         # recycled) — otherwise revealing a removal could collide with a
@@ -110,6 +118,8 @@ class Database:
         self.schema.add(table_schema)
         self.schema.validate()
         self._tables[table_schema.name] = Table(table_schema)
+        if self._redo_hook is not None:
+            self._redo_hook.on_ddl({"op": "create_table", "schema": table_schema})
 
     def has_table(self, name: str) -> bool:
         return name in self._tables
@@ -121,6 +131,8 @@ class Database:
         del self._tables[name]
         # Rebuild the schema without the dropped table.
         self.schema = Schema(ts for ts in self.schema if ts.name != name)
+        if self._redo_hook is not None:
+            self._redo_hook.on_ddl({"op": "drop_table", "name": name})
 
     def table(self, name: str) -> Table:
         try:
@@ -137,6 +149,8 @@ class Database:
     def begin(self) -> None:
         """Open a transaction (or a nested savepoint)."""
         self._undo_stack.append([])
+        if self._redo_hook is not None:
+            self._redo_hook.on_begin()
 
     def commit(self) -> None:
         """Commit the innermost transaction level.
@@ -149,6 +163,8 @@ class Database:
         finished = self._undo_stack.pop()
         if self._undo_stack:
             self._undo_stack[-1].extend(finished)
+        if self._redo_hook is not None:
+            self._redo_hook.on_commit()
 
     def rollback(self) -> None:
         """Undo every change made since the innermost ``begin``."""
@@ -156,6 +172,8 @@ class Database:
             raise TransactionError("rollback without begin")
         for undo in reversed(self._undo_stack.pop()):
             undo()
+        if self._redo_hook is not None:
+            self._redo_hook.on_rollback()
 
     def transaction(self) -> "_TransactionContext":
         """``with db.transaction():`` — commit on success, rollback on error."""
@@ -168,6 +186,22 @@ class Database:
     def _log_undo(self, op: _UndoOp) -> None:
         if self._undo_stack:
             self._undo_stack[-1].append(op)
+
+    def set_redo_hook(self, hook: Any) -> None:
+        """Attach (or detach, with None) a durability mirror.
+
+        The hook sees every committed physical change as a redo record
+        (see :mod:`repro.storage.wal`). Attaching mid-transaction would
+        desynchronize the hook's buffer stack from the undo stack, so it
+        is rejected.
+        """
+        if self.in_transaction:
+            raise TransactionError("cannot change the redo hook inside a transaction")
+        self._redo_hook = hook
+
+    def _log_redo(self, record: dict[str, Any]) -> None:
+        if self._redo_hook is not None:
+            self._redo_hook.on_statement(record)
 
     # -- statements ----------------------------------------------------------------
 
@@ -225,6 +259,7 @@ class Database:
         if isinstance(pk, int) and pk > self._id_watermark.get(table, 0):
             self._id_watermark[table] = pk
         self._log_undo(lambda: target.delete_by_pk(pk))
+        self._log_redo({"op": "insert", "table": table, "rows": [stored]})
         return stored
 
     def update(
@@ -285,6 +320,9 @@ class Database:
         if old_pk != new_pk:
             self._check_pk_change_references(target, old_pk)
         self._log_undo(lambda: target.update_by_pk(new_pk, old))
+        self._log_redo(
+            {"op": "update", "table": target.name, "updates": [(old_pk, new)]}
+        )
         return new
 
     def delete(
@@ -328,6 +366,7 @@ class Database:
         self.stats.statements += 1
         old = target.delete_by_pk(pk_value)
         self._log_undo(lambda: target.insert(old))
+        self._log_redo({"op": "delete", "table": table, "pks": [pk_value]})
         return dict(old)
 
     # -- batched statements ---------------------------------------------------------
@@ -372,6 +411,7 @@ class Database:
         if top > self._id_watermark.get(table, 0):
             self._id_watermark[table] = top
         self._log_undo(lambda: target.delete_pks(pks))
+        self._log_redo({"op": "insert", "table": table, "rows": stored})
         return stored
 
     def update_many(
@@ -443,6 +483,13 @@ class Database:
         restore = [(old[pk_col], old) for old, _new in pairs]
         restore.reverse()
         self._log_undo(lambda: target.update_pks(restore))
+        self._log_redo(
+            {
+                "op": "update",
+                "table": target.name,
+                "updates": [(old[pk_col], new) for old, new in pairs],
+            }
+        )
         return [new for _old, new in pairs]
 
     def delete_many(
@@ -521,6 +568,7 @@ class Database:
         olds = target.delete_pks(pks)
         self.stats.deletes += len(olds)
         self._log_undo(lambda: target.insert_rows(olds))
+        self._log_redo({"op": "delete", "table": table, "pks": pks})
         return len(olds)
 
     # -- foreign-key machinery ----------------------------------------------------

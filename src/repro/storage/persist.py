@@ -111,7 +111,7 @@ def load_database(path: str | Path, verify: bool = True) -> Database:
     """
     path = Path(path)
     tables: list[TableSchema] = []
-    rows: list[tuple[str, dict[str, Any]]] = []
+    rows_by_table: dict[str, list[dict[str, Any]]] = {}
     with path.open("r", encoding="utf-8") as handle:
         first = handle.readline()
         if not first:
@@ -125,14 +125,17 @@ def load_database(path: str | Path, verify: bool = True) -> Database:
                 tables.append(_schema_from_json(record["$table"]))
             elif "$row" in record:
                 name, encoded = record["$row"]
-                rows.append((name, {k: _decode_value(v) for k, v in encoded.items()}))
+                rows_by_table.setdefault(name, []).append(
+                    {k: _decode_value(v) for k, v in encoded.items()}
+                )
             else:
                 raise StorageError(f"{path}: unrecognized record {record!r}")
     db = Database(Schema(tables))
-    for name, row in rows:
+    for name, rows in rows_by_table.items():
         # Bypass statement-level FK checks during bulk load (file order may
         # interleave children before parents); verify integrity at the end.
-        db.table(name).insert(row)
+        # One batched insert per table groups the index maintenance.
+        db.table(name).insert_rows(rows)
     if verify:
         db.assert_integrity()
     return db

@@ -93,3 +93,46 @@ class TestSerialization:
     def test_truncated_blob_rejected(self):
         with pytest.raises(CryptoError):
             Ciphertext.from_bytes(b"tiny")
+
+
+class TestBigIntXorEquivalence:
+    """The big-int XOR fast path must reproduce the original per-byte
+    construction bit-for-bit: same keystream blocks, same ciphertext."""
+
+    @staticmethod
+    def _legacy_encrypt_body(key, plaintext, nonce):
+        import hashlib
+
+        out = bytearray()
+        counter = 0
+        while len(out) < len(plaintext):
+            block = hashlib.sha256(
+                key.enc_key + nonce + counter.to_bytes(8, "big")
+            ).digest()
+            out.extend(block)
+            counter += 1
+        stream = bytes(out[: len(plaintext)])
+        return bytes(p ^ s for p, s in zip(plaintext, stream))
+
+    def test_matches_legacy_construction(self):
+        key = SecretKey.from_passphrase("equivalence")
+        nonce = bytes(range(16))
+        for plaintext in (
+            b"",
+            b"a",
+            b"0123456789abcdef" * 2,  # exactly one SHA-256 block
+            b"x" * 33,  # one byte past a block boundary
+            bytes(range(256)) * 5,
+            b"\x00" * 100,  # leading zeros must survive the int round trip
+        ):
+            assert (
+                encrypt(key, plaintext, nonce).body
+                == self._legacy_encrypt_body(key, plaintext, nonce)
+            )
+
+    def test_leading_zero_bytes_preserved(self):
+        key = SecretKey.generate()
+        plaintext = b"\x00" * 64
+        ciphertext = encrypt(key, plaintext)
+        assert len(ciphertext.body) == 64
+        assert decrypt(key, ciphertext) == plaintext

@@ -170,3 +170,78 @@ class TestCliLifecycle:
         out = capsys.readouterr().out
         # blog users carry declared-PII emails -> findings
         assert code == 1 and "PII:" in out
+
+
+class TestCliWalMode:
+    def test_wal_apply_defers_snapshot_rewrite(self, workspace, capsys):
+        from repro.storage.wal import default_wal_path
+
+        db_path, spec_path, vault_dir = workspace
+        snapshot_before = db_path.read_bytes()
+        code = run("apply", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--uid", "2", "--wal")
+        assert code == 0
+        assert "CliScrub(uid=2)" in capsys.readouterr().out
+        # The delta went to the log; the snapshot was not rewritten.
+        assert db_path.read_bytes() == snapshot_before
+        assert default_wal_path(db_path).stat().st_size > 0
+
+    def test_readers_recover_through_pending_wal(self, workspace, capsys):
+        db_path, spec_path, vault_dir = workspace
+        run("apply", "--db", db_path, "--vault-dir", vault_dir,
+            "--spec", spec_path, "--uid", "2", "--wal")
+        capsys.readouterr()
+        code = run("history", "--db", db_path)
+        out = capsys.readouterr().out
+        assert code == 0 and "CliScrub" in out
+        assert run("check", "--db", db_path) == 0
+        assert "ok:" in capsys.readouterr().out
+
+    def test_checkpoint_folds_wal_into_snapshot(self, workspace, capsys):
+        from repro.storage.persist import load_database
+        from repro.storage.wal import WriteAheadLog, default_wal_path
+
+        db_path, spec_path, vault_dir = workspace
+        run("apply", "--db", db_path, "--vault-dir", vault_dir,
+            "--spec", spec_path, "--uid", "2", "--wal")
+        capsys.readouterr()
+        code = run("checkpoint", "--db", db_path)
+        out = capsys.readouterr().out
+        assert code == 0 and "checkpoint" in out
+        # The log is now empty and the snapshot alone carries the disguise.
+        assert WriteAheadLog.read_units(default_wal_path(db_path)) == []
+        assert load_database(db_path).get("users", 2) is None
+
+    def test_wal_reveal_round_trip(self, workspace, capsys):
+        db_path, spec_path, vault_dir = workspace
+        run("apply", "--db", db_path, "--vault-dir", vault_dir,
+            "--spec", spec_path, "--uid", "2", "--wal", "--fsync", "always")
+        capsys.readouterr()
+        code = run("reveal", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--did", "1", "--wal")
+        assert code == 0
+        assert "reveal CliScrub" in capsys.readouterr().out
+        code = run("checkpoint", "--db", db_path)
+        capsys.readouterr()
+        assert code == 0
+        from repro.storage.persist import load_database
+
+        assert load_database(db_path).get("users", 2)["name"] == "Bea"
+
+    def test_non_wal_write_performs_implicit_checkpoint(self, workspace, capsys):
+        from repro.storage.persist import load_database
+        from repro.storage.wal import default_wal_path
+
+        db_path, spec_path, vault_dir = workspace
+        run("apply", "--db", db_path, "--vault-dir", vault_dir,
+            "--spec", spec_path, "--uid", "2", "--wal")
+        capsys.readouterr()
+        # A plain (non --wal) write folds the pending log and removes it,
+        # so the two modes can be mixed without double-replay.
+        code = run("apply", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--uid", "3")
+        capsys.readouterr()
+        assert code == 0
+        assert not default_wal_path(db_path).exists()
+        db = load_database(db_path)
+        assert db.get("users", 2) is None and db.get("users", 3) is None

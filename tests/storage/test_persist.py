@@ -94,3 +94,45 @@ class TestRowDump:
         dump_rows(rows, buffer)
         buffer.seek(0)
         assert load_rows(buffer) == rows
+
+
+class TestBatchedLoad:
+    def test_load_uses_one_batched_insert_per_table(self, tmp_path, monkeypatch):
+        """Snapshot load goes through insert_rows once per table, so it
+        benefits from grouped index maintenance instead of per-row inserts."""
+        from repro.storage.table import Table
+
+        db = Database(
+            Schema(
+                [
+                    TableSchema(
+                        "users",
+                        [Column("id", T.INTEGER, nullable=False), Column("name", T.TEXT)],
+                        primary_key="id",
+                    )
+                ]
+            )
+        )
+        for i in range(20):
+            db.insert("users", {"id": i, "name": f"u{i}"})
+        path = tmp_path / "snap.jsonl"
+        save_database(db, path)
+
+        calls = []
+        real_insert_rows = Table.insert_rows
+        real_insert = Table.insert
+
+        def spy_insert_rows(self, rows):
+            rows = list(rows)
+            calls.append(("insert_rows", self.name, len(rows)))
+            return real_insert_rows(self, rows)
+
+        def spy_insert(self, values):
+            calls.append(("insert", self.name, 1))
+            return real_insert(self, values)
+
+        monkeypatch.setattr(Table, "insert_rows", spy_insert_rows)
+        monkeypatch.setattr(Table, "insert", spy_insert)
+        loaded = load_database(path)
+        assert calls == [("insert_rows", "users", 20)]
+        assert loaded.row_counts() == {"users": 20}
