@@ -45,7 +45,11 @@ from repro.core.engine import Disguiser
 from repro.core.history import HISTORY_TABLE
 from repro.errors import ReproError
 from repro.spec.parser import spec_from_json
-from repro.storage.persist import load_database, save_database
+from repro.storage.persist import (
+    load_database,
+    read_snapshot_generation,
+    save_database_atomic,
+)
 from repro.storage.wal import (
     FSYNC_POLICIES,
     WalDatabase,
@@ -177,16 +181,18 @@ def _finish_write(args, db, handle: WalDatabase | None) -> None:
     """Persist a write command's result: WAL close, or snapshot rewrite.
 
     A non-WAL write on a database with a pending log is an implicit
-    checkpoint: the rewritten snapshot already contains the replayed
-    changes, so the stale log must not replay over it again.
+    checkpoint, with the same crash discipline as
+    :meth:`WalDatabase.checkpoint`: the snapshot is installed atomically
+    (temp file + fsync + rename) with its generation bumped past the
+    pending log's, so the old snapshot survives a crash mid-write and a
+    crash before the unlink leaves a log that recovery recognizes as
+    already folded in rather than replaying it over the new snapshot.
     """
     if handle is not None:
         handle.close()
         return
-    save_database(db, args.db)
-    wal_path = default_wal_path(args.db)
-    if wal_path.exists():
-        wal_path.unlink()
+    save_database_atomic(db, args.db, generation=read_snapshot_generation(args.db) + 1)
+    default_wal_path(args.db).unlink(missing_ok=True)
 
 
 def _engine(args) -> tuple[Disguiser, WalDatabase | None]:

@@ -18,7 +18,12 @@ from repro.storage.evolve import (
     SchemaChange,
     apply_change,
 )
-from repro.storage.persist import load_database, save_database
+from repro.storage.persist import (
+    load_database,
+    read_snapshot_generation,
+    save_database,
+    save_database_atomic,
+)
 from repro.storage.query import Query, parse_select, run_select
 from repro.storage.predicate import (
     Predicate,
@@ -63,7 +68,9 @@ __all__ = [
     "parse_create_table",
     "parse_schema",
     "save_database",
+    "save_database_atomic",
     "load_database",
+    "read_snapshot_generation",
     "WriteAheadLog",
     "WalDatabase",
     "WalCorruptionError",

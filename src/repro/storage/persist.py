@@ -12,6 +12,7 @@ format round-trips every canonical value type exactly.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, TextIO
 
@@ -20,7 +21,14 @@ from repro.storage.database import Database
 from repro.storage.schema import Column, FKAction, ForeignKey, Schema, TableSchema
 from repro.storage.types import ColumnType
 
-__all__ = ["save_database", "load_database", "dump_rows", "load_rows"]
+__all__ = [
+    "save_database",
+    "save_database_atomic",
+    "load_database",
+    "read_snapshot_generation",
+    "dump_rows",
+    "load_rows",
+]
 
 _FORMAT_VERSION = 1
 
@@ -86,11 +94,24 @@ def _schema_from_json(data: dict[str, Any]) -> TableSchema:
     return TableSchema(data["name"], columns, data["primary_key"], foreign_keys)
 
 
-def save_database(db: Database, path: str | Path) -> None:
-    """Write *db* (schema + all rows) to *path* as JSON lines."""
+def save_database(
+    db: Database, path: str | Path, generation: int | None = None
+) -> None:
+    """Write *db* (schema + all rows) to *path* as JSON lines.
+
+    ``generation`` is the checkpoint generation stamp used by the WAL layer
+    to decide whether a log next to this snapshot is still live (see
+    :mod:`repro.storage.wal`); snapshots without one read back as
+    generation 0.
+    """
     path = Path(path)
     with path.open("w", encoding="utf-8") as handle:
-        header = {"version": _FORMAT_VERSION, "tables": list(db.table_names)}
+        header: dict[str, Any] = {
+            "version": _FORMAT_VERSION,
+            "tables": list(db.table_names),
+        }
+        if generation is not None:
+            header["generation"] = generation
         handle.write(json.dumps({"$header": header}) + "\n")
         for name in db.table_names:
             table = db.table(name)
@@ -98,6 +119,54 @@ def save_database(db: Database, path: str | Path) -> None:
             for row in table.rows():
                 encoded = {k: _encode_value(v) for k, v in row.items()}
                 handle.write(json.dumps({"$row": [name, encoded]}) + "\n")
+
+
+def save_database_atomic(
+    db: Database, path: str | Path, generation: int | None = None
+) -> None:
+    """Crash-safe :func:`save_database`: temp file, fsync, rename, dir fsync.
+
+    At no point is *path* missing or partially written: a crash before the
+    ``os.replace`` leaves the old snapshot untouched, a crash after leaves
+    the new one fully installed.
+    """
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    save_database(db, tmp, generation=generation)
+    with tmp.open("rb") as handle:
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
+def _fsync_dir(directory: Path) -> None:
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir fds
+        return
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def read_snapshot_generation(path: str | Path) -> int:
+    """The checkpoint generation stamped in a snapshot's header.
+
+    A missing file or a header without a stamp is generation 0 (the state
+    of the world before the WAL layer existed).
+    """
+    path = Path(path)
+    if not path.exists():
+        return 0
+    with path.open("r", encoding="utf-8") as handle:
+        first = handle.readline()
+    if not first:
+        raise StorageError(f"{path}: empty snapshot")
+    header = json.loads(first)
+    if "$header" not in header:
+        raise StorageError(f"{path}: not a snapshot")
+    return int(header["$header"].get("generation", 0))
 
 
 def load_database(path: str | Path, verify: bool = True) -> Database:

@@ -20,13 +20,20 @@ the standard journal/checkpoint/recovery shape instead:
 * **Checkpoint** — snapshot the database via the existing
   :mod:`~repro.storage.persist` format (written to a temp file, fsynced,
   atomically renamed), then truncate the log. Recovery cost is bounded by
-  the log written since the last checkpoint, not by history.
+  the log written since the last checkpoint, not by history. Snapshot and
+  log each carry a *checkpoint generation* stamp; the snapshot (with the
+  generation bumped) is installed first, so a crash between the two steps
+  leaves a log whose generation predates the snapshot — recovery sees the
+  stale stamp and skips the replay instead of double-applying changes
+  already folded in.
 * **Recovery** — load the last checkpoint snapshot and replay the log's
   commit units in order. A torn tail (an incomplete final frame, a
   CRC-failing final frame, or trailing statement records with no commit
   frame) is the expected crash signature and is discarded; a CRC failure
   *before* well-formed frames is real corruption and raises
-  :class:`WalCorruptionError`.
+  :class:`WalCorruptionError`. Opening a log for *writing* physically
+  truncates the discarded tail first, so new commit units land after the
+  last sealed frame rather than after damaged bytes.
 
 Framing: each frame is ``<u32 length LE> <u32 crc32 LE> <payload>`` where
 ``payload`` is UTF-8 JSON and the CRC covers the payload bytes only.
@@ -46,9 +53,11 @@ from repro.storage.database import Database
 from repro.storage.persist import (
     _decode_value,
     _encode_value,
+    _fsync_dir,
     _schema_from_json,
     _schema_to_json,
-    save_database,
+    read_snapshot_generation,
+    save_database_atomic,
 )
 from repro.storage.schema import Schema
 
@@ -71,6 +80,9 @@ FSYNC_POLICIES = ("always", "batch", "never")
 _T_HEADER = "header"
 _T_STMT = "stmt"
 _T_COMMIT = "commit"
+
+# Redo ops that survive rollback (mirroring the undo log's DDL rule).
+_DDL_OPS = ("create_table", "drop_table")
 
 
 class WalCorruptionError(StorageError):
@@ -119,8 +131,8 @@ def _write_frame(handle: BinaryIO, payload: dict[str, Any]) -> int:
     return _FRAME_HEADER.size + len(body)
 
 
-def _iter_frames(blob: bytes, path: Path) -> Iterator[dict[str, Any]]:
-    """Yield decoded frames; stop silently at a torn tail, raise mid-log.
+def _iter_frames(blob: bytes, path: Path) -> Iterator[tuple[int, dict[str, Any]]]:
+    """Yield ``(end_offset, frame)``; stop silently at a torn tail, raise mid-log.
 
     The tail is torn when the final frame is incomplete (header or payload
     cut short by a crash) or fails its CRC; either way nothing well-formed
@@ -145,7 +157,7 @@ def _iter_frames(blob: bytes, path: Path) -> Iterator[dict[str, Any]]:
                 )
             return
         try:
-            yield json.loads(body.decode("utf-8"))
+            yield start + length, json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             if _has_valid_frame(blob, start + length):
                 raise WalCorruptionError(
@@ -153,6 +165,44 @@ def _iter_frames(blob: bytes, path: Path) -> Iterator[dict[str, Any]]:
                 ) from None
             return
         offset = start + length
+
+
+def _scan_log(blob: bytes, path: Path) -> tuple[int, list[list[dict[str, Any]]], int]:
+    """Parse a log: ``(generation, committed units, sealed-prefix length)``.
+
+    The sealed-prefix length is the byte offset just past the last frame
+    that is *durably meaningful* — the header or a commit frame. Everything
+    after it (a torn frame, or statement frames never sealed by a commit)
+    is crash debris that a writer must trim before appending.
+
+    Raises :class:`WalCorruptionError` for mid-log damage or a first frame
+    that is not a valid header; an empty or headerless-torn blob scans as
+    ``(0, [], 0)``.
+    """
+    units: list[list[dict[str, Any]]] = []
+    pending: list[dict[str, Any]] = []
+    generation = 0
+    sealed_end = 0
+    saw_header = False
+    for end, frame in _iter_frames(blob, path):
+        kind = frame.get("t")
+        if not saw_header:
+            if kind != _T_HEADER or frame.get("version") != _WAL_VERSION:
+                raise WalCorruptionError(f"{path}: not a v{_WAL_VERSION} WAL")
+            generation = int(frame.get("gen", 0))
+            saw_header = True
+            sealed_end = end
+        elif kind == _T_STMT:
+            pending.append(frame)
+        elif kind == _T_COMMIT:
+            units.append(pending)
+            pending = []
+            sealed_end = end
+        else:
+            raise WalCorruptionError(f"{path}: unexpected frame {kind!r}")
+    # A trailing run of statement frames without a commit frame is an
+    # unacked transaction cut off by the crash: discard it.
+    return generation, units, sealed_end
 
 
 def _has_valid_frame(blob: bytes, offset: int) -> bool:
@@ -185,6 +235,7 @@ class WriteAheadLog:
         path: str | Path,
         fsync: str = "batch",
         batch_commits: int = 8,
+        generation: int | None = None,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise StorageError(
@@ -199,10 +250,44 @@ class WriteAheadLog:
         self.bytes_written = 0
         self.commits_appended = 0
         self.syncs = 0
-        existing = self.path.stat().st_size if self.path.exists() else 0
-        self._handle: BinaryIO = self.path.open("ab")
-        if existing == 0:
-            _write_frame(self._handle, {"t": _T_HEADER, "version": _WAL_VERSION})
+        # Attach for writing. An existing log may end in crash debris — a
+        # torn frame or statement frames never sealed by a commit — which
+        # recovery discards *logically*; appending after it would bury new
+        # commits behind bytes every future recovery stops at (or worse,
+        # let a new commit frame seal stale unacked statements). So the
+        # debris is physically trimmed before the first append. A log whose
+        # generation predates *generation* (a checkpoint installed its
+        # snapshot but crashed before truncating) is superseded wholesale;
+        # one from a *newer* snapshot than the caller has means the base it
+        # was logged against is gone — refuse.
+        blob = self.path.read_bytes() if self.path.exists() else b""
+        log_gen, _units, sealed_end = _scan_log(blob, self.path)
+        if generation is None:
+            generation = log_gen
+        elif log_gen > generation:
+            raise WalCorruptionError(
+                f"{self.path}: log generation {log_gen} is newer than the "
+                f"snapshot's {generation}; its base snapshot is missing"
+            )
+        self.generation = generation
+        if blob and log_gen < generation:
+            _write_fresh_log(self.path, generation)
+            self._handle: BinaryIO = self.path.open("ab")
+        elif sealed_end > 0:
+            self._handle = self.path.open("ab")
+            if sealed_end < len(blob):
+                self._handle.truncate(sealed_end)
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+        else:
+            # Missing, empty, or so torn not even the header survived.
+            self._handle = self.path.open("ab")
+            if blob:
+                self._handle.truncate(0)
+            _write_frame(
+                self._handle,
+                {"t": _T_HEADER, "version": _WAL_VERSION, "gen": generation},
+            )
             self._handle.flush()
 
     # -- redo-hook protocol ----------------------------------------------------------
@@ -218,7 +303,16 @@ class WriteAheadLog:
             self._append_unit(records)
 
     def on_rollback(self) -> None:
-        self._tx_stack.pop()
+        # DML in the rolled-back level is discarded, but DDL is not undone
+        # by rollback, so its records survive — in order, at the point the
+        # rollback made them permanent.
+        ddl = [r for r in self._tx_stack.pop() if r["op"] in _DDL_OPS]
+        if not ddl:
+            return
+        if self._tx_stack:
+            self._tx_stack[-1].extend(ddl)
+        else:
+            self._append_unit(ddl)
 
     def on_statement(self, record: dict[str, Any]) -> None:
         if self._tx_stack:
@@ -227,9 +321,14 @@ class WriteAheadLog:
             self._append_unit([_encode_record(record)])
 
     def on_ddl(self, record: dict[str, Any]) -> None:
-        """DDL commits immediately, even mid-transaction (DDL is not undone
-        by rollback, so it must not be discarded with a rolled-back buffer)."""
-        self._append_unit([_encode_record(record)])
+        """DDL buffers in statement order mid-transaction (a transaction
+        that fills a table and then drops it must not replay as drop-then-
+        insert); :meth:`on_rollback` retains it when the DML is discarded.
+        Outside a transaction it commits as a unit of its own."""
+        if self._tx_stack:
+            self._tx_stack[-1].append(_encode_record(record))
+        else:
+            self._append_unit([_encode_record(record)])
 
     # -- appending ---------------------------------------------------------------------
 
@@ -274,62 +373,51 @@ class WriteAheadLog:
     def in_transaction(self) -> bool:
         return bool(self._tx_stack)
 
-    def truncate(self) -> None:
-        """Reset the log to an empty (header-only) file, durably."""
+    def truncate(self, generation: int | None = None) -> None:
+        """Reset the log to an empty (header-only) file, durably.
+
+        ``generation`` restamps the header — :meth:`WalDatabase.checkpoint`
+        passes the new snapshot's generation so log and snapshot move to
+        the new epoch together.
+        """
+        if generation is not None:
+            self.generation = generation
         self._handle.close()
-        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
-        with tmp.open("wb") as handle:
-            _write_frame(handle, {"t": _T_HEADER, "version": _WAL_VERSION})
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.path)
-        _fsync_dir(self.path.parent)
+        _write_fresh_log(self.path, self.generation)
         self._handle = self.path.open("ab")
         self._unsynced_commits = 0
 
     # -- reading -----------------------------------------------------------------------
 
     @staticmethod
-    def read_units(path: str | Path) -> list[list[dict[str, Any]]]:
-        """Committed units in *path*, oldest first, tolerating a torn tail.
+    def read_log(path: str | Path) -> tuple[int, list[list[dict[str, Any]]]]:
+        """``(generation, committed units oldest first)``, tolerating a torn
+        tail.
 
         Raises :class:`WalCorruptionError` for mid-log damage or a missing
         or wrong-version header on a non-empty log.
         """
         path = Path(path)
-        blob = path.read_bytes()
-        if not blob:
-            return []
-        units: list[list[dict[str, Any]]] = []
-        pending: list[dict[str, Any]] = []
-        saw_header = False
-        for frame in _iter_frames(blob, path):
-            kind = frame.get("t")
-            if not saw_header:
-                if kind != _T_HEADER or frame.get("version") != _WAL_VERSION:
-                    raise WalCorruptionError(f"{path}: not a v{_WAL_VERSION} WAL")
-                saw_header = True
-            elif kind == _T_STMT:
-                pending.append(frame)
-            elif kind == _T_COMMIT:
-                units.append(pending)
-                pending = []
-            else:
-                raise WalCorruptionError(f"{path}: unexpected frame {kind!r}")
-        # A trailing run of statement frames without a commit frame is an
-        # unacked transaction cut off by the crash: discard it.
-        return units
+        generation, units, _sealed_end = _scan_log(path.read_bytes(), path)
+        return generation, units
+
+    @staticmethod
+    def read_units(path: str | Path) -> list[list[dict[str, Any]]]:
+        """Just the committed units of :meth:`read_log`."""
+        return WriteAheadLog.read_log(path)[1]
 
 
-def _fsync_dir(directory: Path) -> None:
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:  # pragma: no cover - platform without dir fds
-        return
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
+def _write_fresh_log(path: Path, generation: int) -> None:
+    """Atomically replace *path* with a header-only log at *generation*."""
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with tmp.open("wb") as handle:
+        _write_frame(
+            handle, {"t": _T_HEADER, "version": _WAL_VERSION, "gen": generation}
+        )
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
 
 
 # -- replay --------------------------------------------------------------------------
@@ -408,17 +496,33 @@ def recover_database(
     Missing snapshot means the log started from an empty database (DDL
     records bootstrap the schema); a missing log means the snapshot alone
     is current. A torn log tail is discarded; mid-log corruption raises.
+
+    Generation gate: the log replays only when its generation stamp
+    matches the snapshot's. A *lower* stamp means the log's changes were
+    already folded into the snapshot (a checkpoint or non-WAL rewrite
+    crashed before discarding the log) — replaying them again would
+    double-apply, so the stale log is skipped. A *higher* stamp means the
+    snapshot the log was written against is gone: that is corruption.
     """
     from repro.storage.persist import load_database
 
     snapshot_path = Path(snapshot_path)
     wal_path = Path(wal_path) if wal_path is not None else default_wal_path(snapshot_path)
+    snapshot_gen = read_snapshot_generation(snapshot_path)
     if snapshot_path.exists():
         db = load_database(snapshot_path, verify=False)
     else:
         db = Database(Schema())
     if wal_path.exists():
-        replay_into(db, WriteAheadLog.read_units(wal_path))
+        wal_gen, units = WriteAheadLog.read_log(wal_path)
+        if wal_gen == snapshot_gen:
+            replay_into(db, units)
+        elif wal_gen > snapshot_gen:
+            raise WalCorruptionError(
+                f"{wal_path}: log generation {wal_gen} is newer than snapshot "
+                f"generation {snapshot_gen}; its base snapshot is missing"
+            )
+        # wal_gen < snapshot_gen: already folded into the snapshot — skip.
     if verify:
         db.assert_integrity()
     return db
@@ -447,21 +551,27 @@ class WalDatabase:
             Path(wal_path) if wal_path is not None else default_wal_path(snapshot_path)
         )
         self.db = recover_database(self.snapshot_path, self.wal_path, verify=verify)
-        self.wal = WriteAheadLog(self.wal_path, fsync=fsync, batch_commits=batch_commits)
+        self.wal = WriteAheadLog(
+            self.wal_path,
+            fsync=fsync,
+            batch_commits=batch_commits,
+            generation=read_snapshot_generation(self.snapshot_path),
+        )
         self.db.set_redo_hook(self.wal)
 
     def checkpoint(self) -> None:
-        """Durably snapshot the current state, then truncate the log."""
+        """Durably snapshot the current state, then truncate the log.
+
+        The snapshot is installed (atomically) with the generation bumped
+        *before* the log is truncated: if we crash in between, the log's
+        older stamp marks it as already-folded-in and recovery skips it.
+        """
         if self.db.in_transaction:
             raise StorageError("cannot checkpoint inside an open transaction")
         self.wal.sync()
-        tmp = self.snapshot_path.with_suffix(self.snapshot_path.suffix + ".tmp")
-        save_database(self.db, tmp)
-        with tmp.open("rb") as handle:
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.snapshot_path)
-        _fsync_dir(self.snapshot_path.parent)
-        self.wal.truncate()
+        new_generation = self.wal.generation + 1
+        save_database_atomic(self.db, self.snapshot_path, generation=new_generation)
+        self.wal.truncate(generation=new_generation)
 
     def close(self) -> None:
         self.db.set_redo_hook(None)

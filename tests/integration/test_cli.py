@@ -245,3 +245,45 @@ class TestCliWalMode:
         assert not default_wal_path(db_path).exists()
         db = load_database(db_path)
         assert db.get("users", 2) is None and db.get("users", 3) is None
+
+    def test_non_wal_write_is_atomic_and_supersedes_stale_wal(
+        self, workspace, capsys, monkeypatch
+    ):
+        """The implicit checkpoint's crash discipline: the snapshot is
+        installed via rename (never rewritten in place), with a generation
+        stamp past the pending log's — so if the crash lands between the
+        install and the unlink, the surviving stale log is skipped by
+        recovery instead of replaying over the new snapshot."""
+        from pathlib import Path
+
+        from repro.storage.persist import load_database, read_snapshot_generation
+        from repro.storage.wal import default_wal_path, recover_database
+
+        db_path, spec_path, vault_dir = workspace
+        run("apply", "--db", db_path, "--vault-dir", vault_dir,
+            "--spec", spec_path, "--uid", "2", "--wal", "--fsync", "always")
+        capsys.readouterr()
+        stale_wal = default_wal_path(db_path).read_bytes()
+
+        # Simulate the crash window: make the unlink a no-op.
+        monkeypatch.setattr(Path, "unlink", lambda self, missing_ok=False: None)
+        code = run("apply", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--uid", "3")
+        monkeypatch.undo()
+        capsys.readouterr()
+        assert code == 0
+        wal_path = default_wal_path(db_path)
+        assert wal_path.exists() and wal_path.read_bytes() == stale_wal
+        # No leftover temp file from the atomic install.
+        assert not db_path.with_suffix(db_path.suffix + ".tmp").exists()
+        assert read_snapshot_generation(db_path) > 0
+        # Recovery reads through the stale log without double-applying.
+        db = recover_database(db_path)
+        assert db.get("users", 2) is None and db.get("users", 3) is None
+        db.assert_integrity()
+        # And a later WAL write resets the stale log and keeps going.
+        code = run("apply", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--uid", "4", "--wal")
+        capsys.readouterr()
+        assert code == 0
+        assert recover_database(db_path).get("users", 4) is None

@@ -182,6 +182,101 @@ class TestBitFlips:
         wal_path.write_bytes(blob)
 
 
+class TestReopenAfterCrash:
+    def test_recover_append_recover_at_every_cut(self, workload, tmp_path):
+        """Reopening a torn log for writes must trim the debris so commits
+        appended *after* the crash survive the *next* recovery."""
+        snap, wal_path, states = workload
+        blob = wal_path.read_bytes()
+        spans = frame_spans(blob)
+        commit_ends = [end for _s, end, payload in spans if payload.get("t") == "commit"]
+
+        work = tmp_path / "reopen"
+        work.mkdir()
+        crash_snap = work / "app.jsonl"
+        crash_wal = default_wal_path(crash_snap)
+
+        # Every cut severity: clean log, torn mid-frame, torn mid-unit.
+        for cut in range(0, len(blob) + 1, 7):
+            shutil.copy(snap, crash_snap)
+            crash_wal.write_bytes(blob[:cut])
+            expected_commits = sum(1 for end in commit_ends if end <= cut)
+            with open_in_place(crash_snap, fsync="always") as handle:
+                assert contents(handle.db) == states[expected_commits]
+                handle.db.insert(
+                    "users", {"id": 99, "name": "post-crash", "email": "pc@x"}
+                )
+            recovered = recover_database(crash_snap)
+            assert recovered.get("users", 99) is not None, (
+                f"cut at byte {cut}: commit appended after reopen was lost"
+            )
+            got = contents(recovered)
+            got["users"] = [r for r in got["users"] if r["id"] != 99]
+            assert got == states[expected_commits], (
+                f"cut at byte {cut}: pre-crash prefix not preserved"
+            )
+            recovered.assert_integrity()
+
+    def test_trailing_unsealed_statements_not_resealed_by_next_commit(
+        self, workload, tmp_path
+    ):
+        """Statement frames with no commit frame are an unacked transaction;
+        a commit appended after reopen must not adopt them."""
+        snap, wal_path, states = workload
+        blob = wal_path.read_bytes()
+        spans = frame_spans(blob)
+        # Cut just past the last *statement* frame, beheading its commit.
+        stmt_ends = [end for _s, end, p in spans if p.get("t") == "stmt"]
+        crash_snap = tmp_path / "unsealed" / "app.jsonl"
+        crash_snap.parent.mkdir()
+        shutil.copy(snap, crash_snap)
+        crash_wal = default_wal_path(crash_snap)
+        crash_wal.write_bytes(blob[: stmt_ends[-1]])
+        with open_in_place(crash_snap, fsync="always") as handle:
+            handle.db.update_by_pk("users", 1, {"name": "sealed"})
+        recovered = recover_database(crash_snap)
+        assert recovered.get("users", 1)["name"] == "sealed"
+        # The beheaded unit (delete_where on posts) must not have leaked in.
+        assert contents(recovered)["posts"] == states[-2]["posts"]
+
+    def test_checkpoint_crash_window_skips_stale_log(self, workload):
+        """Crash after the checkpoint snapshot is installed but before the
+        log truncates: the stale log's generation predates the snapshot's,
+        so recovery must skip the replay instead of double-applying."""
+        from repro.storage.persist import save_database_atomic
+
+        snap, wal_path, states = workload
+        handle = open_in_place(snap, fsync="always")
+        expected = contents(handle.db)
+        # First half of checkpoint(): install the snapshot, bump the stamp —
+        # then "crash" before wal.truncate() runs.
+        save_database_atomic(handle.db, snap, generation=handle.wal.generation + 1)
+        del handle  # no close(): the stale WAL stays on disk
+        assert wal_path.exists() and wal_path.stat().st_size > 100
+        recovered = recover_database(snap)
+        assert contents(recovered) == expected
+        recovered.assert_integrity()
+        # Reopening for writes resets the stale log and keeps working.
+        with open_in_place(snap, fsync="always") as handle2:
+            assert contents(handle2.db) == expected
+            handle2.db.insert("users", {"id": 77, "name": "after", "email": "a@x"})
+        assert recover_database(snap).get("users", 77) is not None
+
+    def test_log_newer_than_snapshot_raises(self, workload):
+        """A log stamped with a generation the snapshot never reached means
+        the log's base snapshot is gone: corruption, not a crash artifact."""
+        snap, wal_path, _states = workload
+        handle = open_in_place(snap)
+        handle.checkpoint()  # snapshot gen 1, log gen 1
+        handle.db.insert("users", {"id": 60, "name": "x", "email": "x@x"})
+        handle.close()
+        # Regress the snapshot to a stamp below the log's.
+        db = recover_database(snap)
+        save_database(db, snap)  # no generation stamp → generation 0
+        with pytest.raises(WalCorruptionError):
+            recover_database(snap)
+
+
 class TestAckedDurability:
     def test_fsync_always_never_loses_acked_commits(self, tmp_path):
         """Every commit is wholly on disk at ack time: a copy of the file

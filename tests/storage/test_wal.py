@@ -154,6 +154,54 @@ class TestRedoMirror:
         assert recovered.has_table("audit")
         assert len(recovered.table("audit")) == 0
 
+    def test_ddl_stays_in_statement_order(self, snap):
+        """A transaction that fills a table then drops it must log the
+        records in that order — not hoist the DDL ahead of buffered DML
+        (drop-then-insert would fail replay on a valid log)."""
+        from repro.storage.schema import Column, TableSchema
+        from repro.storage.types import ColumnType
+
+        with open_in_place(snap) as handle:
+            db = handle.db
+            with db.transaction():
+                db.create_table(
+                    TableSchema(
+                        "scratch",
+                        [Column("id", ColumnType.INTEGER, nullable=False)],
+                        "id",
+                    )
+                )
+                db.insert("scratch", {"id": 1})
+                db.drop_table("scratch")
+                db.insert("users", {"id": 70, "name": "after-ddl", "email": "a@x"})
+            expected = contents(db)
+        recovered = recover_database(snap)
+        assert not recovered.has_table("scratch")
+        assert recovered.get("users", 70) is not None
+        assert contents(recovered) == expected
+
+    def test_rolled_back_ddl_keeps_relative_order(self, snap):
+        """Two DDL records in a rolled-back transaction survive in order:
+        create-then-drop must not replay as drop-then-create."""
+        from repro.storage.schema import Column, TableSchema
+        from repro.storage.types import ColumnType
+
+        with open_in_place(snap) as handle:
+            db = handle.db
+            db.begin()
+            db.create_table(
+                TableSchema(
+                    "temp", [Column("id", ColumnType.INTEGER, nullable=False)], "id"
+                )
+            )
+            db.insert("temp", {"id": 1})
+            db.drop_table("temp")
+            db.rollback()
+            expected = contents(db)
+        recovered = recover_database(snap)
+        assert not recovered.has_table("temp")
+        assert contents(recovered) == expected
+
     def test_id_watermark_restored(self, snap):
         with open_in_place(snap) as handle:
             db = handle.db
