@@ -21,6 +21,11 @@ Usage::
     python -m repro.cli vault   --vault-dir vaults --owner 19
     python -m repro.cli check   --db app.jsonl
     python -m repro.cli checkpoint --db app.jsonl
+    python -m repro.cli submit  --db app.jsonl apply --spec-name scrub --uid 19
+    python -m repro.cli submit  --db app.jsonl reveal --did 1
+    python -m repro.cli jobs    --db app.jsonl
+    python -m repro.cli serve   --db app.jsonl --vault-dir vaults \
+                                --spec scrub.json --workers 4 --wal
 
 Without ``--wal`` every write command rewrites the whole snapshot —
 O(database) per invocation. With ``--wal`` the command appends the
@@ -29,6 +34,15 @@ selects the durability/throughput trade-off) and the snapshot is only
 rewritten when ``checkpoint`` folds the log back in. Every command reads
 through a pending WAL, so the two modes interoperate: a non-WAL write
 performs an implicit checkpoint.
+
+``submit`` appends a request to the durable job queue (``<db>.jobs``)
+without touching the database; ``serve`` starts the concurrent disguise
+service (:mod:`repro.service`) over the snapshot, drains the queue with
+``--workers`` worker threads under two-phase table locking, prints a
+metrics report, and exits; ``jobs`` lists the queue. Apply submissions
+name a spec by its registered name — resolution happens when ``serve``
+runs with that spec's ``--spec`` document, and an unresolvable job
+retries and dead-letters like any other failure.
 
 Exit status: 0 on success, 1 on a disguise/storage error, 2 on bad usage.
 """
@@ -44,6 +58,9 @@ from typing import Any
 from repro.core.engine import Disguiser
 from repro.core.history import HISTORY_TABLE
 from repro.errors import ReproError
+from repro.service.executor import JOB_APPLY, JOB_EXPIRE, JOB_REVEAL
+from repro.service.queue import JOB_STATES, JobQueue
+from repro.service.server import DisguiseService, default_queue_path
 from repro.spec.parser import spec_from_json
 from repro.storage.persist import (
     load_database,
@@ -158,6 +175,69 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_pii = sub.add_parser("scan-pii", help="sweep all text columns for PII-shaped values")
     add_db(p_pii)
+
+    def add_queue(p):
+        p.add_argument("--queue", help="job queue journal (default: <db>.jobs)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="start the concurrent disguise service and drain the job queue",
+    )
+    add_db(p_serve)
+    add_vault(p_serve)
+    add_specs(p_serve)
+    add_queue(p_serve)
+    p_serve.add_argument(
+        "--workers", type=int, default=4, help="worker threads (default: 4)"
+    )
+    p_serve.add_argument(
+        "--lock-timeout",
+        type=float,
+        default=10.0,
+        help="seconds a job waits for a table lock before failing (default: 10)",
+    )
+    p_serve.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        help="attempts before a job dead-letters (default: 3)",
+    )
+    p_serve.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        help="give up draining after this many seconds (default: wait forever)",
+    )
+    add_wal(p_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="append a job to the durable queue (no workers run)"
+    )
+    add_db(p_submit)
+    add_queue(p_submit)
+    sub_submit = p_submit.add_subparsers(dest="kind", required=True)
+    ps_apply = sub_submit.add_parser("apply", help="queue a disguise application")
+    ps_apply.add_argument(
+        "--spec-name", required=True, help="registered name of the disguise spec"
+    )
+    ps_apply.add_argument("--uid", type=int, help="user id for $UID disguises")
+    ps_apply.add_argument("--irreversible", action="store_true")
+    ps_reveal = sub_submit.add_parser("reveal", help="queue a disguise reversal")
+    ps_reveal.add_argument("--did", type=int, required=True, help="disguise id")
+    ps_expire = sub_submit.add_parser("expire", help="queue a vault expiration")
+    ps_expire.add_argument(
+        "--epoch", type=int, required=True, help="drop vault entries older than this"
+    )
+
+    p_jobs = sub.add_parser("jobs", help="list the job queue")
+    add_db(p_jobs)
+    add_queue(p_jobs)
+    p_jobs.add_argument(
+        "--state",
+        action="append",
+        choices=JOB_STATES,
+        help="only these states (repeatable; default: all)",
+    )
 
     return parser
 
@@ -335,6 +415,79 @@ def cmd_scan_pii(args) -> int:
     return 0
 
 
+def _queue_path(args) -> Path:
+    return Path(args.queue) if args.queue else default_queue_path(args.db)
+
+
+def cmd_serve(args) -> int:
+    engine, handle = _engine(args)
+    service = DisguiseService(
+        engine,
+        _queue_path(args),
+        workers=args.workers,
+        wal=handle.wal if handle is not None else None,
+        lock_timeout=args.lock_timeout,
+        max_attempts=args.max_attempts,
+    )
+    try:
+        with service:
+            drained = service.drain(timeout=args.drain_timeout)
+    except BaseException:
+        if handle is not None:
+            handle.close()
+        raise
+    _finish_write(args, engine.db, handle)
+    print(json.dumps(service.metrics(), indent=2, sort_keys=True))
+    if not drained:
+        print("warning: drain timed out with jobs still queued", file=sys.stderr)
+        return 1
+    dead = service.queue.counts()["dead"]
+    if dead:
+        print(f"warning: {dead} job(s) dead-lettered", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_submit(args) -> int:
+    queue = JobQueue(_queue_path(args))
+    try:
+        if args.kind == "apply":
+            job = queue.submit(
+                JOB_APPLY,
+                {
+                    "spec": args.spec_name,
+                    "uid": args.uid,
+                    "reversible": not args.irreversible,
+                },
+            )
+        elif args.kind == "reveal":
+            job = queue.submit(JOB_REVEAL, {"did": args.did})
+        else:
+            job = queue.submit(JOB_EXPIRE, {"epoch": args.epoch})
+    finally:
+        queue.close()
+    print(f"queued job {job.job_id}: {args.kind}")
+    return 0
+
+
+def cmd_jobs(args) -> int:
+    path = _queue_path(args)
+    if not path.exists():
+        print("no job queue")
+        return 0
+    queue = JobQueue(path)
+    try:
+        jobs = queue.jobs(states=args.state)
+    finally:
+        queue.close()
+    if not jobs:
+        print("no jobs")
+        return 0
+    for job in jobs:
+        print(json.dumps(job.describe(), sort_keys=True))
+    return 0
+
+
 def cmd_checkpoint(args) -> int:
     wal_path = default_wal_path(args.db)
     pending = wal_path.stat().st_size if wal_path.exists() else 0
@@ -355,6 +508,9 @@ _COMMANDS = {
     "checkpoint": cmd_checkpoint,
     "audit": cmd_audit,
     "scan-pii": cmd_scan_pii,
+    "serve": cmd_serve,
+    "submit": cmd_submit,
+    "jobs": cmd_jobs,
 }
 
 

@@ -58,6 +58,27 @@ class Disguiser:
         self.validate_specs = validate_specs
         self._specs: dict[str, DisguiseSpec] = {}
 
+    def share(self, seed: int | None = None) -> "Disguiser":
+        """A worker-private engine over the same database and vault.
+
+        The service runs one :class:`Disguiser` per worker thread: the
+        database, vault, history, placeholder registry, and spec registry
+        are shared (each already safe under the service's locks), while
+        the :class:`OpExecutor` and RNG are private — the executor's
+        ``defer_fk`` toggles mid-apply, and the RNG must not interleave
+        draws across concurrent disguises.
+        """
+        clone = object.__new__(Disguiser)
+        clone.db = self.db
+        clone.vault = self.vault
+        clone.history = self.history
+        clone.registry = self.registry
+        clone.executor = OpExecutor(self.db, self.db.schema, self.registry)
+        clone.rng = random.Random(self.rng.randrange(2**63) if seed is None else seed)
+        clone.validate_specs = self.validate_specs
+        clone._specs = self._specs
+        return clone
+
     # -- spec registry -----------------------------------------------------------
 
     def register(self, spec: DisguiseSpec) -> list:

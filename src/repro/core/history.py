@@ -12,6 +12,7 @@ re-applied to revealed data.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any
 
@@ -89,6 +90,10 @@ class DisguiseHistory:
             db.create_table(_history_schema())
         self._next_did = 1
         self._next_seq = 1
+        # Concurrent workers share one history; id allocation is the only
+        # in-memory state, so a mutex over the counters suffices (rows are
+        # written through the locked/latched Database statement API).
+        self._alloc_mu = threading.Lock()
         for row in db.table(HISTORY_TABLE).rows():
             self._next_did = max(self._next_did, row["did"] + 1)
             self._next_seq = max(self._next_seq, row["last_seq"] + 1)
@@ -96,9 +101,10 @@ class DisguiseHistory:
     # -- id allocation -----------------------------------------------------------
 
     def next_seq(self) -> int:
-        seq = self._next_seq
-        self._next_seq += 1
-        return seq
+        with self._alloc_mu:
+            seq = self._next_seq
+            self._next_seq += 1
+            return seq
 
     # Entry ids share the seq counter: both need only global uniqueness and
     # monotonicity, and one counter means one checkpoint.
@@ -118,8 +124,9 @@ class DisguiseHistory:
         The epoch of a disguise equals its id: ids are allocated in
         application order, so comparisons on epoch give log order.
         """
-        did = self._next_did
-        self._next_did += 1
+        with self._alloc_mu:
+            did = self._next_did
+            self._next_did += 1
         self.db.insert(
             HISTORY_TABLE,
             {

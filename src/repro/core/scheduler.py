@@ -98,15 +98,30 @@ class FiredAction:
 
 
 class PolicyScheduler:
-    """Evaluates registered policies against simulated time."""
+    """Evaluates registered policies against simulated time.
 
-    def __init__(self, engine: Disguiser, clock: SimClock) -> None:
+    With ``service`` (a :class:`~repro.service.server.DisguiseService` or
+    anything with ``submit_apply``/``submit_reveal``/``status``), due
+    disguises are *enqueued* as jobs instead of applied inline — time-
+    triggered and user-triggered disguises then share one execution path,
+    one lock discipline, and one durability story. Actions report kind
+    ``"enqueue-apply"`` / ``"enqueue-reveal"`` with the job as payload,
+    and a stage stays marked in-force while its job is in flight (ticks
+    resolve finished jobs to disguise ids; dead-lettered jobs un-mark the
+    stage so it re-fires).
+    """
+
+    def __init__(
+        self, engine: Disguiser, clock: SimClock, service: Any = None
+    ) -> None:
         self.engine = engine
         self.clock = clock
+        self.service = service
         self._expirations: list[ExpirationPolicy] = []
         self._decays: list[DecayPolicy] = []
-        # (policy, stage spec, uid) -> disguise id while in force
-        self._in_force: dict[tuple[str, str, Any], int] = {}
+        # (policy, stage spec, uid) -> disguise id while in force, or
+        # ("job", job_id) while the queued apply is still in flight.
+        self._in_force: dict[tuple[str, str, Any], Any] = {}
 
     def add(self, policy: ExpirationPolicy | DecayPolicy) -> None:
         if isinstance(policy, ExpirationPolicy):
@@ -121,12 +136,48 @@ class PolicyScheduler:
 
     def tick(self) -> list[FiredAction]:
         """Evaluate every policy now; returns the actions taken."""
+        if self.service is not None:
+            self._resolve_in_flight()
         actions: list[FiredAction] = []
         for policy in self._expirations:
             actions.extend(self._tick_expiration(policy))
         for policy in self._decays:
             actions.extend(self._tick_decay(policy))
         return actions
+
+    # -- queue routing -------------------------------------------------------------
+
+    def _resolve_in_flight(self) -> None:
+        """Swap finished jobs' ids in; forget dead-lettered ones."""
+        for key, value in list(self._in_force.items()):
+            if not (isinstance(value, tuple) and value[0] == "job"):
+                continue
+            described = self.service.status(value[1])
+            if described["state"] == "done":
+                self._in_force[key] = described["result"]["did"]
+            elif described["state"] == "dead":
+                del self._in_force[key]
+
+    def _fire_apply(self, key: tuple, spec_name: str, uid: Any, policy: str) -> FiredAction:
+        if self.service is None:
+            report = self.engine.apply(spec_name, uid=uid)
+            self._in_force[key] = report.disguise_id
+            return FiredAction(policy, "apply", spec_name, uid, report)
+        job = self.service.submit_apply(spec_name, uid=uid)
+        self._in_force[key] = ("job", job.job_id)
+        return FiredAction(policy, "enqueue-apply", spec_name, uid, job)
+
+    def _fire_reveal(self, key: tuple, spec_name: str, uid: Any, policy: str) -> FiredAction | None:
+        value = self._in_force[key]
+        if isinstance(value, tuple) and value[0] == "job":
+            # The apply is still in flight; reveal once a tick resolves it.
+            return None
+        del self._in_force[key]
+        if self.service is None:
+            report = self.engine.reveal(value)
+            return FiredAction(policy, "reveal", spec_name, uid, report)
+        job = self.service.submit_reveal(value)
+        return FiredAction(policy, "enqueue-reveal", spec_name, uid, job)
 
     # -- policy evaluation ---------------------------------------------------------
 
@@ -137,18 +188,16 @@ class PolicyScheduler:
             key = (policy.name, policy.spec_name, uid)
             idle = self.clock.now - last_active
             if idle >= policy.inactive_for and key not in self._in_force:
-                report = self.engine.apply(policy.spec_name, uid=uid)
-                self._in_force[key] = report.disguise_id
                 actions.append(
-                    FiredAction(policy.name, "apply", policy.spec_name, uid, report)
+                    self._fire_apply(key, policy.spec_name, uid, policy.name)
                 )
             elif idle < policy.inactive_for and key in self._in_force:
                 if policy.reveal_on_return:
-                    did = self._in_force.pop(key)
-                    report = self.engine.reveal(did)
-                    actions.append(
-                        FiredAction(policy.name, "reveal", policy.spec_name, uid, report)
+                    action = self._fire_reveal(
+                        key, policy.spec_name, uid, policy.name
                     )
+                    if action is not None:
+                        actions.append(action)
         return actions
 
     def _tick_decay(self, policy: DecayPolicy) -> list[FiredAction]:
@@ -159,9 +208,7 @@ class PolicyScheduler:
             for stage in policy.stages:
                 key = (policy.name, stage.spec_name, uid)
                 if idle >= stage.age and key not in self._in_force:
-                    report = self.engine.apply(stage.spec_name, uid=uid)
-                    self._in_force[key] = report.disguise_id
                     actions.append(
-                        FiredAction(policy.name, "apply", stage.spec_name, uid, report)
+                        self._fire_apply(key, stage.spec_name, uid, policy.name)
                     )
         return actions

@@ -74,3 +74,31 @@ class CryptoError(ReproError):
 
 class IntegrityViolation(StorageError):
     """The referential-integrity checker found a dangling foreign key."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the concurrent disguise service."""
+
+
+class LockTimeoutError(ServiceError):
+    """A lock request waited longer than its timeout."""
+
+
+class DeadlockError(ServiceError):
+    """Granting a lock request would close a cycle in the wait-for graph.
+
+    The requester is the victim: it should roll back, release its locks,
+    and retry. ``cycle`` names the transactions on the detected cycle.
+    """
+
+    def __init__(self, message: str, cycle: tuple = ()) -> None:
+        super().__init__(message)
+        self.cycle = tuple(cycle)
+
+
+class JobError(ServiceError):
+    """A job queue operation failed (unknown job, invalid transition)."""
+
+
+class QueueCorruptionError(ServiceError):
+    """The job-queue journal is damaged somewhere other than its torn tail."""

@@ -1,0 +1,36 @@
+"""The concurrent disguise service: locks, durable jobs, worker pool.
+
+The paper casts the disguising tool as long-running infrastructure beside
+the application. This package turns the single-threaded engine into that
+service: table-granularity two-phase locking with deadlock detection
+(:mod:`~repro.service.locks`), a durable retry/dead-letter job queue
+(:mod:`~repro.service.queue`), a multi-worker executor with early lock
+release into leader/follower group commit
+(:mod:`~repro.service.executor`), and the submit/status/drain façade the
+CLI exposes (:mod:`~repro.service.server`).
+"""
+
+from repro.service.executor import JOB_APPLY, JOB_EXPIRE, JOB_REVEAL, WorkerPool
+from repro.service.locks import MODE_S, MODE_X, LockHook, LockManager, LockStats
+from repro.service.queue import DEAD, DONE, PENDING, RUNNING, Job, JobQueue
+from repro.service.server import DisguiseService, default_queue_path
+
+__all__ = [
+    "DisguiseService",
+    "Job",
+    "JobQueue",
+    "JOB_APPLY",
+    "JOB_EXPIRE",
+    "JOB_REVEAL",
+    "LockHook",
+    "LockManager",
+    "LockStats",
+    "MODE_S",
+    "MODE_X",
+    "PENDING",
+    "RUNNING",
+    "DONE",
+    "DEAD",
+    "WorkerPool",
+    "default_queue_path",
+]

@@ -1,0 +1,224 @@
+"""Multi-worker job execution for the concurrent disguise service.
+
+K worker threads pop jobs off the durable queue, pre-acquire the table
+locks the disguise's spec footprint calls for, run the job through a
+worker-private :class:`~repro.core.engine.Disguiser` (shared database,
+vault, and history; private operator executor and RNG), and group-commit
+through the shared write-ahead log.
+
+Lock discipline per job:
+
+1. ``LockHook.start_job`` pins a per-attempt transaction token to the
+   worker thread, so pre-acquired locks and statement-time acquisitions
+   share one two-phase scope.
+2. The spec's table footprint is pre-locked exclusively **in sorted
+   order** — jobs whose footprints overlap serialize up front instead of
+   meeting in the middle, which avoids most deadlocks outright.  Locks
+   the footprint misses (FK parents, cascade children) are still picked
+   up statement-by-statement; the wait-for-graph detector catches any
+   resulting cycle and the victim retries with backoff via the queue.
+3. On commit the engine's WAL unit is appended and locks release
+   immediately (early lock release).  The worker then calls
+   ``commit_barrier()`` — *outside* every lock — so one leader fsync
+   makes many workers' commits durable together.
+4. Only after the barrier is the job marked done in the queue: a crash
+   can re-run a finished-but-unacked job, never lose an acked one.
+
+Retry semantics: deadlock and lock-timeout victims are rolled back by the
+engine and re-queued with exponential backoff; other failures consume
+attempts the same way and dead-letter when exhausted.  A re-run reveal of
+an already-revealed disguise completes as a no-op (the history shows it
+inactive), which makes crash-induced reveal re-runs idempotent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any
+
+from repro.core.engine import Disguiser
+from repro.errors import DeadlockError, DisguiseError, LockTimeoutError, ServiceError
+from repro.service.locks import MODE_X, LockHook, is_system_table
+from repro.service.queue import DEAD, Job, JobQueue
+
+__all__ = ["WorkerPool", "JOB_APPLY", "JOB_REVEAL", "JOB_EXPIRE"]
+
+JOB_APPLY = "apply"
+JOB_REVEAL = "reveal"
+JOB_EXPIRE = "expire"
+
+
+class _LatencyWindow:
+    """Fixed-size ring of job latencies for p50/p99 snapshots."""
+
+    def __init__(self, size: int = 2048) -> None:
+        self._ring: list[float] = []
+        self._size = size
+        self._at = 0
+        self._mu = threading.Lock()
+
+    def add(self, seconds: float) -> None:
+        with self._mu:
+            if len(self._ring) < self._size:
+                self._ring.append(seconds)
+            else:
+                self._ring[self._at] = seconds
+                self._at = (self._at + 1) % self._size
+            # percentiles() sorts a copy; appends never reorder in place.
+
+    def percentiles(self, *points: float) -> dict[float, float]:
+        with self._mu:
+            data = sorted(self._ring)
+        if not data:
+            return {p: 0.0 for p in points}
+        return {
+            p: data[min(len(data) - 1, int(p / 100.0 * len(data)))]
+            for p in points
+        }
+
+
+class WorkerPool:
+    """K threads executing queue jobs against one shared database."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        engine: Disguiser,
+        hook: LockHook,
+        workers: int = 4,
+        wal: Any = None,
+        poll_interval: float = 0.1,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError("worker pool needs at least one worker")
+        self.queue = queue
+        self.hook = hook
+        self.wal = wal
+        self.poll_interval = poll_interval
+        self._engines = [engine.share(seed=index) for index in range(workers)]
+        self._threads: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self.latency = _LatencyWindow()
+        self.jobs_done = 0
+        self.jobs_failed = 0      # failed attempts (retries included)
+        self.jobs_dead = 0
+        self._count_mu = threading.Lock()
+        self.started_at: float | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise ServiceError("worker pool already started")
+        self.started_at = time.monotonic()
+        for index, engine in enumerate(self._engines):
+            thread = threading.Thread(
+                target=self._run_worker,
+                args=(engine,),
+                name=f"disguise-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Finish in-flight jobs and stop claiming new ones."""
+        self._stop.set()
+        for thread in self._threads:
+            thread.join(timeout)
+        self._threads.clear()
+
+    @property
+    def workers(self) -> int:
+        return len(self._engines)
+
+    # -- the worker loop ---------------------------------------------------------
+
+    def _run_worker(self, engine: Disguiser) -> None:
+        while not self._stop.is_set():
+            job = self.queue.claim(timeout=self.poll_interval)
+            if job is None:
+                if self.queue.closed:
+                    return
+                continue
+            self._execute(engine, job)
+
+    def _execute(self, engine: Disguiser, job: Job) -> None:
+        started = time.perf_counter()
+        token = f"job-{job.job_id}a{job.attempts}"
+        self.hook.start_job(token)
+        try:
+            result = self._dispatch(engine, job, token)
+        except (DeadlockError, LockTimeoutError) as exc:
+            # The engine already rolled back; locks drop here so the other
+            # cycle members can proceed before the victim's backoff ends.
+            self.hook.end_job()
+            self._record_failure(job, f"{type(exc).__name__}: {exc}")
+            return
+        except Exception as exc:  # noqa: BLE001 - a job must never kill its worker
+            self.hook.end_job()
+            self._record_failure(job, f"{type(exc).__name__}: {exc}")
+            return
+        else:
+            self.hook.end_job()
+        # Durability point: locks are long gone (early lock release), and
+        # one leader fsync covers every worker that reached this barrier.
+        if self.wal is not None:
+            self.wal.commit_barrier()
+        self.queue.complete(job, result)
+        self.latency.add(time.perf_counter() - started)
+        with self._count_mu:
+            self.jobs_done += 1
+
+    def _record_failure(self, job: Job, error: str) -> None:
+        state = self.queue.fail(job, error)
+        with self._count_mu:
+            self.jobs_failed += 1
+            if state == DEAD:
+                self.jobs_dead += 1
+
+    # -- job kinds ---------------------------------------------------------------
+
+    def _dispatch(self, engine: Disguiser, job: Job, token: str) -> dict[str, Any]:
+        payload = job.payload
+        if job.kind == JOB_APPLY:
+            spec = engine.spec(str(payload["spec"]))
+            self._prelock(token, spec.table_names)
+            report = engine.apply(
+                spec,
+                uid=payload.get("uid"),
+                reversible=bool(payload.get("reversible", True)),
+            )
+            return {"did": report.disguise_id, "rows": report.rows_touched}
+        if job.kind == JOB_REVEAL:
+            did = int(payload["did"])
+            record = engine.history.get(did)
+            if not record.active:
+                # Already revealed — e.g. this job ran, crashed before its
+                # ack, and was re-queued. Completing is the correct dedupe.
+                return {"did": did, "noop": True}
+            spec = engine.spec(record.name)
+            self._prelock(token, spec.table_names)
+            try:
+                report = engine.reveal(did)
+            except DisguiseError as exc:
+                if "not active" in str(exc):
+                    return {"did": did, "noop": True}
+                raise
+            return {
+                "did": did,
+                "restored": report.rows_reinserted + report.values_restored,
+            }
+        if job.kind == JOB_EXPIRE:
+            dropped = engine.vault.expire_before(int(payload["epoch"]))
+            return {"dropped": dropped}
+        raise ServiceError(f"unknown job kind {job.kind!r}")
+
+    def _prelock(self, token: str, tables: tuple[str, ...]) -> None:
+        """Exclusively lock the spec footprint in sorted (canonical) order."""
+        for table in sorted(tables):
+            if not is_system_table(table):
+                self.hook.manager.acquire(
+                    token, table, MODE_X, timeout=self.hook.timeout
+                )

@@ -1,0 +1,434 @@
+"""Table-granularity lock manager for the concurrent disguise service.
+
+The paper frames the disguising tool as a service that sits beside the
+application and fields many users' deletion/anonymization requests at
+once.  Concurrent disguises are plain transactions over the embedded
+database, so the service needs what any transactional engine needs:
+
+* **Shared/exclusive table locks** — readers share, writers exclude.
+  Table granularity matches the engine's statement shapes (a disguise
+  touches a handful of tables with per-user predicates), keeps the lock
+  table tiny, and makes the two-phase discipline easy to audit.
+* **FIFO fairness** — a request never overtakes an earlier incompatible
+  waiter (no barging), so a stream of readers cannot starve a writer.
+  The one exception is a lock *upgrade* (S held, X wanted): upgrades wait
+  at the front of the queue, because making an upgrader queue behind new
+  arrivals converts every read-modify-write pair into a deadlock.
+* **Wait-timeout** — every block carries a timeout; expiry raises
+  :class:`~repro.errors.LockTimeoutError` so a stuck job fails visibly
+  instead of hanging a worker forever.
+* **Deadlock detection** — each blocked request adds wait-for edges to
+  the transactions it is behind (current holders and earlier incompatible
+  waiters).  A cycle through the requester raises
+  :class:`~repro.errors.DeadlockError` *at the requester* (victim = the
+  transaction that closed the cycle); the executor rolls the job back,
+  releases its locks, and retries with backoff.
+
+Locks are held until :meth:`LockManager.release_all` — strict two-phase
+locking, which with table granularity makes concurrent disguise
+transactions serializable (whoever writes a table second serializes after
+whoever wrote it first, on every table they share).
+
+:class:`LockHook` adapts the manager to the
+:class:`~repro.storage.database.Database` lock-hook protocol: statements
+declare their table accesses and the hook turns them into 2PL lock
+acquisitions for application tables and statement-scoped *latches* for
+engine-internal tables (names starting with ``_``: the disguise history,
+the placeholder registry, table vaults).  System-table rows are private
+to one disguise (each job writes only its own history row), so per-
+statement mutual exclusion is enough — holding a 2PL lock on the history
+table until commit would serialize every job behind a metadata hotspot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+from repro.errors import DeadlockError, LockTimeoutError, ServiceError
+
+__all__ = ["LockManager", "LockStats", "LockHook", "MODE_S", "MODE_X"]
+
+MODE_S = "S"
+MODE_X = "X"
+
+
+def _compatible(held: str, wanted: str) -> bool:
+    return held == MODE_S and wanted == MODE_S
+
+
+@dataclass
+class LockStats:
+    """Cumulative lock-manager counters (read by the service metrics)."""
+
+    acquisitions: int = 0   # grants, including immediate ones
+    waits: int = 0          # requests that blocked at least once
+    wait_time_s: float = 0.0
+    deadlocks: int = 0      # requests aborted as deadlock victims
+    timeouts: int = 0
+    upgrades: int = 0       # S -> X upgrades granted
+
+    def snapshot(self) -> "LockStats":
+        return LockStats(
+            self.acquisitions,
+            self.waits,
+            self.wait_time_s,
+            self.deadlocks,
+            self.timeouts,
+            self.upgrades,
+        )
+
+
+class _Waiter:
+    __slots__ = ("txn", "mode", "granted", "abandoned", "upgrade")
+
+    def __init__(self, txn: Hashable, mode: str, upgrade: bool) -> None:
+        self.txn = txn
+        self.mode = mode
+        self.upgrade = upgrade
+        self.granted = False
+        self.abandoned = False
+
+
+class _TableLock:
+    __slots__ = ("holders", "waiters")
+
+    def __init__(self) -> None:
+        # txn -> mode currently held. Ordered so diagnostics are stable.
+        self.holders: OrderedDict[Hashable, str] = OrderedDict()
+        self.waiters: deque[_Waiter] = deque()
+
+
+class LockManager:
+    """Shared/exclusive table locks with FIFO queues and deadlock detection.
+
+    Transactions are any hashable ids (the executor uses per-job tokens;
+    the :class:`LockHook` defaults to the current thread).  All state is
+    guarded by one mutex and one condition variable — lock traffic is a
+    few acquisitions per disguise, far off any hot path.
+    """
+
+    def __init__(self, default_timeout: float | None = 30.0) -> None:
+        self.default_timeout = default_timeout
+        self._mu = threading.Condition(threading.Lock())
+        self._tables: dict[str, _TableLock] = {}
+        self.stats = LockStats()
+
+    # -- public API --------------------------------------------------------------
+
+    def acquire(
+        self,
+        txn: Hashable,
+        table: str,
+        mode: str = MODE_X,
+        timeout: float | None = None,
+    ) -> None:
+        """Grant *txn* a lock on *table*, blocking FIFO behind conflicts.
+
+        Re-acquiring a mode already covered is a no-op; S-held + X-wanted
+        is an upgrade.  Raises :class:`~repro.errors.DeadlockError` when
+        waiting would close a wait-for cycle (the requester is the
+        victim) and :class:`~repro.errors.LockTimeoutError` on timeout.
+        """
+        if mode not in (MODE_S, MODE_X):
+            raise ServiceError(f"unknown lock mode {mode!r}")
+        if timeout is None:
+            timeout = self.default_timeout
+        with self._mu:
+            lock = self._tables.setdefault(table, _TableLock())
+            held = lock.holders.get(txn)
+            if held is not None and (held == MODE_X or mode == MODE_S):
+                return  # already covered
+            upgrade = held == MODE_S and mode == MODE_X
+            if self._grantable(lock, txn, mode):
+                lock.holders[txn] = mode
+                self.stats.acquisitions += 1
+                if upgrade:
+                    self.stats.upgrades += 1
+                return
+            waiter = _Waiter(txn, mode, upgrade)
+            # Upgrades queue at the front: the upgrader already holds S, so
+            # anything queued ahead of it is waiting *on it* — queuing the
+            # upgrade behind them would deadlock by construction.
+            if upgrade:
+                lock.waiters.appendleft(waiter)
+            else:
+                lock.waiters.append(waiter)
+            self.stats.waits += 1
+            self._check_deadlock(txn, table, waiter)
+            started = time.monotonic()
+            deadline = None if timeout is None else started + timeout
+            try:
+                while not waiter.granted:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            self.stats.timeouts += 1
+                            raise LockTimeoutError(
+                                f"{txn!r}: timed out after {timeout:.3f}s waiting "
+                                f"for {mode} lock on {table!r} "
+                                f"(held by {list(lock.holders)!r})"
+                            )
+                    self._mu.wait(remaining)
+                    if not waiter.granted:
+                        # Another waiter's block may have closed a cycle
+                        # through us since we last checked.
+                        self._check_deadlock(txn, table, waiter)
+            except BaseException:
+                waiter.abandoned = True
+                if waiter in lock.waiters:
+                    lock.waiters.remove(waiter)
+                self._grant_waiters(lock)
+                raise
+            finally:
+                self.stats.wait_time_s += time.monotonic() - started
+
+    def release_all(self, txn: Hashable) -> int:
+        """Release every lock *txn* holds; returns how many were held."""
+        released = 0
+        with self._mu:
+            for lock in self._tables.values():
+                if lock.holders.pop(txn, None) is not None:
+                    released += 1
+                    self._grant_waiters(lock)
+            if released:
+                self._mu.notify_all()
+        return released
+
+    def holding(self, txn: Hashable) -> dict[str, str]:
+        """Tables *txn* currently holds, with modes (diagnostics)."""
+        with self._mu:
+            return {
+                table: lock.holders[txn]
+                for table, lock in self._tables.items()
+                if txn in lock.holders
+            }
+
+    def waiters(self) -> int:
+        """Number of blocked requests right now (metrics: lock waits)."""
+        with self._mu:
+            return sum(len(lock.waiters) for lock in self._tables.values())
+
+    # -- internals (all called with self._mu held) ---------------------------------
+
+    def _grantable(self, lock: _TableLock, txn: Hashable, mode: str) -> bool:
+        for holder, held in lock.holders.items():
+            if holder != txn and not _compatible(held, mode):
+                return False
+        # FIFO: do not barge past earlier waiters unless upgrading (an
+        # upgrader's conflict set is exactly the other holders).
+        if lock.holders.get(txn) == MODE_S and mode == MODE_X:
+            return True
+        for waiter in lock.waiters:
+            if waiter.txn != txn:
+                return False
+        return True
+
+    def _grant_waiters(self, lock: _TableLock) -> None:
+        """Grant from the queue front while compatible (strict FIFO)."""
+        granted_any = False
+        while lock.waiters:
+            waiter = lock.waiters[0]
+            ok = True
+            for holder, held in lock.holders.items():
+                if holder != waiter.txn and not _compatible(held, waiter.mode):
+                    ok = False
+                    break
+            if not ok:
+                break
+            lock.waiters.popleft()
+            lock.holders[waiter.txn] = waiter.mode
+            waiter.granted = True
+            self.stats.acquisitions += 1
+            if waiter.upgrade:
+                self.stats.upgrades += 1
+            granted_any = True
+        if granted_any:
+            self._mu.notify_all()
+
+    def _blockers(self, table: str, me: _Waiter) -> set[Hashable]:
+        """Transactions *me* is waiting behind on *table*."""
+        lock = self._tables[table]
+        out: set[Hashable] = set()
+        for holder, held in lock.holders.items():
+            if holder != me.txn and not _compatible(held, me.mode):
+                out.add(holder)
+        for waiter in lock.waiters:
+            if waiter is me:
+                break
+            if waiter.txn != me.txn and not (
+                _compatible(waiter.mode, me.mode)
+            ):
+                out.add(waiter.txn)
+        return out
+
+    def _wait_graph(self) -> dict[Hashable, set[Hashable]]:
+        graph: dict[Hashable, set[Hashable]] = {}
+        for table, lock in self._tables.items():
+            for waiter in lock.waiters:
+                graph.setdefault(waiter.txn, set()).update(
+                    self._blockers(table, waiter)
+                )
+        return graph
+
+    def _check_deadlock(self, txn: Hashable, table: str, waiter: _Waiter) -> None:
+        """Raise (and dequeue *waiter*) if *txn* is on a wait-for cycle."""
+        graph = self._wait_graph()
+        cycle = _find_cycle(graph, txn)
+        if cycle is None:
+            return
+        lock = self._tables[table]
+        waiter.abandoned = True
+        if waiter in lock.waiters:
+            lock.waiters.remove(waiter)
+        self.stats.deadlocks += 1
+        self._grant_waiters(lock)
+        self._mu.notify_all()
+        raise DeadlockError(
+            f"{txn!r}: waiting for {waiter.mode} on {table!r} closes a "
+            f"wait-for cycle {' -> '.join(repr(t) for t in cycle)}",
+            cycle=cycle,
+        )
+
+
+def _find_cycle(
+    graph: dict[Hashable, set[Hashable]], start: Hashable
+) -> tuple[Hashable, ...] | None:
+    """A wait-for cycle through *start*, or None (iterative DFS)."""
+    path: list[Hashable] = [start]
+    on_path = {start}
+    iters = [iter(graph.get(start, ()))]
+    while iters:
+        try:
+            nxt = next(iters[-1])
+        except StopIteration:
+            on_path.discard(path.pop())
+            iters.pop()
+            continue
+        if nxt == start:
+            return tuple(path) + (start,)
+        if nxt in on_path:
+            continue  # a cycle not through start; its members will detect it
+        path.append(nxt)
+        on_path.add(nxt)
+        iters.append(iter(graph.get(nxt, ())))
+    return None
+
+
+# -- Database adapter ------------------------------------------------------------
+
+
+def is_system_table(name: str) -> bool:
+    """Engine-internal tables are latched per statement, not 2PL-locked."""
+    return name.startswith("_")
+
+
+class _HookState(threading.local):
+    """Per-thread hook state: current txn token and held latches."""
+
+    def __init__(self) -> None:
+        self.txn: Hashable | None = None     # explicit job token, if any
+        self.pinned = False                  # locks live until end_job
+        self.depth = 0                       # outermost-statement nesting
+        self.tx_open = False                 # inside a database transaction
+        self.latches: list[threading.RLock] = []
+        self.released = False                # ELR already happened this job
+
+
+class LockHook:
+    """Wires a :class:`LockManager` into ``Database`` statement execution.
+
+    Protocol (called by :class:`~repro.storage.database.Database`):
+
+    * ``on_statement_start(table, mode)`` / ``on_statement_end()`` —
+      bracket every outermost statement; acquisitions for system tables
+      are latches released at statement end.
+    * ``on_access(table, mode)`` — additional table accesses a statement
+      declares (FK parents, cascade children).
+    * ``on_begin()`` / ``on_txn_end()`` — outermost transaction
+      boundaries; 2PL locks release at transaction end (strict 2PL with
+      early lock release: the WAL unit is already appended when the
+      database fires ``on_txn_end``, so only the group fsync happens
+      after locks are gone).
+
+    Executor-side: ``start_job(txn)`` pins a job token for the thread so
+    pre-acquired locks and statement-time acquisitions share one 2PL
+    scope across the whole job; ``end_job()`` releases whatever is left.
+    Threads without a pinned job (the CLI, tests, metrics readers) get
+    statement-scoped locks outside transactions and transaction-scoped
+    locks inside them.
+    """
+
+    def __init__(self, manager: LockManager, timeout: float | None = None) -> None:
+        self.manager = manager
+        self.timeout = timeout
+        self._state = _HookState()
+        self._latch_mu = threading.Lock()
+        self._latches: dict[str, threading.RLock] = {}
+
+    # -- executor API -------------------------------------------------------------
+
+    def start_job(self, txn: Hashable) -> None:
+        state = self._state
+        if state.txn is not None:
+            raise ServiceError(f"thread already runs job {state.txn!r}")
+        state.txn = txn
+        state.pinned = True
+        state.released = False
+
+    def end_job(self) -> None:
+        state = self._state
+        if state.txn is not None and not state.released:
+            self.manager.release_all(state.txn)
+        state.txn = None
+        state.pinned = False
+        state.released = False
+
+    def current_txn(self) -> Hashable:
+        state = self._state
+        return state.txn if state.txn is not None else threading.get_ident()
+
+    # -- Database protocol --------------------------------------------------------
+
+    def on_statement_start(self, table: str, mode: str) -> None:
+        self._state.depth += 1
+        self.on_access(table, mode)
+
+    def on_access(self, table: str, mode: str) -> None:
+        state = self._state
+        if is_system_table(table):
+            with self._latch_mu:
+                latch = self._latches.setdefault(table, threading.RLock())
+            latch.acquire()
+            state.latches.append(latch)
+            return
+        self.manager.acquire(
+            self.current_txn(), table, mode, timeout=self.timeout
+        )
+        state.released = False
+
+    def on_statement_end(self) -> None:
+        state = self._state
+        state.depth -= 1
+        if state.depth > 0:
+            return
+        for latch in reversed(state.latches):
+            latch.release()
+        state.latches.clear()
+        # Unpinned threads outside a transaction hold locks only for the
+        # statement (there is no later commit to release them at).
+        if not state.pinned and not state.tx_open:
+            self.manager.release_all(self.current_txn())
+
+    def on_begin(self) -> None:
+        self._state.tx_open = True
+
+    def on_txn_end(self) -> None:
+        state = self._state
+        state.tx_open = False
+        self.manager.release_all(self.current_txn())
+        state.released = True

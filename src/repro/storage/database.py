@@ -15,6 +15,8 @@ the MySQL backend of the paper's Rust prototype. It provides:
 
 from __future__ import annotations
 
+import functools
+import threading
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping
 
@@ -80,6 +82,14 @@ class QueryStats:
         self.selects = self.inserts = self.updates = self.deletes = 0
         self.statements = 0
 
+    def merge(self, other: "QueryStats") -> None:
+        """Fold another accumulator into this one (concurrency support)."""
+        self.selects += other.selects
+        self.inserts += other.inserts
+        self.updates += other.updates
+        self.deletes += other.deletes
+        self.statements += other.statements
+
 
 # One undo-log record: a closure that reverses a single physical change.
 _UndoOp = Callable[[], None]
@@ -89,6 +99,42 @@ _UndoOp = Callable[[], None]
 # the undo stack, ``on_statement(record)`` for each physical change a
 # statement makes (a redo mirror of the undo log), and ``on_ddl(record)``
 # for schema changes, which — like the undo log — are never rolled back.
+
+# Lock-hook protocol (duck-typed; implemented by repro.service.locks).
+# ``on_statement_start(table, mode)`` / ``on_statement_end()`` bracket
+# every outermost statement, ``on_access(table, mode)`` declares the
+# other tables a statement touches (FK parents, cascade children), and
+# ``on_begin()`` / ``on_txn_end()`` mark outermost transaction bounds so
+# the hook can hold two-phase locks until commit or rollback.
+
+_READ, _WRITE, _DELETE = "r", "w", "d"
+
+
+def _statement(kind: str):
+    """Bracket a statement-level API method for the lock hook.
+
+    With no hook attached this adds a single attribute check per call.
+    With one attached, the method's table accesses are declared before
+    the body runs (acquiring 2PL locks or system-table latches) and the
+    hook is told when the outermost statement finishes, so latches drop
+    and per-thread stats merge into the shared counters.
+    """
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, table, *args, **kwargs):
+            hook = self._lock_hook
+            if hook is None:
+                return fn(self, table, *args, **kwargs)
+            self._declare_statement(hook, table, kind)
+            try:
+                return fn(self, table, *args, **kwargs)
+            finally:
+                self._end_statement(hook)
+
+        return wrapper
+
+    return decorate
 
 
 class Database:
@@ -101,15 +147,47 @@ class Database:
             ts.name: Table(ts) for ts in self.schema
         }
         self.stats = QueryStats()
-        # Undo log stack: one list of undo ops per open savepoint level.
-        self._undo_stack: list[list[_UndoOp]] = []
+        # Undo logs and statement counters are per thread ("connection"):
+        # each worker of the concurrent service runs its own transaction
+        # against the shared tables, serialized by the lock hook.
+        self._tls = threading.local()
+        self._stats_lock = threading.Lock()
+        self._id_lock = threading.Lock()
         # Optional durability mirror (see the redo-hook protocol above).
         self._redo_hook: Any = None
+        # Optional concurrency-control hook (see the lock-hook protocol).
+        self._lock_hook: Any = None
         # Per-table integer-id high-water marks: next_id never reuses the id
         # of a deleted row, even after rollback (ids may be skipped, never
         # recycled) — otherwise revealing a removal could collide with a
         # placeholder allocated in between.
         self._id_watermark: dict[str, int] = {}
+
+    @property
+    def _undo_stack(self) -> list[list[_UndoOp]]:
+        """This thread's undo-log stack (one list per open savepoint)."""
+        try:
+            return self._tls.undo
+        except AttributeError:
+            undo = self._tls.undo = []
+            return undo
+
+    @property
+    def _stats(self) -> QueryStats:
+        """Where statement counters accumulate.
+
+        Single-threaded (no lock hook): the shared ``stats`` object, as
+        ever. Under a lock hook, a per-thread accumulator that merges into
+        ``stats`` at each outermost statement end — plain ``int +=`` on a
+        shared counter loses increments across threads.
+        """
+        if self._lock_hook is None:
+            return self.stats
+        try:
+            return self._tls.pending_stats
+        except AttributeError:
+            pending = self._tls.pending_stats = QueryStats()
+            return pending
 
     # -- schema management ------------------------------------------------------
 
@@ -148,9 +226,13 @@ class Database:
 
     def begin(self) -> None:
         """Open a transaction (or a nested savepoint)."""
-        self._undo_stack.append([])
+        stack = self._undo_stack
+        outermost = not stack
+        stack.append([])
         if self._redo_hook is not None:
             self._redo_hook.on_begin()
+        if outermost and self._lock_hook is not None:
+            self._lock_hook.on_begin()
 
     def commit(self) -> None:
         """Commit the innermost transaction level.
@@ -158,22 +240,31 @@ class Database:
         Inner commits merge their undo log into the parent so an outer
         rollback still reverses everything.
         """
-        if not self._undo_stack:
+        stack = self._undo_stack
+        if not stack:
             raise TransactionError("commit without begin")
-        finished = self._undo_stack.pop()
-        if self._undo_stack:
-            self._undo_stack[-1].extend(finished)
+        finished = stack.pop()
+        if stack:
+            stack[-1].extend(finished)
         if self._redo_hook is not None:
+            # Appends the WAL commit unit first: two-phase locks release
+            # only once the redo records are in the log (early lock
+            # release — the group fsync may still be pending).
             self._redo_hook.on_commit()
+        if not stack and self._lock_hook is not None:
+            self._lock_hook.on_txn_end()
 
     def rollback(self) -> None:
         """Undo every change made since the innermost ``begin``."""
-        if not self._undo_stack:
+        stack = self._undo_stack
+        if not stack:
             raise TransactionError("rollback without begin")
-        for undo in reversed(self._undo_stack.pop()):
+        for undo in reversed(stack.pop()):
             undo()
         if self._redo_hook is not None:
             self._redo_hook.on_rollback()
+        if not stack and self._lock_hook is not None:
+            self._lock_hook.on_txn_end()
 
     def transaction(self) -> "_TransactionContext":
         """``with db.transaction():`` — commit on success, rollback on error."""
@@ -203,8 +294,85 @@ class Database:
         if self._redo_hook is not None:
             self._redo_hook.on_statement(record)
 
+    def set_lock_hook(self, hook: Any) -> None:
+        """Attach (or detach, with None) a concurrency-control hook.
+
+        The hook sees statement/transaction boundaries and table accesses
+        (see the lock-hook protocol above and :mod:`repro.service.locks`).
+        Switching hooks mid-transaction would strand held locks, so it is
+        rejected.
+        """
+        if self.in_transaction:
+            raise TransactionError("cannot change the lock hook inside a transaction")
+        self._lock_hook = hook
+
+    def _declare_statement(self, hook: Any, table: str, kind: str) -> None:
+        """Declare a statement's table footprint before its body runs.
+
+        Write statements read their FK parents; delete statements reach
+        referencing tables transitively (RESTRICT checks read, CASCADE /
+        SET NULL mutate), so the whole footprint is declared up front —
+        acquiring locks in one burst per statement keeps hold times short
+        and gives the deadlock detector whole-statement edges.
+        """
+        tls = self._tls
+        tls.stmt_depth = getattr(tls, "stmt_depth", 0) + 1
+        try:
+            hook.on_statement_start(table, "S" if kind == _READ else "X")
+            if kind != _READ and table in self._tables:
+                for fk in self._tables[table].schema.foreign_keys:
+                    if fk.parent_table != table:
+                        hook.on_access(fk.parent_table, "S")
+                if kind == _DELETE:
+                    for child, mode in self._delete_footprint(table):
+                        hook.on_access(child, mode)
+        except BaseException:
+            self._end_statement(hook)
+            raise
+
+    def _end_statement(self, hook: Any) -> None:
+        tls = self._tls
+        tls.stmt_depth -= 1
+        hook.on_statement_end()
+        if tls.stmt_depth == 0:
+            pending = getattr(tls, "pending_stats", None)
+            if pending is not None:
+                with self._stats_lock:
+                    self.stats.merge(pending)
+                pending.reset()
+
+    def _declare_access(self, table: str, kind: str) -> None:
+        """Declare an extra table access discovered mid-statement (rare
+        paths only, e.g. primary-key renumbering reference checks)."""
+        hook = self._lock_hook
+        if hook is not None:
+            hook.on_access(table, "S" if kind == _READ else "X")
+
+    def _delete_footprint(self, table: str) -> list[tuple[str, str]]:
+        """Tables a delete on *table* may touch, with lock modes.
+
+        RESTRICT children are only read; CASCADE and SET NULL children are
+        written, and cascades recurse into their own referencing tables.
+        """
+        out: dict[str, str] = {}
+        frontier = [table]
+        cascaded = {table}
+        while frontier:
+            current = frontier.pop()
+            for child_schema, fk in self.schema.referencing(current):
+                name = child_schema.name
+                if fk.on_delete is FKAction.RESTRICT:
+                    out.setdefault(name, "S")
+                else:
+                    out[name] = "X"
+                    if fk.on_delete is FKAction.CASCADE and name not in cascaded:
+                        cascaded.add(name)
+                        frontier.append(name)
+        return list(out.items())
+
     # -- statements ----------------------------------------------------------------
 
+    @_statement(_READ)
     def select(
         self,
         table: str,
@@ -216,28 +384,31 @@ class Database:
         Returns read-only :class:`~repro.storage.table.RowView` objects;
         call ``dict(row)`` on one before mutating it.
         """
-        self.stats.selects += 1
-        self.stats.statements += 1
+        self._stats.selects += 1
+        self._stats.statements += 1
         pred = parse_where(where) if where is not None else None
         return self.table(table).scan(pred, params)
 
+    @_statement(_READ)
     def get(self, table: str, pk_value: Any) -> dict[str, Any] | None:
         """Point lookup by primary key."""
-        self.stats.selects += 1
-        self.stats.statements += 1
+        self._stats.selects += 1
+        self._stats.statements += 1
         return self.table(table).get(pk_value)
 
+    @_statement(_READ)
     def count(
         self,
         table: str,
         where: str | Predicate | None = None,
         params: Mapping[str, Any] | None = None,
     ) -> int:
-        self.stats.selects += 1
-        self.stats.statements += 1
+        self._stats.selects += 1
+        self._stats.statements += 1
         pred = parse_where(where) if where is not None else None
         return self.table(table).count(pred, params)
 
+    @_statement(_WRITE)
     def insert(
         self, table: str, values: dict[str, Any], enforce_fk: bool = True
     ) -> dict[str, Any]:
@@ -248,8 +419,8 @@ class Database:
         whose rows may be re-removed) later in the same transaction; such
         callers re-validate with :meth:`check_row_fks` before committing.
         """
-        self.stats.inserts += 1
-        self.stats.statements += 1
+        self._stats.inserts += 1
+        self._stats.statements += 1
         target = self.table(table)
         row = target.schema.normalize_row(values)
         if enforce_fk:
@@ -262,6 +433,7 @@ class Database:
         self._log_redo({"op": "insert", "table": table, "rows": [stored]})
         return stored
 
+    @_statement(_WRITE)
     def update(
         self,
         table: str,
@@ -274,7 +446,7 @@ class Database:
         Prefer :meth:`update_where` on hot paths — it resolves candidates
         once and logs a single batched undo record.
         """
-        self.stats.statements += 1
+        self._stats.statements += 1
         target = self.table(table)
         rows = self.select(table, where, params)
         pk_col = target.schema.primary_key
@@ -282,6 +454,7 @@ class Database:
             self._update_one(target, row[pk_col], changes)
         return len(rows)
 
+    @_statement(_WRITE)
     def update_by_pk(
         self,
         table: str,
@@ -294,7 +467,7 @@ class Database:
         ``enforce_fk=False`` defers the outgoing-FK check (see
         :meth:`insert` for when the disguising engine needs this).
         """
-        self.stats.statements += 1
+        self._stats.statements += 1
         return self._update_one(self.table(table), pk_value, changes, enforce_fk)
 
     def _update_one(
@@ -304,7 +477,7 @@ class Database:
         changes: Mapping[str, Any],
         enforce_fk: bool = True,
     ) -> dict[str, Any]:
-        self.stats.updates += 1
+        self._stats.updates += 1
         # Validate outgoing FKs on the post-image before mutating.
         preview = dict(target.get(pk_value) or {})
         if not preview:
@@ -325,6 +498,7 @@ class Database:
         )
         return new
 
+    @_statement(_DELETE)
     def delete(
         self,
         table: str,
@@ -336,7 +510,7 @@ class Database:
         Prefer :meth:`delete_where` on hot paths — it resolves candidates
         and incoming references in bulk and logs one batched undo record.
         """
-        self.stats.statements += 1
+        self._stats.statements += 1
         target = self.table(table)
         rows = self.select(table, where, params)
         pk_col = target.schema.primary_key
@@ -344,6 +518,7 @@ class Database:
             self.delete_by_pk(table, row[pk_col])
         return len(rows)
 
+    @_statement(_DELETE)
     def delete_by_pk(
         self, table: str, pk_value: Any, enforce_fk: bool = True
     ) -> dict[str, Any]:
@@ -362,8 +537,8 @@ class Database:
             raise NoSuchRowError(f"{table}: no row with pk {pk_value!r}")
         if enforce_fk:
             self._resolve_incoming_references(table, pk_value)
-        self.stats.deletes += 1
-        self.stats.statements += 1
+        self._stats.deletes += 1
+        self._stats.statements += 1
         old = target.delete_by_pk(pk_value)
         self._log_undo(lambda: target.insert(old))
         self._log_redo({"op": "delete", "table": table, "pks": [pk_value]})
@@ -371,6 +546,7 @@ class Database:
 
     # -- batched statements ---------------------------------------------------------
 
+    @_statement(_WRITE)
     def insert_many(
         self,
         table: str,
@@ -384,7 +560,7 @@ class Database:
         index maintenance happens per row but validation is done up front,
         and a single undo record covers the whole batch.
         """
-        self.stats.statements += 1
+        self._stats.statements += 1
         target = self.table(table)
         rows = [target.schema.normalize_row(v) for v in values_list]
         if not rows:
@@ -405,7 +581,7 @@ class Database:
                             f"{fk.parent_table}.{fk.parent_column}"
                         )
         stored = target.insert_rows(rows)
-        self.stats.inserts += len(stored)
+        self._stats.inserts += len(stored)
         pks = [row[pk_col] for row in stored]
         top = max((pk for pk in pks if isinstance(pk, int)), default=0)
         if top > self._id_watermark.get(table, 0):
@@ -414,6 +590,7 @@ class Database:
         self._log_redo({"op": "insert", "table": table, "rows": stored})
         return stored
 
+    @_statement(_WRITE)
     def update_many(
         self,
         table: str,
@@ -428,9 +605,10 @@ class Database:
         the per-row path (reveal renumbering needs full reference checks).
         Returns the new rows.
         """
-        self.stats.statements += 1
+        self._stats.statements += 1
         return self._update_batch(self.table(table), list(updates), enforce_fk)
 
+    @_statement(_WRITE)
     def update_where(
         self,
         table: str,
@@ -442,8 +620,8 @@ class Database:
         matching rows with grouped index maintenance and one undo record.
         Returns the number of rows updated.
         """
-        self.stats.statements += 1
-        self.stats.selects += 1
+        self._stats.statements += 1
+        self._stats.selects += 1
         target = self.table(table)
         views = target.scan(parse_where(where), params)
         pk_col = target.schema.primary_key
@@ -479,7 +657,7 @@ class Database:
                             f"missing {fk.parent_table}.{fk.parent_column}"
                         )
         pairs = target.update_pks(updates)
-        self.stats.updates += len(pairs)
+        self._stats.updates += len(pairs)
         restore = [(old[pk_col], old) for old, _new in pairs]
         restore.reverse()
         self._log_undo(lambda: target.update_pks(restore))
@@ -492,6 +670,7 @@ class Database:
         )
         return [new for _old, new in pairs]
 
+    @_statement(_DELETE)
     def delete_many(
         self, table: str, pk_values: Iterable[Any], enforce_fk: bool = True
     ) -> int:
@@ -502,9 +681,10 @@ class Database:
         batched) and one undo record reinserts the whole batch on
         rollback. Returns the number of rows deleted.
         """
-        self.stats.statements += 1
+        self._stats.statements += 1
         return self._delete_batch(self.table(table), pk_values, enforce_fk)
 
+    @_statement(_DELETE)
     def delete_where(
         self,
         table: str,
@@ -514,8 +694,8 @@ class Database:
         """Batched ``DELETE ... WHERE``: plan the predicate once, then
         delete all matching rows via :meth:`delete_many` semantics.
         """
-        self.stats.statements += 1
-        self.stats.selects += 1
+        self._stats.statements += 1
+        self._stats.selects += 1
         target = self.table(table)
         views = target.scan(parse_where(where), params)
         pk_col = target.schema.primary_key
@@ -537,7 +717,7 @@ class Database:
             doomed = set(pks)
             for child_schema, fk in self.schema.referencing(table):
                 child = self.table(child_schema.name)
-                self.stats.selects += len(pks)
+                self._stats.selects += len(pks)
                 child_pk = child_schema.primary_key
                 hits: list[Any] = []
                 seen: set[Any] = set()
@@ -566,7 +746,7 @@ class Database:
                         enforce_fk=False,
                     )
         olds = target.delete_pks(pks)
-        self.stats.deletes += len(olds)
+        self._stats.deletes += len(olds)
         self._log_undo(lambda: target.insert_rows(olds))
         self._log_redo({"op": "delete", "table": table, "pks": pks})
         return len(olds)
@@ -589,6 +769,7 @@ class Database:
     def _check_pk_change_references(self, target: Table, old_pk: Any) -> None:
         """Disallow changing a primary key that other rows still reference."""
         for child_schema, fk in self.schema.referencing(target.name):
+            self._declare_access(child_schema.name, _READ)
             child = self.table(child_schema.name)
             if child.referencing_rows(fk.column, old_pk, sort=False):
                 raise ForeignKeyError(
@@ -600,7 +781,7 @@ class Database:
         """Apply each referencing FK's ON DELETE action before a delete."""
         for child_schema, fk in self.schema.referencing(table):
             child = self.table(child_schema.name)
-            self.stats.selects += 1
+            self._stats.selects += 1
             referencing = child.referencing_rows(fk.column, pk_value)
             if not referencing:
                 continue
@@ -680,8 +861,12 @@ class Database:
             raise TransactionError(
                 f"next_id requires integer primary keys, {table} has {current!r}"
             )
-        allocated = max(current, self._id_watermark.get(table, 0)) + 1
-        self._id_watermark[table] = allocated
+        # The watermark mutex (not a table lock) makes concurrent
+        # allocations on one table hand out distinct ids: once the
+        # watermark passes max_pk it alone decides the next id.
+        with self._id_lock:
+            allocated = max(current, self._id_watermark.get(table, 0)) + 1
+            self._id_watermark[table] = allocated
         return allocated
 
     def row_counts(self) -> dict[str, int]:

@@ -11,6 +11,7 @@ cost is dominated by vault traffic (§6), so the benchmarks report these.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Iterable
 
@@ -74,6 +75,12 @@ class VaultStore:
 
     def __init__(self) -> None:
         self.stats = VaultStats()
+        # One store serves every service worker; the primitive operations
+        # and their stats bumps run under this reentrant mutex (reentrant
+        # because compound operations like expire_before call the locked
+        # primitives). Vault work is file/table appends — far too coarse
+        # to need finer locking.
+        self._vault_mu = threading.RLock()
 
     # -- abstract primitive operations -----------------------------------------
 
@@ -109,8 +116,9 @@ class VaultStore:
 
     def put(self, entry: VaultEntry) -> None:
         """Store a new entry in its owner's vault."""
-        self.stats.writes += 1
-        self._put(entry)
+        with self._vault_mu:
+            self.stats.writes += 1
+            self._put(entry)
 
     def put_many(self, entries: Iterable[VaultEntry]) -> None:
         """Store many new entries at once.
@@ -122,19 +130,22 @@ class VaultStore:
         batch = list(entries)
         if not batch:
             return
-        self.stats.writes += len(batch)
-        self._put_many(batch)
+        with self._vault_mu:
+            self.stats.writes += len(batch)
+            self._put_many(batch)
 
     def replace(self, entry: VaultEntry) -> None:
         """Overwrite the stored entry with the same ``entry_id``."""
-        self.stats.writes += 1
-        self._replace(entry)
+        with self._vault_mu:
+            self.stats.writes += 1
+            self._replace(entry)
 
     def delete(self, owner: Any, entry_ids: Iterable[int]) -> int:
         """Remove entries from *owner*'s vault; returns how many."""
         ids = list(entry_ids)
-        self.stats.deletes += len(ids)
-        return self._delete(owner, ids)
+        with self._vault_mu:
+            self.stats.deletes += len(ids)
+            return self._delete(owner, ids)
 
     def entries_for(
         self,
@@ -145,12 +156,13 @@ class VaultStore:
         before_epoch: int | None = None,
     ) -> list[VaultEntry]:
         """Entries in *owner*'s vault matching the filters, in seq order."""
-        self.stats.reads += 1
-        entries = [
-            entry
-            for entry in self._entries(owner)
-            if match_entry(entry, disguise_id, table, op, before_epoch)
-        ]
+        with self._vault_mu:
+            self.stats.reads += 1
+            entries = [
+                entry
+                for entry in self._entries(owner)
+                if match_entry(entry, disguise_id, table, op, before_epoch)
+            ]
         entries.sort(key=lambda entry: entry.seq)
         return entries
 
@@ -178,14 +190,15 @@ class VaultStore:
         Returns the number dropped.
         """
         dropped = 0
-        for owner in [GLOBAL_OWNER, *self.owners()]:
-            stale = [
-                entry.entry_id
-                for entry in self.entries_for(owner)
-                if entry.epoch < epoch
-            ]
-            if stale:
-                dropped += self.delete(owner, stale)
+        with self._vault_mu:
+            for owner in [GLOBAL_OWNER, *self.owners()]:
+                stale = [
+                    entry.entry_id
+                    for entry in self.entries_for(owner)
+                    if entry.epoch < epoch
+                ]
+                if stale:
+                    dropped += self.delete(owner, stale)
         return dropped
 
     def size(self) -> int:

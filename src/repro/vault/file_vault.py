@@ -22,6 +22,7 @@ import json
 import os
 from pathlib import Path
 from typing import Any, Iterable
+from urllib.parse import quote, unquote
 
 from repro.errors import VaultError
 from repro.vault.base import GLOBAL_OWNER, VaultStore
@@ -57,9 +58,9 @@ class FileVault(VaultStore):
     def _path(self, owner: Any) -> Path:
         if owner is GLOBAL_OWNER:
             return self.directory / "global.jsonl"
-        token = str(owner)
-        if "/" in token or token.startswith("."):
-            raise VaultError(f"owner {owner!r} cannot name a vault file")
+        # Percent-encode so any owner string maps to exactly one safe
+        # filename (no separators, NULs, or traversal; ints stay as-is).
+        token = quote(str(owner), safe="")
         return self.directory / f"owner-{token}.jsonl"
 
     # -- journal IO ---------------------------------------------------------------
@@ -175,6 +176,6 @@ class FileVault(VaultStore):
     def owners(self) -> list[Any]:
         out = []
         for path in self.directory.glob("owner-*.jsonl"):
-            token = path.stem[len("owner-") :]
+            token = unquote(path.stem[len("owner-") :])
             out.append(int(token) if token.isdigit() else token)
         return out

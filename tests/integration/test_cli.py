@@ -287,3 +287,66 @@ class TestCliWalMode:
         capsys.readouterr()
         assert code == 0
         assert recover_database(db_path).get("users", 4) is None
+
+
+class TestCliService:
+    def test_submit_serve_jobs_round_trip(self, workspace, capsys):
+        """submit queues durably, serve drains with workers, jobs reports."""
+        db_path, spec_path, vault_dir = workspace
+
+        for uid in ("2", "3"):
+            code = run("submit", "--db", db_path, "apply",
+                       "--spec-name", "CliScrub", "--uid", uid)
+            out = capsys.readouterr().out
+            assert code == 0 and "queued job" in out
+
+        code = run("jobs", "--db", db_path)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count('"state": "pending"') == 2
+
+        code = run("serve", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--workers", "2", "--wal")
+        out = capsys.readouterr().out
+        assert code == 0
+        metrics = json.loads(out)
+        assert metrics["jobs_done"] == 2 and metrics["jobs_dead"] == 0
+        assert metrics["queue_depth"] == 0
+
+        code = run("jobs", "--db", db_path, "--state", "done")
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.count('"state": "done"') == 2
+        dids = [json.loads(line)["result"]["did"] for line in out.splitlines()]
+
+        from repro.storage.wal import recover_database
+        db = recover_database(db_path)
+        assert db.get("users", 2) is None and db.get("users", 3) is None
+        db.assert_integrity()
+
+        # Queue reveals for both disguises and drain them the same way.
+        for did in dids:
+            assert run("submit", "--db", db_path, "reveal",
+                       "--did", str(did)) == 0
+        capsys.readouterr()
+        code = run("serve", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--workers", "2", "--wal")
+        capsys.readouterr()
+        assert code == 0
+        db = recover_database(db_path)
+        assert db.get("users", 2)["name"] == "Bea"
+
+    def test_serve_reports_dead_jobs(self, workspace, capsys):
+        db_path, spec_path, vault_dir = workspace
+        assert run("submit", "--db", db_path, "reveal", "--did", "99") == 0
+        capsys.readouterr()
+        code = run("serve", "--db", db_path, "--vault-dir", vault_dir,
+                   "--spec", spec_path, "--workers", "1")
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "dead-lettered" in captured.err
+
+    def test_jobs_without_queue(self, workspace, capsys):
+        db_path, _, _ = workspace
+        assert run("jobs", "--db", db_path) == 0
+        assert "no job queue" in capsys.readouterr().out

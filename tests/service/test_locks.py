@@ -1,0 +1,266 @@
+"""Lock manager units: modes, FIFO fairness, deadlock detection, stress."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DeadlockError, LockTimeoutError, ServiceError
+from repro.service.locks import MODE_S, MODE_X, LockManager, is_system_table
+
+
+@pytest.fixture
+def locks():
+    return LockManager(default_timeout=5.0)
+
+
+def start(fn):
+    thread = threading.Thread(target=fn, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestModes:
+    def test_shared_locks_share(self, locks):
+        locks.acquire("t1", "users", MODE_S)
+        locks.acquire("t2", "users", MODE_S)  # must not block
+        assert locks.holding("t1") == {"users": "S"}
+        assert locks.holding("t2") == {"users": "S"}
+
+    def test_exclusive_excludes_shared(self, locks):
+        locks.acquire("t1", "users", MODE_X)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire("t2", "users", MODE_S, timeout=0.05)
+        assert locks.stats.timeouts == 1
+
+    def test_exclusive_excludes_exclusive(self, locks):
+        locks.acquire("t1", "users", MODE_X)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire("t2", "users", MODE_X, timeout=0.05)
+
+    def test_shared_excludes_exclusive(self, locks):
+        locks.acquire("t1", "users", MODE_S)
+        with pytest.raises(LockTimeoutError):
+            locks.acquire("t2", "users", MODE_X, timeout=0.05)
+
+    def test_reacquire_covered_mode_is_noop(self, locks):
+        locks.acquire("t1", "users", MODE_X)
+        locks.acquire("t1", "users", MODE_X)
+        locks.acquire("t1", "users", MODE_S)  # X covers S
+        assert locks.stats.acquisitions == 1
+
+    def test_upgrade_when_sole_holder(self, locks):
+        locks.acquire("t1", "users", MODE_S)
+        locks.acquire("t1", "users", MODE_X)
+        assert locks.holding("t1") == {"users": "X"}
+        assert locks.stats.upgrades == 1
+
+    def test_release_all_returns_count(self, locks):
+        locks.acquire("t1", "users", MODE_S)
+        locks.acquire("t1", "posts", MODE_X)
+        assert locks.release_all("t1") == 2
+        assert locks.release_all("t1") == 0
+        assert locks.holding("t1") == {}
+
+    def test_unknown_mode_rejected(self, locks):
+        with pytest.raises(ServiceError):
+            locks.acquire("t1", "users", "IX")
+
+
+class TestFairness:
+    def test_no_barging_readers_queue_behind_writer(self, locks):
+        """S after a waiting X must queue — else writers starve."""
+        order = []
+        locks.acquire("t1", "users", MODE_S)
+
+        def writer():
+            locks.acquire("t2", "users", MODE_X)
+            order.append("writer")
+            locks.release_all("t2")
+
+        def reader():
+            locks.acquire("t3", "users", MODE_S)
+            order.append("reader")
+            locks.release_all("t3")
+
+        w = start(writer)
+        while locks.waiters() == 0:
+            time.sleep(0.001)
+        r = start(reader)  # S is compatible with the held S, but must not barge
+        while locks.waiters() < 2:
+            time.sleep(0.001)
+        assert order == []
+        locks.release_all("t1")
+        w.join(5.0)
+        r.join(5.0)
+        assert order == ["writer", "reader"]
+
+    def test_upgrade_goes_to_queue_front(self, locks):
+        """An S holder upgrading must not queue behind new arrivals."""
+        order = []
+        locks.acquire("t1", "users", MODE_S)
+        locks.acquire("t2", "users", MODE_S)
+
+        def upgrader():
+            locks.acquire("t1", "users", MODE_X)  # waits for t2 only
+            order.append("upgrade")
+            locks.release_all("t1")
+
+        def newcomer():
+            locks.acquire("t3", "users", MODE_X)
+            order.append("newcomer")
+            locks.release_all("t3")
+
+        n = start(newcomer)
+        while locks.waiters() == 0:
+            time.sleep(0.001)
+        u = start(upgrader)
+        while locks.waiters() < 2:
+            time.sleep(0.001)
+        locks.release_all("t2")
+        u.join(5.0)
+        n.join(5.0)
+        assert order == ["upgrade", "newcomer"]
+
+
+class TestDeadlock:
+    def test_two_party_cycle_detected(self, locks):
+        locks.acquire("t1", "a", MODE_X)
+        locks.acquire("t2", "b", MODE_X)
+        blocked = threading.Event()
+
+        def t1_wants_b():
+            blocked.set()
+            try:
+                locks.acquire("t1", "b", MODE_X)
+            except (DeadlockError, LockTimeoutError):
+                pass
+            finally:
+                locks.release_all("t1")
+
+        thread = start(t1_wants_b)
+        blocked.wait(5.0)
+        while locks.waiters() == 0:
+            time.sleep(0.001)
+        # t2 -> a would close the cycle t2 -> t1 -> t2; t2 is the victim.
+        with pytest.raises(DeadlockError) as excinfo:
+            locks.acquire("t2", "a", MODE_X)
+        assert set(excinfo.value.cycle) >= {"t1", "t2"}
+        assert locks.stats.deadlocks == 1
+        locks.release_all("t2")
+        thread.join(5.0)
+
+    def test_victim_releases_and_others_proceed(self, locks):
+        locks.acquire("t1", "a", MODE_X)
+        locks.acquire("t2", "b", MODE_X)
+        done = []
+
+        def t1_wants_b():
+            locks.acquire("t1", "b", MODE_X, timeout=5.0)
+            done.append("t1")
+            locks.release_all("t1")
+
+        thread = start(t1_wants_b)
+        while locks.waiters() == 0:
+            time.sleep(0.001)
+        with pytest.raises(DeadlockError):
+            locks.acquire("t2", "a", MODE_X)
+        # The victim aborts: release its locks and t1 must complete.
+        locks.release_all("t2")
+        thread.join(5.0)
+        assert done == ["t1"]
+
+    def test_three_party_cycle(self, locks):
+        locks.acquire("t1", "a", MODE_X)
+        locks.acquire("t2", "b", MODE_X)
+        locks.acquire("t3", "c", MODE_X)
+        threads = [
+            start(lambda: self._try(locks, "t1", "b")),
+            start(lambda: self._try(locks, "t2", "c")),
+        ]
+        while locks.waiters() < 2:
+            time.sleep(0.001)
+        with pytest.raises(DeadlockError) as excinfo:
+            locks.acquire("t3", "a", MODE_X)
+        assert set(excinfo.value.cycle) == {"t1", "t2", "t3"}
+        for txn in ("t1", "t2", "t3"):
+            locks.release_all(txn)
+        for thread in threads:
+            thread.join(5.0)
+
+    @staticmethod
+    def _try(locks, txn, table):
+        try:
+            locks.acquire(txn, table, MODE_X, timeout=5.0)
+        except (DeadlockError, LockTimeoutError):
+            pass
+        finally:
+            locks.release_all(txn)
+
+
+class TestStress:
+    def test_contended_read_modify_write_is_serialized(self, locks):
+        """N threads × M unlocked-unsafe increments; X locks keep it exact."""
+        threads, iterations = 8, 50
+        cell = {"value": 0}
+        barrier = threading.Barrier(threads)
+
+        def worker(worker_id):
+            barrier.wait()
+            for i in range(iterations):
+                txn = f"w{worker_id}i{i}"
+                locks.acquire(txn, "counter", MODE_X)
+                current = cell["value"]
+                if i % 7 == 0:
+                    time.sleep(0)  # encourage interleaving
+                cell["value"] = current + 1
+                locks.release_all(txn)
+
+        pool = [
+            threading.Thread(target=worker, args=(n,), daemon=True)
+            for n in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(30.0)
+        assert cell["value"] == threads * iterations
+        assert locks.stats.acquisitions == threads * iterations
+        assert locks.waiters() == 0
+
+    def test_opposite_order_acquisition_always_resolves(self, locks):
+        """Deadlock-prone workload: every victim retries and all finish."""
+        finished = []
+        barrier = threading.Barrier(6)
+
+        def worker(worker_id):
+            first, second = ("a", "b") if worker_id % 2 else ("b", "a")
+            barrier.wait()
+            for i in range(10):
+                txn = f"w{worker_id}i{i}"
+                while True:
+                    try:
+                        locks.acquire(txn, first, MODE_X, timeout=10.0)
+                        locks.acquire(txn, second, MODE_X, timeout=10.0)
+                        break
+                    except DeadlockError:
+                        locks.release_all(txn)  # roll back and retry
+                locks.release_all(txn)
+            finished.append(worker_id)
+
+        pool = [
+            threading.Thread(target=worker, args=(n,), daemon=True)
+            for n in range(6)
+        ]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join(60.0)
+        assert sorted(finished) == list(range(6))
+        assert locks.waiters() == 0
+
+
+def test_system_table_classification():
+    assert is_system_table("_disguise_history")
+    assert is_system_table("_vault")
+    assert not is_system_table("users")
