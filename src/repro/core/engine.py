@@ -122,6 +122,7 @@ class Disguiser:
         assertions: Iterable[PrivacyAssertion] = (),
         on_assertion_failure: str = "revert",
         check_integrity: bool = False,
+        job: str | None = None,
     ) -> DisguiseReport:
         """Apply a disguise; returns a :class:`DisguiseReport`.
 
@@ -131,7 +132,10 @@ class Disguiser:
         redundant-decorrelation skip. ``reversible=False`` writes no vault
         entries, making the disguise permanent. Assertions are checked
         in-transaction; ``on_assertion_failure`` is ``"revert"``,
-        ``"retry"`` (escalate mechanisms), or ``"notify"``.
+        ``"retry"`` (escalate mechanisms), or ``"notify"``. ``job`` is an
+        optional service job token recorded transactionally with the
+        apply, so a crash-induced re-run can detect the first run's
+        durable effects and skip re-applying.
         """
         resolved = self._resolve(spec)
         if on_assertion_failure not in ("revert", "retry", "notify"):
@@ -159,6 +163,7 @@ class Disguiser:
                     assertion_list,
                     on_assertion_failure,
                     check_integrity,
+                    job,
                 )
             except AssertionFailure as failure:
                 last_failures = failure.args[1] if len(failure.args) > 1 else []
@@ -179,6 +184,7 @@ class Disguiser:
         assertions: list[PrivacyAssertion],
         on_assertion_failure: str,
         check_integrity: bool,
+        job: str | None = None,
     ) -> DisguiseReport:
         if spec.is_user_disguise and uid is None:
             raise DisguiseError(
@@ -194,6 +200,8 @@ class Disguiser:
             did = self.history.open(
                 spec.name, uid, reversible, user_invoked=uid is not None
             )
+            if job is not None:
+                self.history.record_job(job, did)
             self.vault.note_disguise(did, user_invoked=uid is not None)
             factory = PlaceholderFactory(self.db, self.rng, self.registry, did)
             report = DisguiseReport(disguise_id=did, name=spec.name, uid=uid)

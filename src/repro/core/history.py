@@ -24,6 +24,18 @@ from repro.storage.types import ColumnType
 __all__ = ["DisguiseHistory", "HistoryRecord"]
 
 HISTORY_TABLE = "_disguise_history"
+JOBS_TABLE = "_applied_jobs"
+
+
+def _jobs_schema() -> TableSchema:
+    return TableSchema(
+        JOBS_TABLE,
+        [
+            Column("job", ColumnType.TEXT, nullable=False),
+            Column("did", ColumnType.INTEGER, nullable=False),
+        ],
+        primary_key="job",
+    )
 
 
 def _history_schema() -> TableSchema:
@@ -88,6 +100,8 @@ class DisguiseHistory:
         self.db = db
         if not db.has_table(HISTORY_TABLE):
             db.create_table(_history_schema())
+        if not db.has_table(JOBS_TABLE):
+            db.create_table(_jobs_schema())
         self._next_did = 1
         self._next_seq = 1
         # Concurrent workers share one history; id allocation is the only
@@ -168,6 +182,20 @@ class DisguiseHistory:
             self.db.update_by_pk(
                 HISTORY_TABLE, did, {"entries": max(0, row["entries"] + delta)}
             )
+
+    def record_job(self, job: str, did: int) -> None:
+        """Bind a service job token to the disguise it applied.
+
+        Written inside the apply transaction, so the binding is exactly as
+        durable as the apply: a job that re-runs after a crash (its queue
+        ack was lost) finds the binding and completes as a no-op instead
+        of applying the disguise a second time."""
+        self.db.insert(JOBS_TABLE, {"job": job, "did": did})
+
+    def job_applied(self, job: str) -> int | None:
+        """The disguise id *job* already applied, or None."""
+        row = self.db.get(JOBS_TABLE, job)
+        return None if row is None else int(row["did"])
 
     def get(self, did: int) -> HistoryRecord:
         row = self.db.get(HISTORY_TABLE, did)

@@ -26,9 +26,12 @@ Lock discipline per job:
 
 Retry semantics: deadlock and lock-timeout victims are rolled back by the
 engine and re-queued with exponential backoff; other failures consume
-attempts the same way and dead-letter when exhausted.  A re-run reveal of
-an already-revealed disguise completes as a no-op (the history shows it
-inactive), which makes crash-induced reveal re-runs idempotent.
+attempts the same way and dead-letter when exhausted.  A crash-induced
+re-run of a job whose first run already committed is idempotent: a reveal
+sees the disguise inactive in the history, and an apply finds its job
+token bound to a disguise id (the binding is written inside the apply
+transaction, so it is exactly as durable as the apply itself) — both
+complete as no-ops instead of double-applying.
 """
 
 from __future__ import annotations
@@ -38,7 +41,13 @@ import time
 from typing import Any
 
 from repro.core.engine import Disguiser
-from repro.errors import DeadlockError, DisguiseError, LockTimeoutError, ServiceError
+from repro.errors import (
+    DeadlockError,
+    DisguiseError,
+    JobError,
+    LockTimeoutError,
+    ServiceError,
+)
 from repro.service.locks import MODE_X, LockHook, is_system_table
 from repro.service.queue import DEAD, Job, JobQueue
 
@@ -136,6 +145,12 @@ class WorkerPool:
     # -- the worker loop ---------------------------------------------------------
 
     def _run_worker(self, engine: Disguiser) -> None:
+        if self.wal is not None:
+            # Deferred group commit is opted into per thread: this worker
+            # releases locks at commit and meets the barrier below, while
+            # any non-worker thread committing through the shared WAL
+            # keeps its configured fsync policy.
+            self.wal.defer_sync = True
         while not self._stop.is_set():
             job = self.queue.claim(timeout=self.poll_interval)
             if job is None:
@@ -166,7 +181,14 @@ class WorkerPool:
         # one leader fsync covers every worker that reached this barrier.
         if self.wal is not None:
             self.wal.commit_barrier()
-        self.queue.complete(job, result)
+        try:
+            self.queue.complete(job, result)
+        except JobError:
+            # The queue closed between this job's durability barrier and
+            # its done-ack (a shutdown that gave up on the join timeout).
+            # The job's effects are durable; it re-runs after the next
+            # open and completes as a no-op via the history dedupe.
+            return
         self.latency.add(time.perf_counter() - started)
         with self._count_mu:
             self.jobs_done += 1
@@ -183,12 +205,20 @@ class WorkerPool:
     def _dispatch(self, engine: Disguiser, job: Job, token: str) -> dict[str, Any]:
         payload = job.payload
         if job.kind == JOB_APPLY:
+            job_key = f"job-{job.job_id}"
+            done_did = engine.history.job_applied(job_key)
+            if done_did is not None:
+                # Already applied durably — this job ran, crashed (or lost
+                # its ack) before the queue recorded it, and was re-queued.
+                # Completing without re-applying is the correct dedupe.
+                return {"did": done_did, "noop": True}
             spec = engine.spec(str(payload["spec"]))
             self._prelock(token, spec.table_names)
             report = engine.apply(
                 spec,
                 uid=payload.get("uid"),
                 reversible=bool(payload.get("reversible", True)),
+                job=job_key,
             )
             return {"did": report.disguise_id, "rows": report.rows_touched}
         if job.kind == JOB_REVEAL:

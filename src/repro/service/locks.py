@@ -180,9 +180,22 @@ class LockManager:
                         self._check_deadlock(txn, table, waiter)
             except BaseException:
                 waiter.abandoned = True
+                if waiter.granted:
+                    # The grant landed (holders updated, waiter dequeued)
+                    # before the interrupt — e.g. a KeyboardInterrupt in
+                    # wait() after _grant_waiters ran. Undo it: the caller
+                    # sees this acquire fail, and an unpinned thread has no
+                    # release_all to clean up, so keeping the entry would
+                    # leak the table lock forever. An upgrader falls back
+                    # to the S it held before requesting X.
+                    if waiter.upgrade:
+                        lock.holders[txn] = MODE_S
+                    else:
+                        lock.holders.pop(txn, None)
                 if waiter in lock.waiters:
                     lock.waiters.remove(waiter)
                 self._grant_waiters(lock)
+                self._mu.notify_all()
                 raise
             finally:
                 self.stats.wait_time_s += time.monotonic() - started

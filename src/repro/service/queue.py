@@ -266,6 +266,8 @@ class JobQueue:
             raise QueueCorruptionError(f"{self.path}: unknown event {kind!r}")
 
     def _append(self, event: dict[str, Any]) -> None:
+        if self._closed:
+            raise JobError("queue is closed")
         self._handle.write(_frame(event))
         self._handle.flush()
         if self.fsync:
@@ -278,6 +280,8 @@ class JobQueue:
         :meth:`forget_finished`; compaction itself is lossless.
         """
         with self._cond:
+            if self._closed:
+                raise JobError("queue is closed")
             tmp = self.path.with_suffix(self.path.suffix + ".tmp")
             with tmp.open("w", encoding="utf-8") as handle:
                 for job in sorted(self._jobs.values(), key=lambda j: j.job_id):
@@ -371,17 +375,22 @@ class JobQueue:
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             while True:
+                # A closed queue hands out nothing, even with ready PENDING
+                # jobs — claiming would journal to a closed file. Those jobs
+                # stay PENDING and run after the next open.
+                if self._closed:
+                    return None
                 now = time.time()
                 job = self._next_ready(now)
                 if job is not None:
+                    # Journal first: if the append fails the job is still
+                    # PENDING in memory, not half-claimed.
+                    self._append({
+                        "ev": "claim", "id": job.job_id, "attempts": job.attempts + 1,
+                    })
                     job.state = RUNNING
                     job.attempts += 1
-                    self._append({
-                        "ev": "claim", "id": job.job_id, "attempts": job.attempts,
-                    })
                     return job
-                if self._closed:
-                    return None
                 # Wake when notified, when the nearest backoff gate opens,
                 # or at the caller's deadline — whichever comes first.
                 waits = []

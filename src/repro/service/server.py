@@ -88,8 +88,6 @@ class DisguiseService:
         if self._started:
             raise ServiceError("service already started")
         self.engine.db.set_lock_hook(self.hook)
-        if self.wal is not None:
-            self.wal.defer_sync = True
         self.pool.start()
         self._started = True
         return self
@@ -103,10 +101,13 @@ class DisguiseService:
         if self._stopped:
             return
         self._stopped = True
-        self.queue.close()          # wakes blocked claims; submit now fails
+        # Workers stop first, against a live queue: an in-flight job's
+        # done-ack must land in the journal. Closing the queue before the
+        # join would drop finishing jobs' acks (they would re-run after
+        # restart) and make claims race a closed journal file.
         self.pool.stop(timeout)
+        self.queue.close()          # stops claims; submit now fails
         if self.wal is not None:
-            self.wal.defer_sync = False
             self.wal.sync()
         self.engine.db.set_lock_hook(None)
 

@@ -258,11 +258,6 @@ class WriteAheadLog:
         self._appended_seq = 0
         self._synced_seq = 0
         self._sync_leader = False
-        # When True (set by the service executor), commits skip the
-        # policy fsync: the worker releases its table locks first and then
-        # calls commit_barrier(), so the fsync wait overlaps other work
-        # (early lock release) and one leader fsync covers many workers.
-        self.defer_sync = False
         # Artificial pre-fsync latency for the group-commit leader. CI
         # filesystems ack fsync from the page cache in ~0.1ms, which hides
         # exactly the cost group commit exists to amortize; benchmarks set
@@ -310,6 +305,24 @@ class WriteAheadLog:
                 {"t": _T_HEADER, "version": _WAL_VERSION, "gen": generation},
             )
             self._handle.flush()
+
+    @property
+    def defer_sync(self) -> bool:
+        """Whether *this thread's* commits skip the policy fsync.
+
+        Thread-scoped by design: a service worker sets it at thread start,
+        releases its table locks at commit, and then calls
+        :meth:`commit_barrier` so one leader fsync covers many workers.
+        Any other thread committing through the same log never calls the
+        barrier, so it must keep the configured ``fsync`` policy — a
+        process-wide flag would silently strip its durability while the
+        service runs.
+        """
+        return getattr(self._tls, "defer_sync", False)
+
+    @defer_sync.setter
+    def defer_sync(self, value: bool) -> None:
+        self._tls.defer_sync = bool(value)
 
     @property
     def _tx_stack(self) -> list[list[dict[str, Any]]]:

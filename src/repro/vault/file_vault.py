@@ -63,6 +63,27 @@ class FileVault(VaultStore):
         token = quote(str(owner), safe="")
         return self.directory / f"owner-{token}.jsonl"
 
+    def _legacy_path(self, owner: Any) -> Path | None:
+        """Where the pre-encoding layout stored *owner*'s journal.
+
+        Returns None when the raw token already matches the encoded one
+        (nothing to migrate) or the old layout could never have written it
+        (it rejected '/' and leading '.').
+        """
+        token = str(owner)
+        if "/" in token or token.startswith("."):
+            return None
+        legacy = self.directory / f"owner-{token}.jsonl"
+        return None if legacy == self._path(owner) else legacy
+
+    def _migrate_legacy(self, owner: Any, path: Path) -> None:
+        """Rename a legacy raw-token journal to its encoded filename."""
+        if path.exists():
+            return
+        legacy = self._legacy_path(owner)
+        if legacy is not None and legacy.exists():
+            os.replace(legacy, path)
+
     # -- journal IO ---------------------------------------------------------------
 
     def _load(self, owner: Any) -> dict[int, VaultEntry]:
@@ -74,6 +95,7 @@ class FileVault(VaultStore):
         entries: dict[int, VaultEntry] = {}
         dead = 0
         path = self._path(owner)
+        self._migrate_legacy(owner, path)
         if path.exists():
             with path.open("r", encoding="utf-8") as handle:
                 for line in handle:
@@ -176,6 +198,12 @@ class FileVault(VaultStore):
     def owners(self) -> list[Any]:
         out = []
         for path in self.directory.glob("owner-*.jsonl"):
-            token = unquote(path.stem[len("owner-") :])
-            out.append(int(token) if token.isdigit() else token)
+            token = path.stem[len("owner-") :]
+            # Only tokens the current encoder could have produced are
+            # decoded; anything else is a legacy raw token (e.g. an owner
+            # written by the pre-encoding layout containing '@' or '%')
+            # and is taken literally rather than mangled by unquote.
+            decoded = unquote(token)
+            name = decoded if quote(decoded, safe="") == token else token
+            out.append(int(name) if name.isdigit() else name)
         return out

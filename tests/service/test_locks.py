@@ -264,3 +264,71 @@ def test_system_table_classification():
     assert is_system_table("_disguise_history")
     assert is_system_table("_vault")
     assert not is_system_table("users")
+
+
+class TestInterruptedGrant:
+    def test_granted_then_interrupted_waiter_releases_the_lock(self, locks):
+        """A BaseException landing after the grant but before the waiter
+        observes it must undo the grant — an unpinned thread has no later
+        release_all, so a leaked holders entry blocks writers forever."""
+        locks.acquire("A", "users", MODE_X)
+        interrupted = threading.Event()
+        real_wait = locks._mu.wait
+
+        def wait_then_interrupt(timeout=None):
+            real_wait(timeout)
+            # Woken by the grant: holders already lists B, the waiter is
+            # dequeued, but acquire() has not yet seen granted=True. A
+            # KeyboardInterrupt here is the leak window.
+            if "B" in locks._tables["users"].holders:
+                raise KeyboardInterrupt
+
+        locks._mu.wait = wait_then_interrupt
+
+        def blocked():
+            try:
+                locks.acquire("B", "users", MODE_X, timeout=10.0)
+            except KeyboardInterrupt:
+                interrupted.set()
+
+        thread = start(blocked)
+        time.sleep(0.05)  # let B queue behind A
+        locks.release_all("A")  # grants B while B sits in wait()
+        thread.join(5.0)
+        del locks._mu.wait
+        assert interrupted.is_set()
+        assert locks.holding("B") == {}
+        # The undone grant is visible: a new writer acquires immediately.
+        locks.acquire("C", "users", MODE_X, timeout=0.5)
+
+    def test_interrupted_upgrade_falls_back_to_shared(self, locks):
+        """An interrupted granted upgrade keeps the S it held before."""
+        locks.acquire("A", "users", MODE_S)
+        locks.acquire("B", "users", MODE_S)
+        interrupted = threading.Event()
+        real_wait = locks._mu.wait
+
+        def wait_then_interrupt(timeout=None):
+            real_wait(timeout)
+            if locks._tables["users"].holders.get("B") == MODE_X:
+                raise KeyboardInterrupt
+
+        locks._mu.wait = wait_then_interrupt
+
+        def upgrading():
+            try:
+                locks.acquire("B", "users", MODE_X, timeout=10.0)
+            except KeyboardInterrupt:
+                interrupted.set()
+
+        thread = start(upgrading)
+        time.sleep(0.05)
+        locks.release_all("A")  # B's upgrade is granted while it waits
+        thread.join(5.0)
+        del locks._mu.wait
+        assert interrupted.is_set()
+        assert locks.holding("B") == {"users": MODE_S}
+        # X is refused to others (B still shares), S is compatible.
+        with pytest.raises(LockTimeoutError):
+            locks.acquire("C", "users", MODE_X, timeout=0.1)
+        locks.acquire("C", "users", MODE_S, timeout=0.5)

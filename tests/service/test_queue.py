@@ -268,3 +268,46 @@ class TestConcurrency:
         assert sorted(claimed) == sorted(j.job_id for j in queue.jobs())
         assert len(claimed) == total
         assert queue.counts()[DONE] == total
+
+
+class TestClosedQueue:
+    """Regression: close() must fence every journaling entry point.
+
+    Before the fix, claim() handed out ready PENDING jobs after close and
+    complete()/fail() hit _append() on the closed journal file, raising a
+    raw ValueError that killed worker threads and lost done-acks.
+    """
+
+    def test_close_stops_claims_even_with_ready_jobs(self, path):
+        queue = make_queue(path)
+        job = queue.submit("apply", {"n": 1})
+        queue.close()
+        assert queue.claim(timeout=0) is None
+        assert job.state == PENDING  # untouched: runs after the next open
+        reopened = make_queue(path)
+        assert reopened.claim(timeout=0).job_id == job.job_id
+
+    def test_complete_and_fail_raise_joberror_after_close(self, path):
+        queue = make_queue(path)
+        queue.submit("apply", {})
+        job = queue.claim(timeout=0)
+        queue.close()
+        with pytest.raises(JobError):
+            queue.complete(job, {"ok": True})
+        with pytest.raises(JobError):
+            queue.fail(job, "boom")
+        # Neither call mutated the job before the append was refused; the
+        # claim is journaled, so recovery re-queues it.
+        assert job.state == RUNNING
+        reopened = make_queue(path)
+        assert reopened.get(job.job_id).state == PENDING
+        assert reopened.requeued_on_recovery == 1
+
+    def test_compact_refused_after_close(self, path):
+        queue = make_queue(path)
+        queue.submit("apply", {})
+        queue.close()
+        with pytest.raises(JobError):
+            queue.compact()
+        with pytest.raises(JobError):
+            queue.forget_finished()

@@ -273,11 +273,11 @@ class TestConcurrencyPrimitives:
         handle = WalDatabase(snapshot, fsync="always", sync_delay=0.004)
         db, wal = handle.db, handle.wal
         db.set_lock_hook(LockHook(LockManager()))
-        wal.defer_sync = True
         threads, per_thread = 8, 5
         barrier = threading.Barrier(threads)
 
         def worker(worker_id):
+            wal.defer_sync = True  # per-thread: each committer opts in
             barrier.wait()
             for n in range(per_thread):
                 db.begin()
@@ -303,7 +303,6 @@ class TestConcurrencyPrimitives:
         total = threads * per_thread
         assert wal.commits_appended == total
         assert 0 < wal.syncs < total  # leaders fsynced for followers
-        wal.defer_sync = False
         db.set_lock_hook(None)
         handle.close()
         recovered = recover_database(snapshot)
@@ -350,3 +349,81 @@ class TestConcurrencyPrimitives:
         assert db.stats.deletes == unit.deletes * rounds
         assert db.stats.statements == unit.statements * rounds
         db.set_lock_hook(None)
+
+
+class TestShutdownOrdering:
+    def test_shutdown_with_queued_jobs_keeps_acks_and_pending_jobs(self, tmp_path):
+        """Shutdown before drain: the pool stops against a live queue.
+
+        Regression for closing the queue before the worker join — finishing
+        workers' done-acks then hit a closed journal, killing the threads
+        and re-running acked jobs after restart. Now finished jobs stay
+        DONE, unstarted ones stay PENDING, and a reopened service runs the
+        remainder exactly once.
+        """
+        uids = (1, 2, 3)
+        service = blog_service(tmp_path, workers=1)
+        with service:
+            jobs = [service.submit_apply("BlogScrub", uid=u) for u in uids]
+            service.wait_for(jobs[0], timeout=30.0)
+            # __exit__ shuts down with jobs still queued (the drain-timeout
+            # -expired path of cmd_serve).
+        counts = service.queue.counts()
+        assert counts["running"] == counts["dead"] == counts["failed"] == 0
+        assert counts["done"] >= 1
+        assert counts["done"] + counts["pending"] == len(uids)
+
+        revived = DisguiseService(
+            service.engine, tmp_path / "q.jobs", workers=1, queue_fsync=False
+        )
+        with revived:
+            assert revived.drain(timeout=60.0)
+        for job in jobs:
+            assert revived.status(job.job_id)["state"] == "done"
+        # Exactly one application per user: nothing re-ran, nothing was lost.
+        records = [
+            r for r in service.engine.history.records() if r.name == "BlogScrub"
+        ]
+        assert sorted(r.uid for r in records) == sorted(uids)
+        for uid in uids:
+            assert service.engine.db.get("users", uid) is None
+        assert service.engine.db.check_integrity() == []
+
+
+class TestApplyDedupe:
+    def test_apply_rerun_after_lost_ack_is_noop(self, tmp_path):
+        """Crash between the WAL barrier and the queue ack must not apply
+        the disguise a second time (duplicate history row, vault entries
+        recorded over placeholder data)."""
+        queue_path = tmp_path / "q.jobs"
+        engine = Disguiser(make_blog_db(), seed=1)
+        engine.register(blog_scrub_spec())
+        baseline = app_rows(engine.db)
+        service = DisguiseService(engine, queue_path, workers=1, queue_fsync=False)
+        with service:
+            job = service.submit_apply("BlogScrub", uid=2)
+            done = service.wait_for(job, timeout=30.0)
+        did = done["result"]["did"]
+        history_rows = len(engine.history.records())
+        vault_entries = len(engine.vault.entries_for(2))
+
+        # Crash simulation: the apply committed durably, but its done-ack
+        # never reached the queue journal.
+        lines = queue_path.read_bytes().splitlines(keepends=True)
+        assert b'"ev":"done"' in lines[-1]
+        queue_path.write_bytes(b"".join(lines[:-1]))
+
+        revived = DisguiseService(engine, queue_path, workers=1, queue_fsync=False)
+        assert revived.queue.requeued_on_recovery == 1
+        with revived:
+            assert revived.drain(timeout=30.0)
+        described = revived.status(job.job_id)
+        assert described["state"] == "done"
+        assert described["result"] == {"did": did, "noop": True}
+        # First run's effects, and only them: one history row, no extra
+        # vault entries, and the round trip still restores the baseline.
+        assert len(engine.history.records()) == history_rows
+        assert len(engine.vault.entries_for(2)) == vault_entries
+        engine.reveal(did)
+        assert app_rows(engine.db) == baseline
+        assert engine.db.check_integrity() == []

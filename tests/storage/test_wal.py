@@ -338,3 +338,34 @@ class TestBootstrap:
         units[0][0]["op"] = "explode"
         with pytest.raises(WalCorruptionError):
             wal_mod.replay_into(fresh_db(), units)
+
+
+class TestDeferSyncScope:
+    def test_defer_sync_is_thread_scoped(self, tmp_path):
+        """One thread deferring its fsyncs must not strip another's policy.
+
+        Service workers set defer_sync and later meet the commit_barrier
+        leader fsync; a non-worker thread committing through the same log
+        never calls the barrier, so its fsync='always' durability has to
+        survive the workers' opt-in.
+        """
+        import threading
+
+        wal = WriteAheadLog(tmp_path / "db.wal", fsync="always")
+        done = threading.Event()
+
+        def worker():
+            wal.defer_sync = True
+            wal.on_statement({"op": "insert", "table": "users", "rows": []})
+            done.set()
+
+        thread = threading.Thread(target=worker, daemon=True)
+        thread.start()
+        assert done.wait(5.0)
+        thread.join(5.0)
+        assert wal.syncs == 0            # the opted-in thread deferred
+        assert wal.defer_sync is False   # the flag did not leak here
+        wal.on_statement({"op": "insert", "table": "users", "rows": []})
+        assert wal.syncs == 1            # this thread's policy still holds
+        wal.sync()
+        wal.close()
