@@ -28,6 +28,7 @@ from repro.core.compose import skippable_decorrelation
 from repro.errors import DisguiseError
 from repro.spec.disguise import DisguiseSpec, USER_PARAM
 from repro.spec.transform import Decorrelate, Modify, Remove
+from repro.storage.compile import matcher
 from repro.storage.schema import FKAction
 from repro.vault.entry import OP_REMOVE
 
@@ -208,11 +209,17 @@ def _would_clear(engine, table_disguise, fk_column, parent_pks, params) -> bool:
     """Whether the spec's transformations on the child table detach every
     row referencing the removed parents."""
     db = engine.db
+    # Bind each transformation's predicate to a compiled row matcher once;
+    # the loops below test every referencing row against every predicate.
+    matchers = [
+        (matcher(transformation.pred, params), transformation)
+        for transformation in table_disguise.transformations
+    ]
     for pk in parent_pks:
         for row in db.table(table_disguise.table).referencing_rows(fk_column, pk):
             handled = False
-            for transformation in table_disguise.transformations:
-                if not transformation.pred.test(row, params):
+            for match, transformation in matchers:
+                if not match(row):
                     continue
                 if isinstance(transformation, Remove):
                     handled = True

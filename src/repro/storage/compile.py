@@ -1,0 +1,721 @@
+"""Predicate compilation: lowering predicate ASTs into flat Python closures.
+
+Every disguise application and application query funnels row selection
+through :meth:`Predicate.eval3` — a tree-walking interpreter that pays a
+Python virtual call, two ``Expr.eval`` dispatches, an operator-table
+lookup, and a comparability check *per AST node per scanned row*. On the
+scan-heavy, FK-rich workloads the paper targets (§5 "arbitrary SQL WHERE
+clauses" over §6-scale tables) that per-row interpretation dominates the
+read path.
+
+This module removes the dispatch entirely: :func:`compile_predicate`
+walks the AST **once** and generates the source of a specialized Python
+function that evaluates the whole predicate in a single call — straight-line
+loads, comparisons and branches, no per-node dispatch. The generated code
+preserves the interpreter's exact semantics:
+
+* SQL three-valued logic, with ``UNKNOWN`` represented as ``None`` (so the
+  generated function returns ``True`` / ``False`` / ``None``);
+* short-circuit order identical to ``And.eval3`` / ``Or.eval3`` (the right
+  arm is only evaluated when the left arm did not decide), so errors are
+  raised for exactly the rows the interpreter would raise on;
+* LIKE (via the shared :func:`~repro.storage.predicate.like_regex` cache),
+  BETWEEN, IN-lists with NULL items, NULL-propagating arithmetic with
+  division-by-zero yielding NULL, and cross-type comparison rules
+  (``=``/``!=`` give FALSE/TRUE, ordering raises);
+* late parameter binding: compilation produces a *bind* function
+  ``bind(params) -> row_fn``, so one compiled form serves every parameter
+  value — the paper's specs are written once and re-run per user.
+
+Compilation is specialized against literal operands: comparing a column
+against an ``int`` literal emits an inline ``isinstance`` guard instead of
+the generic :func:`~repro.storage.types.is_comparable` call.
+
+Unknown node types (user subclasses overriding ``eval3``) are not
+compiled; :func:`compile_predicate` returns ``None`` and callers fall back
+to the interpreter.
+
+The module also hosts :class:`PlanCache` — the keyed plan cache
+(table, predicate, schema generation) → (access-path template, compiled
+predicate) that lets repeated disguise applications skip parse, plan and
+compile entirely (see :meth:`repro.storage.table.Table.scan`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import threading
+from functools import lru_cache
+from typing import Any, Callable, Mapping
+
+from repro.errors import StorageError, UnknownColumnError
+from repro.storage.predicate import (
+    And,
+    Between,
+    BinOp,
+    ColumnRef,
+    Comparison,
+    FalseP,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Param,
+    Predicate,
+    Tristate,
+    TrueP,
+    like_regex,
+)
+from repro.storage.types import is_comparable
+
+__all__ = [
+    "CompiledPredicate",
+    "compile_predicate",
+    "clear_compile_cache",
+    "compile_cache_info",
+    "matcher",
+    "PlanCache",
+    "PlanEntry",
+]
+
+
+# --------------------------------------------------------------------------
+# Runtime helpers referenced by generated code
+# --------------------------------------------------------------------------
+
+_MISSING = object()  # sentinel for "parameter not bound"
+
+
+def _unbound(name: str) -> Any:
+    raise StorageError(f"unbound predicate parameter ${name}")
+
+
+def _unknown_column(exc: KeyError) -> Any:
+    raise UnknownColumnError(f"row has no column {exc.args[0]!r}") from None
+
+
+def _order_error(lhs: Any, rhs: Any) -> Any:
+    raise StorageError(f"cannot order {lhs!r} against {rhs!r}")
+
+
+def _arith_error(lhs: Any, op: str, rhs: Any) -> Any:
+    raise StorageError(f"arithmetic on non-numeric values: {lhs!r} {op} {rhs!r}")
+
+
+class _Unsupported(Exception):
+    """Raised during codegen when a node type has no compiled form."""
+
+
+_NOT_CONST = object()  # marker: expression value unknown until runtime
+
+# Types whose repr() round-trips exactly and may be inlined into source.
+_INLINE_TYPES = (int, str, bytes, bool, type(None))
+
+_PY_CMP = {"=": "==", "!=": "!=", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+class _Codegen:
+    """Emits the body of the generated row function.
+
+    Predicates compile to statements that leave their tristate result
+    (``True`` / ``False`` / ``None``) in a fresh local; scalar expressions
+    compile to an expression string plus, when the value is a compile-time
+    constant, the constant itself — so NULL checks and comparability
+    guards against literals are resolved during codegen, not per row.
+    """
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.indent = 3  # def _bind / def _row / try
+        self.counter = 0
+        self.param_vars: dict[str, str] = {}
+        self.ns: dict[str, Any] = {}
+
+    # -- emission helpers ---------------------------------------------------
+
+    def new(self, prefix: str = "v") -> str:
+        self.counter += 1
+        return f"{prefix}{self.counter}"
+
+    def line(self, text: str) -> None:
+        self.lines.append("    " * self.indent + text)
+
+    def block(self, header: str) -> "_Block":
+        self.line(header)
+        return _Block(self)
+
+    def const(self, value: Any) -> str:
+        """An expression string evaluating to *value* in generated code."""
+        if type(value) in _INLINE_TYPES:
+            return repr(value)
+        if type(value) is float and math.isfinite(value):
+            return repr(value)
+        name = f"_c{len(self.ns)}"
+        self.ns[name] = value
+        return name
+
+    # -- scalar expressions -------------------------------------------------
+
+    def emit_expr(self, node: Any) -> tuple[str, Any]:
+        """Compile an Expr; returns (expression string, const value or marker).
+
+        The returned expression string is safe to reference repeatedly:
+        it is either a literal/constant or a local already assigned.
+        """
+        kind = type(node)
+        if kind is Literal:
+            return self.const(node.value), node.value
+        if kind is ColumnRef:
+            var = self.new()
+            self.line(f"{var} = row[{node.name!r}]")
+            return var, _NOT_CONST
+        if kind is Param:
+            pvar = self.param_vars.setdefault(
+                node.name, f"p{len(self.param_vars)}"
+            )
+            # The guard runs where Param.eval would — an unbound parameter
+            # only raises if the short-circuit order reaches it.
+            self.line(f"if {pvar} is _MISSING: _unbound({node.name!r})")
+            return pvar, _NOT_CONST
+        if kind is BinOp:
+            return self._emit_binop(node)
+        raise _Unsupported(f"no compiled form for {kind.__name__}")
+
+    def _emit_binop(self, node: BinOp) -> tuple[str, Any]:
+        a, av = self.emit_expr(node.left)
+        b, bv = self.emit_expr(node.right)
+        out = self.new()
+        null_checks = [f"{x} is None" for x, v in ((a, av), (b, bv)) if v is _NOT_CONST]
+        if (av is not _NOT_CONST and av is None) or (
+            bv is not _NOT_CONST and bv is None
+        ):
+            self.line(f"{out} = None")
+            return out, None
+        body = self._binop_body(node.op, a, av, b, bv, out)
+        if null_checks:
+            with self.block(f"if {' or '.join(null_checks)}:"):
+                self.line(f"{out} = None")
+            with self.block("else:"):
+                body()
+        else:
+            body()
+        return out, _NOT_CONST
+
+    def _binop_body(
+        self, op: str, a: str, av: Any, b: str, bv: Any, out: str
+    ) -> Callable[[], None]:
+        def _is_numeric(v: Any) -> bool:
+            return isinstance(v, (int, float))  # bools included, as eval does
+
+        def body() -> None:
+            guards = [
+                f"not isinstance({x}, (int, float))"
+                for x, v in ((a, av), (b, bv))
+                if v is _NOT_CONST
+            ]
+            statically_bad = any(
+                v is not _NOT_CONST and not _is_numeric(v) for v in (av, bv)
+            )
+            if statically_bad:
+                self.line(f"_arith_error({a}, {op!r}, {b})")
+                self.line(f"{out} = None")
+                return
+            if guards:
+                with self.block(f"if {' or '.join(guards)}:"):
+                    self.line(f"_arith_error({a}, {op!r}, {b})")
+            if op in ("/", "%"):
+                with self.block("try:"):
+                    self.line(f"{out} = {a} {op} {b}")
+                with self.block("except ZeroDivisionError:"):
+                    self.line(f"{out} = None")
+            else:
+                self.line(f"{out} = {a} {op} {b}")
+
+        return body
+
+    # -- comparability specialization ---------------------------------------
+
+    def comparable_cond(self, a: str, av: Any, b: str, bv: Any) -> Any:
+        """Condition for ``is_comparable(a, b)``: True/False or an expr string."""
+        if av is not _NOT_CONST and bv is not _NOT_CONST:
+            return is_comparable(av, bv)
+        if av is not _NOT_CONST:
+            known, unknown = av, b
+        elif bv is not _NOT_CONST:
+            known, unknown = bv, a
+        else:
+            return f"_is_comparable({a}, {b})"
+        if isinstance(known, bool):
+            return f"isinstance({unknown}, bool)"
+        if isinstance(known, (int, float)):
+            return (
+                f"(isinstance({unknown}, (int, float))"
+                f" and not isinstance({unknown}, bool))"
+            )
+        if type(known) in (str, bytes):
+            return f"type({unknown}) is {type(known).__name__}"
+        return f"_is_comparable({a}, {b})"
+
+    # -- predicates ---------------------------------------------------------
+
+    def emit_pred(self, node: Predicate) -> str:
+        """Compile a Predicate; returns the local holding its tristate."""
+        kind = type(node)
+        if kind is TrueP:
+            out = self.new("r")
+            self.line(f"{out} = True")
+            return out
+        if kind is FalseP:
+            out = self.new("r")
+            self.line(f"{out} = False")
+            return out
+        if kind is Comparison:
+            return self._emit_comparison(node)
+        if kind is And:
+            return self._emit_and(node)
+        if kind is Or:
+            return self._emit_or(node)
+        if kind is Not:
+            inner = self.emit_pred(node.inner)
+            out = self.new("r")
+            self.line(f"{out} = None if {inner} is None else (not {inner})")
+            return out
+        if kind is IsNull:
+            expr, ev = self.emit_expr(node.expr)
+            out = self.new("r")
+            if ev is not _NOT_CONST:
+                result = (ev is not None) if node.negated else (ev is None)
+                self.line(f"{out} = {result}")
+                return out
+            op = "is not" if node.negated else "is"
+            self.line(f"{out} = {expr} {op} None")
+            return out
+        if kind is Like:
+            return self._emit_like(node)
+        if kind is InList:
+            return self._emit_in(node)
+        if kind is Between:
+            return self._emit_between(node)
+        raise _Unsupported(f"no compiled form for {kind.__name__}")
+
+    def _emit_comparison(self, node: Comparison) -> str:
+        a, av = self.emit_expr(node.left)
+        b, bv = self.emit_expr(node.right)
+        return self._comparison_core(node.op, a, av, b, bv)
+
+    def _comparison_core(self, op: str, a: str, av: Any, b: str, bv: Any) -> str:
+        out = self.new("r")
+        if (av is not _NOT_CONST and av is None) or (
+            bv is not _NOT_CONST and bv is None
+        ):
+            self.line(f"{out} = None")
+            return out
+        null_checks = [f"{x} is None" for x, v in ((a, av), (b, bv)) if v is _NOT_CONST]
+
+        def body() -> None:
+            cond = self.comparable_cond(a, av, b, bv)
+            pyop = _PY_CMP[op]
+            if op in ("=", "!="):
+                mismatch = "True" if op == "!=" else "False"
+                if cond is True:
+                    self.line(f"{out} = True if {a} {pyop} {b} else False")
+                elif cond is False:
+                    self.line(f"{out} = {mismatch}")
+                else:
+                    with self.block(f"if {cond}:"):
+                        self.line(f"{out} = True if {a} {pyop} {b} else False")
+                    with self.block("else:"):
+                        self.line(f"{out} = {mismatch}")
+            else:
+                if cond is False:
+                    self.line(f"_order_error({a}, {b})")
+                    self.line(f"{out} = None")
+                    return
+                if cond is not True:
+                    with self.block(f"if not {cond}:"):
+                        self.line(f"_order_error({a}, {b})")
+                self.line(f"{out} = True if {a} {pyop} {b} else False")
+
+        if null_checks:
+            with self.block(f"if {' or '.join(null_checks)}:"):
+                self.line(f"{out} = None")
+            with self.block("else:"):
+                body()
+        else:
+            body()
+        return out
+
+    def _emit_and(self, node: And) -> str:
+        left = self.emit_pred(node.left)
+        out = self.new("r")
+        with self.block(f"if {left} is False:"):
+            self.line(f"{out} = False")
+        with self.block("else:"):
+            right = self.emit_pred(node.right)
+            with self.block(f"if {right} is False:"):
+                self.line(f"{out} = False")
+            with self.block(f"elif {left} is True and {right} is True:"):
+                self.line(f"{out} = True")
+            with self.block("else:"):
+                self.line(f"{out} = None")
+        return out
+
+    def _emit_or(self, node: Or) -> str:
+        left = self.emit_pred(node.left)
+        out = self.new("r")
+        with self.block(f"if {left} is True:"):
+            self.line(f"{out} = True")
+        with self.block("else:"):
+            right = self.emit_pred(node.right)
+            with self.block(f"if {right} is True:"):
+                self.line(f"{out} = True")
+            with self.block(f"elif {left} is False and {right} is False:"):
+                self.line(f"{out} = False")
+            with self.block("else:"):
+                self.line(f"{out} = None")
+        return out
+
+    def _emit_like(self, node: Like) -> str:
+        expr, ev = self.emit_expr(node.expr)
+        out = self.new("r")
+        match_fn = f"_m{len(self.ns)}"
+        self.ns[match_fn] = like_regex(node.pattern).match
+        # Negation only flips a match result; the interpreter returns FALSE
+        # for non-string operands *before* applying NOT LIKE.
+        true, false = ("False", "True") if node.negated else ("True", "False")
+        if ev is not _NOT_CONST and ev is None:
+            self.line(f"{out} = None")
+            return out
+        checks_null = ev is _NOT_CONST
+        if checks_null:
+            with self.block(f"if {expr} is None:"):
+                self.line(f"{out} = None")
+            ctx = self.block(f"elif not isinstance({expr}, str):")
+        else:
+            ctx = self.block(f"if not isinstance({expr}, str):")
+        with ctx:
+            self.line(f"{out} = False")
+        with self.block("else:"):
+            self.line(f"{out} = {true} if {match_fn}({expr}) else {false}")
+        return out
+
+    def _emit_in(self, node: InList) -> str:
+        expr, ev = self.emit_expr(node.expr)
+        out = self.new("r")
+        if ev is not _NOT_CONST and ev is None:
+            self.line(f"{out} = None")
+            return out
+
+        def body() -> None:
+            found = self.new("f")
+            saw_null = self.new("n")
+            self.line(f"{found} = False")
+            self.line(f"{saw_null} = False")
+            with self.block("while True:"):
+                for item in node.items:
+                    c, cv = self.emit_expr(item)
+                    if cv is not _NOT_CONST:
+                        if cv is None:
+                            self.line(f"{saw_null} = True")
+                            continue
+                        cond = self.comparable_cond(expr, ev, c, cv)
+                        if cond is False:
+                            continue
+                        guard = f"{expr} == {c}" if cond is True else f"{cond} and {expr} == {c}"
+                        with self.block(f"if {guard}:"):
+                            self.line(f"{found} = True")
+                            self.line("break")
+                    else:
+                        with self.block(f"if {c} is None:"):
+                            self.line(f"{saw_null} = True")
+                        cond = self.comparable_cond(expr, ev, c, cv)
+                        guard = f"{expr} == {c}" if cond is True else f"{cond} and {expr} == {c}"
+                        with self.block(f"elif {guard}:"):
+                            self.line(f"{found} = True")
+                            self.line("break")
+                self.line("break")
+            if node.negated:
+                self.line(
+                    f"{out} = False if {found} else (None if {saw_null} else True)"
+                )
+            else:
+                self.line(
+                    f"{out} = True if {found} else (None if {saw_null} else False)"
+                )
+
+        if ev is _NOT_CONST:
+            with self.block(f"if {expr} is None:"):
+                self.line(f"{out} = None")
+            with self.block("else:"):
+                body()
+        else:
+            body()
+        return out
+
+    def _emit_between(self, node: Between) -> str:
+        # Mirrors Between.eval3: And(expr >= lo, expr <= hi), i.e. the hi
+        # comparison only runs when the lo comparison is not FALSE.
+        expr, ev = self.emit_expr(node.expr)
+        lo, lov = self.emit_expr(node.lo)
+        left = self._comparison_core(">=", expr, ev, lo, lov)
+        out = self.new("r")
+        with self.block(f"if {left} is False:"):
+            self.line(f"{out} = False")
+        with self.block("else:"):
+            hi, hiv = self.emit_expr(node.hi)
+            right = self._comparison_core("<=", expr, ev, hi, hiv)
+            with self.block(f"if {right} is False:"):
+                self.line(f"{out} = False")
+            with self.block(f"elif {left} is True and {right} is True:"):
+                self.line(f"{out} = True")
+            with self.block("else:"):
+                self.line(f"{out} = None")
+        if node.negated:
+            flipped = self.new("r")
+            self.line(f"{flipped} = None if {out} is None else (not {out})")
+            return flipped
+        return out
+
+
+class _Block:
+    """Indentation context for one generated block."""
+
+    def __init__(self, gen: _Codegen) -> None:
+        self._gen = gen
+
+    def __enter__(self) -> "_Block":
+        self._gen.indent += 1
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self._gen.indent -= 1
+
+
+# --------------------------------------------------------------------------
+# Public compilation API
+# --------------------------------------------------------------------------
+
+
+class CompiledPredicate:
+    """A predicate lowered to a parameter-bindable Python closure.
+
+    :meth:`bind` fixes a parameter mapping and returns the per-row
+    function, which evaluates the whole predicate in one call and returns
+    ``True`` / ``False`` / ``None`` (SQL TRUE / FALSE / UNKNOWN). Callers
+    on hot paths test rows with ``fn(row) is True`` — no wrapper closure.
+    """
+
+    __slots__ = ("pred", "source", "_bindfn")
+
+    def __init__(self, pred: Predicate, source: str, bindfn: Callable[..., Any]) -> None:
+        self.pred = pred
+        self.source = source
+        self._bindfn = bindfn
+
+    def bind(
+        self, params: Mapping[str, Any] | None = None
+    ) -> Callable[[Mapping[str, Any]], Any]:
+        """The per-row tristate evaluator with *params* bound."""
+        return self._bindfn(params or {})
+
+    def test(self, row: Mapping[str, Any], params: Mapping[str, Any] | None = None) -> bool:
+        """Interpreter-compatible convenience (compile + bind per call)."""
+        return self._bindfn(params or {})(row) is True
+
+    def eval3(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Tristate:
+        """Tristate result, for differential testing against ``Predicate.eval3``."""
+        result = self._bindfn(params)(row)
+        if result is True:
+            return Tristate.TRUE
+        if result is False:
+            return Tristate.FALSE
+        return Tristate.UNKNOWN
+
+
+def _compile(pred: Predicate) -> CompiledPredicate:
+    gen = _Codegen()
+    result = gen.emit_pred(pred)
+    gen.line(f"return {result}")
+    src_lines = ["def _bind(params):"]
+    for name, pvar in gen.param_vars.items():
+        src_lines.append(f"    {pvar} = params.get({name!r}, _MISSING)")
+    src_lines.append("    def _row(row):")
+    src_lines.append("        try:")
+    src_lines.extend(gen.lines)
+    src_lines.append("        except KeyError as _k:")
+    src_lines.append("            _unknown_column(_k)")
+    src_lines.append("    return _row")
+    source = "\n".join(src_lines) + "\n"
+    namespace: dict[str, Any] = {
+        "_MISSING": _MISSING,
+        "_is_comparable": is_comparable,
+        "_unbound": _unbound,
+        "_unknown_column": _unknown_column,
+        "_order_error": _order_error,
+        "_arith_error": _arith_error,
+        **gen.ns,
+    }
+    code = compile(source, "<compiled-predicate>", "exec")
+    exec(code, namespace)
+    return CompiledPredicate(pred, source, namespace["_bind"])
+
+
+def _type_fingerprint(node: Any) -> Any:
+    """A hashable tag of every leaf value's type in *node*'s tree.
+
+    Frozen-dataclass equality inherits Python's cross-type ``==``
+    (``True == 1 == 1.0``, with matching hashes), so ``flag = TRUE`` and
+    ``flag = 1`` are *equal* predicates — yet their compiled forms differ:
+    comparability guards are specialized against the literal's type. Every
+    cache keyed by predicate equality must therefore also key on this
+    fingerprint, or one predicate's compiled form would serve the other's.
+    """
+    if dataclasses.is_dataclass(node) and not isinstance(node, type):
+        return tuple(
+            _type_fingerprint(getattr(node, f.name))
+            for f in dataclasses.fields(node)
+        )
+    if isinstance(node, (tuple, list)):
+        return tuple(_type_fingerprint(item) for item in node)
+    return type(node).__name__
+
+
+@lru_cache(maxsize=512)
+def _compile_cached(pred: Predicate, _fingerprint: Any) -> CompiledPredicate:
+    return _compile(pred)
+
+
+def compile_predicate(pred: Predicate) -> CompiledPredicate | None:
+    """Compile *pred* into a :class:`CompiledPredicate`, or None.
+
+    Returns ``None`` when the tree contains a node with no compiled form
+    (e.g. a user-defined Predicate subclass overriding ``eval3``) — the
+    caller then falls back to the tree-walking interpreter. Results are
+    cached per structurally-equal predicate (plus literal-type fingerprint);
+    predicates holding unhashable literal values are compiled fresh each
+    call.
+    """
+    try:
+        return _compile_cached(pred, _type_fingerprint(pred))
+    except TypeError:  # unhashable literal somewhere in the tree
+        try:
+            return _compile(pred)
+        except _Unsupported:
+            return None
+    except _Unsupported:
+        return None
+
+
+def clear_compile_cache() -> None:
+    """Drop all cached compiled predicates (benchmarks measure cold paths)."""
+    _compile_cached.cache_clear()
+
+
+def compile_cache_info():
+    """``functools.lru_cache`` statistics for the compile cache."""
+    return _compile_cached.cache_info()
+
+
+def matcher(
+    pred: Predicate, params: Mapping[str, Any] | None = None
+) -> Callable[[Mapping[str, Any]], bool]:
+    """A bound boolean row matcher for *pred* (compiled when possible).
+
+    Convenience for call sites that filter rows outside :class:`Table`
+    (e.g. the conflict analyzer in :mod:`repro.core.explain`): returns a
+    callable ``row -> bool`` equivalent to ``pred.test(row, params)``.
+    """
+    bound = params or {}
+    compiled = compile_predicate(pred)
+    if compiled is None:
+        return lambda row: pred.test(row, bound)
+    fn = compiled.bind(bound)
+    return lambda row: fn(row) is True
+
+
+# --------------------------------------------------------------------------
+# Plan cache
+# --------------------------------------------------------------------------
+
+
+class PlanEntry:
+    """One cached plan: access-path template + compiled predicate."""
+
+    __slots__ = ("template", "compiled", "generation")
+
+    def __init__(self, template: Any, compiled: CompiledPredicate | None, generation: int) -> None:
+        self.template = template
+        self.compiled = compiled
+        self.generation = generation
+
+
+class PlanCache:
+    """Keyed plan cache: (table, predicate, schema generation) → plan.
+
+    One instance is shared by every table of a
+    :class:`~repro.storage.database.Database`. Entries are stamped with
+    the cache's **schema generation**; any DDL — table create/drop, index
+    create/drop, or an :mod:`repro.storage.evolve` change — bumps the
+    generation, instantly invalidating every cached plan (checked on
+    lookup, so stale access paths can never execute).
+
+    Thread-safety (PR 4 multi-worker executor): lookups are lock-free —
+    a plain dict read is atomic under the GIL, and an entry read
+    concurrently with :meth:`bump` is rejected by its generation stamp.
+    Stores and bumps take a narrow mutex. Hit/miss counters are advisory
+    (racy by design; they feed benchmarks, not control flow).
+    """
+
+    MAXSIZE = 1024
+
+    def __init__(self) -> None:
+        self._entries: dict[tuple[str, Predicate, Any], PlanEntry] = {}
+        self._lock = threading.Lock()
+        self.generation = 0
+        self.hits = 0
+        self.misses = 0
+
+    def lookup(self, table: str, pred: Predicate) -> PlanEntry | None:
+        # The fingerprint keeps ==-equal predicates with differently-typed
+        # literals (flag = TRUE vs flag = 1) from sharing a compiled form.
+        try:
+            entry = self._entries.get((table, pred, _type_fingerprint(pred)))
+        except TypeError:  # unhashable predicate: never cached
+            self.misses += 1
+            return None
+        if entry is not None and entry.generation == self.generation:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        table: str,
+        pred: Predicate,
+        template: Any,
+        compiled: CompiledPredicate | None,
+    ) -> PlanEntry:
+        entry = PlanEntry(template, compiled, self.generation)
+        try:
+            with self._lock:
+                if len(self._entries) >= self.MAXSIZE:
+                    # FIFO eviction: dicts iterate in insertion order.
+                    self._entries.pop(next(iter(self._entries)), None)
+                self._entries[(table, pred, _type_fingerprint(pred))] = entry
+        except TypeError:
+            pass  # unhashable predicate: usable, just not cached
+        return entry
+
+    def bump(self) -> int:
+        """Invalidate every plan (schema generation changed); new generation."""
+        with self._lock:
+            self.generation += 1
+            self._entries.clear()
+            return self.generation
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -26,6 +26,7 @@ from repro.errors import (
     TransactionError,
     UnknownTableError,
 )
+from repro.storage.compile import PlanCache
 from repro.storage.predicate import Predicate
 from repro.storage.schema import FKAction, Schema, TableSchema
 from repro.storage.sql import parse_where
@@ -143,8 +144,12 @@ class Database:
     def __init__(self, schema: Schema | None = None) -> None:
         self.schema = schema or Schema()
         self.schema.validate()
+        # One plan cache shared by every table: DDL anywhere bumps its
+        # schema generation, invalidating all cached (plan, compiled
+        # predicate) entries at once (see repro.storage.compile.PlanCache).
+        self.plans = PlanCache()
         self._tables: dict[str, Table] = {
-            ts.name: Table(ts) for ts in self.schema
+            ts.name: Table(ts, plans=self.plans) for ts in self.schema
         }
         self.stats = QueryStats()
         # Undo logs and statement counters are per thread ("connection"):
@@ -195,7 +200,8 @@ class Database:
         """Add a table to a live database (used for vault tables)."""
         self.schema.add(table_schema)
         self.schema.validate()
-        self._tables[table_schema.name] = Table(table_schema)
+        self._tables[table_schema.name] = Table(table_schema, plans=self.plans)
+        self.plans.bump()
         if self._redo_hook is not None:
             self._redo_hook.on_ddl({"op": "create_table", "schema": table_schema})
 
@@ -209,6 +215,7 @@ class Database:
         del self._tables[name]
         # Rebuild the schema without the dropped table.
         self.schema = Schema(ts for ts in self.schema if ts.name != name)
+        self.plans.bump()
         if self._redo_hook is not None:
             self._redo_hook.on_ddl({"op": "drop_table", "name": name})
 
@@ -407,6 +414,19 @@ class Database:
         self._stats.statements += 1
         pred = parse_where(where) if where is not None else None
         return self.table(table).count(pred, params)
+
+    def explain(
+        self,
+        table: str,
+        where: str | Predicate | None = None,
+        params: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """EXPLAIN a select without executing it (not counted as a query).
+
+        See :meth:`repro.storage.table.Table.explain` for the report keys.
+        """
+        pred = parse_where(where) if where is not None else None
+        return self.table(table).explain(pred, params)
 
     @_statement(_WRITE)
     def insert(

@@ -103,6 +103,10 @@ def apply_change(db: Database, change: SchemaChange) -> None:
     else:
         raise SchemaError(f"unknown schema change {type(change).__name__}")
     db.schema.validate()
+    # Cached plans and compiled predicates were extracted against the old
+    # schema (columns, indexes, table names); bump the schema generation so
+    # the plan cache rejects every stale entry (see PlanCache.bump).
+    db.plans.bump()
 
 
 def _rebuild_table(
@@ -113,7 +117,7 @@ def _rebuild_table(
 ) -> None:
     """Swap in a rebuilt table, re-inserting transformed rows."""
     old_table = db.table(old_name)
-    new_table = Table(new_schema)
+    new_table = Table(new_schema, plans=db.plans)
     for row in old_table.rows():
         new_table.insert(transform_row(row))
     # Rebuild the schema collection, preserving table order.

@@ -120,6 +120,21 @@ class HashIndex:
     def values(self) -> Iterable[Any]:
         return self._buckets.keys()
 
+    def distinct(self) -> int:
+        """Exact number of distinct keys currently indexed (incl. NULL)."""
+        return len(self._buckets)
+
+    def key_bounds(self) -> tuple[Any, Any] | None:
+        """(min, max) over the non-NULL keys, or None if unorderable/empty.
+
+        Served from the lazily maintained sorted key list, so it is free
+        when a range probe has already run and O(n log n) at worst.
+        """
+        keys = self._sorted.get(self._buckets.keys())
+        if not keys:
+            return None
+        return keys[0], keys[-1]
+
     def __len__(self) -> int:
         return self._size
 
@@ -165,6 +180,17 @@ class UniqueIndex:
         except TypeError:
             return None
         return [self._slots[key] for key in selected]
+
+    def distinct(self) -> int:
+        """Exact number of distinct keys (every key is unique here)."""
+        return len(self._slots)
+
+    def key_bounds(self) -> tuple[Any, Any] | None:
+        """(min, max) over the non-NULL keys, or None if unorderable/empty."""
+        keys = self._sorted.get(self._slots.keys())
+        if not keys:
+            return None
+        return keys[0], keys[-1]
 
     def __contains__(self, value: Any) -> bool:
         return value in self._slots

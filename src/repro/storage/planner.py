@@ -21,15 +21,31 @@ three-valued logic makes this easy: a comparison with a non-NULL constant
 can only be TRUE for rows whose column value equals (or falls in range of)
 that constant, and NULL column values always yield UNKNOWN, never TRUE.
 
-:func:`extract_path` is pure predicate analysis (no table access) so it is
-unit-testable in isolation; :class:`repro.storage.table.Table` executes the
-returned path against its indexes.
+Planning is split into three phases so plans can be *cached across
+parameter values* (see :class:`repro.storage.compile.PlanCache`):
+
+1. :func:`extract_template` — pure structural analysis of the predicate.
+   ``$param`` operands stay symbolic (:class:`ParamRef` slots) and AND
+   nodes keep *all* plannable arms as a :class:`ChoicePath` instead of
+   committing to one, since the right choice depends on data.
+2. :func:`bind_path` — substitute one invocation's parameter values into
+   the template. Cheap; runs per scan.
+3. :func:`choose_path` — resolve ChoicePath alternatives and the
+   probe-vs-full-scan decision by **estimated rows examined**, using the
+   table's incremental statistics (:mod:`repro.storage.stats`) and exact
+   index metadata. An equality probe on a two-valued column loses to a
+   tight range probe here, which the old shape-based ranking got wrong.
+
+:func:`extract_path` (the PR 1 API) is kept and now simply runs phases
+1+2 with a statistics-free static tiebreak, so existing callers and tests
+see identical plans; :class:`repro.storage.table.Table` uses the phased
+API plus :func:`choose_path`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Protocol
 
 from repro.storage.predicate import (
     And,
@@ -53,7 +69,14 @@ __all__ = [
     "RangeProbe",
     "UnionPath",
     "EmptyPath",
+    "ChoicePath",
+    "ParamRef",
     "extract_path",
+    "extract_template",
+    "bind_path",
+    "estimate_rows",
+    "choose_path",
+    "FULL_SCAN_THRESHOLD",
 ]
 
 
@@ -61,13 +84,29 @@ class AccessPath:
     """Base class for planned access paths.
 
     ``cost_rank`` orders paths by expected selectivity so AND nodes can
-    pick the cheapest plannable arm (lower = tighter candidate set).
+    pick the cheapest plannable arm (lower = tighter candidate set) when
+    no statistics are available.
     """
 
     cost_rank = 99
 
     def describe(self) -> str:
         raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ParamRef:
+    """A ``$param`` slot inside an access-path template.
+
+    Templates are extracted once per (table, predicate) and cached; the
+    actual value is substituted by :func:`bind_path` on every scan, so one
+    template serves every parameter binding.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"${self.name}"
 
 
 @dataclass(frozen=True)
@@ -136,29 +175,47 @@ class EmptyPath(AccessPath):
         return "empty"
 
 
-def _const_value(expr: Expr, params: Mapping[str, Any]) -> tuple[bool, Any]:
-    """(is_constant, value) for literal/param expressions."""
-    if isinstance(expr, Literal):
+@dataclass(frozen=True)
+class ChoicePath(AccessPath):
+    """Alternative paths from an AND's arms — *any one* is a valid plan.
+
+    Rows where ``a AND b`` is TRUE satisfy both arms, so either arm's
+    candidates form a superset. The template keeps every plannable arm;
+    :func:`choose_path` picks the one with the fewest estimated rows at
+    scan time (parameter values and table contents both matter).
+    """
+
+    alternatives: tuple[AccessPath, ...]
+
+    @property
+    def cost_rank(self) -> int:  # type: ignore[override]
+        return min(alt.cost_rank for alt in self.alternatives)
+
+    def describe(self) -> str:
+        return "choice(" + " | ".join(p.describe() for p in self.alternatives) + ")"
+
+
+def _template_value(expr: Expr) -> tuple[bool, Any]:
+    """(usable, value-or-ParamRef) for literal/param template operands."""
+    if type(expr) is Literal:
         return True, expr.value
-    if isinstance(expr, Param) and expr.name in params:
-        return True, params[expr.name]
+    if type(expr) is Param:
+        return True, ParamRef(expr.name)
     return False, None
 
 
-def _column_and_const(
-    left: Expr, right: Expr, params: Mapping[str, Any]
-) -> tuple[str, Any, bool] | None:
-    """Resolve ``col OP const`` in either orientation.
+def _column_and_const(left: Expr, right: Expr) -> tuple[str, Any, bool] | None:
+    """Resolve ``col OP const-or-param`` in either orientation.
 
     Returns (column, value, flipped) where flipped means the column was on
     the right-hand side (so the comparison direction must be mirrored).
     """
-    if isinstance(left, ColumnRef):
-        ok, value = _const_value(right, params)
+    if type(left) is ColumnRef:
+        ok, value = _template_value(right)
         if ok:
             return left.name, value, False
-    if isinstance(right, ColumnRef):
-        ok, value = _const_value(left, params)
+    if type(right) is ColumnRef:
+        ok, value = _template_value(left)
         if ok:
             return right.name, value, True
     return None
@@ -167,33 +224,63 @@ def _column_and_const(
 _MIRROR = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
 
 
-def extract_path(
+def _static_best(path: AccessPath) -> AccessPath:
+    """Resolve a ChoicePath without statistics: first arm of minimal rank.
+
+    This reproduces the PR 1 iterated ``left if left.cost_rank <=
+    right.cost_rank else right`` exactly (ties keep the earlier arm).
+    """
+    if isinstance(path, ChoicePath):
+        return min(path.alternatives, key=lambda alt: alt.cost_rank)
+    return path
+
+
+def extract_template(
     pred: Predicate,
-    params: Mapping[str, Any],
     is_indexed: Callable[[str], bool],
 ) -> AccessPath | None:
-    """The best index-usable access path for *pred*, or None for a full scan.
+    """The index-usable access-path *template* for *pred*, or None.
 
-    *is_indexed* reports whether a column has an index available (primary
-    key or secondary); unindexed columns never yield a path.
+    Parameter operands become :class:`ParamRef` slots and AND arms stay as
+    a :class:`ChoicePath`; call :func:`bind_path` then :func:`choose_path`
+    to obtain an executable path for one invocation. *is_indexed* reports
+    whether a column has an index available; unindexed columns never yield
+    a path.
+
+    Node dispatch is on exact type: a user subclass overriding ``eval3``
+    has unknown semantics, so planning it structurally could narrow the
+    candidate set below the rows it matches. Subclasses always full-scan.
     """
-    if isinstance(pred, FalseP):
+    if type(pred) is FalseP:
         return EmptyPath()
-    if isinstance(pred, And):
-        left = extract_path(pred.left, params, is_indexed)
-        right = extract_path(pred.right, params, is_indexed)
+    if type(pred) is And:
+        left = extract_template(pred.left, is_indexed)
+        right = extract_template(pred.right, is_indexed)
         if left is None:
             return right
         if right is None:
             return left
-        return left if left.cost_rank <= right.cost_rank else right
-    if isinstance(pred, Or):
-        left = extract_path(pred.left, params, is_indexed)
-        right = extract_path(pred.right, params, is_indexed)
+        # FALSE on either arm makes the AND unsatisfiable outright.
+        if isinstance(left, EmptyPath) or isinstance(right, EmptyPath):
+            return EmptyPath()
+        alts: list[AccessPath] = []
+        for arm in (left, right):
+            if isinstance(arm, ChoicePath):
+                alts.extend(arm.alternatives)
+            else:
+                alts.append(arm)
+        return ChoicePath(tuple(alts))
+    if type(pred) is Or:
+        left = extract_template(pred.left, is_indexed)
+        right = extract_template(pred.right, is_indexed)
         if left is None or right is None:
             return None  # one arm unplannable -> the union is unbounded
         arms: list[AccessPath] = []
         for arm in (left, right):
+            # Inside a union each arm must be a single concrete probe:
+            # commit AND-choices by static rank (statistics still steer
+            # the union-vs-full-scan decision as a whole).
+            arm = _static_best(arm)
             if isinstance(arm, EmptyPath):
                 continue
             if isinstance(arm, UnionPath):
@@ -205,8 +292,8 @@ def extract_path(
         if len(arms) == 1:
             return arms[0]
         return UnionPath(tuple(arms))
-    if isinstance(pred, Comparison):
-        resolved = _column_and_const(pred.left, pred.right, params)
+    if type(pred) is Comparison:
+        resolved = _column_and_const(pred.left, pred.right)
         if resolved is None:
             return None
         column, value, flipped = resolved
@@ -217,21 +304,24 @@ def extract_path(
             if value is None:
                 return EmptyPath()  # col = NULL is never TRUE
             return EqProbe(column, value)
+        if value is None:
+            return None  # col > NULL etc. — PR 1 treated this as unplannable
+
         if op == ">":
-            return None if value is None else RangeProbe(column, lo=value, lo_incl=False)
+            return RangeProbe(column, lo=value, lo_incl=False)
         if op == ">=":
-            return None if value is None else RangeProbe(column, lo=value)
+            return RangeProbe(column, lo=value)
         if op == "<":
-            return None if value is None else RangeProbe(column, hi=value, hi_incl=False)
+            return RangeProbe(column, hi=value, hi_incl=False)
         if op == "<=":
-            return None if value is None else RangeProbe(column, hi=value)
+            return RangeProbe(column, hi=value)
         return None  # != cannot narrow
-    if isinstance(pred, InList) and not pred.negated:
-        if not isinstance(pred.expr, ColumnRef) or not is_indexed(pred.expr.name):
+    if type(pred) is InList and not pred.negated:
+        if type(pred.expr) is not ColumnRef or not is_indexed(pred.expr.name):
             return None
         values = []
         for item in pred.items:
-            ok, value = _const_value(item, params)
+            ok, value = _template_value(item)
             if not ok:
                 return None
             if value is not None:  # a NULL item never makes the IN TRUE
@@ -241,16 +331,226 @@ def extract_path(
         if len(values) == 1:
             return EqProbe(pred.expr.name, values[0])
         return MultiProbe(pred.expr.name, tuple(values))
-    if isinstance(pred, Between) and not pred.negated:
-        if not isinstance(pred.expr, ColumnRef) or not is_indexed(pred.expr.name):
+    if type(pred) is Between and not pred.negated:
+        if type(pred.expr) is not ColumnRef or not is_indexed(pred.expr.name):
             return None
-        lo_ok, lo = _const_value(pred.lo, params)
-        hi_ok, hi = _const_value(pred.hi, params)
+        lo_ok, lo = _template_value(pred.lo)
+        hi_ok, hi = _template_value(pred.hi)
         if not lo_ok or not hi_ok or lo is None or hi is None:
             return None
         return RangeProbe(pred.expr.name, lo=lo, hi=hi)
-    if isinstance(pred, IsNull) and not pred.negated:
-        if isinstance(pred.expr, ColumnRef) and is_indexed(pred.expr.name):
+    if type(pred) is IsNull and not pred.negated:
+        if type(pred.expr) is ColumnRef and is_indexed(pred.expr.name):
             return EqProbe(pred.expr.name, None)
         return None
     return None
+
+
+# --------------------------------------------------------------------------
+# Binding: substitute one invocation's parameters into a template
+# --------------------------------------------------------------------------
+
+_UNBOUND = object()
+
+
+def _bind_value(value: Any, params: Mapping[str, Any]) -> Any:
+    if isinstance(value, ParamRef):
+        return params.get(value.name, _UNBOUND)
+    return value
+
+
+def bind_path(template: AccessPath, params: Mapping[str, Any]) -> AccessPath | None:
+    """Substitute *params* into *template*; None means "full scan".
+
+    Mirrors what PR 1's value-embedding extraction produced for the same
+    parameter binding: an unbound parameter makes the path unusable, an
+    equality against a NULL parameter can never be TRUE (EmptyPath), NULL
+    range bounds and NULL IN-items degrade exactly as literals did.
+    """
+    if isinstance(template, EmptyPath):
+        return template
+    if isinstance(template, EqProbe):
+        value = _bind_value(template.value, params)
+        if value is _UNBOUND:
+            return None
+        if value is None and isinstance(template.value, ParamRef):
+            return EmptyPath()  # col = NULL is never TRUE
+        return EqProbe(template.column, value) if value is not template.value else template
+    if isinstance(template, MultiProbe):
+        values = []
+        for raw in template.values:
+            value = _bind_value(raw, params)
+            if value is _UNBOUND:
+                return None
+            if value is not None:  # NULL item never makes the IN TRUE
+                values.append(value)
+        if not values:
+            return EmptyPath()
+        if len(values) == 1:
+            return EqProbe(template.column, values[0])
+        return MultiProbe(template.column, tuple(values))
+    if isinstance(template, RangeProbe):
+        lo = _bind_value(template.lo, params)
+        hi = _bind_value(template.hi, params)
+        if lo is _UNBOUND or hi is _UNBOUND:
+            return None
+        if (lo is None and isinstance(template.lo, ParamRef)) or (
+            hi is None and isinstance(template.hi, ParamRef)
+        ):
+            return None  # NULL bound: PR 1 fell back to a full scan
+        if lo is template.lo and hi is template.hi:
+            return template
+        return RangeProbe(template.column, lo, hi, template.lo_incl, template.hi_incl)
+    if isinstance(template, UnionPath):
+        arms: list[AccessPath] = []
+        for arm_template in template.paths:
+            arm = bind_path(arm_template, params)
+            if arm is None:
+                return None  # one arm unbounded -> the union is unbounded
+            if isinstance(arm, EmptyPath):
+                continue
+            arms.append(arm)
+        if not arms:
+            return EmptyPath()
+        if len(arms) == 1:
+            return arms[0]
+        return UnionPath(tuple(arms))
+    if isinstance(template, ChoicePath):
+        alts: list[AccessPath] = []
+        for alt_template in template.alternatives:
+            alt = bind_path(alt_template, params)
+            if alt is None:
+                continue  # that arm is unusable for this binding
+            if isinstance(alt, EmptyPath):
+                return alt  # the AND can never be TRUE
+            alts.append(alt)
+        if not alts:
+            return None
+        if len(alts) == 1:
+            return alts[0]
+        return ChoicePath(tuple(alts))
+    return None
+
+
+def extract_path(
+    pred: Predicate,
+    params: Mapping[str, Any],
+    is_indexed: Callable[[str], bool],
+) -> AccessPath | None:
+    """The best index-usable access path for *pred*, or None for a full scan.
+
+    PR 1 compatibility API: template extraction + binding + the static
+    shape-based tiebreak, with parameter values embedded in the result.
+    Statistics-aware callers use the phased API directly.
+    """
+    template = extract_template(pred, is_indexed)
+    if template is None:
+        return None
+    bound = bind_path(template, params)
+    if bound is None:
+        return None
+    return _static_best(bound)
+
+
+# --------------------------------------------------------------------------
+# Cost estimation: statistics in, estimated rows examined out
+# --------------------------------------------------------------------------
+
+
+class StatsProvider(Protocol):
+    """What the cost model needs from a table (duck-typed by ``Table``)."""
+
+    def stat_row_count(self) -> int: ...
+    def stat_distinct(self, column: str) -> int | None: ...
+    def stat_null_count(self, column: str) -> int: ...
+    def stat_min_max(self, column: str) -> tuple[Any, Any] | None: ...
+
+
+# Fraction of the table a range probe is assumed to touch when min/max
+# interpolation is impossible (non-numeric bounds, no statistics).
+_DEFAULT_RANGE_FRACTION = 1 / 3
+
+# A probe estimated to examine more than this fraction of the table loses
+# to a plain full scan: walking the row dict is cheaper per row than
+# probing buckets, sorting rids, and chasing them individually.
+FULL_SCAN_THRESHOLD = 0.9
+
+
+def _range_fraction(probe: RangeProbe, table: StatsProvider) -> float:
+    bounds = table.stat_min_max(probe.column)
+    if bounds is None:
+        return _DEFAULT_RANGE_FRACTION
+    lo_all, hi_all = bounds
+    if not all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in (lo_all, hi_all)
+        if v is not None
+    ):
+        return _DEFAULT_RANGE_FRACTION
+    if not isinstance(lo_all, (int, float)) or not isinstance(hi_all, (int, float)):
+        return _DEFAULT_RANGE_FRACTION
+    width = hi_all - lo_all
+    if width <= 0:
+        return 1.0  # single-valued column: the range hits all or nothing
+    lo = probe.lo if isinstance(probe.lo, (int, float)) and not isinstance(probe.lo, bool) else lo_all
+    hi = probe.hi if isinstance(probe.hi, (int, float)) and not isinstance(probe.hi, bool) else hi_all
+    lo = max(lo, lo_all)
+    hi = min(hi, hi_all)
+    if hi < lo:
+        return 0.0
+    return min(1.0, max(0.0, (hi - lo) / width))
+
+
+def estimate_rows(path: AccessPath, table: StatsProvider) -> float:
+    """Estimated rows a path will examine (never affects correctness)."""
+    rows = table.stat_row_count()
+    if rows == 0 or isinstance(path, EmptyPath):
+        return 0.0
+    if isinstance(path, EqProbe):
+        if path.value is None:
+            return float(table.stat_null_count(path.column))
+        distinct = table.stat_distinct(path.column)
+        if not distinct:
+            return float(rows)
+        return max(1.0, rows / distinct)
+    if isinstance(path, MultiProbe):
+        per_probe = estimate_rows(EqProbe(path.column, path.values[0]), table)
+        return min(float(rows), per_probe * len(path.values))
+    if isinstance(path, RangeProbe):
+        non_null = rows - table.stat_null_count(path.column)
+        return max(0.0, _range_fraction(path, table) * non_null)
+    if isinstance(path, UnionPath):
+        return min(float(rows), sum(estimate_rows(arm, table) for arm in path.paths))
+    if isinstance(path, ChoicePath):
+        return min(estimate_rows(alt, table) for alt in path.alternatives)
+    return float(rows)
+
+
+def choose_path(
+    path: AccessPath | None, table: StatsProvider
+) -> tuple[AccessPath | None, float]:
+    """Resolve a bound path into ``(executable path | None, estimate)``.
+
+    Picks the cheapest ChoicePath alternative by estimated rows examined
+    (first wins ties, matching the static tiebreak) and demotes probes
+    whose estimate exceeds :data:`FULL_SCAN_THRESHOLD` of the table to a
+    plain full scan (returned as ``None``).
+    """
+    rows = float(table.stat_row_count())
+    if path is None:
+        return None, rows
+    if isinstance(path, ChoicePath):
+        best = None
+        best_est = None
+        for alt in path.alternatives:
+            est = estimate_rows(alt, table)
+            if best_est is None or est < best_est:
+                best, best_est = alt, est
+        path, estimate = best, best_est if best_est is not None else rows
+    else:
+        estimate = estimate_rows(path, table)
+    if isinstance(path, EmptyPath):
+        return path, 0.0
+    if estimate > FULL_SCAN_THRESHOLD * rows:
+        return None, rows
+    return path, estimate

@@ -15,6 +15,7 @@ from __future__ import annotations
 import enum
 import re
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Any, Mapping
 
 from repro.errors import StorageError, UnknownColumnError
@@ -38,6 +39,7 @@ __all__ = [
     "Param",
     "BinOp",
     "Expr",
+    "like_regex",
 ]
 
 
@@ -420,6 +422,28 @@ class IsNull(Predicate):
         return f"{self.expr} {op}"
 
 
+@lru_cache(maxsize=256)
+def like_regex(pattern: str) -> "re.Pattern[str]":
+    """Compiled regex for a SQL LIKE *pattern* (module-level LRU).
+
+    Patterns are static strings in the AST, and disguise specs reuse the
+    same handful of patterns across every scanned row — caching here means
+    the translation and ``re.compile`` run once per distinct pattern
+    instead of once per row. Shared by the tree-walking evaluator and the
+    closure compiler (:mod:`repro.storage.compile`).
+    """
+    # Translate SQL wildcards to a regex; everything else is literal.
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("^" + "".join(out) + "$", re.DOTALL)
+
+
 @dataclass(frozen=True)
 class Like(Predicate):
     """SQL LIKE with ``%`` and ``_`` wildcards (case-sensitive)."""
@@ -429,16 +453,7 @@ class Like(Predicate):
     negated: bool = False
 
     def _regex(self) -> "re.Pattern[str]":
-        # Translate SQL wildcards to a regex; everything else is literal.
-        out = []
-        for ch in self.pattern:
-            if ch == "%":
-                out.append(".*")
-            elif ch == "_":
-                out.append(".")
-            else:
-                out.append(re.escape(ch))
-        return re.compile("^" + "".join(out) + "$", re.DOTALL)
+        return like_regex(self.pattern)
 
     def eval3(self, row: Mapping[str, Any], params: Mapping[str, Any]) -> Tristate:
         value = self.expr.eval(row, params)

@@ -30,6 +30,7 @@ from functools import lru_cache
 from typing import Any, Mapping
 
 from repro.errors import ParseError, StorageError, UnknownColumnError
+from repro.storage.compile import matcher
 from repro.storage.database import Database
 from repro.storage.predicate import Predicate
 from repro.storage.sql import parse_where
@@ -234,7 +235,11 @@ def run_select(db: Database, query: Query, params: Mapping[str, Any] | None = No
     for join in query.joins:
         namespaces = _join(db, namespaces, join, query)
     if query.where is not None:
-        namespaces = [ns for ns in namespaces if query.where.test(ns, bound)]
+        # Compiled once per (predicate, params) and applied per namespace —
+        # join outputs are filtered row-at-a-time, so the per-row win of
+        # the compiled form compounds (see repro.storage.compile).
+        match = matcher(query.where, bound)
+        namespaces = [ns for ns in namespaces if match(ns)]
     if query.count_star:
         return len(namespaces)
     if query.order:

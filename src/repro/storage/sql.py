@@ -55,7 +55,13 @@ from repro.storage.predicate import (
 from repro.storage.schema import Column, FKAction, ForeignKey, TableSchema
 from repro.storage.types import parse_type
 
-__all__ = ["parse_where", "parse_create_table", "parse_schema"]
+__all__ = [
+    "parse_where",
+    "parse_create_table",
+    "parse_schema",
+    "parse_cache_info",
+    "clear_parse_cache",
+]
 
 
 # --------------------------------------------------------------------------
@@ -326,6 +332,16 @@ def parse_where(source: str | Predicate, keep_qualifiers: bool = False) -> Predi
 @lru_cache(maxsize=512)
 def _parse_where_cached(source: str, keep_qualifiers: bool) -> Predicate:
     return _Parser(source, keep_qualifiers=keep_qualifiers).parse_predicate()
+
+
+def parse_cache_info():
+    """``functools.lru_cache`` statistics for the WHERE-parse cache."""
+    return _parse_where_cached.cache_info()
+
+
+def clear_parse_cache() -> None:
+    """Drop all cached WHERE parses (benchmarks measure cold paths)."""
+    _parse_where_cached.cache_clear()
 
 
 # --------------------------------------------------------------------------

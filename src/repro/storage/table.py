@@ -34,6 +34,7 @@ from repro.errors import (
     SchemaError,
     UnknownColumnError,
 )
+from repro.storage.compile import PlanCache, PlanEntry, compile_predicate
 from repro.storage.index import HashIndex, UniqueIndex
 from repro.storage.planner import (
     AccessPath,
@@ -42,10 +43,13 @@ from repro.storage.planner import (
     MultiProbe,
     RangeProbe,
     UnionPath,
-    extract_path,
+    bind_path,
+    choose_path,
+    extract_template,
 )
 from repro.storage.predicate import Predicate, TrueP
 from repro.storage.schema import TableSchema
+from repro.storage.stats import TableStatistics
 from repro.storage.types import coerce
 
 __all__ = ["Table", "RowView"]
@@ -100,7 +104,7 @@ class RowView(_MappingABC):
 class Table:
     """In-memory storage of one table's rows."""
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(self, schema: TableSchema, plans: PlanCache | None = None) -> None:
         self.schema = schema
         self._rows: dict[int, dict[str, Any]] = {}
         self._next_rid = 1
@@ -108,13 +112,20 @@ class Table:
         self._secondary: dict[str, HashIndex] = {}
         for fk in schema.foreign_keys:
             self._secondary[fk.column] = HashIndex(fk.column)
+        # Plan cache: standalone tables own a private one; tables inside a
+        # Database share the database's so DDL anywhere invalidates all.
+        self._plans = plans if plans is not None else PlanCache()
+        # Incremental statistics feeding the cost-based planner.
+        self.statistics = TableStatistics(col.name for col in schema.columns)
         # Cached largest primary key (satellite: O(1) id allocation).
         # _UNSET means "unknown, recompute on demand".
         self._max_pk: Any = None
-        # Diagnostics: cumulative candidate rows tested by scan(), and the
-        # access path of the most recent scan (benchmarks read these).
+        # Diagnostics: cumulative candidate rows tested by scan(), the
+        # access path of the most recent scan, and its cost estimate
+        # (benchmarks and EXPLAIN read these).
         self.rows_examined = 0
         self.last_plan = "none"
+        self.last_estimate = 0.0
 
     # -- introspection -------------------------------------------------------
 
@@ -151,9 +162,15 @@ class Table:
         for rid, row in self._rows.items():
             index.insert(row[column], rid)
         self._secondary[column] = index
+        # Cached plans were extracted without this index: invalidate so the
+        # next scan can plan a probe against it.
+        self._plans.bump()
 
     def drop_index(self, column: str) -> None:
-        self._secondary.pop(column, None)
+        if self._secondary.pop(column, None) is not None:
+            # Cached plans may probe the dropped index: invalidate before
+            # any scan can execute a stale access path.
+            self._plans.bump()
 
     # -- lookups ---------------------------------------------------------------
 
@@ -185,18 +202,34 @@ class Table:
         """All rows satisfying *predicate* (all rows if None), as views.
 
         Uses an index-planned access path (equality, IN, OR-union, range)
-        when the predicate allows; otherwise falls back to a full scan.
+        chosen by estimated rows examined when the predicate allows;
+        otherwise falls back to a full scan. Rows are filtered by the
+        predicate's compiled form (see :mod:`repro.storage.compile`); plan
+        and compilation are cached per (table, predicate) across calls.
         """
         pred = predicate if predicate is not None else TrueP()
         bound = params or {}
-        rids = self._candidate_rids(pred, bound)
-        self.rows_examined += len(rids)
         if isinstance(pred, TrueP):
-            return [RowView(self._rows[rid]) for rid in rids]
+            self.last_plan = "full"
+            self.last_estimate = float(len(self._rows))
+            self.rows_examined += len(self._rows)
+            return [RowView(row) for row in self._rows.values()]
+        entry = self._plan_entry(pred)
+        rids = self._candidate_rids(entry, bound)
+        self.rows_examined += len(rids)
+        compiled = entry.compiled
+        if compiled is None:
+            out = []
+            for rid in rids:
+                row = self._rows[rid]
+                if pred.test(row, bound):
+                    out.append(RowView(row))
+            return out
+        match = compiled.bind(bound)
         out = []
         for rid in rids:
             row = self._rows[rid]
-            if pred.test(row, bound):
+            if match(row) is True:
                 out.append(RowView(row))
         return out
 
@@ -204,12 +237,28 @@ class Table:
               params: Mapping[str, Any] | None = None) -> int:
         return len(self.scan(predicate, params))
 
-    def _candidate_rids(self, pred: Predicate, params: Mapping[str, Any]) -> list[int]:
-        """Row ids to test, narrowed by index when the predicate allows."""
-        if isinstance(pred, TrueP):
-            self.last_plan = "full"
-            return list(self._rows)
-        path = extract_path(pred, params, self.has_indexed)
+    def _plan_entry(self, pred: Predicate) -> PlanEntry:
+        """The cached (template, compiled predicate) for *pred*.
+
+        Misses extract the access-path template and compile the predicate,
+        then store both stamped with the current schema generation.
+        """
+        entry = self._plans.lookup(self.name, pred)
+        if entry is None:
+            template = extract_template(pred, self.has_indexed)
+            compiled = compile_predicate(pred)
+            entry = self._plans.store(self.name, pred, template, compiled)
+        return entry
+
+    def _candidate_rids(self, entry: PlanEntry, params: Mapping[str, Any]) -> list[int]:
+        """Row ids to test, narrowed by index when the plan allows."""
+        if self.statistics.needs_refresh():
+            self.statistics.refresh(self._rows.values())
+        path = None
+        if entry.template is not None:
+            path = bind_path(entry.template, params)
+        path, estimate = choose_path(path, self)
+        self.last_estimate = estimate
         if path is None:
             self.last_plan = "full"
             return list(self._rows)
@@ -267,6 +316,67 @@ class Table:
             return sorted(out)
         return None
 
+    # -- statistics & EXPLAIN ----------------------------------------------------
+
+    def stat_row_count(self) -> int:
+        return len(self._rows)
+
+    def stat_distinct(self, column: str) -> int | None:
+        """Distinct values in *column*: exact from an index, else sketched."""
+        if column == self.schema.primary_key:
+            return self._pk_index.distinct()
+        index = self._secondary.get(column)
+        if index is not None:
+            return index.distinct()
+        return self.statistics.distinct_estimate(column)
+
+    def stat_null_count(self, column: str) -> int:
+        nulls = self.statistics.null_count(column)
+        return 0 if nulls is None else nulls
+
+    def stat_min_max(self, column: str) -> tuple[Any, Any] | None:
+        if column == self.schema.primary_key:
+            return self._pk_index.key_bounds()
+        index = self._secondary.get(column)
+        if index is not None:
+            return index.key_bounds()
+        return self.statistics.min_max(column)
+
+    def explain(
+        self,
+        predicate: Predicate | None = None,
+        params: Mapping[str, Any] | None = None,
+    ) -> dict[str, Any]:
+        """EXPLAIN for a scan: the plan it would run, without running it.
+
+        Returns ``plan`` (the access-path description a scan would record
+        in ``last_plan``), ``estimated_rows`` (the cost model's guess at
+        rows examined), ``table_rows``, whether the predicate has a
+        ``compiled`` form, whether the plan was already ``cached``, and the
+        schema ``generation`` the plan is stamped with.
+        """
+        pred = predicate if predicate is not None else TrueP()
+        bound = params or {}
+        rows = len(self._rows)
+        base = {"table": self.name, "table_rows": rows,
+                "generation": self._plans.generation}
+        if isinstance(pred, TrueP):
+            return {**base, "plan": "full", "estimated_rows": float(rows),
+                    "compiled": False, "cached": False}
+        cached = self._plans.lookup(self.name, pred)
+        entry = cached if cached is not None else self._plan_entry(pred)
+        path = None
+        if entry.template is not None:
+            path = bind_path(entry.template, bound)
+        path, estimate = choose_path(path, self)
+        return {
+            **base,
+            "plan": "full" if path is None else path.describe(),
+            "estimated_rows": estimate,
+            "compiled": entry.compiled is not None,
+            "cached": cached is not None,
+        }
+
     # -- mutation ---------------------------------------------------------------
 
     def _note_inserted_pk(self, pk: Any) -> None:
@@ -300,6 +410,7 @@ class Table:
         for column, index in self._secondary.items():
             index.insert(row[column], rid)
         self._note_inserted_pk(pk)
+        self.statistics.on_insert(row)
         return dict(row)
 
     def insert_rows(self, values_list: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
@@ -327,6 +438,7 @@ class Table:
             for column, index in self._secondary.items():
                 index.insert(row[column], rid)
             self._note_inserted_pk(row[pk_col])
+            self.statistics.on_insert(row)
         return [dict(row) for row in normalized]
 
     def delete_by_pk(self, pk_value: Any) -> dict[str, Any]:
@@ -339,6 +451,7 @@ class Table:
         for column, index in self._secondary.items():
             index.remove(row[column], rid)
         self._note_removed_pk(pk_value)
+        self.statistics.on_delete(row)
         return row
 
     def delete_pks(self, pk_values: Iterable[Any]) -> list[dict[str, Any]]:
@@ -362,6 +475,7 @@ class Table:
             for column, index in self._secondary.items():
                 index.remove(row[column], rid)
             self._note_removed_pk(pk_value)
+            self.statistics.on_delete(row)
             out.append(row)
         return out
 
@@ -396,6 +510,7 @@ class Table:
         if new_pk != pk_value:
             self._note_removed_pk(pk_value)
         self._note_inserted_pk(new_pk)
+        self.statistics.on_update(old, new)
         return dict(old), dict(new)
 
     def update_pks(
@@ -445,6 +560,7 @@ class Table:
                     index.remove(old[column], rid)
                     index.insert(new[column], rid)
             self._rows[rid] = new
+            self.statistics.on_update(old, new, touched)
             out.append((dict(old), new))
         return out
 

@@ -1,0 +1,171 @@
+"""Plan-cache and statistics thread-safety under the multi-worker service.
+
+PR 4 introduced concurrent workers sharing one Database; the plan cache
+and statistics (this PR) sit on that shared read path. The contract under
+contention: reads stay exactly correct (a racing DDL bump may only cause
+a re-plan, never a stale probe or a wrong row set), the cache never grows
+past its bound, and no operation raises. Estimates may be torn — they are
+advisory — so these tests assert result sets, not plans.
+"""
+
+import threading
+
+from repro.storage.compile import PlanCache
+from repro.storage.database import Database
+from repro.storage.schema import Column, Schema, TableSchema
+from repro.storage.sql import parse_where
+from repro.storage.types import ColumnType as T
+
+
+def contention_db(n: int = 120) -> Database:
+    schema = Schema(
+        [
+            TableSchema(
+                "items",
+                [
+                    Column("id", T.INTEGER, nullable=False),
+                    Column("kind", T.TEXT),
+                    Column("score", T.INTEGER),
+                ],
+                primary_key="id",
+            ),
+            TableSchema(
+                "journal",
+                [
+                    Column("id", T.INTEGER, nullable=False),
+                    Column("note", T.TEXT),
+                ],
+                primary_key="id",
+            ),
+        ]
+    )
+    db = Database(schema)
+    for i in range(1, n + 1):
+        db.insert("items", {"id": i, "kind": f"k{i % 4}", "score": i % 10})
+    return db
+
+
+def run_threads(targets, timeout=60.0):
+    errors: list[BaseException] = []
+
+    def guard(fn):
+        def run():
+            try:
+                fn()
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        return run
+
+    threads = [threading.Thread(target=guard(fn)) for fn in targets]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+    assert not any(t.is_alive() for t in threads)
+    assert errors == []
+
+
+class TestPlanCacheContention:
+    def test_lookup_store_bump_hammer(self):
+        cache = PlanCache()
+        preds = [parse_where(f"score = {i}") for i in range(40)]
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                for pred in preds:
+                    entry = cache.lookup("items", pred)
+                    if entry is not None:
+                        # A served entry must carry a current-or-older stamp.
+                        assert entry.generation <= cache.generation
+
+        def writer():
+            for _ in range(300):
+                for pred in preds:
+                    cache.store("items", pred, None, None)
+
+        def bumper():
+            last = cache.generation
+            for _ in range(200):
+                now = cache.bump()
+                assert now > last
+                last = now
+
+        def finish():
+            for fn in (writer, bumper):
+                fn()
+            stop.set()
+
+        run_threads([reader, reader, writer, finish])
+        stop.set()
+        assert len(cache) <= cache.MAXSIZE
+
+    def test_store_eviction_races_stay_bounded(self):
+        cache = PlanCache()
+
+        def filler(base):
+            for i in range(cache.MAXSIZE):
+                cache.store("t", parse_where(f"score = {base + i}"), None, None)
+
+        run_threads([lambda b=b: filler(b * cache.MAXSIZE) for b in range(4)])
+        assert len(cache) <= cache.MAXSIZE
+
+
+class TestScanUnderDDLChurn:
+    def test_readers_exact_while_indexes_churn(self):
+        db = contention_db()
+        pred = parse_where("score = 7 AND kind = 'k3'")
+        expected = sorted(
+            row["id"]
+            for row in db.select("items")
+            if row["score"] == 7 and row["kind"] == "k3"
+        )
+        assert expected  # the workload must actually select something
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                got = sorted(r["id"] for r in db.select("items", pred))
+                assert got == expected
+
+        def churner():
+            table = db.table("items")
+            for _ in range(150):
+                table.create_index("score")
+                table.drop_index("score")
+                table.create_index("kind")
+                table.drop_index("kind")
+            stop.set()
+
+        def writer():
+            # Unrelated-table writes share the database (stats, plan cache).
+            i = 0
+            while not stop.is_set():
+                i += 1
+                db.insert("journal", {"id": i, "note": "x"})
+
+        run_threads([reader, reader, reader, churner, writer])
+        # Post-churn: a fresh plan against the final schema is still right.
+        assert sorted(r["id"] for r in db.select("items", pred)) == expected
+
+    def test_param_scans_race_with_bumps(self):
+        db = contention_db()
+        pred = parse_where("id = $I")
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                for i in (1, 50, 120, 9999):
+                    rows = db.select("items", pred, {"I": i})
+                    if i <= 120:
+                        assert [r["id"] for r in rows] == [i]
+                    else:
+                        assert rows == []
+
+        def bumper():
+            for _ in range(400):
+                db.plans.bump()
+            stop.set()
+
+        run_threads([reader, reader, bumper])

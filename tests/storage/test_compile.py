@@ -1,0 +1,353 @@
+"""Differential tests: compiled predicates must match the interpreter.
+
+The closure compiler (:mod:`repro.storage.compile`) re-implements the
+whole predicate language, so its correctness bar is *bit-identical
+observable behaviour*: for any predicate, row, and parameter binding, the
+compiled form must produce the same tristate result — or raise the same
+exception type with the same message — as ``Predicate.eval3``. The fuzz
+suite below checks that over hundreds of random (predicate, row) cases
+including NULLs, parameters, arithmetic, and LIKE; a second property test
+checks plan equivalence end-to-end (cost-based planned scans == forced
+full scans).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import StorageError, UnknownColumnError
+from repro.storage.compile import (
+    CompiledPredicate,
+    PlanCache,
+    clear_compile_cache,
+    compile_predicate,
+    matcher,
+)
+from repro.storage.predicate import (
+    And,
+    Between,
+    BinOp,
+    ColumnRef,
+    Comparison,
+    FalseP,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Param,
+    Predicate,
+    Tristate,
+    TrueP,
+)
+from repro.storage.sql import parse_where
+
+from tests.storage.test_planner import make_table
+
+
+def outcome(fn):
+    """(kind, payload) for a call: its result, or its exception type+text."""
+    try:
+        return "ok", fn()
+    except Exception as exc:  # noqa: BLE001 - parity includes exact type
+        return "err", (type(exc), str(exc))
+
+
+def assert_parity(pred: Predicate, row, params):
+    compiled = compile_predicate(pred)
+    assert compiled is not None, f"no compiled form for {pred!r}"
+    want = outcome(lambda: pred.eval3(row, params))
+    got = outcome(lambda: compiled.eval3(row, params))
+    assert got == want, (
+        f"divergence on {pred!r} row={row!r} params={params!r}:\n"
+        f"interpreted={want!r}\ncompiled={got!r}\n--- source ---\n{compiled.source}"
+    )
+
+
+class TestNodeSemantics:
+    """Hand-picked cases per node type, covering the tristate edges."""
+
+    @pytest.mark.parametrize(
+        "where,row,params,expected",
+        [
+            ("uid = 3", {"uid": 3}, {}, Tristate.TRUE),
+            ("uid = 3", {"uid": 4}, {}, Tristate.FALSE),
+            ("uid = 3", {"uid": None}, {}, Tristate.UNKNOWN),
+            ("uid != 3", {"uid": None}, {}, Tristate.UNKNOWN),
+            # cross-type equality is FALSE, inequality TRUE (never an error)
+            ("uid = 'x'", {"uid": 3}, {}, Tristate.FALSE),
+            ("uid != 'x'", {"uid": 3}, {}, Tristate.TRUE),
+            # bool never equals int per is_comparable
+            ("flag = 1", {"flag": True}, {}, Tristate.FALSE),
+            ("flag = TRUE", {"flag": True}, {}, Tristate.TRUE),
+            ("uid = $U", {"uid": 7}, {"U": 7}, Tristate.TRUE),
+            ("uid = $U", {"uid": 7}, {"U": None}, Tristate.UNKNOWN),
+            # AND/OR Kleene truth table spot checks
+            ("uid = 1 AND score = 2", {"uid": 1, "score": None}, {}, Tristate.UNKNOWN),
+            ("uid = 1 AND score = 2", {"uid": 2, "score": None}, {}, Tristate.FALSE),
+            ("uid = 1 OR score = 2", {"uid": None, "score": 2}, {}, Tristate.TRUE),
+            ("uid = 1 OR score = 2", {"uid": None, "score": 3}, {}, Tristate.UNKNOWN),
+            ("NOT uid = 1", {"uid": None}, {}, Tristate.UNKNOWN),
+            # IN with NULL items: found beats NULL, NULL beats not-found
+            ("uid IN (1, NULL, 3)", {"uid": 3}, {}, Tristate.TRUE),
+            ("uid IN (1, NULL, 3)", {"uid": 4}, {}, Tristate.UNKNOWN),
+            ("uid IN (1, 3)", {"uid": 4}, {}, Tristate.FALSE),
+            ("uid NOT IN (1, NULL)", {"uid": 1}, {}, Tristate.FALSE),
+            ("uid NOT IN (1, NULL)", {"uid": 2}, {}, Tristate.UNKNOWN),
+            ("uid IN (1, NULL)", {"uid": None}, {}, Tristate.UNKNOWN),
+            # IS NULL is never UNKNOWN
+            ("uid IS NULL", {"uid": None}, {}, Tristate.TRUE),
+            ("uid IS NOT NULL", {"uid": None}, {}, Tristate.FALSE),
+            # LIKE: non-string operand is FALSE even under NOT LIKE
+            ("title LIKE 'a%'", {"title": "abc"}, {}, Tristate.TRUE),
+            ("title LIKE 'a_c'", {"title": "abc"}, {}, Tristate.TRUE),
+            ("title LIKE 'a%'", {"title": None}, {}, Tristate.UNKNOWN),
+            ("title LIKE 'a%'", {"title": 5}, {}, Tristate.FALSE),
+            ("title NOT LIKE 'a%'", {"title": 5}, {}, Tristate.FALSE),
+            ("title NOT LIKE 'a%'", {"title": "zzz"}, {}, Tristate.TRUE),
+            # BETWEEN (and its NOT) with NULL endpoints/operands
+            ("score BETWEEN 1 AND 10", {"score": 5}, {}, Tristate.TRUE),
+            ("score BETWEEN 1 AND 10", {"score": 11}, {}, Tristate.FALSE),
+            ("score BETWEEN 1 AND 10", {"score": None}, {}, Tristate.UNKNOWN),
+            ("score NOT BETWEEN 1 AND 10", {"score": 0}, {}, Tristate.TRUE),
+            ("score BETWEEN 1 AND NULL", {"score": 0}, {}, Tristate.FALSE),
+            ("score BETWEEN 1 AND NULL", {"score": 5}, {}, Tristate.UNKNOWN),
+            # arithmetic: NULL-propagating, / and % by zero yield NULL
+            ("score + 1 = 10", {"score": 9}, {}, Tristate.TRUE),
+            ("score + 1 = 10", {"score": None}, {}, Tristate.UNKNOWN),
+            ("score / 0 = 1", {"score": 9}, {}, Tristate.UNKNOWN),
+            ("score % 0 = 1", {"score": 9}, {}, Tristate.UNKNOWN),
+            ("score * 2 + 1 = 7", {"score": 3}, {}, Tristate.TRUE),
+            ("10 - score >= 8", {"score": 2}, {}, Tristate.TRUE),
+            ("TRUE", {}, {}, Tristate.TRUE),
+            ("FALSE", {}, {}, Tristate.FALSE),
+        ],
+    )
+    def test_tristate(self, where, row, params, expected):
+        pred = parse_where(where)
+        assert pred.eval3(row, params) is expected  # fixture sanity
+        assert_parity(pred, row, params)
+
+    @pytest.mark.parametrize(
+        "where,row,params,exc",
+        [
+            # ordering across types raises; equality does not
+            ("uid > 'x'", {"uid": 3}, {}, StorageError),
+            ("uid <= $U", {"uid": 3}, {"U": "s"}, StorageError),
+            # arithmetic on non-numeric raises
+            ("title + 1 = 2", {"title": "x"}, {}, StorageError),
+            # unbound parameter raises where the interpreter would evaluate it
+            ("uid = $MISSING", {"uid": 3}, {}, StorageError),
+            # missing column raises UnknownColumnError
+            ("nope = 1", {"uid": 3}, {}, UnknownColumnError),
+        ],
+    )
+    def test_error_parity(self, where, row, params, exc):
+        pred = parse_where(where)
+        with pytest.raises(exc):
+            pred.eval3(row, params)
+        assert_parity(pred, row, params)
+
+    def test_short_circuit_suppresses_errors_identically(self):
+        # FALSE AND <raising> never evaluates the right arm in either form.
+        for where in ("FALSE AND uid = $MISSING", "uid = 1 OR score = $MISSING"):
+            assert_parity(parse_where(where), {"uid": 1, "score": 2}, {})
+
+    def test_params_bound_late(self):
+        compiled = compile_predicate(parse_where("uid = $U"))
+        assert compiled.bind({"U": 1})({"uid": 1}) is True
+        assert compiled.bind({"U": 2})({"uid": 1}) is False
+        assert compiled.bind({"U": None})({"uid": 1}) is None
+
+    def test_unsupported_subclass_falls_back(self):
+        class Weird(Predicate):
+            def eval3(self, row, params):
+                return Tristate.TRUE
+
+        assert compile_predicate(Weird()) is None
+        assert compile_predicate(And(TrueP(), Weird())) is None
+        # matcher() still works via the interpreter fallback
+        assert matcher(Weird())({}) is True
+
+    def test_unhashable_literal_compiles_uncached(self):
+        pred = Comparison("=", ColumnRef("tags"), Literal([1, 2]))
+        compiled = compile_predicate(pred)
+        assert isinstance(compiled, CompiledPredicate)
+        # Same-type values are comparable; parity with the interpreter.
+        assert_parity(pred, {"tags": [1, 2]}, {})
+        assert_parity(pred, {"tags": [3]}, {})
+        assert_parity(pred, {"tags": "x"}, {})
+
+    def test_equal_predicates_with_distinct_literal_types_not_conflated(self):
+        # True == 1 == 1.0 (with matching hashes) makes these predicates
+        # *equal* as frozen dataclasses; the compile cache must still give
+        # each its own type-specialized form.
+        clear_compile_cache()
+        row = {"flag": True}
+        for text, expected in (
+            ("flag = 1", Tristate.FALSE),
+            ("flag = TRUE", Tristate.TRUE),
+            ("flag = 1.0", Tristate.FALSE),
+        ):
+            pred = parse_where(text)
+            assert pred.eval3(row, {}) is expected
+            assert_parity(pred, row, {})
+
+    def test_compile_cache_reuses_objects(self):
+        clear_compile_cache()
+        a = compile_predicate(parse_where("uid = 3 AND score > 1"))
+        b = compile_predicate(parse_where("uid = 3 AND score > 1"))
+        assert a is b
+
+    def test_nonfinite_literals_round_trip(self):
+        for value in (float("inf"), float("-inf"), 1.5, -0.0):
+            pred = Comparison(">", ColumnRef("x"), Literal(value))
+            assert_parity(pred, {"x": 1.0}, {})
+
+
+# --------------------------------------------------------------------------
+# Differential fuzz: >= 500 random (predicate, row) cases
+# --------------------------------------------------------------------------
+
+_COLUMNS = ("id", "uid", "score", "title", "ratio")
+_STRINGS = ("alpha", "beta", "a%b", "", "Alpha")
+_PATTERNS = ("a%", "%a", "_lpha", "%", "a_c", "alpha")
+
+
+def _fuzz_expr(rng: random.Random, depth: int):
+    kind = rng.randrange(8)
+    if kind < 3:
+        return ColumnRef(rng.choice(_COLUMNS))
+    if kind < 5:
+        value = rng.choice(
+            [None, True, False, rng.randrange(-20, 120),
+             rng.uniform(-5, 5), rng.choice(_STRINGS)]
+        )
+        return Literal(value)
+    if kind == 5:
+        return Param(rng.choice(["U", "V", "MISSING"]))
+    if depth <= 0:
+        return Literal(rng.randrange(-5, 50))
+    return BinOp(
+        rng.choice(["+", "-", "*", "/", "%"]),
+        _fuzz_expr(rng, depth - 1),
+        _fuzz_expr(rng, depth - 1),
+    )
+
+
+def _fuzz_pred(rng: random.Random, depth: int):
+    if depth <= 0:
+        kind = rng.randrange(7)
+        if kind == 0:
+            return rng.choice([TrueP(), FalseP()])
+        if kind == 1:
+            return IsNull(_fuzz_expr(rng, 1), negated=rng.random() < 0.5)
+        if kind == 2:
+            return Like(
+                _fuzz_expr(rng, 0), rng.choice(_PATTERNS), negated=rng.random() < 0.5
+            )
+        if kind == 3:
+            items = tuple(_fuzz_expr(rng, 0) for _ in range(rng.randrange(0, 4)))
+            return InList(_fuzz_expr(rng, 1), items, negated=rng.random() < 0.5)
+        if kind == 4:
+            return Between(
+                _fuzz_expr(rng, 1),
+                _fuzz_expr(rng, 0),
+                _fuzz_expr(rng, 0),
+                negated=rng.random() < 0.5,
+            )
+        return Comparison(
+            rng.choice(["=", "!=", "<", "<=", ">", ">="]),
+            _fuzz_expr(rng, 1),
+            _fuzz_expr(rng, 1),
+        )
+    kind = rng.randrange(4)
+    if kind == 0:
+        return Not(_fuzz_pred(rng, depth - 1))
+    op = And if kind == 1 else Or
+    return op(_fuzz_pred(rng, depth - 1), _fuzz_pred(rng, depth - 1))
+
+
+def _fuzz_row(rng: random.Random):
+    row = {}
+    for col in _COLUMNS:
+        if rng.random() < 0.15 and col != "id":
+            continue  # sometimes the column is absent entirely
+        row[col] = rng.choice(
+            [None, rng.randrange(-10, 120), rng.uniform(-3, 3),
+             rng.choice(_STRINGS), True, False]
+        )
+    return row
+
+
+def test_differential_fuzz_interpreted_vs_compiled():
+    rng = random.Random(20260808)
+    cases = 0
+    for trial in range(220):
+        pred = _fuzz_pred(rng, rng.randrange(0, 4))
+        params = {"U": rng.choice([None, 3, "alpha", True, 2.5]), "V": rng.randrange(50)}
+        for _ in range(3):
+            assert_parity(pred, _fuzz_row(rng), params)
+            cases += 1
+    assert cases >= 500
+
+
+def test_differential_fuzz_against_table_rows():
+    """Same fuzz over realistic stored rows via Table.scan's two filters."""
+    table = make_table(n=120, seed=5)
+    rows = [dict(row) for row in table.rows()]
+    rng = random.Random(77)
+    cases = 0
+    for _ in range(150):
+        pred = _fuzz_pred(rng, rng.randrange(0, 3))
+        params = {"U": rng.choice([None, 7, "beta"]), "V": rng.randrange(100)}
+        for row in rng.sample(rows, 4):
+            assert_parity(pred, row, params)
+            cases += 1
+    assert cases >= 500
+
+
+# --------------------------------------------------------------------------
+# Plan equivalence: cost-based planned scans == forced full scans
+# --------------------------------------------------------------------------
+
+
+def test_plan_equivalence_random_predicates():
+    from tests.storage.test_planner import _random_predicate
+
+    table = make_table(n=400, seed=13)
+    rng = random.Random(4242)
+    params = {"U": 9}
+    for trial in range(250):
+        pred = _random_predicate(rng, depth=rng.randrange(1, 4))
+        planned = sorted(row["id"] for row in table.scan(pred, params))
+        brute = sorted(
+            row["id"] for row in table.rows() if pred.test(dict(row), params)
+        )
+        assert planned == brute, f"trial {trial}: {pred!r} plan={table.last_plan}"
+
+
+def test_plan_equivalence_reports_estimates():
+    table = make_table(n=400, seed=13)
+    report = table.explain(parse_where("uid = 3"))
+    assert report["plan"] == "eq(uid)"
+    assert report["table_rows"] == 400
+    assert report["estimated_rows"] > 0
+    assert report["compiled"] is True
+    # scan records what explain predicted
+    table.scan(parse_where("uid = 3"))
+    assert table.last_plan == "eq(uid)"
+    assert table.last_estimate == report["estimated_rows"]
+
+
+def test_plan_cache_standalone_table_store_and_hit():
+    cache = PlanCache()
+    table = make_table(n=50)
+    table._plans = cache
+    pred = parse_where("uid = 1")
+    table.scan(pred)
+    misses = cache.misses
+    table.scan(pred)
+    assert cache.hits >= 1
+    assert cache.misses == misses  # second scan did not miss

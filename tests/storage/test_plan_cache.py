@@ -1,0 +1,219 @@
+"""Plan-cache behavior and stale-plan regression tests.
+
+The cache maps (table, predicate, schema generation) to an access-path
+template plus compiled predicate. Anything that changes what a plan may
+legally assume — index create/drop, table create/drop, schema evolution —
+bumps the generation, and a stale entry must never execute. Each test
+here performs the DDL *after* a scan has populated the cache, then checks
+the next scan both returns correct rows and reflects the new schema.
+"""
+
+from repro.storage.compile import PlanCache, compile_predicate
+from repro.storage.database import Database
+from repro.storage.evolve import RenameColumn, RenameTable, apply_change
+from repro.storage.predicate import ColumnRef, Comparison, InList, Literal
+from repro.storage.schema import Column, Schema, TableSchema
+from repro.storage.sql import parse_where
+from repro.storage.table import Table
+from repro.storage.types import ColumnType as T
+
+
+def make_table(n: int = 60) -> Table:
+    schema = TableSchema(
+        "items",
+        [
+            Column("id", T.INTEGER, nullable=False),
+            Column("kind", T.TEXT),
+            Column("score", T.INTEGER),
+            Column("flag", T.BOOL),
+        ],
+        primary_key="id",
+    )
+    table = Table(schema)
+    for i in range(1, n + 1):
+        table.insert(
+            {"id": i, "kind": f"k{i % 5}", "score": i, "flag": i % 2 == 0}
+        )
+    return table
+
+
+def make_db(n: int = 60) -> Database:
+    table = make_table(n)
+    db = Database(Schema([table.schema]))
+    for row in table.rows():
+        db.insert("items", dict(row))
+    return db
+
+
+def brute(table: Table, pred, params=None):
+    bound = params or {}
+    return sorted(
+        row["id"] for row in table.rows() if pred.test(dict(row), bound)
+    )
+
+
+def scan_ids(table: Table, pred, params=None):
+    return sorted(row["id"] for row in table.scan(pred, params))
+
+
+class TestCacheAccounting:
+    def test_second_scan_hits(self):
+        table = make_table()
+        pred = parse_where("score = 7")
+        table.scan(pred)
+        misses = table._plans.misses
+        hits = table._plans.hits
+        table.scan(pred)
+        assert table._plans.hits == hits + 1
+        assert table._plans.misses == misses
+
+    def test_param_template_reused_across_bindings(self):
+        table = make_table()
+        pred = parse_where("score = $S")
+        assert scan_ids(table, pred, {"S": 5}) == [5]
+        hits = table._plans.hits
+        assert scan_ids(table, pred, {"S": 9}) == [9]
+        assert scan_ids(table, pred, {"S": None}) == []
+        assert table._plans.hits == hits + 2  # one template, many bindings
+
+    def test_unhashable_predicate_not_cached(self):
+        table = make_table()
+        pred = Comparison("=", ColumnRef("score"), Literal([1, 2]))
+        before = len(table._plans)
+        assert scan_ids(table, pred) == []
+        assert len(table._plans) == before
+
+    def test_eviction_bounds_size(self):
+        cache = PlanCache()
+        for i in range(cache.MAXSIZE + 50):
+            cache.store("t", parse_where(f"score = {i}"), None, None)
+        assert len(cache) <= cache.MAXSIZE
+
+    def test_bump_invalidates_lookup(self):
+        cache = PlanCache()
+        pred = parse_where("score = 1")
+        cache.store("t", pred, None, None)
+        assert cache.lookup("t", pred) is not None
+        cache.bump()
+        assert cache.lookup("t", pred) is None
+        assert len(cache) == 0
+
+    def test_equal_predicates_with_distinct_literal_types_distinct_entries(self):
+        # Literal(True) == Literal(1) as frozen dataclasses; the cache must
+        # not hand one predicate the other's compiled form.
+        table = make_table(10)
+        evens = scan_ids(table, parse_where("flag = TRUE"))
+        assert evens == [2, 4, 6, 8, 10]
+        # flag = 1: int literal is not comparable to a bool column value.
+        assert scan_ids(table, parse_where("flag = 1")) == []
+        # And again in the opposite fill order, on a fresh cache.
+        table2 = make_table(10)
+        assert scan_ids(table2, parse_where("flag = 1")) == []
+        assert scan_ids(table2, parse_where("flag = TRUE")) == evens
+
+
+class TestIndexDDLInvalidation:
+    def test_create_index_picked_up_by_cached_plan(self):
+        table = make_table()
+        pred = parse_where("kind = 'k3'")
+        expected = brute(table, pred)
+        assert scan_ids(table, pred) == expected
+        assert table.last_plan == "full"  # kind is unindexed
+        table.create_index("kind")
+        assert scan_ids(table, pred) == expected
+        assert table.last_plan == "eq(kind)"  # stale "no path" plan evicted
+
+    def test_drop_index_never_executes_stale_probe(self):
+        table = make_table()
+        table.create_index("kind")
+        pred = parse_where("kind = 'k2'")
+        expected = brute(table, pred)
+        assert scan_ids(table, pred) == expected
+        assert table.last_plan == "eq(kind)"
+        table.drop_index("kind")
+        assert scan_ids(table, pred) == expected
+        assert table.last_plan == "full"
+
+    def test_drop_absent_index_does_not_invalidate(self):
+        table = make_table()
+        table.scan(parse_where("score = 1"))
+        generation = table._plans.generation
+        table.drop_index("kind")  # never existed: no-op
+        assert table._plans.generation == generation
+
+
+class TestSchemaEvolutionInvalidation:
+    def test_rename_column_invalidates_plans(self):
+        db = make_db()
+        pred = parse_where("score = 7")
+        assert sorted(r["id"] for r in db.select("items", pred)) == [7]
+        generation = db.plans.generation
+        apply_change(db, RenameColumn("items", "score", "points"))
+        assert db.plans.generation > generation
+        renamed = parse_where("points = 7")
+        assert sorted(r["id"] for r in db.select("items", renamed)) == [7]
+
+    def test_rename_table_invalidates_plans(self):
+        db = make_db()
+        db.select("items", parse_where("score = 3"))
+        generation = db.plans.generation
+        apply_change(db, RenameTable("items", "things"))
+        assert db.plans.generation > generation
+        assert sorted(r["id"] for r in db.select("things", parse_where("score = 3"))) == [3]
+
+    def test_create_and_drop_table_bump(self):
+        db = make_db()
+        generation = db.plans.generation
+        db.create_table(
+            TableSchema(
+                "extra",
+                [Column("id", T.INTEGER, nullable=False)],
+                primary_key="id",
+            )
+        )
+        assert db.plans.generation == generation + 1
+        db.drop_table("extra")
+        assert db.plans.generation == generation + 2
+
+    def test_tables_share_database_cache(self):
+        db = make_db()
+        assert db.table("items")._plans is db.plans
+
+
+class TestExplain:
+    def test_explain_reports_cached_and_generation(self):
+        db = make_db()
+        report = db.explain("items", "score = 5")
+        assert report["cached"] is False
+        report = db.explain("items", "score = 5")
+        assert report["cached"] is True
+        assert report["generation"] == db.plans.generation
+        assert report["plan"] == "eq(id)" or "score" in report["plan"] or report["plan"] == "full"
+
+    def test_explain_does_not_mutate_results(self):
+        db = make_db()
+        db.explain("items", "score > 50")
+        assert sorted(r["id"] for r in db.select("items", parse_where("score > 50"))) == list(range(51, 61))
+
+
+class TestCompiledEntrySemantics:
+    def test_cached_entry_reuses_compiled_predicate(self):
+        table = make_table()
+        pred = parse_where("score > 10 AND kind = 'k1'")
+        table.scan(pred)
+        entry = table._plans.lookup("items", pred)
+        assert entry is not None
+        assert entry.compiled is compile_predicate(pred)
+
+    def test_subclassed_predicate_scans_via_interpreter(self):
+        table = make_table(20)
+
+        class Odd(InList):
+            def eval3(self, row, params):
+                from repro.storage.predicate import Tristate
+                return Tristate.TRUE if row["id"] % 2 else Tristate.FALSE
+
+        pred = Odd(ColumnRef("id"), (Literal(1),))
+        assert scan_ids(table, pred) == list(range(1, 21, 2))
+        entry = table._plans.lookup("items", pred)
+        assert entry is not None and entry.compiled is None

@@ -1,0 +1,287 @@
+"""Statistics and cost-model tests: sketches, incremental maintenance,
+and the planner decisions they steer.
+
+The cost model is advisory — a wrong estimate may only ever pick a slower
+plan, never change results — so these tests check two things separately:
+(1) the statistics themselves track mutations (exact counters exactly,
+sketches within tolerance), and (2) `choose_path` uses them to fix the
+orderings the shape-based ranking got wrong (equality probe on a skewed
+column losing to a tight range probe, wide probes demoted to full scans).
+"""
+
+import random
+
+from repro.storage.planner import (
+    ChoicePath,
+    EmptyPath,
+    EqProbe,
+    MultiProbe,
+    RangeProbe,
+    UnionPath,
+    choose_path,
+    estimate_rows,
+)
+from repro.storage.schema import Column, TableSchema
+from repro.storage.sql import parse_where
+from repro.storage.stats import KMV_K, ColumnStats, TableStatistics, _KMV
+from repro.storage.table import Table
+from repro.storage.types import ColumnType as T
+
+
+# --------------------------------------------------------------------------
+# KMV distinct sketch
+# --------------------------------------------------------------------------
+
+
+class TestKMV:
+    def test_exact_below_k(self):
+        sketch = _KMV()
+        for i in range(KMV_K - 1):
+            sketch.add(i)
+        assert sketch.estimate() == KMV_K - 1
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = _KMV()
+        for _ in range(10):
+            for i in range(20):
+                sketch.add(i)
+        assert sketch.estimate() == 20
+
+    def test_estimate_within_tolerance_at_scale(self):
+        # KMV with k=64 has relative std error ~1/sqrt(k-1) ~= 13%; allow 3x.
+        sketch = _KMV()
+        n = 20_000
+        for i in range(n):
+            sketch.add(f"value-{i}")
+        estimate = sketch.estimate()
+        assert 0.6 * n <= estimate <= 1.4 * n
+
+    def test_unhashable_values_ignored(self):
+        sketch = _KMV()
+        sketch.add([1, 2])
+        assert sketch.estimate() == 0
+        sketch.add("ok")
+        assert sketch.estimate() == 1
+
+
+# --------------------------------------------------------------------------
+# Per-column and per-table incremental maintenance
+# --------------------------------------------------------------------------
+
+
+class TestColumnStats:
+    def test_null_counting(self):
+        stats = ColumnStats()
+        stats.on_insert(None)
+        stats.on_insert(None)
+        stats.on_insert(5)
+        assert stats.nulls == 2
+        stats.on_delete(None)
+        assert stats.nulls == 1
+
+    def test_bounds_track_inserts(self):
+        stats = ColumnStats()
+        for v in (5, 1, 9, 3):
+            stats.on_insert(v)
+        assert stats.bounds() == (1, 9)
+
+    def test_deleting_extremum_goes_lazy(self):
+        stats = ColumnStats()
+        for v in (1, 5, 9):
+            stats.on_insert(v)
+        stats.on_delete(9)
+        assert stats.bounds() is None  # stale until refresh
+
+    def test_deleting_interior_value_keeps_bounds(self):
+        stats = ColumnStats()
+        for v in (1, 5, 9):
+            stats.on_insert(v)
+        stats.on_delete(5)
+        assert stats.bounds() == (1, 9)
+
+    def test_unorderable_mix_disables_bounds(self):
+        stats = ColumnStats()
+        stats.on_insert(1)
+        stats.on_insert("abc")  # int < str raises TypeError
+        assert stats.bounds() is None
+        stats.on_insert(100)  # stays disabled, no crash
+        assert stats.bounds() is None
+
+
+class TestTableStatistics:
+    def test_row_count_follows_mutations(self):
+        stats = TableStatistics(["a"])
+        for i in range(5):
+            stats.on_insert({"a": i})
+        assert stats.row_count == 5
+        stats.on_delete({"a": 0})
+        assert stats.row_count == 4
+
+    def test_update_skips_unchanged_columns(self):
+        stats = TableStatistics(["a", "b"])
+        stats.on_insert({"a": 1, "b": None})
+        stats.on_update({"a": 1, "b": None}, {"a": 1, "b": 7})
+        assert stats.null_count("b") == 0
+        assert stats.null_count("a") == 0
+        assert stats.min_max("b") == (7, 7)
+
+    def test_update_distinguishes_value_types(self):
+        # True == 1 but type differs: the update must not be skipped.
+        stats = TableStatistics(["a"])
+        stats.on_insert({"a": True})
+        stats.on_update({"a": True}, {"a": 1})
+        assert stats.distinct_estimate("a") >= 1
+
+    def test_refresh_rebuilds_lazy_bounds(self):
+        stats = TableStatistics(["a"])
+        for v in (1, 5, 9):
+            stats.on_insert({"a": v})
+        stats.on_delete({"a": 9})
+        assert stats.min_max("a") is None
+        stats.refresh([{"a": 1}, {"a": 5}])
+        assert stats.min_max("a") == (1, 5)
+        assert stats.row_count == 2
+
+    def test_unknown_column_reads_are_none(self):
+        stats = TableStatistics(["a"])
+        assert stats.distinct_estimate("zzz") is None
+        assert stats.null_count("zzz") is None
+        assert stats.min_max("zzz") is None
+
+
+# --------------------------------------------------------------------------
+# Table integration + cost model
+# --------------------------------------------------------------------------
+
+
+def skew_table(n: int = 400) -> Table:
+    """cat: indexed, two-valued (heavy skew); score: indexed, unique."""
+    schema = TableSchema(
+        "events",
+        [
+            Column("id", T.INTEGER, nullable=False),
+            Column("cat", T.INTEGER),
+            Column("score", T.INTEGER),
+            Column("note", T.TEXT),
+        ],
+        primary_key="id",
+    )
+    table = Table(schema)
+    table.create_index("cat")
+    table.create_index("score")
+    rng = random.Random(11)
+    for i in range(1, n + 1):
+        table.insert(
+            {
+                "id": i,
+                "cat": i % 2,
+                "score": i,
+                "note": rng.choice(["x", "y", None]),
+            }
+        )
+    return table
+
+
+class TestCostModel:
+    def test_eq_probe_estimate_uses_distinct(self):
+        table = skew_table(400)
+        est = estimate_rows(EqProbe("cat", 1), table)
+        assert 150 <= est <= 250  # ~400/2
+
+    def test_null_probe_estimate_uses_null_count(self):
+        table = skew_table(400)
+        nulls = sum(1 for row in table.rows() if row["note"] is None)
+        assert estimate_rows(EqProbe("note", None), table) == float(nulls)
+
+    def test_range_estimate_interpolates(self):
+        table = skew_table(400)
+        est = estimate_rows(RangeProbe("score", lo=1, hi=40), table)
+        assert 20 <= est <= 60  # ~10% of 400
+
+    def test_multiprobe_scales_with_list(self):
+        table = skew_table(400)
+        one = estimate_rows(EqProbe("score", 5), table)
+        three = estimate_rows(MultiProbe("score", (5, 6, 7)), table)
+        assert abs(three - 3 * one) < 1e-9
+
+    def test_union_sums_and_caps(self):
+        table = skew_table(400)
+        union = UnionPath((EqProbe("cat", 0), EqProbe("cat", 1)))
+        assert estimate_rows(union, table) <= 400.0
+
+    def test_empty_table_estimates_zero(self):
+        table = skew_table(0)
+        assert estimate_rows(EqProbe("cat", 1), table) == 0.0
+
+    def test_choice_picks_cheapest_by_estimate(self):
+        table = skew_table(400)
+        # Shape-based ranking would pick the eq probe (rank 0 < rank 2);
+        # statistics know it touches half the table while the range probe
+        # touches ~10 rows.
+        choice = ChoicePath(
+            (EqProbe("cat", 1), RangeProbe("score", lo=10, hi=19))
+        )
+        path, estimate = choose_path(choice, table)
+        assert isinstance(path, RangeProbe)
+        assert estimate < 50
+
+    def test_wide_probe_demoted_to_full_scan(self):
+        table = skew_table(400)
+        path, estimate = choose_path(RangeProbe("score", lo=1), table)
+        assert path is None  # estimate > 90% of rows: full scan is cheaper
+        assert estimate == 400.0
+
+    def test_empty_path_short_circuits(self):
+        table = skew_table(50)
+        path, estimate = choose_path(EmptyPath(), table)
+        assert isinstance(path, EmptyPath)
+        assert estimate == 0.0
+
+
+class TestScanUsesStatistics:
+    def test_scan_picks_range_over_skewed_eq(self):
+        table = skew_table(400)
+        pred = parse_where("cat = 1 AND score BETWEEN 10 AND 19")
+        result = table.scan(pred)
+        assert table.last_plan.startswith("range(")
+        expected = [
+            dict(row)
+            for row in table.rows()
+            if row["cat"] == 1 and 10 <= row["score"] <= 19
+        ]
+        assert sorted(r["id"] for r in result) == sorted(r["id"] for r in expected)
+
+    def test_last_estimate_recorded(self):
+        table = skew_table(400)
+        table.scan(parse_where("cat = 1"))
+        assert 150 <= table.last_estimate <= 250
+
+    def test_explain_matches_scan(self):
+        table = skew_table(400)
+        pred = parse_where("score BETWEEN 30 AND 34")
+        report = table.explain(pred)
+        table.scan(pred)
+        assert report["plan"] == table.last_plan
+        assert report["estimated_rows"] == table.last_estimate
+        assert report["table_rows"] == 400
+        assert report["compiled"] is True
+
+    def test_stats_survive_update_and_delete(self):
+        table = skew_table(100)
+        table.update_by_pk(1, {"note": None})
+        table.delete_by_pk(2)
+        assert table.statistics.row_count == 99
+        nulls = sum(1 for row in table.rows() if row["note"] is None)
+        assert table.stat_null_count("note") == nulls
+
+    def test_indexed_columns_report_exact_distinct(self):
+        table = skew_table(300)
+        assert table.stat_distinct("cat") == 2     # exact from the hash index
+        assert table.stat_distinct("score") == 300
+        assert table.stat_distinct("id") == 300    # pk index
+
+    def test_index_key_bounds_exact(self):
+        table = skew_table(50)
+        assert table.stat_min_max("score") == (1, 50)
+        table.delete_by_pk(50)
+        assert table.stat_min_max("score") == (1, 49)  # index, not lazy stats
