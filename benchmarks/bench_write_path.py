@@ -1,0 +1,294 @@
+"""W — compiled write path: delta undo/redo, batched indexes, batch vault writes.
+
+Three claims from the compiled-write-path work (ISSUE 7):
+
+* **Batched UPDATE** — routing ``update_where`` through ``match_rows`` +
+  ``apply_updates`` (no RowView materialization, change set coerced once,
+  per-index patches batched, delta undo/redo instead of full-row copies)
+  must push >=3x more rows/s than the legacy full-row path
+  (``db.delta_writes = False``) at the 100k-row scale with the WAL
+  attached.
+* **WAL bytes/statement** — a batched UPDATE logs ONE ``deltas`` frame
+  carrying only changed columns, so log bytes per statement must drop
+  >=2x vs the legacy full-row ``updates`` frame.
+* **Batch vault encryption** — ``encrypt_many`` derives subkeys once and
+  runs one keystream over the concatenated batch; entries/s must not
+  regress vs the per-entry ``encrypt`` loop (the win is modest per entry
+  but compounds with the single journal append + fsync per owner batch).
+
+Run under pytest for the benchmark fixtures, or directly
+(``python benchmarks/bench_write_path.py [--smoke]``) to emit
+``BENCH_writepath.json`` for CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import tempfile
+import time
+from pathlib import Path
+
+from conftest import print_line, print_table
+
+from repro import Database, Schema, parse_schema
+from repro.crypto.cipher import SecretKey, encrypt, encrypt_many
+from repro.storage.persist import save_database
+from repro.storage.wal import open_in_place
+
+# Wide rows on purpose: the legacy path copies and logs every column of
+# every touched row, the delta path only the one that changed. ~10 columns
+# with chunky text model the disguise target tables (PII-heavy app rows).
+EVENTS_DDL = """
+CREATE TABLE events (
+  id INT PRIMARY KEY,
+  uid INT,
+  kind TEXT,
+  score INT,
+  ratio REAL,
+  title TEXT,
+  body TEXT,
+  tags TEXT,
+  origin TEXT,
+  note TEXT
+);
+"""
+
+FULL_SCALES = (10_000, 100_000)
+SMOKE_SCALES = (2_000, 10_000)
+
+UPDATE_SPEEDUP_FLOOR = 3.0
+WAL_REDUCTION_FLOOR = 2.0
+VAULT_BATCH_FLOOR = 0.9  # batch API must at least not regress
+
+_CHUNK = "lorem ipsum dolor sit amet, consectetur adipiscing elit "
+
+
+def make_rows(n: int, seed: int = 11) -> list[dict]:
+    rng = random.Random(seed)
+    return [
+        {
+            "id": i,
+            "uid": i % 100,
+            "kind": rng.choice(["click", "view", "purchase"]),
+            "score": rng.randrange(10_000),
+            "ratio": rng.random(),
+            "title": f"event {i} in stream {i % 7}",
+            "body": _CHUNK * 3,
+            "tags": "alpha,beta,gamma,delta",
+            "origin": rng.choice(["web", "mobile", "api"]),
+            "note": _CHUNK,
+        }
+        for i in range(n)
+    ]
+
+
+def _best(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _wal_db(workdir: Path, n: int, delta_writes: bool):
+    snap = workdir / f"events-{n}-{delta_writes}.jsonl"
+    db = Database(Schema(parse_schema(EVENTS_DDL)))
+    db.insert_many("events", make_rows(n))
+    db.table("events").create_index("uid")
+    save_database(db, snap)
+    handle = open_in_place(snap, fsync="never")
+    handle.db.delta_writes = delta_writes
+    return handle
+
+
+# -- Part 1: batched UPDATE throughput, old vs new --------------------------------
+
+
+def update_throughput_at(workdir: Path, n: int) -> dict:
+    """rows/s for ``update_where`` touching every row, WAL attached."""
+    results = {}
+    for label, delta_writes in (("full_row", False), ("delta", True)):
+        handle = _wal_db(workdir, n, delta_writes)
+        db = handle.db
+        flip = [0]
+
+        def statement():
+            # Alternate the value so every row actually changes each call
+            # (a no-op change would be dropped from the delta).
+            flip[0] ^= 1
+            db.update_where("events", "score >= 0", {"kind": f"k{flip[0]}"})
+
+        statement()  # warm plan cache and page everything in
+        results[label] = _best(statement)
+        handle.close()
+    return {
+        "n_rows": n,
+        "full_row_rows_per_s": n / results["full_row"],
+        "delta_rows_per_s": n / results["delta"],
+        "speedup": results["full_row"] / results["delta"],
+    }
+
+
+# -- Part 2: WAL bytes per statement ----------------------------------------------
+
+
+def wal_bytes_at(workdir: Path, n: int) -> dict:
+    """Log bytes appended by one batched UPDATE over all rows."""
+    out = {"n_rows": n}
+    for label, delta_writes in (("full_row", False), ("delta", True)):
+        handle = _wal_db(workdir, n, delta_writes)
+        before = handle.wal.bytes_written
+        handle.db.update_where("events", "score >= 0", {"kind": "z"})
+        out[f"{label}_bytes"] = handle.wal.bytes_written - before
+        handle.close()
+    out["reduction"] = out["full_row_bytes"] / out["delta_bytes"]
+    return out
+
+
+# -- Part 3: vault encryption, per-entry loop vs batch API ------------------------
+
+
+def vault_encrypt_results(entries: int = 2_000, size: int = 256) -> dict:
+    key = SecretKey.generate()
+    rng = random.Random(5)
+    plaintexts = [bytes(rng.randrange(256) for _ in range(size)) for _ in range(entries)]
+
+    secs_loop = _best(lambda: [encrypt(key, p) for p in plaintexts])
+    secs_batch = _best(lambda: encrypt_many(key, plaintexts))
+    return {
+        "entries": entries,
+        "entry_bytes": size,
+        "loop_entries_per_s": entries / secs_loop,
+        "batch_entries_per_s": entries / secs_batch,
+        "speedup": secs_loop / secs_batch,
+    }
+
+
+# -- Checks (shared by pytest and smoke mode) ------------------------------------
+
+
+def check_update_throughput(results: list[dict]) -> None:
+    top = results[-1]
+    assert top["speedup"] >= UPDATE_SPEEDUP_FLOOR, (
+        f"delta path only {top['speedup']:.2f}x full-row at {top['n_rows']} rows"
+    )
+
+
+def check_wal_bytes(results: list[dict]) -> None:
+    top = results[-1]
+    assert top["reduction"] >= WAL_REDUCTION_FLOOR, (
+        f"delta WAL records only {top['reduction']:.2f}x smaller at "
+        f"{top['n_rows']} rows"
+    )
+
+
+def check_vault(result: dict) -> None:
+    assert result["speedup"] >= VAULT_BATCH_FLOOR, (
+        f"encrypt_many regressed to {result['speedup']:.2f}x of the loop"
+    )
+
+
+# -- pytest benchmark entry points ------------------------------------------------
+
+
+def bench_batched_update_throughput(benchmark, tmp_path):
+    """Delta write path pushes >=3x more UPDATE rows/s than full-row."""
+    results = [update_throughput_at(tmp_path, n) for n in FULL_SCALES]
+    handle = _wal_db(tmp_path, FULL_SCALES[0], True)
+    flip = [0]
+
+    def statement():
+        flip[0] ^= 1
+        handle.db.update_where("events", "score >= 0", {"kind": f"k{flip[0]}"})
+
+    benchmark.pedantic(statement, rounds=5, iterations=1)
+    handle.close()
+    print_table(
+        "W1: batched UPDATE, full-row vs delta write path",
+        ["rows", "full-row rows/s", "delta rows/s", "speedup"],
+        [
+            [
+                r["n_rows"],
+                f"{r['full_row_rows_per_s']:,.0f}",
+                f"{r['delta_rows_per_s']:,.0f}",
+                f"{r['speedup']:.1f}x",
+            ]
+            for r in results
+        ],
+    )
+    check_update_throughput(results)
+
+
+def bench_wal_bytes_per_statement(benchmark, tmp_path):
+    """Delta frames shrink WAL bytes/statement >=2x."""
+    results = [wal_bytes_at(tmp_path, n) for n in SMOKE_SCALES]
+    handle = _wal_db(tmp_path, SMOKE_SCALES[0], True)
+    benchmark.pedantic(
+        lambda: handle.db.update_where("events", "score >= 0", {"kind": "z"}),
+        rounds=5,
+        iterations=1,
+    )
+    handle.close()
+    print_table(
+        "W2: WAL bytes per batched UPDATE statement",
+        ["rows", "full-row bytes", "delta bytes", "reduction"],
+        [
+            [
+                r["n_rows"],
+                f"{r['full_row_bytes']:,}",
+                f"{r['delta_bytes']:,}",
+                f"{r['reduction']:.1f}x",
+            ]
+            for r in results
+        ],
+    )
+    check_wal_bytes(results)
+
+
+def bench_vault_batch_encrypt(benchmark):
+    """encrypt_many must not be slower than the per-entry loop."""
+    result = vault_encrypt_results()
+    key = SecretKey.generate()
+    plaintexts = [b"x" * 256] * 200
+    benchmark.pedantic(lambda: encrypt_many(key, plaintexts), rounds=5, iterations=1)
+    print_line(
+        f"W3: vault encrypt {result['loop_entries_per_s']:,.0f}/s loop vs "
+        f"{result['batch_entries_per_s']:,.0f}/s batch "
+        f"({result['speedup']:.2f}x)"
+    )
+    check_vault(result)
+
+
+# -- CI smoke mode ---------------------------------------------------------------
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced scales for CI (10k rows instead of 100k)",
+    )
+    args = parser.parse_args()
+    scales = SMOKE_SCALES if args.smoke else FULL_SCALES
+    entries = 500 if args.smoke else 2_000
+    with tempfile.TemporaryDirectory(prefix="bench_write_path") as tmp:
+        workdir = Path(tmp)
+        payload = {
+            "smoke": args.smoke,
+            "batched_update": [update_throughput_at(workdir, n) for n in scales],
+            "wal_bytes": [wal_bytes_at(workdir, n) for n in scales],
+            "vault_encrypt": vault_encrypt_results(entries),
+        }
+    check_update_throughput(payload["batched_update"])
+    check_wal_bytes(payload["wal_bytes"])
+    check_vault(payload["vault_encrypt"])
+    with open("BENCH_writepath.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -173,10 +173,22 @@ class SpecRunner:
             self.report.vault_entries_written += 1
 
     def _emit(self, entries: list[VaultEntry]) -> None:
-        """Store a batch of vault entries with one vault append."""
-        if entries:
-            self.journal.put_many(entries)
-            self.report.vault_entries_written += len(entries)
+        """Store a batch of vault entries with one vault append.
+
+        Entries are grouped per owner first so downstream batch stores see
+        each owner's entries contiguously: the encrypted wrapper derives
+        one set of subkeys and one keystream per owner group, and the file
+        vault issues one journal append (and at most one fsync) per owner.
+        """
+        if not entries:
+            return
+        by_owner: dict[Any, list[VaultEntry]] = {}
+        for entry in entries:
+            by_owner.setdefault(entry.owner, []).append(entry)
+        if len(by_owner) > 1:
+            entries = [entry for group in by_owner.values() for entry in group]
+        self.journal.put_many(entries)
+        self.report.vault_entries_written += len(entries)
 
     # -- transformation execution ---------------------------------------------------
 

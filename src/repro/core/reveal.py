@@ -243,13 +243,16 @@ def _cascade_orphans(
     db = executor.db
     for table, pks in restored.items():
         for pk in pks:
-            row = db.get(table, pk)
+            # A view avoids copying the whole row just to probe its FK
+            # columns; the dict() copy below happens only for the rare row
+            # that actually gets re-removed into a vault payload.
+            row = db.table(table).view(pk)
             if row is None:
                 continue
             schema = db.table(table).schema
             for fk in schema.foreign_keys:
                 value = row[fk.column]
-                if value is None or db.get(fk.parent_table, value) is not None:
+                if value is None or db.table(fk.parent_table).rid_of(value) is not None:
                     continue
                 remover = _find_remover(
                     vault, history, fk.parent_table, value, revealing_did

@@ -23,23 +23,31 @@ from dataclasses import dataclass
 
 from repro.errors import CryptoError
 
-__all__ = ["SecretKey", "encrypt", "decrypt", "Ciphertext"]
+__all__ = ["SecretKey", "encrypt", "encrypt_many", "decrypt", "Ciphertext"]
 
 _BLOCK = hashlib.sha256().digest_size  # 32 bytes
 _NONCE_LEN = 16
+_SEED_LEN = 12  # batch nonces: 12-byte random seed + 4-byte counter
 _TAG_LEN = 32
 KEY_LEN = 32
 
 
 @dataclass(frozen=True)
 class SecretKey:
-    """A 32-byte symmetric master key."""
+    """A 32-byte symmetric master key.
+
+    The enc/mac subkeys are derived once at construction: every
+    encrypt/decrypt needs both, and re-running the HMAC derivation per
+    access dominated the cost of sealing small vault entries.
+    """
 
     material: bytes
 
     def __post_init__(self) -> None:
         if len(self.material) != KEY_LEN:
             raise CryptoError(f"key must be {KEY_LEN} bytes, got {len(self.material)}")
+        object.__setattr__(self, "_enc_key", self._subkey(b"enc"))
+        object.__setattr__(self, "_mac_key", self._subkey(b"mac"))
 
     @classmethod
     def generate(cls) -> "SecretKey":
@@ -57,11 +65,11 @@ class SecretKey:
 
     @property
     def enc_key(self) -> bytes:
-        return self._subkey(b"enc")
+        return self._enc_key  # type: ignore[attr-defined]
 
     @property
     def mac_key(self) -> bytes:
-        return self._subkey(b"mac")
+        return self._mac_key  # type: ignore[attr-defined]
 
 
 @dataclass(frozen=True)
@@ -117,6 +125,58 @@ def encrypt(key: SecretKey, plaintext: bytes, nonce: bytes | None = None) -> Cip
     body = _xor(plaintext, stream)
     tag = hmac.new(key.mac_key, nonce + body, hashlib.sha256).digest()
     return Ciphertext(nonce=nonce, body=body, tag=tag)
+
+
+def encrypt_many(
+    key: SecretKey,
+    plaintexts: list[bytes],
+    seed: bytes | None = None,
+) -> list[Ciphertext]:
+    """Encrypt a batch under one key with amortized per-entry overhead.
+
+    Entry *j* gets the nonce ``seed || j`` (12 random bytes + 4-byte
+    big-endian counter), so one CSPRNG draw covers the batch while every
+    nonce stays unique under the key. The keystream for the whole batch is
+    generated in one pass and XORed over the concatenated plaintexts as a
+    single big-int operation; tags are still per entry, so each returned
+    :class:`Ciphertext` is independently verifiable by :func:`decrypt`.
+    """
+    plaintexts = list(plaintexts)
+    if seed is None:
+        seed = os.urandom(_SEED_LEN)
+    if len(seed) != _SEED_LEN:
+        raise CryptoError(f"batch seed must be {_SEED_LEN} bytes")
+    if len(plaintexts) >= 1 << 32:
+        raise CryptoError("batch too large for the 4-byte nonce counter")
+    enc_key = key.enc_key
+    mac_key = key.mac_key
+    sha = hashlib.sha256
+    nonces = [
+        seed + j.to_bytes(_NONCE_LEN - _SEED_LEN, "big")
+        for j in range(len(plaintexts))
+    ]
+    parts: list[bytes] = []
+    for nonce, plaintext in zip(nonces, plaintexts):
+        length = len(plaintext)
+        if not length:
+            continue
+        prefix = enc_key + nonce
+        parts.append(
+            b"".join(
+                sha(prefix + counter.to_bytes(8, "big")).digest()
+                for counter in range((length + _BLOCK - 1) // _BLOCK)
+            )[:length]
+        )
+    bodies = _xor(b"".join(plaintexts), b"".join(parts))
+    out: list[Ciphertext] = []
+    offset = 0
+    for nonce, plaintext in zip(nonces, plaintexts):
+        end = offset + len(plaintext)
+        body = bodies[offset:end]
+        offset = end
+        tag = hmac.new(mac_key, nonce + body, hashlib.sha256).digest()
+        out.append(Ciphertext(nonce=nonce, body=body, tag=tag))
+    return out
 
 
 def decrypt(key: SecretKey, ciphertext: Ciphertext) -> bytes:

@@ -65,6 +65,7 @@ from repro.storage.predicate import (
     Or,
     Param,
     Predicate,
+    SetClause,
     Tristate,
     TrueP,
     like_regex,
@@ -73,7 +74,9 @@ from repro.storage.types import is_comparable
 
 __all__ = [
     "CompiledPredicate",
+    "CompiledAssignments",
     "compile_predicate",
+    "compile_assignments",
     "clear_compile_cache",
     "compile_cache_info",
     "matcher",
@@ -612,6 +615,7 @@ def compile_predicate(pred: Predicate) -> CompiledPredicate | None:
 def clear_compile_cache() -> None:
     """Drop all cached compiled predicates (benchmarks measure cold paths)."""
     _compile_cached.cache_clear()
+    _compile_assignments_cached.cache_clear()
 
 
 def compile_cache_info():
@@ -637,16 +641,104 @@ def matcher(
 
 
 # --------------------------------------------------------------------------
+# Assignment (UPDATE SET) compilation
+# --------------------------------------------------------------------------
+
+
+class CompiledAssignments:
+    """An UPDATE SET clause lowered to a parameter-bindable closure.
+
+    Mirrors :class:`CompiledPredicate`: :meth:`bind` fixes a parameter
+    mapping and returns a per-row function producing a tuple of values
+    aligned with ``clause.columns()`` — one call evaluates every SET
+    expression with no per-node dispatch.
+    """
+
+    __slots__ = ("clause", "source", "_bindfn")
+
+    def __init__(self, clause: SetClause, source: str, bindfn: Callable[..., Any]) -> None:
+        self.clause = clause
+        self.source = source
+        self._bindfn = bindfn
+
+    def bind(
+        self, params: Mapping[str, Any] | None = None
+    ) -> Callable[[Mapping[str, Any]], tuple]:
+        """The per-row value evaluator with *params* bound."""
+        return self._bindfn(params or {})
+
+
+def _compile_assignments(clause: SetClause) -> CompiledAssignments:
+    gen = _Codegen()
+    results = [gen.emit_expr(item.expr)[0] for item in clause.items]
+    gen.line(f"return ({', '.join(results)},)")
+    src_lines = ["def _bind(params):"]
+    for name, pvar in gen.param_vars.items():
+        src_lines.append(f"    {pvar} = params.get({name!r}, _MISSING)")
+    src_lines.append("    def _row(row):")
+    src_lines.append("        try:")
+    src_lines.extend(gen.lines)
+    src_lines.append("        except KeyError as _k:")
+    src_lines.append("            _unknown_column(_k)")
+    src_lines.append("    return _row")
+    source = "\n".join(src_lines) + "\n"
+    namespace: dict[str, Any] = {
+        "_MISSING": _MISSING,
+        "_is_comparable": is_comparable,
+        "_unbound": _unbound,
+        "_unknown_column": _unknown_column,
+        "_order_error": _order_error,
+        "_arith_error": _arith_error,
+        **gen.ns,
+    }
+    code = compile(source, "<compiled-assignments>", "exec")
+    exec(code, namespace)
+    return CompiledAssignments(clause, source, namespace["_bind"])
+
+
+@lru_cache(maxsize=512)
+def _compile_assignments_cached(
+    clause: SetClause, _fingerprint: Any
+) -> CompiledAssignments:
+    return _compile_assignments(clause)
+
+
+def compile_assignments(clause: SetClause) -> CompiledAssignments | None:
+    """Compile a SET clause into a :class:`CompiledAssignments`, or None.
+
+    Same contract as :func:`compile_predicate`: ``None`` means an
+    expression node has no compiled form and the caller falls back to
+    :meth:`SetClause.eval_row`. Cached per structurally-equal clause plus
+    literal-type fingerprint.
+    """
+    try:
+        return _compile_assignments_cached(clause, _type_fingerprint(clause))
+    except TypeError:  # unhashable literal somewhere in the tree
+        try:
+            return _compile_assignments(clause)
+        except _Unsupported:
+            return None
+    except _Unsupported:
+        return None
+
+
+# --------------------------------------------------------------------------
 # Plan cache
 # --------------------------------------------------------------------------
 
 
 class PlanEntry:
-    """One cached plan: access-path template + compiled predicate."""
+    """One cached plan: access-path template + compiled predicate.
+
+    Also reused for UPDATE SET clauses, where ``template`` is ``None`` and
+    ``compiled`` holds a :class:`CompiledAssignments` (or ``None`` for the
+    interpreter fallback) — a :class:`SetClause` key can never collide with
+    a :class:`Predicate` key, so both share one cache and one generation.
+    """
 
     __slots__ = ("template", "compiled", "generation")
 
-    def __init__(self, template: Any, compiled: CompiledPredicate | None, generation: int) -> None:
+    def __init__(self, template: Any, compiled: Any, generation: int) -> None:
         self.template = template
         self.compiled = compiled
         self.generation = generation
@@ -672,13 +764,14 @@ class PlanCache:
     MAXSIZE = 1024
 
     def __init__(self) -> None:
-        self._entries: dict[tuple[str, Predicate, Any], PlanEntry] = {}
+        # Keys are (table, Predicate | SetClause, type fingerprint).
+        self._entries: dict[tuple[str, Any, Any], PlanEntry] = {}
         self._lock = threading.Lock()
         self.generation = 0
         self.hits = 0
         self.misses = 0
 
-    def lookup(self, table: str, pred: Predicate) -> PlanEntry | None:
+    def lookup(self, table: str, pred: Predicate | SetClause) -> PlanEntry | None:
         # The fingerprint keeps ==-equal predicates with differently-typed
         # literals (flag = TRUE vs flag = 1) from sharing a compiled form.
         try:
@@ -695,9 +788,9 @@ class PlanCache:
     def store(
         self,
         table: str,
-        pred: Predicate,
+        pred: Predicate | SetClause,
         template: Any,
-        compiled: CompiledPredicate | None,
+        compiled: Any,
     ) -> PlanEntry:
         entry = PlanEntry(template, compiled, self.generation)
         try:

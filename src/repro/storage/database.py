@@ -23,13 +23,16 @@ from typing import Any, Callable, Iterable, Mapping
 from repro.errors import (
     ForeignKeyError,
     IntegrityViolation,
+    NoSuchRowError,
+    SchemaError,
     TransactionError,
+    UnknownColumnError,
     UnknownTableError,
 )
-from repro.storage.compile import PlanCache
-from repro.storage.predicate import Predicate
+from repro.storage.compile import PlanCache, compile_assignments
+from repro.storage.predicate import Predicate, SetClause
 from repro.storage.schema import FKAction, Schema, TableSchema
-from repro.storage.sql import parse_where
+from repro.storage.sql import parse_set, parse_where
 from repro.storage.table import Table
 from repro.storage.types import coerce
 
@@ -167,6 +170,11 @@ class Database:
         # recycled) — otherwise revealing a removal could collide with a
         # placeholder allocated in between.
         self._id_watermark: dict[str, int] = {}
+        # Delta write path: batched UPDATE statements log changed-column
+        # deltas (undo + WAL) and patch indexes in one pass per statement.
+        # False selects the legacy full-row path — kept for differential
+        # testing and the old-vs-new write benchmark.
+        self.delta_writes = True
 
     @property
     def _undo_stack(self) -> list[list[_UndoOp]]:
@@ -498,15 +506,28 @@ class Database:
         enforce_fk: bool = True,
     ) -> dict[str, Any]:
         self._stats.updates += 1
-        # Validate outgoing FKs on the post-image before mutating.
-        preview = dict(target.get(pk_value) or {})
-        if not preview:
-            from repro.errors import NoSuchRowError
-
+        view = target.view(pk_value)
+        if view is None:
             raise NoSuchRowError(f"{target.name}: no row with pk {pk_value!r}")
-        preview.update(changes)
         if enforce_fk:
-            self._check_fks_outgoing(target.schema, target.schema.normalize_row(preview))
+            # Validate outgoing FKs on the post-image before mutating. Only
+            # the FK columns matter, so diff against the stored row through
+            # the view instead of materializing a full preview copy.
+            schema = target.schema
+            for fk in schema.foreign_keys:
+                if fk.column in changes:
+                    value = changes[fk.column]
+                    if value is not None:
+                        value = coerce(value, schema.column(fk.column).ctype)
+                else:
+                    value = view[fk.column]
+                if value is None:
+                    continue
+                if self.table(fk.parent_table).rid_of(value) is None:
+                    raise ForeignKeyError(
+                        f"{schema.name}.{fk.column}={value!r} references "
+                        f"missing {fk.parent_table}.{fk.parent_column}"
+                    )
         old, new = target.update_by_pk(pk_value, changes)
         old_pk = old[target.schema.primary_key]
         new_pk = new[target.schema.primary_key]
@@ -550,10 +571,8 @@ class Database:
         later in the same transaction, then re-validates before commit.
         """
         target = self.table(table)
-        row = target.get(pk_value)
-        if row is None:
-            from repro.errors import NoSuchRowError
-
+        # Existence check only — no need to copy the row just to discard it.
+        if target.rid_of(pk_value) is None:
             raise NoSuchRowError(f"{table}: no row with pk {pk_value!r}")
         if enforce_fk:
             self._resolve_incoming_references(table, pk_value)
@@ -633,21 +652,209 @@ class Database:
         self,
         table: str,
         where: str | Predicate,
-        changes: Mapping[str, Any],
+        changes: Mapping[str, Any] | str | SetClause,
         params: Mapping[str, Any] | None = None,
     ) -> int:
         """Batched ``UPDATE ... WHERE``: plan the predicate once, update all
         matching rows with grouped index maintenance and one undo record.
         Returns the number of rows updated.
+
+        *changes* is a mapping of constant values, or an UPDATE SET clause
+        (text like ``"score = score + 1, bio = NULL"`` or a parsed
+        :class:`SetClause`) whose expressions are compiled to closures and
+        evaluated per row (see :func:`repro.storage.compile.compile_assignments`).
         """
         self._stats.statements += 1
         self._stats.selects += 1
         target = self.table(table)
-        views = target.scan(parse_where(where), params)
+        pred = parse_where(where)
+        if isinstance(changes, (str, SetClause)):
+            return self._update_where_set(target, pred, parse_set(changes), params or {})
         pk_col = target.schema.primary_key
-        updates = [(row[pk_col], changes) for row in views]
-        self._update_batch(target, updates, enforce_fk=True)
-        return len(updates)
+        if not self.delta_writes or pk_col in changes:
+            views = target.scan(pred, params)
+            updates = [(row[pk_col], changes) for row in views]
+            self._update_batch(target, updates, enforce_fk=True)
+            return len(updates)
+        # Delta fast path: match (rid, stored row) pairs without RowView
+        # materialization, coerce the shared change set once, apply as one
+        # batch, and log changed-column deltas only.
+        matches = target.match_rows(pred, params)
+        if not matches:
+            return 0
+        delta = target.coerce_changes(changes)
+        self._check_delta_fks(target, delta)
+        changed = target.apply_updates((rid, delta) for rid, _row in matches)
+        self._stats.updates += len(matches)
+        self._log_update_deltas(
+            target, [row[pk_col] for _rid, row in matches], changed, shared=delta
+        )
+        return len(matches)
+
+    def _update_where_set(
+        self,
+        target: Table,
+        pred: Predicate,
+        clause: SetClause,
+        params: Mapping[str, Any],
+    ) -> int:
+        """Compiled SET-expression UPDATE: evaluate per row, apply as deltas."""
+        pk_col = target.schema.primary_key
+        columns = clause.columns()
+        for name in columns:
+            if not target.schema.has_column(name):
+                raise UnknownColumnError(
+                    f"table {target.name!r} has no column {name!r}"
+                )
+        if pk_col in columns or not self.delta_writes:
+            # Primary-key assignments (placeholder renumbering) need the
+            # per-row reference checks; legacy mode keeps the full-row
+            # shape. Still ONE batched statement (one undo/redo unit).
+            rows = target.scan(pred, params)
+            evaluate = self._set_evaluator(target, clause, params)
+            updates = [
+                (row[pk_col], dict(zip(columns, evaluate(row)))) for row in rows
+            ]
+            self._update_batch(target, updates, enforce_fk=True)
+            return len(rows)
+        matches = target.match_rows(pred, params)
+        if not matches:
+            return 0
+        evaluate = self._set_evaluator(target, clause, params)
+        schema_cols = [target.schema.column(name) for name in columns]
+        fk_by_col = {
+            fk.column: fk
+            for fk in target.schema.foreign_keys
+            if fk.column in columns
+        }
+        fk_seen: dict[str, set[Any]] = {name: set() for name in fk_by_col}
+        deltas: list[tuple[int, dict[str, Any]]] = []
+        for rid, row in matches:
+            values = evaluate(row)
+            delta: dict[str, Any] = {}
+            for col, value in zip(schema_cols, values):
+                coerced = coerce(value, col.ctype) if value is not None else None
+                if coerced is None and not col.nullable:
+                    raise SchemaError(
+                        f"column {target.name}.{col.name} is NOT NULL but got NULL"
+                    )
+                delta[col.name] = coerced
+                if coerced is not None and col.name in fk_seen:
+                    fk_seen[col.name].add(coerced)
+            deltas.append((rid, delta))
+        for name, values in fk_seen.items():
+            fk = fk_by_col[name]
+            parent = self.table(fk.parent_table)
+            for value in values:
+                if parent.rid_of(value) is None:
+                    raise ForeignKeyError(
+                        f"{target.name}.{name}={value!r} references "
+                        f"missing {fk.parent_table}.{fk.parent_column}"
+                    )
+        changed = target.apply_updates(deltas)
+        self._stats.updates += len(matches)
+        self._log_update_deltas(
+            target, [row[pk_col] for _rid, row in matches], changed
+        )
+        return len(matches)
+
+    def _set_evaluator(
+        self, target: Table, clause: SetClause, params: Mapping[str, Any]
+    ) -> Callable[[Mapping[str, Any]], Any]:
+        """A bound ``row -> values`` function for *clause*.
+
+        Compiled assignment closures share the plan cache with predicate
+        plans (stamped with the schema generation, invalidated by any DDL);
+        clauses with no compiled form fall back to the AST interpreter.
+        """
+        entry = self.plans.lookup(target.name, clause)
+        if entry is None:
+            entry = self.plans.store(
+                target.name, clause, None, compile_assignments(clause)
+            )
+        compiled = entry.compiled
+        if compiled is None:
+            return lambda row: clause.eval_row(row, params)
+        return compiled.bind(params)
+
+    def _check_delta_fks(self, target: Table, delta: Mapping[str, Any]) -> None:
+        """Outgoing-FK check for an already-coerced shared change set."""
+        for fk in target.schema.foreign_keys:
+            value = delta.get(fk.column)
+            if value is None:
+                continue
+            if self.table(fk.parent_table).rid_of(value) is None:
+                raise ForeignKeyError(
+                    f"{target.name}.{fk.column}={value!r} references "
+                    f"missing {fk.parent_table}.{fk.parent_column}"
+                )
+
+    def _log_update_deltas(
+        self,
+        target: Table,
+        pks: list[Any],
+        changed: list[tuple[int, dict[str, Any], dict[str, Any]]],
+        shared: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Delta undo/redo for an applied update batch.
+
+        The undo closure re-applies the inverse deltas in reverse order (a
+        row updated twice in one statement restores correctly) — keyed by
+        primary key and resolved to rids at rollback time, because a later
+        delete + its undo in the same transaction can reinsert the row
+        under a fresh rid. The redo record carries one pk-keyed delta map
+        for the whole statement: rids are process-local and not stable
+        across recovery, so the WAL frame keys by primary key (deltas never
+        change pks).
+
+        *shared* is the statement's constant change set, when it had one
+        (``update_where`` with a value mapping). Rows whose effective delta
+        is the whole shared set are logged as one ``set`` map plus a pk
+        list — the change values appear once in the frame instead of once
+        per row — while rows where some columns were already at the target
+        value fall back to per-row ``deltas``.
+        """
+        inverse = [
+            (pk, inv) for pk, (_rid, inv, _eff) in zip(pks, changed) if inv
+        ]
+        if inverse:
+            inverse.reverse()
+
+            def _undo(pairs: list = inverse, table: Table = target) -> None:
+                table.apply_updates(
+                    (table.rid_of(pk), delta) for pk, delta in pairs
+                )
+
+            self._log_undo(_undo)
+        record: dict[str, Any] = {"op": "update", "table": target.name}
+        if shared is not None:
+            # Effective deltas are always subsets of the shared change set
+            # (same coerced values), so a length match means "all of it".
+            n_shared = len(shared)
+            set_pks = [
+                pk
+                for pk, (_rid, _inv, eff) in zip(pks, changed)
+                if len(eff) == n_shared
+            ]
+            partial = [
+                [pk, eff]
+                for pk, (_rid, _inv, eff) in zip(pks, changed)
+                if eff and len(eff) != n_shared
+            ]
+            if set_pks:
+                record["set"] = dict(shared)
+                record["set_pks"] = set_pks
+            if partial:
+                record["deltas"] = partial
+            if set_pks or partial:
+                self._log_redo(record)
+            return
+        effective = [
+            [pk, eff] for pk, (_rid, _inv, eff) in zip(pks, changed) if eff
+        ]
+        if effective:
+            record["deltas"] = effective
+            self._log_redo(record)
 
     def _update_batch(
         self,
@@ -676,19 +883,42 @@ class Database:
                             f"{target.name}.{fk.column}={value!r} references "
                             f"missing {fk.parent_table}.{fk.parent_column}"
                         )
-        pairs = target.update_pks(updates)
-        self._stats.updates += len(pairs)
-        restore = [(old[pk_col], old) for old, _new in pairs]
-        restore.reverse()
-        self._log_undo(lambda: target.update_pks(restore))
-        self._log_redo(
-            {
-                "op": "update",
-                "table": target.name,
-                "updates": [(old[pk_col], new) for old, new in pairs],
-            }
-        )
-        return [new for _old, new in pairs]
+        if not self.delta_writes:
+            # Legacy full-row path: undo restores complete old rows and the
+            # WAL frame carries every new row in full.
+            pairs = target.update_pks(updates)
+            self._stats.updates += len(pairs)
+            restore = [(old[pk_col], old) for old, _new in pairs]
+            restore.reverse()
+            self._log_undo(lambda: target.update_pks(restore))
+            self._log_redo(
+                {
+                    "op": "update",
+                    "table": target.name,
+                    "updates": [(old[pk_col], new) for old, new in pairs],
+                }
+            )
+            return [new for _old, new in pairs]
+        # Delta path: resolve rids once, coerce each distinct change set
+        # once (batched statements usually share one mapping across every
+        # row — SET NULL cascades, update_where), apply as one batch with
+        # grouped index maintenance, and log changed-column deltas only.
+        coerced: dict[int, dict[str, Any]] = {}
+        deltas: list[tuple[int, dict[str, Any]]] = []
+        pks: list[Any] = []
+        for pk, ch in updates:
+            rid = target.rid_of(pk)
+            if rid is None:
+                raise NoSuchRowError(f"{target.name}: no row with {pk_col}={pk!r}")
+            delta = coerced.get(id(ch))
+            if delta is None:
+                delta = coerced[id(ch)] = target.coerce_changes(ch)
+            deltas.append((rid, delta))
+            pks.append(pk)
+        changed = target.apply_updates(deltas)
+        self._stats.updates += len(changed)
+        self._log_update_deltas(target, pks, changed)
+        return [target.row_by_rid(rid) for rid, _delta in deltas]
 
     @_statement(_DELETE)
     def delete_many(
@@ -717,9 +947,9 @@ class Database:
         self._stats.statements += 1
         self._stats.selects += 1
         target = self.table(table)
-        views = target.scan(parse_where(where), params)
+        matches = target.match_rows(parse_where(where), params)
         pk_col = target.schema.primary_key
-        return self._delete_batch(target, [row[pk_col] for row in views], True)
+        return self._delete_batch(target, [row[pk_col] for _rid, row in matches], True)
 
     def _delete_batch(
         self, target: Table, pk_values: Iterable[Any], enforce_fk: bool
@@ -730,8 +960,6 @@ class Database:
         table = target.name
         for pk in pks:
             if target.rid_of(pk) is None:
-                from repro.errors import NoSuchRowError
-
                 raise NoSuchRowError(f"{table}: no row with pk {pk!r}")
         if enforce_fk:
             doomed = set(pks)

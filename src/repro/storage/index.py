@@ -94,6 +94,42 @@ class HashIndex:
                 del self._buckets[value]
                 self._sorted.invalidate()
 
+    def apply_batch(
+        self,
+        removes: Iterable[tuple[Any, int]],
+        inserts: Iterable[tuple[Any, int]],
+    ) -> None:
+        """Apply grouped ``(value, rid)`` removals then insertions in one pass.
+
+        Equivalent to per-pair :meth:`remove`/:meth:`insert` calls, but a
+        batched write statement makes one call per index instead of two per
+        row, and the sorted-key list is invalidated at most once.
+        """
+        buckets = self._buckets
+        size = self._size
+        keys_changed = False
+        for value, rid in removes:
+            bucket = buckets.get(value)
+            if bucket is not None:
+                before = len(bucket)
+                bucket.discard(rid)
+                size -= before - len(bucket)
+                if not bucket:
+                    del buckets[value]
+                    keys_changed = True
+        for value, rid in inserts:
+            bucket = buckets.get(value)
+            if bucket is None:
+                buckets[value] = {rid}
+                size += 1
+                keys_changed = True
+            elif rid not in bucket:
+                bucket.add(rid)
+                size += 1
+        self._size = size
+        if keys_changed:
+            self._sorted.invalidate()
+
     def lookup(self, value: Any) -> frozenset[int]:
         return frozenset(self._buckets.get(value, ()))
 

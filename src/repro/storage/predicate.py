@@ -39,6 +39,8 @@ __all__ = [
     "Param",
     "BinOp",
     "Expr",
+    "Assignment",
+    "SetClause",
     "like_regex",
 ]
 
@@ -191,6 +193,41 @@ class BinOp(Expr):
 
     def __str__(self) -> str:
         return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One ``column = expr`` item of an UPDATE SET clause."""
+
+    column: str
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"{self.column} = {self.expr}"
+
+
+@dataclass(frozen=True)
+class SetClause:
+    """A parsed UPDATE SET list: ``col = expr [, col = expr ...]``.
+
+    Frozen and hashable so compiled assignment closures can be cached in
+    the plan cache exactly like predicates.
+    """
+
+    items: tuple[Assignment, ...]
+
+    def columns(self) -> tuple[str, ...]:
+        return tuple(item.column for item in self.items)
+
+    def eval_row(
+        self, row: Mapping[str, Any], params: Mapping[str, Any]
+    ) -> list[Any]:
+        """Interpreter fallback mirroring :meth:`Expr.eval` (used when a
+        SET expression has no compiled form)."""
+        return [item.expr.eval(row, params) for item in self.items]
+
+    def __str__(self) -> str:
+        return ", ".join(str(item) for item in self.items)
 
 
 # --------------------------------------------------------------------------

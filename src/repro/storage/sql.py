@@ -36,6 +36,7 @@ from typing import Any
 from repro.errors import ParseError
 from repro.storage.predicate import (
     And,
+    Assignment,
     Between,
     BinOp,
     ColumnRef,
@@ -50,6 +51,7 @@ from repro.storage.predicate import (
     Or,
     Param,
     Predicate,
+    SetClause,
     TrueP,
 )
 from repro.storage.schema import Column, FKAction, ForeignKey, TableSchema
@@ -57,6 +59,7 @@ from repro.storage.types import parse_type
 
 __all__ = [
     "parse_where",
+    "parse_set",
     "parse_create_table",
     "parse_schema",
     "parse_cache_info",
@@ -332,6 +335,41 @@ def parse_where(source: str | Predicate, keep_qualifiers: bool = False) -> Predi
 @lru_cache(maxsize=512)
 def _parse_where_cached(source: str, keep_qualifiers: bool) -> Predicate:
     return _Parser(source, keep_qualifiers=keep_qualifiers).parse_predicate()
+
+
+def parse_set(source: str | SetClause) -> SetClause:
+    """Parse an UPDATE SET list (``col = expr, col = expr ...``).
+
+    Accepts an already-built :class:`SetClause` unchanged. Expressions use
+    the same scalar grammar as WHERE clauses (arithmetic, ``$param``
+    placeholders, column references), so ``"score = score + 1, bio = NULL"``
+    parses with one shared tokenizer. Parses are LRU-cached like WHERE text.
+    """
+    if isinstance(source, SetClause):
+        return source
+    return _parse_set_cached(source)
+
+
+@lru_cache(maxsize=512)
+def _parse_set_cached(source: str) -> SetClause:
+    parser = _Parser(source)
+    items: list[Assignment] = []
+    while True:
+        name_token = parser.expect("ident")
+        # SET targets are per-table; strip qualifiers like WHERE references.
+        column = name_token.text.rsplit(".", 1)[-1]
+        parser.expect("op", "=")
+        items.append(Assignment(column, parser._sum()))
+        if not parser.accept("op", ","):
+            break
+    if parser.current.kind != "eof":
+        raise ParseError(
+            f"trailing input {parser.current.text!r} at offset {parser.current.pos} "
+            f"in {source!r}"
+        )
+    if len({item.column for item in items}) != len(items):
+        raise ParseError(f"duplicate column in SET clause: {source!r}")
+    return SetClause(tuple(items))
 
 
 def parse_cache_info():

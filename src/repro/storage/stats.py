@@ -178,6 +178,43 @@ class TableStatistics:
             stats.on_delete(before)
             stats.on_insert(after)
 
+    def on_update_deltas(self, changes: Iterable[tuple[str, Any, Any]]) -> None:
+        """Batched delta form of :meth:`on_update`.
+
+        Takes ``(column, before, after)`` triples for values that actually
+        changed — the same deltas the batched write path already computed
+        for undo and index maintenance — so a whole statement updates the
+        sketches without re-diffing old/new row pairs. Duplicate triples
+        (a constant UPDATE over N rows produces N identical ones) are
+        collapsed first: the sketch and min/max hooks are value-idempotent,
+        so only the NULL counters need the multiplicity.
+        """
+        columns = self._columns
+        if not isinstance(changes, list):
+            changes = list(changes)
+        counts: dict[tuple[str, Any, Any], int] = {}
+        try:
+            for triple in changes:
+                counts[triple] = counts.get(triple, 0) + 1
+        except TypeError:  # an unhashable value: take the per-triple path
+            for name, before, after in changes:
+                stats = columns.get(name)
+                if stats is not None:
+                    stats.on_delete(before)
+                    stats.on_insert(after)
+            return
+        for (name, before, after), count in counts.items():
+            stats = columns.get(name)
+            if stats is None:
+                continue
+            stats.on_delete(before)
+            stats.on_insert(after)
+            if count > 1:
+                if before is None:
+                    stats.nulls -= count - 1
+                if after is None:
+                    stats.nulls += count - 1
+
     def needs_refresh(self) -> bool:
         return self._deletes_since_refresh >= _REFRESH_DELETES
 

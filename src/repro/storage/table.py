@@ -237,6 +237,36 @@ class Table:
               params: Mapping[str, Any] | None = None) -> int:
         return len(self.scan(predicate, params))
 
+    def match_rows(
+        self,
+        predicate: Predicate | None = None,
+        params: Mapping[str, Any] | None = None,
+    ) -> list[tuple[int, Mapping[str, Any]]]:
+        """Matching ``(rid, stored row)`` pairs for the batched write path.
+
+        Same planning, compiled filtering, and ``rows_examined`` accounting
+        as :meth:`scan`, but skips the per-row :class:`RowView` allocation
+        and hands back the stored dicts directly. Callers treat the dicts
+        as read-only snapshots (they are swapped out, never mutated) and
+        key their work by rid, avoiding a pk->rid re-lookup per row.
+        """
+        pred = predicate if predicate is not None else TrueP()
+        bound = params or {}
+        rows = self._rows
+        if isinstance(pred, TrueP):
+            self.last_plan = "full"
+            self.last_estimate = float(len(rows))
+            self.rows_examined += len(rows)
+            return list(rows.items())
+        entry = self._plan_entry(pred)
+        rids = self._candidate_rids(entry, bound)
+        self.rows_examined += len(rids)
+        compiled = entry.compiled
+        if compiled is None:
+            return [(rid, rows[rid]) for rid in rids if pred.test(rows[rid], bound)]
+        match = compiled.bind(bound)
+        return [(rid, rows[rid]) for rid in rids if match(rows[rid]) is True]
+
     def _plan_entry(self, pred: Predicate) -> PlanEntry:
         """The cached (template, compiled predicate) for *pred*.
 
@@ -458,7 +488,8 @@ class Table:
         """Delete many rows by primary key as one batch; returns old rows.
 
         Every key must exist (checked up front, so a failure mutates
-        nothing).
+        nothing). Routed through :meth:`apply_deletes` for grouped index
+        maintenance.
         """
         rids = []
         for pk_value in pk_values:
@@ -467,16 +498,137 @@ class Table:
                 raise NoSuchRowError(
                     f"{self.name}: no row with {self.schema.primary_key}={pk_value!r}"
                 )
-            rids.append((pk_value, rid))
+            rids.append(rid)
+        return self.apply_deletes(rids)
+
+    def apply_deletes(self, rids: Iterable[int]) -> list[dict[str, Any]]:
+        """Delete rows by rid as one batch; returns the popped rows.
+
+        Duplicate rids collapse; every rid must exist (checked up front, so
+        a failure mutates nothing). Per-index removal pairs are collected
+        across the whole batch and patched with one :meth:`HashIndex.apply_batch`
+        call per index instead of a remove per row per index.
+        """
+        rid_list = list(dict.fromkeys(rids))
+        rows = self._rows
+        for rid in rid_list:
+            if rid not in rows:
+                raise NoSuchRowError(f"{self.name}: no row with rid {rid}")
+        pk_col = self.schema.primary_key
+        patches: dict[str, list[tuple[Any, int]]] = {c: [] for c in self._secondary}
+        stats = self.statistics
         out = []
-        for pk_value, rid in rids:
-            row = self._rows.pop(rid)
-            self._pk_index.remove(pk_value, rid)
-            for column, index in self._secondary.items():
-                index.remove(row[column], rid)
-            self._note_removed_pk(pk_value)
-            self.statistics.on_delete(row)
+        for rid in rid_list:
+            row = rows.pop(rid)
+            pk = row[pk_col]
+            self._pk_index.remove(pk, rid)
+            for column, pairs in patches.items():
+                pairs.append((row[column], rid))
+            self._note_removed_pk(pk)
+            stats.on_delete(row)
             out.append(row)
+        for column, pairs in patches.items():
+            if pairs:
+                self._secondary[column].apply_batch(pairs, ())
+        return out
+
+    def coerce_changes(self, changes: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and coerce a change mapping once, without a target row.
+
+        Shared by the batched update paths so a constant change set applied
+        to N rows is validated once, not N times. Primary-key changes are
+        the caller's problem — the batch entry points fall back to the
+        per-row path before coming here.
+        """
+        out: dict[str, Any] = {}
+        for column, value in changes.items():
+            if not self.schema.has_column(column):
+                raise UnknownColumnError(
+                    f"table {self.name!r} has no column {column!r}"
+                )
+            col = self.schema.column(column)
+            coerced = coerce(value, col.ctype) if value is not None else None
+            if coerced is None and not col.nullable:
+                raise SchemaError(
+                    f"column {self.name}.{column} is NOT NULL but got NULL"
+                )
+            out[column] = coerced
+        return out
+
+    def apply_updates(
+        self, deltas: Iterable[tuple[int, Mapping[str, Any]]]
+    ) -> list[tuple[int, dict[str, Any], dict[str, Any]]]:
+        """Apply pre-coerced column deltas keyed by rid, as one batch.
+
+        The core of the delta write path. Values must already be validated
+        and coerced (see :meth:`coerce_changes`); changing a primary key is
+        rejected. Columns whose stored value would not actually change are
+        dropped from the delta, so the returned
+        ``(rid, old_delta, new_delta)`` triples carry exactly the changed
+        columns — ``old_delta`` is the inverse record (re-applying the
+        triples in reverse order restores the pre-batch rows). Per-index
+        add/remove pairs are collected across the whole batch and patched
+        with one call per index, and statistics consume the same deltas.
+
+        Deltas are applied in order: a later delta for the same rid
+        observes the earlier one. The whole batch is staged before any
+        stored state changes, so a failure partway through (missing rid,
+        unknown column, pk change) mutates nothing — statement atomicity
+        without a transaction. Stored dicts are swapped, never mutated,
+        preserving the :class:`RowView` snapshot contract.
+        """
+        rows = self._rows
+        pk_col = self.schema.primary_key
+        secondary = self._secondary
+        # (column, rid) -> [value to un-index, value to index]; coalesced so
+        # two deltas touching the same row's column net out to one patch.
+        patch_map: dict[tuple[str, int], list[Any]] = {}
+        stat_changes: list[tuple[str, Any, Any]] = []
+        staged: dict[int, dict[str, Any]] = {}  # rid -> replacement row
+        out: list[tuple[int, dict[str, Any], dict[str, Any]]] = []
+        for rid, delta in deltas:
+            old = staged.get(rid)
+            if old is None:
+                old = rows.get(rid)
+                if old is None:
+                    raise NoSuchRowError(f"{self.name}: no row with rid {rid}")
+            inverse: dict[str, Any] = {}
+            effective: dict[str, Any] = {}
+            for column, value in delta.items():
+                try:
+                    before = old[column]
+                except KeyError:
+                    raise UnknownColumnError(
+                        f"table {self.name!r} has no column {column!r}"
+                    ) from None
+                if before is value or (before == value and type(before) is type(value)):
+                    continue
+                if column == pk_col:
+                    raise ConstraintError(
+                        f"{self.name}: apply_updates cannot change primary keys"
+                    )
+                inverse[column] = before
+                effective[column] = value
+            if effective:
+                new = dict(old)
+                new.update(effective)
+                staged[rid] = new
+                for column, value in effective.items():
+                    if column in secondary:
+                        patch = patch_map.setdefault((column, rid), [old[column], None])
+                        patch[1] = value
+                    stat_changes.append((column, old[column], value))
+            out.append((rid, inverse, effective))
+        rows.update(staged)
+        index_patches: dict[str, tuple[list, list]] = {}
+        for (column, rid), (first, last) in patch_map.items():
+            removes, inserts = index_patches.setdefault(column, ([], []))
+            removes.append((first, rid))
+            inserts.append((last, rid))
+        for column, (removes, inserts) in index_patches.items():
+            secondary[column].apply_batch(removes, inserts)
+        if stat_changes:
+            self.statistics.on_update_deltas(stat_changes)
         return out
 
     def update_by_pk(self, pk_value: Any, changes: Mapping[str, Any]) -> tuple[dict[str, Any], dict[str, Any]]:
@@ -523,18 +675,21 @@ class Table:
         secondary index per row (what :meth:`update_by_pk` must do).
         Primary-key changes are not supported here — callers fall back to
         the per-row path for those. Updates are applied in order, so a later
-        update of the same row observes the earlier one. Returns
-        ``(old_row, new_row)`` pairs.
+        update of the same row observes the earlier one. The batch is
+        validated and staged before any stored state changes, so a failure
+        partway through mutates nothing. Returns ``(old_row, new_row)``
+        pairs.
         """
         pk_col = self.schema.primary_key
-        out: list[tuple[dict[str, Any], dict[str, Any]]] = []
+        staged: dict[int, dict[str, Any]] = {}  # rid -> replacement row
+        plan: list[tuple[int, dict[str, Any], dict[str, Any], list[str]]] = []
         for pk_value, changes in updates:
             rid = self._pk_index.lookup(pk_value)
             if rid is None:
                 raise NoSuchRowError(
                     f"{self.name}: no row with {pk_col}={pk_value!r}"
                 )
-            old = self._rows[rid]
+            old = staged.get(rid, self._rows[rid])
             new = dict(old)
             touched: list[str] = []
             for column, value in changes.items():
@@ -554,6 +709,10 @@ class Table:
                     )
                 new[column] = coerced
                 touched.append(column)
+            staged[rid] = new
+            plan.append((rid, old, new, touched))
+        out: list[tuple[dict[str, Any], dict[str, Any]]] = []
+        for rid, old, new, touched in plan:
             for column in touched:
                 index = self._secondary.get(column)
                 if index is not None:

@@ -76,6 +76,12 @@ __all__ = [
 
 _FRAME_HEADER = struct.Struct("<II")  # payload length, CRC32(payload)
 _WAL_VERSION = 1
+# Record-format version, stamped in the header as "fmt" (the framing
+# "version" above is unchanged). fmt 2 added compact delta update records
+# ("deltas": pk-keyed changed-column maps) alongside the fmt-1 full-row
+# "updates" shape. Readers accept any fmt <= _WAL_FORMAT — a header with
+# no "fmt" key is fmt 1 — and refuse newer logs they cannot interpret.
+_WAL_FORMAT = 2
 FSYNC_POLICIES = ("always", "batch", "never")
 
 # Frame types.
@@ -109,10 +115,17 @@ def _encode_record(record: dict[str, Any]) -> dict[str, Any]:
         out["table"] = record["table"]
     if "rows" in record:  # insert: list of full rows
         out["rows"] = [_encode_row(r) for r in record["rows"]]
-    if "updates" in record:  # update: list of [pk, full new row]
+    if "updates" in record:  # update (fmt 1 shape): list of [pk, full new row]
         out["updates"] = [
             [_encode_value(pk), _encode_row(new)] for pk, new in record["updates"]
         ]
+    if "deltas" in record:  # update (fmt 2): list of [pk, changed-column map]
+        out["deltas"] = [
+            [_encode_value(pk), _encode_row(delta)] for pk, delta in record["deltas"]
+        ]
+    if "set" in record:  # update (fmt 2): one shared delta for many pks
+        out["set"] = _encode_row(record["set"])
+        out["set_pks"] = [_encode_value(pk) for pk in record["set_pks"]]
     if "pks" in record:  # delete: list of pks
         out["pks"] = [_encode_value(pk) for pk in record["pks"]]
     if "schema" in record:  # create_table
@@ -191,6 +204,12 @@ def _scan_log(blob: bytes, path: Path) -> tuple[int, list[list[dict[str, Any]]],
         if not saw_header:
             if kind != _T_HEADER or frame.get("version") != _WAL_VERSION:
                 raise WalCorruptionError(f"{path}: not a v{_WAL_VERSION} WAL")
+            fmt = int(frame.get("fmt", 1))
+            if fmt > _WAL_FORMAT:
+                raise WalCorruptionError(
+                    f"{path}: record format {fmt} is newer than the supported "
+                    f"format {_WAL_FORMAT}"
+                )
             generation = int(frame.get("gen", 0))
             saw_header = True
             sealed_end = end
@@ -302,7 +321,8 @@ class WriteAheadLog:
                 self._handle.truncate(0)
             _write_frame(
                 self._handle,
-                {"t": _T_HEADER, "version": _WAL_VERSION, "gen": generation},
+                {"t": _T_HEADER, "version": _WAL_VERSION,
+                 "fmt": _WAL_FORMAT, "gen": generation},
             )
             self._handle.flush()
 
@@ -521,7 +541,9 @@ def _write_fresh_log(path: Path, generation: int) -> None:
     tmp = path.with_suffix(path.suffix + ".tmp")
     with tmp.open("wb") as handle:
         _write_frame(
-            handle, {"t": _T_HEADER, "version": _WAL_VERSION, "gen": generation}
+            handle,
+            {"t": _T_HEADER, "version": _WAL_VERSION,
+             "fmt": _WAL_FORMAT, "gen": generation},
         )
         handle.flush()
         os.fsync(handle.fileno())
@@ -560,11 +582,26 @@ def _apply_record(db: Database, record: dict[str, Any]) -> None:
         elif op == "update":
             table = db.table(record["table"])
             pk_col = table.schema.primary_key
-            new_pks = []
-            for pk, new in record["updates"]:
-                _old, stored = table.update_by_pk(_decode_value(pk), _decode_row(new))
-                new_pks.append(stored[pk_col])
-            _bump_watermark(db, record["table"], new_pks)
+            if "deltas" in record or "set" in record:
+                updates = [
+                    (_decode_value(pk), _decode_row(delta))
+                    for pk, delta in record.get("deltas", ())
+                ]
+                if "set" in record:
+                    shared = _decode_row(record["set"])
+                    updates.extend(
+                        (_decode_value(pk), shared) for pk in record["set_pks"]
+                    )
+                table.update_pks(updates)
+                _bump_watermark(db, record["table"], (pk for pk, _ in updates))
+            else:  # fmt 1 logs carry full replacement rows
+                new_pks = []
+                for pk, new in record["updates"]:
+                    _old, stored = table.update_by_pk(
+                        _decode_value(pk), _decode_row(new)
+                    )
+                    new_pks.append(stored[pk_col])
+                _bump_watermark(db, record["table"], new_pks)
         elif op == "delete":
             db.table(record["table"]).delete_pks(
                 [_decode_value(pk) for pk in record["pks"]]

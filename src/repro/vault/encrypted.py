@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Any, Iterable
 
-from repro.crypto.cipher import Ciphertext, SecretKey, decrypt, encrypt
+from repro.crypto.cipher import Ciphertext, SecretKey, decrypt, encrypt, encrypt_many
 from repro.crypto.threshold import EscrowedKey
 from repro.errors import VaultError
 from repro.vault.base import GLOBAL_OWNER, VaultStore
@@ -107,6 +107,35 @@ class EncryptedVault(VaultStore):
             payload={"ct": ciphertext.to_bytes().hex()},
         )
 
+    def _seal_many(self, batch: list[VaultEntry]) -> list[VaultEntry]:
+        """Seal a batch with one key/subkey setup per owner.
+
+        Entries are grouped by owner and each group runs through
+        :func:`~repro.crypto.cipher.encrypt_many`, which derives the
+        owner's subkeys once and generates one keystream for the whole
+        group instead of per entry. Entry order is preserved; global-tier
+        entries pass through unencrypted as in :meth:`_seal`.
+        """
+        sealed: list[VaultEntry | None] = [None] * len(batch)
+        by_owner: dict[Any, list[int]] = {}
+        for i, entry in enumerate(batch):
+            if entry.owner is GLOBAL_OWNER:
+                sealed[i] = entry
+            else:
+                by_owner.setdefault(entry.owner, []).append(i)
+        for owner, positions in by_owner.items():
+            key = self._key_for(owner, writing=True)
+            ciphertexts = encrypt_many(
+                key, [batch[i].to_json().encode() for i in positions]
+            )
+            for i, ciphertext in zip(positions, ciphertexts):
+                sealed[i] = replace(
+                    batch[i],
+                    op="modify",
+                    payload={"ct": ciphertext.to_bytes().hex()},
+                )
+        return sealed  # type: ignore[return-value]
+
     def _open(self, stored: VaultEntry) -> VaultEntry:
         if stored.owner is GLOBAL_OWNER:
             return stored
@@ -119,6 +148,9 @@ class EncryptedVault(VaultStore):
 
     def _put(self, entry: VaultEntry) -> None:
         self.inner._put(self._seal(entry))
+
+    def _put_many(self, entries: list[VaultEntry]) -> None:
+        self.inner._put_many(self._seal_many(entries))
 
     def _replace(self, entry: VaultEntry) -> None:
         self.inner._replace(self._seal(entry))

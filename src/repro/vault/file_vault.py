@@ -39,18 +39,29 @@ class FileVault(VaultStore):
     ``compact_threshold``: compaction triggers when an owner's journal
     holds more than this many dead records *and* the dead outnumber the
     live — so small vaults never pay a rewrite, and large ones amortize it.
+
+    ``sync_appends``: fsync the journal after each append. A batched put
+    still pays one fsync per owner group rather than one per entry, which
+    is what makes the pipelined write path cheap under durability.
     """
 
-    def __init__(self, directory: str | Path, compact_threshold: int = 64) -> None:
+    def __init__(
+        self,
+        directory: str | Path,
+        compact_threshold: int = 64,
+        sync_appends: bool = False,
+    ) -> None:
         super().__init__()
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.compact_threshold = compact_threshold
+        self.sync_appends = sync_appends
         # Per-owner live entries, hydrated lazily from the journal once.
         self._cache: dict[str, dict[int, VaultEntry]] = {}
         # Per-owner count of dead journal records (superseded + tombstones).
         self._dead: dict[str, int] = {}
         self.compactions = 0  # diagnostic, read by tests and benchmarks
+        self.syncs = 0  # fsyncs issued by _append (diagnostic)
 
     def _key(self, owner: Any) -> str:
         return _GLOBAL_KEY if owner is GLOBAL_OWNER else str(owner)
@@ -120,6 +131,10 @@ class FileVault(VaultStore):
     def _append(self, owner: Any, lines: list[str]) -> None:
         with self._path(owner).open("a", encoding="utf-8") as handle:
             handle.write("".join(line + "\n" for line in lines))
+            if self.sync_appends:
+                handle.flush()
+                os.fsync(handle.fileno())
+                self.syncs += 1
 
     def _maybe_compact(self, owner: Any) -> None:
         key = self._key(owner)

@@ -136,3 +136,80 @@ class TestBigIntXorEquivalence:
         ciphertext = encrypt(key, plaintext)
         assert len(ciphertext.body) == 64
         assert decrypt(key, ciphertext) == plaintext
+
+
+class TestEncryptMany:
+    def test_round_trip_each_entry_independently(self):
+        from repro.crypto.cipher import encrypt_many
+
+        key = SecretKey.generate()
+        plaintexts = [b"", b"x", b"hello" * 50, bytes(range(256))]
+        ciphertexts = encrypt_many(key, plaintexts)
+        assert [decrypt(key, c) for c in ciphertexts] == plaintexts
+
+    def test_nonces_are_distinct_within_batch(self):
+        from repro.crypto.cipher import encrypt_many
+
+        key = SecretKey.generate()
+        ciphertexts = encrypt_many(key, [b"same"] * 32)
+        nonces = {c.nonce for c in ciphertexts}
+        assert len(nonces) == 32
+        assert len({c.body for c in ciphertexts}) == 32
+
+    def test_matches_single_entry_encrypt(self):
+        from repro.crypto.cipher import _SEED_LEN, encrypt_many
+
+        key = SecretKey.generate()
+        seed = bytes(range(_SEED_LEN))
+        plaintexts = [b"alpha", b"beta" * 20, b""]
+        batch = encrypt_many(key, plaintexts, seed=seed)
+        for ciphertext, plaintext in zip(batch, plaintexts):
+            solo = encrypt(key, plaintext, nonce=ciphertext.nonce)
+            assert solo.body == ciphertext.body
+            assert solo.tag == ciphertext.tag
+
+    def test_tampering_detected_per_entry(self):
+        from repro.crypto.cipher import Ciphertext, encrypt_many
+
+        key = SecretKey.generate()
+        good, victim = encrypt_many(key, [b"good entry", b"victim entry"])
+        forged = Ciphertext(
+            victim.nonce, bytes([victim.body[0] ^ 1]) + victim.body[1:], victim.tag
+        )
+        with pytest.raises(CryptoError):
+            decrypt(key, forged)
+        assert decrypt(key, good) == b"good entry"
+
+    def test_empty_batch_and_bad_seed(self):
+        from repro.crypto.cipher import encrypt_many
+
+        key = SecretKey.generate()
+        assert encrypt_many(key, []) == []
+        with pytest.raises(CryptoError):
+            encrypt_many(key, [b"x"], seed=b"short")
+
+
+class TestSubkeyCaching:
+    def test_subkeys_derived_once_not_per_access(self, monkeypatch):
+        """encrypt of N entries must perform O(1) subkey derivations: the
+        enc/mac subkeys are computed in __post_init__, not per property hit."""
+        import repro.crypto.cipher as cipher_mod
+
+        calls = []
+        original = cipher_mod.SecretKey._subkey
+
+        def counting(self, label):
+            calls.append(label)
+            return original(self, label)
+
+        monkeypatch.setattr(cipher_mod.SecretKey, "_subkey", counting)
+        key = cipher_mod.SecretKey.generate()
+        assert len(calls) == 2  # enc + mac, at construction
+        for i in range(50):
+            encrypt(key, f"entry {i}".encode())
+        assert len(calls) == 2, "per-access derivation crept back in"
+
+    def test_frozen_contract_still_holds(self):
+        key = SecretKey.generate()
+        with pytest.raises(Exception):
+            key.material = b"y" * 32

@@ -121,3 +121,60 @@ class TestMetadataOperations:
         vault.put(entry())
         with pytest.raises(VaultError):
             vault.all_entries()
+
+
+class TestBatchedWrites:
+    def test_put_many_round_trips_per_owner(self):
+        vault = EncryptedVault(MemoryVault())
+        keys = {owner: vault.register_owner(owner) for owner in (7, 8)}
+        batch = [entry(entry_id=i, owner=7 + i % 2) for i in range(1, 9)]
+        vault.put_many(batch)
+        for owner in (7, 8):
+            vault.unlock(owner, keys[owner])
+            got = sorted(vault.entries_for(owner), key=lambda e: e.entry_id)
+            want = sorted(
+                (e for e in batch if e.owner == owner), key=lambda e: e.entry_id
+            )
+            assert got == want
+
+    def test_put_many_seals_payloads_at_rest(self):
+        inner = MemoryVault()
+        vault = EncryptedVault(inner)
+        vault.register_owner(19)
+        vault.put_many([entry(entry_id=i) for i in range(1, 4)])
+        for stored in inner._entries(19):
+            assert set(stored.payload) == {"ct"}
+            assert "Bea" not in str(stored.payload)
+
+    def test_put_many_passes_global_tier_in_clear(self):
+        inner = MemoryVault()
+        vault = EncryptedVault(inner)
+        vault.register_owner(19)
+        mixed = [entry(entry_id=1), entry(entry_id=2, owner=None)]
+        vault.put_many(mixed)
+        (clear,) = inner._entries(None)
+        assert clear.payload == {"row": {"id": None, "name": "Bea"}}
+
+    def test_put_many_derives_subkeys_once_per_owner(self, monkeypatch):
+        import repro.crypto.cipher as cipher_mod
+
+        vault = EncryptedVault(MemoryVault())
+        vault.register_owner(19)
+        calls = []
+        original = cipher_mod.SecretKey._subkey
+
+        def counting(self, label):
+            calls.append(label)
+            return original(self, label)
+
+        monkeypatch.setattr(cipher_mod.SecretKey, "_subkey", counting)
+        vault.put_many([entry(entry_id=i) for i in range(1, 33)])
+        assert calls == [], (
+            "subkeys are cached on the key object; a 32-entry batch must "
+            "not re-derive them"
+        )
+
+    def test_put_many_unregistered_owner_rejected(self):
+        vault = EncryptedVault(MemoryVault())
+        with pytest.raises(VaultError):
+            vault.put_many([entry(entry_id=1, owner=99)])

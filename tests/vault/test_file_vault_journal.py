@@ -206,3 +206,34 @@ class TestLegacyFilenames:
         assert sorted(FileVault(tmp_path).owners(), key=str) == sorted(
             [19, "plain", "user@example.com"], key=str
         )
+
+
+class TestSyncAppends:
+    def test_batch_put_fsyncs_once_per_owner_group(self, tmp_path, monkeypatch):
+        import os as os_mod
+
+        vault = FileVault(tmp_path, sync_appends=True)
+        fsyncs = []
+        real_fsync = os_mod.fsync
+        monkeypatch.setattr(
+            "repro.vault.file_vault.os.fsync",
+            lambda fd: (fsyncs.append(fd), real_fsync(fd))[1],
+        )
+        vault.put_many([entry(i, owner=19) for i in range(1, 9)])
+        vault.put_many(
+            [entry(10 + i, owner=19 + i % 2) for i in range(4)]
+        )
+        # one fsync for the first batch, two for the two-owner second batch
+        assert len(fsyncs) == 3
+        assert vault.syncs == 3
+
+    def test_sync_appends_off_by_default(self, tmp_path):
+        vault = FileVault(tmp_path)
+        vault.put_many([entry(i) for i in range(1, 4)])
+        assert vault.syncs == 0
+
+    def test_synced_journal_reloads(self, tmp_path):
+        vault = FileVault(tmp_path, sync_appends=True)
+        vault.put_many([entry(i) for i in range(1, 6)])
+        reloaded = FileVault(tmp_path)
+        assert {e.entry_id for e in reloaded._entries(19)} == {1, 2, 3, 4, 5}
