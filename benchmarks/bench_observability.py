@@ -1,0 +1,276 @@
+"""O — observability overhead: disabled cost, tracing cost, span throughput.
+
+Three claims from the unified observability layer (ISSUE 8):
+
+* **Disabled overhead** — with tracing off (the default), the instrumented
+  write path (``_statement`` spans, registry gauges, diagnostics mutexes)
+  must cost <=5% over the undecorated seed path
+  (``Database.update_where.__wrapped__``) on the batched-UPDATE benchmark.
+* **Enabled overhead** — full tracing (statement spans + latency
+  histogram) stays a bounded constant per *statement*; batched statements
+  amortize it, so the traced write path must stay within 1.5x of
+  disabled mode at the 10k-row scale.
+* **Span throughput** — opening and closing a traced span (enabled, with
+  one attribute) must sustain >=100k spans/s; the disabled path hands out
+  a shared null span and must sustain >=1M/s.
+
+Run under pytest for the benchmark fixtures, or directly
+(``python benchmarks/bench_observability.py [--smoke]``) to emit
+``BENCH_obs.json`` for CI smoke checks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import time
+
+from conftest import print_line, print_table
+
+from repro import Database, Schema, parse_schema
+from repro.obs import TRACER, Tracer, disable_tracing, enable_tracing
+
+EVENTS_DDL = """
+CREATE TABLE events (
+  id INT PRIMARY KEY,
+  uid INT,
+  kind TEXT,
+  score INT,
+  title TEXT,
+  body TEXT,
+  note TEXT
+);
+"""
+
+FULL_SCALES = (10_000, 50_000)
+SMOKE_SCALES = (2_000, 10_000)
+
+DISABLED_OVERHEAD_CEILING = 1.05  # <=5% over the undecorated seed path
+ENABLED_OVERHEAD_CEILING = 1.5
+ENABLED_SPANS_PER_S_FLOOR = 100_000
+DISABLED_SPANS_PER_S_FLOOR = 1_000_000
+
+_CHUNK = "lorem ipsum dolor sit amet, consectetur adipiscing elit "
+
+
+def make_rows(n: int, seed: int = 11) -> list[dict]:
+    rng = random.Random(seed)
+    return [
+        {
+            "id": i,
+            "uid": i % 100,
+            "kind": rng.choice(["click", "view", "purchase"]),
+            "score": rng.randrange(10_000),
+            "title": f"event {i} in stream {i % 7}",
+            "body": _CHUNK * 2,
+            "note": _CHUNK,
+        }
+        for i in range(n)
+    ]
+
+
+def _best(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def make_db(n: int) -> Database:
+    db = Database(Schema(parse_schema(EVENTS_DDL)))
+    db.insert_many("events", make_rows(n))
+    db.table("events").create_index("uid")
+    return db
+
+
+# -- Part 1: write path — seed vs instrumented vs traced ---------------------------
+
+
+def write_path_overhead_at(n: int) -> dict:
+    """Batched UPDATE over every row: undecorated seed, disabled, traced."""
+    flip = [0]
+
+    def batched_update(db, call):
+        flip[0] ^= 1
+        call(db, "events", "score >= 0", {"kind": f"k{flip[0]}"})
+
+    undecorated = Database.update_where.__wrapped__
+    decorated = Database.update_where
+
+    seed_db = make_db(n)
+    disabled_db = make_db(n)
+    traced_db = make_db(n)
+    for db in (seed_db, disabled_db, traced_db):
+        batched_update(db, undecorated if db is seed_db else decorated)
+
+    # Interleave the three variants so clock drift and cache state hit all
+    # of them equally; an overhead ratio near 1.0 is far noisier than the
+    # individual timings, so ordering bias would dominate the signal.
+    secs_seed = secs_disabled = secs_traced = float("inf")
+    for _ in range(15):
+        start = time.perf_counter()
+        batched_update(seed_db, undecorated)
+        secs_seed = min(secs_seed, time.perf_counter() - start)
+
+        start = time.perf_counter()
+        batched_update(disabled_db, decorated)
+        secs_disabled = min(secs_disabled, time.perf_counter() - start)
+
+        enable_tracing()
+        try:
+            start = time.perf_counter()
+            batched_update(traced_db, decorated)
+            secs_traced = min(secs_traced, time.perf_counter() - start)
+        finally:
+            disable_tracing()
+
+    return {
+        "n_rows": n,
+        "seed_rows_per_s": n / secs_seed,
+        "disabled_rows_per_s": n / secs_disabled,
+        "traced_rows_per_s": n / secs_traced,
+        "disabled_overhead": secs_disabled / secs_seed,
+        "traced_overhead": secs_traced / secs_disabled,
+    }
+
+
+# -- Part 2: span open/close throughput --------------------------------------------
+
+
+def span_throughput_results(spans: int = 100_000) -> dict:
+    tracer = Tracer(keep=8)
+
+    def disabled_loop():
+        for _ in range(spans):
+            with tracer.span("bench.noop"):
+                pass
+
+    secs_disabled = _best(disabled_loop, repeats=3)
+
+    tracer.enable()
+
+    def enabled_loop():
+        with tracer.span("bench.root"):
+            for _ in range(spans):
+                with tracer.span("bench.noop", i=1):
+                    pass
+        tracer.take()
+
+    secs_enabled = _best(enabled_loop, repeats=3)
+    tracer.disable()
+
+    return {
+        "spans": spans,
+        "disabled_spans_per_s": spans / secs_disabled,
+        "enabled_spans_per_s": spans / secs_enabled,
+    }
+
+
+# -- Checks (shared by pytest and smoke mode) --------------------------------------
+
+
+def check_write_path(results: list[dict]) -> None:
+    top = results[-1]
+    assert top["disabled_overhead"] <= DISABLED_OVERHEAD_CEILING, (
+        f"disabled-mode instrumentation costs {top['disabled_overhead']:.3f}x "
+        f"the seed path at {top['n_rows']} rows"
+    )
+    assert top["traced_overhead"] <= ENABLED_OVERHEAD_CEILING, (
+        f"tracing costs {top['traced_overhead']:.3f}x disabled mode at "
+        f"{top['n_rows']} rows"
+    )
+
+
+def check_span_throughput(result: dict) -> None:
+    assert result["enabled_spans_per_s"] >= ENABLED_SPANS_PER_S_FLOOR, (
+        f"enabled spans at {result['enabled_spans_per_s']:,.0f}/s"
+    )
+    assert result["disabled_spans_per_s"] >= DISABLED_SPANS_PER_S_FLOOR, (
+        f"disabled spans at {result['disabled_spans_per_s']:,.0f}/s"
+    )
+
+
+# -- pytest benchmark entry points -------------------------------------------------
+
+
+def bench_disabled_write_path_overhead(benchmark):
+    """Instrumentation off: <=5% over the undecorated seed write path."""
+    assert not TRACER.enabled
+    results = [write_path_overhead_at(n) for n in SMOKE_SCALES]
+    db = make_db(SMOKE_SCALES[0])
+    flip = [0]
+
+    def statement():
+        flip[0] ^= 1
+        db.update_where("events", "score >= 0", {"kind": f"k{flip[0]}"})
+
+    benchmark.pedantic(statement, rounds=5, iterations=1)
+    print_table(
+        "O1: write path — seed vs instrumented (disabled) vs traced",
+        ["rows", "seed rows/s", "disabled rows/s", "traced rows/s",
+         "disabled ovh", "traced ovh"],
+        [
+            [
+                r["n_rows"],
+                f"{r['seed_rows_per_s']:,.0f}",
+                f"{r['disabled_rows_per_s']:,.0f}",
+                f"{r['traced_rows_per_s']:,.0f}",
+                f"{r['disabled_overhead']:.3f}x",
+                f"{r['traced_overhead']:.3f}x",
+            ]
+            for r in results
+        ],
+    )
+    check_write_path(results)
+
+
+def bench_span_throughput(benchmark):
+    """Span open/close: >=100k/s enabled, >=1M/s disabled."""
+    result = span_throughput_results()
+    tracer = Tracer(keep=8).enable()
+
+    def burst():
+        with tracer.span("bench.root"):
+            for _ in range(1_000):
+                with tracer.span("bench.noop"):
+                    pass
+        tracer.take()
+
+    benchmark.pedantic(burst, rounds=5, iterations=1)
+    tracer.disable()
+    print_line(
+        f"O2: spans {result['disabled_spans_per_s']:,.0f}/s disabled, "
+        f"{result['enabled_spans_per_s']:,.0f}/s enabled"
+    )
+    check_span_throughput(result)
+
+
+# -- CI smoke mode -----------------------------------------------------------------
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="reduced scales for CI (10k rows instead of 50k)",
+    )
+    args = parser.parse_args()
+    scales = SMOKE_SCALES if args.smoke else FULL_SCALES
+    spans = 50_000 if args.smoke else 100_000
+    payload = {
+        "smoke": args.smoke,
+        "write_path": [write_path_overhead_at(n) for n in scales],
+        "span_throughput": span_throughput_results(spans),
+    }
+    check_write_path(payload["write_path"])
+    check_span_throughput(payload["span_throughput"])
+    with open("BENCH_obs.json", "w") as fh:
+        json.dump(payload, fh, indent=2)
+    print(json.dumps(payload, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -43,6 +43,20 @@ from repro.errors import (
     StorageError,
     VaultError,
 )
+from repro.obs import (
+    MetricsView,
+    PlanReport,
+    Registry,
+    Span,
+    TRACER,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    render_spans,
+    span,
+    spans_to_jsonl,
+    traced,
+)
 from repro.spec import (
     Decorrelate,
     Default,
@@ -148,6 +162,19 @@ __all__ = [
     "parse_select",
     "save_database",
     "load_database",
+    # observability
+    "Registry",
+    "MetricsView",
+    "PlanReport",
+    "Span",
+    "Tracer",
+    "TRACER",
+    "span",
+    "traced",
+    "enable_tracing",
+    "disable_tracing",
+    "render_spans",
+    "spans_to_jsonl",
     # vaults
     "VaultStore",
     "VaultEntry",

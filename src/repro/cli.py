@@ -239,6 +239,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="only these states (repeatable; default: all)",
     )
 
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="print the database's metrics registry (dotted-name schema)",
+    )
+    add_db(p_metrics)
+    p_metrics.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
+    )
+    p_metrics.add_argument(
+        "--legacy",
+        action="store_true",
+        help="also include the deprecated pre-registry key names",
+    )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="dry-run a disguise with trace spans: apply against throwaway "
+        "WAL/vault copies, print the span tree, persist nothing",
+    )
+    add_db(p_trace)
+    add_specs(p_trace)
+    p_trace.add_argument("--name", help="disguise to trace (default: first --spec)")
+    p_trace.add_argument("--uid", type=int, help="user id for $UID disguises")
+    p_trace.add_argument(
+        "--json", action="store_true", help="emit spans as JSONL instead of a tree"
+    )
+    p_trace.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="slow-op budget in milliseconds; over-budget statements and "
+        "disguises are reported with their captured span trees",
+    )
+
     return parser
 
 
@@ -437,7 +471,9 @@ def cmd_serve(args) -> int:
             handle.close()
         raise
     _finish_write(args, engine.db, handle)
-    print(json.dumps(service.metrics(), indent=2, sort_keys=True))
+    # Both schemas in one report: new dotted registry names plus the
+    # legacy keys old consumers parse (MetricsView.legacy merges them).
+    print(json.dumps(service.metrics().legacy(), indent=2, sort_keys=True))
     if not drained:
         print("warning: drain timed out with jobs still queued", file=sys.stderr)
         return 1
@@ -488,6 +524,60 @@ def cmd_jobs(args) -> int:
     return 0
 
 
+def cmd_metrics(args) -> int:
+    db = _read_db(args, verify=False)
+    view = db.metrics()
+    data = view.legacy() if args.legacy else dict(view)
+    if args.json:
+        print(json.dumps(data, indent=2, sort_keys=True, default=str))
+        return 0
+    width = max((len(name) for name in data), default=0)
+    for name in sorted(data):
+        print(f"{name:<{width}}  {data[name]}")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    import tempfile
+
+    from repro.obs import disable_tracing, enable_tracing, render_spans, spans_to_jsonl
+    from repro.storage.wal import WriteAheadLog
+
+    db = _read_db(args)
+    threshold = args.slow_ms / 1000.0 if args.slow_ms is not None else None
+    with tempfile.TemporaryDirectory() as tmp:
+        # Every layer the apply would touch is attached for real — WAL with
+        # per-commit fsync, file vault — but against throwaway files, and
+        # the in-memory database is never written back: the span tree shows
+        # the true shape and cost of the disguise without persisting it.
+        wal = WriteAheadLog(Path(tmp) / "trace.wal", fsync="always")
+        db.set_redo_hook(wal)
+        engine = Disguiser(db, vault=FileVault(Path(tmp) / "vaults"))
+        for spec_path in args.spec:
+            document = Path(spec_path).read_text(encoding="utf-8")
+            engine.register(spec_from_json(document))
+        name = _spec_name(engine, args)
+        tracer = enable_tracing(threshold)
+        try:
+            report = engine.apply(name, uid=args.uid)
+        finally:
+            disable_tracing()
+            db.set_redo_hook(None)
+            wal.close()
+        roots = tracer.take()
+        slow_ops = list(tracer.slow_ops)
+    if args.json:
+        print(spans_to_jsonl(roots))
+    else:
+        print(render_spans(roots))
+        print(
+            f"(dry run: disguise {report.disguise_id} traced, nothing persisted)"
+        )
+    for slow in slow_ops:
+        print(slow.render(), file=sys.stderr)
+    return 0
+
+
 def cmd_checkpoint(args) -> int:
     wal_path = default_wal_path(args.db)
     pending = wal_path.stat().st_size if wal_path.exists() else 0
@@ -511,6 +601,8 @@ _COMMANDS = {
     "serve": cmd_serve,
     "submit": cmd_submit,
     "jobs": cmd_jobs,
+    "metrics": cmd_metrics,
+    "trace": cmd_trace,
 }
 
 

@@ -27,6 +27,7 @@ from repro.core.history import DisguiseHistory
 from repro.core.physical import OpExecutor, PlaceholderFactory, VaultJournal
 from repro.core.stats import DisguiseReport
 from repro.errors import DisguiseError
+from repro.obs.trace import TRACER as _TRACER
 from repro.spec.disguise import DisguiseSpec, TableDisguise
 from repro.spec.transform import Decorrelate, Modify, Remove
 from repro.storage.predicate import And, InList, ColumnRef, Literal
@@ -78,14 +79,20 @@ class SpecRunner:
         for table_disguise in self.spec.tables:
             for transformation in table_disguise.transformations:
                 if isinstance(transformation, Modify):
-                    self._run_modify(table_disguise, transformation, restrict)
+                    with _TRACER.span("op.modify", table=table_disguise.table,
+                                      column=transformation.column):
+                        self._run_modify(table_disguise, transformation, restrict)
                 elif isinstance(transformation, Decorrelate):
-                    self._run_decorrelate(table_disguise, transformation, restrict)
+                    with _TRACER.span("op.decorrelate",
+                                      table=table_disguise.table,
+                                      column=transformation.foreign_key):
+                        self._run_decorrelate(table_disguise, transformation, restrict)
         # Phase B: removal, children first.
         for table_disguise in self._removal_order():
             for transformation in table_disguise.transformations:
                 if isinstance(transformation, Remove):
-                    self._run_remove(table_disguise, transformation, restrict)
+                    with _TRACER.span("op.remove", table=table_disguise.table):
+                        self._run_remove(table_disguise, transformation, restrict)
 
     # -- row selection -----------------------------------------------------------
 

@@ -30,6 +30,7 @@ from repro.core.physical import (
 from repro.core.reveal import run_reveal
 from repro.core.stats import DisguiseReport, RevealReport
 from repro.errors import AssertionFailure, DisguiseError
+from repro.obs.trace import TRACER as _TRACER
 from repro.spec.analysis import validate_spec
 from repro.spec.disguise import DisguiseSpec, USER_PARAM
 from repro.storage.database import Database
@@ -51,6 +52,10 @@ class Disguiser:
     ) -> None:
         self.db = db
         self.vault = vault if vault is not None else MemoryVault()
+        # Surface the vault's counters through the database's metrics
+        # registry: one Database.metrics() call reports the whole engine.
+        if hasattr(self.vault, "register_metrics"):
+            self.vault.register_metrics(db.obs)
         self.history = DisguiseHistory(db)
         self.registry = PlaceholderRegistry(db)
         self.executor = OpExecutor(db, db.schema, self.registry)
@@ -154,17 +159,26 @@ class Disguiser:
         last_failures: list[str] = []
         for attempt_compose, attempt_optimize in attempts:
             try:
-                return self._apply_once(
-                    resolved,
-                    uid,
-                    reversible,
-                    attempt_compose,
-                    attempt_optimize,
-                    assertion_list,
-                    on_assertion_failure,
-                    check_integrity,
-                    job,
-                )
+                # One span per attempt: each is its own transaction, and a
+                # retry's escalated parameters show up as distinct attrs.
+                with _TRACER.span(
+                    "disguise.apply",
+                    spec=resolved.name,
+                    uid=uid,
+                    compose=attempt_compose,
+                    optimize=attempt_optimize,
+                ):
+                    return self._apply_once(
+                        resolved,
+                        uid,
+                        reversible,
+                        attempt_compose,
+                        attempt_optimize,
+                        assertion_list,
+                        on_assertion_failure,
+                        check_integrity,
+                        job,
+                    )
             except AssertionFailure as failure:
                 last_failures = failure.args[1] if len(failure.args) > 1 else []
                 continue
@@ -200,6 +214,10 @@ class Disguiser:
             did = self.history.open(
                 spec.name, uid, reversible, user_invoked=uid is not None
             )
+            if _TRACER.enabled:
+                current = _TRACER.current()
+                if current is not None:
+                    current.set("did", did)
             if job is not None:
                 self.history.record_job(job, did)
             self.vault.note_disguise(did, user_invoked=uid is not None)
@@ -289,41 +307,44 @@ class Disguiser:
         data respects them. The disguise's history record is deactivated
         and its vault entries consumed.
         """
-        record = self.history.get(did)
-        if not record.active:
-            raise DisguiseError(f"disguise {did} ({record.name}) is not active")
-        db_before = self.db.stats.snapshot()
-        vault_before = self.vault.stats.snapshot()
-        started = time.perf_counter()
-        journal = VaultJournal(self.vault, self.history)
-        factory = PlaceholderFactory(self.db, self.rng, self.registry, did)
-        report = RevealReport(disguise_id=did, name=record.name, uid=record.uid)
-        self.db.begin()
-        try:
-            run_reveal(
-                self.executor,
-                self.history,
-                self.vault,
-                journal,
-                factory,
-                self._spec_for_disguise,
-                self.spec,
-                record,
-                report,
-            )
-            if check_integrity:
-                self.db.assert_integrity()
-            self.db.commit()
-        except BaseException:
-            journal.compensate()
-            self.db.rollback()
-            raise
-        finally:
-            self.executor.defer_fk = False
-        journal.discard()
-        report.duration_s = time.perf_counter() - started
-        report.db_stats = self.db.stats.delta(db_before)
-        report.vault_stats = self.vault.stats.delta(vault_before)
+        with _TRACER.span("disguise.reveal", did=did) as sp:
+            record = self.history.get(did)
+            if not record.active:
+                raise DisguiseError(f"disguise {did} ({record.name}) is not active")
+            sp.set("spec", record.name)
+            sp.set("uid", record.uid)
+            db_before = self.db.stats.snapshot()
+            vault_before = self.vault.stats.snapshot()
+            started = time.perf_counter()
+            journal = VaultJournal(self.vault, self.history)
+            factory = PlaceholderFactory(self.db, self.rng, self.registry, did)
+            report = RevealReport(disguise_id=did, name=record.name, uid=record.uid)
+            self.db.begin()
+            try:
+                run_reveal(
+                    self.executor,
+                    self.history,
+                    self.vault,
+                    journal,
+                    factory,
+                    self._spec_for_disguise,
+                    self.spec,
+                    record,
+                    report,
+                )
+                if check_integrity:
+                    self.db.assert_integrity()
+                self.db.commit()
+            except BaseException:
+                journal.compensate()
+                self.db.rollback()
+                raise
+            finally:
+                self.executor.defer_fk = False
+            journal.discard()
+            report.duration_s = time.perf_counter() - started
+            report.db_stats = self.db.stats.delta(db_before)
+            report.vault_stats = self.vault.stats.delta(vault_before)
         return report
 
     # -- schema evolution ---------------------------------------------------------------

@@ -1,0 +1,111 @@
+"""Typed EXPLAIN reports.
+
+:meth:`repro.storage.database.Database.explain` used to return a bare
+dict; it now returns a :class:`PlanReport` — a dataclass that renders via
+``str()`` and, with ``analyze=True``, carries the actual execution
+numbers next to the estimates. Mapping-style access (``report["plan"]``)
+is kept so existing callers compose unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterator
+
+__all__ = ["PlanNode", "PlanReport"]
+
+
+@dataclass
+class PlanNode:
+    """One executed plan stage (ANALYZE only): access probe or filter."""
+
+    label: str
+    rows: int
+    time_s: float
+
+    def __str__(self) -> str:
+        return f"{self.label}: rows={self.rows} time={self.time_s * 1e3:.3f}ms"
+
+
+@dataclass
+class PlanReport:
+    """What a scan would do — and, when analyzed, what it actually did.
+
+    Planning fields are always present: ``plan`` (the access-path
+    description), ``estimated_rows`` (the cost model's guess at rows
+    examined), ``table_rows``, whether the predicate has a ``compiled``
+    form, whether the plan was already ``cached``, and the plan-cache
+    ``generation`` it is stamped with.
+
+    ``analyze=True`` executes the plan and fills the actuals:
+    ``actual_rows`` (rows matched), ``rows_examined`` (candidates
+    tested — compare with the estimate to judge the cost model),
+    ``cache_hit`` (whether execution reused the cached plan), per-node
+    rows/wall time in ``nodes``, and total ``wall_time_s``.
+    """
+
+    table: str
+    plan: str
+    estimated_rows: float
+    table_rows: int
+    compiled: bool
+    cached: bool
+    generation: int
+    analyzed: bool = False
+    actual_rows: int | None = None
+    rows_examined: int | None = None
+    cache_hit: bool | None = None
+    wall_time_s: float | None = None
+    nodes: list[PlanNode] = field(default_factory=list)
+
+    # -- mapping-style access (back-compat with the PR 5 dict reports) ----------
+
+    def __getitem__(self, key: str) -> Any:
+        try:
+            return getattr(self, key)
+        except AttributeError:
+            raise KeyError(key) from None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return getattr(self, key, default)
+
+    def keys(self) -> list[str]:
+        return [f.name for f in fields(self)]
+
+    def items(self) -> list[tuple[str, Any]]:
+        return [(name, getattr(self, name)) for name in self.keys()]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.keys())
+
+    def __contains__(self, key: object) -> bool:
+        return isinstance(key, str) and any(f.name == key for f in fields(self))
+
+    def to_dict(self) -> dict[str, Any]:
+        out = dict(self.items())
+        out["nodes"] = [
+            {"label": n.label, "rows": n.rows, "time_s": n.time_s}
+            for n in self.nodes
+        ]
+        return out
+
+    # -- rendering ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        lines = [
+            f"EXPLAIN{' ANALYZE' if self.analyzed else ''} {self.table}",
+            f"  plan: {self.plan}"
+            + (" [cached]" if self.cached else "")
+            + (" [compiled]" if self.compiled else ""),
+            f"  estimated rows: {self.estimated_rows:g} of {self.table_rows}",
+        ]
+        if self.analyzed:
+            lines.append(
+                f"  actual: {self.actual_rows} row(s), "
+                f"{self.rows_examined} examined, "
+                f"cache {'hit' if self.cache_hit else 'miss'}, "
+                f"{(self.wall_time_s or 0.0) * 1e3:.3f}ms"
+            )
+            for node in self.nodes:
+                lines.append(f"    {node}")
+        return "\n".join(lines)

@@ -1,0 +1,359 @@
+"""Trace spans: nested timing of the disguise hot path.
+
+A span brackets one operation — ``disguise.apply`` → ``op.modify`` →
+``storage.update_where`` → ``wal.append`` / ``wal.fsync`` →
+``vault.put_many`` → ``vault.encrypt`` — with wall time and per-span
+attributes. Spans nest per thread: entering a span makes it the parent of
+any span opened on the same thread before it exits, so a full apply
+produces one tree from the engine call down to the WAL and vault leaves.
+
+Tracing is **off by default** and the disabled path is near-zero cost:
+instrumented code gates on ``TRACER.enabled`` (one attribute check) and
+:func:`span` hands back a shared no-op context manager. The default
+process tracer is module-level because one disguise crosses many objects
+(engine → database → WAL → vault) that share no common handle; per-thread
+span stacks keep concurrent service workers' trees separate.
+
+The **slow-op log** captures the finished subtree of any statement or
+disguise whose duration crosses ``TRACER.slow_threshold_s`` — the
+observability answer to "which disguise blew its budget, and where did
+the time go".
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+__all__ = [
+    "Span",
+    "SlowOp",
+    "Tracer",
+    "TRACER",
+    "span",
+    "traced",
+    "enable_tracing",
+    "disable_tracing",
+    "render_spans",
+    "spans_to_jsonl",
+]
+
+# Span names the slow-op log considers "operations" (statements and whole
+# disguises). Leaf spans like one wal.fsync are visible *inside* a slow
+# operation's tree but do not open slow-log records of their own.
+_SLOW_PREFIXES = ("storage.", "disguise.", "service.")
+
+
+class Span:
+    """One timed operation; forms a tree via per-thread nesting."""
+
+    __slots__ = ("name", "attrs", "children", "parent", "start_s", "duration_s")
+
+    def __init__(self, name: str, attrs: dict[str, Any], parent: "Span | None") -> None:
+        self.name = name
+        self.attrs = attrs
+        self.children: list[Span] = []
+        self.parent = parent
+        self.start_s = time.perf_counter()
+        self.duration_s = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach (or overwrite) one attribute."""
+        self.attrs[key] = value
+
+    __setitem__ = set
+
+    def __getitem__(self, key: str) -> Any:
+        return self.attrs[key]
+
+    def walk(self) -> Iterable["Span"]:
+        """This span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> "Span | None":
+        """First descendant (or self) with the given span name."""
+        for node in self.walk():
+            if node.name == name:
+                return node
+        return None
+
+    def render(self, indent: str = "") -> str:
+        return render_spans([self]) if not indent else _render_one(self, indent)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, {self.duration_s * 1e3:.3f}ms, {self.attrs!r})"
+
+
+class _NullSpan:
+    """Shared do-nothing span handed out while tracing is disabled."""
+
+    __slots__ = ()
+    name = ""
+    attrs: dict[str, Any] = {}
+    children: list[Span] = []
+    parent = None
+    duration_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    __setitem__ = set
+
+
+NULL_SPAN = _NullSpan()
+
+
+@dataclass
+class SlowOp:
+    """One over-budget operation captured by the slow-op log."""
+
+    name: str
+    duration_s: float
+    threshold_s: float
+    root: Span
+
+    def render(self) -> str:
+        return (
+            f"SLOW {self.name}: {self.duration_s * 1e3:.3f}ms "
+            f"(budget {self.threshold_s * 1e3:.3f}ms)\n"
+            + render_spans([self.root])
+        )
+
+
+class _SpanHandle:
+    """Context manager that pushes/pops one span on the tracer's stack."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type: Any, exc: Any, tb: Any) -> bool:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._finish(self._span)
+        return False
+
+
+class Tracer:
+    """Collects span trees; owns the slow-op log.
+
+    ``keep`` bounds how many finished *root* trees are retained (oldest
+    dropped) so a long-running service cannot grow without bound; the
+    slow-op log is bounded the same way.
+    """
+
+    def __init__(self, keep: int = 256, slow_keep: int = 64) -> None:
+        self.enabled = False
+        self.slow_threshold_s: float | None = None
+        self._tls = threading.local()
+        self._mu = threading.Lock()
+        self._finished: deque[Span] = deque(maxlen=keep)
+        self.slow_ops: deque[SlowOp] = deque(maxlen=slow_keep)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def enable(self, slow_threshold_s: float | None = None) -> "Tracer":
+        """Start recording spans (optionally with a slow-op budget)."""
+        self.slow_threshold_s = slow_threshold_s
+        self.enabled = True
+        return self
+
+    def disable(self) -> "Tracer":
+        self.enabled = False
+        self.slow_threshold_s = None
+        return self
+
+    def clear(self) -> None:
+        with self._mu:
+            self._finished.clear()
+            self.slow_ops.clear()
+
+    # -- recording ---------------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span as a context manager; no-op while disabled.
+
+        The ``with`` target is the live :class:`Span` — set attributes on
+        it as the operation learns them (``sp.set("rows", n)``).
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        sp = Span(name, attrs, parent)
+        stack.append(sp)
+        return _SpanHandle(self, sp)
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _stack(self) -> list[Span]:
+        try:
+            return self._tls.stack
+        except AttributeError:
+            stack = self._tls.stack = []
+            return stack
+
+    def _finish(self, sp: Span) -> None:
+        sp.duration_s = time.perf_counter() - sp.start_s
+        stack = self._stack()
+        # Pop defensively: an enable()/disable() race mid-operation can
+        # leave the stack short; never pop someone else's span.
+        if stack and stack[-1] is sp:
+            stack.pop()
+        if sp.parent is not None:
+            sp.parent.children.append(sp)
+        else:
+            with self._mu:
+                self._finished.append(sp)
+        threshold = self.slow_threshold_s
+        if (
+            threshold is not None
+            and sp.duration_s >= threshold
+            and (sp.parent is None or sp.name.startswith(_SLOW_PREFIXES))
+        ):
+            with self._mu:
+                self.slow_ops.append(
+                    SlowOp(sp.name, sp.duration_s, threshold, sp)
+                )
+
+    # -- reading -----------------------------------------------------------------
+
+    def roots(self) -> list[Span]:
+        """Finished root spans, oldest first."""
+        with self._mu:
+            return list(self._finished)
+
+    def take(self) -> list[Span]:
+        """Finished root spans, clearing the retained buffer."""
+        with self._mu:
+            out = list(self._finished)
+            self._finished.clear()
+            return out
+
+    def render(self) -> str:
+        return render_spans(self.roots())
+
+    def to_jsonl(self) -> str:
+        return spans_to_jsonl(self.roots())
+
+
+#: The process-default tracer every instrumented subsystem checks.
+TRACER = Tracer()
+
+
+def span(name: str, **attrs: Any):
+    """Open a span on the default tracer (module-level convenience)."""
+    return TRACER.span(name, **attrs)
+
+
+def enable_tracing(slow_threshold_s: float | None = None) -> Tracer:
+    """Enable the default tracer; returns it (cleared of old spans)."""
+    TRACER.clear()
+    return TRACER.enable(slow_threshold_s)
+
+
+def disable_tracing() -> Tracer:
+    return TRACER.disable()
+
+
+def traced(name: str | None = None, **attrs: Any):
+    """Decorator form: trace every call of the wrapped function."""
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        label = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            if not TRACER.enabled:
+                return fn(*args, **kwargs)
+            with TRACER.span(label, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
+
+
+# -- export ------------------------------------------------------------------------
+
+
+def _render_one(sp: Span, indent: str) -> str:
+    attrs = ""
+    if sp.attrs:
+        attrs = " " + " ".join(f"{k}={v!r}" for k, v in sp.attrs.items())
+    return f"{indent}{sp.name} {sp.duration_s * 1e3:.3f}ms{attrs}"
+
+
+def render_spans(roots: Iterable[Span]) -> str:
+    """An indented tree, one line per span."""
+    lines: list[str] = []
+
+    def visit(sp: Span, depth: int) -> None:
+        lines.append(_render_one(sp, "  " * depth))
+        for child in sp.children:
+            visit(child, depth + 1)
+
+    for root in roots:
+        visit(root, 0)
+    return "\n".join(lines)
+
+
+def spans_to_jsonl(roots: Iterable[Span]) -> str:
+    """One JSON object per span (depth-first), ids linking children to
+    parents — loadable line-by-line into any trace viewer or dataframe."""
+    lines: list[str] = []
+    counter = [0]
+
+    def visit(sp: Span, parent_id: int | None) -> None:
+        span_id = counter[0]
+        counter[0] += 1
+        lines.append(
+            json.dumps(
+                {
+                    "id": span_id,
+                    "parent_id": parent_id,
+                    "name": sp.name,
+                    "start_s": round(sp.start_s, 9),
+                    "duration_s": round(sp.duration_s, 9),
+                    "attrs": _jsonable(sp.attrs),
+                },
+                sort_keys=True,
+            )
+        )
+        for child in sp.children:
+            visit(child, span_id)
+
+    for root in roots:
+        visit(root, None)
+    return "\n".join(lines)
+
+
+def _jsonable(attrs: dict[str, Any]) -> dict[str, Any]:
+    out = {}
+    for key, value in attrs.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        else:
+            out[key] = repr(value)
+    return out

@@ -48,6 +48,7 @@ from repro.errors import (
     LockTimeoutError,
     ServiceError,
 )
+from repro.obs.trace import TRACER as _TRACER
 from repro.service.locks import MODE_X, LockHook, is_system_table
 from repro.service.queue import DEAD, Job, JobQueue
 
@@ -164,7 +165,11 @@ class WorkerPool:
         token = f"job-{job.job_id}a{job.attempts}"
         self.hook.start_job(token)
         try:
-            result = self._dispatch(engine, job, token)
+            with _TRACER.span(
+                "service.job", job_id=job.job_id, kind=job.kind,
+                attempt=job.attempts,
+            ):
+                result = self._dispatch(engine, job, token)
         except (DeadlockError, LockTimeoutError) as exc:
             # The engine already rolled back; locks drop here so the other
             # cycle members can proceed before the victim's backoff ends.

@@ -88,6 +88,7 @@ class DisguiseService:
         if self._started:
             raise ServiceError("service already started")
         self.engine.db.set_lock_hook(self.hook)
+        self._register_metrics(self.engine.db.obs)
         self.pool.start()
         self._started = True
         return self
@@ -164,28 +165,75 @@ class DisguiseService:
                 raise ServiceError(f"timed out waiting for job {job_id}")
             time.sleep(0.01)
 
-    def metrics(self) -> dict[str, Any]:
-        """Service metrics snapshot: throughput, depth, waits, latency."""
+    #: Old hand-built ``metrics()`` keys -> registry names. Indexing the
+    #: view with an old key still works (DeprecationWarning); the CLI's
+    #: serve report keeps both schemas via ``MetricsView.legacy()``.
+    _METRIC_ALIASES = {
+        "workers": "service.workers",
+        "jobs_done": "service.jobs_done",
+        "jobs_failed": "service.jobs_failed",
+        "jobs_dead": "service.jobs_dead",
+        "jobs_per_s": "service.jobs_per_s",
+        "queue_depth": "service.queue_depth",
+        "queue_counts": "service.queue_counts",
+        "lock_acquisitions": "service.lock_acquisitions",
+        "lock_waits": "service.lock_waits",
+        "lock_wait_time_s": "service.lock_wait_s",
+        "deadlocks": "service.deadlocks",
+        "lock_timeouts": "service.lock_timeouts",
+        "p50_latency_s": "service.job_p50_s",
+        "p99_latency_s": "service.job_p99_s",
+        "wal_syncs": "wal.fsyncs",
+    }
+
+    def _register_metrics(self, registry: Any) -> None:
+        """Register ``service.*`` gauges over the pool/queue/lock state."""
         pool = self.pool
-        elapsed = (
-            time.monotonic() - pool.started_at if pool.started_at else 0.0
+
+        def jobs_per_s() -> float:
+            elapsed = (
+                time.monotonic() - pool.started_at if pool.started_at else 0.0
+            )
+            return (pool.jobs_done / elapsed) if elapsed > 0 else 0.0
+
+        registry.gauge("service.workers", lambda: pool.workers)
+        registry.gauge("service.jobs_done", lambda: pool.jobs_done)
+        registry.gauge("service.jobs_failed", lambda: pool.jobs_failed)
+        registry.gauge("service.jobs_dead", lambda: pool.jobs_dead)
+        registry.gauge("service.jobs_per_s", jobs_per_s)
+        registry.gauge("service.queue_depth", self.queue.depth)
+        registry.gauge("service.queue_counts", self.queue.counts)
+        registry.gauge(
+            "service.lock_acquisitions", lambda: self.locks.stats.acquisitions
         )
-        percentiles = pool.latency.percentiles(50.0, 99.0)
-        lock_stats = self.locks.stats.snapshot()
-        return {
-            "workers": pool.workers,
-            "jobs_done": pool.jobs_done,
-            "jobs_failed": pool.jobs_failed,
-            "jobs_dead": pool.jobs_dead,
-            "jobs_per_s": (pool.jobs_done / elapsed) if elapsed > 0 else 0.0,
-            "queue_depth": self.queue.depth(),
-            "queue_counts": self.queue.counts(),
-            "lock_acquisitions": lock_stats.acquisitions,
-            "lock_waits": lock_stats.waits,
-            "lock_wait_time_s": round(lock_stats.wait_time_s, 6),
-            "deadlocks": lock_stats.deadlocks,
-            "lock_timeouts": lock_stats.timeouts,
-            "p50_latency_s": round(percentiles[50.0], 6),
-            "p99_latency_s": round(percentiles[99.0], 6),
-            "wal_syncs": self.wal.syncs if self.wal is not None else None,
-        }
+        registry.gauge("service.lock_waits", lambda: self.locks.stats.waits)
+        registry.gauge(
+            "service.lock_wait_s",
+            lambda: round(self.locks.stats.wait_time_s, 6),
+        )
+        registry.gauge("service.deadlocks", lambda: self.locks.stats.deadlocks)
+        registry.gauge("service.lock_timeouts", lambda: self.locks.stats.timeouts)
+        registry.gauge(
+            "service.job_p50_s",
+            lambda: round(pool.latency.percentiles(50.0)[50.0], 6),
+        )
+        registry.gauge(
+            "service.job_p99_s",
+            lambda: round(pool.latency.percentiles(99.0)[99.0], 6),
+        )
+
+    def metrics(self) -> Any:
+        """Service metrics snapshot: throughput, depth, waits, latency.
+
+        Returns a :class:`repro.obs.MetricsView` over the database's
+        registry, restricted to ``service.*`` and ``wal.*``. The old keys
+        (``jobs_done``, ``p99_latency_s``, ``wal_syncs``, ...) still index
+        into it via deprecation aliases.
+        """
+        if not self._started:
+            # The gauges register at start(); a pre-start snapshot would
+            # silently be empty, which no caller means to ask for.
+            self._register_metrics(self.engine.db.obs)
+        return self.engine.db.obs.view(
+            prefix=("service", "wal"), aliases=self._METRIC_ALIASES
+        )

@@ -17,9 +17,13 @@ from __future__ import annotations
 
 import functools
 import threading
+import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping
 
+from repro.obs.registry import MetricsView, Registry
+from repro.obs.report import PlanReport
+from repro.obs.trace import TRACER as _TRACER
 from repro.errors import (
     ForeignKeyError,
     IntegrityViolation,
@@ -94,6 +98,35 @@ class QueryStats:
         self.deletes += other.deletes
         self.statements += other.statements
 
+    # -- deprecated dict-shaped access (see repro.obs) ---------------------------
+
+    _FIELDS = ("selects", "inserts", "updates", "deletes", "statements",
+               "total", "writes")
+
+    def __getitem__(self, key: str) -> int:
+        """Deprecated: read ``db.metrics()["storage.<name>"]`` instead.
+
+        The old ad-hoc surface treated stats as a dict in places; keyed
+        access still resolves (through the same counters the registry's
+        ``storage.*`` gauges read) but warns.
+        """
+        if key not in self._FIELDS:
+            raise KeyError(key)
+        warnings.warn(
+            f"QueryStats[{key!r}] is deprecated; use the attribute or read "
+            f"'storage.{key}' from Database.metrics()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(self, key)
+
+    def keys(self) -> tuple[str, ...]:
+        return self._FIELDS
+
+    def as_dict(self) -> dict[str, int]:
+        """Counters as a plain dict (bare names, no ``storage.`` prefix)."""
+        return {name: getattr(self, name) for name in self._FIELDS}
+
 
 # One undo-log record: a closure that reverses a single physical change.
 _UndoOp = Callable[[], None]
@@ -125,9 +158,15 @@ def _statement(kind: str):
     """
 
     def decorate(fn):
+        span_name = "storage." + fn.__name__
+
         @functools.wraps(fn)
         def wrapper(self, table, *args, **kwargs):
             hook = self._lock_hook
+            if _TRACER.enabled:
+                return self._traced_statement(
+                    fn, span_name, hook, table, kind, args, kwargs
+                )
             if hook is None:
                 return fn(self, table, *args, **kwargs)
             self._declare_statement(hook, table, kind)
@@ -175,6 +214,78 @@ class Database:
         # False selects the legacy full-row path — kept for differential
         # testing and the old-vs-new write benchmark.
         self.delta_writes = True
+        # Observability: this database's metrics registry (repro.obs).
+        # Storage/plan-cache gauges register now; subsystems attached later
+        # (WAL redo hook, vault, service) register into the same registry.
+        self.obs = Registry()
+        self._register_obs()
+        self._stmt_hist = self.obs.histogram("storage.statement_s")
+
+    def _register_obs(self) -> None:
+        """Register the storage layer's gauges under their dotted names.
+
+        Gauges read the live ad-hoc counters (``stats``, table
+        diagnostics, the plan cache) at snapshot time — the statement hot
+        path keeps its plain attribute bumps and pays nothing extra.
+        """
+        reg = self.obs
+        for name in ("selects", "inserts", "updates", "deletes",
+                     "statements", "total", "writes"):
+            reg.gauge(f"storage.{name}",
+                      (lambda n=name: getattr(self.stats, n)))
+        reg.gauge(
+            "storage.rows_examined",
+            lambda: sum(t.rows_examined for t in self._tables.values()),
+        )
+        reg.gauge("storage.tables", lambda: len(self._tables))
+        reg.gauge("storage.rows", lambda: self.total_rows())
+        reg.gauge("plancache.hits", lambda: self.plans.hits)
+        reg.gauge("plancache.misses", lambda: self.plans.misses)
+        reg.gauge("plancache.entries", lambda: len(self.plans))
+        reg.gauge("plancache.generation", lambda: self.plans.generation)
+
+    # Legacy key -> registry name, for the deprecation shim in metrics().
+    _METRIC_ALIASES = {
+        "selects": "storage.selects",
+        "inserts": "storage.inserts",
+        "updates": "storage.updates",
+        "deletes": "storage.deletes",
+        "statements": "storage.statements",
+        "total": "storage.total",
+        "writes": "storage.writes",
+        "rows_examined": "storage.rows_examined",
+        "plan_hits": "plancache.hits",
+        "plan_misses": "plancache.misses",
+    }
+
+    def metrics(self) -> MetricsView:
+        """A registry-view snapshot of every metric this database knows.
+
+        Keys are the stable dotted names (``storage.*``, ``plancache.*``,
+        plus ``wal.*`` / ``vault.*`` / ``service.*`` once those subsystems
+        attach). Old ``QueryStats``-shaped keys (``selects``, ...) still
+        resolve, with a :class:`DeprecationWarning`.
+        """
+        return self.obs.view(aliases=self._METRIC_ALIASES)
+
+    def _traced_statement(self, fn, span_name, hook, table, kind, args, kwargs):
+        """Statement body bracketed by a trace span (tracing enabled only).
+
+        Mirrors the untraced wrapper exactly — lock-hook declaration
+        first, span inside the locks so lock waits are not charged to the
+        statement — and feeds the statement-duration histogram.
+        """
+        if hook is not None:
+            self._declare_statement(hook, table, kind)
+        try:
+            handle = _TRACER.span(span_name, table=table)
+            with handle as sp:
+                result = fn(self, table, *args, **kwargs)
+            self._stmt_hist.observe(sp.duration_s)
+            return result
+        finally:
+            if hook is not None:
+                self._end_statement(hook)
 
     @property
     def _undo_stack(self) -> list[list[_UndoOp]]:
@@ -304,6 +415,8 @@ class Database:
         if self.in_transaction:
             raise TransactionError("cannot change the redo hook inside a transaction")
         self._redo_hook = hook
+        if hook is not None and hasattr(hook, "register_metrics"):
+            hook.register_metrics(self.obs)
 
     def _log_redo(self, record: dict[str, Any]) -> None:
         if self._redo_hook is not None:
@@ -428,13 +541,19 @@ class Database:
         table: str,
         where: str | Predicate | None = None,
         params: Mapping[str, Any] | None = None,
-    ) -> dict[str, Any]:
-        """EXPLAIN a select without executing it (not counted as a query).
+        analyze: bool = False,
+    ) -> PlanReport:
+        """EXPLAIN a select; with ``analyze=True``, execute it too.
 
-        See :meth:`repro.storage.table.Table.explain` for the report keys.
+        Returns a typed :class:`~repro.obs.report.PlanReport` (mapping
+        access keeps old ``report["plan"]`` callers working). Plain
+        EXPLAIN never executes and is not counted as a query; ANALYZE
+        runs the plan — table ``rows_examined`` diagnostics advance like
+        any scan's, but ``stats`` stays untouched so EXPLAIN output never
+        perturbs the statement counts experiments assert on.
         """
         pred = parse_where(where) if where is not None else None
-        return self.table(table).explain(pred, params)
+        return self.table(table).explain(pred, params, analyze=analyze)
 
     @_statement(_WRITE)
     def insert(

@@ -256,13 +256,30 @@ def run_select(db: Database, query: Query, params: Mapping[str, Any] | None = No
 
 
 def _drive(db: Database, query: Query) -> list[dict[str, Any]]:
-    db.stats.selects += 1
-    db.stats.statements += 1
+    _count_select(db)
     alias = query.source.alias
     out = []
     for row in db.table(query.source.table).rows():
         out.append(_namespace({}, row, alias))
     return out
+
+
+def _count_select(db: Database) -> None:
+    """Bump select/statement counters for one query stage.
+
+    Unlike ``Database`` statements, query stages bump ``db.stats``
+    directly rather than through the per-thread pending merge — so when a
+    lock hook is attached (concurrent service workers share the database)
+    the bump must hold the stats lock or increments are lost to races.
+    Single-threaded use keeps the lock-free fast path.
+    """
+    if db._lock_hook is not None:
+        with db._stats_lock:
+            db.stats.selects += 1
+            db.stats.statements += 1
+    else:
+        db.stats.selects += 1
+        db.stats.statements += 1
 
 
 def _namespace(base: dict[str, Any], row: Mapping[str, Any], alias: str) -> dict[str, Any]:
@@ -296,8 +313,7 @@ def _join(
     use_index = table.has_indexed(right_col)
     pk_col = table.schema.primary_key
     out = []
-    db.stats.selects += 1
-    db.stats.statements += 1
+    _count_select(db)
     for ns in namespaces:
         left_value = _lookup(ns, join.left)
         if left_value is None:

@@ -25,7 +25,9 @@ looking at other tables.
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Mapping as _MappingABC
+from time import perf_counter as _perf_counter
 from typing import Any, Iterable, Iterator, Mapping
 
 from repro.errors import (
@@ -34,6 +36,7 @@ from repro.errors import (
     SchemaError,
     UnknownColumnError,
 )
+from repro.obs.report import PlanNode, PlanReport
 from repro.storage.compile import PlanCache, PlanEntry, compile_predicate
 from repro.storage.index import HashIndex, UniqueIndex
 from repro.storage.planner import (
@@ -126,6 +129,12 @@ class Table:
         self.rows_examined = 0
         self.last_plan = "none"
         self.last_estimate = 0.0
+        # rows_examined is bumped once per statement but read-modify-write
+        # is not atomic: concurrent shared-lock readers would lose
+        # increments without this mutex. last_plan/last_estimate stay
+        # unguarded — "most recent" is inherently racy and they are only
+        # read single-threaded by tests and EXPLAIN.
+        self._diag_mu = threading.Lock()
 
     # -- introspection -------------------------------------------------------
 
@@ -212,11 +221,13 @@ class Table:
         if isinstance(pred, TrueP):
             self.last_plan = "full"
             self.last_estimate = float(len(self._rows))
-            self.rows_examined += len(self._rows)
+            with self._diag_mu:
+                self.rows_examined += len(self._rows)
             return [RowView(row) for row in self._rows.values()]
         entry = self._plan_entry(pred)
         rids = self._candidate_rids(entry, bound)
-        self.rows_examined += len(rids)
+        with self._diag_mu:
+            self.rows_examined += len(rids)
         compiled = entry.compiled
         if compiled is None:
             out = []
@@ -256,11 +267,13 @@ class Table:
         if isinstance(pred, TrueP):
             self.last_plan = "full"
             self.last_estimate = float(len(rows))
-            self.rows_examined += len(rows)
+            with self._diag_mu:
+                self.rows_examined += len(rows)
             return list(rows.items())
         entry = self._plan_entry(pred)
         rids = self._candidate_rids(entry, bound)
-        self.rows_examined += len(rids)
+        with self._diag_mu:
+            self.rows_examined += len(rids)
         compiled = entry.compiled
         if compiled is None:
             return [(rid, rows[rid]) for rid in rids if pred.test(rows[rid], bound)]
@@ -376,36 +389,93 @@ class Table:
         self,
         predicate: Predicate | None = None,
         params: Mapping[str, Any] | None = None,
-    ) -> dict[str, Any]:
-        """EXPLAIN for a scan: the plan it would run, without running it.
+        analyze: bool = False,
+    ) -> PlanReport:
+        """EXPLAIN for a scan; ``analyze=True`` executes it too.
 
-        Returns ``plan`` (the access-path description a scan would record
-        in ``last_plan``), ``estimated_rows`` (the cost model's guess at
-        rows examined), ``table_rows``, whether the predicate has a
-        ``compiled`` form, whether the plan was already ``cached``, and the
-        schema ``generation`` the plan is stamped with.
+        Returns a :class:`~repro.obs.report.PlanReport`: ``plan`` (the
+        access-path description a scan would record in ``last_plan``),
+        ``estimated_rows`` (the cost model's guess at rows examined),
+        ``table_rows``, whether the predicate has a ``compiled`` form,
+        whether the plan was already ``cached``, and the schema
+        ``generation`` the plan is stamped with. ANALYZE runs the same
+        access-path + compiled-filter pipeline a :meth:`scan` would,
+        filling ``actual_rows`` / ``rows_examined`` / ``cache_hit`` /
+        ``wall_time_s`` and a per-node breakdown (probe, then filter) —
+        the examined count advances ``rows_examined`` exactly as the
+        equivalent scan would, so EXPLAIN ANALYZE actuals and scan stats
+        deltas agree by construction.
         """
         pred = predicate if predicate is not None else TrueP()
         bound = params or {}
         rows = len(self._rows)
-        base = {"table": self.name, "table_rows": rows,
-                "generation": self._plans.generation}
         if isinstance(pred, TrueP):
-            return {**base, "plan": "full", "estimated_rows": float(rows),
-                    "compiled": False, "cached": False}
+            report = PlanReport(
+                table=self.name, plan="full", estimated_rows=float(rows),
+                table_rows=rows, compiled=False, cached=False,
+                generation=self._plans.generation,
+            )
+            if analyze:
+                start = _perf_counter()
+                with self._diag_mu:
+                    self.rows_examined += rows
+                report.analyzed = True
+                report.cache_hit = False
+                report.rows_examined = rows
+                report.actual_rows = rows
+                report.wall_time_s = _perf_counter() - start
+                report.nodes = [
+                    PlanNode("seq scan", rows, report.wall_time_s)
+                ]
+            return report
         cached = self._plans.lookup(self.name, pred)
         entry = cached if cached is not None else self._plan_entry(pred)
         path = None
         if entry.template is not None:
             path = bind_path(entry.template, bound)
         path, estimate = choose_path(path, self)
-        return {
-            **base,
-            "plan": "full" if path is None else path.describe(),
-            "estimated_rows": estimate,
-            "compiled": entry.compiled is not None,
-            "cached": cached is not None,
-        }
+        report = PlanReport(
+            table=self.name,
+            plan="full" if path is None else path.describe(),
+            estimated_rows=estimate,
+            table_rows=rows,
+            compiled=entry.compiled is not None,
+            cached=cached is not None,
+            generation=self._plans.generation,
+        )
+        if not analyze:
+            return report
+        # Execute exactly what scan() executes — same plan-entry lookup
+        # (so the cache-hit bit reflects this execution), same candidate
+        # resolution, same compiled-vs-interpreted filter — timing the
+        # probe and filter stages separately.
+        start = _perf_counter()
+        rids = self._candidate_rids(entry, bound)
+        with self._diag_mu:
+            self.rows_examined += len(rids)
+        probe_s = _perf_counter() - start
+        filter_start = _perf_counter()
+        compiled = entry.compiled
+        if compiled is None:
+            matched = sum(
+                1 for rid in rids if pred.test(self._rows[rid], bound)
+            )
+        else:
+            match = compiled.bind(bound)
+            matched = sum(1 for rid in rids if match(self._rows[rid]) is True)
+        filter_s = _perf_counter() - filter_start
+        report.analyzed = True
+        report.cache_hit = cached is not None
+        report.rows_examined = len(rids)
+        report.actual_rows = matched
+        report.wall_time_s = probe_s + filter_s
+        report.nodes = [
+            PlanNode(self.last_plan if self.last_plan != "full" else "seq scan",
+                     len(rids), probe_s),
+            PlanNode("filter" + (" [compiled]" if compiled is not None else ""),
+                     matched, filter_s),
+        ]
+        return report
 
     # -- mutation ---------------------------------------------------------------
 

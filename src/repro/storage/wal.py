@@ -51,6 +51,7 @@ from pathlib import Path
 from typing import Any, BinaryIO, Iterator
 
 from repro.errors import StorageError
+from repro.obs.trace import TRACER as _TRACER
 from repro.storage.database import Database
 from repro.storage.persist import (
     _decode_value,
@@ -357,6 +358,22 @@ class WriteAheadLog:
     def _unsynced_commits(self) -> int:
         return self._appended_seq - self._synced_seq
 
+    # -- observability -----------------------------------------------------------------
+
+    def register_metrics(self, registry: Any) -> None:
+        """Expose WAL counters as ``wal.*`` gauges in *registry*.
+
+        Called by :meth:`Database.set_redo_hook` when the log is attached;
+        the gauges read the live attributes lazily, so the append path
+        pays nothing for being observable.
+        """
+        registry.gauge("wal.appends", lambda: self.commits_appended)
+        registry.gauge("wal.fsyncs", lambda: self.syncs)
+        registry.gauge("wal.bytes_written", lambda: self.bytes_written)
+        registry.gauge("wal.appended_seq", lambda: self._appended_seq)
+        registry.gauge("wal.synced_seq", lambda: self._synced_seq)
+        registry.gauge("wal.unsynced_commits", lambda: self._unsynced_commits)
+
     # -- redo-hook protocol ----------------------------------------------------------
 
     def on_begin(self) -> None:
@@ -402,16 +419,22 @@ class WriteAheadLog:
     def _append_unit(self, records: list[dict[str, Any]]) -> None:
         if self._handle.closed:
             raise StorageError(f"{self.path}: write-ahead log is closed")
-        with self._append_lock:
+        with _TRACER.span("wal.append", records=len(records)) as sp, \
+                self._append_lock:
             written = 0
             for record in records:
                 written += _write_frame(self._handle, record)
             written += _write_frame(self._handle, {"t": _T_COMMIT, "n": len(records)})
             self._handle.flush()
+            # Counters and the append/sync sequence frontier are only ever
+            # advanced under _append_lock (appends) or _sync_cond (sync
+            # frontier), so concurrent committers cannot double-count; see
+            # _sync_to for the frontier half of the invariant.
             self.bytes_written += written
             self.commits_appended += 1
             self._appended_seq += 1
             seq = self._appended_seq
+            sp.set("bytes", written)
         self._tls.last_seq = seq
         if self.defer_sync:
             return
@@ -458,7 +481,9 @@ class WriteAheadLog:
             # of them durable — including followers that appended while
             # the leader slept. Snapshot the target *before* fsyncing.
             target = self._appended_seq
-            os.fsync(self._handle.fileno())
+            with _TRACER.span("wal.fsync", role="leader") as sp:
+                os.fsync(self._handle.fileno())
+                sp.set("units", target - self._synced_seq)
             self.syncs += 1
         except BaseException:
             with cond:
@@ -473,7 +498,8 @@ class WriteAheadLog:
 
     def _fsync(self) -> None:
         target = self._appended_seq
-        os.fsync(self._handle.fileno())
+        with _TRACER.span("wal.fsync", role="direct"):
+            os.fsync(self._handle.fileno())
         self.syncs += 1
         with self._sync_cond:
             if target > self._synced_seq:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Iterable
 
 from repro.errors import VaultError
+from repro.obs.trace import TRACER as _TRACER
 from repro.vault.entry import VaultEntry
 
 __all__ = ["VaultStore", "VaultStats", "match_entry"]
@@ -112,11 +113,22 @@ class VaultStore:
         MultiTierVault` uses it to route entries between tiers.
         """
 
+    def register_metrics(self, registry: Any, prefix: str = "vault") -> None:
+        """Expose vault counters as ``<prefix>.*`` gauges in *registry*.
+
+        Wired by the :class:`~repro.core.engine.Disguiser` for whatever
+        store it is given; wrapping stores (encryption, multi-tier)
+        override to also register their inner layers.
+        """
+        registry.gauge(f"{prefix}.reads", lambda: self.stats.reads)
+        registry.gauge(f"{prefix}.writes", lambda: self.stats.writes)
+        registry.gauge(f"{prefix}.deletes", lambda: self.stats.deletes)
+
     # -- public API --------------------------------------------------------------
 
     def put(self, entry: VaultEntry) -> None:
         """Store a new entry in its owner's vault."""
-        with self._vault_mu:
+        with _TRACER.span("vault.put"), self._vault_mu:
             self.stats.writes += 1
             self._put(entry)
 
@@ -130,7 +142,7 @@ class VaultStore:
         batch = list(entries)
         if not batch:
             return
-        with self._vault_mu:
+        with _TRACER.span("vault.put_many", entries=len(batch)), self._vault_mu:
             self.stats.writes += len(batch)
             self._put_many(batch)
 

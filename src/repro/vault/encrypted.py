@@ -23,6 +23,7 @@ from typing import Any, Iterable
 from repro.crypto.cipher import Ciphertext, SecretKey, decrypt, encrypt, encrypt_many
 from repro.crypto.threshold import EscrowedKey
 from repro.errors import VaultError
+from repro.obs.trace import TRACER as _TRACER
 from repro.vault.base import GLOBAL_OWNER, VaultStore
 from repro.vault.entry import VaultEntry
 
@@ -38,6 +39,14 @@ class EncryptedVault(VaultStore):
         self._keys: dict[Any, SecretKey] = {}  # registered (write) keys
         self._escrows: dict[Any, EscrowedKey] = {}
         self._unlocked: set[Any] = set()
+
+    def register_metrics(self, registry: Any, prefix: str = "vault") -> None:
+        # The encryption layer's own stats land under the public prefix;
+        # the wrapped store (where journal appends/fsyncs happen) reports
+        # under "<prefix>.inner" so both layers stay distinguishable.
+        super().register_metrics(registry, prefix)
+        if hasattr(self.inner, "register_metrics"):
+            self.inner.register_metrics(registry, f"{prefix}.inner")
 
     # -- key management ----------------------------------------------------------
 
@@ -123,17 +132,20 @@ class EncryptedVault(VaultStore):
                 sealed[i] = entry
             else:
                 by_owner.setdefault(entry.owner, []).append(i)
-        for owner, positions in by_owner.items():
-            key = self._key_for(owner, writing=True)
-            ciphertexts = encrypt_many(
-                key, [batch[i].to_json().encode() for i in positions]
-            )
-            for i, ciphertext in zip(positions, ciphertexts):
-                sealed[i] = replace(
-                    batch[i],
-                    op="modify",
-                    payload={"ct": ciphertext.to_bytes().hex()},
+        with _TRACER.span(
+            "vault.encrypt", entries=len(batch), owners=len(by_owner)
+        ):
+            for owner, positions in by_owner.items():
+                key = self._key_for(owner, writing=True)
+                ciphertexts = encrypt_many(
+                    key, [batch[i].to_json().encode() for i in positions]
                 )
+                for i, ciphertext in zip(positions, ciphertexts):
+                    sealed[i] = replace(
+                        batch[i],
+                        op="modify",
+                        payload={"ct": ciphertext.to_bytes().hex()},
+                    )
         return sealed  # type: ignore[return-value]
 
     def _open(self, stored: VaultEntry) -> VaultEntry:

@@ -25,6 +25,7 @@ from typing import Any, Iterable
 from urllib.parse import quote, unquote
 
 from repro.errors import VaultError
+from repro.obs.trace import TRACER as _TRACER
 from repro.vault.base import GLOBAL_OWNER, VaultStore
 from repro.vault.entry import VaultEntry
 
@@ -62,6 +63,13 @@ class FileVault(VaultStore):
         self._dead: dict[str, int] = {}
         self.compactions = 0  # diagnostic, read by tests and benchmarks
         self.syncs = 0  # fsyncs issued by _append (diagnostic)
+        self.appends = 0  # journal appends issued by _append (diagnostic)
+
+    def register_metrics(self, registry: Any, prefix: str = "vault") -> None:
+        super().register_metrics(registry, prefix)
+        registry.gauge(f"{prefix}.journal_appends", lambda: self.appends)
+        registry.gauge(f"{prefix}.fsyncs", lambda: self.syncs)
+        registry.gauge(f"{prefix}.compactions", lambda: self.compactions)
 
     def _key(self, owner: Any) -> str:
         return _GLOBAL_KEY if owner is GLOBAL_OWNER else str(owner)
@@ -129,8 +137,10 @@ class FileVault(VaultStore):
         return entries
 
     def _append(self, owner: Any, lines: list[str]) -> None:
-        with self._path(owner).open("a", encoding="utf-8") as handle:
+        with _TRACER.span("vault.journal_append", lines=len(lines)), \
+                self._path(owner).open("a", encoding="utf-8") as handle:
             handle.write("".join(line + "\n" for line in lines))
+            self.appends += 1
             if self.sync_appends:
                 handle.flush()
                 os.fsync(handle.fileno())

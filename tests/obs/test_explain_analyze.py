@@ -1,0 +1,151 @@
+"""EXPLAIN ANALYZE: typed reports whose actuals agree with scan stats."""
+
+import pytest
+
+from repro.obs import PlanReport
+from repro.storage.database import Database
+from repro.storage.predicate import TrueP, column_equals_param
+from repro.storage.schema import Column, Schema, TableSchema
+from repro.storage.sql import parse_where
+from repro.storage.types import ColumnType as T
+
+
+def make_db(rows: int = 200) -> Database:
+    db = Database(
+        Schema(
+            [
+                TableSchema(
+                    "events",
+                    (
+                        Column("id", T.INTEGER, nullable=False),
+                        Column("kind", T.INTEGER),
+                        Column("score", T.INTEGER),
+                    ),
+                    primary_key="id",
+                )
+            ]
+        )
+    )
+    for i in range(rows):
+        db.insert("events", {"id": i, "kind": i % 10, "score": i % 7})
+    db.table("events").create_index("kind")
+    return db
+
+
+class TestPlanReportType:
+    def test_explain_returns_typed_report(self):
+        db = make_db()
+        report = db.explain("events", parse_where("kind = 3"))
+        assert isinstance(report, PlanReport)
+        assert report.table == "events"
+        assert report.plan == "eq(kind)"
+        assert report.compiled is True
+        assert report.analyzed is False
+        assert report.actual_rows is None
+
+    def test_mapping_access_keeps_old_callers_working(self):
+        db = make_db()
+        report = db.explain("events", parse_where("kind = 3"))
+        # The PR 5 dict shape, via mapping-style indexing.
+        assert report["plan"] == "eq(kind)"
+        assert report["table_rows"] == 200
+        assert report["cached"] is False
+        assert report["generation"] == db.plans.generation
+        assert report["estimated_rows"] > 0
+        assert "plan" in report and "nope" not in report
+        assert set(report.keys()) >= {"plan", "estimated_rows", "compiled"}
+        with pytest.raises(KeyError):
+            report["nope"]
+        assert report.get("nope", 42) == 42
+
+    def test_str_renders_plan_and_analyze_sections(self):
+        db = make_db()
+        plain = str(db.explain("events", parse_where("kind = 3")))
+        assert plain.startswith("EXPLAIN events")
+        analyzed = str(
+            db.explain("events", parse_where("kind = 3"), analyze=True)
+        )
+        assert analyzed.startswith("EXPLAIN ANALYZE events")
+        assert "actual:" in analyzed
+
+    def test_to_dict_round_trips_nodes(self):
+        db = make_db()
+        report = db.explain("events", parse_where("kind = 3"), analyze=True)
+        data = report.to_dict()
+        assert data["analyzed"] is True
+        assert all(
+            set(node) == {"label", "rows", "time_s"} for node in data["nodes"]
+        )
+
+
+class TestAnalyzeActualsAgreeWithStats:
+    """report.rows_examined must equal the delta an identical scan causes."""
+
+    @pytest.mark.parametrize(
+        "where",
+        ["kind = 3", "score > 4", "kind = 3 AND score > 1", "id = 17"],
+    )
+    def test_examined_matches_scan_delta_exactly(self, where):
+        db = make_db()
+        pred = parse_where(where)
+        table = db.table("events")
+
+        before = table.rows_examined
+        report = db.explain("events", pred, analyze=True)
+        analyze_delta = table.rows_examined - before
+
+        before = table.rows_examined
+        rows = db.select("events", pred)
+        scan_delta = table.rows_examined - before
+
+        assert report.analyzed is True
+        assert report.rows_examined == analyze_delta == scan_delta
+        assert report.actual_rows == len(rows)
+        assert report.wall_time_s is not None and report.wall_time_s >= 0.0
+
+    def test_full_scan_analyze(self):
+        db = make_db(50)
+        table = db.table("events")
+        before = table.rows_examined
+        report = db.explain("events", analyze=True)
+        assert isinstance(report, PlanReport)
+        assert report.plan == "full"
+        assert report.rows_examined == 50 == table.rows_examined - before
+        assert report.actual_rows == 50
+        assert [node.label for node in report.nodes] == ["seq scan"]
+
+    def test_analyze_does_not_touch_query_stats(self):
+        # EXPLAIN ANALYZE executes the plan, not the statement: it advances
+        # the table's rows_examined (honest execution) but never the
+        # statement counters a real select would bump.
+        db = make_db()
+        before = db.stats.snapshot()
+        db.explain("events", parse_where("kind = 3"), analyze=True)
+        delta = db.stats.delta(before)
+        assert delta.selects == 0 and delta.statements == 0
+
+    def test_cache_hit_reflects_prior_plan(self):
+        db = make_db()
+        pred = column_equals_param("kind", "k")
+        first = db.explain("events", pred, {"k": 3}, analyze=True)
+        assert first.cache_hit is False
+        db.select("events", pred, {"k": 3})
+        second = db.explain("events", pred, {"k": 3}, analyze=True)
+        assert second.cache_hit is True and second.cached is True
+
+    def test_nodes_split_probe_and_filter(self):
+        db = make_db()
+        report = db.explain("events", parse_where("kind = 3"), analyze=True)
+        labels = [node.label for node in report.nodes]
+        assert labels == ["eq(kind)", "filter [compiled]"]
+        probe, filt = report.nodes
+        assert probe.rows == report.rows_examined
+        assert filt.rows == report.actual_rows
+        assert probe.time_s >= 0.0 and filt.time_s >= 0.0
+
+    def test_truep_estimate_is_table_rows(self):
+        db = make_db(30)
+        report = db.explain("events")
+        assert report.plan == "full"
+        assert report.estimated_rows == 30.0
+        assert report.analyzed is False

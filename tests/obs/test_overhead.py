@@ -1,0 +1,84 @@
+"""Disabled-mode observability must be near-free on the write path.
+
+The strict <=5% claim lives in benchmarks/bench_observability.py (run via
+``--smoke`` in CI, recorded in BENCH_obs.json); this smoke test uses a
+deliberately lenient bound so scheduler noise cannot flake the suite.
+"""
+
+import time
+
+from repro.obs import TRACER
+from repro.storage.database import Database
+from repro.storage.schema import Column, Schema, TableSchema
+from repro.storage.sql import parse_where
+from repro.storage.types import ColumnType as T
+
+
+ROWS = 400
+BATCHES = 60
+
+
+def make_db() -> Database:
+    db = Database(
+        Schema(
+            [
+                TableSchema(
+                    "events",
+                    (
+                        Column("id", T.INTEGER, nullable=False),
+                        Column("kind", T.INTEGER),
+                        Column("note", T.TEXT),
+                    ),
+                    primary_key="id",
+                )
+            ]
+        )
+    )
+    for i in range(ROWS):
+        db.insert("events", {"id": i, "kind": i % 10, "note": "x" * 32})
+    return db
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+class TestDisabledOverhead:
+    def test_instrumented_write_path_tracks_the_undecorated_seed(self):
+        assert not TRACER.enabled  # the default the bound is claimed under
+
+        pred = parse_where("kind = 3")
+        db = make_db()
+
+        def instrumented():
+            for i in range(BATCHES):
+                db.update_where("events", pred, {"note": f"n{i}"})
+
+        seed_db = make_db()
+        undecorated = Database.update_where.__wrapped__
+
+        def seed():
+            for i in range(BATCHES):
+                undecorated(seed_db, "events", pred, {"note": f"n{i}"})
+
+        # Warm plan caches so both sides measure steady state.
+        instrumented()
+        seed()
+
+        ratio = _best_of(instrumented) / _best_of(seed)
+        # Benchmarked headroom is ~5%; the CI bound is loose on purpose.
+        assert ratio < 1.25, f"disabled-mode overhead ratio {ratio:.3f}"
+
+    def test_disabled_span_entry_is_cheap(self):
+        assert not TRACER.enabled
+        start = time.perf_counter()
+        for _ in range(10_000):
+            with TRACER.span("storage.noop"):
+                pass
+        per_span = (time.perf_counter() - start) / 10_000
+        assert per_span < 5e-6  # a handful of attribute reads, no allocation
