@@ -26,6 +26,11 @@ Usage::
     python -m repro.cli jobs    --db app.jsonl
     python -m repro.cli serve   --db app.jsonl --vault-dir vaults \
                                 --spec scrub.json --workers 4 --wal
+    python -m repro.cli serve   --db app.jsonl --vault-dir vaults \
+                                --spec scrub.json --workers 4 --shards 4
+    python -m repro.cli shards  --db app.jsonl
+    python -m repro.cli shards  --db app.jsonl --owner 19 --migrate-to 2 \
+                                --vault-dir vaults
 
 Without ``--wal`` every write command rewrites the whole snapshot —
 O(database) per invocation. With ``--wal`` the command appends the
@@ -43,6 +48,18 @@ metrics report, and exits; ``jobs`` lists the queue. Apply submissions
 name a spec by its registered name — resolution happens when ``serve``
 runs with that spec's ``--spec`` document, and an unresolvable job
 retries and dead-letters like any other failure.
+
+``serve --shards N`` partitions the snapshot into N owner-hash shards
+(:mod:`repro.shard`) for the run: each shard journals to its own WAL
+(``<db>.s<i>.wal``) and keeps its own vault (``<vault-dir>/shard-<i>``),
+owner-rooted jobs lock and fsync only their owner's home shard, and the
+placement map persists at ``<db>.shardmap``. Shutdown folds the shards
+back into the snapshot (an implicit checkpoint); a crash mid-run
+recovers by re-partitioning the snapshot — placement is deterministic —
+and replaying each shard's log. ``shards`` inspects the layout
+(``--owner`` for one owner's placement) or, with ``--migrate-to``,
+moves an owner's subtree between shards offline under the journaled
+migration protocol of :mod:`repro.shard.rebalance`.
 
 Exit status: 0 on success, 1 on a disguise/storage error, 2 on bad usage.
 """
@@ -208,6 +225,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="give up draining after this many seconds (default: wait forever)",
     )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the database into N owner-hash shards for the run: "
+        "per-shard WALs, per-shard vaults, owner-rooted jobs confined to "
+        "one shard (default: 1, unsharded)",
+    )
     add_wal(p_serve)
 
     p_submit = sub.add_parser(
@@ -251,6 +276,35 @@ def build_parser() -> argparse.ArgumentParser:
         "--legacy",
         action="store_true",
         help="also include the deprecated pre-registry key names",
+    )
+
+    p_shards = sub.add_parser(
+        "shards",
+        help="inspect or rebalance the owner-hash shard layout",
+    )
+    add_db(p_shards)
+    p_shards.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="shard count (default: read from <db>.shardmap)",
+    )
+    p_shards.add_argument(
+        "--owner", type=int, help="show (or migrate) this owner's placement"
+    )
+    p_shards.add_argument(
+        "--migrate-to",
+        type=int,
+        default=None,
+        help="offline rebalance: move --owner's subtree onto this shard, "
+        "flip the shard map, and checkpoint the snapshot",
+    )
+    p_shards.add_argument(
+        "--vault-dir",
+        help="vault directory; the owner's vault entries migrate with the rows",
+    )
+    p_shards.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
     )
 
     p_trace = sub.add_parser(
@@ -453,7 +507,140 @@ def _queue_path(args) -> Path:
     return Path(args.queue) if args.queue else default_queue_path(args.db)
 
 
+def _shard_map_path(db_path: str | Path) -> Path:
+    path = Path(db_path)
+    return path.with_name(path.name + ".shardmap")
+
+
+def _shard_wal_path(db_path: str | Path, index: int) -> Path:
+    path = Path(db_path)
+    return path.with_name(path.name + f".s{index}.wal")
+
+
+def _open_sharded(args, n_shards: int):
+    """Shard the snapshot and fold in any pending per-shard WALs.
+
+    Partitioning is deterministic (sha256 owner tokens + the persisted
+    shard map), so re-sharding the same snapshot reproduces the exact
+    per-shard layout a crashed run journaled against — each shard's WAL
+    then replays onto its shard like a monolithic log replays onto a
+    monolithic snapshot. Stale logs (generation behind the snapshot's)
+    were already folded in by a checkpoint and are skipped.
+    """
+    from repro.shard import shard_database
+    from repro.storage.wal import WriteAheadLog, replay_into
+
+    db = _read_db(args)
+    generation = read_snapshot_generation(args.db)
+    sdb = shard_database(db, n_shards, map_path=_shard_map_path(args.db))
+    replayed = 0
+    for index, shard in enumerate(sdb.shards):
+        wal_path = _shard_wal_path(args.db, index)
+        if not wal_path.exists():
+            continue
+        log_generation, units = WriteAheadLog.read_log(wal_path)
+        if log_generation == generation and units:
+            replayed += replay_into(shard, units)
+    if replayed == 0:
+        # A fresh partition placed every non-overridden owner at its hash
+        # home, so dirty flags carried over from the previous run (which
+        # force owner-eq reads to scatter) no longer describe anything.
+        # Replayed WAL records, by contrast, land rows wherever the
+        # crashed run put them — then the flags must stay.
+        sdb.shard_map.dirty.clear()
+    return sdb, generation
+
+
+def _sharded_vault(args, sdb):
+    from repro.shard import ShardedVault
+
+    stores = [
+        FileVault(Path(args.vault_dir) / f"shard-{index}")
+        for index in range(sdb.n_shards)
+    ]
+    return ShardedVault(stores, sdb.shard_map)
+
+
+def _checkpoint_sharded(args, sdb, generation: int) -> None:
+    """Fold the sharded run back into the snapshot and retire shard logs.
+
+    Same crash discipline as :meth:`WalDatabase.checkpoint`: the merged
+    snapshot installs atomically with a bumped generation, so shard logs
+    that survive a crash before the unlinks are recognized as already
+    folded in (their generation is now stale) rather than replayed.
+    """
+    from repro.shard import collapse
+
+    save_database_atomic(collapse(sdb), args.db, generation=generation + 1)
+    for index in range(sdb.n_shards):
+        _shard_wal_path(args.db, index).unlink(missing_ok=True)
+    default_wal_path(args.db).unlink(missing_ok=True)
+    if sdb.shard_map.path is not None:
+        sdb.shard_map.save()
+
+
+def _serve_sharded(args) -> int:
+    from repro.shard import (
+        ShardedDisguiseService,
+        ShardGroupWal,
+        recover_migration,
+    )
+    from repro.storage.wal import WriteAheadLog
+
+    sdb, generation = _open_sharded(args, args.shards)
+    wals = [
+        WriteAheadLog(
+            _shard_wal_path(args.db, index),
+            fsync=args.fsync,
+            generation=generation,
+        )
+        for index in range(args.shards)
+    ]
+    group = ShardGroupWal(wals)
+    sdb.set_redo_hook(group)
+    vault = _sharded_vault(args, sdb)
+    try:
+        recover_migration(sdb, vault)
+        engine = Disguiser(sdb, vault=vault)
+        for spec_path in args.spec or []:
+            document = Path(spec_path).read_text(encoding="utf-8")
+            engine.register(spec_from_json(document))
+        service = ShardedDisguiseService(
+            engine,
+            _queue_path(args),
+            workers=args.workers,
+            wal=group,
+            lock_timeout=args.lock_timeout,
+            max_attempts=args.max_attempts,
+        )
+        with service:
+            drained = service.drain(timeout=args.drain_timeout)
+    except BaseException:
+        group.close()
+        sdb.close()
+        raise
+    _checkpoint_sharded(args, sdb, generation)
+    group.close()
+    sdb.close()
+    print(json.dumps(service.metrics().legacy(), indent=2, sort_keys=True))
+    if not drained:
+        print("warning: drain timed out with jobs still queued", file=sys.stderr)
+        return 1
+    dead = service.queue.counts()["dead"]
+    if dead:
+        print(f"warning: {dead} job(s) dead-lettered", file=sys.stderr)
+        return 1
+    return 0
+
+
 def cmd_serve(args) -> int:
+    if args.shards > 1:
+        if getattr(args, "wal", False):
+            raise ReproError(
+                "--wal and --shards are mutually exclusive: sharded serve "
+                "always journals to per-shard WALs (<db>.s<i>.wal)"
+            )
+        return _serve_sharded(args)
     engine, handle = _engine(args)
     service = DisguiseService(
         engine,
@@ -537,6 +724,94 @@ def cmd_metrics(args) -> int:
     return 0
 
 
+def cmd_shards(args) -> int:
+    from repro.shard import ShardMap, migrate_owner, owner_token, recover_migration
+
+    map_path = _shard_map_path(args.db)
+    n_shards = args.shards
+    if n_shards is None:
+        if not map_path.exists():
+            raise ReproError(
+                f"no shard map at {map_path}; pass --shards N to choose a layout"
+            )
+        n_shards = ShardMap.load(map_path).n_shards
+    sdb, generation = _open_sharded(args, n_shards)
+    vault = _sharded_vault(args, sdb) if args.vault_dir else None
+    recovered = recover_migration(sdb, vault)
+    if recovered is not None:
+        print(
+            f"recovered torn migration: owner {recovered['owner']} "
+            f"rolled back to source shard",
+            file=sys.stderr,
+        )
+
+    if args.migrate_to is not None:
+        if args.owner is None:
+            raise ReproError("--migrate-to needs --owner")
+        summary = migrate_owner(sdb, args.owner, args.migrate_to, vault=vault)
+        # The move is physical, not logical — collapse() is unchanged —
+        # but checkpointing here retires any pending shard WALs so the
+        # next serve re-partitions with the flipped map from a clean base.
+        _checkpoint_sharded(args, sdb, generation)
+        print(
+            f"moved owner {args.owner} to shard {args.migrate_to}: "
+            f"{summary['rows']} row(s), {summary['vault_entries']} vault entr(y/ies)"
+        )
+        return 0
+
+    router = sdb.router
+    shard_map = sdb.shard_map
+    if args.owner is not None:
+        root = router.analyzer.user_table
+        info = {
+            "owner": args.owner,
+            "home_shard": shard_map.shard_of(args.owner),
+            "clean": shard_map.is_clean(args.owner),
+            "override": shard_map.overrides.get(owner_token(args.owner)),
+            "present_on": [
+                index
+                for index in range(sdb.n_shards)
+                if sdb.shards[index].table(root).rid_of(args.owner) is not None
+            ],
+        }
+        if args.json:
+            print(json.dumps(info, sort_keys=True))
+        else:
+            for key in ("owner", "home_shard", "clean", "override", "present_on"):
+                print(f"{key}: {info[key]}")
+        return 0
+
+    placements = {
+        ts.name: router.placement(ts.name).kind for ts in sdb.schema
+    }
+    report = {
+        "shards": sdb.n_shards,
+        "rows_per_shard": [shard.total_rows() for shard in sdb.shards],
+        "dirty_owners": len(shard_map.dirty),
+        "overrides": len(shard_map.overrides),
+        "migrations_done": shard_map.migrations_done,
+        "migration_in_flight": shard_map.migration,
+        "placements": placements,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(f"{sdb.n_shards} shard(s), map at {map_path}")
+    for index, rows in enumerate(report["rows_per_shard"]):
+        print(f"  shard {index}: {rows} row(s)")
+    print(
+        f"dirty owners: {report['dirty_owners']}, "
+        f"overrides: {report['overrides']}, "
+        f"migrations done: {report['migrations_done']}"
+    )
+    if shard_map.migration is not None:
+        print(f"migration in flight: {shard_map.migration}")
+    width = max((len(name) for name in placements), default=0)
+    for name in sorted(placements):
+        print(f"  {name:<{width}}  {placements[name]}")
+    return 0
+
+
 def cmd_trace(args) -> int:
     import tempfile
 
@@ -599,6 +874,7 @@ _COMMANDS = {
     "audit": cmd_audit,
     "scan-pii": cmd_scan_pii,
     "serve": cmd_serve,
+    "shards": cmd_shards,
     "submit": cmd_submit,
     "jobs": cmd_jobs,
     "metrics": cmd_metrics,

@@ -102,3 +102,7 @@ class JobError(ServiceError):
 
 class QueueCorruptionError(ServiceError):
     """The job-queue journal is damaged somewhere other than its torn tail."""
+
+
+class ShardError(ReproError):
+    """A sharded-engine operation failed (bad shard count, routing misuse)."""

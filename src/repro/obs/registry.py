@@ -226,6 +226,7 @@ class Registry:
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
         self._metrics: dict[str, Any] = {}
+        self._aliases: dict[str, str] = {}
         self._mu = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------------
@@ -272,6 +273,18 @@ class Registry:
         with self._mu:
             self._metrics.pop(name, None)
 
+    def register_aliases(self, aliases: Mapping[str, str]) -> None:
+        """Record legacy-name aliases with the registry itself.
+
+        Subsystems call this when they register their gauges, so every
+        view taken afterwards — including ``metrics --legacy`` with no
+        server running — resolves the aliases regardless of which caller
+        materialized the view first (previously a view only knew the
+        aliases its own call site passed in).
+        """
+        with self._mu:
+            self._aliases.update(aliases)
+
     # -- reading -----------------------------------------------------------------
 
     def get(self, name: str) -> Any:
@@ -307,8 +320,28 @@ class Registry:
         prefix: str | Iterable[str] | None = None,
         aliases: Mapping[str, str] | None = None,
     ) -> MetricsView:
-        """A :class:`MetricsView` snapshot (optionally prefix-filtered)."""
-        return MetricsView(self.snapshot(prefix), aliases)
+        """A :class:`MetricsView` snapshot (optionally prefix-filtered).
+
+        Aliases registered on the registry (``register_aliases``) are
+        merged with any call-site *aliases*; the call site wins on
+        conflict. A prefix-restricted view only carries aliases whose
+        target falls under the prefix — the service view should not grow
+        ``statements: null`` because the *database* registered a
+        ``storage.*`` alias — while an in-prefix alias with no live
+        instrument still resolves to ``None`` (the legacy dicts surfaced
+        ``wal_syncs: None`` when no WAL was attached).
+        """
+        with self._mu:
+            merged = dict(self._aliases)
+        if aliases:
+            merged.update(aliases)
+        if prefix is not None:
+            merged = {
+                old: new
+                for old, new in merged.items()
+                if _match_prefix(new, prefix)
+            }
+        return MetricsView(self.snapshot(prefix), merged)
 
 
 def _match_prefix(name: str, prefix: str | Iterable[str] | None) -> bool:

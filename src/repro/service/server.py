@@ -71,7 +71,7 @@ class DisguiseService:
             backoff_base=backoff_base,
             fsync=queue_fsync,
         )
-        self.pool = WorkerPool(
+        self.pool = self._pool_class(
             self.queue,
             engine,
             self.hook,
@@ -81,6 +81,10 @@ class DisguiseService:
         )
         self._started = False
         self._stopped = False
+
+    #: Worker-pool implementation — subclasses (the sharded service)
+    #: substitute a pool with different prelock/dispatch routing.
+    _pool_class = WorkerPool
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -221,6 +225,7 @@ class DisguiseService:
             "service.job_p99_s",
             lambda: round(pool.latency.percentiles(99.0)[99.0], 6),
         )
+        registry.register_aliases(self._METRIC_ALIASES)
 
     def metrics(self) -> Any:
         """Service metrics snapshot: throughput, depth, waits, latency.

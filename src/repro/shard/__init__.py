@@ -1,0 +1,63 @@
+"""Owner-hash sharded engine (paper §6 scale-out direction).
+
+Co-locates each owner's FK-ownership subtree — rows, vault entries, and
+WAL traffic — on one of N shards, behind the unchanged ``Database``
+statement API. See :mod:`repro.shard.router` for placement,
+:mod:`repro.shard.engine` for the facade, :mod:`repro.shard.apply` for
+parallel disguise execution, and :mod:`repro.shard.rebalance` for owner
+migration.
+"""
+
+from repro.shard.apply import (
+    ShardedDisguiseService,
+    ShardedWorkerPool,
+    ShardGroupWal,
+)
+from repro.shard.engine import (
+    ShardedDatabase,
+    ShardedTableView,
+    collapse,
+    shard_database,
+    shard_lock_name,
+)
+from repro.shard.rebalance import migrate_owner, owner_rows, recover_migration
+from repro.shard.router import (
+    DIRECT,
+    GLOBAL,
+    INDIRECT,
+    ROOT,
+    SYSTEM,
+    OwnershipAnalyzer,
+    Router,
+    ShardMap,
+    TablePlacement,
+    owner_shard,
+    owner_token,
+)
+from repro.shard.vault import ShardedVault
+
+__all__ = [
+    "DIRECT",
+    "GLOBAL",
+    "INDIRECT",
+    "ROOT",
+    "SYSTEM",
+    "OwnershipAnalyzer",
+    "Router",
+    "ShardGroupWal",
+    "ShardMap",
+    "ShardedDatabase",
+    "ShardedDisguiseService",
+    "ShardedTableView",
+    "ShardedVault",
+    "ShardedWorkerPool",
+    "TablePlacement",
+    "collapse",
+    "migrate_owner",
+    "owner_rows",
+    "owner_shard",
+    "owner_token",
+    "recover_migration",
+    "shard_database",
+    "shard_lock_name",
+]

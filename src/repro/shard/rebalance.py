@@ -1,0 +1,286 @@
+"""Atomic owner migration between shards.
+
+Rebalancing moves one owner's full FK-ownership subtree — rows in every
+owner-anchored table plus the owner's vault entries — from wherever it
+lives onto a chosen target shard, then flips the shard map. The protocol
+is journaled so a crash at any step recovers to a consistent placement:
+
+1. **intent** — persist ``{owner, to_shard}`` in the shard map file.
+   Until the final flip, the map still routes reads to the source (the
+   migration intent marks the owner "not clean", so owner-eq predicates
+   scatter and see the rows wherever they are).
+2. **copy** — insert the owner's rows on the target shard, children
+   ordered after parents, inside a target-shard transaction (one WAL
+   unit journals the whole copy).
+3. **delete** — remove the rows from their source shards, leaves first,
+   inside per-shard transactions (journaled by each source WAL).
+4. **vault** — move the owner's vault entries onto the target store.
+5. **flip** — record the override ``owner -> to_shard`` in the map,
+   clear the intent, persist. Only now does routing change.
+
+Crash matrix (what :func:`recover_migration` does per torn step):
+
+========  ==========================================  ==================
+crashed    observable state                            recovery
+========  ==========================================  ==================
+intent     intent persisted, no rows moved             clear intent
+copy       rows on source AND (partially) target       delete target copy
+delete     rows on target, partially on source         finish the delete,
+                                                       then roll the copy
+                                                       back to source
+vault      rows only on target, vault split            move rows + vault
+                                                       back to source
+========  ==========================================  ==================
+
+Recovery always rolls **back to the source shard** (the issue's
+contract): the source is the placement the persisted map still routes
+to, so rolling forward would require trusting exactly the state the
+crash interrupted. The migration can simply be retried afterwards.
+
+Locking: when the sharded database has a lock hook attached, the
+migration X-locks the owner's tables on both source and target shards
+under its own token for the whole protocol, so concurrent disguise jobs
+for the same owner serialize against the move.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import ShardError
+from repro.service.locks import MODE_X
+from repro.shard.engine import ShardedDatabase, shard_lock_name
+from repro.shard.router import DIRECT, GLOBAL, INDIRECT, ROOT, SYSTEM
+from repro.shard.vault import ShardedVault
+
+__all__ = ["migrate_owner", "recover_migration", "owner_rows"]
+
+#: Injection points for the crash-matrix tests: raising _MigrationCrash
+#: after the named step simulates a failure with that step's effects
+#: already durable.
+CRASH_POINTS = ("intent", "copy", "delete", "vault")
+
+
+class _MigrationCrash(RuntimeError):
+    """Injected crash (tests only)."""
+
+
+def owner_rows(
+    sdb: ShardedDatabase, owner: Any
+) -> dict[str, dict[int, list[dict[str, Any]]]]:
+    """The owner's subtree: ``{table: {shard_index: [row, ...]}}``.
+
+    Parents-first table order (root table first, then direct tables in
+    schema order, then indirect tables), so the copy step can insert in
+    iteration order and the delete step can walk it reversed.
+    """
+    router = sdb.router
+    out: dict[str, dict[int, list[dict[str, Any]]]] = {}
+    root_pks: dict[str, list[Any]] = {}
+    ordered = sorted(
+        (ts for ts in sdb.schema),
+        key=lambda ts: {ROOT: 0, DIRECT: 1, INDIRECT: 2}.get(
+            router.placement(ts.name).kind, 3
+        ),
+    )
+    for ts in ordered:
+        placement = router.placement(ts.name)
+        if placement.kind in (GLOBAL, SYSTEM):
+            continue
+        per_shard: dict[int, list[dict[str, Any]]] = {}
+        for index in range(sdb.n_shards):
+            table = sdb.shards[index].table(ts.name)
+            if placement.kind == ROOT:
+                row = table.get(owner)
+                rows = [dict(row)] if row is not None else []
+            elif placement.kind == DIRECT:
+                rows = [
+                    dict(row)
+                    for row in table.referencing_rows(placement.anchor, owner)
+                ]
+            else:  # INDIRECT: rows referencing the owner's parent rows
+                parents = root_pks.get(placement.parent_table, [])
+                rows = []
+                for parent_pk in parents:
+                    rows.extend(
+                        dict(row)
+                        for row in table.referencing_rows(
+                            placement.parent_column, parent_pk
+                        )
+                    )
+            if rows:
+                per_shard[index] = rows
+        if per_shard:
+            out[ts.name] = per_shard
+            pks = [
+                row[ts.primary_key] for rows in per_shard.values() for row in rows
+            ]
+            root_pks[ts.name] = pks
+    return out
+
+
+def _lock_names(sdb: ShardedDatabase, tables: list[str]) -> list[str]:
+    names = []
+    for table in tables:
+        for index in range(sdb.n_shards):
+            names.append(shard_lock_name(index, table))
+    return sorted(names)
+
+
+def migrate_owner(
+    sdb: ShardedDatabase,
+    owner: Any,
+    to_shard: int,
+    vault: ShardedVault | None = None,
+    crash_after: str | None = None,
+) -> dict[str, int]:
+    """Move *owner*'s subtree onto shard *to_shard*; returns a summary.
+
+    ``crash_after`` (tests only) aborts after the named protocol step
+    with that step's effects durable, leaving the torn state for
+    :func:`recover_migration`.
+    """
+    if not 0 <= to_shard < sdb.n_shards:
+        raise ShardError(f"no shard {to_shard} (have {sdb.n_shards})")
+    if crash_after is not None and crash_after not in CRASH_POINTS:
+        raise ShardError(f"unknown crash point {crash_after!r}")
+    shard_map = sdb.router.map
+    hook = sdb._lock_hook
+    token = f"migrate-{to_shard}"
+    subtree = owner_rows(sdb, owner)
+    tables = list(subtree)
+    locked = False
+    if hook is not None:
+        hook.start_job(token)
+        for name in _lock_names(sdb, tables):
+            hook.manager.acquire(token, name, MODE_X, timeout=hook.timeout)
+        locked = True
+    try:
+        # 1. intent
+        shard_map.begin_migration(owner, to_shard)
+        if crash_after == "intent":
+            raise _MigrationCrash("intent")
+        # Re-read under the locks: rows may have moved since the unlocked
+        # first pass (the lock names were derived only from table *names*,
+        # which cannot change concurrently).
+        subtree = owner_rows(sdb, owner)
+        copied = 0
+        # 2. copy (parents first), one transaction on the target shard
+        target = sdb.shards[to_shard]
+        with target.transaction():
+            for table, per_shard in subtree.items():
+                for index, rows in per_shard.items():
+                    if index == to_shard:
+                        continue
+                    target.insert_many(table, rows, enforce_fk=False)
+                    copied += len(rows)
+        if crash_after == "copy":
+            raise _MigrationCrash("copy")
+        # 3. delete at sources (children first)
+        for table in reversed(list(subtree)):
+            pk_col = sdb.schema.table(table).primary_key
+            for index, rows in subtree[table].items():
+                if index == to_shard:
+                    continue
+                source = sdb.shards[index]
+                with source.transaction():
+                    source.delete_many(
+                        table, [row[pk_col] for row in rows], enforce_fk=False
+                    )
+        if crash_after == "delete":
+            raise _MigrationCrash("delete")
+        # 4. vault entries follow the rows
+        moved_entries = 0
+        if vault is not None:
+            moved_entries = vault.move_owner(owner, to_shard)
+        if crash_after == "vault":
+            raise _MigrationCrash("vault")
+        # 5. flip the map (persisted) — routing changes only here
+        shard_map.finish_migration(owner, to_shard)
+        return {"rows": copied, "vault_entries": moved_entries}
+    finally:
+        if locked:
+            hook.end_job()
+
+
+def recover_migration(
+    sdb: ShardedDatabase, vault: ShardedVault | None = None
+) -> dict[str, Any] | None:
+    """Roll a torn migration back to the source shard.
+
+    Reads the persisted intent from the shard map; returns a summary of
+    what was undone, or ``None`` when no migration was in flight. Safe
+    to call unconditionally at startup (the CLI does).
+    """
+    shard_map = sdb.router.map
+    intent = shard_map.migration
+    if intent is None:
+        return None
+    owner = intent["value"]
+    to_shard = int(intent["to"])
+    undone_rows = 0
+    restored_rows = 0
+    subtree = owner_rows(sdb, owner)
+    target = sdb.shards[to_shard]
+    # Walk children-first when deleting from the target; a row that also
+    # exists at a source shard is a torn copy (delete the target copy),
+    # one that exists only at the target is a torn delete (copy it back
+    # to a source shard, then delete it at the target).
+    for table in reversed(list(subtree)):
+        pk_col = sdb.schema.table(table).primary_key
+        per_shard = subtree[table]
+        target_rows = per_shard.get(to_shard, [])
+        if not target_rows:
+            continue
+        source_pks = {
+            row[pk_col]
+            for index, rows in per_shard.items()
+            if index != to_shard
+            for row in rows
+        }
+        torn_copies = [r for r in target_rows if r[pk_col] in source_pks]
+        orphans = [r for r in target_rows if r[pk_col] not in source_pks]
+        if orphans:
+            # Source placement for this owner is its hash home (overrides
+            # for this owner cannot exist while its migration is open).
+            source = sdb.shards[_source_shard(sdb, owner, to_shard)]
+            with source.transaction():
+                # parents-first within the table's own rows is trivial
+                # (single table); cross-table order is handled by walking
+                # tables in reverse on delete and re-inserting per table.
+                source.insert_many(table, orphans, enforce_fk=False)
+            restored_rows += len(orphans)
+        with target.transaction():
+            target.delete_many(
+                table, [row[pk_col] for row in target_rows], enforce_fk=False
+            )
+        undone_rows += len(target_rows)
+    if vault is not None:
+        source = _source_shard(sdb, owner, to_shard)
+        moved = vault.move_owner(owner, source)
+    else:
+        moved = 0
+    shard_map.abort_migration()
+    return {
+        "owner": owner,
+        "to_shard": to_shard,
+        "rows_removed_from_target": undone_rows,
+        "rows_restored_to_source": restored_rows,
+        "vault_entries_returned": moved,
+    }
+
+
+def _source_shard(sdb: ShardedDatabase, owner: Any, to_shard: int) -> int:
+    """The shard the owner lived on before the torn migration."""
+    home = sdb.router.map.shard_of(owner)
+    if home != to_shard:
+        return home
+    # Migrating back to the hash home: any shard holding the root row
+    # other than the target is the source; default to the home.
+    root = sdb.router.analyzer.user_table
+    for index in range(sdb.n_shards):
+        if index == to_shard:
+            continue
+        if sdb.shards[index].table(root).rid_of(owner) is not None:
+            return index
+    return home

@@ -1,0 +1,119 @@
+"""`ShardedVault`: one vault store per shard, routed by owner hash.
+
+Each shard keeps its own vault (paper §4.2: vaults are *per-user*, so an
+owner's entries co-locate with their rows), and the facade routes every
+primitive by the shared :class:`~repro.shard.router.ShardMap` — the same
+map object the engine routes statements with, so a migrated owner's
+vault follows their rows automatically. Entries for the global vault
+(``owner is None``) live on shard 0.
+
+The facade subclasses :class:`~repro.vault.base.VaultStore` and
+implements only the underscore primitives; stats accounting, filtering
+and expiry come from the base class. Inner stores are driven through
+*their* underscore primitives (under the facade's mutex) so vault
+traffic is counted once, at the facade.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.errors import ShardError
+from repro.vault.base import GLOBAL_OWNER, VaultStore
+from repro.vault.entry import VaultEntry
+from repro.shard.router import ShardMap
+
+__all__ = ["ShardedVault"]
+
+
+class ShardedVault(VaultStore):
+    """Owner-hash routed facade over N per-shard vault stores."""
+
+    def __init__(self, stores: list[VaultStore], shard_map: ShardMap) -> None:
+        super().__init__()
+        if not stores:
+            raise ShardError("a sharded vault needs at least one store")
+        if shard_map.n_shards != len(stores):
+            raise ShardError(
+                f"shard map is for {shard_map.n_shards} shard(s), "
+                f"got {len(stores)} store(s)"
+            )
+        self.stores = list(stores)
+        self.map = shard_map
+
+    def _store_for(self, owner: Any) -> VaultStore:
+        if owner is GLOBAL_OWNER:
+            return self.stores[0]
+        return self.stores[self.map.shard_of(owner)]
+
+    # -- primitives (routed) -----------------------------------------------------
+
+    def _put(self, entry: VaultEntry) -> None:
+        self._store_for(entry.owner)._put(entry)
+
+    def _put_many(self, entries: list[VaultEntry]) -> None:
+        groups: dict[int, list[VaultEntry]] = {}
+        for entry in entries:
+            if entry.owner is GLOBAL_OWNER:
+                index = 0
+            else:
+                index = self.map.shard_of(entry.owner)
+            groups.setdefault(index, []).append(entry)
+        for index, group in groups.items():
+            self.stores[index]._put_many(group)
+
+    def _replace(self, entry: VaultEntry) -> None:
+        self._store_for(entry.owner)._replace(entry)
+
+    def _delete(self, owner: Any, entry_ids: Iterable[int]) -> int:
+        return self._store_for(owner)._delete(owner, entry_ids)
+
+    def _entries(self, owner: Any) -> list[VaultEntry]:
+        return self._store_for(owner)._entries(owner)
+
+    def owners(self) -> list[Any]:
+        seen: set[Any] = set()
+        out: list[Any] = []
+        for store in self.stores:
+            for owner in store.owners():
+                if owner not in seen:
+                    seen.add(owner)
+                    out.append(owner)
+        return out
+
+    def note_disguise(self, disguise_id: int, user_invoked: bool) -> None:
+        for store in self.stores:
+            store.note_disguise(disguise_id, user_invoked)
+
+    def register_metrics(self, registry: Any, prefix: str = "vault") -> None:
+        super().register_metrics(registry, prefix)
+        registry.gauge(f"{prefix}.shards", lambda: len(self.stores))
+
+    # -- migration support -------------------------------------------------------
+
+    def entries_at(self, shard_index: int, owner: Any) -> list[VaultEntry]:
+        """*owner*'s entries as physically stored on one shard (migration
+        bookkeeping — routed reads should use ``entries_for``)."""
+        with self._vault_mu:
+            return list(self.stores[shard_index]._entries(owner))
+
+    def move_owner(self, owner: Any, to_shard: int) -> int:
+        """Physically move *owner*'s entries onto *to_shard*.
+
+        Called by :func:`repro.shard.rebalance.migrate_owner` **before**
+        the shard map flips, so sources are found by probing every store.
+        Returns the number of entries moved. Idempotent: entries already
+        at the target stay put.
+        """
+        moved = 0
+        with self._vault_mu:
+            for index, store in enumerate(self.stores):
+                if index == to_shard:
+                    continue
+                entries = store._entries(owner)
+                if not entries:
+                    continue
+                self.stores[to_shard]._put_many(sorted(entries, key=lambda e: e.seq))
+                store._delete(owner, [entry.entry_id for entry in entries])
+                moved += len(entries)
+        return moved

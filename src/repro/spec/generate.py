@@ -62,6 +62,18 @@ class Generator:
         """One-line rendering used by spec LoC accounting and debugging."""
         return type(self).__name__
 
+    def config(self) -> Any:
+        """The document form :func:`generator_from_config` parses back.
+
+        Raises :class:`~repro.errors.SpecError` for generators with no
+        document form (:class:`Compute` closures) — serializing a spec
+        containing one is a caller error, not silent data loss.
+        """
+        raise SpecError(
+            f"generator {self.describe()} has no document form; "
+            "programmatic specs stay in Python"
+        )
+
 
 @dataclass(frozen=True)
 class RandomValue(Generator):
@@ -92,6 +104,9 @@ class RandomValue(Generator):
     def describe(self) -> str:
         return "Random"
 
+    def config(self) -> Any:
+        return ["random", self.lo, self.hi]
+
 
 @dataclass(frozen=True)
 class Default(Generator):
@@ -104,6 +119,9 @@ class Default(Generator):
 
     def describe(self) -> str:
         return f"Default({self.value!r})"
+
+    def config(self) -> Any:
+        return ["default", self.value]
 
 
 @dataclass(frozen=True)
@@ -120,6 +138,9 @@ class Sequence(Generator):
 
     def describe(self) -> str:
         return f"Sequence({self.prefix!r})"
+
+    def config(self) -> Any:
+        return ["sequence", self.prefix]
 
 
 _ADJECTIVES = (
@@ -148,6 +169,9 @@ class FakeName(Generator):
     def describe(self) -> str:
         return "FakeName"
 
+    def config(self) -> Any:
+        return "fake_name"
+
 
 @dataclass(frozen=True)
 class FakeEmail(Generator):
@@ -161,6 +185,9 @@ class FakeEmail(Generator):
 
     def describe(self) -> str:
         return f"FakeEmail({self.domain!r})"
+
+    def config(self) -> Any:
+        return ["fake_email", self.domain]
 
 
 @dataclass(frozen=True)

@@ -118,9 +118,12 @@ def _transformation_from_dict(table_name: str, doc: Mapping[str, Any]):
 def spec_to_dict(spec: DisguiseSpec) -> dict[str, Any]:
     """Serialize a spec back to the document format.
 
+    Round-trips through :func:`spec_from_dict` for declarative specs:
+    generators serialize via :meth:`~repro.spec.generate.Generator.config`.
     ``Modify`` operations with non-built-in closures serialize by label
-    only and will not round-trip — the document format is for declarative
-    specs; programmatic specs stay in Python.
+    only and will not round-trip, and ``Compute`` generators raise — the
+    document format is for declarative specs; programmatic specs stay in
+    Python.
     """
     tables: dict[str, Any] = {}
     for table_disguise in spec.tables:
@@ -129,7 +132,7 @@ def spec_to_dict(spec: DisguiseSpec) -> dict[str, Any]:
             doc["owner"] = table_disguise.owner_column
         if table_disguise.generate_placeholder:
             doc["generate_placeholder"] = [
-                [column, generator.describe()]
+                [column, generator.config()]
                 for column, generator in table_disguise.generate_placeholder.items()
             ]
         ops = []

@@ -243,6 +243,7 @@ class Database:
         reg.gauge("plancache.misses", lambda: self.plans.misses)
         reg.gauge("plancache.entries", lambda: len(self.plans))
         reg.gauge("plancache.generation", lambda: self.plans.generation)
+        reg.register_aliases(self._METRIC_ALIASES)
 
     # Legacy key -> registry name, for the deprecation shim in metrics().
     _METRIC_ALIASES = {

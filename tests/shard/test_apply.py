@@ -1,0 +1,241 @@
+"""Parallel disguise execution: owner-rooted analysis, service runs,
+per-shard isolation of plan caches and statistics."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import (
+    Decorrelate,
+    Default,
+    Disguiser,
+    DisguiseSpec,
+    FakeName,
+    Modify,
+    Remove,
+    TableDisguise,
+    named_modifier,
+)
+from repro.service.executor import JOB_APPLY
+from repro.service.queue import JobQueue
+from repro.shard import (
+    Router,
+    ShardGroupWal,
+    ShardMap,
+    ShardedDisguiseService,
+    owner_shard,
+    shard_database,
+)
+from repro.shard.apply import spec_owner_rooted
+from repro.storage.wal import WriteAheadLog
+from repro.vault import MemoryVault
+
+from tests.conftest import blog_delete_spec, blog_scrub_spec, make_blog_db
+
+
+def rooted_spec():
+    """Blog scrub restricted to owner-anchored statements only.
+
+    The account row is scrubbed in place rather than removed — a Remove
+    would trip the RESTRICT edges from other users' follows rows, which
+    an owner-rooted spec by definition cannot touch.
+    """
+    null_fn, null_label = named_modifier("null")
+    return DisguiseSpec(
+        "RootedScrub",
+        [
+            TableDisguise(
+                "users",
+                transformations=[
+                    Modify("id = $UID", column="email", fn=null_fn, label=null_label),
+                    Modify("id = $UID", column="last_login", fn=null_fn, label=null_label),
+                ],
+                generate_placeholder={
+                    "name": FakeName(),
+                    "email": Default(None),
+                    "disabled": Default(True),
+                },
+            ),
+            TableDisguise(
+                "posts",
+                transformations=[Decorrelate("user_id = $UID", foreign_key="user_id")],
+            ),
+            TableDisguise(
+                "comments",
+                transformations=[Decorrelate("user_id = $UID", foreign_key="user_id")],
+            ),
+        ],
+    )
+
+
+class TestSpecOwnerRooted:
+    def router(self):
+        return Router(make_blog_db().schema, ShardMap(n_shards=4))
+
+    def test_rooted(self):
+        assert spec_owner_rooted(rooted_spec(), self.router())
+
+    def test_or_predicate_is_not_rooted(self):
+        # follows: Remove("follower_id = $UID OR followee_id = $UID") —
+        # the OR means rows of *other* owners match, on other shards.
+        assert not spec_owner_rooted(blog_delete_spec(), self.router())
+        assert not spec_owner_rooted(blog_scrub_spec(), self.router())
+
+    def test_non_anchor_column_is_not_rooted(self):
+        spec = DisguiseSpec(
+            "Followee",
+            [TableDisguise("follows", transformations=[Remove("followee_id = $UID")])],
+        )
+        # follows is anchored on follower_id; a followee predicate
+        # touches rows owned by other users.
+        assert not spec_owner_rooted(spec, self.router())
+
+
+def run_service(tmp_path, n_shards=2, workers=2, uids=(1, 2, 3), spec=None):
+    sdb = shard_database(make_blog_db(), n_shards)
+    wals = [
+        WriteAheadLog(tmp_path / f"s{i}.wal", fsync="never")
+        for i in range(n_shards)
+    ]
+    group = ShardGroupWal(wals)
+    sdb.set_redo_hook(group)
+    engine = Disguiser(sdb, vault=MemoryVault(), seed=3)
+    engine.register(spec or rooted_spec())
+    queue_path = tmp_path / "jobs"
+    queue = JobQueue(queue_path)
+    for uid in uids:
+        queue.submit(JOB_APPLY, {
+            "spec": (spec or rooted_spec()).name, "uid": uid, "reversible": True,
+        })
+    queue.close()
+    service = ShardedDisguiseService(
+        engine, queue_path, workers=workers, wal=group, queue_fsync=False
+    )
+    with service:
+        assert service.drain(timeout=30.0)
+    counts = service.queue.counts()
+    group.close()
+    return sdb, engine, counts
+
+
+class TestShardedService:
+    def test_owner_rooted_jobs_complete(self, tmp_path):
+        sdb, engine, counts = run_service(tmp_path)
+        assert counts["done"] == 3
+        assert counts["dead"] == 0
+        assert counts["failed"] == 0
+        # All three users scrubbed in place; contributions reattributed.
+        for uid in (1, 2, 3):
+            assert sdb.get("users", uid)["email"] is None
+        assert sdb.check_integrity() == []
+        assert len(engine.vault.owners()) >= 3
+
+    def test_non_rooted_spec_still_completes(self, tmp_path):
+        # Cross-shard footprints prelock every shard's copy in one sorted
+        # order — slower, but deadlock-free and correct.
+        sdb, _engine, counts = run_service(tmp_path, spec=blog_scrub_spec())
+        assert counts["done"] == 3
+        assert counts["dead"] == 0
+        assert sdb.check_integrity() == []
+
+    def test_placeholders_land_on_home_shard(self, tmp_path):
+        sdb, _engine, _counts = run_service(tmp_path, uids=(1,))
+        home = owner_shard(1, 2)
+        # Decorrelation created placeholder users under the job's routing
+        # bias: every new users row sits on uid 1's home shard.
+        other = sdb.shards[1 - home]
+        original_users = {1, 2, 3}
+        for row in other.table("users").rows():
+            assert row["id"] in original_users
+
+
+class TestPerShardIsolation:
+    """Satellite: per-shard engines must not share plan caches or stats."""
+
+    def test_stats_and_plans_are_distinct_objects(self, tmp_path):
+        sdb, _engine, _counts = run_service(tmp_path)
+        assert sdb.shards[0].stats is not sdb.shards[1].stats
+        assert sdb.shards[0].plans is not sdb.shards[1].plans
+        assert sdb.stats is not sdb.shards[0].stats
+
+    def test_per_shard_counters_independent(self, tmp_path):
+        sdb = shard_database(make_blog_db(), 2)
+        home1 = owner_shard(1, 2)
+        before = [shard.stats.statements for shard in sdb.shards]
+        sdb.select("posts", "user_id = 1")
+        after = [shard.stats.statements for shard in sdb.shards]
+        # The routed read ran on exactly one shard's engine.
+        assert after[home1] == before[home1] + 1
+        assert after[1 - home1] == before[1 - home1]
+
+    def test_plan_cache_generations_independent(self):
+        sdb = shard_database(make_blog_db(), 2)
+        generation_before = [shard.plans.generation for shard in sdb.shards]
+        # DDL on shard 0 only (system tables live there) must not
+        # invalidate shard 1's compiled plans.
+        from repro import parse_schema
+        sdb.create_table(parse_schema(
+            "CREATE TABLE _scratch (id INT PRIMARY KEY);"
+        )[0])
+        assert sdb.shards[0].plans.generation != generation_before[0]
+        assert sdb.shards[1].plans.generation == generation_before[1]
+
+    def test_registry_view_sums_per_shard_counters(self, tmp_path):
+        sdb, _engine, _counts = run_service(tmp_path)
+        view = sdb.metrics()
+        for index, shard in enumerate(sdb.shards):
+            assert view[f"shard.s{index}.statements"] == shard.stats.statements
+        assert view["shard.statements_total"] == sum(
+            shard.stats.statements for shard in sdb.shards
+        )
+        assert view["plancache.hits"] == sum(
+            shard.plans.hits for shard in sdb.shards
+        )
+
+    def test_share_clones_do_not_share_rng(self, tmp_path):
+        sdb = shard_database(make_blog_db(), 2)
+        engine = Disguiser(sdb, vault=MemoryVault(), seed=3)
+        clone = engine.share(seed=7)
+        assert clone.db is engine.db
+        assert clone.vault is engine.vault
+        assert clone.history is engine.history
+        # Private executor state per worker; shared durable state.
+        assert clone.rng is not engine.rng
+
+
+class TestShardGroupWal:
+    def test_metrics_aggregate(self, tmp_path):
+        wals = [WriteAheadLog(tmp_path / f"w{i}.wal", fsync="always") for i in range(2)]
+        group = ShardGroupWal(wals)
+        sdb = shard_database(make_blog_db(), 2)
+        sdb.set_redo_hook(group)
+        sdb.insert("users", {"id": 90, "name": "Zed", "email": "z@x.io"})
+        view = sdb.metrics()
+        assert view["wal.logs"] == 2
+        assert view["wal.appends"] == sum(w.commits_appended for w in wals) >= 1
+        group.close()
+
+    def test_defer_sync_is_thread_scoped_fanout(self, tmp_path):
+        wals = [WriteAheadLog(tmp_path / f"w{i}.wal", fsync="always") for i in range(2)]
+        group = ShardGroupWal(wals)
+        group.defer_sync = True
+        assert group.defer_sync
+        seen = []
+        thread = threading.Thread(target=lambda: seen.append(group.defer_sync))
+        thread.start()
+        thread.join()
+        assert seen == [False]  # other threads keep their fsync policy
+        group.defer_sync = False
+        group.close()
+
+    def test_barrier_covers_all_logs(self, tmp_path):
+        wals = [WriteAheadLog(tmp_path / f"w{i}.wal", fsync="batch") for i in range(2)]
+        group = ShardGroupWal(wals)
+        sdb = shard_database(make_blog_db(), 2)
+        sdb.set_redo_hook(group)
+        group.defer_sync = True
+        sdb.insert("users", {"id": 91, "name": "Yen", "email": "y@x.io"})
+        group.commit_barrier()  # must not hang on the untouched shard
+        group.close()
