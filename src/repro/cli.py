@@ -327,6 +327,74 @@ def build_parser() -> argparse.ArgumentParser:
         "disguises are reported with their captured span trees",
     )
 
+    p_simtest = sub.add_parser(
+        "simtest",
+        help="deterministic simulation: run seeded randomized workloads on "
+        "an in-memory crash-consistency substrate and check recovery "
+        "invariants (same seed replays the same run, byte for byte)",
+    )
+    p_simtest.add_argument(
+        "--seed", type=int, default=None, help="run this one seed"
+    )
+    p_simtest.add_argument(
+        "--seeds",
+        default=None,
+        help="half-open seed range A:B for a sweep (e.g. 0:200)",
+    )
+    p_simtest.add_argument(
+        "--steps", type=int, default=300, help="scheduler steps per run"
+    )
+    p_simtest.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="shard count (0 = monolithic WAL database)",
+    )
+    p_simtest.add_argument(
+        "--workers", type=int, default=2, help="simulated service workers"
+    )
+    p_simtest.add_argument(
+        "--app",
+        choices=("lobsters", "hotcrp", "mixed"),
+        default="mixed",
+        help="workload spec family; 'mixed' alternates by seed parity",
+    )
+    p_simtest.add_argument(
+        "--crashes",
+        type=int,
+        default=None,
+        help="power cuts per run (default: the plan RNG decides)",
+    )
+    p_simtest.add_argument(
+        "--fsync",
+        choices=FSYNC_POLICIES,
+        default="batch",
+        help="WAL fsync policy under simulation (default: batch)",
+    )
+    p_simtest.add_argument(
+        "--fault-keep-all",
+        type=float,
+        default=0.5,
+        metavar="P",
+        help="probability a crash keeps all un-fsynced bytes; 0.0 tears "
+        "every crash-caught append (default: 0.5)",
+    )
+    p_simtest.add_argument(
+        "--shrink",
+        action="store_true",
+        help="on failure, delta-debug the plan to a minimal reproduction "
+        "and print its trace",
+    )
+    p_simtest.add_argument(
+        "--trace", action="store_true", help="print the full schedule trace"
+    )
+    p_simtest.add_argument(
+        "--trace-file",
+        default=None,
+        help="write the failing run's trace (shrunken when --shrink) to "
+        "this path as JSON",
+    )
+
     return parser
 
 
@@ -522,25 +590,19 @@ def _open_sharded(args, n_shards: int):
 
     Partitioning is deterministic (sha256 owner tokens + the persisted
     shard map), so re-sharding the same snapshot reproduces the exact
-    per-shard layout a crashed run journaled against — each shard's WAL
-    then replays onto its shard like a monolithic log replays onto a
-    monolithic snapshot. Stale logs (generation behind the snapshot's)
-    were already folded in by a checkpoint and are skipped.
+    per-shard layout a crashed run journaled against — the shard WALs
+    then replay as a group (multi-shard transactions all-or-nothing,
+    torn ones scrubbed; see :func:`repro.shard.replay_shard_logs`).
+    Stale logs (generation behind the snapshot's) were already folded in
+    by a checkpoint and are skipped.
     """
-    from repro.shard import shard_database
-    from repro.storage.wal import WriteAheadLog, replay_into
+    from repro.shard import replay_shard_logs, shard_database
 
     db = _read_db(args)
     generation = read_snapshot_generation(args.db)
     sdb = shard_database(db, n_shards, map_path=_shard_map_path(args.db))
-    replayed = 0
-    for index, shard in enumerate(sdb.shards):
-        wal_path = _shard_wal_path(args.db, index)
-        if not wal_path.exists():
-            continue
-        log_generation, units = WriteAheadLog.read_log(wal_path)
-        if log_generation == generation and units:
-            replayed += replay_into(shard, units)
+    wal_paths = [_shard_wal_path(args.db, index) for index in range(n_shards)]
+    replayed, next_txn = replay_shard_logs(sdb.shards, wal_paths, generation)
     if replayed == 0:
         # A fresh partition placed every non-overridden owner at its hash
         # home, so dirty flags carried over from the previous run (which
@@ -548,7 +610,7 @@ def _open_sharded(args, n_shards: int):
         # Replayed WAL records, by contrast, land rows wherever the
         # crashed run put them — then the flags must stay.
         sdb.shard_map.dirty.clear()
-    return sdb, generation
+    return sdb, generation, next_txn
 
 
 def _sharded_vault(args, sdb):
@@ -587,7 +649,7 @@ def _serve_sharded(args) -> int:
     )
     from repro.storage.wal import WriteAheadLog
 
-    sdb, generation = _open_sharded(args, args.shards)
+    sdb, generation, next_txn = _open_sharded(args, args.shards)
     wals = [
         WriteAheadLog(
             _shard_wal_path(args.db, index),
@@ -596,7 +658,7 @@ def _serve_sharded(args) -> int:
         )
         for index in range(args.shards)
     ]
-    group = ShardGroupWal(wals)
+    group = ShardGroupWal(wals, next_txn=next_txn)
     sdb.set_redo_hook(group)
     vault = _sharded_vault(args, sdb)
     try:
@@ -735,7 +797,7 @@ def cmd_shards(args) -> int:
                 f"no shard map at {map_path}; pass --shards N to choose a layout"
             )
         n_shards = ShardMap.load(map_path).n_shards
-    sdb, generation = _open_sharded(args, n_shards)
+    sdb, generation, _next_txn = _open_sharded(args, n_shards)
     vault = _sharded_vault(args, sdb) if args.vault_dir else None
     recovered = recover_migration(sdb, vault)
     if recovered is not None:
@@ -853,6 +915,93 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _simtest_seeds(args) -> list[int]:
+    if args.seeds is not None:
+        lo, _, hi = args.seeds.partition(":")
+        try:
+            start, stop = int(lo), int(hi)
+        except ValueError:
+            raise ReproError(f"--seeds wants A:B, got {args.seeds!r}") from None
+        if stop <= start:
+            raise ReproError(f"--seeds range {args.seeds!r} is empty")
+        return list(range(start, stop))
+    if args.seed is None:
+        raise ReproError("simtest needs --seed N or --seeds A:B")
+    return [args.seed]
+
+
+def cmd_simtest(args) -> int:
+    import json as _json
+
+    from repro.simtest import SimConfig, run_sim, shrink_failure
+
+    seeds = _simtest_seeds(args)
+    failures = 0
+    for seed in seeds:
+        app = args.app
+        if app == "mixed":
+            app = "lobsters" if seed % 2 == 0 else "hotcrp"
+        config = SimConfig(
+            seed=seed,
+            steps=args.steps,
+            shards=args.shards,
+            workers=args.workers,
+            app=app,
+            wal_fsync=args.fsync,
+            crashes=args.crashes,
+            fault_keep_all=args.fault_keep_all,
+        )
+        result = run_sim(config)
+        print(result.report())
+        if result.ok:
+            if args.trace:
+                for line in result.trace:
+                    print(f"  | {line}")
+            continue
+        failures += 1
+        plan, trace = result.plan, result.trace
+        if args.shrink:
+            shrunk = shrink_failure(config, result.plan)
+            if shrunk is not None:
+                plan, small = shrunk[0], shrunk[1]
+                trace = small.trace
+                print(
+                    f"  shrunk: {len(result.plan.events)} -> "
+                    f"{len(plan.events)} event(s), {plan.steps} step(s)"
+                )
+                for event in plan.events:
+                    print(f"    @{event.at} {event.kind} {dict(event.payload)}")
+        if args.trace or args.trace_file:
+            dump = {
+                "seed": seed,
+                "app": app,
+                "steps": plan.steps,
+                "shards": args.shards,
+                "workers": args.workers,
+                "fsync": args.fsync,
+                "events": [
+                    {"at": e.at, "kind": e.kind, "payload": list(e.payload)}
+                    for e in plan.events
+                ],
+                "violations": [str(v) for v in result.violations],
+                "trace": trace,
+            }
+            if args.trace_file:
+                target = args.trace_file
+                if len(seeds) > 1:  # one file per failing seed in a sweep
+                    target = f"{target}.seed{seed}"
+                Path(target).write_text(
+                    _json.dumps(dump, indent=2), encoding="utf-8"
+                )
+                print(f"  trace written to {target}")
+            if args.trace:
+                for line in trace:
+                    print(f"  | {line}")
+    if len(seeds) > 1:
+        print(f"simtest: {len(seeds) - failures}/{len(seeds)} seed(s) OK")
+    return 1 if failures else 0
+
+
 def cmd_checkpoint(args) -> int:
     wal_path = default_wal_path(args.db)
     pending = wal_path.stat().st_size if wal_path.exists() else 0
@@ -879,6 +1028,7 @@ _COMMANDS = {
     "jobs": cmd_jobs,
     "metrics": cmd_metrics,
     "trace": cmd_trace,
+    "simtest": cmd_simtest,
 }
 
 

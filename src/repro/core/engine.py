@@ -29,7 +29,7 @@ from repro.core.physical import (
 )
 from repro.core.reveal import run_reveal
 from repro.core.stats import DisguiseReport, RevealReport
-from repro.errors import AssertionFailure, DisguiseError
+from repro.errors import AssertionFailure, DisguiseError, VaultError
 from repro.obs.trace import TRACER as _TRACER
 from repro.spec.analysis import validate_spec
 from repro.spec.disguise import DisguiseSpec, USER_PARAM
@@ -57,11 +57,43 @@ class Disguiser:
         if hasattr(self.vault, "register_metrics"):
             self.vault.register_metrics(db.obs)
         self.history = DisguiseHistory(db)
+        # Crash recovery: stranded (pre-commit) vault entries must never
+        # have their disguise/entry ids re-issued — see resume_from_vault.
+        self.history.resume_from_vault(self.vault)
+        self._sweep_consumed_entries()
         self.registry = PlaceholderRegistry(db)
         self.executor = OpExecutor(db, db.schema, self.registry)
         self.rng = random.Random(seed)
         self.validate_specs = validate_specs
         self._specs: dict[str, DisguiseSpec] = {}
+
+    def _sweep_consumed_entries(self) -> None:
+        """Delete vault entries of disguises that were already revealed.
+
+        Reveal commits the history flip first and lands the physical
+        vault deletes only after that commit is durable (see
+        :meth:`VaultJournal.commit`); a crash between the two strands
+        the consumed entries on disk. They are dead — the committed
+        reveal already restored the data — so finish the deletion here,
+        keeping the vault an exact mirror of the active history.
+        """
+        try:
+            owners = self.vault.owners()
+        except (NotImplementedError, VaultError):
+            return  # non-enumerable deployments (encrypted, third-party)
+        inactive = {
+            record.did for record in self.history.records() if not record.active
+        }
+        if not inactive:
+            return
+        for owner in owners:
+            stale = [
+                entry.entry_id
+                for entry in self.vault.entries_for(owner)
+                if entry.disguise_id in inactive
+            ]
+            if stale:
+                self.vault.delete(owner, stale)
 
     def share(self, seed: int | None = None) -> "Disguiser":
         """A worker-private engine over the same database and vault.
@@ -291,7 +323,7 @@ class Disguiser:
             raise
         finally:
             self.executor.defer_fk = False
-        journal.discard()
+        journal.commit(getattr(self.db, "redo_barrier", None))
         report.duration_s = time.perf_counter() - started
         report.db_stats = self.db.stats.delta(db_before)
         report.vault_stats = self.vault.stats.delta(vault_before)
@@ -341,7 +373,7 @@ class Disguiser:
                 raise
             finally:
                 self.executor.defer_fk = False
-            journal.discard()
+            journal.commit(getattr(self.db, "redo_barrier", None))
             report.duration_s = time.perf_counter() - started
             report.db_stats = self.db.stats.delta(db_before)
             report.vault_stats = self.vault.stats.delta(vault_before)

@@ -16,7 +16,7 @@ import threading
 from dataclasses import dataclass
 from typing import Any
 
-from repro.errors import DisguiseError
+from repro.errors import DisguiseError, VaultError
 from repro.storage.database import Database
 from repro.storage.schema import Column, TableSchema
 from repro.storage.types import ColumnType
@@ -123,6 +123,30 @@ class DisguiseHistory:
     # Entry ids share the seq counter: both need only global uniqueness and
     # monotonicity, and one counter means one checkpoint.
     next_entry_id = next_seq
+
+    def resume_from_vault(self, vault: Any) -> None:
+        """Advance the id counters past everything the vault has seen.
+
+        The vault journals durably *inside* the apply transaction, so a
+        crash between the vault append and the WAL commit strands entries
+        whose disguise/entry ids were never committed to a history row.
+        Resuming the counters from history alone would re-issue those
+        ids: the next disguise would alias the stranded entries (their
+        stale values would masquerade as its own vault state), and
+        re-used entry ids collide in the per-owner journals. Found by
+        the deterministic simulation harness.
+        """
+        try:
+            owners = vault.owners()
+        except (NotImplementedError, VaultError):
+            return  # non-enumerable deployments (encrypted, third-party)
+        with self._alloc_mu:
+            for owner in owners:
+                for entry in vault.entries_for(owner):
+                    self._next_did = max(self._next_did, entry.disguise_id + 1)
+                    self._next_seq = max(
+                        self._next_seq, max(entry.entry_id, entry.seq) + 1
+                    )
 
     # -- log records --------------------------------------------------------------
 

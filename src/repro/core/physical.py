@@ -194,6 +194,8 @@ class VaultJournal:
         self.vault = vault
         self.history = history
         self._undo: list[tuple[str, Any]] = []
+        self._doomed: list[VaultEntry] = []
+        self._doomed_ids: set[tuple[Any, int]] = set()
         self.writes = 0
 
     def _adjust(self, disguise_id: int, delta: int) -> None:
@@ -234,23 +236,68 @@ class VaultJournal:
         self._undo.append(("replace", old))
 
     def delete(self, entry: VaultEntry) -> None:
-        self.vault.delete(entry.owner, [entry.entry_id])
-        self._undo.append(("delete", entry))
+        """Consume *entry*: decrement its disguise's live count now, but
+        defer the physical vault delete to :meth:`commit`.
+
+        A vault delete is a durable append (the tombstone); issuing it
+        inside the open transaction puts it on disk *before* the commit
+        it belongs to. A crash in that window leaves the disguise's
+        history row alive while its entries are gone — the disguise
+        becomes permanently irreversible (reveal aborts on the missing
+        rows forever). Found by the deterministic simulation harness.
+        """
+        self._doomed.append(entry)
+        self._doomed_ids.add((entry.owner, entry.entry_id))
         self._adjust(entry.disguise_id, -1)
 
+    def pending_delete(self, entry: VaultEntry) -> bool:
+        """Whether *entry* was consumed earlier in this transaction.
+
+        Deferred deletes stay visible in the vault until commit; readers
+        that enumerate vault entries mid-transaction must skip them to
+        keep the eager-delete semantics."""
+        return (entry.owner, entry.entry_id) in self._doomed_ids
+
     def compensate(self) -> None:
-        """Undo every journaled vault write, newest first."""
+        """Undo every journaled vault write, newest first.
+
+        Deferred deletes need no compensation — nothing was written —
+        they are simply dropped."""
         for action, entry in reversed(self._undo):
             if action == "put":
                 self.vault.delete(entry.owner, [entry.entry_id])
-            elif action == "replace":
+            else:  # replaced — restore the old entry
                 self.vault.replace(entry)
-            else:  # deleted — restore
-                self.vault.put(entry)
+        self._undo.clear()
+        self._doomed.clear()
+        self._doomed_ids.clear()
+
+    def commit(self, barrier=None) -> None:
+        """Finish the transaction's vault writes after the db commit.
+
+        *barrier* (e.g. ``Database.redo_barrier``) is called first when
+        there are deferred deletes, making the commit durable before the
+        tombstones land; the crash ordering is then always safe:
+        entries-present/record-active (re-run cleanly) or
+        entries-present/record-inactive (swept at engine construction) —
+        never entries-gone/record-active.
+        """
+        if self._doomed:
+            if barrier is not None:
+                barrier()
+            by_owner: dict[Any, list[int]] = {}
+            for entry in self._doomed:
+                by_owner.setdefault(entry.owner, []).append(entry.entry_id)
+            for owner, ids in by_owner.items():
+                self.vault.delete(owner, ids)
+            self._doomed.clear()
+            self._doomed_ids.clear()
         self._undo.clear()
 
     def discard(self) -> None:
         self._undo.clear()
+        self._doomed.clear()
+        self._doomed_ids.clear()
 
 
 def _in_list(column: str, values: list[Any]) -> InList:

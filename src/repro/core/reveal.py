@@ -255,7 +255,7 @@ def _cascade_orphans(
                 if value is None or db.table(fk.parent_table).rid_of(value) is not None:
                     continue
                 remover = _find_remover(
-                    vault, history, fk.parent_table, value, revealing_did
+                    vault, history, journal, fk.parent_table, value, revealing_did
                 )
                 if remover is None:
                     continue  # the final soundness gate will report it
@@ -279,18 +279,20 @@ def _cascade_orphans(
 def _find_remover(
     vault: VaultStore,
     history: DisguiseHistory,
+    journal: VaultJournal,
     table: str,
     pk: Any,
     revealing_did: int,
 ) -> HistoryRecord | None:
     """The active disguise whose vault records removing (table, pk)."""
-    found = _find_holder_entry(vault, history, table, pk, revealing_did)
+    found = _find_holder_entry(vault, history, journal, table, pk, revealing_did)
     return found[0] if found is not None else None
 
 
 def _find_holder_entry(
     vault: VaultStore,
     history: DisguiseHistory,
+    journal: VaultJournal,
     table: str,
     pk: Any,
     revealing_did: int,
@@ -308,7 +310,10 @@ def _find_holder_entry(
             except VaultError:
                 continue  # locked per-user vault: cannot attribute through it
             for entry in entries:
-                if entry.pk == pk:
+                # Vault deletes are deferred to post-commit, so an entry
+                # consumed earlier in this reveal is still enumerable;
+                # it no longer holds anything.
+                if entry.pk == pk and not journal.pending_delete(entry):
                     return candidate, entry
     return None
 
@@ -331,7 +336,7 @@ def _restore_into_holder(
     its real author once both disguises are reversed.
     """
     found = _find_holder_entry(
-        vault, history, entry.table, entry.pk, revealing_did
+        vault, history, journal, entry.table, entry.pk, revealing_did
     )
     if found is None:
         return False

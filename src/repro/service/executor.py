@@ -37,7 +37,6 @@ complete as no-ops instead of double-applying.
 from __future__ import annotations
 
 import threading
-import time
 from typing import Any
 
 from repro.core.engine import Disguiser
@@ -49,6 +48,7 @@ from repro.errors import (
     ServiceError,
 )
 from repro.obs.trace import TRACER as _TRACER
+from repro.simtest.clock import resolve_clock
 from repro.service.locks import MODE_X, LockHook, is_system_table
 from repro.service.queue import DEAD, Job, JobQueue
 
@@ -99,6 +99,7 @@ class WorkerPool:
         workers: int = 4,
         wal: Any = None,
         poll_interval: float = 0.1,
+        clock: Any = None,
     ) -> None:
         if workers < 1:
             raise ServiceError("worker pool needs at least one worker")
@@ -106,8 +107,9 @@ class WorkerPool:
         self.hook = hook
         self.wal = wal
         self.poll_interval = poll_interval
+        self._clock = resolve_clock(clock)
         self._engines = [engine.share(seed=index) for index in range(workers)]
-        self._threads: list[threading.Thread] = []
+        self._threads: list[Any] = []
         self._stop = threading.Event()
         self.latency = _LatencyWindow()
         self.jobs_done = 0
@@ -121,15 +123,14 @@ class WorkerPool:
     def start(self) -> None:
         if self._threads:
             raise ServiceError("worker pool already started")
-        self.started_at = time.monotonic()
+        self.started_at = self._clock.monotonic()
         for index, engine in enumerate(self._engines):
-            thread = threading.Thread(
-                target=self._run_worker,
-                args=(engine,),
-                name=f"disguise-worker-{index}",
-                daemon=True,
-            )
-            thread.start()
+            worker = engine  # bind per-iteration for the closure
+
+            def run(worker: Disguiser = worker) -> None:
+                self._run_worker(worker)
+
+            thread = self._clock.spawn(run, name=f"disguise-worker-{index}")
             self._threads.append(thread)
 
     def stop(self, timeout: float | None = 30.0) -> None:
@@ -161,7 +162,7 @@ class WorkerPool:
             self._execute(engine, job)
 
     def _execute(self, engine: Disguiser, job: Job) -> None:
-        started = time.perf_counter()
+        started = self._clock.monotonic()
         token = f"job-{job.job_id}a{job.attempts}"
         self.hook.start_job(token)
         try:
@@ -194,7 +195,7 @@ class WorkerPool:
             # The job's effects are durable; it re-runs after the next
             # open and completes as a no-op via the history dedupe.
             return
-        self.latency.add(time.perf_counter() - started)
+        self.latency.add(self._clock.monotonic() - started)
         with self._count_mu:
             self.jobs_done += 1
 

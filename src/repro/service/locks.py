@@ -43,12 +43,12 @@ table until commit would serialize every job behind a metadata hotspot.
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Any, Hashable, Iterable
 
 from repro.errors import DeadlockError, LockTimeoutError, ServiceError
+from repro.simtest.clock import resolve_clock
 
 __all__ = ["LockManager", "LockStats", "LockHook", "MODE_S", "MODE_X"]
 
@@ -111,8 +111,11 @@ class LockManager:
     few acquisitions per disguise, far off any hot path.
     """
 
-    def __init__(self, default_timeout: float | None = 30.0) -> None:
+    def __init__(
+        self, default_timeout: float | None = 30.0, clock: Any = None
+    ) -> None:
         self.default_timeout = default_timeout
+        self._clock = resolve_clock(clock)
         self._mu = threading.Condition(threading.Lock())
         self._tables: dict[str, _TableLock] = {}
         self.stats = LockStats()
@@ -137,6 +140,7 @@ class LockManager:
             raise ServiceError(f"unknown lock mode {mode!r}")
         if timeout is None:
             timeout = self.default_timeout
+        self._clock.tick("lock.acquire", f"{table}:{mode}")
         with self._mu:
             lock = self._tables.setdefault(table, _TableLock())
             held = lock.holders.get(txn)
@@ -159,13 +163,13 @@ class LockManager:
                 lock.waiters.append(waiter)
             self.stats.waits += 1
             self._check_deadlock(txn, table, waiter)
-            started = time.monotonic()
+            started = self._clock.monotonic()
             deadline = None if timeout is None else started + timeout
             try:
                 while not waiter.granted:
                     remaining = None
                     if deadline is not None:
-                        remaining = deadline - time.monotonic()
+                        remaining = deadline - self._clock.monotonic()
                         if remaining <= 0:
                             self.stats.timeouts += 1
                             raise LockTimeoutError(
@@ -173,7 +177,7 @@ class LockManager:
                                 f"for {mode} lock on {table!r} "
                                 f"(held by {list(lock.holders)!r})"
                             )
-                    self._mu.wait(remaining)
+                    self._clock.wait(self._mu, remaining)
                     if not waiter.granted:
                         # Another waiter's block may have closed a cycle
                         # through us since we last checked.
@@ -195,10 +199,10 @@ class LockManager:
                 if waiter in lock.waiters:
                     lock.waiters.remove(waiter)
                 self._grant_waiters(lock)
-                self._mu.notify_all()
+                self._clock.notify_all(self._mu)
                 raise
             finally:
-                self.stats.wait_time_s += time.monotonic() - started
+                self.stats.wait_time_s += self._clock.monotonic() - started
 
     def release_all(self, txn: Hashable) -> int:
         """Release every lock *txn* holds; returns how many were held."""
@@ -209,7 +213,7 @@ class LockManager:
                     released += 1
                     self._grant_waiters(lock)
             if released:
-                self._mu.notify_all()
+                self._clock.notify_all(self._mu)
         return released
 
     def holding(self, txn: Hashable) -> dict[str, str]:
@@ -261,7 +265,7 @@ class LockManager:
                 self.stats.upgrades += 1
             granted_any = True
         if granted_any:
-            self._mu.notify_all()
+            self._clock.notify_all(self._mu)
 
     def _blockers(self, table: str, me: _Waiter) -> set[Hashable]:
         """Transactions *me* is waiting behind on *table*."""
@@ -300,7 +304,7 @@ class LockManager:
             lock.waiters.remove(waiter)
         self.stats.deadlocks += 1
         self._grant_waiters(lock)
-        self._mu.notify_all()
+        self._clock.notify_all(self._mu)
         raise DeadlockError(
             f"{txn!r}: waiting for {waiter.mode} on {table!r} closes a "
             f"wait-for cycle {' -> '.join(repr(t) for t in cycle)}",

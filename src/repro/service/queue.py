@@ -35,15 +35,15 @@ JSON bytes.
 from __future__ import annotations
 
 import json
-import os
 import threading
-import time
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
 from repro.errors import JobError, QueueCorruptionError
+from repro.simtest.clock import resolve_clock
+from repro.storage import fsio
 from repro.storage.persist import _fsync_dir
 
 __all__ = [
@@ -147,8 +147,10 @@ class JobQueue:
         backoff_base: float = 0.05,
         backoff_cap: float = 5.0,
         fsync: bool = True,
+        clock: Any = None,
     ) -> None:
-        self.path = Path(path)
+        self.path = fsio.as_path(path)
+        self._clock = resolve_clock(clock)
         self.max_attempts = max(1, max_attempts)
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -204,15 +206,15 @@ class JobQueue:
             with self.path.open("rb+") as handle:
                 handle.truncate(consumed)
                 if self.fsync:
-                    os.fsync(handle.fileno())
+                    fsio.fsync_handle(handle)
         elif raw and not terminated:
             # The final frame parsed but lost its newline; terminate it so
             # the next append starts a fresh line.
             with self.path.open("ab") as handle:
                 handle.write(b"\n")
                 if self.fsync:
-                    os.fsync(handle.fileno())
-        now = time.time()
+                    fsio.fsync_handle(handle)
+        now = self._clock.time()
         for job in self._jobs.values():
             if job.state != RUNNING:
                 continue
@@ -271,7 +273,7 @@ class JobQueue:
         self._handle.write(_frame(event))
         self._handle.flush()
         if self.fsync:
-            os.fsync(self._handle.fileno())
+            fsio.fsync_handle(self._handle)
 
     def compact(self) -> None:
         """Atomically rewrite the journal to one snapshot line per job.
@@ -310,9 +312,9 @@ class JobQueue:
                             "retry_at": job.not_before,
                         }))
                 handle.flush()
-                os.fsync(handle.fileno())
+                fsio.fsync_handle(handle)
             self._handle.close()
-            os.replace(tmp, self.path)
+            fsio.replace(tmp, self.path)
             _fsync_dir(self.path.parent)
             self._handle = self.path.open("a", encoding="utf-8")
 
@@ -342,7 +344,7 @@ class JobQueue:
                 kind=kind,
                 payload=dict(payload or {}),
                 max_attempts=self.max_attempts if max_attempts is None else max_attempts,
-                enqueued_at=time.time(),
+                enqueued_at=self._clock.time(),
             )
             self._next_id += 1
             self._append({
@@ -351,7 +353,7 @@ class JobQueue:
                 "at": job.enqueued_at,
             })
             self._jobs[job.job_id] = job
-            self._cond.notify()
+            self._clock.notify(self._cond)
             return job
 
     # -- consumer API --------------------------------------------------------------
@@ -372,7 +374,8 @@ class JobQueue:
         is ready. Claiming spends an attempt and journals the transition,
         so a claim is visible to crash recovery immediately.
         """
-        deadline = None if timeout is None else time.monotonic() + timeout
+        self._clock.tick("queue.claim")
+        deadline = None if timeout is None else self._clock.monotonic() + timeout
         with self._cond:
             while True:
                 # A closed queue hands out nothing, even with ready PENDING
@@ -380,7 +383,7 @@ class JobQueue:
                 # stay PENDING and run after the next open.
                 if self._closed:
                     return None
-                now = time.time()
+                now = self._clock.time()
                 job = self._next_ready(now)
                 if job is not None:
                     # Journal first: if the append fails the job is still
@@ -395,7 +398,7 @@ class JobQueue:
                 # or at the caller's deadline — whichever comes first.
                 waits = []
                 if deadline is not None:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self._clock.monotonic()
                     if remaining <= 0:
                         return None
                     waits.append(remaining)
@@ -406,29 +409,31 @@ class JobQueue:
                 ]
                 if gates:
                     waits.append(max(0.0, min(gates)))
-                self._cond.wait(min(waits) if waits else None)
+                self._clock.wait(self._cond, min(waits) if waits else None)
 
     def complete(self, job: Job, result: dict[str, Any] | None = None) -> None:
         """Mark a RUNNING job DONE (call after its effects are durable)."""
+        self._clock.tick("queue.ack", str(job.job_id))
         with self._cond:
             self._expect(job, RUNNING)
             self._append({
                 "ev": "done", "id": job.job_id, "result": result,
-                "at": time.time(),
+                "at": self._clock.time(),
             })
             job.state = DONE
             job.result = result
-            job.finished_at = time.time()
-            self._cond.notify_all()
+            job.finished_at = self._clock.time()
+            self._clock.notify_all(self._cond)
 
     def fail(self, job: Job, error: str) -> str:
         """Record a failed attempt: re-queue with backoff, or dead-letter.
 
         Returns the job's new state (``pending`` or ``dead``).
         """
+        self._clock.tick("queue.fail", str(job.job_id))
         with self._cond:
             self._expect(job, RUNNING)
-            now = time.time()
+            now = self._clock.time()
             if job.attempts >= job.max_attempts:
                 self._append({
                     "ev": "dead", "id": job.job_id, "error": error, "at": now,
@@ -449,7 +454,7 @@ class JobQueue:
                 job.state = PENDING
                 job.error = error
                 job.not_before = retry_at
-            self._cond.notify_all()
+            self._clock.notify_all(self._cond)
             return job.state
 
     def _expect(self, job: Job, state: str) -> None:
@@ -492,17 +497,17 @@ class JobQueue:
 
     def wait_idle(self, timeout: float | None = None) -> bool:
         """Block until no job is PENDING or RUNNING; False on timeout."""
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self._clock.monotonic() + timeout
         with self._cond:
             while any(
                 j.state in (PENDING, RUNNING) for j in self._jobs.values()
             ):
                 remaining = None
                 if deadline is not None:
-                    remaining = deadline - time.monotonic()
+                    remaining = deadline - self._clock.monotonic()
                     if remaining <= 0:
                         return False
-                self._cond.wait(remaining)
+                self._clock.wait(self._cond, remaining)
             return True
 
     def close(self) -> None:
@@ -512,7 +517,7 @@ class JobQueue:
                 return
             self._closed = True
             self._handle.close()
-            self._cond.notify_all()
+            self._clock.notify_all(self._cond)
 
     @property
     def closed(self) -> bool:

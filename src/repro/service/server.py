@@ -20,7 +20,6 @@ this PR exercises (the job queue is the public boundary).
 
 from __future__ import annotations
 
-import time
 from pathlib import Path
 from typing import Any, Iterable
 
@@ -29,13 +28,16 @@ from repro.errors import ServiceError
 from repro.service.executor import JOB_APPLY, JOB_EXPIRE, JOB_REVEAL, WorkerPool
 from repro.service.locks import LockHook, LockManager
 from repro.service.queue import DONE, Job, JobQueue
+from repro.simtest.clock import resolve_clock
 from repro.spec.disguise import DisguiseSpec
 
 __all__ = ["DisguiseService", "default_queue_path"]
 
 
-def default_queue_path(snapshot_path: str | Path) -> Path:
-    path = Path(snapshot_path)
+def default_queue_path(snapshot_path: str | Path) -> Any:
+    from repro.storage import fsio
+
+    path = fsio.as_path(snapshot_path)
     return path.with_name(path.name + ".jobs")
 
 
@@ -60,16 +62,19 @@ class DisguiseService:
         backoff_base: float = 0.05,
         queue_fsync: bool = True,
         poll_interval: float = 0.05,
+        clock: Any = None,
     ) -> None:
         self.engine = engine
         self.wal = wal
-        self.locks = LockManager(default_timeout=lock_timeout)
+        self._clock = resolve_clock(clock)
+        self.locks = LockManager(default_timeout=lock_timeout, clock=clock)
         self.hook = LockHook(self.locks, timeout=lock_timeout)
         self.queue = JobQueue(
             queue_path,
             max_attempts=max_attempts,
             backoff_base=backoff_base,
             fsync=queue_fsync,
+            clock=clock,
         )
         self.pool = self._pool_class(
             self.queue,
@@ -78,6 +83,7 @@ class DisguiseService:
             workers=workers,
             wal=wal,
             poll_interval=poll_interval,
+            clock=clock,
         )
         self._started = False
         self._stopped = False
@@ -160,14 +166,14 @@ class DisguiseService:
     def wait_for(self, job: Job | int, timeout: float | None = None) -> dict[str, Any]:
         """Block until one job finishes; returns its description."""
         job_id = job.job_id if isinstance(job, Job) else int(job)
-        deadline = None if timeout is None else time.monotonic() + timeout
+        deadline = None if timeout is None else self._clock.monotonic() + timeout
         while True:
             described = self.status(job_id)
             if described["state"] in (DONE, "dead"):
                 return described
-            if deadline is not None and time.monotonic() > deadline:
+            if deadline is not None and self._clock.monotonic() > deadline:
                 raise ServiceError(f"timed out waiting for job {job_id}")
-            time.sleep(0.01)
+            self._clock.sleep(0.01)
 
     #: Old hand-built ``metrics()`` keys -> registry names. Indexing the
     #: view with an old key still works (DeprecationWarning); the CLI's
@@ -193,10 +199,11 @@ class DisguiseService:
     def _register_metrics(self, registry: Any) -> None:
         """Register ``service.*`` gauges over the pool/queue/lock state."""
         pool = self.pool
+        clock = self._clock
 
         def jobs_per_s() -> float:
             elapsed = (
-                time.monotonic() - pool.started_at if pool.started_at else 0.0
+                clock.monotonic() - pool.started_at if pool.started_at else 0.0
             )
             return (pool.jobs_done / elapsed) if elapsed > 0 else 0.0
 

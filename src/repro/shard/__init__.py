@@ -12,6 +12,7 @@ from repro.shard.apply import (
     ShardedDisguiseService,
     ShardedWorkerPool,
     ShardGroupWal,
+    replay_shard_logs,
 )
 from repro.shard.engine import (
     ShardedDatabase,
@@ -58,6 +59,7 @@ __all__ = [
     "owner_shard",
     "owner_token",
     "recover_migration",
+    "replay_shard_logs",
     "shard_database",
     "shard_lock_name",
 ]

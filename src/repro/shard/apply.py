@@ -12,9 +12,10 @@ Pieces:
 
 * :class:`ShardGroupWal` — the redo hook a :class:`ShardedDatabase`
   accepts: one :class:`~repro.storage.wal.WriteAheadLog` per shard, with
-  fan-out ``defer_sync`` and a ``commit_barrier()`` that visits every
-  log (a shard this worker never touched returns immediately — barriers
-  stay O(touched shards)).
+  fan-out ``defer_sync``, group-commit markers that make multi-shard
+  transactions atomic at replay (see :func:`replay_shard_logs`), and a
+  ``commit_barrier()`` that makes every log's appended frontier durable
+  (a log with nothing pending returns immediately).
 * :class:`ShardedWorkerPool` — the executor subclass that computes a
   job's home shard from its uid, prelocks the footprint *on that shard
   only*, and runs the job under :meth:`ShardedDatabase.routing_bias` so
@@ -44,6 +45,7 @@ from repro.shard.router import (
     Router,
     _conjuncts,
 )
+from repro.simtest.clock import resolve_clock
 from repro.spec.disguise import USER_PARAM, DisguiseSpec
 from repro.storage.predicate import ColumnRef, Comparison, Param
 
@@ -51,6 +53,7 @@ __all__ = [
     "ShardGroupWal",
     "ShardedWorkerPool",
     "ShardedDisguiseService",
+    "replay_shard_logs",
     "spec_owner_rooted",
 ]
 
@@ -96,12 +99,29 @@ def spec_owner_rooted(spec: DisguiseSpec, router: Router) -> bool:
 
 
 class ShardGroupWal:
-    """One write-ahead log per shard, presented as one redo hook group."""
+    """One write-ahead log per shard, presented as one redo hook group.
 
-    def __init__(self, wals: list[Any]) -> None:
+    A transaction that touched several shards appends one unit per
+    shard — physically independent writes that a crash can tear apart
+    (one shard's unit durable, another's lost), leaving a half-committed
+    transaction no single log can detect. The group therefore stamps
+    every multi-shard transaction with a marker record (``op: "txn"``,
+    one id, the participant list) via :meth:`tag_commit`, and
+    :func:`replay_shard_logs` replays only transactions whose units
+    survived on *every* participant, scrubbing the rest.
+
+    ``next_txn`` seeds the marker id counter; recovery passes
+    ``max_txn + 1`` from the replayed logs so ids stay unique within a
+    generation.
+    """
+
+    def __init__(self, wals: list[Any], clock: Any = None, next_txn: int = 1) -> None:
         if not wals:
             raise ShardError("a shard WAL group needs at least one log")
         self.wals = list(wals)
+        self._clock = resolve_clock(clock)
+        self._txn_mu = threading.Lock()
+        self._next_txn = next_txn
 
     @property
     def defer_sync(self) -> bool:
@@ -114,15 +134,39 @@ class ShardGroupWal:
         for wal in self.wals:
             wal.defer_sync = value
 
-    def commit_barrier(self) -> None:
-        """Group-commit barrier across every shard log.
+    def tag_commit(self) -> bool:
+        """Stamp this thread's about-to-commit transaction with a marker.
 
-        Each inner barrier is a no-op for a thread with no deferred
-        commits on that log, so an owner-rooted job pays exactly one
-        barrier — on its home shard.
+        Called by :meth:`ShardedDatabase.commit` just before the shard
+        commits append their units; returns whether a marker was
+        stamped. Transactions confined to one shard need no marker — a
+        single log's unit is already atomic.
         """
+        participants = [
+            index for index, wal in enumerate(self.wals) if wal.pending_records()
+        ]
+        if len(participants) <= 1:
+            return False
+        with self._txn_mu:
+            txn_id = self._next_txn
+            self._next_txn += 1
+        marker = {"t": "stmt", "op": "txn", "id": txn_id, "shards": participants}
+        for index in participants:
+            self.wals[index].tag_transaction(marker)
+        return True
+
+    def commit_barrier(self) -> None:
+        """Group-commit barrier: every appended unit on every log, durable.
+
+        An ack must cover the acking thread's units on every log its
+        transaction touched; syncing each log's full appended frontier
+        is a superset of that and keeps group commit batching (one
+        fsync retires everyone's pending units). A log whose frontier
+        is already durable returns immediately.
+        """
+        self._clock.tick("shard.barrier")
         for wal in self.wals:
-            wal.commit_barrier()
+            wal.sync_appended()
 
     def sync(self) -> None:
         for wal in self.wals:
@@ -146,6 +190,94 @@ class ShardGroupWal:
         registry.gauge(f"{prefix}.fsyncs", total("syncs"))
         registry.gauge(f"{prefix}.bytes", total("bytes_written"))
         registry.gauge(f"{prefix}.logs", lambda: len(self.wals))
+
+
+def _txn_marker(unit: list[dict[str, Any]]) -> dict[str, Any] | None:
+    """The group-commit marker of a replay unit, if it carries one."""
+    if unit and unit[0].get("op") == "txn":
+        return unit[0]
+    return None
+
+
+def replay_shard_logs(
+    shards: list[Any],
+    wal_paths: list[Any],
+    generation: int,
+    *,
+    scrub: bool = True,
+) -> tuple[int, int]:
+    """Replay per-shard WALs as a group; returns ``(replayed, next_txn)``.
+
+    A multi-shard transaction appends one unit per participating shard,
+    each stamped (by :meth:`ShardGroupWal.tag_commit`) with a marker
+    naming the transaction id and the full participant set. A crash can
+    make an arbitrary subset of those units durable; replaying each log
+    independently would then resurrect half a transaction. Here a
+    marked transaction is committed iff *every* shard in its
+    participant list still holds its unit; units of torn transactions
+    are dropped on the shards where they did survive.
+
+    Dropping by presence (rather than cutting each log at the tear) is
+    sound because :meth:`ShardedDatabase.commit` makes a multi-shard
+    transaction durable on all participants *before releasing its
+    locks* — a torn transaction never published its writes, so no
+    surviving unit can depend on one.
+
+    With ``scrub`` (the default), logs that lost units are atomically
+    rewritten without them, so a later recovery of any single log
+    cannot resurrect a dropped unit. Pass ``scrub=False`` for
+    read-only checks against live logs.
+
+    ``next_txn`` is one past the highest marker id seen anywhere
+    (including dropped units) — seed :class:`ShardGroupWal` with it so
+    fresh markers never collide with ids already in the logs.
+    """
+    from repro.storage.wal import WriteAheadLog, replay_into, rewrite_log
+
+    if len(shards) != len(wal_paths):
+        raise ShardError(
+            f"{len(shards)} shards but {len(wal_paths)} WAL paths"
+        )
+    unit_lists: list[list[list[dict[str, Any]]]] = []
+    live: list[bool] = []  # current-generation log present on disk?
+    max_txn = 0
+    present: dict[int, set[int]] = {}
+    needed: dict[int, set[int]] = {}
+    for index, path in enumerate(wal_paths):
+        units: list[list[dict[str, Any]]] = []
+        current = False
+        if path is not None and path.exists():
+            log_generation, read = WriteAheadLog.read_log(path)
+            if log_generation == generation:
+                units = read
+                current = True
+        for unit in units:
+            marker = _txn_marker(unit)
+            if marker is not None:
+                txn_id = int(marker["id"])
+                max_txn = max(max_txn, txn_id)
+                present.setdefault(txn_id, set()).add(index)
+                needed[txn_id] = set(int(s) for s in marker["shards"])
+        unit_lists.append(units)
+        live.append(current)
+
+    torn = {
+        txn_id for txn_id, shards_needed in needed.items()
+        if not shards_needed <= present.get(txn_id, set())
+    }
+
+    replayed = 0
+    for index, (shard, units) in enumerate(zip(shards, unit_lists)):
+        survivors = [
+            unit for unit in units
+            if (marker := _txn_marker(unit)) is None
+            or int(marker["id"]) not in torn
+        ]
+        if scrub and live[index] and len(survivors) < len(units):
+            rewrite_log(wal_paths[index], generation, survivors)
+        if survivors:
+            replayed += replay_into(shard, survivors)
+    return replayed, max_txn + 1
 
 
 class ShardedWorkerPool(WorkerPool):

@@ -355,8 +355,23 @@ class ShardedDatabase:
         if self._depth() == 0:
             raise TransactionError("commit without begin")
         self._tls.depth = self._depth() - 1
+        multi_shard = False
+        if self._tls.depth == 0 and self._group_wal is not None:
+            # Stamp multi-shard transactions with a group-commit marker
+            # before any shard's unit is appended — replay then treats
+            # the per-shard units as all-or-nothing (see
+            # repro.shard.apply.replay_shard_logs).
+            multi_shard = self._group_wal.tag_commit()
         for shard in self.shards:
             shard.commit()
+        if multi_shard:
+            # Durable on every participant before the locks release:
+            # once another transaction can read these writes, no crash
+            # can tear them back out, so recovery may drop a torn
+            # multi-shard transaction without cascading. Single-shard
+            # transactions keep lazy group commit — same-log append
+            # order already protects their dependents.
+            self._group_wal.commit_barrier()
         self._persist_map_if_dirty()
         if self._tls.depth == 0 and self._lock_hook is not None:
             # Locks release only after every shard appended its unit:
@@ -371,6 +386,14 @@ class ShardedDatabase:
             shard.rollback()
         if self._tls.depth == 0 and self._lock_hook is not None:
             self._lock_hook.on_txn_end()
+
+    def redo_barrier(self) -> None:
+        """Block until this thread's commits are durable on every shard log."""
+        if self._group_wal is not None:
+            self._group_wal.commit_barrier()
+        else:
+            for shard in self.shards:
+                shard.redo_barrier()
 
     def transaction(self) -> "_ShardedTransaction":
         return _ShardedTransaction(self)

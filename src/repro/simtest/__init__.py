@@ -1,0 +1,75 @@
+"""Deterministic simulation testing (DST) for the disguise engine.
+
+One seed fully determines a run: the workload (which disguises are
+applied/revealed and when), the thread interleaving (a cooperative step
+scheduler serializes the worker pool at declared yield points), and the
+I/O faults (an in-memory filesystem tears un-fsynced writes and loses
+renames on power cut). A dict-based oracle checks disguise round-trip
+invariants after every recovery, and a shrinker bisects any failing
+schedule down to a minimal trace that replays verbatim.
+
+Layout:
+
+* :mod:`repro.simtest.clock` — the injectable clock protocol
+  (``SystemClock`` for production, ``VirtualClock`` under simulation)
+  and :class:`PowerCut`, the crash signal;
+* :mod:`repro.simtest.sched` — the cooperative step scheduler, the
+  simulation plan, and the delta-debugging shrinker;
+* :mod:`repro.simtest.simfs` — the crash-consistency filesystem model
+  with per-seed fault plans;
+* :mod:`repro.simtest.oracle` — invariant checks over recovered state;
+* :mod:`repro.simtest.harness` — boots real engine/service/WAL worlds
+  on the simulated substrate and drives randomized workloads.
+"""
+
+from repro.simtest.clock import Clock, PowerCut, SystemClock, VirtualClock
+from repro.simtest.sched import PlannedEvent, SchedulerStuck, SimPlan, StepScheduler, shrink
+from repro.simtest.simfs import FaultPlan, SimFs, SimPath
+
+#: Harness/oracle symbols resolved lazily (PEP 562): the storage stack
+#: imports ``repro.simtest.clock`` at module load, and eagerly importing
+#: the harness here (which imports storage back) would be a cycle.
+_LAZY = {
+    "Oracle": "repro.simtest.oracle",
+    "Violation": "repro.simtest.oracle",
+    "SimConfig": "repro.simtest.harness",
+    "SimResult": "repro.simtest.harness",
+    "build_plan": "repro.simtest.harness",
+    "find_wal_windows": "repro.simtest.harness",
+    "run_plan": "repro.simtest.harness",
+    "run_sim": "repro.simtest.harness",
+    "shrink_failure": "repro.simtest.harness",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+__all__ = [
+    "Clock",
+    "FaultPlan",
+    "Oracle",
+    "PlannedEvent",
+    "PowerCut",
+    "SchedulerStuck",
+    "SimConfig",
+    "SimFs",
+    "SimPath",
+    "SimPlan",
+    "SimResult",
+    "StepScheduler",
+    "SystemClock",
+    "Violation",
+    "VirtualClock",
+    "build_plan",
+    "find_wal_windows",
+    "run_plan",
+    "run_sim",
+    "shrink",
+    "shrink_failure",
+]

@@ -1,0 +1,142 @@
+"""The injectable clock: one seam for time, sleeps, waits, and threads.
+
+Every blocking primitive the concurrency stack uses — reading the time,
+sleeping, waiting on a :class:`threading.Condition`, notifying it, and
+spawning worker threads — goes through a clock object threaded into
+constructors (``WriteAheadLog(clock=...)``, ``JobQueue(clock=...)``,
+``LockManager(clock=...)``, ``WorkerPool(clock=...)``). Production code
+passes nothing and gets :data:`SYSTEM_CLOCK`, a zero-overhead delegate
+to :mod:`time` and :mod:`threading`. The simulation harness passes a
+:class:`VirtualClock` bound to a
+:class:`~repro.simtest.sched.StepScheduler`, which turns the same calls
+into deterministic cooperative yield points.
+
+No monkeypatching: modules never import-and-call ``time.time`` on a hot
+path; they call ``self._clock.time()`` on the instance they were built
+with. ``tests/test_determinism_audit.py`` lints the AST to keep it that
+way.
+
+This module deliberately imports nothing from the rest of ``repro`` so
+that storage/service/vault can depend on it without cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time as _time
+from typing import Any, Callable
+
+__all__ = [
+    "Clock",
+    "PowerCut",
+    "SYSTEM_CLOCK",
+    "SystemClock",
+    "VirtualClock",
+    "resolve_clock",
+]
+
+
+class PowerCut(BaseException):
+    """The world lost power while this thread was running.
+
+    Raised from clock and simulated-filesystem calls once the harness
+    declares a crash, so in-flight worker threads unwind through their
+    ``finally`` blocks and die. It subclasses :class:`BaseException`
+    (like ``KeyboardInterrupt``) on purpose: the executor's broad
+    ``except Exception`` job-failure handling must *not* catch it and
+    mark jobs failed in a world that no longer exists.
+    """
+
+
+class SystemClock:
+    """Real time, real sleeps, real threads — the production default."""
+
+    def time(self) -> float:
+        return _time.time()
+
+    def monotonic(self) -> float:
+        return _time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        _time.sleep(seconds)
+
+    def wait(self, cond: threading.Condition, timeout: float | None = None) -> bool:
+        """``cond.wait(timeout)``; the caller must hold ``cond``."""
+        return cond.wait(timeout)
+
+    def notify(self, cond: threading.Condition) -> None:
+        cond.notify()
+
+    def notify_all(self, cond: threading.Condition) -> None:
+        cond.notify_all()
+
+    def tick(self, point: str, detail: str = "") -> None:
+        """Declared yield point (lock acquire, WAL append, queue claim,
+        ...). A no-op in production; under simulation the scheduler may
+        suspend the calling thread here and run another."""
+
+    def spawn(self, target: Callable[[], None], name: str) -> Any:
+        """Start a daemon thread; returns an object with ``join``/``is_alive``."""
+        thread = threading.Thread(target=target, name=name, daemon=True)
+        thread.start()
+        return thread
+
+
+#: Shared production clock. Stateless, so one instance serves everyone.
+SYSTEM_CLOCK = SystemClock()
+
+#: Protocol alias — anything shaped like :class:`SystemClock`.
+Clock = SystemClock
+
+
+def resolve_clock(clock: Any) -> Any:
+    """``clock if clock is not None else SYSTEM_CLOCK`` (constructor helper)."""
+    return SYSTEM_CLOCK if clock is None else clock
+
+
+#: Simulated wall-clock origin. Virtual time starts here so journal
+#: timestamps look like plausible epochs rather than 1970.
+SIM_WALL_BASE = 1_700_000_000.0
+
+
+class VirtualClock:
+    """A clock whose every call is a scheduler event.
+
+    ``time``/``monotonic`` read the scheduler's virtual now; ``sleep``
+    and ``wait`` park the calling simulated thread until the scheduler
+    resumes it; ``spawn`` registers the thread with the scheduler so it
+    only ever runs when stepped. Each simulation epoch (between power
+    cuts) gets a fresh ``VirtualClock`` bound to a fresh scheduler;
+    threads left over from a crashed epoch keep their old clock, whose
+    dead scheduler raises :class:`PowerCut` at their next call.
+    """
+
+    def __init__(self, sched: Any) -> None:
+        self.sched = sched
+
+    def time(self) -> float:
+        return SIM_WALL_BASE + self.sched.now
+
+    def monotonic(self) -> float:
+        return self.sched.now
+
+    def sleep(self, seconds: float) -> None:
+        self.sched.sleep(seconds)
+
+    def wait(self, cond: threading.Condition, timeout: float | None = None) -> bool:
+        return self.sched.wait_on(cond, timeout)
+
+    def notify(self, cond: threading.Condition) -> None:
+        # Simulated wakeups are broadcast: all wait loops in the stack
+        # re-check their predicate, so waking extra threads is safe and
+        # keeps the wake set independent of wait-queue arrival order.
+        self.sched.notify_all(cond)
+
+    def notify_all(self, cond: threading.Condition) -> None:
+        self.sched.notify_all(cond)
+
+    def tick(self, point: str, detail: str = "") -> None:
+        self.sched.tick(point, detail)
+
+    def spawn(self, target: Callable[[], None], name: str) -> Any:
+        return self.sched.spawn(target, name)

@@ -1,0 +1,668 @@
+"""The simulation harness: real engine worlds on the simulated substrate.
+
+One :class:`SimConfig` seed determines everything about a run:
+
+* the **workload plan** (:func:`build_plan`, drawn from
+  ``Random("plan:<seed>")``): which disguises are applied and revealed
+  at which scheduler step, and where power cuts land;
+* the **interleaving**: each boot epoch gets a fresh
+  :class:`~repro.simtest.sched.StepScheduler` seeded from
+  ``Random("sched:<seed>:<epoch>")``, so worker threads serialize
+  identically on every replay;
+* the **fault pattern**: one :class:`~repro.simtest.simfs.FaultPlan`
+  drawn from ``Random("fault:<seed>")`` decides torn tails, lost
+  renames, and un-fsynced suffixes at every crash.
+
+The three streams are independent on purpose: the shrinker deletes plan
+events without shifting a single scheduling or fault decision of the
+events that remain.
+
+A run boots the real stack — :class:`~repro.storage.wal.WalDatabase`
+(or the sharded group-WAL assembly), :class:`FileVault` with synchronous
+appends, and :class:`DisguiseService` worker threads — entirely on a
+:class:`SimFs`, steps the scheduler while firing plan events, crashes
+and recovers per the plan (checking the oracle after every recovery),
+then drains, verifies that recovering from disk reproduces the live
+state, reveals every active disguise, and checks apply∘reveal identity
+against the pre-run baseline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.engine import Disguiser
+from repro.errors import ReproError
+from repro.service.queue import DONE
+from repro.service.server import DisguiseService
+from repro.simtest.clock import VirtualClock
+from repro.simtest.oracle import Oracle, Violation, snapshot_tables
+from repro.simtest.sched import (
+    PlannedEvent,
+    SchedulerStuck,
+    SimPlan,
+    StepScheduler,
+    shrink,
+)
+from repro.simtest.simfs import FaultPlan, SimFs
+from repro.storage.persist import (
+    load_database,
+    read_snapshot_generation,
+    save_database_atomic,
+)
+from repro.storage.wal import WalDatabase, WriteAheadLog, recover_database
+from repro.vault.file_vault import FileVault
+
+__all__ = [
+    "SimConfig",
+    "SimResult",
+    "build_plan",
+    "find_wal_windows",
+    "run_plan",
+    "run_sim",
+    "shrink_failure",
+]
+
+SNAP = "/sim/db.json"
+QUEUE = "/sim/db.json.jobs"
+VAULT_DIR = "/sim/vault"
+
+#: Virtual seconds a power cycle takes — recovery starts on a later
+#: clock than the crash, like a real reboot.
+REBOOT_COST_S = 1.0
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Everything that parameterizes one simulated run."""
+
+    seed: int
+    steps: int = 300
+    shards: int = 0          # 0 = monolithic WalDatabase; N>1 = sharded
+    workers: int = 2
+    app: str = "lobsters"    # "lobsters" | "hotcrp"
+    wal_fsync: str = "batch"
+    crashes: int | None = None   # None = let the plan RNG decide
+    wal_cls: Any = None          # WriteAheadLog substitute (bug re-introduction)
+    eio_rate: float = 0.0
+    #: Probability a crash keeps ALL un-fsynced appended bytes. The 0.5
+    #: default explores both outcomes; 0.0 forces a torn write whenever
+    #: a crash catches un-fsynced data (bug-hunt configs).
+    fault_keep_all: float = 0.5
+    poll_interval: float = 0.05
+    lock_timeout: float = 5.0
+
+
+@dataclass
+class SimResult:
+    """Outcome of one run: violations, the full schedule trace, stats."""
+
+    config: SimConfig
+    plan: SimPlan
+    violations: list[Violation] = field(default_factory=list)
+    trace: list[str] = field(default_factory=list)
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def report(self) -> str:
+        lines = [
+            f"seed={self.config.seed} steps={self.plan.steps} "
+            f"events={len(self.plan.events)} app={self.config.app} "
+            f"shards={self.config.shards}: "
+            + ("OK" if self.ok else f"{len(self.violations)} violation(s)")
+        ]
+        lines.extend(f"  {violation}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+def build_plan(config: SimConfig) -> SimPlan:
+    """Draw the workload script for *config* from its plan stream."""
+    rng = random.Random(f"plan:{config.seed}")
+    horizon = max(2, config.steps)
+    events: list[PlannedEvent] = []
+    for _ in range(max(3, config.steps // 12)):
+        at = rng.randrange(1, horizon)
+        pick = rng.randrange(1 << 16)
+        if rng.random() < 0.35:
+            events.append(PlannedEvent(at, "reveal", (("pick", pick),)))
+        else:
+            events.append(
+                PlannedEvent(
+                    at, "apply", (("pick", pick), ("spec", rng.randrange(1 << 16)))
+                )
+            )
+    n_crashes = (
+        config.crashes
+        if config.crashes is not None
+        else rng.randint(0, 1 + config.steps // 150)
+    )
+    for _ in range(n_crashes):
+        events.append(
+            PlannedEvent(
+                rng.randrange(min(5, horizon - 1), horizon),
+                "crash",
+                (("checkpoint", rng.random() < 0.25),),
+            )
+        )
+    events.sort(key=lambda event: event.at)
+    return SimPlan(steps=config.steps, events=tuple(events))
+
+
+def run_sim(config: SimConfig) -> SimResult:
+    """Generate the plan for *config* and run it."""
+    return run_plan(config, build_plan(config))
+
+
+def run_plan(config: SimConfig, plan: SimPlan) -> SimResult:
+    """Run one plan to completion; never raises for invariant failures."""
+    return _Sim(config).run(plan)
+
+
+def find_wal_windows(config: SimConfig, plan: SimPlan | None = None) -> list[int]:
+    """Steps at which the monolith WAL holds un-fsynced appended bytes
+    over a durable prefix — the crash instants where a power cut tears
+    the log's tail rather than erasing a never-synced file wholesale.
+
+    Deterministic like everything else: injecting a crash at a reported
+    step replays the exact same pre-crash world, so bug-reintroduction
+    tests use this to aim a power cut into the torn-tail window instead
+    of hoping a random sweep lands one.
+    """
+    plan = build_plan(config) if plan is None else plan
+    sim = _Sim(config)
+    sim._first_boot()
+    pending = list(plan.events)
+    step, hits = 0, []
+    wal_name = str(sim.fs.path(SNAP)) + ".wal"
+    while step < plan.steps:
+        while pending and pending[0].at <= step:
+            sim._fire(pending.pop(0))
+        sim.sched.step()
+        step += 1
+        sim._observe_acks()
+        inode = sim.fs._names.get(wal_name)
+        if (
+            inode is not None
+            and len(inode.durable) > 0
+            and bytes(inode.data) != inode.durable
+        ):
+            hits.append(step)
+    sim._finish()
+    return hits
+
+
+def shrink_failure(
+    config: SimConfig, plan: SimPlan | None = None, max_probes: int = 200
+) -> tuple[SimPlan, SimResult] | None:
+    """Shrink a failing run to a minimal plan; ``None`` if it passes.
+
+    Returns the shrunken plan plus its (still failing) result, whose
+    trace is the minimal reproduction.
+    """
+    plan = build_plan(config) if plan is None else plan
+    if run_plan(config, plan).ok:
+        return None
+
+    def still_fails(candidate: SimPlan) -> bool:
+        return not run_plan(config, candidate).ok
+
+    small = shrink(plan, still_fails, max_probes=max_probes)
+    return small, run_plan(config, small)
+
+
+# -- application worlds ----------------------------------------------------------
+
+
+def _build_app(config: SimConfig):
+    """(fresh db, disguise specs, owner table) for the configured app.
+
+    Populations are tiny: the harness explores interleavings and crash
+    points, not data volume, and small worlds keep a 300-step run fast
+    enough to sweep hundreds of seeds.
+    """
+    if config.app == "lobsters":
+        from repro.apps.lobsters.disguises import all_disguises
+        from repro.apps.lobsters.generate import LobstersPopulation, generate_lobsters
+
+        db = generate_lobsters(
+            seed=config.seed,
+            population=LobstersPopulation(users=10, stories=18, comments=36),
+        )
+        return db, all_disguises(), "users"
+    if config.app == "hotcrp":
+        from repro.apps.hotcrp.disguises import hotcrp_gdpr, hotcrp_gdpr_plus
+        from repro.apps.hotcrp.generate import HotcrpPopulation, generate_hotcrp
+
+        db = generate_hotcrp(
+            seed=config.seed,
+            population=HotcrpPopulation(users=12, pc_members=4, papers=8, reviews=24),
+        )
+        # confanon is a global (uid-less) disguise; the per-owner
+        # apply/reveal workload sticks to the owner-rooted specs.
+        return db, [hotcrp_gdpr(), hotcrp_gdpr_plus()], "ContactInfo"
+    raise ReproError(f"unknown simulation app {config.app!r}")
+
+
+class _Sim:
+    """One simulated run: the driver loop plus per-epoch world state."""
+
+    def __init__(self, config: SimConfig) -> None:
+        self.config = config
+        self.fs = SimFs(
+            FaultPlan(
+                random.Random(f"fault:{config.seed}"),
+                p_keep_all=config.fault_keep_all,
+                eio_rate=config.eio_rate,
+            )
+        )
+        self.epoch = 0
+        self.now = 0.0
+        self.trace: list[str] = []
+        self.violations: list[Violation] = []
+        self.acked: dict[int, dict[str, Any]] = {}
+        self.did_to_uid: dict[int, Any] = {}
+        self.revealed: set[int] = set()
+        self.reveal_requested: set[int] = set()
+        self.busy: set[Any] = set()
+        self.submitted = 0
+        # Filled by _boot:
+        self.sched: StepScheduler | None = None
+        self.clock: VirtualClock | None = None
+        self.service: DisguiseService | None = None
+        self.engine: Disguiser | None = None
+        self.oracle: Oracle | None = None
+        self.uids: list[Any] = []
+        self.specs: list[Any] = []
+        self.wal_db: WalDatabase | None = None
+        self.sdb: Any = None
+        self.group: Any = None
+        self.generation = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def run(self, plan: SimPlan) -> SimResult:
+        result = SimResult(self.config, plan, self.violations, self.trace)
+        try:
+            self._first_boot()
+            pending = list(plan.events)
+            step = 0
+            while step < plan.steps:
+                while pending and pending[0].at <= step:
+                    self._fire(pending.pop(0))
+                self.sched.step()
+                step += 1
+                self._observe_acks()
+            self._finish()
+        except SchedulerStuck as exc:
+            self.violations.append(Violation("deadlock", str(exc)))
+        finally:
+            if self.sched is not None:
+                self._collect_trace()
+        result.stats = {
+            "epochs": self.epoch + 1,
+            "jobs_submitted": self.submitted,
+            "jobs_acked": len(self.acked),
+            "virtual_seconds": round(self.now, 3),
+        }
+        return result
+
+    def _first_boot(self) -> None:
+        db0, self.specs, user_table = _build_app(self.config)
+        self.user_table = user_table
+        pk = db0.table(user_table).schema.primary_key
+        self.uids = sorted(row[pk] for row in db0.table(user_table).rows())
+        self.fs.path("/sim").mkdir(parents=True, exist_ok=True)
+        save_database_atomic(db0, self.fs.path(SNAP), generation=0)
+        self.oracle = Oracle.of(db0)
+        self._boot()
+        self._start()
+
+    def _boot(self) -> None:
+        """Assemble a world over whatever the (sim) disk currently holds."""
+        self.sched = StepScheduler(
+            random.Random(f"sched:{self.config.seed}:{self.epoch}"), now=self.now
+        )
+        self.clock = VirtualClock(self.sched)
+        if self.config.shards > 1:
+            self._boot_sharded()
+        else:
+            self._boot_monolith()
+        for spec in self.specs:
+            self.engine.register(spec)
+        self.service = self._service_cls()(
+            self.engine,
+            self.fs.path(QUEUE),
+            workers=self.config.workers,
+            wal=self._redo_hook(),
+            lock_timeout=self.config.lock_timeout,
+            max_attempts=3,
+            backoff_base=0.01,
+            queue_fsync=True,
+            poll_interval=self.config.poll_interval,
+            clock=self.clock,
+        )
+
+    def _boot_monolith(self) -> None:
+        self.wal_db = WalDatabase(
+            self.fs.path(SNAP),
+            fsync=self.config.wal_fsync,
+            clock=self.clock,
+            wal_cls=self.config.wal_cls,
+        )
+        vault = FileVault(self.fs.path(VAULT_DIR), sync_appends=True)
+        self.engine = Disguiser(self.wal_db.db, vault=vault, seed=self.config.seed)
+
+    def _boot_sharded(self) -> None:
+        from repro.shard import ShardedVault, recover_migration, shard_database
+
+        base = load_database(self.fs.path(SNAP))
+        self.generation = read_snapshot_generation(self.fs.path(SNAP))
+        # map_path=None: with no rebalance overrides the sha256 placement
+        # re-partitions the snapshot identically on every boot, so shard
+        # WALs replay onto exactly the layout the crashed run journaled.
+        sdb = shard_database(
+            base, self.config.shards, map_path=None, user_table=self.user_table
+        )
+        from repro.shard import replay_shard_logs
+
+        wal_paths = [
+            self.fs.path(self._shard_wal(index))
+            for index in range(self.config.shards)
+        ]
+        replayed, next_txn = replay_shard_logs(
+            sdb.shards, wal_paths, self.generation
+        )
+        if replayed == 0:
+            sdb.shard_map.dirty.clear()
+        wal_cls = self.config.wal_cls or WriteAheadLog
+        wals = [
+            wal_cls(
+                self.fs.path(self._shard_wal(index)),
+                fsync=self.config.wal_fsync,
+                generation=self.generation,
+                clock=self.clock,
+            )
+            for index in range(self.config.shards)
+        ]
+        from repro.shard import ShardGroupWal
+
+        self.group = ShardGroupWal(wals, clock=self.clock, next_txn=next_txn)
+        sdb.set_redo_hook(self.group)
+        vault = ShardedVault(
+            [
+                FileVault(self.fs.path(f"{VAULT_DIR}/shard-{index}"), sync_appends=True)
+                for index in range(self.config.shards)
+            ],
+            sdb.shard_map,
+        )
+        recover_migration(sdb, vault)
+        self.sdb = sdb
+        self.engine = Disguiser(sdb, vault=vault, seed=self.config.seed)
+
+    def _service_cls(self):
+        if self.config.shards > 1:
+            from repro.shard import ShardedDisguiseService
+
+            return ShardedDisguiseService
+        return DisguiseService
+
+    def _redo_hook(self) -> Any:
+        return self.group if self.config.shards > 1 else self.wal_db.wal
+
+    def _shard_wal(self, index: int) -> str:
+        return f"{SNAP}.s{index}.wal"
+
+    def _db(self) -> Any:
+        return self.sdb if self.config.shards > 1 else self.wal_db.db
+
+    def _live_tables(self) -> dict[str, dict[Any, dict[str, Any]]]:
+        if self.config.shards > 1:
+            from repro.shard import collapse
+
+            return snapshot_tables(collapse(self.sdb))
+        return snapshot_tables(self.wal_db.db)
+
+    def _start(self) -> None:
+        self.service.start()
+        self.trace.append(f"!boot epoch={self.epoch} t={self.now:.3f}")
+
+    def _collect_trace(self) -> None:
+        self.trace.extend(self.sched.trace)
+        self.sched.trace = []
+
+    # -- driver events -----------------------------------------------------------
+
+    def _fire(self, event: PlannedEvent) -> None:
+        if event.kind == "apply":
+            candidates = [uid for uid in self.uids if uid not in self.busy]
+            if not candidates:
+                return
+            uid = candidates[event.arg("pick", 0) % len(candidates)]
+            spec = self.specs[event.arg("spec", 0) % len(self.specs)]
+            self.service.submit_apply(spec.name, uid)
+            self.busy.add(uid)
+            self.submitted += 1
+            self.trace.append(f"!submit apply {spec.name} uid={uid}")
+        elif event.kind == "reveal":
+            candidates = [
+                did
+                for did in sorted(self.did_to_uid)
+                if did not in self.reveal_requested and did not in self.revealed
+            ]
+            if not candidates:
+                return
+            did = candidates[event.arg("pick", 0) % len(candidates)]
+            self.service.submit_reveal(did)
+            self.reveal_requested.add(did)
+            self.submitted += 1
+            self.trace.append(f"!submit reveal did={did}")
+        elif event.kind == "crash":
+            self._crash(checkpoint=bool(event.arg("checkpoint", False)))
+        else:
+            raise ReproError(f"unknown plan event kind {event.kind!r}")
+
+    def _observe_acks(self) -> None:
+        """Record every job the driver can see DONE — the set the oracle
+        holds the recovered world accountable for."""
+        for job in self.service.queue.jobs(states=(DONE,)):
+            if job.job_id in self.acked:
+                continue
+            result = dict(job.result or {})
+            self.acked[job.job_id] = {
+                "kind": job.kind,
+                "payload": dict(job.payload),
+                "result": result,
+            }
+            if job.kind == "apply" and result.get("did") is not None:
+                self.did_to_uid[result["did"]] = job.payload.get("uid")
+            elif job.kind == "reveal":
+                did = int(job.payload["did"])
+                self.revealed.add(did)
+                self.busy.discard(self.did_to_uid.get(did))
+
+    # -- crash / recover ---------------------------------------------------------
+
+    def _crash(self, checkpoint: bool) -> None:
+        self._observe_acks()
+        old = self.sched
+        # The disk dies at the crash instant, BEFORE the threads unwind:
+        # compensation code running in except/finally blocks (e.g. the
+        # vault journal's compensate()) must not get to write durably —
+        # a real power cut runs no code at all.
+        self.fs.dead = True
+        old.crash()
+        self._collect_trace()
+        self._drop_scatter_pool()
+        self.fs = self.fs.crash()
+        self.now = old.now + REBOOT_COST_S
+        self.epoch += 1
+        self.trace.append(f"!powercut -> epoch={self.epoch}")
+        self._boot()
+        self.violations.extend(
+            self.oracle.check_recovery(
+                self._db(),
+                self.engine.history,
+                self.engine.vault,
+                self.service.queue,
+                self.acked,
+            )
+        )
+        if checkpoint:
+            self._checkpoint()
+        self._start()
+
+    def _drop_scatter_pool(self) -> None:
+        """Retire the sharded engine's real scatter pool (it is only used
+        for hook-less driver reads; its threads are not simulated)."""
+        if self.sdb is not None:
+            pool = getattr(self.sdb, "_scatter_pool", None)
+            if pool is not None:
+                pool.shutdown(wait=False)
+                self.sdb._scatter_pool = None
+
+    def _checkpoint(self) -> None:
+        if self.config.shards > 1:
+            from repro.shard import collapse
+
+            # Same crash discipline as WalDatabase.checkpoint: install the
+            # merged snapshot with a bumped generation first, then restamp
+            # the (live) shard logs — a crash in between leaves stale-gen
+            # logs that recovery recognizes as already folded in.
+            self.group.sync()
+            self.generation += 1
+            save_database_atomic(
+                collapse(self.sdb), self.fs.path(SNAP), generation=self.generation
+            )
+            for wal in self.group.wals:
+                wal.truncate(generation=self.generation)
+            # A collapsed checkpoint canonicalizes placement: the next
+            # recovery re-partitions the merged snapshot by owner hash,
+            # which moves rows that lived off their home (biased
+            # placeholder inserts replayed onto their journaling shard).
+            # Rebuild the live world from the snapshot now, so the
+            # layout the engine journals against is exactly the one a
+            # recovery would reconstruct — the same discipline as the
+            # CLI, which only checkpoints at shutdown and re-partitions
+            # on reopen.
+            self._collect_trace()
+            self.now = self.sched.now
+            self._drop_scatter_pool()
+            self._boot()
+        else:
+            self.wal_db.checkpoint()
+        self.trace.append("!checkpoint")
+
+    # -- end of run --------------------------------------------------------------
+
+    def _finish(self) -> None:
+        self._observe_acks()
+        drained = self.service.drain(timeout=600.0)
+        self._observe_acks()
+        if not drained:
+            self.violations.append(
+                Violation("drain", "queue failed to drain within 600 virtual seconds")
+            )
+        self.service.shutdown(timeout=60.0)
+        self.violations.extend(self._check_durability())
+        self._reveal_all()
+        tables = self._live_tables()
+        self.violations.extend(
+            self.oracle.check_end(tables, self.engine.history, self.engine.vault)
+        )
+        if self.config.shards > 1:
+            self._drop_scatter_pool()
+        else:
+            self.wal_db.close()
+
+    def _reveal_all(self) -> None:
+        """Undo every still-active disguise, newest first (composition:
+        later disguises may hold entries migrated from earlier ones)."""
+        active = sorted(
+            (record.did for record in self.engine.history.records(active_only=True)),
+            reverse=True,
+        )
+        for did in active:
+            try:
+                self.engine.reveal(did)
+            except ReproError as exc:
+                self.violations.append(
+                    Violation("reveal-incomplete", f"reveal({did}) raised: {exc}")
+                )
+
+    def _check_durability(self) -> list[Violation]:
+        """Re-recover from (sim) disk and diff against the live world.
+
+        Catches durability bugs that only a *later* recovery would see —
+        e.g. a WAL that reopens without trimming crash debris, stranding
+        every commit appended after it.
+        """
+        live = self._live_tables()
+        try:
+            recovered = self._recovered_tables()
+        except ReproError as exc:
+            return [Violation("durability", f"re-recovery failed: {exc}")]
+        out: list[Violation] = []
+        for name in sorted(set(live) | set(recovered)):
+            want, got = live.get(name), recovered.get(name)
+            if want == got:
+                continue
+            want = want or {}
+            got = got or {}
+            missing = [pk for pk in want if pk not in got]
+            extra = [pk for pk in got if pk not in want]
+            changed = [pk for pk in want if pk in got and got[pk] != want[pk]]
+            out.append(
+                Violation(
+                    "durability",
+                    f"{name}: recovering from disk loses acked state "
+                    f"(missing={missing[:5]} extra={extra[:5]} "
+                    f"changed={changed[:5]})",
+                )
+            )
+        return out
+
+    def _recovered_tables(self) -> dict[str, dict[Any, dict[str, Any]]]:
+        if self.config.shards <= 1:
+            recovered = recover_database(
+                self.fs.path(SNAP), self.wal_db.wal_path, verify=False
+            )
+            return snapshot_tables(recovered)
+        from repro.shard import replay_shard_logs, shard_database
+
+        base = load_database(self.fs.path(SNAP), verify=False)
+        generation = read_snapshot_generation(self.fs.path(SNAP))
+        fresh = shard_database(
+            base, self.config.shards, map_path=None, user_table=self.user_table
+        )
+        wal_paths = [
+            self.fs.path(self._shard_wal(index))
+            for index in range(self.config.shards)
+        ]
+        # scrub=False: this is a read-only what-if recovery against the
+        # *live* logs — it must never rewrite them under the service.
+        replay_shard_logs(fresh.shards, wal_paths, generation, scrub=False)
+        # Union across shards, flagging duplicate placements inline: the
+        # shard union must equal the monolith row set exactly.
+        out: dict[str, dict[Any, dict[str, Any]]] = {}
+        for shard in fresh.shards:
+            for name, rows in snapshot_tables(shard).items():
+                bucket = out.setdefault(name, {})
+                for pk, row in rows.items():
+                    if pk in bucket and bucket[pk] != row:
+                        self.violations.append(
+                            Violation(
+                                "shard-union",
+                                f"{name}[{pk!r}] exists on two shards with "
+                                f"different contents",
+                            )
+                        )
+                    bucket[pk] = row
+        pool = getattr(fresh, "_scatter_pool", None)
+        if pool is not None:
+            pool.shutdown(wait=False)
+        return out

@@ -1,0 +1,241 @@
+"""The model-checking oracle: disguise invariants over recovered state.
+
+The oracle holds a dict-based model of the world — the baseline table
+contents captured before any disguise ran — and checks the real system
+against it at two kinds of barrier:
+
+* **after every recovery** (:meth:`Oracle.check_recovery`): the database
+  passes FK/integrity checks; every job the driver saw acked before the
+  crash is still DONE with the same result (no acked job lost); an acked
+  apply's job-token binding is present (the crash dedupe the executor
+  relies on) and an acked reveal's disguise is inactive; and every vault
+  entry belongs to an *active* disguise — entries for a revealed
+  disguise must have been consumed, and entries whose disguise id was
+  never committed are tolerated as compensation orphans (the vault
+  journals durably *inside* the transaction, so a crash between the
+  vault append and the WAL commit legitimately strands them);
+* **at end of run** (:meth:`Oracle.check_end`): after draining the queue
+  and revealing every active disguise, apply∘reveal must be the
+  identity — every application table matches the baseline row-for-row
+  (the paper's "the owner can always be made whole" claim), and the
+  vault holds nothing but orphans.
+
+Checks return :class:`Violation` lists instead of raising, so one run
+reports every broken invariant and the harness can attach the schedule
+trace to each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import ReproError
+
+__all__ = ["Oracle", "Violation", "snapshot_tables"]
+
+Rows = dict[Any, dict[str, Any]]
+Tables = dict[str, Rows]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant: which check, and what it saw."""
+
+    check: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"[{self.check}] {self.message}"
+
+
+def snapshot_tables(db: Any) -> Tables:
+    """``{table: {pk: row}}`` for every non-system table of *db*."""
+    out: Tables = {}
+    for name in db.table_names:
+        if name.startswith("_"):
+            continue
+        table = db.table(name)
+        pk = table.schema.primary_key
+        out[name] = {row[pk]: dict(row) for row in table.rows()}
+    return out
+
+
+class Oracle:
+    """Invariant checker bound to one baseline snapshot."""
+
+    def __init__(self, baseline: Tables) -> None:
+        self.baseline = baseline
+
+    @classmethod
+    def of(cls, db: Any) -> "Oracle":
+        return cls(snapshot_tables(db))
+
+    # -- recovery-time checks ----------------------------------------------------
+
+    def check_recovery(
+        self,
+        db: Any,
+        history: Any,
+        vault: Any,
+        queue: Any,
+        acked: dict[int, dict[str, Any]],
+    ) -> list[Violation]:
+        """Invariants that must hold the moment a crashed world recovers.
+
+        ``acked`` maps job id -> ``{"kind", "payload", "result"}`` for
+        every job the driver observed DONE before the power cut.
+        """
+        out: list[Violation] = []
+        out.extend(self._check_integrity(db))
+        known = {record.did: record for record in history.records()}
+        for job_id, info in sorted(acked.items()):
+            try:
+                job = queue.get(job_id)
+            except ReproError:
+                out.append(
+                    Violation(
+                        "acked-job-lost",
+                        f"job {job_id} was acked before the crash but is "
+                        f"missing from the recovered journal",
+                    )
+                )
+                continue
+            if job.state != "done":
+                out.append(
+                    Violation(
+                        "acked-job-lost",
+                        f"job {job_id} was acked before the crash but "
+                        f"recovered as {job.state!r}",
+                    )
+                )
+                continue
+            result = info.get("result") or {}
+            kind = info.get("kind")
+            if kind == "apply":
+                bound = history.job_applied(f"job-{job_id}")
+                if bound is None:
+                    out.append(
+                        Violation(
+                            "apply-binding-lost",
+                            f"acked apply job {job_id} has no durable "
+                            f"job-token binding (its effects were lost)",
+                        )
+                    )
+                elif result.get("did") is not None and bound != result["did"]:
+                    out.append(
+                        Violation(
+                            "apply-binding-lost",
+                            f"acked apply job {job_id} bound to disguise "
+                            f"{bound} but its ack reported {result['did']}",
+                        )
+                    )
+            elif kind == "reveal":
+                did = int(info.get("payload", {}).get("did", -1))
+                record = known.get(did)
+                if record is None:
+                    out.append(
+                        Violation(
+                            "reveal-lost",
+                            f"acked reveal job {job_id}: disguise {did} has "
+                            f"no history record after recovery",
+                        )
+                    )
+                elif record.active:
+                    out.append(
+                        Violation(
+                            "reveal-lost",
+                            f"acked reveal job {job_id}: disguise {did} is "
+                            f"still active after recovery",
+                        )
+                    )
+        out.extend(self._check_vault_coverage(history, vault, end_of_run=False))
+        return out
+
+    # -- end-of-run checks -------------------------------------------------------
+
+    def check_end(self, tables: Tables, history: Any, vault: Any) -> list[Violation]:
+        """After reveal-all: the world must equal the baseline exactly."""
+        out: list[Violation] = []
+        active = [record.did for record in history.records(active_only=True)]
+        if active:
+            out.append(
+                Violation(
+                    "reveal-incomplete",
+                    f"disguises still active after reveal-all: {active}",
+                )
+            )
+        for name in sorted(set(self.baseline) | set(tables)):
+            want = self.baseline.get(name)
+            got = tables.get(name)
+            if want is None or got is None:
+                out.append(
+                    Violation(
+                        "identity",
+                        f"table {name!r} exists only "
+                        f"{'after' if want is None else 'before'} the run",
+                    )
+                )
+                continue
+            missing = [pk for pk in want if pk not in got]
+            extra = [pk for pk in got if pk not in want]
+            changed = [
+                pk for pk in want if pk in got and got[pk] != want[pk]
+            ]
+            if missing or extra or changed:
+                out.append(
+                    Violation(
+                        "identity",
+                        f"{name}: apply∘reveal is not the identity "
+                        f"(missing={missing[:5]} extra={extra[:5]} "
+                        f"changed={[(pk, want[pk], got[pk]) for pk in changed[:3]]})",
+                    )
+                )
+        out.extend(self._check_vault_coverage(history, vault, end_of_run=True))
+        return out
+
+    # -- shared pieces -----------------------------------------------------------
+
+    def _check_integrity(self, db: Any) -> list[Violation]:
+        try:
+            db.assert_integrity()
+        except ReproError as exc:
+            return [Violation("fk-integrity", str(exc))]
+        return []
+
+    def _check_vault_coverage(
+        self, history: Any, vault: Any, end_of_run: bool
+    ) -> list[Violation]:
+        """Vault entries exactly cover disguised rows.
+
+        Mid-run: every entry's disguise is active (reveals consume their
+        entries; composition migrates entries to the disguise that now
+        owns them). End of run: only compensation orphans — entries whose
+        disguise id never committed a history row — may remain.
+        """
+        out: list[Violation] = []
+        known = {record.did: record for record in history.records()}
+        for owner in vault.owners():
+            for entry in vault.entries_for(owner, disguise_id=None):
+                record = known.get(entry.disguise_id)
+                if record is None:
+                    continue  # compensation orphan: tolerated by design
+                if not record.active:
+                    out.append(
+                        Violation(
+                            "vault-coverage",
+                            f"vault entry {entry.entry_id} (owner {owner!r}, "
+                            f"table {entry.table!r}) belongs to revealed "
+                            f"disguise {entry.disguise_id}",
+                        )
+                    )
+                elif end_of_run:
+                    out.append(
+                        Violation(
+                            "vault-coverage",
+                            f"vault entry {entry.entry_id} for active "
+                            f"disguise {entry.disguise_id} survived "
+                            f"reveal-all (owner {owner!r})",
+                        )
+                    )
+        return out

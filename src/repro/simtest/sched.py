@@ -1,0 +1,397 @@
+"""Cooperative step scheduler: a seed fully determines the interleaving.
+
+Real :class:`threading.Thread` objects run the real worker-pool code,
+but only one simulated thread executes at a time. Each thread owns a
+gate semaphore; the driver (the test process's main thread) releases
+exactly one gate per step and then blocks until that thread parks again
+— at a declared yield point (:meth:`StepScheduler.tick`), a condition
+wait (:meth:`wait_on`), a sleep, or exit. Which runnable thread runs
+next is drawn from a seeded RNG, so the whole interleaving replays from
+the seed alone.
+
+Blocking is virtualized: ``wait_on`` releases the caller's real
+condition lock while the thread is parked and reacquires it before
+returning (or before raising :class:`~repro.simtest.clock.PowerCut`),
+so the surrounding ``with cond:`` blocks stay balanced. Timeouts are
+deadlines on the virtual clock; when nothing is runnable the scheduler
+jumps time to the earliest deadline. A crash releases every gate with
+the ``dead`` flag set, so parked threads unwind via ``PowerCut``.
+
+The shrinker at the bottom is plain delta debugging over a
+:class:`SimPlan` — the pre-generated workload script — not over the RNG
+stream: the plan is drawn up front from one ``Random(seed)`` and the
+scheduler draws from an independent stream, so deleting a plan event
+never shifts the scheduling decisions of the events that remain.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable
+
+from repro.simtest.clock import PowerCut
+
+__all__ = [
+    "PlannedEvent",
+    "SchedulerStuck",
+    "SimPlan",
+    "SimThreadHandle",
+    "StepScheduler",
+    "shrink",
+]
+
+_READY = "ready"
+_BLOCKED = "blocked"
+_DONE = "done"
+
+
+class SchedulerStuck(RuntimeError):
+    """No thread is runnable, no deadline is pending, and the driver is
+    still waiting for progress — a genuine deadlock in the simulated
+    world (or a missing notify)."""
+
+
+class _SimThread:
+    __slots__ = (
+        "name",
+        "gate",
+        "state",
+        "blocked_cond",
+        "deadline",
+        "last_point",
+        "error",
+        "real",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.gate = threading.Semaphore(0)
+        self.state = _READY
+        self.blocked_cond: threading.Condition | None = None
+        self.deadline: float | None = None
+        self.last_point = "start"
+        self.error: str | None = None
+        self.real: threading.Thread | None = None
+
+
+class SimThreadHandle:
+    """Thread-like facade returned by ``clock.spawn`` under simulation.
+
+    ``join`` pumps the scheduler until the thread exits, so unmodified
+    shutdown paths (``WorkerPool.stop`` joining its workers from the
+    driver) drive the simulation instead of deadlocking it.
+    """
+
+    def __init__(self, sim: _SimThread, sched: "StepScheduler") -> None:
+        self._sim = sim
+        self._sched = sched
+        self.name = sim.name
+
+    def is_alive(self) -> bool:
+        return self._sim.state != _DONE
+
+    def join(self, timeout: float | None = None) -> None:
+        self._sched.join_thread(self._sim, timeout)
+
+
+class StepScheduler:
+    """Serializes simulated threads; one :meth:`step` = one quantum."""
+
+    def __init__(self, rng: random.Random, now: float = 0.0) -> None:
+        self.rng = rng
+        self.now = now
+        self.steps = 0
+        self.dead = False
+        self.threads: list[_SimThread] = []
+        self._by_ident: dict[int, _SimThread] = {}
+        self._driver = threading.Semaphore(0)
+        self.trace: list[str] = []
+
+    # -- thread side -------------------------------------------------------------
+
+    def spawn(self, target: Callable[[], None], name: str) -> SimThreadHandle:
+        sim = _SimThread(name)
+
+        def run() -> None:
+            self._by_ident[threading.get_ident()] = sim
+            sim.gate.acquire()  # wait to be scheduled for the first time
+            try:
+                if not self.dead:
+                    target()
+            except PowerCut:
+                pass
+            except BaseException as exc:  # noqa: BLE001 - recorded, not hidden
+                sim.error = f"{type(exc).__name__}: {exc}"
+                self.trace.append(f"!thread {sim.name} died: {sim.error}")
+            finally:
+                sim.state = _DONE
+                self._by_ident.pop(threading.get_ident(), None)
+                self._driver.release()
+
+        sim.real = threading.Thread(target=run, name=name, daemon=True)
+        self.threads.append(sim)
+        self.trace.append(f"spawn {name}")
+        sim.real.start()
+        return SimThreadHandle(sim, self)
+
+    def _current(self) -> _SimThread | None:
+        return self._by_ident.get(threading.get_ident())
+
+    def _park(self, sim: _SimThread, origin: str) -> None:
+        """Hand control back to the driver and wait to be rescheduled."""
+        self._driver.release()
+        sim.gate.acquire()
+        if self.dead:
+            raise PowerCut(origin)
+
+    def tick(self, point: str, detail: str = "") -> None:
+        """Declared yield point; a no-op for driver/unmanaged threads."""
+        sim = self._current()
+        if sim is None:
+            return
+        if self.dead:
+            raise PowerCut(point)
+        sim.last_point = f"{point}({detail})" if detail else point
+        sim.state = _READY
+        self._park(sim, point)
+
+    def wait_on(self, cond: threading.Condition, timeout: float | None) -> bool:
+        """Condition wait. The caller holds ``cond``; we release it while
+        parked and reacquire before returning or raising, keeping the
+        caller's ``with cond:`` block balanced either way."""
+        sim = self._current()
+        if sim is None:
+            return self._driver_wait(cond, timeout)
+        if self.dead:
+            raise PowerCut("wait")
+        sim.last_point = "cond.wait"
+        sim.state = _BLOCKED
+        sim.blocked_cond = cond
+        sim.deadline = None if timeout is None else self.now + max(0.0, timeout)
+        cond.release()
+        try:
+            self._park(sim, "wait")
+        finally:
+            cond.acquire()
+            sim.blocked_cond = None
+            sim.deadline = None
+        return True
+
+    def sleep(self, seconds: float) -> None:
+        sim = self._current()
+        if sim is None:
+            # Driver sleep means "let the world run for a while": advance
+            # virtual time and pump one step so poll loops built on
+            # sleep() make progress instead of spinning. With no live
+            # threads (boot, post-shutdown) there is nothing to pump.
+            self.now += max(0.0, seconds)
+            if any(sim.state != _DONE for sim in self.threads):
+                self.step()
+            return
+        if self.dead:
+            raise PowerCut("sleep")
+        sim.last_point = f"sleep({seconds:g})"
+        sim.state = _BLOCKED
+        sim.blocked_cond = None
+        sim.deadline = self.now + max(0.0, seconds)
+        self._park(sim, "sleep")
+
+    def notify_all(self, cond: threading.Condition) -> None:
+        """Wake every thread blocked on ``cond``; they reacquire the
+        condition lock themselves when next scheduled. Safe to call from
+        the driver, a simulated thread, or a thread unwinding after a
+        crash (wakeups on a dead world are moot)."""
+        for sim in self.threads:
+            if sim.state == _BLOCKED and sim.blocked_cond is cond:
+                sim.state = _READY
+
+    # -- driver side -------------------------------------------------------------
+
+    def runnable(self) -> list[_SimThread]:
+        return [sim for sim in self.threads if sim.state == _READY]
+
+    def step(self) -> bool:
+        """Run one thread to its next yield point. Returns ``False`` when
+        no thread is runnable even after advancing virtual time."""
+        ready = self.runnable()
+        if not ready:
+            if not self._advance_time():
+                return False
+            ready = self.runnable()
+            if not ready:
+                return False
+        sim = ready[self.rng.randrange(len(ready))] if len(ready) > 1 else ready[0]
+        self.steps += 1
+        self.trace.append(f"{self.steps} t={self.now:.3f} {sim.name} @ {sim.last_point}")
+        sim.gate.release()
+        self._driver.acquire()
+        return True
+
+    def _advance_time(self) -> bool:
+        deadlines = [
+            sim.deadline
+            for sim in self.threads
+            if sim.state == _BLOCKED and sim.deadline is not None
+        ]
+        if not deadlines:
+            return False
+        target = min(deadlines)
+        if target > self.now:
+            self.now = target
+            self.trace.append(f"advance t={self.now:.3f}")
+        for sim in self.threads:
+            if (
+                sim.state == _BLOCKED
+                and sim.deadline is not None
+                and sim.deadline <= self.now
+            ):
+                sim.state = _READY
+        return True
+
+    def _driver_wait(self, cond: threading.Condition, timeout: float | None) -> bool:
+        """The driver blocked on a condition (``queue.wait_idle`` and
+        friends): release it, pump one step, reacquire, and return as a
+        spurious wakeup — every wait site in the stack re-checks its
+        predicate in a loop, so progress resumes naturally."""
+        cond.release()
+        try:
+            if not self.step():
+                if timeout is None:
+                    raise SchedulerStuck(
+                        f"driver waits forever but nothing can run ({self.describe()})"
+                    )
+                self.now += max(0.0, timeout)
+        finally:
+            cond.acquire()
+        return True
+
+    def join_thread(self, sim: _SimThread, timeout: float | None = None) -> None:
+        deadline = None if timeout is None else self.now + timeout
+        while sim.state != _DONE:
+            if deadline is not None and self.now > deadline:
+                return
+            if not self.step():
+                raise SchedulerStuck(
+                    f"joining {sim.name} but nothing can run ({self.describe()})"
+                )
+        if sim.real is not None:
+            sim.real.join(timeout=5.0)
+
+    def describe(self) -> str:
+        states = ", ".join(
+            f"{sim.name}:{sim.state}@{sim.last_point}" for sim in self.threads
+        )
+        return f"step={self.steps} t={self.now:.3f} [{states}]"
+
+    def crash(self) -> None:
+        """Power cut: every parked thread is released with ``dead`` set
+        and unwinds via :class:`PowerCut`; blocks until all are gone so
+        the next epoch starts from a quiescent process."""
+        self.dead = True
+        self.trace.append(f"crash @ step {self.steps} t={self.now:.3f}")
+        for sim in self.threads:
+            if sim.state != _DONE:
+                # Generous releases: a thread may consume one at its
+                # park site and more are harmless (semaphore, not event).
+                sim.gate.release()
+                sim.gate.release()
+        for sim in self.threads:
+            if sim.real is not None:
+                sim.real.join(timeout=10.0)
+                if sim.real.is_alive():  # pragma: no cover - diagnostics
+                    raise SchedulerStuck(f"thread {sim.name} survived the power cut")
+            sim.state = _DONE
+        # Drain driver-handshake releases left by the dying threads.
+        while self._driver.acquire(blocking=False):
+            pass
+
+
+# -- simulation plans and the shrinker ------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlannedEvent:
+    """One scripted driver action: ``at`` is the scheduler step count at
+    (or after) which it fires. ``kind`` is ``apply``, ``reveal``, or
+    ``crash``; ``payload`` carries kind-specific fields (spec name, uid
+    pick, whether recovery also checkpoints)."""
+
+    at: int
+    kind: str
+    payload: tuple[tuple[str, Any], ...] = ()
+
+    def arg(self, key: str, default: Any = None) -> Any:
+        for name, value in self.payload:
+            if name == key:
+                return value
+        return default
+
+
+@dataclass(frozen=True)
+class SimPlan:
+    """The full workload script for one run: how many scheduler steps to
+    take and which driver events fire along the way. Generated up front
+    from ``Random(seed)`` so the shrinker can delete events without
+    perturbing anything else."""
+
+    steps: int
+    events: tuple[PlannedEvent, ...] = ()
+
+    def truncated(self, steps: int) -> "SimPlan":
+        return SimPlan(
+            steps=steps,
+            events=tuple(event for event in self.events if event.at <= steps),
+        )
+
+    def without(self, index: int) -> "SimPlan":
+        kept = tuple(
+            event for position, event in enumerate(self.events) if position != index
+        )
+        return replace(self, events=kept)
+
+
+def shrink(
+    plan: SimPlan,
+    still_fails: Callable[[SimPlan], bool],
+    max_probes: int = 200,
+) -> SimPlan:
+    """Delta-debug ``plan`` to a smaller plan for which ``still_fails``
+    holds. Two passes, repeated to fixpoint: binary-search the smallest
+    failing step budget, then greedily drop events. ``still_fails`` must
+    be deterministic (it replays the simulation), which is the whole
+    point of the harness."""
+    probes = 0
+
+    def check(candidate: SimPlan) -> bool:
+        nonlocal probes
+        probes += 1
+        return still_fails(candidate)
+
+    best = plan
+    improved = True
+    while improved and probes < max_probes:
+        improved = False
+        # Pass 1: smallest failing step budget in [1, best.steps].
+        low, high = 1, best.steps
+        while low < high and probes < max_probes:
+            mid = (low + high) // 2
+            candidate = best.truncated(mid)
+            if check(candidate):
+                high = mid
+            else:
+                low = mid + 1
+        if high < best.steps:
+            best = best.truncated(high)
+            improved = True
+        # Pass 2: drop events one at a time (later events first — they
+        # are most likely to be dead weight after truncation).
+        index = len(best.events) - 1
+        while index >= 0 and probes < max_probes:
+            candidate = best.without(index)
+            if candidate.events != best.events and check(candidate):
+                best = candidate
+                improved = True
+            index -= 1
+    return best

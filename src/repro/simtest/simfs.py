@@ -1,0 +1,455 @@
+"""In-memory filesystem with power-cut semantics and seeded fault plans.
+
+Models exactly the surface :mod:`repro.storage.wal`,
+:mod:`repro.storage.persist`, :mod:`repro.vault.file_vault`, and
+:mod:`repro.service.queue` use — ``Path.open`` in r/rb/w/wb/a/ab/rb+
+modes, ``exists``/``read_bytes``/``unlink``/``mkdir``/``glob``, handle
+``write``/``flush``/``truncate``/iteration, ``os.fsync``,
+``os.replace``, and directory fsync — dispatched through
+:mod:`repro.storage.fsio` so production code runs unmodified on either
+substrate.
+
+Durability model (pragmatic ext4-ish, the one the stack is written
+against):
+
+* each inode tracks ``durable`` (the bytes as of its last fsync) next
+  to ``data`` (the cache); fsyncing a file also makes its current
+  directory entry durable;
+* ``replace``/``unlink`` are atomic metadata ops that stay *pending*
+  until the containing directory is fsynced — at a crash each pending
+  op independently survives or not (a seeded coin), which yields
+  reordered-rename states for free;
+* at a crash, data appended since the last fsync survives only as a
+  contiguous prefix whose length the fault plan picks — including every
+  torn-byte position — and anything else is lost. Bytes are never
+  scribbled mid-file by default: the WAL's CRC framing treats mid-log
+  damage as fatal corruption (by design), so random scribbles would
+  drown real bugs in expected ``WalCorruptionError`` noise;
+* an optional EIO storm makes fsync raise ``OSError(EIO)`` at a seeded
+  rate (off by default).
+
+:meth:`SimFs.crash` freezes the world (every later op raises
+:class:`~repro.simtest.clock.PowerCut`, killing leftover threads) and
+returns a *new* ``SimFs`` holding only what survived — the "power-cut
+then recover" operator.
+"""
+
+from __future__ import annotations
+
+import errno
+import fnmatch
+import posixpath
+import random
+from typing import Any, Iterator
+
+from repro.simtest.clock import PowerCut
+
+__all__ = ["FaultPlan", "SimFs", "SimPath"]
+
+
+class FaultPlan:
+    """Seeded crash-fault decisions. One plan serves a whole run (the
+    RNG advances across crashes), so a seed determines every fault."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        p_keep_all: float = 0.5,
+        p_meta_survive: float = 0.5,
+        eio_rate: float = 0.0,
+    ) -> None:
+        self.rng = rng
+        self.p_keep_all = p_keep_all
+        self.p_meta_survive = p_meta_survive
+        self.eio_rate = eio_rate
+
+    def kept_extension(self, appended: int) -> int:
+        """How many of ``appended`` un-fsynced bytes survive the crash
+        (a contiguous prefix; 0..appended inclusive, so every torn-write
+        byte position is reachable)."""
+        if appended <= 0:
+            return 0
+        if self.rng.random() < self.p_keep_all:
+            return appended
+        return self.rng.randint(0, appended)
+
+    def op_survives(self) -> bool:
+        """Does a pending (un-dir-fsynced) rename/unlink hit the disk?"""
+        return self.rng.random() < self.p_meta_survive
+
+    def maybe_eio(self, op: str, path: str) -> None:
+        if self.eio_rate > 0.0 and self.rng.random() < self.eio_rate:
+            raise OSError(errno.EIO, f"simulated I/O error during {op}", path)
+
+
+class _Inode:
+    __slots__ = ("data", "durable")
+
+    def __init__(self, data: bytes = b"", durable: bytes | None = None) -> None:
+        self.data = bytearray(data)
+        self.durable = data if durable is None else durable
+
+    def crash_content(self, plan: FaultPlan) -> bytes:
+        """What this inode holds after a power cut."""
+        data = bytes(self.data)
+        if data == self.durable:
+            return data
+        if data[: len(self.durable)] == self.durable:
+            # Pure append since the last fsync: a plan-chosen prefix of
+            # the new suffix survives (torn write).
+            extension = data[len(self.durable) :]
+            return self.durable + extension[: plan.kept_extension(len(extension))]
+        # Diverged (overwrite/truncate below the durable watermark):
+        # model the metadata+data update as one atom that either hit the
+        # disk or didn't.
+        return data if plan.op_survives() else self.durable
+
+
+class SimFs:
+    """The in-memory filesystem; hand out roots via :meth:`path`."""
+
+    def __init__(self, plan: FaultPlan | None = None) -> None:
+        self.plan = plan or FaultPlan(random.Random(0))
+        self.dead = False
+        self._names: dict[str, _Inode] = {}
+        self._durable_names: dict[str, _Inode] = {}
+        self._dirs: set[str] = {"/"}
+        #: Metadata ops applied to the cache but not yet dir-fsynced:
+        #: ("replace", src, dst, inode) | ("unlink", name, None, inode).
+        self._pending: list[tuple[str, str, str | None, _Inode]] = []
+
+    # -- public surface ----------------------------------------------------------
+
+    def path(self, raw: str) -> "SimPath":
+        return SimPath(self, _norm(raw))
+
+    def crash(self) -> "SimFs":
+        """Power cut: freeze this world and return the survivor."""
+        survivor_names = dict(self._durable_names)
+        for kind, src, dst, inode in self._pending:
+            if not self.plan.op_survives():
+                continue
+            if kind == "replace":
+                survivor_names.pop(src, None)
+                survivor_names[dst] = inode  # type: ignore[index]
+            else:  # unlink
+                survivor_names.pop(src, None)
+        self.dead = True
+        fresh = SimFs(self.plan)
+        fresh._dirs = set(self._dirs)
+        for name in sorted(survivor_names):
+            content = survivor_names[name].crash_content(self.plan)
+            fresh._names[name] = _Inode(content)
+            fresh._durable_names[name] = fresh._names[name]
+        return fresh
+
+    def dump(self) -> dict[str, bytes]:
+        """Cache view of every file (debugging/tests)."""
+        return {name: bytes(ino.data) for name, ino in sorted(self._names.items())}
+
+    # -- operations (called via SimPath / fsio) ----------------------------------
+
+    def _check_alive(self, op: str) -> None:
+        if self.dead:
+            raise PowerCut(f"simfs.{op}")
+
+    def _exists(self, name: str) -> bool:
+        self._check_alive("exists")
+        return name in self._names
+
+    def _read_bytes(self, name: str) -> bytes:
+        self._check_alive("read")
+        inode = self._names.get(name)
+        if inode is None:
+            raise FileNotFoundError(errno.ENOENT, "no such file", name)
+        return bytes(inode.data)
+
+    def _mkdir(self, name: str, parents: bool, exist_ok: bool) -> None:
+        self._check_alive("mkdir")
+        if name in self._dirs:
+            if not exist_ok:
+                raise FileExistsError(errno.EEXIST, "directory exists", name)
+            return
+        parent = posixpath.dirname(name) or "/"
+        if parent not in self._dirs:
+            if not parents:
+                raise FileNotFoundError(errno.ENOENT, "no parent directory", name)
+            self._mkdir(parent, parents=True, exist_ok=True)
+        self._dirs.add(name)
+
+    def _glob(self, directory: str, pattern: str) -> list["SimPath"]:
+        self._check_alive("glob")
+        prefix = directory.rstrip("/") + "/"
+        out = []
+        for name in sorted(self._names):
+            if name.startswith(prefix) and "/" not in name[len(prefix) :]:
+                if fnmatch.fnmatchcase(name[len(prefix) :], pattern):
+                    out.append(SimPath(self, name))
+        return out
+
+    def _unlink(self, name: str) -> None:
+        self._check_alive("unlink")
+        inode = self._names.pop(name, None)
+        if inode is None:
+            raise FileNotFoundError(errno.ENOENT, "no such file", name)
+        self._pending.append(("unlink", name, None, inode))
+
+    def _replace(self, src: str, dst: str) -> None:
+        self._check_alive("replace")
+        inode = self._names.pop(src, None)
+        if inode is None:
+            raise FileNotFoundError(errno.ENOENT, "no such file", src)
+        self._names[dst] = inode
+        self._pending.append(("replace", src, dst, inode))
+
+    def _open(self, name: str, mode: str, encoding: str | None) -> "_SimHandle":
+        self._check_alive("open")
+        text = "b" not in mode
+        base = mode.replace("b", "")
+        inode = self._names.get(name)
+        if base in ("r", "r+"):
+            if inode is None:
+                raise FileNotFoundError(errno.ENOENT, "no such file", name)
+        elif base == "w":
+            inode = _Inode()
+            self._names[name] = inode
+        elif base == "a":
+            if inode is None:
+                inode = _Inode()
+                self._names[name] = inode
+        else:
+            raise ValueError(f"simfs does not model open mode {mode!r}")
+        writable = base != "r"
+        return _SimHandle(
+            self,
+            name,
+            inode,
+            append=(base == "a"),
+            writable=writable,
+            readable=(base in ("r", "r+")),
+            text=text,
+            encoding=encoding or "utf-8",
+        )
+
+    def _fsync_file(self, name: str, inode: _Inode) -> None:
+        self._check_alive("fsync")
+        self.plan.maybe_eio("fsync", name)
+        inode.durable = bytes(inode.data)
+        # Pragmatic rule: fsyncing a file also persists its dentry (ext4
+        # journals the creation with the data; the stack relies on this
+        # the way most real systems do).
+        if self._names.get(name) is inode:
+            self._durable_names[name] = inode
+
+    def fsync_dir(self, directory: str) -> None:
+        self._check_alive("fsync_dir")
+        directory = _norm(directory)
+        self.plan.maybe_eio("fsync_dir", directory)
+        prefix = directory.rstrip("/") + "/"
+        kept = []
+        for op in self._pending:
+            kind, src, dst, inode = op
+            target = dst if kind == "replace" else src
+            if not (target or src).startswith(prefix):
+                kept.append(op)
+                continue
+            if kind == "replace":
+                self._durable_names.pop(src, None)
+                self._durable_names[dst] = inode  # type: ignore[index]
+            else:
+                self._durable_names.pop(src, None)
+        self._pending = kept
+
+
+class _SimHandle:
+    """File handle over a :class:`_Inode`; ``sim_fsync`` is the hook
+    :func:`repro.storage.fsio.fsync_handle` dispatches on."""
+
+    def __init__(
+        self,
+        fs: SimFs,
+        name: str,
+        inode: _Inode,
+        append: bool,
+        writable: bool,
+        readable: bool,
+        text: bool,
+        encoding: str,
+    ) -> None:
+        self._fs = fs
+        self._name = name
+        self._inode = inode
+        self._append = append
+        self._writable = writable
+        self._readable = readable
+        self._text = text
+        self._encoding = encoding
+        self._pos = 0
+        self.closed = False
+
+    # -- writing -----------------------------------------------------------------
+
+    def write(self, data: Any) -> int:
+        self._fs._check_alive("write")
+        if not self._writable:
+            raise OSError("handle not open for writing")
+        raw = data.encode(self._encoding) if self._text else bytes(data)
+        buf = self._inode.data
+        if self._append:
+            buf.extend(raw)
+            self._pos = len(buf)
+        else:
+            end = self._pos + len(raw)
+            if end > len(buf):
+                buf.extend(b"\x00" * (end - len(buf)))
+            buf[self._pos : end] = raw
+            self._pos = end
+        return len(data)
+
+    def truncate(self, size: int | None = None) -> int:
+        self._fs._check_alive("truncate")
+        size = self._pos if size is None else int(size)
+        del self._inode.data[size:]
+        return size
+
+    def flush(self) -> None:
+        if not self.closed:
+            self._fs._check_alive("flush")
+
+    def sim_fsync(self) -> None:
+        self._fs._fsync_file(self._name, self._inode)
+
+    # -- reading -----------------------------------------------------------------
+
+    def read(self, size: int = -1) -> Any:
+        self._fs._check_alive("read")
+        data = bytes(self._inode.data)
+        chunk = data[self._pos :] if size < 0 else data[self._pos : self._pos + size]
+        self._pos += len(chunk)
+        return chunk.decode(self._encoding) if self._text else chunk
+
+    def readline(self) -> Any:
+        self._fs._check_alive("read")
+        data = bytes(self._inode.data)
+        end = data.find(b"\n", self._pos)
+        end = len(data) if end < 0 else end + 1
+        chunk = data[self._pos : end]
+        self._pos = end
+        return chunk.decode(self._encoding) if self._text else chunk
+
+    def __iter__(self) -> Iterator[Any]:
+        while True:
+            line = self.readline()
+            if not line:
+                return
+            yield line
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        self.closed = True
+
+    def __enter__(self) -> "_SimHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def _norm(raw: str) -> str:
+    name = posixpath.normpath(str(raw))
+    if not name.startswith("/"):
+        name = "/" + name
+    return name
+
+
+class SimPath:
+    """``pathlib.Path`` lookalike bound to a :class:`SimFs`.
+
+    Implements only the surface the storage stack uses; anything else
+    raises ``AttributeError`` loudly rather than touching the real disk.
+    ``fsio.as_path`` recognizes instances via ``_is_simpath`` without
+    importing this module.
+    """
+
+    _is_simpath = True
+    __slots__ = ("fs", "_s")
+
+    def __init__(self, fs: SimFs, raw: str) -> None:
+        self.fs = fs
+        self._s = _norm(raw)
+
+    # -- pure path algebra -------------------------------------------------------
+
+    def __str__(self) -> str:
+        return self._s
+
+    def __repr__(self) -> str:
+        return f"SimPath({self._s!r})"
+
+    def __eq__(self, other: Any) -> bool:
+        return (
+            isinstance(other, SimPath) and other.fs is self.fs and other._s == self._s
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.fs), self._s))
+
+    def __truediv__(self, part: Any) -> "SimPath":
+        return SimPath(self.fs, posixpath.join(self._s, str(part)))
+
+    @property
+    def name(self) -> str:
+        return posixpath.basename(self._s)
+
+    @property
+    def stem(self) -> str:
+        base = self.name
+        dot = base.rfind(".")
+        return base if dot <= 0 else base[:dot]
+
+    @property
+    def suffix(self) -> str:
+        base = self.name
+        dot = base.rfind(".")
+        return "" if dot <= 0 else base[dot:]
+
+    @property
+    def parent(self) -> "SimPath":
+        return SimPath(self.fs, posixpath.dirname(self._s) or "/")
+
+    def with_name(self, name: str) -> "SimPath":
+        return self.parent / name
+
+    def with_suffix(self, suffix: str) -> "SimPath":
+        return self.parent / (self.stem + suffix)
+
+    # -- filesystem operations ---------------------------------------------------
+
+    def exists(self) -> bool:
+        return self.fs._exists(self._s)
+
+    def read_bytes(self) -> bytes:
+        return self.fs._read_bytes(self._s)
+
+    def read_text(self, encoding: str = "utf-8") -> str:
+        return self.fs._read_bytes(self._s).decode(encoding)
+
+    def open(self, mode: str = "r", encoding: str | None = None) -> _SimHandle:
+        return self.fs._open(self._s, mode, encoding)
+
+    def unlink(self, missing_ok: bool = False) -> None:
+        if missing_ok and not self.fs._exists(self._s):
+            return
+        self.fs._unlink(self._s)
+
+    def mkdir(self, parents: bool = False, exist_ok: bool = False) -> None:
+        self.fs._mkdir(self._s, parents=parents, exist_ok=exist_ok)
+
+    def glob(self, pattern: str) -> list["SimPath"]:
+        return self.fs._glob(self._s, pattern)
+
+    def replace_to(self, dst: Any) -> None:
+        """``os.replace(self, dst)`` — dispatched from fsio."""
+        self.fs._replace(self._s, _norm(str(dst)))

@@ -423,6 +423,19 @@ class Database:
         if self._redo_hook is not None:
             self._redo_hook.on_statement(record)
 
+    def redo_barrier(self) -> None:
+        """Block until this thread's committed redo units are durable.
+
+        Delegates to the redo hook's ``commit_barrier`` (the WAL's group
+        fsync); an in-memory database has nothing to wait for. Side
+        effects that must strictly follow a commit — e.g. the vault
+        journal's deferred entry deletes — call this first, so a crash
+        cannot order them before the commit they depend on.
+        """
+        barrier = getattr(self._redo_hook, "commit_barrier", None)
+        if barrier is not None:
+            barrier()
+
     def set_lock_hook(self, hook: Any) -> None:
         """Attach (or detach, with None) a concurrency-control hook.
 

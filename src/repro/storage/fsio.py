@@ -1,0 +1,58 @@
+"""Filesystem dispatch: real ``pathlib``/``os`` or the simulated fs.
+
+The storage stack (WAL, snapshots, job queue, file vault) performs a
+small set of durability-sensitive operations — open, fsync a handle,
+atomically replace, fsync a directory — on paths that may be real
+``Path`` objects or :class:`repro.simtest.simfs.SimPath` instances
+under deterministic simulation. These helpers pick the right
+implementation per call, so the production modules contain no
+simulation conditionals beyond routing through this module.
+
+Detection is by the ``_is_simpath`` marker / ``sim_fsync`` hook rather
+than an import of ``repro.simtest``, keeping storage import-independent
+of the test harness.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any
+
+__all__ = ["as_path", "fsync_dir", "fsync_handle", "replace"]
+
+
+def as_path(path: Any) -> Any:
+    """Coerce to ``Path`` unless it is already a simulated path."""
+    if getattr(path, "_is_simpath", False):
+        return path
+    return Path(path)
+
+
+def fsync_handle(handle: Any) -> None:
+    """``os.fsync`` for real handles, the simulated fsync for sim ones."""
+    sim = getattr(handle, "sim_fsync", None)
+    if sim is not None:
+        sim()
+        return
+    os.fsync(handle.fileno())
+
+
+def replace(src: Any, dst: Any) -> None:
+    """Atomic rename; dispatches on the source path's kind."""
+    if getattr(src, "_is_simpath", False):
+        src.replace_to(dst)
+        return
+    os.replace(src, dst)
+
+
+def fsync_dir(directory: Any) -> None:
+    """Make directory-entry updates (renames, creates) durable."""
+    if getattr(directory, "_is_simpath", False):
+        directory.fs.fsync_dir(str(directory))
+        return
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)

@@ -12,11 +12,11 @@ format round-trips every canonical value type exactly.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Any, TextIO
 
 from repro.errors import StorageError
+from repro.storage import fsio
 from repro.storage.database import Database
 from repro.storage.schema import Column, FKAction, ForeignKey, Schema, TableSchema
 from repro.storage.types import ColumnType
@@ -104,7 +104,7 @@ def save_database(
     :mod:`repro.storage.wal`); snapshots without one read back as
     generation 0.
     """
-    path = Path(path)
+    path = fsio.as_path(path)
     with path.open("w", encoding="utf-8") as handle:
         header: dict[str, Any] = {
             "version": _FORMAT_VERSION,
@@ -130,24 +130,20 @@ def save_database_atomic(
     ``os.replace`` leaves the old snapshot untouched, a crash after leaves
     the new one fully installed.
     """
-    path = Path(path)
+    path = fsio.as_path(path)
     tmp = path.with_suffix(path.suffix + ".tmp")
     save_database(db, tmp, generation=generation)
     with tmp.open("rb") as handle:
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+        fsio.fsync_handle(handle)
+    fsio.replace(tmp, path)
     _fsync_dir(path.parent)
 
 
-def _fsync_dir(directory: Path) -> None:
+def _fsync_dir(directory: Any) -> None:
     try:
-        fd = os.open(directory, os.O_RDONLY)
+        fsio.fsync_dir(directory)
     except OSError:  # pragma: no cover - platform without dir fds
         return
-    try:
-        os.fsync(fd)
-    finally:
-        os.close(fd)
 
 
 def read_snapshot_generation(path: str | Path) -> int:
@@ -156,7 +152,7 @@ def read_snapshot_generation(path: str | Path) -> int:
     A missing file or a header without a stamp is generation 0 (the state
     of the world before the WAL layer existed).
     """
-    path = Path(path)
+    path = fsio.as_path(path)
     if not path.exists():
         return 0
     with path.open("r", encoding="utf-8") as handle:
@@ -178,7 +174,7 @@ def load_database(path: str | Path, verify: bool = True) -> Database:
     when ``verify=False`` — e.g. by tooling that wants to *inspect* a
     corrupt snapshot).
     """
-    path = Path(path)
+    path = fsio.as_path(path)
     tables: list[TableSchema] = []
     rows_by_table: dict[str, list[dict[str, Any]]] = {}
     with path.open("r", encoding="utf-8") as handle:

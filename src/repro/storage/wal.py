@@ -42,16 +42,16 @@ Framing: each frame is ``<u32 length LE> <u32 crc32 LE> <payload>`` where
 from __future__ import annotations
 
 import json
-import os
 import struct
 import threading
-import time
 import zlib
 from pathlib import Path
 from typing import Any, BinaryIO, Iterator
 
 from repro.errors import StorageError
 from repro.obs.trace import TRACER as _TRACER
+from repro.simtest.clock import resolve_clock
+from repro.storage import fsio
 from repro.storage.database import Database
 from repro.storage.persist import (
     _decode_value,
@@ -259,12 +259,14 @@ class WriteAheadLog:
         batch_commits: int = 8,
         generation: int | None = None,
         sync_delay: float = 0.0,
+        clock: Any = None,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise StorageError(
                 f"unknown fsync policy {fsync!r}; expected one of {FSYNC_POLICIES}"
             )
-        self.path = Path(path)
+        self.path = fsio.as_path(path)
+        self._clock = resolve_clock(clock)
         self.fsync = fsync
         self.batch_commits = max(1, batch_commits)
         # Transaction-level buffers mirror Database._undo_stack and, like
@@ -311,10 +313,7 @@ class WriteAheadLog:
             self._handle: BinaryIO = self.path.open("ab")
         elif sealed_end > 0:
             self._handle = self.path.open("ab")
-            if sealed_end < len(blob):
-                self._handle.truncate(sealed_end)
-                self._handle.flush()
-                os.fsync(self._handle.fileno())
+            self._trim_crash_debris(blob, sealed_end)
         else:
             # Missing, empty, or so torn not even the header survived.
             self._handle = self.path.open("ab")
@@ -326,6 +325,17 @@ class WriteAheadLog:
                  "fmt": _WAL_FORMAT, "gen": generation},
             )
             self._handle.flush()
+
+    def _trim_crash_debris(self, blob: bytes, sealed_end: int) -> None:
+        """Physically drop everything past the sealed prefix before the
+        first append. A hook method so the simulation harness can
+        re-introduce the pre-fix behavior (appending after a torn tail)
+        and prove the model-checking oracle catches it.
+        """
+        if sealed_end < len(blob):
+            self._handle.truncate(sealed_end)
+            self._handle.flush()
+            fsio.fsync_handle(self._handle)
 
     @property
     def defer_sync(self) -> bool:
@@ -379,6 +389,23 @@ class WriteAheadLog:
     def on_begin(self) -> None:
         self._tx_stack.append([])
 
+    def pending_records(self) -> int:
+        """Records buffered by this thread's open transaction (0 outside one)."""
+        return sum(len(level) for level in self._tx_stack)
+
+    def tag_transaction(self, marker: dict[str, Any]) -> None:
+        """Prepend *marker* to this thread's open transaction.
+
+        The marker is written as the unit's first record at commit. The
+        sharded group commit uses it to stamp every participating shard's
+        unit with one transaction id, so recovery can tell a fully
+        durable cross-shard transaction from one torn across logs.
+        """
+        stack = self._tx_stack
+        if not stack:
+            raise StorageError("tag_transaction outside a transaction")
+        stack[0].insert(0, dict(marker))
+
     def on_commit(self) -> None:
         records = self._tx_stack.pop()
         if self._tx_stack:
@@ -419,6 +446,7 @@ class WriteAheadLog:
     def _append_unit(self, records: list[dict[str, Any]]) -> None:
         if self._handle.closed:
             raise StorageError(f"{self.path}: write-ahead log is closed")
+        self._clock.tick("wal.append")
         with _TRACER.span("wal.append", records=len(records)) as sp, \
                 self._append_lock:
             written = 0
@@ -461,6 +489,7 @@ class WriteAheadLog:
 
     def _sync_to(self, seq: int) -> None:
         """Leader/follower group fsync: return once unit *seq* is durable."""
+        self._clock.tick("wal.fsync")
         cond = self._sync_cond
         with cond:
             # Truncation resets the sequence space; a stale thread-local
@@ -470,47 +499,63 @@ class WriteAheadLog:
                 if not self._sync_leader:
                     self._sync_leader = True
                     break
-                cond.wait()
+                self._clock.wait(cond)
             else:
                 return
         try:
             if self.sync_delay:
-                time.sleep(self.sync_delay)
+                self._clock.sleep(self.sync_delay)
             # Units numbered <= _appended_seq are flushed to the kernel
             # (both happen under the append lock), so one fsync makes all
             # of them durable — including followers that appended while
             # the leader slept. Snapshot the target *before* fsyncing.
             target = self._appended_seq
             with _TRACER.span("wal.fsync", role="leader") as sp:
-                os.fsync(self._handle.fileno())
+                fsio.fsync_handle(self._handle)
                 sp.set("units", target - self._synced_seq)
             self.syncs += 1
         except BaseException:
             with cond:
                 self._sync_leader = False
-                cond.notify_all()
+                self._clock.notify_all(cond)
             raise
         with cond:
             self._sync_leader = False
             if target > self._synced_seq:
                 self._synced_seq = target
-            cond.notify_all()
+            self._clock.notify_all(cond)
 
     def _fsync(self) -> None:
         target = self._appended_seq
         with _TRACER.span("wal.fsync", role="direct"):
-            os.fsync(self._handle.fileno())
+            fsio.fsync_handle(self._handle)
         self.syncs += 1
         with self._sync_cond:
             if target > self._synced_seq:
                 self._synced_seq = target
-            self._sync_cond.notify_all()
+            self._clock.notify_all(self._sync_cond)
 
     def sync(self) -> None:
         """Flush buffers and force bytes to stable storage."""
         if not self._handle.closed:
             self._handle.flush()
             self._fsync()
+
+    def sync_appended(self) -> None:
+        """Make every appended unit durable — a cross-thread barrier.
+
+        Unlike :meth:`commit_barrier` (which waits only on the calling
+        thread's last commit), this waits on the append frontier itself,
+        covering units other threads committed under ``defer_sync`` and
+        never followed with their own barrier. No-op when the frontier is
+        already durable, or under ``fsync='never'``.
+        """
+        if self.fsync == "never":
+            return
+        with self._sync_cond:
+            seq = self._appended_seq
+        if seq > self._synced_seq:
+            self._sync_to(seq)
 
     def close(self) -> None:
         """Flush (and, unless ``fsync='never'``, sync) then close the file."""
@@ -540,7 +585,7 @@ class WriteAheadLog:
         with self._sync_cond:
             self._appended_seq = 0
             self._synced_seq = 0
-            self._sync_cond.notify_all()
+            self._clock.notify_all(self._sync_cond)
 
     # -- reading -----------------------------------------------------------------------
 
@@ -552,7 +597,7 @@ class WriteAheadLog:
         Raises :class:`WalCorruptionError` for mid-log damage or a missing
         or wrong-version header on a non-empty log.
         """
-        path = Path(path)
+        path = fsio.as_path(path)
         generation, units, _sealed_end = _scan_log(path.read_bytes(), path)
         return generation, units
 
@@ -562,8 +607,20 @@ class WriteAheadLog:
         return WriteAheadLog.read_log(path)[1]
 
 
-def _write_fresh_log(path: Path, generation: int) -> None:
+def _write_fresh_log(path: Any, generation: int) -> None:
     """Atomically replace *path* with a header-only log at *generation*."""
+    rewrite_log(path, generation, [])
+
+
+def rewrite_log(
+    path: Any, generation: int, units: list[list[dict[str, Any]]]
+) -> None:
+    """Atomically replace *path* with a log holding exactly *units*.
+
+    Sharded recovery uses this to scrub units of transactions torn
+    across shard logs: the units are physically removed, so a later
+    recovery (which sees only this log) cannot resurrect them.
+    """
     tmp = path.with_suffix(path.suffix + ".tmp")
     with tmp.open("wb") as handle:
         _write_frame(
@@ -571,9 +628,13 @@ def _write_fresh_log(path: Path, generation: int) -> None:
             {"t": _T_HEADER, "version": _WAL_VERSION,
              "fmt": _WAL_FORMAT, "gen": generation},
         )
+        for unit in units:
+            for record in unit:
+                _write_frame(handle, record)
+            _write_frame(handle, {"t": _T_COMMIT, "n": len(unit)})
         handle.flush()
-        os.fsync(handle.fileno())
-    os.replace(tmp, path)
+        fsio.fsync_handle(handle)
+    fsio.replace(tmp, path)
     _fsync_dir(path.parent)
 
 
@@ -599,6 +660,8 @@ def replay_into(db: Database, units: list[list[dict[str, Any]]]) -> int:
 
 def _apply_record(db: Database, record: dict[str, Any]) -> None:
     op = record.get("op")
+    if op == "txn":
+        return  # group-commit marker: replay metadata, not a statement
     try:
         if op == "insert":
             table = db.table(record["table"])
@@ -653,8 +716,8 @@ def _bump_watermark(db: Database, table: str, pks: Any) -> None:
 # -- recovery / checkpoint / open ----------------------------------------------------
 
 
-def default_wal_path(snapshot_path: str | Path) -> Path:
-    path = Path(snapshot_path)
+def default_wal_path(snapshot_path: str | Path) -> Any:
+    path = fsio.as_path(snapshot_path)
     return path.with_name(path.name + ".wal")
 
 
@@ -678,8 +741,10 @@ def recover_database(
     """
     from repro.storage.persist import load_database
 
-    snapshot_path = Path(snapshot_path)
-    wal_path = Path(wal_path) if wal_path is not None else default_wal_path(snapshot_path)
+    snapshot_path = fsio.as_path(snapshot_path)
+    wal_path = (
+        fsio.as_path(wal_path) if wal_path is not None else default_wal_path(snapshot_path)
+    )
     snapshot_gen = read_snapshot_generation(snapshot_path)
     if snapshot_path.exists():
         db = load_database(snapshot_path, verify=False)
@@ -718,18 +783,23 @@ class WalDatabase:
         batch_commits: int = 8,
         verify: bool = True,
         sync_delay: float = 0.0,
+        clock: Any = None,
+        wal_cls: type["WriteAheadLog"] | None = None,
     ) -> None:
-        self.snapshot_path = Path(snapshot_path)
+        self.snapshot_path = fsio.as_path(snapshot_path)
         self.wal_path = (
-            Path(wal_path) if wal_path is not None else default_wal_path(snapshot_path)
+            fsio.as_path(wal_path)
+            if wal_path is not None
+            else default_wal_path(snapshot_path)
         )
         self.db = recover_database(self.snapshot_path, self.wal_path, verify=verify)
-        self.wal = WriteAheadLog(
+        self.wal = (wal_cls or WriteAheadLog)(
             self.wal_path,
             fsync=fsync,
             batch_commits=batch_commits,
             generation=read_snapshot_generation(self.snapshot_path),
             sync_delay=sync_delay,
+            clock=clock,
         )
         self.db.set_redo_hook(self.wal)
 

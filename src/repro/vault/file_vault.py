@@ -19,12 +19,12 @@ duplicate-id checks without re-reading the journal.
 from __future__ import annotations
 
 import json
-import os
 from pathlib import Path
 from typing import Any, Iterable
 from urllib.parse import quote, unquote
 
 from repro.errors import VaultError
+from repro.storage import fsio
 from repro.obs.trace import TRACER as _TRACER
 from repro.vault.base import GLOBAL_OWNER, VaultStore
 from repro.vault.entry import VaultEntry
@@ -53,7 +53,7 @@ class FileVault(VaultStore):
         sync_appends: bool = False,
     ) -> None:
         super().__init__()
-        self.directory = Path(directory)
+        self.directory = fsio.as_path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.compact_threshold = compact_threshold
         self.sync_appends = sync_appends
@@ -101,7 +101,7 @@ class FileVault(VaultStore):
             return
         legacy = self._legacy_path(owner)
         if legacy is not None and legacy.exists():
-            os.replace(legacy, path)
+            fsio.replace(legacy, path)
 
     # -- journal IO ---------------------------------------------------------------
 
@@ -143,7 +143,7 @@ class FileVault(VaultStore):
             self.appends += 1
             if self.sync_appends:
                 handle.flush()
-                os.fsync(handle.fileno())
+                fsio.fsync_handle(handle)
                 self.syncs += 1
 
     def _maybe_compact(self, owner: Any) -> None:
@@ -166,7 +166,7 @@ class FileVault(VaultStore):
         with tmp.open("w", encoding="utf-8") as handle:
             for entry in sorted(entries.values(), key=lambda e: e.seq):
                 handle.write(entry.to_json() + "\n")
-        os.replace(tmp, path)
+        fsio.replace(tmp, path)
         self._dead[self._key(owner)] = 0
         self.compactions += 1
 

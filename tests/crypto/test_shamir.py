@@ -66,6 +66,26 @@ class TestSplitRecover:
         assert recover_secret(shares[:2]) == secret
 
 
+class TestBadShares:
+    def test_tampered_share_never_recovers_the_secret(self):
+        secret = os.urandom(32)
+        shares = split_secret(secret, 2, 3)
+        forged = Share(x=shares[0].x, y=(shares[0].y + 1) % PRIME)
+        try:
+            assert recover_secret([forged, shares[1]]) != secret
+        except CryptoError:
+            pass  # off-field reconstruction — also a safe rejection
+
+    def test_share_from_wrong_split_never_recovers_the_secret(self):
+        secret = os.urandom(32)
+        good = split_secret(secret, 2, 3)
+        other = split_secret(os.urandom(32), 2, 3)
+        try:
+            assert recover_secret([good[0], other[1]]) != secret
+        except CryptoError:
+            pass
+
+
 class TestShareSerialization:
     def test_round_trip(self):
         shares = split_secret(os.urandom(32), 2, 3)

@@ -91,7 +91,7 @@ class TestCrashRecovery:
         args = types.SimpleNamespace(
             db=deployment["db"], vault_dir=deployment["vaults"]
         )
-        sdb, generation = _open_sharded(args, 2)
+        sdb, generation, _next_txn = _open_sharded(args, 2)
         wals = [
             WriteAheadLog(
                 _shard_wal_path(args.db, i), fsync="always", generation=generation

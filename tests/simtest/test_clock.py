@@ -1,0 +1,91 @@
+"""The clock seam: production delegate, virtual clock, PowerCut."""
+
+import random
+import threading
+
+from repro.simtest.clock import (
+    SIM_WALL_BASE,
+    SYSTEM_CLOCK,
+    PowerCut,
+    SystemClock,
+    VirtualClock,
+    resolve_clock,
+)
+from repro.simtest.sched import StepScheduler
+
+
+class TestResolveClock:
+    def test_none_resolves_to_the_shared_system_clock(self):
+        assert resolve_clock(None) is SYSTEM_CLOCK
+
+    def test_explicit_clock_passes_through(self):
+        sched = StepScheduler(random.Random(0))
+        clock = VirtualClock(sched)
+        assert resolve_clock(clock) is clock
+
+
+class TestSystemClock:
+    def test_time_and_monotonic_advance(self):
+        clock = SystemClock()
+        t0 = clock.time()
+        m0 = clock.monotonic()
+        clock.sleep(0.01)
+        assert clock.time() >= t0
+        assert clock.monotonic() > m0
+
+    def test_tick_is_a_noop(self):
+        SystemClock().tick("wal.append", "anything")
+
+    def test_spawn_returns_joinable_thread(self):
+        ran = []
+        handle = SystemClock().spawn(lambda: ran.append(1), name="t")
+        handle.join(timeout=5.0)
+        assert ran == [1]
+        assert not handle.is_alive()
+
+    def test_wait_notify_round_trip(self):
+        clock = SystemClock()
+        cond = threading.Condition()
+        with cond:
+            assert clock.wait(cond, timeout=0.01) is False
+
+
+class TestVirtualClock:
+    def test_reads_scheduler_virtual_time(self):
+        sched = StepScheduler(random.Random(0), now=12.5)
+        clock = VirtualClock(sched)
+        assert clock.monotonic() == 12.5
+        assert clock.time() == SIM_WALL_BASE + 12.5
+
+    def test_driver_sleep_advances_virtual_time_only(self):
+        sched = StepScheduler(random.Random(0))
+        clock = VirtualClock(sched)
+        clock.sleep(3.0)
+        assert clock.monotonic() == 3.0
+        assert sched.steps == 0  # no threads to pump
+
+
+class TestPowerCut:
+    def test_is_a_base_exception_not_exception(self):
+        # The executor's broad `except Exception` must not swallow it.
+        assert issubclass(PowerCut, BaseException)
+        assert not issubclass(PowerCut, Exception)
+
+    def test_dead_scheduler_raises_on_tick(self):
+        sched = StepScheduler(random.Random(0))
+        clock = VirtualClock(sched)
+        seen = []
+
+        def worker():
+            try:
+                while True:
+                    clock.tick("loop")
+            except PowerCut as exc:
+                seen.append(str(exc))
+                raise
+
+        handle = clock.spawn(worker, name="w")
+        assert sched.step()
+        sched.crash()
+        assert seen == ["loop"]
+        assert not handle.is_alive()

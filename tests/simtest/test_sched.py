@@ -1,0 +1,213 @@
+"""The cooperative step scheduler, plans, and the shrinker."""
+
+import random
+import threading
+
+import pytest
+
+from repro.simtest.sched import (
+    PlannedEvent,
+    SchedulerStuck,
+    SimPlan,
+    StepScheduler,
+    shrink,
+)
+
+
+def make(seed=0, now=0.0):
+    return StepScheduler(random.Random(seed), now=now)
+
+
+class TestStepping:
+    def test_one_step_runs_one_thread_quantum(self):
+        sched = make()
+        log = []
+
+        def worker(name):
+            def run():
+                for index in range(3):
+                    log.append(f"{name}{index}")
+                    sched.tick("loop")
+
+            return run
+
+        sched.spawn(worker("a"), name="a")
+        sched.spawn(worker("b"), name="b")
+        sched.step()
+        assert len(log) == 1
+        for _ in range(20):
+            if not sched.step():
+                break
+        assert sorted(log) == ["a0", "a1", "a2", "b0", "b1", "b2"]
+
+    def test_interleaving_is_seed_deterministic(self):
+        def run(seed):
+            sched = make(seed)
+            order = []
+
+            def worker(name):
+                def run():
+                    for _ in range(4):
+                        order.append(name)
+                        sched.tick("loop")
+
+                return run
+
+            for name in ("a", "b", "c"):
+                sched.spawn(worker(name), name=name)
+            while sched.step():
+                pass
+            return order
+
+        assert run(7) == run(7)
+        # Different seeds explore different interleavings (5 draws is
+        # plenty to find one that differs).
+        assert any(run(7) != run(other) for other in range(5))
+
+    def test_sleep_parks_until_virtual_deadline(self):
+        sched = make()
+        woke = []
+
+        def sleeper():
+            sched.sleep(10.0)
+            woke.append(sched.now)
+
+        sched.spawn(sleeper, name="s")
+        sched.step()  # runs to the sleep
+        assert woke == []
+        sched.step()  # nothing runnable: time jumps to the deadline
+        assert sched.now == 10.0
+        sched.step()
+        assert woke == [10.0]
+
+    def test_wait_notify_keeps_condition_balanced(self):
+        sched = make()
+        cond = threading.Condition()
+        state = {"ready": False, "seen": False}
+
+        def waiter():
+            with cond:
+                while not state["ready"]:
+                    sched.wait_on(cond, timeout=None)
+                state["seen"] = True
+
+        def notifier():
+            sched.tick("pre")
+            with cond:
+                state["ready"] = True
+                sched.notify_all(cond)
+
+        sched.spawn(waiter, name="w")
+        sched.spawn(notifier, name="n")
+        for _ in range(20):
+            if not sched.step():
+                break
+        assert state["seen"] is True
+
+    def test_deadlock_is_reported_not_hung(self):
+        sched = make()
+        cond = threading.Condition()
+
+        def waiter():
+            with cond:
+                sched.wait_on(cond, timeout=None)
+
+        handle = sched.spawn(waiter, name="w")
+        sched.step()
+        assert sched.step() is False  # blocked forever, no deadline
+        with pytest.raises(SchedulerStuck):
+            sched.join_thread(handle._sim)
+
+    def test_crash_unwinds_parked_threads(self):
+        sched = make()
+        unwound = []
+
+        def worker():
+            try:
+                while True:
+                    sched.tick("loop")
+            finally:
+                unwound.append(True)
+
+        sched.spawn(worker, name="w")
+        sched.step()
+        sched.crash()
+        assert unwound == [True]
+        assert sched.dead
+
+    def test_thread_error_recorded_in_trace(self):
+        sched = make()
+
+        def bad():
+            raise ValueError("boom")
+
+        sched.spawn(bad, name="bad")
+        sched.step()
+        assert any("bad died: ValueError: boom" in line for line in sched.trace)
+
+
+class TestSimPlan:
+    def test_truncated_drops_late_events(self):
+        plan = SimPlan(
+            steps=100,
+            events=(
+                PlannedEvent(10, "apply"),
+                PlannedEvent(50, "crash"),
+                PlannedEvent(90, "reveal"),
+            ),
+        )
+        cut = plan.truncated(50)
+        assert cut.steps == 50
+        assert [e.kind for e in cut.events] == ["apply", "crash"]
+
+    def test_without_removes_by_position(self):
+        plan = SimPlan(
+            steps=10, events=(PlannedEvent(1, "a"), PlannedEvent(2, "b"))
+        )
+        assert [e.kind for e in plan.without(0).events] == ["b"]
+        assert plan.without(5).events == plan.events
+
+    def test_event_arg_lookup(self):
+        event = PlannedEvent(1, "apply", (("pick", 9), ("spec", 2)))
+        assert event.arg("pick") == 9
+        assert event.arg("nope", "default") == "default"
+
+
+class TestShrink:
+    def test_shrinks_to_the_culprit_event(self):
+        # Failure := "a crash event at step >= 20 is present".
+        plan = SimPlan(
+            steps=200,
+            events=tuple(
+                PlannedEvent(at, "apply", (("pick", at),)) for at in range(1, 40)
+            )
+            + (PlannedEvent(60, "crash"),),
+        )
+
+        def still_fails(candidate):
+            return any(
+                e.kind == "crash" and e.at >= 20 for e in candidate.events
+            ) and candidate.steps >= 60
+
+        small = shrink(plan, still_fails)
+        assert small.steps == 60
+        assert [e.kind for e in small.events] == ["crash"]
+
+    def test_returns_original_when_nothing_smaller_fails(self):
+        plan = SimPlan(steps=5, events=(PlannedEvent(1, "apply"),))
+        small = shrink(plan, lambda candidate: candidate == plan)
+        assert small == plan
+
+    def test_respects_probe_budget(self):
+        plan = SimPlan(
+            steps=1000,
+            events=tuple(PlannedEvent(at, "apply") for at in range(1, 200)),
+        )
+        probes = []
+
+        def still_fails(candidate):
+            probes.append(1)
+            return True
+
+        shrink(plan, still_fails, max_probes=10)
+        assert len(probes) <= 11

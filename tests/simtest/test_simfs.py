@@ -1,0 +1,234 @@
+"""The crash-consistency filesystem model, exercised directly."""
+
+import random
+
+import pytest
+
+from repro.simtest.clock import PowerCut
+from repro.simtest.simfs import FaultPlan, SimFs
+
+
+def fs_with(p_keep_all=0.5, p_meta_survive=0.5, eio_rate=0.0, seed=0):
+    return SimFs(
+        FaultPlan(
+            random.Random(seed),
+            p_keep_all=p_keep_all,
+            p_meta_survive=p_meta_survive,
+            eio_rate=eio_rate,
+        )
+    )
+
+
+def write(fs, name, data, sync=True):
+    with fs.path(name).open("wb") as handle:
+        handle.write(data)
+        if sync:
+            handle.sim_fsync()
+
+
+class TestPathSurface:
+    def test_path_algebra(self):
+        fs = fs_with()
+        p = fs.path("/a/b/c.wal")
+        assert str(p) == "/a/b/c.wal"
+        assert p.name == "c.wal"
+        assert p.stem == "c"
+        assert p.suffix == ".wal"
+        assert str(p.parent) == "/a/b"
+        assert str(p.with_name("d.txt")) == "/a/b/d.txt"
+        assert str(p.with_suffix(".jobs")) == "/a/b/c.jobs"
+        assert str(p / "x") == "/a/b/c.wal/x"
+
+    def test_read_write_round_trip(self):
+        fs = fs_with()
+        write(fs, "/f", b"hello")
+        assert fs.path("/f").exists()
+        assert fs.path("/f").read_bytes() == b"hello"
+        assert fs.path("/f").read_text() == "hello"
+        assert not fs.path("/g").exists()
+        with pytest.raises(FileNotFoundError):
+            fs.path("/g").read_bytes()
+
+    def test_append_mode_extends(self):
+        fs = fs_with()
+        write(fs, "/f", b"one")
+        with fs.path("/f").open("ab") as handle:
+            handle.write(b"two")
+        assert fs.path("/f").read_bytes() == b"onetwo"
+
+    def test_text_iteration_by_line(self):
+        fs = fs_with()
+        write(fs, "/f", b"a\nb\nc")
+        with fs.path("/f").open("r") as handle:
+            assert list(handle) == ["a\n", "b\n", "c"]
+
+    def test_glob_is_directory_local_and_sorted(self):
+        fs = fs_with()
+        fs.path("/d").mkdir()
+        write(fs, "/d/b.wal", b"")
+        write(fs, "/d/a.wal", b"")
+        write(fs, "/d/sub.txt", b"")
+        names = [p.name for p in fs.path("/d").glob("*.wal")]
+        assert names == ["a.wal", "b.wal"]
+
+    def test_mkdir_semantics(self):
+        fs = fs_with()
+        with pytest.raises(FileNotFoundError):
+            fs.path("/x/y").mkdir()
+        fs.path("/x/y").mkdir(parents=True)
+        with pytest.raises(FileExistsError):
+            fs.path("/x/y").mkdir()
+        fs.path("/x/y").mkdir(exist_ok=True)
+
+    def test_unmodeled_open_mode_raises(self):
+        fs = fs_with()
+        with pytest.raises(ValueError):
+            fs.path("/f").open("x")
+
+
+class TestDurability:
+    def test_fsynced_data_survives_crash(self):
+        fs = fs_with(p_keep_all=0.0, p_meta_survive=0.0)
+        write(fs, "/f", b"durable")
+        survivor = fs.crash()
+        assert survivor.path("/f").read_bytes() == b"durable"
+
+    def test_never_fsynced_file_vanishes_wholesale(self):
+        # The dentry was never persisted: there is nothing to tear.
+        fs = fs_with(p_keep_all=1.0, p_meta_survive=0.0)
+        write(fs, "/f", b"cached only", sync=False)
+        survivor = fs.crash()
+        assert not survivor.path("/f").exists()
+
+    def test_unsynced_append_survives_as_prefix(self):
+        # p_keep_all=0 forces a torn write; the plan picks the cut
+        # (seed 5 cuts mid-suffix: 2 of the 4 new bytes survive).
+        fs = fs_with(p_keep_all=0.0, seed=5)
+        write(fs, "/f", b"AAAA")
+        with fs.path("/f").open("ab") as handle:
+            handle.write(b"BBBB")
+        content = fs.crash().path("/f").read_bytes()
+        assert content == b"AAAABB"
+
+    def test_keep_all_crash_keeps_the_whole_suffix(self):
+        fs = fs_with(p_keep_all=1.0)
+        write(fs, "/f", b"AAAA")
+        with fs.path("/f").open("ab") as handle:
+            handle.write(b"BBBB")
+        assert fs.crash().path("/f").read_bytes() == b"AAAABBBB"
+
+    def test_every_torn_byte_position_is_reachable(self):
+        lengths = set()
+        for seed in range(80):
+            fs = fs_with(p_keep_all=0.0, seed=seed)
+            write(fs, "/f", b"")
+            with fs.path("/f").open("ab") as handle:
+                handle.write(b"0123")
+            lengths.add(len(fs.crash().path("/f").read_bytes()))
+        assert lengths == {0, 1, 2, 3, 4}
+
+    def test_truncate_to_w_mode_drops_unsynced_inode(self):
+        # "w" swaps in a brand-new inode; until it is fsynced the crash
+        # falls back to the old durable content — never a blend.
+        fs = fs_with(p_meta_survive=1.0)
+        write(fs, "/f", b"OLD-LONG-CONTENT")
+        with fs.path("/f").open("wb") as handle:
+            handle.write(b"NEW")
+        assert fs.crash().path("/f").read_bytes() == b"OLD-LONG-CONTENT"
+
+    def test_diverged_overwrite_is_all_or_nothing(self):
+        # Overwriting below the durable watermark diverges the inode:
+        # the crash keeps either the full new state or the full old one.
+        for survive in (True, False):
+            fs = fs_with(p_meta_survive=1.0 if survive else 0.0)
+            write(fs, "/f", b"OLD-LONG-CONTENT")
+            with fs.path("/f").open("rb+") as handle:
+                handle.write(b"NEW")
+            content = fs.crash().path("/f").read_bytes()
+            expected = b"NEW-LONG-CONTENT" if survive else b"OLD-LONG-CONTENT"
+            assert content == expected
+
+    def test_replace_pending_until_dir_fsync(self):
+        fs = fs_with(p_meta_survive=0.0)
+        write(fs, "/old", b"x")
+        write(fs, "/tmp.new", b"y")
+        fs._replace("/tmp.new", "/old")
+        # Cache sees the rename immediately...
+        assert fs.path("/old").read_bytes() == b"y"
+        # ...but without a dir fsync the crash drops it: both names
+        # revert to their durable state, as if the rename never ran.
+        survivor = fs.crash()
+        assert survivor.path("/old").read_bytes() == b"x"
+        assert survivor.path("/tmp.new").read_bytes() == b"y"
+
+    def test_dir_fsynced_replace_is_durable(self):
+        fs = fs_with(p_meta_survive=0.0)
+        write(fs, "/old", b"x")
+        write(fs, "/tmp.new", b"y")
+        fs._replace("/tmp.new", "/old")
+        fs.fsync_dir("/")
+        survivor = fs.crash()
+        assert survivor.path("/old").read_bytes() == b"y"
+        assert not survivor.path("/tmp.new").exists()
+
+    def test_unlink_pending_until_dir_fsync(self):
+        fs = fs_with(p_meta_survive=0.0)
+        write(fs, "/f", b"x")
+        fs.path("/f").unlink()
+        assert not fs.path("/f").exists()
+        assert fs.crash().path("/f").read_bytes() == b"x"
+
+    def test_pending_ops_survive_independently(self):
+        # Two pending renames, a coin each: with enough seeds we see
+        # mixed outcomes — the "reordered rename" states.
+        outcomes = set()
+        for seed in range(40):
+            fs = fs_with(p_meta_survive=0.5, seed=seed)
+            write(fs, "/a.tmp", b"A")
+            write(fs, "/b.tmp", b"B")
+            fs._replace("/a.tmp", "/a")
+            fs._replace("/b.tmp", "/b")
+            survivor = fs.crash()
+            outcomes.add(
+                (survivor.path("/a").exists(), survivor.path("/b").exists())
+            )
+        assert outcomes == {(False, False), (False, True), (True, False), (True, True)}
+
+    def test_dead_fs_raises_powercut_on_every_op(self):
+        fs = fs_with()
+        write(fs, "/f", b"x")
+        handle = fs.path("/f").open("ab")
+        fs.crash()
+        with pytest.raises(PowerCut):
+            fs.path("/f").read_bytes()
+        with pytest.raises(PowerCut):
+            handle.write(b"y")
+        with pytest.raises(PowerCut):
+            fs.path("/g").open("wb")
+
+    def test_crash_is_deterministic_per_plan_stream(self):
+        def run(seed):
+            fs = fs_with(p_keep_all=0.0, p_meta_survive=0.5, seed=seed)
+            write(fs, "/f", b"AAAA")
+            with fs.path("/f").open("ab") as handle:
+                handle.write(b"BBBBBBBB")
+            write(fs, "/g.tmp", b"G")
+            fs._replace("/g.tmp", "/g")
+            survivor = fs.crash()
+            return survivor.dump()
+
+        assert run(7) == run(7)
+
+
+class TestEioStorm:
+    def test_fsync_raises_eio_at_seeded_rate(self):
+        fs = fs_with(eio_rate=1.0)
+        with fs.path("/f").open("wb") as handle:
+            handle.write(b"x")
+            with pytest.raises(OSError):
+                handle.sim_fsync()
+
+    def test_zero_rate_never_raises(self):
+        fs = fs_with(eio_rate=0.0)
+        for index in range(50):
+            write(fs, f"/f{index}", b"x")

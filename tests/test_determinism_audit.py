@@ -1,0 +1,103 @@
+"""Lint: the concurrency stack must get time, sleeps, and threads from
+the injected clock, never from the ambient modules.
+
+The simulation harness (``repro.simtest``) replays a whole service run
+from one seed. That only holds if every nondeterministic primitive on
+the hot path flows through the clock seam (``repro.simtest.clock``):
+a single stray ``time.time()`` or ``threading.Thread(...)`` makes a
+failing seed unreproducible. This test walks the AST of the audited
+modules and fails loudly on regressions, with the offending file:line.
+
+A call site that is genuinely outside the deterministic surface can opt
+out with a trailing ``# determinism: exempt`` comment on its line.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Modules whose behavior a simulation seed must fully determine: the
+#: whole service layer plus the storage/vault/shard files on the
+#: journaled write path.
+AUDITED = [
+    *sorted((SRC / "service").glob("*.py")),
+    SRC / "storage" / "wal.py",
+    SRC / "storage" / "persist.py",
+    SRC / "storage" / "fsio.py",
+    SRC / "vault" / "file_vault.py",
+    SRC / "shard" / "apply.py",
+]
+
+#: module -> attributes that must come from the injected clock/RNG.
+FORBIDDEN_CALLS = {
+    "time": {"time", "monotonic", "sleep", "perf_counter", "perf_counter_ns"},
+    "random": None,  # any module-level random.* call (incl. Random())
+    "datetime": {"now", "utcnow", "today"},
+    "threading": {"Thread", "Timer"},
+}
+
+EXEMPT_MARK = "determinism: exempt"
+
+
+def _violations(path: Path) -> list[str]:
+    source = path.read_text(encoding="utf-8")
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)):
+            continue
+        module, attr = func.value.id, func.attr
+        allowed = FORBIDDEN_CALLS.get(module, ...)
+        if allowed is ... or (allowed is not None and attr not in allowed):
+            continue
+        line = lines[node.lineno - 1] if node.lineno <= len(lines) else ""
+        if EXEMPT_MARK in line:
+            continue
+        try:
+            shown = path.relative_to(SRC.parent.parent)
+        except ValueError:
+            shown = path
+        found.append(
+            f"{shown}:{node.lineno}: "
+            f"{module}.{attr}(...) bypasses the injected clock"
+        )
+    return found
+
+
+class TestDeterminismAudit:
+    def test_audited_files_exist(self):
+        # Guard against the audit silently auditing nothing after a move.
+        assert len(AUDITED) >= 8
+        for path in AUDITED:
+            assert path.exists(), f"audited file moved: {path}"
+
+    def test_no_ambient_time_random_or_threads_on_hot_paths(self):
+        offenders = [v for path in AUDITED for v in _violations(path)]
+        assert offenders == [], "\n" + "\n".join(offenders)
+
+    def test_lint_actually_detects_offenses(self, tmp_path):
+        # The lint itself must not rot: plant each forbidden call and
+        # check it is flagged, and that the exemption comment works.
+        planted = tmp_path / "planted.py"
+        planted.write_text(
+            "import random\nimport threading\nimport time\n"
+            "a = time.time()\n"
+            "b = random.Random(7)\n"
+            "c = threading.Thread(target=print)\n"
+            "d = time.sleep(1)  # determinism: exempt\n"
+            "e = threading.Lock()\n",
+            encoding="utf-8",
+        )
+        found = "\n".join(_violations(planted))
+        assert "time.time" in found
+        assert "random.Random" in found
+        assert "threading.Thread" in found
+        assert "time.sleep" not in found  # exempted
+        assert "threading.Lock" not in found  # locks are fine; waits go via clock

@@ -216,7 +216,7 @@ class TestSyncAppends:
         fsyncs = []
         real_fsync = os_mod.fsync
         monkeypatch.setattr(
-            "repro.vault.file_vault.os.fsync",
+            "repro.storage.fsio.os.fsync",
             lambda fd: (fsyncs.append(fd), real_fsync(fd))[1],
         )
         vault.put_many([entry(i, owner=19) for i in range(1, 9)])

@@ -80,6 +80,73 @@ class TestRouting:
         assert set(vault.owners()) == {19, 20}
 
 
+class TestTierMigration:
+    """Re-noting a disguise flips where its *future* entries land."""
+
+    def test_promotion_to_user_tier_routes_new_entries(self):
+        user_tier, shared_tier = MemoryVault(), MemoryVault()
+        vault = MultiTierVault(user_tier, shared_tier)
+        vault.note_disguise(5, user_invoked=False)
+        vault.put(entry(1, disguise_id=5))
+        # The disguise is re-invoked by the user: later entries are
+        # promoted to the protected tier; the old ones stay readable.
+        vault.note_disguise(5, user_invoked=True)
+        vault.put(entry(2, disguise_id=5))
+        assert [e.entry_id for e in shared_tier._entries(19)] == [1]
+        assert [e.entry_id for e in user_tier._entries(19)] == [2]
+        assert [e.entry_id for e in vault.entries_for(19)] == [1, 2]
+
+    def test_demotion_back_to_shared_tier(self):
+        user_tier, shared_tier = MemoryVault(), MemoryVault()
+        vault = MultiTierVault(user_tier, shared_tier)
+        vault.note_disguise(5, user_invoked=True)
+        vault.put(entry(1, disguise_id=5))
+        vault.note_disguise(5, user_invoked=False)
+        vault.put(entry(2, disguise_id=5))
+        assert [e.entry_id for e in user_tier._entries(19)] == [1]
+        assert [e.entry_id for e in shared_tier._entries(19)] == [2]
+
+    def test_replace_routes_by_current_tier(self):
+        user_tier, shared_tier = MemoryVault(), MemoryVault()
+        vault = MultiTierVault(user_tier, shared_tier)
+        vault.note_disguise(5, user_invoked=True)
+        vault.put(entry(1, disguise_id=5))
+        vault.replace(entry(1, disguise_id=5))
+        assert len(user_tier._entries(19)) == 1
+        assert shared_tier._entries(19) == []
+
+    def test_delete_after_promotion_sweeps_both_tiers(self):
+        vault = MultiTierVault(MemoryVault(), MemoryVault())
+        vault.note_disguise(5, user_invoked=False)
+        vault.put(entry(1, disguise_id=5))
+        vault.note_disguise(5, user_invoked=True)
+        vault.put(entry(2, disguise_id=5))
+        assert vault.delete(19, [1, 2]) == 2
+        assert vault.entries_for(19) == []
+
+
+class TestMissPaths:
+    def test_unknown_owner_reads_empty(self):
+        vault = MultiTierVault(MemoryVault(), MemoryVault())
+        assert vault.entries_for(404) == []
+        assert vault.shared_entries_for(404) == []
+
+    def test_delete_nothing_counts_zero(self):
+        vault = MultiTierVault(MemoryVault(), MemoryVault())
+        vault.note_disguise(1, user_invoked=False)
+        vault.put(entry(1, disguise_id=1))
+        assert vault.delete(19, [7, 8]) == 0
+        assert vault.delete(404, [1]) == 0
+        assert len(vault.entries_for(19)) == 1
+
+    def test_filtered_read_with_no_match(self):
+        vault = MultiTierVault(MemoryVault(), MemoryVault())
+        vault.note_disguise(1, user_invoked=False)
+        vault.put(entry(1, disguise_id=1))
+        assert vault.shared_entries_for(19, disguise_id=99) == []
+        assert vault.owners() == [19]
+
+
 class TestPaperDeployment:
     """The §4.2 sketch: shared tier plain, user tier encrypted."""
 
